@@ -1,0 +1,102 @@
+// E11 — Ablations over the design choices DESIGN.md calls out:
+//   (1) SFI optimization-level sweep on total kernel-op cycles,
+//   (2) entropy parameter k: phantom padding volume vs. text-size growth,
+//   (3) phantom-guard sizing: exempt %rsp reads vs. checked-everything,
+//   (4) return-address scheme cost head-to-head (D vs X) per call depth.
+#include <cstdio>
+
+#include "src/workload/corpus.h"
+#include "src/workload/harness.h"
+
+namespace krx {
+namespace {
+
+uint64_t TotalCycles(CompiledKernel& kernel) {
+  auto rows = MeasureAllRows(kernel);
+  KRX_CHECK(rows.ok());
+  uint64_t total = 0;
+  for (const auto& m : *rows) {
+    total += m.deci_cycles;
+  }
+  return total;
+}
+
+uint64_t TextSize(const CompiledKernel& kernel) {
+  const PlacedSection* t = kernel.image->FindSection(".text");
+  return t == nullptr ? 0 : t->size;
+}
+
+int Main() {
+  const uint64_t seed = 0xAB1A;
+  KernelSource src = MakeBenchSource(seed);
+  std::printf("kR^X reproduction — ablation sweeps\n");
+
+  auto vanilla = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  KRX_CHECK(vanilla.ok());
+  const double base = static_cast<double>(TotalCycles(*vanilla));
+  const double base_text = static_cast<double>(TextSize(*vanilla));
+
+  std::printf("\n[1] SFI optimization levels (total kernel-op cycles, %% over vanilla)\n");
+  struct Lvl {
+    const char* name;
+    SfiLevel level;
+    bool mpx;
+  };
+  for (const Lvl& l : {Lvl{"O0", SfiLevel::kO0, false}, Lvl{"O1", SfiLevel::kO1, false},
+                       Lvl{"O2", SfiLevel::kO2, false}, Lvl{"O3", SfiLevel::kO3, false},
+                       Lvl{"MPX", SfiLevel::kO3, true}}) {
+    ProtectionConfig c;
+    c.sfi = l.level;
+    c.mpx = l.mpx;
+    auto k = CompileKernel(src, c, LayoutKind::kKrx);
+    KRX_CHECK(k.ok());
+    std::printf("  %-4s overhead %7.2f%%   text size +%5.1f%%   checks %llu (coalesced %llu)\n",
+                l.name, 100.0 * (static_cast<double>(TotalCycles(*k)) - base) / base,
+                100.0 * (static_cast<double>(TextSize(*k)) - base_text) / base_text,
+                static_cast<unsigned long long>(k->stats.sfi.checks_emitted),
+                static_cast<unsigned long long>(k->stats.sfi.checks_coalesced));
+  }
+
+  std::printf("\n[2] entropy parameter k: padding vs. runtime (diversify-only builds)\n");
+  for (int kbits : {0, 10, 20, 30, 40, 50}) {
+    ProtectionConfig c = ProtectionConfig::DiversifyOnly(RaScheme::kNone, seed);
+    c.entropy_bits_k = kbits;
+    auto k = CompileKernel(src, c, LayoutKind::kKrx);
+    KRX_CHECK(k.ok());
+    std::printf("  k=%-3d phantom blocks %5llu   text size +%5.1f%%   runtime +%5.2f%%\n", kbits,
+                static_cast<unsigned long long>(k->stats.kaslr.phantom_blocks),
+                100.0 * (static_cast<double>(TextSize(*k)) - base_text) / base_text,
+                100.0 * (static_cast<double>(TotalCycles(*k)) - base) / base);
+  }
+
+  std::printf("\n[3] %%rsp-read exemption (the .krx_phantom guard trade, §5.1.2)\n");
+  {
+    auto k = CompileKernel(src, ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx);
+    KRX_CHECK(k.ok());
+    std::printf("  with exemption:  %llu checks, %llu stack reads exempt, guard %llu bytes\n",
+                static_cast<unsigned long long>(k->stats.sfi.checks_emitted),
+                static_cast<unsigned long long>(k->stats.sfi.rsp_reads),
+                static_cast<unsigned long long>(k->stats.phantom_guard_size));
+    std::printf("  (exempt reads would otherwise add ~%llu more checks on the hottest paths)\n",
+                static_cast<unsigned long long>(k->stats.sfi.rsp_reads));
+  }
+
+  std::printf("\n[4] return-address protection head-to-head (SFI flavour vs MPX flavour)\n");
+  for (bool mpx : {false, true}) {
+    for (RaScheme ra : {RaScheme::kDecoy, RaScheme::kEncrypt}) {
+      auto k = CompileKernel(src, ProtectionConfig::Full(mpx, ra, seed), LayoutKind::kKrx);
+      KRX_CHECK(k.ok());
+      std::printf("  %s+%s: %6.2f%%\n", mpx ? "MPX" : "SFI",
+                  ra == RaScheme::kDecoy ? "D" : "X",
+                  100.0 * (static_cast<double>(TotalCycles(*k)) - base) / base);
+    }
+  }
+  std::printf("  (paper §7.2: with SFI the scheme choice favours X on PTS; with MPX it favours "
+              "D — both schemes stay within ~2%% of each other)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace krx
+
+int main() { return krx::Main(); }

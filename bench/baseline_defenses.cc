@@ -1,0 +1,111 @@
+// Baseline-defense comparison (paper §2): XnR and HideM hide kernel code
+// from direct reads, but only kR^X (leakage-resilient diversification +
+// R^X) stops *indirect* JIT-ROP. One row per defense, one column per
+// attack — the executable version of the paper's related-work narrative.
+#include <cstdio>
+
+#include <functional>
+
+#include "src/attack/experiments.h"
+#include "src/kernel/baseline_defenses.h"
+#include "src/workload/harness.h"
+
+namespace krx {
+namespace {
+
+struct RowResult {
+  const char* name;
+  bool direct_jitrop;
+  bool direct_killed;
+  double indirect_rate;
+  const char* note;
+};
+
+// Each attack gets a freshly built kernel: destructive-read defenses leave
+// the previous attack's scars behind otherwise.
+RowResult Evaluate(const char* name, const std::function<CompiledKernel()>& build,
+                   const char* note) {
+  RowResult row{name, false, false, 0.0, note};
+  {
+    CompiledKernel kernel = build();
+    ExploitLab lab(&kernel);
+    AttackOutcome out = DirectJitRopAttack(lab);
+    row.direct_jitrop = out.success;
+    row.direct_killed = out.kernel_killed;
+  }
+  {
+    CompiledKernel kernel = build();
+    ExploitLab lab(&kernel);
+    IndirectJitRopResult r = IndirectJitRopAttack(lab, 2, 128, 99);
+    row.indirect_rate = r.success_rate;
+  }
+  return row;
+}
+
+int Main() {
+  std::printf("kR^X reproduction — baseline execute-only defenses vs. JIT-ROP (paper §2)\n\n");
+  const uint64_t seed = 0x2BA5E;
+  KernelSource src = MakeBenchSource(seed);
+
+  auto plain = [&src] {
+    auto k = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+    KRX_CHECK(k.ok());
+    return std::move(*k);
+  };
+  std::vector<RowResult> rows;
+  rows.push_back(Evaluate("no defense", plain, "code readable, addresses static"));
+  rows.push_back(Evaluate(
+      "XnR [11]",
+      [&plain] {
+        CompiledKernel k = plain();
+        EnableXnr(*k.image, 4);
+        return k;
+      },
+      "window weakness: the leak path's own (resident) page is readable and carries gadgets"));
+  rows.push_back(Evaluate(
+      "HideM [51]",
+      [&plain] {
+        CompiledKernel k = plain();
+        KRX_CHECK(EnableHidem(*k.image).ok());
+        return k;
+      },
+      "split ITLB/DTLB; reads see poison"));
+  rows.push_back(Evaluate(
+      "Heisenbyte",
+      [&plain] {
+        CompiledKernel k = plain();
+        EnableHeisenbyte(*k.image);
+        return k;
+      },
+      "destructive reads; bypassed by code inference (zombie gadgets in duplicated code)"));
+  rows.push_back(Evaluate(
+      "kR^X (SFI+D)",
+      [&src, seed] {
+        auto k = CompileKernel(src, ProtectionConfig::Full(false, RaScheme::kDecoy, seed),
+                               LayoutKind::kKrx);
+        KRX_CHECK(k.ok());
+        return std::move(*k);
+      },
+      "R^X + fine-grained KASLR + decoys"));
+
+  std::printf("%-14s %-28s %-26s %s\n", "defense", "direct JIT-ROP", "indirect JIT-ROP (n=2)",
+              "mechanism");
+  for (const RowResult& r : rows) {
+    char direct[64], indirect[64];
+    std::snprintf(direct, sizeof(direct), "%s%s", r.direct_jitrop ? "EXPLOITED" : "defeated",
+                  r.direct_killed ? " (halted)" : "");
+    std::snprintf(indirect, sizeof(indirect), "success rate %.3f%s", r.indirect_rate,
+                  r.indirect_rate > 0.9 ? "  EXPLOITED" : "");
+    std::printf("%-14s %-28s %-26s %s\n", r.name, direct, indirect, r.note);
+  }
+  std::printf("\nPaper §2: \"Davi et al. and Conti et al. showed that Oxymoron, XnR, and HideM\n"
+              "can be bypassed using indirect JIT-ROP attacks by merely harvesting code\n"
+              "pointers from (readable) data pages\" — reproduced above; kR^X's return-address\n"
+              "protection closes exactly that channel.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace krx
+
+int main() { return krx::Main(); }

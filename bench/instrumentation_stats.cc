@@ -1,0 +1,54 @@
+// E4 — Reproduces the instrumentation statistics the paper reports inline in
+// §5.1.2: pushfq/popfq elimination (~94% of wrappers removed by O1), lea
+// elimination (~95% of checks take the base+disp form at O2), cmp/ja
+// coalescing (~1 in 2 checks removed by O3), and safe reads (~4% of all
+// memory reads).
+#include <cstdio>
+
+#include "src/workload/harness.h"
+
+namespace krx {
+namespace {
+
+SfiStats StatsFor(const KernelSource& src, SfiLevel level, bool mpx) {
+  ProtectionConfig config;
+  config.sfi = level;
+  config.mpx = mpx;
+  auto kernel = CompileKernel(src, config, LayoutKind::kKrx);
+  KRX_CHECK(kernel.ok());
+  return kernel->stats.sfi;
+}
+
+int Main() {
+  std::printf("kR^X reproduction — static instrumentation statistics (paper §5.1.2)\n\n");
+  KernelSource src = MakeBenchSource(0x57A7);
+
+  SfiStats o1 = StatsFor(src, SfiLevel::kO1, false);
+  SfiStats o2 = StatsFor(src, SfiLevel::kO2, false);
+  SfiStats o3 = StatsFor(src, SfiLevel::kO3, false);
+
+  std::printf("memory-read sites considered: %llu\n",
+              static_cast<unsigned long long>(o3.read_sites));
+  std::printf("  safe reads (rip-relative/absolute):    %5.1f%%  (paper: ~4%%)\n",
+              o3.SafeReadRate());
+  std::printf("  plain %%rsp reads (guard-covered):      %5llu  (max disp %lld, guard must "
+              "exceed it)\n",
+              static_cast<unsigned long long>(o3.rsp_reads),
+              static_cast<long long>(o3.max_rsp_disp));
+  std::printf("\nO1  pushfq/popfq pairs eliminated:       %5.1f%%  (paper: up to 94%%)\n",
+              o1.WrapperEliminationRate());
+  std::printf("O2  lea instructions eliminated:         %5.1f%%  (paper: ~95%%)\n",
+              o2.LeaEliminationRate());
+  std::printf("O3  range checks coalesced away:         %5.1f%%  (paper: ~1 of every 2)\n",
+              o3.CoalescingRate());
+  std::printf("\nchecks materialized at O3: %llu (+ %llu string checks placed %s)\n",
+              static_cast<unsigned long long>(o3.checks_emitted),
+              static_cast<unsigned long long>(o3.string_checks),
+              "after rep-prefixed ops");
+  return 0;
+}
+
+}  // namespace
+}  // namespace krx
+
+int main() { return krx::Main(); }

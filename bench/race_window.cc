@@ -1,0 +1,99 @@
+// §5.3 "Race Hazards", quantified: both return-address schemes obfuscate
+// the address *after* it has been pushed in cleartext, leaving a window of
+// 1-3 instructions per call during which an infinitely fast attacker
+// probing the stack could observe a real return address. This bench plays
+// that attacker: after *every* retired instruction it scans the live stack
+// for cleartext return sites and reports the exposure.
+#include <cstdio>
+#include <inttypes.h>
+
+#include <set>
+
+#include "src/attack/experiments.h"
+#include "src/workload/harness.h"
+
+namespace krx {
+namespace {
+
+struct Window {
+  uint64_t exposed_steps = 0;
+  uint64_t total_steps = 0;
+  uint64_t longest_exposure = 0;
+
+  double ExposedPercent() const {
+    return total_steps == 0 ? 0
+                            : 100.0 * static_cast<double>(exposed_steps) /
+                                  static_cast<double>(total_steps);
+  }
+};
+
+Window MeasureExposure(CompiledKernel& kernel) {
+  ExploitLab lab(&kernel);
+  std::vector<uint64_t> sites_vec = lab.CollectReturnSites();
+  std::set<uint64_t> sites(sites_vec.begin(), sites_vec.end());
+
+  Cpu cpu(kernel.image.get());
+  Window w;
+  uint64_t streak = 0;
+  cpu.set_step_observer([&](const Cpu& c) {
+    ++w.total_steps;
+    bool exposed = false;
+    uint64_t rsp = c.reg(Reg::kRsp);
+    // The attacker probes the active stack (bounded scan).
+    for (uint64_t a = rsp; a + 8 <= c.stack_top() && a < rsp + 512; a += 8) {
+      auto v = kernel.image->Peek64(a);
+      if (v.ok() && sites.count(*v) > 0) {
+        exposed = true;
+        break;
+      }
+    }
+    if (exposed) {
+      ++w.exposed_steps;
+      ++streak;
+      if (streak > w.longest_exposure) {
+        w.longest_exposure = streak;
+      }
+    } else {
+      streak = 0;
+    }
+  });
+  RunResult r = cpu.CallFunction("sys_deep_call", {0});
+  KRX_CHECK(r.reason == StopReason::kReturned);
+  return w;
+}
+
+int Main() {
+  std::printf("kR^X reproduction — §5.3 race-hazard window (cleartext return addresses on the\n"
+              "live stack, probed after every retired instruction of a 10-deep call chain)\n\n");
+  const uint64_t seed = 0x7ACE;
+  KernelSource src = MakeBenchSource(seed);
+
+  struct Row {
+    const char* name;
+    ProtectionConfig config;
+  };
+  const Row rows[] = {
+      {"no RA protection", ProtectionConfig::DiversifyOnly(RaScheme::kNone, seed)},
+      {"encryption (X)", ProtectionConfig::DiversifyOnly(RaScheme::kEncrypt, seed)},
+      {"decoys (D)", ProtectionConfig::DiversifyOnly(RaScheme::kDecoy, seed)},
+  };
+  std::printf("%-18s %14s %14s %18s\n", "scheme", "steps exposed", "total steps",
+              "longest window");
+  for (const Row& row : rows) {
+    auto kernel = CompileKernel(src, row.config, LayoutKind::kKrx);
+    KRX_CHECK(kernel.ok());
+    Window w = MeasureExposure(*kernel);
+    std::printf("%-18s %8" PRIu64 " (%4.1f%%) %14" PRIu64 " %12" PRIu64 " insts\n", row.name,
+                w.exposed_steps, w.ExposedPercent(), w.total_steps, w.longest_exposure);
+  }
+  std::printf("\nUnder X the exposure is the 1-3 instruction prologue/epilogue window the\n"
+              "paper describes (\"surgically time the execution of 1-3 kR^X instructions\");\n"
+              "under D a cleartext return address is always on the stack, but it is pinned\n"
+              "to a tripwire twin — exposure alone no longer identifies it (Psucc = 1/2^n).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace krx
+
+int main() { return krx::Main(); }

@@ -1,0 +1,165 @@
+// E6/E7/E8 — Reproduces §7.3 ("Security"): direct ROP, direct JIT-ROP and
+// indirect JIT-ROP against vanilla / partially protected / fully protected
+// kernels, plus the layout-diff verification the paper performs.
+#include <cmath>
+#include <cstdio>
+
+#include "src/attack/experiments.h"
+#include "src/workload/harness.h"
+
+namespace krx {
+namespace {
+
+Result<CompiledKernel> Build(const KernelSource& src, ProtectionConfig config,
+                             LayoutKind layout) {
+  return CompileKernel(src, config, layout);
+}
+
+void Report(const char* label, const AttackOutcome& out, bool expect_success) {
+  std::printf("  %-52s %s%s  [%s]\n", label,
+              out.success ? "EXPLOITED" : "DEFEATED",
+              out.kernel_killed ? " (kernel halted)" : "",
+              out.success == expect_success ? "as the paper reports" : "UNEXPECTED");
+  std::printf("      %s (leaks: %llu)\n", out.detail.c_str(),
+              static_cast<unsigned long long>(out.leaks));
+}
+
+int Main() {
+  const uint64_t seed = 0x5EC;
+  std::printf("kR^X reproduction — security evaluation (paper §7.3)\n\n");
+
+  KernelSource src = MakeBenchSource(seed);
+  auto vanilla = Build(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  auto kaslr_only = Build(src, ProtectionConfig::DiversifyOnly(RaScheme::kNone, seed),
+                          LayoutKind::kKrx);
+  auto full_x = Build(src, ProtectionConfig::Full(false, RaScheme::kEncrypt, seed),
+                      LayoutKind::kKrx);
+  auto full_d = Build(src, ProtectionConfig::Full(false, RaScheme::kDecoy, seed),
+                      LayoutKind::kKrx);
+  if (!vanilla.ok() || !kaslr_only.ok() || !full_x.ok() || !full_d.ok()) {
+    std::fprintf(stderr, "build failed\n");
+    return 1;
+  }
+
+  // ---- Layout diffing (paper: "no function remained at its original
+  // location ... no gadget remained at its original location"). ----
+  {
+    std::printf("[diversification diff]\n");
+    size_t moved = 0, total = 0;
+    const SymbolTable& vs = vanilla->image->symbols();
+    const SymbolTable& ds = full_x->image->symbols();
+    const PlacedSection* vt = vanilla->image->FindSection(".text");
+    const PlacedSection* dt = full_x->image->FindSection(".text");
+    for (size_t i = 0; i < vs.size(); ++i) {
+      const Symbol& s = vs.at(static_cast<int32_t>(i));
+      if (!s.defined || s.kind != SymbolKind::kFunction) {
+        continue;
+      }
+      int32_t j = ds.Find(s.name);
+      if (j < 0) {
+        continue;
+      }
+      ++total;
+      uint64_t voff = s.address - vt->vaddr;
+      uint64_t doff = ds.at(j).address - dt->vaddr;
+      if (voff != doff) {
+        ++moved;
+      }
+    }
+    std::printf("  functions relocated within .text: %zu / %zu\n\n", moved, total);
+  }
+
+  // ---- E0: the pre-kR^X baseline — ret2usr vs. SMEP (§1-§3). ----
+  std::printf("[E0: ret2usr baseline (why attackers moved to code reuse)]\n");
+  {
+    ExploitLab target(&*vanilla);
+    Report("ret2usr, no SMEP (legacy kernel)", Ret2UsrAttack(target, false), true);
+  }
+  {
+    ExploitLab target(&*vanilla);
+    Report("ret2usr, SMEP enabled (hardening assumption)", Ret2UsrAttack(target, true), false);
+  }
+  std::printf("\n");
+
+  // ---- E6: direct ROP with precomputed addresses. ----
+  std::printf("[E6: direct ROP (precomputed gadget addresses, CVE-2013-2094 style)]\n");
+  {
+    ExploitLab ref(&*vanilla), self(&*vanilla);
+    Report("vanilla -> vanilla (exploit sanity check)", DirectRopAttack(ref, self), true);
+  }
+  {
+    ExploitLab ref(&*vanilla), target(&*full_x);
+    Report("vanilla addresses -> kR^X kernel", DirectRopAttack(ref, target), false);
+  }
+
+  // ---- E6b: coarse KASLR vs fine-grained KASLR (§1-§2). ----
+  std::printf("\n[E6b: why coarse KASLR is not enough (one leaked pointer => slide)]\n");
+  {
+    ProtectionConfig coarse;
+    coarse.coarse_kaslr = true;
+    coarse.seed = seed;
+    auto coarse_kernel = Build(src, coarse, LayoutKind::kVanilla);
+    if (coarse_kernel.ok()) {
+      ExploitLab ref(&*vanilla), target(&*coarse_kernel);
+      Report("coarse KASLR (image slide only)", KaslrSlideBypassAttack(ref, target), true);
+    }
+  }
+  {
+    ExploitLab ref(&*vanilla), target(&*full_x);
+    Report("fine-grained KASLR (kR^X)", KaslrSlideBypassAttack(ref, target), false);
+  }
+
+  // ---- E7: direct JIT-ROP through the retrofitted debugfs leak. ----
+  std::printf("\n[E7: direct JIT-ROP (arbitrary-read primitive, on-the-fly payload)]\n");
+  {
+    ExploitLab target(&*kaslr_only);
+    Report("fine-grained KASLR only (R^X disabled)", DirectJitRopAttack(target), true);
+  }
+  {
+    ExploitLab target(&*full_x);
+    Report("full kR^X (R^X + fine-grained KASLR)", DirectJitRopAttack(target), false);
+  }
+
+  // ---- E9: the residual surface the paper admits (§7.3 closing). ----
+  std::printf("\n[E9: data-only function-pointer attack (the surface kR^X leaves, §7.3)]\n");
+  {
+    ExploitLab target(&*full_x);
+    Report("whole-function reuse via corrupted notifier_hook",
+           DataOnlyFunctionPointerAttack(target), true);
+    std::printf("  (the paper: kR^X \"effectively restricts the attacker to data-only type\n"
+                "   of attacks on function pointers\" — arity-compatible whole functions.)\n");
+  }
+
+  // ---- E8: indirect JIT-ROP: harvesting return addresses from stacks. ----
+  std::printf("\n[E8: indirect JIT-ROP (return-address harvesting), 256 trials each]\n");
+  {
+    ExploitLab target(&*kaslr_only);
+    IndirectJitRopResult r = IndirectJitRopAttack(target, 2, 256, seed);
+    std::printf("  no RA protection: success rate %.3f (expected 1.0) — %s\n", r.success_rate,
+                r.outcome.detail.c_str());
+  }
+  {
+    ExploitLab target(&*full_x);
+    IndirectJitRopResult r = IndirectJitRopAttack(target, 2, 256, seed);
+    std::printf("  encryption (X):   success rate %.3f (expected 0.0) — %s\n", r.success_rate,
+                r.outcome.detail.c_str());
+  }
+  {
+    ExploitLab target(&*full_d);
+    std::printf("  decoys (D): Psucc = 1/2^n per the paper —\n");
+    for (int n = 1; n <= 6; ++n) {
+      IndirectJitRopResult r = IndirectJitRopAttack(target, n, 512, seed + n);
+      std::printf("    n=%d gadgets: measured %.3f, expected %.3f (pairs harvested: %llu)\n", n,
+                  r.success_rate, std::pow(0.5, n),
+                  static_cast<unsigned long long>(r.pairs_harvested));
+    }
+    std::printf("  decoy tripwire raises #BP when stepped on: %s\n",
+                DecoyTripwireFires(target) ? "yes" : "NO (unexpected)");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace krx
+
+int main() { return krx::Main(); }

@@ -1,0 +1,91 @@
+// Google-benchmark microbenchmarks of the reproduction's own substrate:
+// interpreter dispatch, instruction encode/decode, pass throughput, gadget
+// scanning, and full kernel compilation. These track the performance of the
+// simulator itself (not the paper's numbers).
+#include <benchmark/benchmark.h>
+
+#include "src/attack/gadget_scanner.h"
+#include "src/isa/encoding.h"
+#include "src/workload/corpus.h"
+#include "src/workload/fig2.h"
+#include "src/workload/harness.h"
+
+namespace krx {
+namespace {
+
+void BM_EncodeDecode(benchmark::State& state) {
+  Instruction inst = Instruction::Load(Reg::kRcx, MemOperand::Base(Reg::kRsi, 0x140));
+  std::vector<uint8_t> bytes;
+  for (auto _ : state) {
+    bytes.clear();
+    EncodeInstruction(inst, bytes);
+    auto dec = DecodeInstruction(bytes.data(), bytes.size(), 0);
+    benchmark::DoNotOptimize(dec);
+  }
+}
+BENCHMARK(BM_EncodeDecode);
+
+void BM_SfiPass(benchmark::State& state) {
+  const SfiLevel level = static_cast<SfiLevel>(state.range(0));
+  for (auto _ : state) {
+    Function fn = MakeFig2Function();
+    SymbolTable symbols;
+    int32_t handler = symbols.Intern(kKrxHandlerName);
+    ProtectionConfig config;
+    config.sfi = level;
+    SfiStats stats;
+    benchmark::DoNotOptimize(ApplySfiPass(fn, config, handler, 0x7FFF0000, &stats));
+  }
+}
+BENCHMARK(BM_SfiPass)->DenseRange(1, 4);  // kO0 .. kO3
+
+void BM_CompileKernel(benchmark::State& state) {
+  KernelSource src = MakeBenchSource(1);
+  for (auto _ : state) {
+    auto kernel = CompileKernel(src, ProtectionConfig::Full(false, RaScheme::kEncrypt, 1),
+                                LayoutKind::kKrx);
+    benchmark::DoNotOptimize(kernel);
+  }
+}
+BENCHMARK(BM_CompileKernel)->Unit(benchmark::kMillisecond);
+
+void BM_Interpreter(benchmark::State& state) {
+  KernelSource src = MakeBenchSource(1);
+  auto kernel = CompileKernel(std::move(src), ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  KRX_CHECK(kernel.ok());
+  Cpu cpu(kernel->image.get());
+  auto buf = SetUpOpBuffer(*kernel->image, 1);
+  KRX_CHECK(buf.ok());
+  auto entry = kernel->image->symbols().AddressOf("sys_open_close");
+  KRX_CHECK(entry.ok());
+  uint64_t insts = 0;
+  for (auto _ : state) {
+    RunResult r = cpu.CallFunction(*entry, {*buf});
+    insts += r.instructions;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["sim_insts/s"] =
+      benchmark::Counter(static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Interpreter);
+
+void BM_GadgetScan(benchmark::State& state) {
+  KernelSource src = MakeBenchSource(1);
+  auto kernel = CompileKernel(std::move(src), ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  KRX_CHECK(kernel.ok());
+  const PlacedSection* text = kernel->image->FindSection(".text");
+  std::vector<uint8_t> bytes(text->size);
+  KRX_CHECK(kernel->image->PeekBytes(text->vaddr, bytes.data(), bytes.size()).ok());
+  GadgetScanner scanner;
+  for (auto _ : state) {
+    auto gadgets = scanner.Scan(bytes.data(), bytes.size(), text->vaddr);
+    benchmark::DoNotOptimize(gadgets);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * bytes.size()));
+}
+BENCHMARK(BM_GadgetScan);
+
+}  // namespace
+}  // namespace krx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// E1 — Reproduces Table 1: LMBench latency/bandwidth overhead (% over the
+// vanilla kernel) for every kR^X protection column.
+#include <cstdio>
+#include <cstring>
+
+#include "src/workload/harness.h"
+
+namespace krx {
+namespace {
+
+int Main() {
+  std::printf("kR^X reproduction — Table 1 (LMBench micro-benchmark overhead, %% over vanilla)\n");
+  std::printf("paper values in parentheses; '~0' printed for |x| < 0.05\n\n");
+
+  auto matrix = RunTable1(/*seed=*/0x6b5258);
+  if (!matrix.ok()) {
+    std::fprintf(stderr, "harness failed: %s\n", matrix.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto& rows = LmbenchRows();
+  std::printf("%-22s", "Benchmark");
+  for (const auto& col : matrix->column_names) {
+    std::printf(" %17s", col.c_str());
+  }
+  std::printf("\n");
+
+  auto cell = [](double measured, double paper) {
+    char buf[40];
+    char m[16], p[16];
+    if (measured < 0.05 && measured > -0.05) {
+      std::snprintf(m, sizeof(m), "~0");
+    } else {
+      std::snprintf(m, sizeof(m), "%.2f", measured);
+    }
+    if (paper < 0.05 && paper > -0.05) {
+      std::snprintf(p, sizeof(p), "~0");
+    } else {
+      std::snprintf(p, sizeof(p), "%.2f", paper);
+    }
+    std::snprintf(buf, sizeof(buf), "%s (%s)", m, p);
+    std::printf(" %17s", buf);
+  };
+
+  bool bandwidth_header = false;
+  for (size_t i = 0; i < matrix->row_names.size(); ++i) {
+    if (!bandwidth_header && rows[i].bandwidth) {
+      std::printf("---- bandwidth ----\n");
+      bandwidth_header = true;
+    } else if (i == 0) {
+      std::printf("---- latency ----\n");
+    }
+    std::printf("%-22s", matrix->row_names[i].c_str());
+    for (size_t c = 0; c < matrix->column_names.size(); ++c) {
+      cell(matrix->percent[i][c], rows[i].paper[c]);
+    }
+    std::printf("\n");
+  }
+
+  // Column averages (measured vs. paper), mirroring §7.2's summary numbers.
+  std::printf("\n%-22s", "Average");
+  for (size_t c = 0; c < matrix->column_names.size(); ++c) {
+    double m = 0, p = 0;
+    for (size_t i = 0; i < matrix->row_names.size(); ++i) {
+      m += matrix->percent[i][c];
+      p += rows[i].paper[c];
+    }
+    m /= static_cast<double>(matrix->row_names.size());
+    p /= static_cast<double>(matrix->row_names.size());
+    cell(m, p);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace krx
+
+int main() { return krx::Main(); }

@@ -1,0 +1,83 @@
+// Overhead of the kR^X protection columns on *real* kernel code paths: the
+// mini-VFS syscalls (path walk over the dentry tree, fd bitmap scans,
+// stat-struct copies, page-cache rep-copies). A hand-written complement to
+// the profile-generated Table 1 rows: the same mechanisms, measured on code
+// that actually does something.
+#include <cstdio>
+
+#include "src/base/math_util.h"
+#include "src/cpu/cpu.h"
+#include "src/workload/corpus.h"
+#include "src/workload/harness.h"
+#include "src/workload/vfs.h"
+
+namespace krx {
+namespace {
+
+struct OpCycles {
+  double open = 0;
+  double read = 0;
+  double fstat = 0;
+  double close = 0;
+};
+
+OpCycles Measure(CompiledKernel& kernel) {
+  CpuOptions opts;
+  opts.mpx_enabled = kernel.config.mpx;
+  Cpu cpu(kernel.image.get(), CostModel(), opts);
+  auto buf = kernel.image->AllocDataPages(1);
+  KRX_CHECK(buf.ok());
+
+  OpCycles out;
+  const char* paths[] = {"etc/passwd", "usr/bin/sh", "var/log/dmesg", "etc/hosts"};
+  for (const char* path : paths) {
+    VfsPathHashes h = HashPath(path);
+    RunResult open = cpu.CallFunction("vfs_open", {h.h1, h.h2, h.h3});
+    KRX_CHECK(open.reason == StopReason::kReturned && open.rax != ~0ULL);
+    uint64_t fd = open.rax;
+    RunResult read = cpu.CallFunction("vfs_read", {fd, *buf, 4});
+    RunResult fstat = cpu.CallFunction("vfs_fstat", {fd, *buf});
+    RunResult close = cpu.CallFunction("vfs_close", {fd});
+    KRX_CHECK(read.reason == StopReason::kReturned);
+    KRX_CHECK(fstat.reason == StopReason::kReturned);
+    KRX_CHECK(close.reason == StopReason::kReturned);
+    out.open += open.cycles();
+    out.read += read.cycles();
+    out.fstat += fstat.cycles();
+    out.close += close.cycles();
+  }
+  return out;
+}
+
+int Main() {
+  std::printf("kR^X reproduction — mini-VFS syscall overhead (%% over vanilla)\n");
+  std::printf("real code paths: dentry-tree walk, fd bitmap, inode copy, page-cache copy\n\n");
+  const uint64_t seed = 0xF5;
+  KernelSource src = MakeBaseSource();
+  AddVfs(&src, DefaultVfsImage());
+
+  auto vanilla = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  KRX_CHECK(vanilla.ok());
+  OpCycles base = Measure(*vanilla);
+  std::printf("vanilla cycles: open %.0f  read %.0f  fstat %.0f  close %.0f\n\n", base.open,
+              base.read, base.fstat, base.close);
+
+  std::printf("%-9s %10s %10s %10s %10s\n", "column", "open()", "read()", "fstat()", "close()");
+  for (const Column& col : Table1Columns(seed)) {
+    auto kernel = CompileKernel(src, col.config, col.layout);
+    KRX_CHECK(kernel.ok());
+    OpCycles v = Measure(*kernel);
+    std::printf("%-9s %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n", col.name.c_str(),
+                OverheadPercent(base.open, v.open), OverheadPercent(base.read, v.read),
+                OverheadPercent(base.fstat, v.fstat), OverheadPercent(base.close, v.close));
+  }
+  std::printf("\nExpected shape: open() (pointer-chasing path walk + calls) is the most\n"
+              "expensive; read() is string-copy dominated and nearly free; fstat()'s\n"
+              "same-base struct copy coalesces at O3; close()'s bitmap loop is ALU-bound.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace krx
+
+int main() { return krx::Main(); }

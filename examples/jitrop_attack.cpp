@@ -1,0 +1,86 @@
+// The full §7.3 attack narrative, one defense layer at a time:
+//   1. vanilla kernel           -> direct ROP with precomputed addresses
+//   2. + fine-grained KASLR     -> precomputed ROP dies; JIT-ROP still wins
+//   3. + R^X (full kR^X)        -> JIT-ROP dies on the first code-page read
+//
+//   $ ./examples/jitrop_attack
+#include <cstdio>
+
+#include "src/attack/experiments.h"
+#include "src/workload/harness.h"
+
+using namespace krx;
+
+namespace {
+
+void Banner(const char* title) { std::printf("\n==== %s ====\n", title); }
+
+void Verdict(const AttackOutcome& out) {
+  std::printf("  -> %s%s\n     %s (leaks used: %llu)\n",
+              out.success ? "PRIVILEGES ESCALATED" : "attack defeated",
+              out.kernel_killed ? " [machine halted by kR^X]" : "", out.detail.c_str(),
+              static_cast<unsigned long long>(out.leaks));
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t seed = 0xC4FE;
+  KernelSource src = MakeBenchSource(seed);
+
+  auto vanilla = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  auto kaslr = CompileKernel(src, ProtectionConfig::DiversifyOnly(RaScheme::kNone, seed),
+                             LayoutKind::kKrx);
+  auto krx = CompileKernel(src, ProtectionConfig::Full(false, RaScheme::kDecoy, seed),
+                           LayoutKind::kKrx);
+  if (!vanilla.ok() || !kaslr.ok() || !krx.ok()) {
+    std::fprintf(stderr, "build failed\n");
+    return 1;
+  }
+
+  Banner("stage 1: vanilla kernel vs. precomputed ROP (CVE-2013-2094 style)");
+  std::printf("  attacker disassembles the distribution vmlinux offline, picks\n"
+              "  'pop %%rdi; ret' + commit_creds, and replays the chain.\n");
+  {
+    ExploitLab ref(&*vanilla), target(&*vanilla);
+    Verdict(DirectRopAttack(ref, target));
+  }
+
+  Banner("stage 2: fine-grained KASLR vs. the same precomputed chain");
+  std::printf("  function + code-block permutation moved every gadget.\n");
+  {
+    ExploitLab ref(&*vanilla), target(&*kaslr);
+    Verdict(DirectRopAttack(ref, target));
+  }
+
+  Banner("stage 3: fine-grained KASLR vs. JIT-ROP (arbitrary read, no R^X)");
+  std::printf("  the attacker reads code pages through the debugfs bug,\n"
+              "  disassembles them on the fly, and rebuilds the payload.\n");
+  {
+    ExploitLab target(&*kaslr);
+    Verdict(DirectJitRopAttack(target));
+  }
+
+  Banner("stage 4: full kR^X vs. JIT-ROP");
+  std::printf("  same attack — but now the first read of execute-only memory\n"
+              "  trips a range check and control diverts to krx_handler.\n");
+  {
+    ExploitLab target(&*krx);
+    Verdict(DirectJitRopAttack(target));
+  }
+
+  Banner("stage 5: full kR^X vs. indirect JIT-ROP (stack harvesting)");
+  std::printf("  the attacker harvests return addresses from the kernel stack\n"
+              "  instead of reading code; decoys force guessing (Psucc = 1/2^n).\n");
+  {
+    ExploitLab target(&*krx);
+    for (int n : {1, 2, 4}) {
+      IndirectJitRopResult r = IndirectJitRopAttack(target, n, 256, seed + n);
+      std::printf("  n=%d call-preceded gadgets: success rate %.3f (expected %.3f)\n", n,
+                  r.success_rate, 1.0 / (1 << n));
+    }
+    std::printf("  stepping on a decoy: %s\n",
+                DecoyTripwireFires(target) ? "int3 tripwire fired (#BP)" : "no trap (?)");
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: build a kR^X-hardened kernel from IR, inspect the kR^X-KAS
+// layout (paper Figure 1(b)), run a syscall, and watch the R^X enforcement
+// stop a code read.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+#include <inttypes.h>
+
+#include "src/attack/disclosure.h"
+#include "src/kernel/allocator.h"
+#include "src/cpu/cpu.h"
+#include "src/ir/builder.h"
+#include "src/plugin/pipeline.h"
+#include "src/workload/corpus.h"
+
+using namespace krx;
+
+int main() {
+  // 1. A kernel "source tree": the shared corpus plus one custom syscall.
+  KernelSource source = MakeBaseSource();
+  {
+    FunctionBuilder b("sys_hello");
+    b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 0)));  // range-checked
+    b.Emit(Instruction::AddRI(Reg::kRax, 1));
+    b.Emit(Instruction::Ret());
+    source.functions.push_back(b.Build());
+    source.symbols.Intern("sys_hello");
+  }
+
+  // 2. Compile with full kR^X protection: SFI range checks (O3),
+  //    fine-grained KASLR, return-address encryption, kR^X-KAS layout.
+  auto kernel = CompileKernel(std::move(source),
+                              ProtectionConfig::Full(/*with_mpx=*/false, RaScheme::kEncrypt,
+                                                     /*seed_value=*/2024),
+                              LayoutKind::kKrx);
+  if (!kernel.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n", kernel.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. The kR^X-KAS layout (Figure 1(b)): disjoint data and code regions.
+  std::printf("kR^X-KAS layout (code | data split at _krx_edata):\n");
+  std::printf("  %-14s %-18s %-10s\n", "section", "address", "size");
+  for (const PlacedSection& s : kernel->image->sections()) {
+    std::printf("  %-14s 0x%016" PRIx64 " %8" PRIu64 "  [%s]\n", s.name.c_str(), s.vaddr,
+                s.size, s.vaddr >= kernel->image->krx_edata() ? "code region" : "data region");
+  }
+  std::printf("  _krx_edata = 0x%016" PRIx64 "\n\n", kernel->image->krx_edata());
+  std::printf("instrumentation: %" PRIu64 " range checks (%" PRIu64 " coalesced away), "
+              "%" PRIu64 " xkeys, %" PRIu64 " phantom blocks\n\n",
+              kernel->stats.sfi.checks_emitted, kernel->stats.sfi.checks_coalesced,
+              kernel->stats.xkeys, kernel->stats.kaslr.phantom_blocks);
+
+  // 4. Boot a CPU, kmalloc a kernel object, and make a "syscall".
+  Cpu cpu(kernel->image.get());
+  SlabAllocator slab(kernel->image.get());
+  auto heap = slab.Kmalloc(64);
+  KRX_CHECK(heap.ok());
+  KRX_CHECK(kernel->image->Poke64(*heap, 41).ok());
+  RunResult r = cpu.CallFunction("sys_hello", {*heap});
+  std::printf("sys_hello(&41) -> %" PRIu64 " in %.1f cycles (%" PRIu64 " instructions)\n\n",
+              r.rax, r.cycles(), r.instructions);
+
+  // 5. Exploit attempt: leak kernel code through the retrofitted
+  //    arbitrary-read bug. The read's range check fires and the machine
+  //    halts in krx_handler.
+  DisclosureOracle oracle(&cpu);
+  const PlacedSection* text = kernel->image->FindSection(".text");
+  std::printf("attacker: leaking a data address ... ");
+  auto ok_leak = oracle.Leak(*heap);
+  std::printf("%s\n", ok_leak.ok() ? "leaked (data is readable)" : "failed");
+  std::printf("attacker: leaking kernel .text ...   ");
+  auto bad_leak = oracle.Leak(text->vaddr);
+  std::printf("%s\n", bad_leak.ok() ? "LEAKED (defense failed!)"
+                                    : bad_leak.status().ToString().c_str());
+  std::printf("kernel killed by kR^X: %s\n", oracle.kernel_killed() ? "yes" : "no");
+  return oracle.kernel_killed() ? 0 : 1;
+}

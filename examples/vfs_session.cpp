@@ -1,0 +1,61 @@
+// A "user session" against the mini-VFS running on a fully protected
+// kernel: open/read/stat/close real files, then watch the same kernel stop
+// an exploit that tries to read its own code — all in one process.
+//
+//   $ ./examples/vfs_session
+#include <cstdio>
+#include <inttypes.h>
+
+#include "src/attack/disclosure.h"
+#include "src/cpu/cpu.h"
+#include "src/workload/corpus.h"
+#include "src/workload/vfs.h"
+
+using namespace krx;
+
+int main() {
+  KernelSource src = MakeBaseSource();
+  AddVfs(&src, DefaultVfsImage());
+  auto kernel = CompileKernel(std::move(src),
+                              ProtectionConfig::Full(false, RaScheme::kDecoy, 0xF11E),
+                              LayoutKind::kKrx);
+  KRX_CHECK(kernel.ok());
+  Cpu cpu(kernel->image.get());
+  auto buf = kernel->image->AllocDataPages(1);
+  KRX_CHECK(buf.ok());
+
+  auto open = [&](const char* path) -> int64_t {
+    VfsPathHashes h = HashPath(path);
+    return static_cast<int64_t>(cpu.CallFunction("vfs_open", {h.h1, h.h2, h.h3}).rax);
+  };
+
+  std::printf("$ cat /etc/passwd\n");
+  int64_t fd = open("etc/passwd");
+  RunResult read = cpu.CallFunction("vfs_read", {static_cast<uint64_t>(fd), *buf, 8});
+  std::vector<uint8_t> bytes(64);
+  KRX_CHECK(kernel->image->PeekBytes(*buf, bytes.data(), bytes.size()).ok());
+  std::printf("%.*s", static_cast<int>(8 * read.rax), reinterpret_cast<char*>(bytes.data()));
+  cpu.CallFunction("vfs_close", {static_cast<uint64_t>(fd)});
+
+  std::printf("\n$ stat /var/log/dmesg\n");
+  fd = open("var/log/dmesg");
+  cpu.CallFunction("vfs_fstat", {static_cast<uint64_t>(fd), *buf});
+  auto size = kernel->image->Peek64(*buf);
+  auto perms = kernel->image->Peek64(*buf + 8);
+  std::printf("  size: %" PRIu64 " bytes, mode: %" PRIo64 "\n", *size, *perms);
+  cpu.CallFunction("vfs_close", {static_cast<uint64_t>(fd)});
+
+  std::printf("\n$ cat /etc/shadow\n");
+  std::printf("  open: %s\n", open("etc/shadow") < 0 ? "No such file" : "?!");
+
+  std::printf("\n$ exploit --leak-kernel-text   (debugfs arbitrary-read bug)\n");
+  DisclosureOracle oracle(&cpu);
+  const PlacedSection* text = kernel->image->FindSection(".text");
+  auto leak = oracle.Leak(text->vaddr);
+  std::printf("  %s\n", leak.ok() ? "leaked (?!)" : leak.status().ToString().c_str());
+  auto count = kernel->image->symbols().AddressOf("krx_violation_count");
+  auto violations = kernel->image->Peek64(*count);
+  std::printf("  dmesg | tail -1: BUG: kR^X violation (count=%" PRIu64 "), system halted\n",
+              *violations);
+  return *violations == 1 ? 0 : 1;
+}

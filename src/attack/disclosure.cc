@@ -1,0 +1,53 @@
+#include "src/attack/disclosure.h"
+
+namespace krx {
+
+DisclosureOracle::DisclosureOracle(Cpu* cpu, std::string leak_symbol) : cpu_(cpu) {
+  auto addr = cpu_->image()->symbols().AddressOf(leak_symbol);
+  KRX_CHECK(addr.ok());
+  leak_entry_ = *addr;
+}
+
+Result<uint64_t> DisclosureOracle::Leak(uint64_t vaddr) {
+  if (kernel_killed_) {
+    return FailedPreconditionError("kernel halted by kR^X; no further interaction possible");
+  }
+  ++leaks_performed_;
+  RunResult r = cpu_->CallFunction(leak_entry_, {vaddr});
+  if (r.krx_violation) {
+    kernel_killed_ = true;
+    return PermissionDeniedError("R^X violation: read of execute-only memory detected");
+  }
+  if (r.xnr_violation) {
+    kernel_killed_ = true;
+    return PermissionDeniedError("XnR: data access to a non-resident code page detected");
+  }
+  switch (r.reason) {
+    case StopReason::kReturned:
+      return r.rax;
+    case StopReason::kException:
+      // An unmapped address (e.g. an unmapped physmap synonym of kernel
+      // code): the kernel oopses on this access but survives in our model.
+      return NotFoundError(std::string("leak faulted: ") + ExceptionKindName(r.exception));
+    default:
+      kernel_killed_ = true;
+      return InternalError("kernel wedged during leak");
+  }
+}
+
+Status DisclosureOracle::LeakBytes(uint64_t vaddr, uint64_t len, std::vector<uint8_t>* out) {
+  out->clear();
+  out->reserve(len);
+  for (uint64_t off = 0; off < len; off += 8) {
+    auto word = Leak(vaddr + off);
+    if (!word.ok()) {
+      return word.status();
+    }
+    for (int i = 0; i < 8 && off + static_cast<uint64_t>(i) < len; ++i) {
+      out->push_back(static_cast<uint8_t>(*word >> (8 * i)));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace krx

@@ -1,0 +1,46 @@
+// Arbitrary kernel-memory disclosure oracle.
+//
+// Models the retrofitted debugfs vulnerability of §7.3 (footnote 11): an
+// unprivileged user can make the kernel dereference an arbitrary
+// kernel-space pointer and return sizeof(unsigned long) bytes. Crucially,
+// the leak executes *kernel* code, so under kR^X the dereference is range
+// checked: leaking from the code region diverts control to krx_handler and
+// the machine halts — which the oracle reports as a killed kernel.
+#ifndef KRX_SRC_ATTACK_DISCLOSURE_H_
+#define KRX_SRC_ATTACK_DISCLOSURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/cpu/cpu.h"
+
+namespace krx {
+
+inline constexpr const char* kLeakSymbolName = "debugfs_leak_read";
+
+class DisclosureOracle {
+ public:
+  DisclosureOracle(Cpu* cpu, std::string leak_symbol = kLeakSymbolName);
+
+  // Leaks 8 bytes at `vaddr` by triggering the vulnerability.
+  Result<uint64_t> Leak(uint64_t vaddr);
+
+  // Convenience: leaks `len` bytes into `out` (stops early if killed).
+  Status LeakBytes(uint64_t vaddr, uint64_t len, std::vector<uint8_t>* out);
+
+  // Once kR^X halts the system the exploit is over.
+  bool kernel_killed() const { return kernel_killed_; }
+  uint64_t leaks_performed() const { return leaks_performed_; }
+
+ private:
+  Cpu* cpu_;
+  uint64_t leak_entry_ = 0;
+  bool kernel_killed_ = false;
+  uint64_t leaks_performed_ = 0;
+};
+
+}  // namespace krx
+
+#endif  // KRX_SRC_ATTACK_DISCLOSURE_H_

@@ -1,0 +1,487 @@
+#include "src/attack/experiments.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "src/base/rng.h"
+#include "src/isa/encoding.h"
+#include "src/kernel/layout.h"
+
+namespace krx {
+namespace {
+
+// Corpus contract (see src/workload/corpus.h): sys_call_table slot 0 holds
+// commit_creds; sys_deep_call leaves a deep stack of frames behind.
+constexpr int kCommitCredsSlot = 0;
+constexpr const char* kDeepSyscallName = "sys_deep_call";
+
+bool InCodeRange(const ExploitLab& lab, uint64_t v) {
+  // Region bases are architectural constants; only the *code layout inside*
+  // is randomized (fine-grained KASLR), so the attacker knows the ranges.
+  // Under kR^X-KAS the code region runs from __START_KERNEL_map to the top
+  // of the address space (modules_text ends exactly at 2^64).
+  (void)lab;
+  return v >= kKrxCodeBase || (v >= kImageBase && v < kImageBase + (512ULL << 20));
+}
+
+}  // namespace
+
+ExploitLab::ExploitLab(CompiledKernel* kernel)
+    : kernel_(kernel),
+      cpu_(kernel->image.get(), CostModel(), CpuOptions{.mpx_enabled = kernel->config.mpx}) {
+  auto buf = image().AllocDataPages(1);
+  KRX_CHECK(buf.ok());
+  payload_buf_ = *buf;
+  ResetCreds();
+}
+
+void ExploitLab::ResetCreds() {
+  auto addr = image().symbols().AddressOf(kCurrentCredName);
+  KRX_CHECK(addr.ok());
+  KRX_CHECK(image().Poke64(*addr, kUnprivilegedCred).ok());
+}
+
+bool ExploitLab::IsRoot() const {
+  auto addr = image().symbols().AddressOf(kCurrentCredName);
+  KRX_CHECK(addr.ok());
+  auto v = image().Peek64(*addr);
+  KRX_CHECK(v.ok());
+  return *v == kRootCred;
+}
+
+RunResult ExploitLab::RunRopChain(const std::vector<uint64_t>& chain, uint64_t max_steps) {
+  KRX_CHECK(!chain.empty());
+  KRX_CHECK(chain.size() * 8 <= kPageSize);
+  for (size_t i = 0; i < chain.size(); ++i) {
+    KRX_CHECK(image().Poke64(payload_buf_ + 8 * i, chain[i]).ok());
+  }
+  // Hijacked control transfer: %rsp pivoted onto the payload; execution
+  // "returns" into the first chain entry.
+  cpu_.set_reg(Reg::kRsp, payload_buf_ + 8);
+  return cpu_.RunAt(chain[0], max_steps);
+}
+
+std::vector<uint8_t> ExploitLab::DumpText() const {
+  const PlacedSection* text = kernel_->image->FindSection(".text");
+  KRX_CHECK(text != nullptr);
+  std::vector<uint8_t> bytes(text->size);
+  KRX_CHECK(kernel_->image->PeekBytes(text->vaddr, bytes.data(), bytes.size()).ok());
+  return bytes;
+}
+
+uint64_t ExploitLab::TextBase() const {
+  const PlacedSection* text = kernel_->image->FindSection(".text");
+  KRX_CHECK(text != nullptr);
+  return text->vaddr;
+}
+
+std::vector<uint64_t> ExploitLab::CollectReturnSites() const {
+  std::vector<uint64_t> sites;
+  const SymbolTable& symbols = kernel_->image->symbols();
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    const Symbol& s = symbols.at(static_cast<int32_t>(i));
+    if (!s.defined || s.kind != SymbolKind::kFunction || s.size == 0) {
+      continue;
+    }
+    std::vector<uint8_t> bytes(s.size);
+    if (!kernel_->image->PeekBytes(s.address, bytes.data(), bytes.size()).ok()) {
+      continue;
+    }
+    size_t pos = 0;
+    while (pos < bytes.size()) {
+      auto dec = DecodeInstruction(bytes.data(), bytes.size(), pos);
+      if (!dec.ok()) {
+        break;
+      }
+      pos += dec->size;
+      if (dec->inst.IsCall()) {
+        sites.push_back(s.address + pos);
+      }
+    }
+  }
+  return sites;
+}
+
+AttackOutcome DirectRopAttack(ExploitLab& reference, ExploitLab& target) {
+  AttackOutcome out;
+
+  // Offline phase: the attacker disassembles the reference (vanilla) image
+  // and precomputes gadget/function addresses.
+  GadgetScanner scanner;
+  std::vector<uint8_t> ref_text = reference.DumpText();
+  std::vector<Gadget> gadgets = scanner.Scan(ref_text.data(), ref_text.size(),
+                                             reference.TextBase());
+  auto pop_rdi = GadgetScanner::FindPopReg(gadgets, Reg::kRdi);
+  auto commit = reference.image().symbols().AddressOf(kCommitCredsName);
+  if (!pop_rdi.has_value() || !commit.ok()) {
+    out.detail = "reference build lacks the required gadgets";
+    return out;
+  }
+
+  // Online phase: replay the precomputed chain against the target.
+  target.ResetCreds();
+  std::vector<uint64_t> chain = {pop_rdi->address, kRootCred, *commit, Cpu::kReturnSentinel};
+  RunResult r = target.RunRopChain(chain);
+  out.success = target.IsRoot();
+  out.detail = out.success ? "current_cred overwritten via precomputed ROP chain"
+                           : std::string("chain derailed: stop=") +
+                                 (r.reason == StopReason::kException
+                                      ? ExceptionKindName(r.exception)
+                                      : "no-escalation");
+  return out;
+}
+
+AttackOutcome DirectJitRopAttack(ExploitLab& target, int max_pages) {
+  AttackOutcome out;
+  DisclosureOracle oracle(&target.cpu());
+  target.ResetCreds();
+
+  auto finish = [&](bool success, std::string detail) {
+    out.success = success;
+    out.kernel_killed = oracle.kernel_killed();
+    out.leaks = oracle.leaks_performed();
+    out.detail = std::move(detail);
+    return out;
+  };
+
+  // Stage 0: read code pointers from the (readable) syscall table.
+  auto table = target.image().symbols().AddressOf(kSyscallTableName);
+  if (!table.ok()) {
+    return finish(false, "no syscall table");
+  }
+  int32_t table_sym = target.image().symbols().Find(kSyscallTableName);
+  uint64_t table_size = target.image().symbols().at(table_sym).size;
+  uint64_t slots = std::max<uint64_t>(table_size / 8, 1);
+  std::vector<uint64_t> entries;
+  for (uint64_t i = 0; i < slots; ++i) {
+    auto v = oracle.Leak(*table + 8 * i);
+    if (!v.ok()) {
+      return finish(false, "kernel killed while reading syscall table");
+    }
+    entries.push_back(*v);
+  }
+  uint64_t commit_entry = entries[kCommitCredsSlot];
+
+  // Stage 1: recursively harvest code pages through the disclosure bug.
+  GadgetScanner scanner;
+  std::vector<uint64_t> queue;
+  std::unordered_set<uint64_t> visited;
+  for (uint64_t e : entries) {
+    if (InCodeRange(target, e)) {
+      queue.push_back(PageFloor(e));
+    }
+  }
+  std::optional<Gadget> pop_rdi;
+  int pages_read = 0;
+  while (!queue.empty() && !pop_rdi.has_value() && pages_read < max_pages) {
+    uint64_t page = queue.back();
+    queue.pop_back();
+    if (!visited.insert(page).second) {
+      continue;
+    }
+    std::vector<uint8_t> bytes;
+    Status s = oracle.LeakBytes(page, kPageSize, &bytes);
+    if (!s.ok()) {
+      if (oracle.kernel_killed()) {
+        return finish(false,
+                      "R^X violation on first code-page read; kernel halted (JIT-ROP foiled)");
+      }
+      continue;  // unmapped page; try others
+    }
+    ++pages_read;
+    std::vector<Gadget> gadgets = scanner.Scan(bytes.data(), bytes.size(), page);
+    if (!pop_rdi.has_value()) {
+      pop_rdi = GadgetScanner::FindPopReg(gadgets, Reg::kRdi);
+    }
+    // Follow direct transfers to discover further code pages (the recursive
+    // step of JIT-ROP).
+    for (size_t off = 0; off < bytes.size(); ++off) {
+      auto dec = DecodeInstruction(bytes.data(), bytes.size(), off);
+      if (!dec.ok()) {
+        continue;
+      }
+      if (dec->inst.op == Opcode::kCallRel || dec->inst.op == Opcode::kJmpRel) {
+        uint64_t dst = page + off + dec->size + static_cast<uint64_t>(dec->inst.imm);
+        if (InCodeRange(target, dst) && visited.count(PageFloor(dst)) == 0) {
+          queue.push_back(PageFloor(dst));
+        }
+      }
+    }
+  }
+  if (!pop_rdi.has_value()) {
+    return finish(false, "gadget harvest exhausted without a pop rdi; ret gadget");
+  }
+
+  // Stage 2: assemble and fire the payload.
+  std::vector<uint64_t> chain = {pop_rdi->address, kRootCred, commit_entry,
+                                 Cpu::kReturnSentinel};
+  target.RunRopChain(chain);
+  return finish(target.IsRoot(), target.IsRoot()
+                                     ? "JIT-ROP harvested gadgets and escalated privileges"
+                                     : "payload ran but escalation failed");
+}
+
+IndirectJitRopResult IndirectJitRopAttack(ExploitLab& target, int n_gadgets, int trials,
+                                          uint64_t seed) {
+  IndirectJitRopResult res;
+  res.trials = trials;
+  Cpu& cpu = target.cpu();
+
+  // Populate the kernel stack with frames, then let them become remnants.
+  auto deep = target.image().symbols().AddressOf(kDeepSyscallName);
+  if (!deep.ok()) {
+    res.outcome.detail = "no deep syscall to populate the stack";
+    return res;
+  }
+  cpu.CallFunction(*deep, {8});
+
+  // Harvest the (readable, physmap-resident) kernel stack.
+  DisclosureOracle oracle(&cpu);
+  std::vector<std::pair<uint64_t, uint64_t>> stack_words;  // (addr, value)
+  for (uint64_t a = cpu.stack_base(); a + 8 <= cpu.stack_top(); a += 8) {
+    auto v = oracle.Leak(a);
+    if (v.ok()) {
+      stack_words.emplace_back(a, *v);
+    } else if (oracle.kernel_killed()) {
+      res.outcome.kernel_killed = true;
+      res.outcome.detail = "kernel killed while reading the stack";
+      return res;
+    }
+  }
+  res.outcome.leaks = oracle.leaks_performed();
+
+  // Ground truth for verdicts (not attacker-visible).
+  std::vector<uint64_t> sites_vec = target.CollectReturnSites();
+  std::set<uint64_t> return_sites(sites_vec.begin(), sites_vec.end());
+
+  // Classify: adjacent code-pointer pairs => decoy scheme; isolated code
+  // pointers => cleartext return addresses.
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  std::vector<uint64_t> singles;
+  for (size_t i = 0; i < stack_words.size(); ++i) {
+    bool cur = InCodeRange(target, stack_words[i].second);
+    bool next = i + 1 < stack_words.size() && InCodeRange(target, stack_words[i + 1].second);
+    if (cur && next) {
+      pairs.emplace_back(stack_words[i].second, stack_words[i + 1].second);
+      ++i;
+    } else if (cur) {
+      singles.push_back(stack_words[i].second);
+    }
+  }
+  res.pairs_harvested = pairs.size();
+
+  if (pairs.empty()) {
+    // No {real, decoy} pairs. Either cleartext return addresses (no RA
+    // protection: attack succeeds outright) or encrypted garbage.
+    int usable = 0;
+    for (uint64_t v : singles) {
+      if (return_sites.count(v) > 0) {
+        ++usable;
+      }
+    }
+    if (usable >= n_gadgets) {
+      res.successes = trials;
+      res.success_rate = 1.0;
+      res.outcome.success = true;
+      res.outcome.detail = "cleartext return addresses harvested; call-preceded gadgets usable";
+    } else {
+      res.outcome.detail = "no usable return addresses on the stack (encryption in effect)";
+    }
+    return res;
+  }
+
+  // Decoy scheme: for each needed gadget the attacker must guess which of
+  // the two adjacent values is the real return site.
+  Rng rng(seed);
+  if (static_cast<int>(pairs.size()) < n_gadgets) {
+    res.outcome.detail = "not enough harvested pairs for the requested chain length";
+    return res;
+  }
+  for (int t = 0; t < trials; ++t) {
+    bool all_real = true;
+    // Pick n distinct pairs for this trial.
+    std::vector<size_t> idx(pairs.size());
+    for (size_t i = 0; i < idx.size(); ++i) {
+      idx[i] = i;
+    }
+    rng.Shuffle(idx);
+    for (int g = 0; g < n_gadgets; ++g) {
+      const auto& pr = pairs[idx[static_cast<size_t>(g)]];
+      uint64_t guess = rng.NextBool(0.5) ? pr.first : pr.second;
+      if (return_sites.count(guess) == 0) {
+        all_real = false;  // stepped on the tripwire
+        break;
+      }
+    }
+    if (all_real) {
+      ++res.successes;
+    }
+  }
+  res.success_rate = static_cast<double>(res.successes) / static_cast<double>(trials);
+  res.outcome.success = res.success_rate > 0.9;
+  res.outcome.detail = "decoy guessing game";
+  return res;
+}
+
+AttackOutcome KaslrSlideBypassAttack(ExploitLab& reference, ExploitLab& target) {
+  AttackOutcome out;
+
+  // Offline: gadget + anchor offsets from the reference build.
+  GadgetScanner scanner;
+  std::vector<uint8_t> ref_text = reference.DumpText();
+  std::vector<Gadget> gadgets = scanner.Scan(ref_text.data(), ref_text.size(),
+                                             reference.TextBase());
+  auto pop_rdi = GadgetScanner::FindPopReg(gadgets, Reg::kRdi);
+  auto ref_commit = reference.image().symbols().AddressOf(kCommitCredsName);
+  if (!pop_rdi.has_value() || !ref_commit.ok()) {
+    out.detail = "reference build lacks the required gadgets";
+    return out;
+  }
+
+  // Online: leak one code pointer (syscall-table slot 0 = commit_creds) and
+  // infer the slide. The table's own slide is found by scanning the .rodata
+  // region for the table signature — modelled here by reading slot 0 at the
+  // target's (slid) table address through the oracle.
+  DisclosureOracle oracle(&target.cpu());
+  auto table = target.image().symbols().AddressOf(kSyscallTableName);
+  if (!table.ok()) {
+    out.detail = "no syscall table";
+    return out;
+  }
+  auto leaked = oracle.Leak(*table);
+  out.leaks = oracle.leaks_performed();
+  if (!leaked.ok()) {
+    out.kernel_killed = oracle.kernel_killed();
+    out.detail = "leak failed";
+    return out;
+  }
+  uint64_t slide = *leaked - *ref_commit;
+
+  target.ResetCreds();
+  std::vector<uint64_t> chain = {pop_rdi->address + slide, kRootCred, *leaked,
+                                 Cpu::kReturnSentinel};
+  RunResult r = target.RunRopChain(chain);
+  out.success = target.IsRoot();
+  out.detail = out.success
+                   ? "slide inferred from one leaked pointer; rebased chain escalated"
+                   : std::string("rebased chain derailed: ") +
+                         (r.reason == StopReason::kException ? ExceptionKindName(r.exception)
+                                                             : "no-escalation");
+  return out;
+}
+
+AttackOutcome DataOnlyFunctionPointerAttack(ExploitLab& target) {
+  AttackOutcome out;
+  target.ResetCreds();
+
+  // Leak commit_creds' entry from the readable syscall table.
+  DisclosureOracle oracle(&target.cpu());
+  auto table = target.image().symbols().AddressOf(kSyscallTableName);
+  auto hook = target.image().symbols().AddressOf("notifier_hook");
+  auto trigger = target.image().symbols().AddressOf("run_notifier");
+  if (!table.ok() || !hook.ok() || !trigger.ok()) {
+    out.detail = "corpus lacks the notifier surface";
+    return out;
+  }
+  auto commit_entry = oracle.Leak(*table);  // slot 0 = commit_creds
+  out.leaks = oracle.leaks_performed();
+  if (!commit_entry.ok()) {
+    out.kernel_killed = oracle.kernel_killed();
+    out.detail = "leak failed";
+    return out;
+  }
+
+  // The corruption primitive from the threat model (§3): overwrite the
+  // writable function pointer. Data pages are attacker-corruptible.
+  KRX_CHECK(target.image().Poke64(*hook, *commit_entry).ok());
+
+  // Trigger the dereference with a chosen argument (a syscall argument).
+  RunResult r = target.cpu().CallFunction(*trigger, {kRootCred});
+  out.success = target.IsRoot() && r.reason == StopReason::kReturned;
+  out.detail = out.success
+                   ? "whole-function reuse through a corrupted pointer (residual surface)"
+                   : "data-only attack failed";
+  return out;
+}
+
+AttackOutcome Ret2UsrAttack(ExploitLab& target, bool smep_enabled) {
+  AttackOutcome out;
+  target.image().mmu().set_smep(smep_enabled);
+  target.ResetCreds();
+
+  auto cred = target.image().symbols().AddressOf(kCurrentCredName);
+  if (!cred.ok()) {
+    out.detail = "no credential witness";
+    return out;
+  }
+
+  // Map a user page and plant shellcode: current_cred = 0; jump out.
+  constexpr uint64_t kUserCode = 0x0000000000400000ULL;
+  auto page = target.image().MapUserPages(kUserCode, 1);
+  if (!page.ok()) {
+    out.detail = "user mapping failed";
+    return out;
+  }
+  std::vector<uint8_t> shellcode;
+  EncodeInstruction(Instruction::MovRI(Reg::kRcx, static_cast<int64_t>(*cred)), shellcode);
+  EncodeInstruction(Instruction::MovRI(Reg::kRax, static_cast<int64_t>(kRootCred)), shellcode);
+  EncodeInstruction(Instruction::Store(MemOperand::Base(Reg::kRcx, 0), Reg::kRax), shellcode);
+  EncodeInstruction(Instruction::MovRI(Reg::kRbx, static_cast<int64_t>(Cpu::kReturnSentinel)),
+                    shellcode);
+  EncodeInstruction(Instruction::JmpR(Reg::kRbx), shellcode);
+  KRX_CHECK(target.image().PokeBytes(kUserCode, shellcode.data(), shellcode.size()).ok());
+
+  // Hijacked kernel control transfer into user space.
+  Cpu& cpu = target.cpu();
+  cpu.set_reg(Reg::kRsp, cpu.stack_top() - 64);
+  RunResult r = cpu.RunAt(kUserCode, 64);
+
+  out.success = target.IsRoot();
+  if (out.success) {
+    out.detail = "kernel executed user-space shellcode (no SMEP)";
+  } else if (r.reason == StopReason::kException && r.exception == ExceptionKind::kPageFault &&
+             target.image().mmu().last_fault().kind == FaultKind::kSmepViolation) {
+    out.detail = "SMEP: supervisor fetch from user page faulted";
+  } else {
+    out.detail = "hijack derailed";
+  }
+  target.image().mmu().set_smep(false);
+  return out;
+}
+
+bool DecoyTripwireFires(ExploitLab& target) {
+  Cpu& cpu = target.cpu();
+  auto deep = target.image().symbols().AddressOf(kDeepSyscallName);
+  if (!deep.ok()) {
+    return false;
+  }
+  cpu.CallFunction(*deep, {8});
+
+  std::vector<uint64_t> sites_vec = target.CollectReturnSites();
+  std::set<uint64_t> return_sites(sites_vec.begin(), sites_vec.end());
+
+  for (uint64_t a = cpu.stack_base(); a + 16 <= cpu.stack_top(); a += 8) {
+    auto v1 = target.image().Peek64(a);
+    auto v2 = target.image().Peek64(a + 8);
+    if (!v1.ok() || !v2.ok()) {
+      continue;
+    }
+    if (!InCodeRange(target, *v1) || !InCodeRange(target, *v2)) {
+      continue;
+    }
+    uint64_t decoy;
+    if (return_sites.count(*v1) > 0 && return_sites.count(*v2) == 0) {
+      decoy = *v2;
+    } else if (return_sites.count(*v2) > 0 && return_sites.count(*v1) == 0) {
+      decoy = *v1;
+    } else {
+      continue;
+    }
+    RunResult r = cpu.RunAt(decoy, 16);
+    return r.reason == StopReason::kException && r.exception == ExceptionKind::kBreakpoint;
+  }
+  return false;
+}
+
+}  // namespace krx

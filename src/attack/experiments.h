@@ -1,0 +1,123 @@
+// End-to-end attack experiments reproducing §7.3 ("Security").
+//
+// The canonical exploitation goal, standing in for the CVE-2013-2094
+// privilege-escalation exploit the paper uses, is to overwrite the kernel's
+// current_cred with the root credential — either by ROP-calling
+// commit_creds(KROOT) or by stitching gadgets that store to it directly.
+#ifndef KRX_SRC_ATTACK_EXPERIMENTS_H_
+#define KRX_SRC_ATTACK_EXPERIMENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/attack/disclosure.h"
+#include "src/attack/gadget_scanner.h"
+#include "src/cpu/cpu.h"
+#include "src/plugin/pipeline.h"
+
+namespace krx {
+
+// Canonical symbols the workload corpus exports (src/workload/corpus.h
+// defines them; the attack layer only knows the contract).
+inline constexpr const char* kCommitCredsName = "commit_creds";
+inline constexpr const char* kCurrentCredName = "current_cred";
+inline constexpr const char* kSyscallTableName = "sys_call_table";
+inline constexpr uint64_t kUnprivilegedCred = 0x1000;
+inline constexpr uint64_t kRootCred = 0;
+
+struct AttackOutcome {
+  bool success = false;
+  bool kernel_killed = false;  // kR^X halted the machine mid-exploit
+  uint64_t leaks = 0;
+  std::string detail;
+};
+
+// A compiled kernel under attack: CPU, credential witness, payload staging.
+class ExploitLab {
+ public:
+  explicit ExploitLab(CompiledKernel* kernel);
+
+  Cpu& cpu() { return cpu_; }
+  KernelImage& image() { return *kernel_->image; }
+  const KernelImage& image() const { return *kernel_->image; }
+  const CompiledKernel& kernel() const { return *kernel_; }
+
+  // Resets current_cred to the unprivileged value.
+  void ResetCreds();
+  bool IsRoot() const;
+
+  // Stages a ROP payload in attacker-sprayed kernel heap memory and
+  // triggers the hijacked control transfer: %rsp pivoted to the payload,
+  // execution enters chain[0] (the classic stack-pivot kernel ROP entry).
+  RunResult RunRopChain(const std::vector<uint64_t>& chain, uint64_t max_steps = 200'000);
+
+  // God-mode helpers (ground truth for experiment verdicts, not available
+  // to the simulated attacker).
+  std::vector<uint8_t> DumpText() const;
+  uint64_t TextBase() const;
+  // All legitimate return sites (addresses immediately following call
+  // instructions), gathered by walking every function's instruction stream.
+  std::vector<uint64_t> CollectReturnSites() const;
+
+ private:
+  CompiledKernel* kernel_;
+  Cpu cpu_;
+  uint64_t payload_buf_ = 0;
+};
+
+// E6 — Direct ROP (§7.3 "Direct ROP/JOP"): gadget addresses precomputed on
+// a reference (vanilla) build, replayed against the target.
+AttackOutcome DirectRopAttack(ExploitLab& reference, ExploitLab& target);
+
+// E7 — Direct JIT-ROP: leaked code pointer from sys_call_table, recursive
+// code-page harvesting through the disclosure bug, on-the-fly payload.
+AttackOutcome DirectJitRopAttack(ExploitLab& target, int max_pages = 64);
+
+// E8 — Indirect JIT-ROP: harvest return addresses from the kernel stack and
+// guess real vs. decoy. Runs `trials` independent experiments needing
+// `n_gadgets` correct call-preceded gadgets each; reports the empirical
+// success rate (paper: Psucc = 1/2^n under decoys, 0 under encryption,
+// 1 without return-address protection).
+struct IndirectJitRopResult {
+  AttackOutcome outcome;
+  int trials = 0;
+  int successes = 0;
+  uint64_t pairs_harvested = 0;
+  double success_rate = 0.0;
+};
+IndirectJitRopResult IndirectJitRopAttack(ExploitLab& target, int n_gadgets, int trials,
+                                          uint64_t seed);
+
+// Demonstrates that stepping on a decoy return address raises the int3
+// tripwire (#BP). Returns true if the exception fired.
+bool DecoyTripwireFires(ExploitLab& target);
+
+// Coarse-KASLR bypass (§1: "hijacked ... effectively bypassing KASLR"):
+// with standard whole-image KASLR the internal layout is intact, so one
+// leaked code pointer (here: a syscall-table entry read through the
+// disclosure bug) reveals the slide and rebases a precomputed chain.
+// Against fine-grained KASLR the same rebasing fails: relative offsets
+// within the image are what got randomized.
+AttackOutcome KaslrSlideBypassAttack(ExploitLab& reference, ExploitLab& target);
+
+// §7.3's residual surface, demonstrated: "kR^X effectively restricts the
+// attacker to data-only type of attacks on function pointers". The attacker
+// (armed with the threat model's corruption primitive) overwrites the
+// writable notifier_hook with the *entry point* of commit_creds — leaked
+// from the readable syscall table — and triggers the kernel path that
+// dereferences it with a chosen argument. Whole-function reuse of this kind
+// still works under full kR^X; gadget-grade reuse (pointing the hook into
+// the middle of a function) does not.
+AttackOutcome DataOnlyFunctionPointerAttack(ExploitLab& target);
+
+// The pre-kR^X baseline attack (§1, §2): ret2usr. The attacker maps a user
+// page, plants shellcode that overwrites current_cred, and hijacks kernel
+// control flow into it. With SMEP (the paper's hardening assumption, §3)
+// the supervisor fetch from the user page faults — which is exactly why
+// attackers moved on to (JIT-)ROP.
+AttackOutcome Ret2UsrAttack(ExploitLab& target, bool smep_enabled);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_ATTACK_EXPERIMENTS_H_

@@ -1,0 +1,69 @@
+// Gadget discovery over raw code bytes.
+//
+// Mirrors the first stage of (JIT-)ROP: disassemble at every byte offset
+// (the encoding is variable-length, so unaligned decoding yields instruction
+// streams the compiler never emitted) and keep short sequences that end in
+// ret. Classification helpers find the payload building blocks the attack
+// engines need (pop-reg/ret, mov/ret, function-call primitives).
+#ifndef KRX_SRC_ATTACK_GADGET_SCANNER_H_
+#define KRX_SRC_ATTACK_GADGET_SCANNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/isa/instruction.h"
+
+namespace krx {
+
+enum class GadgetKind : uint8_t {
+  kRop,  // ends in ret
+  kJop,  // ends in an indirect jmp/call (jmp*/callq* through reg or mem)
+};
+
+struct Gadget {
+  uint64_t address = 0;
+  GadgetKind kind = GadgetKind::kRop;
+  std::vector<Instruction> insts;  // last instruction is the terminator
+
+  // Number of instructions excluding the terminator.
+  size_t payload_len() const { return insts.empty() ? 0 : insts.size() - 1; }
+
+  std::string ToString() const;
+};
+
+struct GadgetScanOptions {
+  size_t max_insts = 4;  // gadget length cap (excluding ret)
+};
+
+class GadgetScanner {
+ public:
+  explicit GadgetScanner(GadgetScanOptions options = GadgetScanOptions()) : options_(options) {}
+
+  // Scans [bytes, bytes+len) mapped at base_vaddr for ROP gadgets.
+  std::vector<Gadget> Scan(const uint8_t* bytes, size_t len, uint64_t base_vaddr) const;
+
+  // Scans for JOP gadgets: short sequences ending in an indirect branch
+  // (jmp*/callq* %reg or through memory).
+  std::vector<Gadget> ScanJop(const uint8_t* bytes, size_t len, uint64_t base_vaddr) const;
+
+  // Finds the first "pop %reg; ret" gadget.
+  static std::optional<Gadget> FindPopReg(const std::vector<Gadget>& gadgets, Reg reg);
+
+  // Finds the first "mov %src, %dst; ret" gadget.
+  static std::optional<Gadget> FindMovRR(const std::vector<Gadget>& gadgets, Reg dst, Reg src);
+
+  // Finds a "store %src to [%dst_base + disp]; ret" gadget.
+  static std::optional<Gadget> FindStore(const std::vector<Gadget>& gadgets, Reg base, Reg src);
+
+ private:
+  std::vector<Gadget> ScanFor(const uint8_t* bytes, size_t len, uint64_t base_vaddr,
+                              GadgetKind kind) const;
+
+  GadgetScanOptions options_;
+};
+
+}  // namespace krx
+
+#endif  // KRX_SRC_ATTACK_GADGET_SCANNER_H_

@@ -1,0 +1,47 @@
+// Small math helpers shared by the diversifier and the benchmarks.
+#ifndef KRX_SRC_BASE_MATH_UTIL_H_
+#define KRX_SRC_BASE_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace krx {
+
+// Randomization entropy, in bits, of permuting `blocks` code blocks:
+// lg(blocks!) computed via lgamma to stay exact for large block counts.
+inline double PermutationEntropyBits(uint64_t blocks) {
+  if (blocks < 2) {
+    return 0.0;
+  }
+  return std::lgamma(static_cast<double>(blocks) + 1.0) / std::log(2.0);
+}
+
+// Smallest number of blocks whose permutation yields at least `bits` bits of
+// entropy (i.e. min B with lg(B!) >= bits).
+inline uint64_t BlocksForEntropyBits(double bits) {
+  uint64_t b = 1;
+  while (PermutationEntropyBits(b) < bits) {
+    ++b;
+  }
+  return b;
+}
+
+// Percentage helper: 100 * (value - base) / base; 0 when base == 0.
+inline double OverheadPercent(double base, double value) {
+  if (base == 0.0) {
+    return 0.0;
+  }
+  return 100.0 * (value - base) / base;
+}
+
+// Rounds a size up to the next multiple of `align` (align must be a power
+// of two).
+inline uint64_t AlignUp(uint64_t value, uint64_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+inline bool IsAligned(uint64_t value, uint64_t align) { return (value & (align - 1)) == 0; }
+
+}  // namespace krx
+
+#endif  // KRX_SRC_BASE_MATH_UTIL_H_

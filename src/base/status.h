@@ -1,0 +1,164 @@
+// Lightweight status / result types used across the kR^X reproduction.
+//
+// The library avoids exceptions for control flow (per the kernel-systems
+// guides): fallible operations return Status or Result<T>. Programming errors
+// (violated preconditions) abort via KRX_CHECK.
+#ifndef KRX_SRC_BASE_STATUS_H_
+#define KRX_SRC_BASE_STATUS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace krx {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+  kPermissionDenied,
+};
+
+// Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A status is a code plus an optional diagnostic message. Statuses are cheap
+// to copy in the OK case and carry a heap string only on error.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFoundError(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+inline Status AlreadyExistsError(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status OutOfRangeError(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status UnimplementedError(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status InternalError(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+inline Status ResourceExhaustedError(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status PermissionDeniedError(std::string msg) {
+  return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+
+// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(data_).ok()) {
+      std::fprintf(stderr, "Result constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(data_);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   std::get<Status>(data_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> data_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+}  // namespace internal
+
+// Fatal assertion for programming errors; always enabled.
+#define KRX_CHECK(expr)                                         \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::krx::internal::CheckFailed(__FILE__, __LINE__, #expr);  \
+    }                                                           \
+  } while (0)
+
+#define KRX_CHECK_OK(status_expr)                                              \
+  do {                                                                         \
+    const ::krx::Status krx_check_status_ = (status_expr);                     \
+    if (!krx_check_status_.ok()) {                                             \
+      std::fprintf(stderr, "status not ok: %s\n",                              \
+                   krx_check_status_.ToString().c_str());                      \
+      ::krx::internal::CheckFailed(__FILE__, __LINE__, #status_expr);          \
+    }                                                                          \
+  } while (0)
+
+// Propagates an error status from an expression returning Status.
+#define KRX_RETURN_IF_ERROR(expr)             \
+  do {                                        \
+    ::krx::Status krx_status_ = (expr);       \
+    if (!krx_status_.ok()) {                  \
+      return krx_status_;                     \
+    }                                         \
+  } while (0)
+
+}  // namespace krx
+
+#endif  // KRX_SRC_BASE_STATUS_H_

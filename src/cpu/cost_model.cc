@@ -1,0 +1,89 @@
+#include "src/cpu/cost_model.h"
+
+namespace krx {
+
+uint64_t CostModel::CostOf(Opcode op) const {
+  switch (op) {
+    case Opcode::kNop:
+      return nop;
+    case Opcode::kHlt:
+      return hlt;
+    case Opcode::kInt3:
+    case Opcode::kUd2:
+      return int3;
+    case Opcode::kMovRR:
+    case Opcode::kMovRI:
+    case Opcode::kAddRR:
+    case Opcode::kAddRI:
+    case Opcode::kSubRR:
+    case Opcode::kSubRI:
+    case Opcode::kAndRR:
+    case Opcode::kAndRI:
+    case Opcode::kOrRR:
+    case Opcode::kOrRI:
+    case Opcode::kXorRR:
+    case Opcode::kXorRI:
+    case Opcode::kShlRI:
+    case Opcode::kShrRI:
+    case Opcode::kCmpRR:
+    case Opcode::kCmpRI:
+    case Opcode::kTestRR:
+      return alu;
+    case Opcode::kImulRR:
+      return imul;
+    case Opcode::kLea:
+      return lea;
+    case Opcode::kLoad:
+    case Opcode::kAddRM:
+    case Opcode::kCmpRM:
+    case Opcode::kCmpMI:
+      return load;
+    case Opcode::kStore:
+    case Opcode::kStoreImm:
+      return store;
+    case Opcode::kXorMR:
+      return rmw;
+    case Opcode::kPushR:
+      return push;
+    case Opcode::kPopR:
+      return pop;
+    case Opcode::kPushfq:
+      return pushfq;
+    case Opcode::kPopfq:
+      return popfq;
+    case Opcode::kJcc:
+      return branch;
+    case Opcode::kJmpRel:
+      return jmp;
+    case Opcode::kJmpR:
+    case Opcode::kJmpM:
+      return indirect;
+    case Opcode::kCallRel:
+      return call;
+    case Opcode::kCallR:
+    case Opcode::kCallM:
+      return indirect;
+    case Opcode::kRet:
+      return ret;
+    case Opcode::kMovsq:
+    case Opcode::kLodsq:
+    case Opcode::kStosq:
+    case Opcode::kCmpsq:
+    case Opcode::kScasq:
+      return string_setup;
+    case Opcode::kBndcu:
+      return bndcu;
+    case Opcode::kLoadBnd0:
+      return bnd_load;
+    case Opcode::kSyscall:
+    case Opcode::kSysret:
+      return mode_switch / 2;
+    case Opcode::kWrmsr:
+      return wrmsr;
+    case Opcode::kNumOpcodes:
+      break;
+  }
+  return alu;
+}
+
+}  // namespace krx

@@ -1,0 +1,659 @@
+#include "src/cpu/cpu.h"
+
+#include "src/isa/encoding.h"
+#include "src/kernel/baseline_defenses.h"
+
+namespace krx {
+
+void InstMix::Count(Opcode op) {
+  switch (op) {
+    case Opcode::kLoad:
+    case Opcode::kAddRM:
+    case Opcode::kCmpRM:
+    case Opcode::kCmpMI:
+      ++loads;
+      break;
+    case Opcode::kXorMR:
+      ++loads;  // read-modify-write: counts as a load and a store
+      ++stores;
+      break;
+    case Opcode::kStore:
+    case Opcode::kStoreImm:
+      ++stores;
+      break;
+    case Opcode::kLea:
+      ++lea;
+      break;
+    case Opcode::kJcc:
+      ++branches;
+      break;
+    case Opcode::kJmpRel:
+    case Opcode::kJmpR:
+    case Opcode::kJmpM:
+      ++jumps;
+      break;
+    case Opcode::kCallRel:
+    case Opcode::kCallR:
+    case Opcode::kCallM:
+      ++calls;
+      break;
+    case Opcode::kRet:
+      ++rets;
+      break;
+    case Opcode::kPushR:
+    case Opcode::kPopR:
+      ++pushpop;
+      break;
+    case Opcode::kPushfq:
+      ++pushfq;
+      break;
+    case Opcode::kPopfq:
+      ++popfq;
+      break;
+    case Opcode::kBndcu:
+      ++bndcu;
+      break;
+    case Opcode::kMovsq:
+    case Opcode::kLodsq:
+    case Opcode::kStosq:
+    case Opcode::kCmpsq:
+    case Opcode::kScasq:
+      ++string_ops;
+      break;
+    case Opcode::kMovRR:
+    case Opcode::kMovRI:
+    case Opcode::kAddRR:
+    case Opcode::kAddRI:
+    case Opcode::kSubRR:
+    case Opcode::kSubRI:
+    case Opcode::kAndRR:
+    case Opcode::kAndRI:
+    case Opcode::kOrRR:
+    case Opcode::kOrRI:
+    case Opcode::kXorRR:
+    case Opcode::kXorRI:
+    case Opcode::kShlRI:
+    case Opcode::kShrRI:
+    case Opcode::kImulRR:
+    case Opcode::kCmpRR:
+    case Opcode::kCmpRI:
+    case Opcode::kTestRR:
+      ++alu;
+      break;
+    default:
+      ++other;
+      break;
+  }
+}
+
+const char* ExceptionKindName(ExceptionKind kind) {
+  switch (kind) {
+    case ExceptionKind::kNone: return "none";
+    case ExceptionKind::kPageFault: return "#PF";
+    case ExceptionKind::kBoundRange: return "#BR";
+    case ExceptionKind::kBreakpoint: return "#BP(int3)";
+    case ExceptionKind::kInvalidOpcode: return "#UD";
+    case ExceptionKind::kGeneralProtection: return "#GP";
+  }
+  return "??";
+}
+
+Cpu::Cpu(KernelImage* image, CostModel cost, CpuOptions options)
+    : image_(image), cost_(cost), options_(options) {
+  auto stack = image_->AllocDataPages(options_.stack_pages);
+  KRX_CHECK(stack.ok());
+  stack_base_ = *stack;
+  stack_top_ = stack_base_ + options_.stack_pages * kPageSize;
+
+  int32_t h = image_->symbols().Find(kKrxHandlerName);
+  if (h >= 0 && image_->symbols().at(h).defined) {
+    krx_handler_lo_ = image_->symbols().at(h).address;
+    krx_handler_hi_ = krx_handler_lo_ + std::max<uint64_t>(image_->symbols().at(h).size, 1);
+  }
+}
+
+uint64_t Cpu::EffectiveAddress(const MemOperand& mem, uint64_t rip_next) const {
+  if (mem.rip_relative) {
+    return rip_next + static_cast<uint64_t>(mem.disp);
+  }
+  uint64_t ea = static_cast<uint64_t>(mem.disp);
+  if (mem.has_base()) {
+    ea += regs_[RegIndex(mem.base)];
+  }
+  if (mem.has_index()) {
+    ea += regs_[RegIndex(mem.index)] * mem.scale;
+  }
+  return ea;
+}
+
+bool Cpu::DataRead64(uint64_t vaddr, uint64_t* value) {
+  auto v = image_->mmu().Read64(vaddr);
+  if (v.ok() && image_->destructive_code_reads()) {
+    // Heisenbyte baseline (§8): a successful data read of executable bytes
+    // destroys them in place, so disclosed gadgets crash when reused.
+    for (int i = 0; i < 8; ++i) {
+      const Pte* pte = image_->page_table().Lookup(vaddr + static_cast<uint64_t>(i));
+      if (pte != nullptr && pte->flags.present && !pte->flags.nx) {
+        image_->phys().Write8((pte->frame << kPageShift) |
+                                  PageOffset(vaddr + static_cast<uint64_t>(i)),
+                              0xD7);
+      }
+    }
+  }
+  if (!v.ok()) {
+    // XnR baseline: a data access faulting on a protected code page is a
+    // detected disclosure attempt — the #PF handler terminates.
+    if (image_->xnr() != nullptr && image_->xnr()->IsDisclosureAttempt(vaddr)) {
+      pending_.xnr_violation = true;
+    }
+    RaiseException(ExceptionKind::kPageFault, vaddr);
+    return false;
+  }
+  *value = *v;
+  return true;
+}
+
+bool Cpu::DataWrite64(uint64_t vaddr, uint64_t value) {
+  Status s = image_->mmu().Write64(vaddr, value);
+  if (!s.ok()) {
+    RaiseException(ExceptionKind::kPageFault, vaddr);
+    return false;
+  }
+  return true;
+}
+
+void Cpu::SetFlagsSub(uint64_t a, uint64_t b) {
+  uint64_t res = a - b;
+  rflags_.zf = res == 0;
+  rflags_.sf = (res >> 63) != 0;
+  rflags_.cf = a < b;
+  rflags_.of = (((a ^ b) & (a ^ res)) >> 63) != 0;
+}
+
+void Cpu::SetFlagsAdd(uint64_t a, uint64_t b) {
+  uint64_t res = a + b;
+  rflags_.zf = res == 0;
+  rflags_.sf = (res >> 63) != 0;
+  rflags_.cf = res < a;
+  rflags_.of = ((~(a ^ b) & (a ^ res)) >> 63) != 0;
+}
+
+void Cpu::SetFlagsLogic(uint64_t result) {
+  rflags_.zf = result == 0;
+  rflags_.sf = (result >> 63) != 0;
+  rflags_.cf = false;
+  rflags_.of = false;
+}
+
+bool Cpu::EvalCond(Cond c) const {
+  switch (c) {
+    case Cond::kE: return rflags_.zf;
+    case Cond::kNe: return !rflags_.zf;
+    case Cond::kA: return !rflags_.cf && !rflags_.zf;
+    case Cond::kAe: return !rflags_.cf;
+    case Cond::kB: return rflags_.cf;
+    case Cond::kBe: return rflags_.cf || rflags_.zf;
+    case Cond::kG: return !rflags_.zf && rflags_.sf == rflags_.of;
+    case Cond::kGe: return rflags_.sf == rflags_.of;
+    case Cond::kL: return rflags_.sf != rflags_.of;
+    case Cond::kLe: return rflags_.zf || rflags_.sf != rflags_.of;
+    case Cond::kS: return rflags_.sf;
+    case Cond::kNs: return !rflags_.sf;
+  }
+  return false;
+}
+
+void Cpu::RaiseException(ExceptionKind kind, uint64_t addr) {
+  pending_.reason = StopReason::kException;
+  pending_.exception = kind;
+  pending_.fault_addr = addr;
+  stopped_ = true;
+}
+
+bool Cpu::Step() {
+  if (krx_handler_lo_ != 0 && rip_ >= krx_handler_lo_ && rip_ < krx_handler_hi_) {
+    pending_.krx_violation = true;
+  }
+
+  // Fetch + decode, servicing XnR instruction-fetch faults: both for the
+  // page at %rip and for the next page when an instruction straddles the
+  // boundary (a partial fetch that truncates the decode).
+  uint8_t buf[16];
+  Instruction in;
+  uint8_t inst_size = 0;
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 2) {
+      RaiseException(ExceptionKind::kPageFault, rip_);
+      return false;
+    }
+    auto fetched = image_->mmu().FetchCode(rip_, buf, sizeof(buf));
+    if (!fetched.ok()) {
+      if (image_->xnr() != nullptr && image_->xnr()->HandleFetchFault(rip_)) {
+        continue;  // serviced; retry
+      }
+      RaiseException(ExceptionKind::kPageFault, rip_);
+      return false;
+    }
+    auto dec = DecodeInstruction(buf, *fetched, 0);
+    if (!dec.ok()) {
+      if (dec.status().code() == StatusCode::kOutOfRange && *fetched < sizeof(buf)) {
+        // Truncated by an unmapped boundary: the fetch of the *next* page
+        // is what faults.
+        uint64_t next_page = rip_ + *fetched;
+        if (image_->xnr() != nullptr && image_->xnr()->HandleFetchFault(next_page)) {
+          continue;
+        }
+        RaiseException(ExceptionKind::kPageFault, next_page);
+        return false;
+      }
+      RaiseException(ExceptionKind::kInvalidOpcode, rip_);
+      return false;
+    }
+    in = dec->inst;
+    inst_size = dec->size;
+    break;
+  }
+  const uint64_t rip_next = rip_ + inst_size;
+  uint64_t next = rip_next;
+
+  ++pending_.instructions;
+  pending_.mix.Count(in.op);
+  if (in.op == Opcode::kLoad && in.mem.rip_relative) {
+    pending_.deci_cycles += cost_.load_riprel;
+  } else {
+    pending_.deci_cycles += cost_.CostOf(in.op);
+  }
+
+  auto reg = [&](Reg r) -> uint64_t& { return regs_[RegIndex(r)]; };
+  auto goto_target = [&](uint64_t target) {
+    if (target == kReturnSentinel) {
+      pending_.reason = StopReason::kReturned;
+      pending_.rax = reg(Reg::kRax);
+      stopped_ = true;
+      return;
+    }
+    next = target;
+  };
+
+  switch (in.op) {
+    case Opcode::kNop:
+    case Opcode::kWrmsr:
+    case Opcode::kSyscall:
+    case Opcode::kSysret:
+      break;
+    case Opcode::kHlt:
+      pending_.reason = StopReason::kHalted;
+      stopped_ = true;
+      break;
+    case Opcode::kInt3:
+      RaiseException(ExceptionKind::kBreakpoint, rip_);
+      break;
+    case Opcode::kUd2:
+      RaiseException(ExceptionKind::kInvalidOpcode, rip_);
+      break;
+
+    case Opcode::kMovRR:
+      reg(in.r1) = reg(in.r2);
+      break;
+    case Opcode::kMovRI:
+      reg(in.r1) = static_cast<uint64_t>(in.imm);
+      break;
+    case Opcode::kLoad: {
+      uint64_t v;
+      if (!DataRead64(EffectiveAddress(in.mem, rip_next), &v)) {
+        break;
+      }
+      reg(in.r1) = v;
+      break;
+    }
+    case Opcode::kStore:
+      DataWrite64(EffectiveAddress(in.mem, rip_next), reg(in.r1));
+      break;
+    case Opcode::kStoreImm:
+      DataWrite64(EffectiveAddress(in.mem, rip_next), static_cast<uint64_t>(in.imm));
+      break;
+    case Opcode::kLea:
+      reg(in.r1) = EffectiveAddress(in.mem, rip_next);
+      break;
+    case Opcode::kPushR:
+      reg(Reg::kRsp) -= 8;
+      DataWrite64(reg(Reg::kRsp), reg(in.r1));
+      break;
+    case Opcode::kPopR: {
+      uint64_t v;
+      if (!DataRead64(reg(Reg::kRsp), &v)) {
+        break;
+      }
+      reg(in.r1) = v;
+      reg(Reg::kRsp) += 8;
+      break;
+    }
+    case Opcode::kPushfq:
+      reg(Reg::kRsp) -= 8;
+      DataWrite64(reg(Reg::kRsp), rflags_.ToBits());
+      break;
+    case Opcode::kPopfq: {
+      uint64_t v;
+      if (!DataRead64(reg(Reg::kRsp), &v)) {
+        break;
+      }
+      rflags_.FromBits(v);
+      reg(Reg::kRsp) += 8;
+      break;
+    }
+
+    case Opcode::kAddRR:
+      SetFlagsAdd(reg(in.r1), reg(in.r2));
+      reg(in.r1) += reg(in.r2);
+      break;
+    case Opcode::kAddRI:
+      SetFlagsAdd(reg(in.r1), static_cast<uint64_t>(in.imm));
+      reg(in.r1) += static_cast<uint64_t>(in.imm);
+      break;
+    case Opcode::kSubRR:
+      SetFlagsSub(reg(in.r1), reg(in.r2));
+      reg(in.r1) -= reg(in.r2);
+      break;
+    case Opcode::kSubRI:
+      SetFlagsSub(reg(in.r1), static_cast<uint64_t>(in.imm));
+      reg(in.r1) -= static_cast<uint64_t>(in.imm);
+      break;
+    case Opcode::kAndRR:
+      reg(in.r1) &= reg(in.r2);
+      SetFlagsLogic(reg(in.r1));
+      break;
+    case Opcode::kAndRI:
+      reg(in.r1) &= static_cast<uint64_t>(in.imm);
+      SetFlagsLogic(reg(in.r1));
+      break;
+    case Opcode::kOrRR:
+      reg(in.r1) |= reg(in.r2);
+      SetFlagsLogic(reg(in.r1));
+      break;
+    case Opcode::kOrRI:
+      reg(in.r1) |= static_cast<uint64_t>(in.imm);
+      SetFlagsLogic(reg(in.r1));
+      break;
+    case Opcode::kXorRR:
+      reg(in.r1) ^= reg(in.r2);
+      SetFlagsLogic(reg(in.r1));
+      break;
+    case Opcode::kXorRI:
+      reg(in.r1) ^= static_cast<uint64_t>(in.imm);
+      SetFlagsLogic(reg(in.r1));
+      break;
+    case Opcode::kShlRI: {
+      uint64_t k = static_cast<uint64_t>(in.imm) & 63;
+      uint64_t v = reg(in.r1);
+      rflags_.cf = k > 0 && ((v >> (64 - k)) & 1) != 0;
+      v <<= k;
+      reg(in.r1) = v;
+      rflags_.zf = v == 0;
+      rflags_.sf = (v >> 63) != 0;
+      rflags_.of = false;
+      break;
+    }
+    case Opcode::kShrRI: {
+      uint64_t k = static_cast<uint64_t>(in.imm) & 63;
+      uint64_t v = reg(in.r1);
+      rflags_.cf = k > 0 && ((v >> (k - 1)) & 1) != 0;
+      v >>= k;
+      reg(in.r1) = v;
+      rflags_.zf = v == 0;
+      rflags_.sf = false;
+      rflags_.of = false;
+      break;
+    }
+    case Opcode::kImulRR: {
+      uint64_t v = reg(in.r1) * reg(in.r2);
+      reg(in.r1) = v;
+      SetFlagsLogic(v);
+      break;
+    }
+    case Opcode::kCmpRR:
+      SetFlagsSub(reg(in.r1), reg(in.r2));
+      break;
+    case Opcode::kCmpRI:
+      SetFlagsSub(reg(in.r1), static_cast<uint64_t>(in.imm));
+      break;
+    case Opcode::kTestRR:
+      SetFlagsLogic(reg(in.r1) & reg(in.r2));
+      break;
+
+    case Opcode::kAddRM: {
+      uint64_t v;
+      if (!DataRead64(EffectiveAddress(in.mem, rip_next), &v)) {
+        break;
+      }
+      SetFlagsAdd(reg(in.r1), v);
+      reg(in.r1) += v;
+      break;
+    }
+    case Opcode::kCmpRM: {
+      uint64_t v;
+      if (!DataRead64(EffectiveAddress(in.mem, rip_next), &v)) {
+        break;
+      }
+      SetFlagsSub(reg(in.r1), v);
+      break;
+    }
+    case Opcode::kCmpMI: {
+      uint64_t v;
+      if (!DataRead64(EffectiveAddress(in.mem, rip_next), &v)) {
+        break;
+      }
+      SetFlagsSub(v, static_cast<uint64_t>(in.imm));
+      break;
+    }
+    case Opcode::kXorMR: {
+      uint64_t ea = EffectiveAddress(in.mem, rip_next);
+      uint64_t v;
+      if (!DataRead64(ea, &v)) {
+        break;
+      }
+      v ^= reg(in.r1);
+      SetFlagsLogic(v);
+      DataWrite64(ea, v);
+      break;
+    }
+
+    case Opcode::kJmpRel:
+      goto_target(rip_next + static_cast<uint64_t>(in.imm));
+      break;
+    case Opcode::kJcc:
+      if (EvalCond(in.cond)) {
+        goto_target(rip_next + static_cast<uint64_t>(in.imm));
+      }
+      break;
+    case Opcode::kJmpR:
+      goto_target(reg(in.r1));
+      break;
+    case Opcode::kJmpM: {
+      uint64_t v;
+      if (!DataRead64(EffectiveAddress(in.mem, rip_next), &v)) {
+        break;
+      }
+      goto_target(v);
+      break;
+    }
+    case Opcode::kCallRel:
+      reg(Reg::kRsp) -= 8;
+      if (!DataWrite64(reg(Reg::kRsp), rip_next)) {
+        break;
+      }
+      goto_target(rip_next + static_cast<uint64_t>(in.imm));
+      break;
+    case Opcode::kCallR:
+      reg(Reg::kRsp) -= 8;
+      if (!DataWrite64(reg(Reg::kRsp), rip_next)) {
+        break;
+      }
+      goto_target(reg(in.r1));
+      break;
+    case Opcode::kCallM: {
+      uint64_t v;
+      if (!DataRead64(EffectiveAddress(in.mem, rip_next), &v)) {
+        break;
+      }
+      reg(Reg::kRsp) -= 8;
+      if (!DataWrite64(reg(Reg::kRsp), rip_next)) {
+        break;
+      }
+      goto_target(v);
+      break;
+    }
+    case Opcode::kRet: {
+      uint64_t v;
+      if (!DataRead64(reg(Reg::kRsp), &v)) {
+        break;
+      }
+      reg(Reg::kRsp) += 8;
+      goto_target(v);
+      break;
+    }
+
+    case Opcode::kMovsq:
+    case Opcode::kLodsq:
+    case Opcode::kStosq:
+    case Opcode::kCmpsq:
+    case Opcode::kScasq: {
+      const int64_t step = rflags_.df ? -8 : 8;
+      auto one = [&]() -> bool {
+        uint64_t v;
+        switch (in.op) {
+          case Opcode::kMovsq:
+            if (!DataRead64(reg(Reg::kRsi), &v) || !DataWrite64(reg(Reg::kRdi), v)) {
+              return false;
+            }
+            reg(Reg::kRsi) += static_cast<uint64_t>(step);
+            reg(Reg::kRdi) += static_cast<uint64_t>(step);
+            return true;
+          case Opcode::kLodsq:
+            if (!DataRead64(reg(Reg::kRsi), &v)) {
+              return false;
+            }
+            reg(Reg::kRax) = v;
+            reg(Reg::kRsi) += static_cast<uint64_t>(step);
+            return true;
+          case Opcode::kStosq:
+            if (!DataWrite64(reg(Reg::kRdi), reg(Reg::kRax))) {
+              return false;
+            }
+            reg(Reg::kRdi) += static_cast<uint64_t>(step);
+            return true;
+          case Opcode::kCmpsq: {
+            uint64_t w;
+            if (!DataRead64(reg(Reg::kRsi), &v) || !DataRead64(reg(Reg::kRdi), &w)) {
+              return false;
+            }
+            SetFlagsSub(v, w);
+            reg(Reg::kRsi) += static_cast<uint64_t>(step);
+            reg(Reg::kRdi) += static_cast<uint64_t>(step);
+            return true;
+          }
+          case Opcode::kScasq:
+            if (!DataRead64(reg(Reg::kRdi), &v)) {
+              return false;
+            }
+            SetFlagsSub(reg(Reg::kRax), v);
+            reg(Reg::kRdi) += static_cast<uint64_t>(step);
+            return true;
+          default:
+            return false;
+        }
+      };
+      if (!in.rep) {
+        pending_.deci_cycles += cost_.string_per_iter;
+        one();
+      } else {
+        const bool conditional = in.op == Opcode::kCmpsq || in.op == Opcode::kScasq;
+        while (reg(Reg::kRcx) != 0 && !stopped_) {
+          pending_.deci_cycles += cost_.string_per_iter;
+          if (!one()) {
+            break;
+          }
+          reg(Reg::kRcx) -= 1;
+          if (conditional && !rflags_.zf) {  // repe semantics
+            break;
+          }
+        }
+      }
+      break;
+    }
+
+    case Opcode::kBndcu: {
+      uint64_t ea = EffectiveAddress(in.mem, rip_next);
+      if (ea > bnd0_ub_) {
+        RaiseException(ExceptionKind::kBoundRange, ea);
+      }
+      break;
+    }
+    case Opcode::kLoadBnd0:
+      bnd0_ub_ = static_cast<uint64_t>(in.imm);
+      break;
+
+    case Opcode::kNumOpcodes:
+      RaiseException(ExceptionKind::kInvalidOpcode, rip_);
+      break;
+  }
+
+  if (stopped_) {
+    return false;
+  }
+  rip_ = next;
+  if (step_observer_) {
+    step_observer_(*this);
+  }
+  return true;
+}
+
+RunResult Cpu::Run(uint64_t max_steps, bool charge_mode_switch) {
+  pending_ = RunResult();
+  stopped_ = false;
+  if (charge_mode_switch) {
+    pending_.deci_cycles += cost_.mode_switch;
+    if (options_.mpx_enabled) {
+      pending_.deci_cycles += cost_.mpx_mode_switch_extra;
+    }
+  }
+  for (uint64_t i = 0; i < max_steps; ++i) {
+    if (!Step()) {
+      return pending_;
+    }
+  }
+  pending_.reason = StopReason::kStepLimit;
+  return pending_;
+}
+
+RunResult Cpu::CallFunction(uint64_t entry, const std::vector<uint64_t>& args,
+                            uint64_t max_steps) {
+  static constexpr Reg kArgRegs[6] = {Reg::kRdi, Reg::kRsi, Reg::kRdx,
+                                      Reg::kRcx, Reg::kR8,  Reg::kR9};
+  KRX_CHECK(args.size() <= 6);
+  for (size_t i = 0; i < args.size(); ++i) {
+    set_reg(kArgRegs[i], args[i]);
+  }
+  // Kernel entry: fresh stack top, sentinel return address. %r11 carries a
+  // harness pseudo-tripwire so decoy-instrumented callees have a value to
+  // store (the real syscall entry stub is itself instrumented).
+  set_reg(Reg::kRsp, stack_top_ - 24);
+  KRX_CHECK(image_->mmu().Write64(reg(Reg::kRsp), kReturnSentinel).ok());
+  set_reg(Reg::kR11, kReturnSentinel);
+  bnd0_ub_ = options_.mpx_enabled ? image_->krx_edata() : ~0ULL;
+  rip_ = entry;
+  return Run(max_steps, /*charge_mode_switch=*/true);
+}
+
+RunResult Cpu::CallFunction(const std::string& symbol, const std::vector<uint64_t>& args,
+                            uint64_t max_steps) {
+  auto addr = image_->symbols().AddressOf(symbol);
+  KRX_CHECK(addr.ok());
+  return CallFunction(*addr, args, max_steps);
+}
+
+RunResult Cpu::RunAt(uint64_t rip, uint64_t max_steps) {
+  rip_ = rip;
+  return Run(max_steps, /*charge_mode_switch=*/false);
+}
+
+}  // namespace krx

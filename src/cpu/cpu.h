@@ -1,0 +1,179 @@
+// The krx64 interpreter.
+//
+// Executes code out of a KernelImage through the MMU: instruction fetches
+// are Exec accesses, data accesses are Read/Write accesses, so page
+// permissions (with x86 semantics) apply exactly as they would on hardware.
+// The CPU carries the MPX %bnd0 bounds register; bndcu raises #BR, int3
+// raises a breakpoint exception (the tripwire mechanism), and translation
+// failures surface as page faults. Cycle accounting follows CostModel.
+#ifndef KRX_SRC_CPU_CPU_H_
+#define KRX_SRC_CPU_CPU_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/cpu/cost_model.h"
+#include "src/kernel/image.h"
+
+namespace krx {
+
+struct RFlags {
+  bool zf = false;
+  bool sf = false;
+  bool cf = false;
+  bool of = false;
+  bool df = false;
+
+  uint64_t ToBits() const {
+    return (zf ? 1ULL << 6 : 0) | (sf ? 1ULL << 7 : 0) | (cf ? 1ULL << 0 : 0) |
+           (of ? 1ULL << 11 : 0) | (df ? 1ULL << 10 : 0) | 0x2;  // bit1 always set
+  }
+  void FromBits(uint64_t v) {
+    cf = v & (1ULL << 0);
+    zf = v & (1ULL << 6);
+    sf = v & (1ULL << 7);
+    df = v & (1ULL << 10);
+    of = v & (1ULL << 11);
+  }
+};
+
+enum class ExceptionKind : uint8_t {
+  kNone = 0,
+  kPageFault,        // #PF
+  kBoundRange,       // #BR (bndcu failure)
+  kBreakpoint,       // int3 (tripwire)
+  kInvalidOpcode,    // #UD / undecodable bytes
+  kGeneralProtection,
+};
+
+const char* ExceptionKindName(ExceptionKind kind);
+
+enum class StopReason : uint8_t {
+  kReturned = 0,   // popped the harness sentinel return address
+  kHalted,         // hlt
+  kException,      // see exception field
+  kStepLimit,
+};
+
+// Dynamic instruction mix of a run — the telemetry the overhead-breakdown
+// bench uses to attribute cycles to instrumentation classes.
+struct InstMix {
+  uint64_t loads = 0;        // explicit data loads (incl. rmw reads)
+  uint64_t stores = 0;
+  uint64_t alu = 0;
+  uint64_t lea = 0;
+  uint64_t branches = 0;     // conditional
+  uint64_t jumps = 0;        // unconditional + indirect
+  uint64_t calls = 0;
+  uint64_t rets = 0;
+  uint64_t pushpop = 0;
+  uint64_t pushfq = 0;
+  uint64_t popfq = 0;
+  uint64_t bndcu = 0;
+  uint64_t string_ops = 0;
+  uint64_t other = 0;
+
+  void Count(Opcode op);
+};
+
+struct RunResult {
+  StopReason reason = StopReason::kReturned;
+  ExceptionKind exception = ExceptionKind::kNone;
+  uint64_t fault_addr = 0;   // faulting rip or data address
+  uint64_t rax = 0;          // return value when kReturned
+  uint64_t instructions = 0;
+  uint64_t deci_cycles = 0;  // includes mode-switch cost for CallFunction
+  InstMix mix;
+  // True when execution ended inside krx_handler: the SFI instrumentation
+  // detected an R^X violation and stopped the machine.
+  bool krx_violation = false;
+  // True when the XnR baseline defense detected a data access to a
+  // non-resident code page (see src/kernel/baseline_defenses.h).
+  bool xnr_violation = false;
+
+  double cycles() const { return static_cast<double>(deci_cycles) / 10.0; }
+};
+
+struct CpuOptions {
+  bool mpx_enabled = false;  // kernel reserves %bnd0 = [_krx_edata]
+  uint64_t stack_pages = 4;  // 16KB kernel stack, like THREAD_SIZE
+};
+
+class Cpu {
+ public:
+  Cpu(KernelImage* image, CostModel cost = CostModel(), CpuOptions options = CpuOptions());
+
+  uint64_t reg(Reg r) const { return regs_[RegIndex(r)]; }
+  void set_reg(Reg r, uint64_t v) { regs_[RegIndex(r)] = v; }
+  RFlags& rflags() { return rflags_; }
+  uint64_t rip() const { return rip_; }
+  uint64_t stack_base() const { return stack_base_; }
+  uint64_t stack_top() const { return stack_top_; }
+  uint64_t bnd0_ub() const { return bnd0_ub_; }
+  KernelImage* image() { return image_; }
+
+  // Simulates a user->kernel mode switch and a call of the function at
+  // `entry` with up to 6 arguments (SysV order: rdi, rsi, rdx, rcx, r8,
+  // r9). Returns when the function returns to the harness sentinel.
+  RunResult CallFunction(uint64_t entry, const std::vector<uint64_t>& args,
+                         uint64_t max_steps = 2'000'000);
+
+  RunResult CallFunction(const std::string& symbol, const std::vector<uint64_t>& args,
+                         uint64_t max_steps = 2'000'000);
+
+  // Raw execution starting at `rip` with current register state — the
+  // primitive a hijacked control transfer gives an attacker. No mode-switch
+  // cost is added and the stack is left wherever %rsp points.
+  RunResult RunAt(uint64_t rip, uint64_t max_steps = 2'000'000);
+
+  // Sentinel return address that terminates a CallFunction run.
+  static constexpr uint64_t kReturnSentinel = 0xFFFF5E17DEAD7A80ULL;
+
+  // Invoked after every retired instruction (when set). Used by the §5.3
+  // race-hazard measurement: an arbitrarily fast attacker inspecting the
+  // machine between any two instructions.
+  void set_step_observer(std::function<void(const Cpu&)> observer) {
+    step_observer_ = std::move(observer);
+  }
+
+ private:
+  RunResult Run(uint64_t max_steps, bool charge_mode_switch);
+  // Executes one instruction; returns false if execution must stop (fills
+  // pending_stop_).
+  bool Step();
+
+  uint64_t EffectiveAddress(const MemOperand& mem, uint64_t rip_next) const;
+  bool DataRead64(uint64_t vaddr, uint64_t* value);
+  bool DataWrite64(uint64_t vaddr, uint64_t value);
+  void SetFlagsSub(uint64_t a, uint64_t b);
+  void SetFlagsAdd(uint64_t a, uint64_t b);
+  void SetFlagsLogic(uint64_t result);
+  bool EvalCond(Cond c) const;
+  void RaiseException(ExceptionKind kind, uint64_t addr);
+
+  KernelImage* image_;
+  CostModel cost_;
+  CpuOptions options_;
+
+  uint64_t regs_[kNumGpRegs] = {};
+  uint64_t rip_ = 0;
+  RFlags rflags_;
+  uint64_t bnd0_ub_ = ~0ULL;
+
+  uint64_t stack_base_ = 0;  // lowest address
+  uint64_t stack_top_ = 0;   // initial %rsp
+
+  // Run bookkeeping.
+  RunResult pending_;
+  bool stopped_ = false;
+  uint64_t krx_handler_lo_ = 0;
+  uint64_t krx_handler_hi_ = 0;
+  std::function<void(const Cpu&)> step_observer_;
+};
+
+}  // namespace krx
+
+#endif  // KRX_SRC_CPU_CPU_H_

@@ -1,0 +1,88 @@
+// Convenience builder for constructing IR functions in tests, workloads and
+// examples.
+#ifndef KRX_SRC_IR_BUILDER_H_
+#define KRX_SRC_IR_BUILDER_H_
+
+#include <cstddef>
+#include <utility>
+
+#include "src/ir/function.h"
+
+namespace krx {
+
+class FunctionBuilder {
+ public:
+  explicit FunctionBuilder(std::string name) : fn_(std::move(name)) {
+    current_ = fn_.AddBlock();
+  }
+
+  // Appends an instruction to the current block. If the instruction is a
+  // terminator or a conditional branch, a fresh fallthrough block is opened.
+  FunctionBuilder& Emit(Instruction inst) {
+    bool opens_new_block = inst.IsTerminator() || inst.op == Opcode::kJcc;
+    fn_.block_by_id(current_).insts.push_back(std::move(inst));
+    if (opens_new_block) {
+      current_ = fn_.AddBlock();
+    }
+    return *this;
+  }
+
+  // Reserves a block id for a forward branch target.
+  int32_t ReserveBlock() { return fn_.AddBlock(); }
+
+  // Makes `id` the current block. The block must have been reserved (or
+  // previously current) and the builder moves it to the end of the layout so
+  // that preceding code falls through naturally only if intended.
+  FunctionBuilder& Bind(int32_t id) {
+    // Move the block with this id to the end of the layout order.
+    auto& blocks = fn_.blocks();
+    int32_t idx = fn_.IndexOfBlock(id);
+    KRX_CHECK(idx >= 0);
+    BasicBlock b = std::move(blocks[static_cast<size_t>(idx)]);
+    KRX_CHECK(b.insts.empty() && "binding a non-empty block");
+    blocks.erase(blocks.begin() + idx);
+    blocks.push_back(std::move(b));
+    current_ = id;
+    return *this;
+  }
+
+  int32_t current_block() const { return current_; }
+
+  // Finishes the function; drops trailing empty, untargeted blocks left by
+  // terminators.
+  Function Build() {
+    auto& blocks = fn_.blocks();
+    auto targeted = [&](int32_t id) {
+      for (const BasicBlock& b : blocks) {
+        for (const Instruction& inst : b.insts) {
+          if (inst.target_block == id) {
+            return true;
+          }
+        }
+      }
+      return false;
+    };
+    while (!blocks.empty() && blocks.back().insts.empty() && !targeted(blocks.back().id)) {
+      blocks.pop_back();
+    }
+    // Drop interior empty untargeted blocks (pure fallthroughs the Emit
+    // discipline leaves behind after terminators).
+    for (size_t i = 0; i < blocks.size();) {
+      if (blocks[i].insts.empty() && !targeted(blocks[i].id)) {
+        blocks.erase(blocks.begin() + static_cast<ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    KRX_CHECK_OK(fn_.Validate());
+    return std::move(fn_);
+  }
+
+ private:
+  Function fn_;
+  int32_t current_;
+};
+
+}  // namespace krx
+
+#endif  // KRX_SRC_IR_BUILDER_H_

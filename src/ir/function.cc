@@ -1,0 +1,124 @@
+#include "src/ir/function.h"
+
+#include <unordered_set>
+
+namespace krx {
+
+int32_t Function::AddBlock() {
+  BasicBlock b;
+  b.id = next_block_id_++;
+  blocks_.push_back(std::move(b));
+  return blocks_.back().id;
+}
+
+int32_t Function::IndexOfBlock(int32_t id) const {
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].id == id) {
+      return static_cast<int32_t>(i);
+    }
+  }
+  return -1;
+}
+
+BasicBlock& Function::block_by_id(int32_t id) {
+  int32_t idx = IndexOfBlock(id);
+  KRX_CHECK(idx >= 0);
+  return blocks_[static_cast<size_t>(idx)];
+}
+
+const BasicBlock& Function::block_by_id(int32_t id) const {
+  int32_t idx = IndexOfBlock(id);
+  KRX_CHECK(idx >= 0);
+  return blocks_[static_cast<size_t>(idx)];
+}
+
+std::vector<int32_t> Function::SuccessorsOf(int32_t layout_idx) const {
+  std::vector<int32_t> succs;
+  const BasicBlock& b = blocks_[static_cast<size_t>(layout_idx)];
+  bool falls_through = true;
+  for (const Instruction& inst : b.insts) {
+    if (inst.op == Opcode::kJcc && inst.target_block >= 0) {
+      succs.push_back(inst.target_block);
+    }
+  }
+  if (!b.insts.empty()) {
+    const Instruction& last = b.insts.back();
+    if (last.op == Opcode::kJmpRel && last.target_block >= 0) {
+      succs.push_back(last.target_block);
+      falls_through = false;
+    } else if (last.IsTerminator()) {
+      // ret / indirect jmp / hlt / tail call: no intra-function successor.
+      falls_through = false;
+    }
+  }
+  if (falls_through && static_cast<size_t>(layout_idx) + 1 < blocks_.size()) {
+    succs.push_back(blocks_[static_cast<size_t>(layout_idx) + 1].id);
+  }
+  return succs;
+}
+
+size_t Function::InstCount() const {
+  size_t n = 0;
+  for (const BasicBlock& b : blocks_) {
+    n += b.insts.size();
+  }
+  return n;
+}
+
+Status Function::Validate() const {
+  std::unordered_set<int32_t> ids;
+  for (const BasicBlock& b : blocks_) {
+    if (!ids.insert(b.id).second) {
+      return InternalError("duplicate block id in " + name_);
+    }
+  }
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    const BasicBlock& b = blocks_[i];
+    for (size_t j = 0; j < b.insts.size(); ++j) {
+      const Instruction& inst = b.insts[j];
+      if (inst.target_block >= 0) {
+        int32_t idx = IndexOfBlock(inst.target_block);
+        if (idx < 0) {
+          return InternalError("branch to unknown block in " + name_);
+        }
+        if (blocks_[static_cast<size_t>(idx)].phantom) {
+          return InternalError("branch targets phantom block in " + name_);
+        }
+      }
+      // Conditional branches may appear mid-block: range checks insert
+      // rarely-taken `ja .Lviol` branches before confined reads.
+      if (inst.IsTerminator() && j + 1 != b.insts.size()) {
+        return InternalError("terminator not at block end in " + name_);
+      }
+    }
+    // A block that falls through must have a layout successor.
+    if (i + 1 == blocks_.size()) {
+      bool falls = b.insts.empty() || !b.insts.back().IsTerminator();
+      if (falls && !b.phantom) {
+        return InternalError("last block of " + name_ + " falls through");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Function::ToString() const {
+  std::string out = name_ + ":\n";
+  for (const BasicBlock& b : blocks_) {
+    out += ".B" + std::to_string(b.id);
+    if (b.phantom) {
+      out += " (phantom)";
+    }
+    out += ":\n";
+    for (const Instruction& inst : b.insts) {
+      out += "  " + FormatInstruction(inst);
+      if (inst.inst_label >= 0) {
+        out += "   # L" + std::to_string(inst.inst_label);
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace krx

@@ -1,0 +1,86 @@
+// CFG-level intermediate representation.
+//
+// A Function is an ordered list of BasicBlocks. Order is *layout order*:
+// control falls through from one block to the next unless the block ends in
+// an unconditional transfer. Blocks carry stable integer ids, so branch
+// targets survive reordering; the diversifier makes all fallthroughs
+// explicit before permuting layout order.
+#ifndef KRX_SRC_IR_FUNCTION_H_
+#define KRX_SRC_IR_FUNCTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/isa/instruction.h"
+
+namespace krx {
+
+struct BasicBlock {
+  int32_t id = -1;
+  std::vector<Instruction> insts;
+
+  // True if this block was introduced as diversification padding (phantom
+  // blocks are never targeted by any branch and never executed).
+  bool phantom = false;
+
+  bool ends_with_unconditional_transfer() const {
+    return !insts.empty() && insts.back().IsTerminator();
+  }
+};
+
+class Function {
+ public:
+  Function() = default;
+  explicit Function(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  std::vector<BasicBlock>& blocks() { return blocks_; }
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+
+  // Appends a new empty block at the end of the layout and returns its id.
+  int32_t AddBlock();
+
+  // Reserves a fresh block id without inserting a block; the caller is
+  // responsible for adding a block with this id (used by passes that
+  // restructure the layout wholesale).
+  int32_t AllocateBlockId() { return next_block_id_++; }
+
+  // Layout index of the block with the given id, or -1.
+  int32_t IndexOfBlock(int32_t id) const;
+
+  BasicBlock& block_by_id(int32_t id);
+  const BasicBlock& block_by_id(int32_t id) const;
+
+  // Successor block ids of the block at layout index `layout_idx`:
+  // fallthrough and/or explicit branch targets. Indirect transfers and
+  // returns contribute no intra-function successors.
+  std::vector<int32_t> SuccessorsOf(int32_t layout_idx) const;
+
+  // Total instruction count.
+  size_t InstCount() const;
+
+  // Structural sanity: unique block ids, branch targets exist, Jcc/JmpRel
+  // with block targets appear only as the last or second-to-last transfer
+  // position, phantom blocks are never targeted.
+  Status Validate() const;
+
+  // Multi-line disassembly-style listing.
+  std::string ToString() const;
+
+  // Next unused local label id (for tripwire labels).
+  int32_t AllocateLabel() { return next_label_++; }
+
+ private:
+  std::string name_;
+  std::vector<BasicBlock> blocks_;
+  int32_t next_block_id_ = 0;
+  int32_t next_label_ = 0;
+};
+
+}  // namespace krx
+
+#endif  // KRX_SRC_IR_FUNCTION_H_

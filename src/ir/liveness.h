@@ -1,0 +1,45 @@
+// Dataflow analyses over the CFG IR.
+//
+// FlagsLiveness is the backward liveness analysis of the %rflags resource
+// used by the O1 optimization of kR^X-SFI (§5.1.2): a range check only needs
+// the pushfq/popfq wrapper if %rflags is live at its insertion point.
+// The analysis treats %rflags as a single resource (the paper explicitly
+// over-preserves rather than tracking individual status bits; footnote 6).
+#ifndef KRX_SRC_IR_LIVENESS_H_
+#define KRX_SRC_IR_LIVENESS_H_
+
+#include <vector>
+
+#include "src/ir/function.h"
+
+namespace krx {
+
+class FlagsLiveness {
+ public:
+  // Computes block-level live-in/live-out for `fn`. The function must not be
+  // mutated while this analysis is in use.
+  explicit FlagsLiveness(const Function& fn);
+
+  // True if %rflags may be read before being redefined, starting at the
+  // point just before instruction `inst_idx` of the block at layout index
+  // `layout_idx` (inst_idx == insts.size() queries the block's live-out).
+  bool LiveBefore(int32_t layout_idx, size_t inst_idx) const;
+
+  bool LiveIn(int32_t layout_idx) const { return live_in_[static_cast<size_t>(layout_idx)]; }
+  bool LiveOut(int32_t layout_idx) const { return live_out_[static_cast<size_t>(layout_idx)]; }
+
+ private:
+  const Function& fn_;
+  std::vector<bool> live_in_;
+  std::vector<bool> live_out_;
+};
+
+// Tracks, per program point, which instruction most recently wrote each
+// register within a block scan. Used by O3 coalescing and by the decoy pass
+// when picking safe phantom-instruction insertion points.
+bool InstructionWritesReg(const Instruction& inst, Reg r);
+bool InstructionReadsReg(const Instruction& inst, Reg r);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_IR_LIVENESS_H_

@@ -1,0 +1,43 @@
+// Byte encoding of krx64 instructions.
+//
+// The encoding is variable length (1..11 bytes), which matters for the
+// attack-side components: gadget scanning and JIT-ROP disassemble raw code
+// bytes, potentially at unaligned offsets, exactly as on x86. Branch targets
+// are encoded as rel32 displacements from the end of the instruction, and
+// rip-relative memory operands as disp32 from the end of the instruction,
+// mirroring -mcmodel=kernel's ±2GB constraint (§5.1.1).
+#ifndef KRX_SRC_ISA_ENCODING_H_
+#define KRX_SRC_ISA_ENCODING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/isa/instruction.h"
+
+namespace krx {
+
+// Appends the encoding of `inst` to `out`. Branch/symbol operands must be
+// resolved (imm holds the rel32 / the mem disp holds the final displacement);
+// encoding an instruction with an unresolved target_block/target_symbol or a
+// symbol-carrying mem operand is a programming error.
+void EncodeInstruction(const Instruction& inst, std::vector<uint8_t>& out);
+
+// Size the instruction will occupy once encoded. Independent of operand
+// values (displacements are fixed-width), so single-pass layout is exact.
+uint8_t EncodedSize(const Instruction& inst);
+
+struct Decoded {
+  Instruction inst;
+  uint8_t size = 0;
+};
+
+// Decodes one instruction from bytes[offset..]. Fails on truncation or on
+// byte sequences that do not form a valid instruction (invalid opcode,
+// condition, scale or flag bits) — the common case when disassembling at
+// unaligned offsets.
+Result<Decoded> DecodeInstruction(const uint8_t* bytes, size_t len, size_t offset);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_ISA_ENCODING_H_

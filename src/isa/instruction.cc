@@ -1,0 +1,335 @@
+#include "src/isa/instruction.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace krx {
+namespace {
+
+void Add(Reg out[6], int* count, Reg r) {
+  if (r == Reg::kNone) {
+    return;
+  }
+  for (int i = 0; i < *count; ++i) {
+    if (out[i] == r) {
+      return;
+    }
+  }
+  out[(*count)++] = r;
+}
+
+void AddMemRegs(Reg out[6], int* count, const MemOperand& mem) {
+  Add(out, count, mem.base);
+  Add(out, count, mem.index);
+}
+
+}  // namespace
+
+void InstructionRegReads(const Instruction& inst, Reg out[6], int* count) {
+  *count = 0;
+  switch (inst.op) {
+    case Opcode::kMovRR:
+      Add(out, count, inst.r2);
+      break;
+    case Opcode::kMovRI:
+      break;
+    case Opcode::kLoad:
+    case Opcode::kLea:
+      AddMemRegs(out, count, inst.mem);
+      break;
+    case Opcode::kStore:
+      Add(out, count, inst.r1);
+      AddMemRegs(out, count, inst.mem);
+      break;
+    case Opcode::kStoreImm:
+    case Opcode::kCmpMI:
+    case Opcode::kBndcu:
+    case Opcode::kJmpM:
+    case Opcode::kCallM:
+      AddMemRegs(out, count, inst.mem);
+      break;
+    case Opcode::kPushR:
+      Add(out, count, inst.r1);
+      Add(out, count, Reg::kRsp);
+      break;
+    case Opcode::kPopR:
+    case Opcode::kPushfq:
+    case Opcode::kPopfq:
+      Add(out, count, Reg::kRsp);
+      break;
+    case Opcode::kAddRR:
+    case Opcode::kSubRR:
+    case Opcode::kAndRR:
+    case Opcode::kOrRR:
+    case Opcode::kXorRR:
+    case Opcode::kImulRR:
+    case Opcode::kCmpRR:
+    case Opcode::kTestRR:
+      Add(out, count, inst.r1);
+      Add(out, count, inst.r2);
+      break;
+    case Opcode::kAddRI:
+    case Opcode::kSubRI:
+    case Opcode::kAndRI:
+    case Opcode::kOrRI:
+    case Opcode::kXorRI:
+    case Opcode::kShlRI:
+    case Opcode::kShrRI:
+    case Opcode::kCmpRI:
+      Add(out, count, inst.r1);
+      break;
+    case Opcode::kAddRM:
+    case Opcode::kCmpRM:
+      Add(out, count, inst.r1);
+      AddMemRegs(out, count, inst.mem);
+      break;
+    case Opcode::kXorMR:
+      Add(out, count, inst.r1);
+      AddMemRegs(out, count, inst.mem);
+      break;
+    case Opcode::kJmpR:
+    case Opcode::kCallR:
+      Add(out, count, inst.r1);
+      break;
+    case Opcode::kRet:
+      Add(out, count, Reg::kRsp);
+      break;
+    case Opcode::kMovsq:
+      Add(out, count, Reg::kRsi);
+      Add(out, count, Reg::kRdi);
+      break;
+    case Opcode::kLodsq:
+      Add(out, count, Reg::kRsi);
+      break;
+    case Opcode::kStosq:
+      Add(out, count, Reg::kRdi);
+      Add(out, count, Reg::kRax);
+      break;
+    case Opcode::kCmpsq:
+      Add(out, count, Reg::kRsi);
+      Add(out, count, Reg::kRdi);
+      break;
+    case Opcode::kScasq:
+      Add(out, count, Reg::kRdi);
+      Add(out, count, Reg::kRax);
+      break;
+    case Opcode::kWrmsr:
+      Add(out, count, Reg::kRax);
+      Add(out, count, Reg::kRdx);
+      Add(out, count, Reg::kRcx);
+      break;
+    default:
+      break;
+  }
+  if (inst.rep && inst.IsString()) {
+    Add(out, count, Reg::kRcx);
+  }
+}
+
+void InstructionRegWrites(const Instruction& inst, Reg out[6], int* count) {
+  *count = 0;
+  switch (inst.op) {
+    case Opcode::kMovRR:
+    case Opcode::kMovRI:
+    case Opcode::kLoad:
+    case Opcode::kLea:
+    case Opcode::kAddRR:
+    case Opcode::kAddRI:
+    case Opcode::kSubRR:
+    case Opcode::kSubRI:
+    case Opcode::kAndRR:
+    case Opcode::kAndRI:
+    case Opcode::kOrRR:
+    case Opcode::kOrRI:
+    case Opcode::kXorRR:
+    case Opcode::kXorRI:
+    case Opcode::kShlRI:
+    case Opcode::kShrRI:
+    case Opcode::kImulRR:
+    case Opcode::kAddRM:
+      Add(out, count, inst.r1);
+      break;
+    case Opcode::kPushR:
+    case Opcode::kPushfq:
+    case Opcode::kPopfq:
+    case Opcode::kRet:
+      Add(out, count, Reg::kRsp);
+      break;
+    case Opcode::kPopR:
+      Add(out, count, inst.r1);
+      Add(out, count, Reg::kRsp);
+      break;
+    case Opcode::kCallRel:
+    case Opcode::kCallR:
+    case Opcode::kCallM:
+      Add(out, count, Reg::kRsp);
+      break;
+    case Opcode::kMovsq:
+      Add(out, count, Reg::kRsi);
+      Add(out, count, Reg::kRdi);
+      break;
+    case Opcode::kLodsq:
+      Add(out, count, Reg::kRax);
+      Add(out, count, Reg::kRsi);
+      break;
+    case Opcode::kStosq:
+      Add(out, count, Reg::kRdi);
+      break;
+    case Opcode::kCmpsq:
+      Add(out, count, Reg::kRsi);
+      Add(out, count, Reg::kRdi);
+      break;
+    case Opcode::kScasq:
+      Add(out, count, Reg::kRdi);
+      break;
+    default:
+      break;
+  }
+  if (inst.rep && inst.IsString()) {
+    Add(out, count, Reg::kRcx);
+  }
+}
+
+std::string FormatMemOperand(const MemOperand& mem) {
+  char buf[96];
+  if (mem.rip_relative) {
+    if (mem.symbol >= 0) {
+      std::snprintf(buf, sizeof(buf), "sym%d(%%rip)", mem.symbol);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%" PRId64 "(%%rip)", mem.disp);
+    }
+    return buf;
+  }
+  if (mem.is_absolute()) {
+    std::snprintf(buf, sizeof(buf), "0x%" PRIx64, static_cast<uint64_t>(mem.disp));
+    return buf;
+  }
+  std::string out;
+  if (mem.disp != 0) {
+    std::snprintf(buf, sizeof(buf), "0x%" PRIx64, static_cast<uint64_t>(mem.disp));
+    out += buf;
+  }
+  out += "(";
+  if (mem.has_base()) {
+    out += "%";
+    out += RegName(mem.base);
+  }
+  if (mem.has_index()) {
+    out += ",%";
+    out += RegName(mem.index);
+    std::snprintf(buf, sizeof(buf), ",%u", mem.scale);
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+std::string FormatInstruction(const Instruction& inst) {
+  char buf[160];
+  const char* name = OpcodeName(inst.op);
+  std::string rep_prefix = inst.rep ? "rep " : "";
+  switch (inst.op) {
+    case Opcode::kNop:
+    case Opcode::kHlt:
+    case Opcode::kInt3:
+    case Opcode::kUd2:
+    case Opcode::kPushfq:
+    case Opcode::kPopfq:
+    case Opcode::kRet:
+    case Opcode::kSyscall:
+    case Opcode::kSysret:
+    case Opcode::kWrmsr:
+      return std::string(name);
+    case Opcode::kMovRR:
+    case Opcode::kAddRR:
+    case Opcode::kSubRR:
+    case Opcode::kAndRR:
+    case Opcode::kOrRR:
+    case Opcode::kXorRR:
+    case Opcode::kImulRR:
+    case Opcode::kCmpRR:
+    case Opcode::kTestRR:
+      std::snprintf(buf, sizeof(buf), "%s %%%s,%%%s", name, RegName(inst.r2), RegName(inst.r1));
+      return buf;
+    case Opcode::kMovRI:
+    case Opcode::kAddRI:
+    case Opcode::kSubRI:
+    case Opcode::kAndRI:
+    case Opcode::kOrRI:
+    case Opcode::kXorRI:
+    case Opcode::kShlRI:
+    case Opcode::kShrRI:
+    case Opcode::kCmpRI:
+      std::snprintf(buf, sizeof(buf), "%s $0x%" PRIx64 ",%%%s", name,
+                    static_cast<uint64_t>(inst.imm), RegName(inst.r1));
+      return buf;
+    case Opcode::kLoad:
+    case Opcode::kAddRM:
+    case Opcode::kCmpRM:
+    case Opcode::kLea:
+      std::snprintf(buf, sizeof(buf), "%s %s,%%%s", name, FormatMemOperand(inst.mem).c_str(),
+                    RegName(inst.r1));
+      return buf;
+    case Opcode::kStore:
+    case Opcode::kXorMR:
+      std::snprintf(buf, sizeof(buf), "%s %%%s,%s", name, RegName(inst.r1),
+                    FormatMemOperand(inst.mem).c_str());
+      return buf;
+    case Opcode::kStoreImm:
+    case Opcode::kCmpMI:
+      std::snprintf(buf, sizeof(buf), "%s $0x%" PRIx64 ",%s", name,
+                    static_cast<uint64_t>(inst.imm), FormatMemOperand(inst.mem).c_str());
+      return buf;
+    case Opcode::kPushR:
+    case Opcode::kPopR:
+    case Opcode::kJmpR:
+    case Opcode::kCallR:
+      std::snprintf(buf, sizeof(buf), "%s %%%s", name, RegName(inst.r1));
+      return buf;
+    case Opcode::kJmpM:
+    case Opcode::kCallM:
+      std::snprintf(buf, sizeof(buf), "%s %s", name, FormatMemOperand(inst.mem).c_str());
+      return buf;
+    case Opcode::kJmpRel:
+      if (inst.target_block >= 0) {
+        std::snprintf(buf, sizeof(buf), "jmp .B%d", inst.target_block);
+      } else if (inst.target_symbol >= 0) {
+        std::snprintf(buf, sizeof(buf), "jmp sym%d", inst.target_symbol);
+      } else {
+        std::snprintf(buf, sizeof(buf), "jmp %+" PRId64, inst.imm);
+      }
+      return buf;
+    case Opcode::kJcc:
+      if (inst.target_block >= 0) {
+        std::snprintf(buf, sizeof(buf), "j%s .B%d", CondName(inst.cond), inst.target_block);
+      } else {
+        std::snprintf(buf, sizeof(buf), "j%s %+" PRId64, CondName(inst.cond), inst.imm);
+      }
+      return buf;
+    case Opcode::kCallRel:
+      if (inst.target_symbol >= 0) {
+        std::snprintf(buf, sizeof(buf), "callq sym%d", inst.target_symbol);
+      } else {
+        std::snprintf(buf, sizeof(buf), "callq %+" PRId64, inst.imm);
+      }
+      return buf;
+    case Opcode::kMovsq:
+    case Opcode::kLodsq:
+    case Opcode::kStosq:
+    case Opcode::kCmpsq:
+    case Opcode::kScasq:
+      return rep_prefix + name;
+    case Opcode::kBndcu:
+      std::snprintf(buf, sizeof(buf), "bndcu %s,%%bnd0", FormatMemOperand(inst.mem).c_str());
+      return buf;
+    case Opcode::kLoadBnd0:
+      std::snprintf(buf, sizeof(buf), "bndmov $0x%" PRIx64 ",%%bnd0",
+                    static_cast<uint64_t>(inst.imm));
+      return buf;
+    case Opcode::kNumOpcodes:
+      break;
+  }
+  return "??";
+}
+
+}  // namespace krx

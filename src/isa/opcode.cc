@@ -1,0 +1,201 @@
+#include "src/isa/opcode.h"
+
+namespace krx {
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kHlt: return "hlt";
+    case Opcode::kInt3: return "int3";
+    case Opcode::kUd2: return "ud2";
+    case Opcode::kMovRR: return "mov";
+    case Opcode::kMovRI: return "mov";
+    case Opcode::kLoad: return "mov";
+    case Opcode::kStore: return "mov";
+    case Opcode::kStoreImm: return "movl";
+    case Opcode::kLea: return "lea";
+    case Opcode::kPushR: return "push";
+    case Opcode::kPopR: return "pop";
+    case Opcode::kPushfq: return "pushfq";
+    case Opcode::kPopfq: return "popfq";
+    case Opcode::kAddRR: return "add";
+    case Opcode::kAddRI: return "add";
+    case Opcode::kSubRR: return "sub";
+    case Opcode::kSubRI: return "sub";
+    case Opcode::kAndRR: return "and";
+    case Opcode::kAndRI: return "and";
+    case Opcode::kOrRR: return "or";
+    case Opcode::kOrRI: return "or";
+    case Opcode::kXorRR: return "xor";
+    case Opcode::kXorRI: return "xor";
+    case Opcode::kShlRI: return "shl";
+    case Opcode::kShrRI: return "shr";
+    case Opcode::kImulRR: return "imul";
+    case Opcode::kCmpRR: return "cmp";
+    case Opcode::kCmpRI: return "cmp";
+    case Opcode::kTestRR: return "test";
+    case Opcode::kAddRM: return "add";
+    case Opcode::kCmpRM: return "cmp";
+    case Opcode::kCmpMI: return "cmpl";
+    case Opcode::kXorMR: return "xor";
+    case Opcode::kJmpRel: return "jmp";
+    case Opcode::kJcc: return "j";
+    case Opcode::kJmpR: return "jmp*";
+    case Opcode::kJmpM: return "jmp*";
+    case Opcode::kCallRel: return "callq";
+    case Opcode::kCallR: return "callq*";
+    case Opcode::kCallM: return "callq*";
+    case Opcode::kRet: return "retq";
+    case Opcode::kMovsq: return "movsq";
+    case Opcode::kLodsq: return "lodsq";
+    case Opcode::kStosq: return "stosq";
+    case Opcode::kCmpsq: return "cmpsq";
+    case Opcode::kScasq: return "scasq";
+    case Opcode::kBndcu: return "bndcu";
+    case Opcode::kLoadBnd0: return "bndmov";
+    case Opcode::kSyscall: return "syscall";
+    case Opcode::kSysret: return "sysret";
+    case Opcode::kWrmsr: return "wrmsr";
+    case Opcode::kNumOpcodes: break;
+  }
+  return "??";
+}
+
+const char* CondName(Cond c) {
+  switch (c) {
+    case Cond::kE: return "e";
+    case Cond::kNe: return "ne";
+    case Cond::kA: return "a";
+    case Cond::kAe: return "ae";
+    case Cond::kB: return "b";
+    case Cond::kBe: return "be";
+    case Cond::kG: return "g";
+    case Cond::kGe: return "ge";
+    case Cond::kL: return "l";
+    case Cond::kLe: return "le";
+    case Cond::kS: return "s";
+    case Cond::kNs: return "ns";
+  }
+  return "??";
+}
+
+bool OpcodeReadsMemory(Opcode op) {
+  switch (op) {
+    case Opcode::kLoad:
+    case Opcode::kAddRM:
+    case Opcode::kCmpRM:
+    case Opcode::kCmpMI:
+    case Opcode::kXorMR:
+    case Opcode::kJmpM:
+    case Opcode::kCallM:
+    case Opcode::kMovsq:
+    case Opcode::kLodsq:
+    case Opcode::kCmpsq:
+    case Opcode::kScasq:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool OpcodeWritesMemory(Opcode op) {
+  switch (op) {
+    case Opcode::kStore:
+    case Opcode::kStoreImm:
+    case Opcode::kXorMR:
+    case Opcode::kMovsq:
+    case Opcode::kStosq:
+    case Opcode::kPushR:
+    case Opcode::kPushfq:
+    case Opcode::kCallRel:
+    case Opcode::kCallR:
+    case Opcode::kCallM:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool OpcodeWritesFlags(Opcode op) {
+  switch (op) {
+    case Opcode::kAddRR:
+    case Opcode::kAddRI:
+    case Opcode::kSubRR:
+    case Opcode::kSubRI:
+    case Opcode::kAndRR:
+    case Opcode::kAndRI:
+    case Opcode::kOrRR:
+    case Opcode::kOrRI:
+    case Opcode::kXorRR:
+    case Opcode::kXorRI:
+    case Opcode::kShlRI:
+    case Opcode::kShrRI:
+    case Opcode::kImulRR:
+    case Opcode::kCmpRR:
+    case Opcode::kCmpRI:
+    case Opcode::kTestRR:
+    case Opcode::kAddRM:
+    case Opcode::kCmpRM:
+    case Opcode::kCmpMI:
+    case Opcode::kXorMR:
+    case Opcode::kCmpsq:
+    case Opcode::kScasq:
+    case Opcode::kPopfq:
+      return true;
+    // Calls clobber flags across the boundary (callees do not preserve
+    // %rflags under the ABI the kernel uses), which the liveness analysis
+    // models as a definition.
+    case Opcode::kCallRel:
+    case Opcode::kCallR:
+    case Opcode::kCallM:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool OpcodeReadsFlags(Opcode op) {
+  switch (op) {
+    case Opcode::kJcc:
+    case Opcode::kPushfq:
+      return true;
+    // rep-prefixed cmps/scas terminate on ZF; the flag dependency is modelled
+    // conservatively at the instruction level (see Instruction::ReadsFlags).
+    default:
+      return false;
+  }
+}
+
+bool OpcodeIsTerminator(Opcode op) {
+  switch (op) {
+    case Opcode::kJmpRel:
+    case Opcode::kJmpR:
+    case Opcode::kJmpM:
+    case Opcode::kRet:
+    case Opcode::kHlt:
+    case Opcode::kUd2:
+    case Opcode::kSysret:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool OpcodeIsCall(Opcode op) {
+  return op == Opcode::kCallRel || op == Opcode::kCallR || op == Opcode::kCallM;
+}
+
+bool OpcodeIsString(Opcode op) {
+  switch (op) {
+    case Opcode::kMovsq:
+    case Opcode::kLodsq:
+    case Opcode::kStosq:
+    case Opcode::kCmpsq:
+    case Opcode::kScasq:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace krx

@@ -1,0 +1,131 @@
+// Opcodes and condition codes of the krx64 simulated ISA.
+//
+// The opcode set is the subset of x86-64 that the kR^X paper's
+// transformations manipulate or generate: general data movement, the ALU
+// operations that define %rflags, pushfq/popfq, string operations, control
+// transfer (direct/indirect call/jmp, conditional jumps, ret), int3
+// tripwires, and the MPX bndcu bounds check.
+#ifndef KRX_SRC_ISA_OPCODE_H_
+#define KRX_SRC_ISA_OPCODE_H_
+
+#include <cstdint>
+
+namespace krx {
+
+enum class Opcode : uint8_t {
+  // Miscellaneous.
+  kNop = 0,
+  kHlt,
+  kInt3,   // Tripwire: raises #BR-class exception when executed.
+  kUd2,    // Invalid opcode: raises #UD.
+
+  // Data movement.
+  kMovRR,     // r1 <- r2
+  kMovRI,     // r1 <- imm64
+  kLoad,      // r1 <- [mem]                 (memory read)
+  kStore,     // [mem] <- r1
+  kStoreImm,  // [mem] <- imm32 (sign-extended)
+  kLea,       // r1 <- effective_address(mem)
+  kPushR,     // push r1
+  kPopR,      // pop r1
+  kPushfq,    // push %rflags
+  kPopfq,     // pop %rflags
+
+  // ALU, register/immediate operands.
+  kAddRR,
+  kAddRI,
+  kSubRR,
+  kSubRI,
+  kAndRR,
+  kAndRI,
+  kOrRR,
+  kOrRI,
+  kXorRR,
+  kXorRI,
+  kShlRI,
+  kShrRI,
+  kImulRR,
+  kCmpRR,
+  kCmpRI,
+  kTestRR,
+
+  // ALU involving memory.
+  kAddRM,   // r1 += [mem]                   (memory read)
+  kCmpRM,   // flags(r1 - [mem])             (memory read)
+  kCmpMI,   // flags([mem] - imm32)          (memory read)
+  kXorMR,   // [mem] ^= r1                   (memory read + write)
+
+  // Control transfer.
+  kJmpRel,   // unconditional, label/rel32
+  kJcc,      // conditional, label/rel32
+  kJmpR,     // indirect through register
+  kJmpM,     // indirect through memory      (memory read)
+  kCallRel,  // direct call, symbol/rel32
+  kCallR,    // indirect call through register
+  kCallM,    // indirect call through memory (memory read)
+  kRet,
+
+  // String operations (quadword granularity; optionally rep-prefixed).
+  kMovsq,  // [rdi] <- [rsi]; rsi,rdi advance    (memory read via %rsi)
+  kLodsq,  // rax <- [rsi]; rsi advances         (memory read via %rsi)
+  kStosq,  // [rdi] <- rax; rdi advances
+  kCmpsq,  // flags([rsi] - [rdi]); both advance (memory read via %rsi)
+  kScasq,  // flags(rax - [rdi]); rdi advances   (memory read via %rdi)
+
+  // MPX.
+  kBndcu,     // #BR if effective_address(mem) > bnd0.ub; does not touch flags
+  kLoadBnd0,  // bnd0.ub <- imm64 (privileged; used at boot / mode switch)
+
+  // System.
+  kSyscall,
+  kSysret,
+  kWrmsr,  // model of a serializing privileged write; no memory access
+
+  kNumOpcodes,
+};
+
+enum class Cond : uint8_t {
+  kE = 0,  // ZF
+  kNe,     // !ZF
+  kA,      // !CF && !ZF  (unsigned above)
+  kAe,     // !CF
+  kB,      // CF
+  kBe,     // CF || ZF
+  kG,      // !ZF && SF==OF (signed greater)
+  kGe,     // SF==OF
+  kL,      // SF!=OF
+  kLe,     // ZF || SF!=OF
+  kS,      // SF
+  kNs,     // !SF
+};
+
+const char* OpcodeName(Opcode op);
+const char* CondName(Cond c);
+
+// ---- Static opcode properties (used by the instrumentation passes). ----
+
+// True if executing the instruction performs a data-memory read that is
+// subject to R^X confinement when its effective address is attacker
+// influenced. Push/pop and the implicit stack accesses of call/ret are not
+// included: they go through %rsp and are covered by the .krx_phantom guard,
+// mirroring the paper's treatment of stack reads.
+bool OpcodeReadsMemory(Opcode op);
+
+// True if the instruction writes data memory.
+bool OpcodeWritesMemory(Opcode op);
+
+// True if the instruction (re)defines %rflags.
+bool OpcodeWritesFlags(Opcode op);
+
+// True if the instruction's behaviour depends on %rflags.
+bool OpcodeReadsFlags(Opcode op);
+
+// True for instructions that end a basic block.
+bool OpcodeIsTerminator(Opcode op);
+
+bool OpcodeIsCall(Opcode op);
+bool OpcodeIsString(Opcode op);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_ISA_OPCODE_H_

@@ -1,0 +1,28 @@
+#include "src/isa/register.h"
+
+namespace krx {
+
+const char* RegName(Reg r) {
+  switch (r) {
+    case Reg::kRax: return "rax";
+    case Reg::kRcx: return "rcx";
+    case Reg::kRdx: return "rdx";
+    case Reg::kRbx: return "rbx";
+    case Reg::kRsp: return "rsp";
+    case Reg::kRbp: return "rbp";
+    case Reg::kRsi: return "rsi";
+    case Reg::kRdi: return "rdi";
+    case Reg::kR8: return "r8";
+    case Reg::kR9: return "r9";
+    case Reg::kR10: return "r10";
+    case Reg::kR11: return "r11";
+    case Reg::kR12: return "r12";
+    case Reg::kR13: return "r13";
+    case Reg::kR14: return "r14";
+    case Reg::kR15: return "r15";
+    case Reg::kNone: return "none";
+  }
+  return "??";
+}
+
+}  // namespace krx

@@ -1,0 +1,88 @@
+// Kernel dynamic-memory allocators: a Bonwick-style slab allocator
+// (kmalloc size-class caches over physmap pages) and a vmalloc arena
+// (page-granular mappings with guard gaps).
+//
+// §5.1.1 argues that kR^X-KAS — unlike bit-masking SFI layouts — is
+// *transparent* to these allocators: no alignment constraints, no address
+// space carving. The reproduction demonstrates that by running the same
+// allocators unchanged under both layouts (tests/allocator_test.cc).
+#ifndef KRX_SRC_KERNEL_ALLOCATOR_H_
+#define KRX_SRC_KERNEL_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/kernel/image.h"
+
+namespace krx {
+
+// kmalloc: power-of-two size classes from 32 bytes to one page, each backed
+// by single-page slabs carved from the physmap (direct-mapped) region.
+class SlabAllocator {
+ public:
+  explicit SlabAllocator(KernelImage* image) : image_(image) {}
+
+  // Smallest size class >= `size`; at most kPageSize.
+  Result<uint64_t> Kmalloc(uint64_t size);
+  Status Kfree(uint64_t vaddr);
+
+  struct Stats {
+    uint64_t slabs = 0;
+    uint64_t live_objects = 0;
+    uint64_t allocations = 0;
+    uint64_t frees = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  static constexpr uint64_t kMinObject = 32;
+
+ private:
+  struct Slab {
+    uint64_t base = 0;       // page vaddr (physmap)
+    uint64_t object_size = 0;
+    uint64_t free_mask = 0;  // bit i set = object i free (<= 64 objects at 64B min... 128 at 32B)
+    // 4096/32 = 128 objects exceeds 64 bits; use two words.
+    uint64_t free_mask_hi = 0;
+
+    uint64_t capacity() const { return kPageSize / object_size; }
+    bool Full() const;
+    bool Empty() const;
+    int TakeFreeIndex();
+    void Release(uint64_t index);
+  };
+
+  Result<Slab*> SlabWithSpace(uint64_t object_size);
+
+  KernelImage* image_;
+  // size class -> slabs
+  std::map<uint64_t, std::vector<Slab>> caches_;
+  // page vaddr -> (size class) for O(log n) kfree
+  std::map<uint64_t, uint64_t> page_class_;
+  Stats stats_;
+};
+
+// vmalloc: virtually contiguous page-range allocations inside the vmalloc
+// arena, each followed by an unmapped guard page (as Linux does), so linear
+// overflows fault instead of corrupting the neighbour.
+class VmallocArena {
+ public:
+  explicit VmallocArena(KernelImage* image, uint64_t arena_pages = 4096)
+      : image_(image), arena_pages_(arena_pages) {}
+
+  Result<uint64_t> Vmalloc(uint64_t bytes);
+  Status Vfree(uint64_t vaddr);
+
+  uint64_t live_ranges() const { return static_cast<uint64_t>(ranges_.size()); }
+
+ private:
+  KernelImage* image_;
+  uint64_t arena_pages_;
+  uint64_t cursor_pages_ = 0;
+  std::map<uint64_t, uint64_t> ranges_;  // vaddr -> num_pages
+};
+
+}  // namespace krx
+
+#endif  // KRX_SRC_KERNEL_ALLOCATOR_H_

@@ -1,0 +1,47 @@
+#include "src/kernel/appendix_bugs.h"
+
+namespace krx {
+namespace {
+
+// The kernel routines build an equivalent flags mask in a local declared
+// `unsigned long val`. On 64-bit that type is 64 bits wide; on 32-bit it is
+// 32 bits wide and the XD bit (bit 63) cannot survive the round trip.
+uint64_t CopyThroughVal(uint64_t flags, WordSize word_size) {
+  if (word_size == WordSize::k32) {
+    uint32_t val = static_cast<uint32_t>(flags);  // XD (bit 63) cleared here.
+    return val;
+  }
+  uint64_t val = flags;
+  return val;
+}
+
+}  // namespace
+
+uint64_t PgprotLarge2_4k(uint64_t flags, WordSize word_size) {
+  uint64_t val = CopyThroughVal(flags, word_size);
+  val &= ~kPteFlagPse;  // 4KB entries do not carry the PSE bit.
+  return val;
+}
+
+uint64_t Pgprot4k_2Large(uint64_t flags, WordSize word_size) {
+  uint64_t val = CopyThroughVal(flags, word_size);
+  val |= kPteFlagPse;
+  return val;
+}
+
+uint64_t SplitLargePageFlags(uint64_t large_flags, WordSize word_size) {
+  return PgprotLarge2_4k(large_flags, word_size);
+}
+
+bool IsWxViolation(uint64_t flags) {
+  return (flags & kPteFlagPresent) != 0 && (flags & kPteFlagWritable) != 0 &&
+         (flags & kPteFlagXd) == 0;
+}
+
+bool ModuleAllocSizeCheckPasses(uint64_t size, uint64_t modules_len, bool modules_len_buggy) {
+  uint64_t effective_len = modules_len_buggy ? ~modules_len : modules_len;
+  // module_alloc() rejects requests larger than the modules region.
+  return size <= effective_len;
+}
+
+}  // namespace krx

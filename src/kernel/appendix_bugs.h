@@ -1,0 +1,59 @@
+// Models of the two Linux kernel bugs discovered during the development of
+// kR^X-KAS (paper, Appendix A).
+//
+// Bug 1 (security critical): pgprot_large_2_4k()/pgprot_4k_2_large() copy
+// PTE flags between 2MB and 4KB page representations through an
+// `unsigned long` local. On x86 (32-bit) that local is 32 bits wide, so the
+// eXecute-Disable bit — bit 63 of the 64-bit PAE entry — is always cleared,
+// silently marking the resulting pages executable (a W^X violation when the
+// pages are writable).
+//
+// Bug 2 (benign): module_alloc()'s sanity check compares the requested size
+// against MODULES_LEN, but on x86 (32-bit) MODULES_LEN was assigned its
+// complementary value, so the check can never fail; only the subsequent
+// vmalloc failure saves the day.
+#ifndef KRX_SRC_KERNEL_APPENDIX_BUGS_H_
+#define KRX_SRC_KERNEL_APPENDIX_BUGS_H_
+
+#include <cstdint>
+
+namespace krx {
+
+// 64-bit PAE page-table entry flag bits used by the model.
+inline constexpr uint64_t kPteFlagPresent = 1ULL << 0;
+inline constexpr uint64_t kPteFlagWritable = 1ULL << 1;
+inline constexpr uint64_t kPteFlagAccessed = 1ULL << 5;
+inline constexpr uint64_t kPteFlagDirty = 1ULL << 6;
+inline constexpr uint64_t kPteFlagPse = 1ULL << 7;  // large (2MB) page
+inline constexpr uint64_t kPteFlagGlobal = 1ULL << 8;
+inline constexpr uint64_t kPteFlagXd = 1ULL << 63;  // eXecute-Disable
+
+enum class WordSize : uint8_t { k32, k64 };
+
+// Converts a 2MB-page protection mask to its 4KB-page equivalent (the PSE
+// bit is dropped). `word_size` selects the width of the internal `val`
+// local: WordSize::k32 reproduces the bug (XD is lost), WordSize::k64 is
+// the correct behaviour.
+uint64_t PgprotLarge2_4k(uint64_t flags, WordSize word_size);
+
+// Converts a 4KB-page protection mask to its 2MB-page equivalent (the PSE
+// bit is added). Same truncation bug under WordSize::k32.
+uint64_t Pgprot4k_2Large(uint64_t flags, WordSize word_size);
+
+// Splits a 2MB mapping into 512 4KB entries, returning the flag mask the
+// children receive. A writable, XD 2MB page split under the 32-bit model
+// yields writable+executable children: the W^X violation from Appendix A.
+uint64_t SplitLargePageFlags(uint64_t large_flags, WordSize word_size);
+
+// True if `flags` describes a W^X-violating mapping (writable and
+// executable at once).
+bool IsWxViolation(uint64_t flags);
+
+// Appendix A's module_alloc() size check. `modules_len_buggy` selects the
+// x86 (32-bit) misassignment of MODULES_LEN (its complementary value):
+// with the bug the check never rejects, regardless of `size`.
+bool ModuleAllocSizeCheckPasses(uint64_t size, uint64_t modules_len, bool modules_len_buggy);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_KERNEL_APPENDIX_BUGS_H_

@@ -1,0 +1,95 @@
+#include "src/kernel/assembler.h"
+
+#include <unordered_map>
+
+#include "src/base/math_util.h"
+#include "src/isa/encoding.h"
+
+namespace krx {
+namespace {
+
+// Byte offset (from instruction start) of the rip-relative disp32 field of
+// an instruction carrying a symbol/label mem operand.
+uint64_t DispFieldOffset(const Instruction& inst, uint8_t size) {
+  if (inst.op == Opcode::kStoreImm || inst.op == Opcode::kCmpMI) {
+    return static_cast<uint64_t>(size) - 8;  // disp32 followed by imm32
+  }
+  return static_cast<uint64_t>(size) - 4;
+}
+
+}  // namespace
+
+Status Assembler::Assemble(const Function& fn, TextBlob* blob) {
+  KRX_RETURN_IF_ERROR(fn.Validate());
+
+  // Align the function start.
+  while (!IsAligned(blob->bytes.size(), 16)) {
+    blob->bytes.push_back(kTextPadByte);
+  }
+  const uint64_t fn_start = blob->bytes.size();
+
+  // Pass 1: offsets of blocks and labeled instructions (blob-relative).
+  std::unordered_map<int32_t, uint64_t> block_off;
+  std::unordered_map<int32_t, uint64_t> label_off;
+  uint64_t off = fn_start;
+  for (const BasicBlock& b : fn.blocks()) {
+    KRX_CHECK(block_off.emplace(b.id, off).second);
+    for (const Instruction& inst : b.insts) {
+      if (inst.inst_label >= 0) {
+        KRX_CHECK(label_off.emplace(inst.inst_label, off).second);
+      }
+      off += EncodedSize(inst);
+    }
+  }
+  const uint64_t fn_end = off;
+
+  // Pass 2: emit.
+  for (const BasicBlock& b : fn.blocks()) {
+    for (const Instruction& orig : b.insts) {
+      Instruction inst = orig;
+      const uint64_t inst_off = blob->bytes.size();
+      const uint8_t size = EncodedSize(inst);
+      const uint64_t inst_end = inst_off + size;
+
+      if (inst.target_block >= 0) {
+        auto it = block_off.find(inst.target_block);
+        if (it == block_off.end()) {
+          return InternalError("branch to unknown block in " + fn.name());
+        }
+        inst.imm = static_cast<int64_t>(it->second) - static_cast<int64_t>(inst_end);
+        inst.target_block = -1;
+      } else if (inst.target_symbol >= 0) {
+        blob->relocs.push_back(
+            Reloc{RelocKind::kRel32, inst_end - 4, inst_end, inst.target_symbol});
+        inst.imm = 0;
+        inst.target_symbol = -1;
+      }
+
+      if (inst.mem_label >= 0) {
+        auto it = label_off.find(inst.mem_label);
+        if (it == label_off.end()) {
+          return InternalError("reference to unknown local label in " + fn.name());
+        }
+        KRX_CHECK(inst.mem.rip_relative);
+        inst.mem.disp = static_cast<int64_t>(it->second) + inst.mem_label_byte_off -
+                        static_cast<int64_t>(inst_end);
+        inst.mem_label = -1;
+      } else if (inst.mem.symbol >= 0) {
+        KRX_CHECK(inst.mem.rip_relative);
+        blob->relocs.push_back(Reloc{RelocKind::kRel32, inst_off + DispFieldOffset(inst, size),
+                                     inst_end, inst.mem.symbol});
+        inst.mem.symbol = -1;
+        inst.mem.disp = 0;
+      }
+
+      EncodeInstruction(inst, blob->bytes);
+      KRX_CHECK(blob->bytes.size() == inst_end);
+    }
+  }
+  KRX_CHECK(blob->bytes.size() == fn_end);
+
+  blob->functions.push_back(AssembledFunction{fn.name(), fn_start, fn_end - fn_start});
+  return Status::Ok();
+}
+
+}  // namespace krx

@@ -1,0 +1,45 @@
+// Two-pass assembler: IR functions -> text-section bytes + relocations.
+//
+// Instruction encodings have operand-independent sizes, so a single sizing
+// pass computes exact offsets for blocks and instruction labels; the second
+// pass emits bytes, resolving intra-function branches and local labels and
+// recording relocations for symbol references (calls, tail jumps,
+// rip-relative data references).
+#ifndef KRX_SRC_KERNEL_ASSEMBLER_H_
+#define KRX_SRC_KERNEL_ASSEMBLER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ir/function.h"
+#include "src/kernel/object.h"
+
+namespace krx {
+
+struct AssembledFunction {
+  std::string name;
+  uint64_t offset = 0;  // within the text blob
+  uint64_t size = 0;
+};
+
+struct TextBlob {
+  std::vector<uint8_t> bytes;
+  std::vector<Reloc> relocs;  // offsets relative to the blob
+  std::vector<AssembledFunction> functions;
+};
+
+// Byte used to pad between functions. Chosen to decode as int3, like the
+// 0xCC fill binutils emits between functions.
+inline constexpr uint8_t kTextPadByte = 2;  // Opcode::kInt3
+
+class Assembler {
+ public:
+  // Appends `fn` (16-byte aligned) to `blob`.
+  Status Assemble(const Function& fn, TextBlob* blob);
+};
+
+}  // namespace krx
+
+#endif  // KRX_SRC_KERNEL_ASSEMBLER_H_

@@ -1,0 +1,88 @@
+// Baseline execute-only-memory defenses the paper positions kR^X against
+// (§2): XnR [11] and HideM [51]. Both hide code from *direct* reads but,
+// unlike kR^X, do not protect code pointers — which is exactly how indirect
+// JIT-ROP bypasses them (Davi et al. [37], Conti et al. [24]). The
+// reproduction implements both so that the bypass narrative is executable
+// (bench/baseline_defenses).
+#ifndef KRX_SRC_KERNEL_BASELINE_DEFENSES_H_
+#define KRX_SRC_KERNEL_BASELINE_DEFENSES_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/base/status.h"
+#include "src/kernel/image.h"
+
+namespace krx {
+
+// ---- XnR ("You Can Run but You Can't Read") ----
+//
+// Code pages are kept "Not Present"; an instruction fetch #PF is serviced
+// by the OS handler, which makes the page present and maintains a sliding
+// window of at most `window_size` present code pages (evicting the oldest).
+// A *data* access #PF on an XnR page is a detected disclosure attempt: the
+// handler terminates. Inherent limitation (faithfully modelled): data reads
+// of pages currently inside the window succeed, because on x86 a present
+// page is always readable.
+class XnrState {
+ public:
+  XnrState(PageTable* pt, size_t window_size) : pt_(pt), window_size_(window_size) {}
+
+  // Registers a code page range; unmaps (marks not-present) all of it.
+  void Protect(uint64_t vaddr, uint64_t num_pages);
+
+  bool IsProtected(uint64_t vaddr) const {
+    return pages_.count(PageFloor(vaddr)) != 0;
+  }
+  bool IsResident(uint64_t vaddr) const;
+
+  // Services an instruction-fetch fault: returns true if the page is XnR
+  // protected and was made present (the fetch should be retried).
+  bool HandleFetchFault(uint64_t vaddr);
+
+  // A data access faulting on an XnR page = disclosure attempt.
+  bool IsDisclosureAttempt(uint64_t vaddr) const {
+    return IsProtected(vaddr) && !IsResident(vaddr);
+  }
+
+  uint64_t fetch_faults() const { return fetch_faults_; }
+  size_t resident_pages() const { return window_.size(); }
+
+ private:
+  PageTable* pt_;
+  size_t window_size_;
+  // vpage -> saved PTE of every protected page.
+  std::unordered_map<uint64_t, Pte> pages_;
+  std::deque<uint64_t> window_;  // resident vpages, oldest first
+  uint64_t fetch_faults_ = 0;
+};
+
+// Installs XnR over every text section of the image. Returns the state
+// object, owned by the image.
+XnrState* EnableXnr(KernelImage& image, size_t window_size);
+
+// ---- Heisenbyte / NEAR (destructive code reads, §8) ----
+//
+// Data reads of executable pages succeed but destroy what they disclosed
+// (the bytes are garbled in place), so a JIT-ROP payload assembled from the
+// disclosure crashes when executed. Snow et al.'s code-inference bypass
+// still applies: duplicated code (e.g. the kernel's cloned memcpy) lets the
+// attacker read one copy and execute the intact twin
+// (tests/baseline_defenses_test.cc demonstrates it).
+inline void EnableHeisenbyte(KernelImage& image) { image.set_destructive_code_reads(true); }
+
+// The fill pattern destructive reads leave behind (decodes as garbage).
+inline constexpr uint8_t kDestroyedByte = 0xD7;
+
+// ---- HideM (ITLB/DTLB desynchronization) ----
+//
+// Every text page gets a shadow "data view" frame filled with a poison
+// pattern; data reads of code see only poison while fetches execute the
+// real bytes. Returns the number of pages split.
+Result<uint64_t> EnableHidem(KernelImage& image, uint8_t poison = 0);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_KERNEL_BASELINE_DEFENSES_H_

@@ -1,0 +1,152 @@
+// The linked, loaded kernel image: physical memory, page tables, placed
+// sections, resolved symbols, and the physmap direct map.
+#ifndef KRX_SRC_KERNEL_IMAGE_H_
+#define KRX_SRC_KERNEL_IMAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/kernel/assembler.h"
+#include "src/kernel/layout.h"
+#include "src/kernel/object.h"
+#include "src/mem/mmu.h"
+#include "src/mem/phys_mem.h"
+
+namespace krx {
+
+class XnrState;
+
+struct PlacedSection {
+  std::string name;
+  SectionKind kind = SectionKind::kData;
+  uint64_t vaddr = 0;
+  uint64_t size = 0;        // content size
+  uint64_t mapped_size = 0; // page-aligned
+  uint64_t first_frame = 0;
+};
+
+// Name of the R^X violation handler the SFI instrumentation calls.
+inline constexpr const char* kKrxHandlerName = "krx_handler";
+
+class KernelImage {
+ public:
+  KernelImage(LayoutKind layout, uint64_t phys_bytes);
+  ~KernelImage();  // out of line: XnrState is incomplete here
+
+  LayoutKind layout() const { return layout_; }
+  PhysMem& phys() { return phys_; }
+  PageTable& page_table() { return page_table_; }
+  Mmu& mmu() { return mmu_; }
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+
+  // End of the data region under kR^X-KAS; 0 under the vanilla layout.
+  uint64_t krx_edata() const { return krx_edata_; }
+  void set_krx_edata(uint64_t v) { krx_edata_ = v; }
+
+  const std::vector<PlacedSection>& sections() const { return sections_; }
+  const PlacedSection* FindSection(const std::string& name) const;
+
+  // Places a section's content at `vaddr`: allocates frames, copies bytes,
+  // maps pages with permissions derived from the section kind (x86
+  // semantics; text is mapped executable and therefore also readable).
+  Result<PlacedSection*> PlaceSection(const std::string& name, SectionKind kind, uint64_t vaddr,
+                                      const std::vector<uint8_t>& bytes,
+                                      uint64_t min_size = 0);
+
+  // Maps the entire physical memory at kPhysmapBase (RW, NX): the direct
+  // map. Called once before sections are placed.
+  void MapPhysmap();
+
+  // Removes the physmap synonyms of every code-region section currently
+  // placed (kR^X physmap treatment, §5.1.1). Returns pages unmapped.
+  uint64_t UnmapCodeSynonyms();
+
+  // Physmap alias of a physical frame.
+  uint64_t PhysmapVaddr(uint64_t frame) const { return kPhysmapBase + (frame << kPageShift); }
+
+  // Kernel dynamic allocation (kmalloc-style, page granularity): allocates
+  // frames and returns their physmap virtual address. Kernel stacks and
+  // heap objects come from here — i.e. from the readable data region, which
+  // is what makes stack harvesting (indirect JIT-ROP) possible.
+  Result<uint64_t> AllocDataPages(uint64_t num_pages);
+
+  // Maps attacker-controlled *user* pages (U/S = 1, RWX — the attacker owns
+  // their own mapping) in the lower canonical half. Used by the ret2usr
+  // experiments: with SMEP enabled the kernel cannot fetch from these.
+  Result<uint64_t> MapUserPages(uint64_t vaddr, uint64_t num_pages);
+
+  // God-mode accessors for setup/inspection that bypass permissions (used
+  // by the loader and the test harness, never by simulated code).
+  Status PokeBytes(uint64_t vaddr, const uint8_t* src, uint64_t len);
+  Status PeekBytes(uint64_t vaddr, uint8_t* dst, uint64_t len) const;
+  Result<uint64_t> Peek64(uint64_t vaddr) const;
+  Status Poke64(uint64_t vaddr, uint64_t value);
+
+  // Overwrites every xkey slot with fresh random values (boot-time
+  // replenishment of return-address keys).
+  Status ReplenishXkeys(Rng& rng);
+
+  // Bump allocators for module placement.
+  Result<uint64_t> AllocModuleText(uint64_t size);
+  Result<uint64_t> AllocModuleData(uint64_t size);
+
+  // Region queries.
+  bool InCodeRegion(uint64_t addr) const;
+
+  // XnR baseline-defense state (see src/kernel/baseline_defenses.h); null
+  // unless EnableXnr() was called on this image.
+  XnrState* xnr() { return xnr_.get(); }
+  void set_xnr(std::unique_ptr<XnrState> state);
+
+  // Heisenbyte/NEAR-style destructive code reads (§8): when enabled, a data
+  // read of an executable page succeeds but garbles the bytes it returned,
+  // so disclosed gadgets cannot be executed afterwards.
+  bool destructive_code_reads() const { return destructive_code_reads_; }
+  void set_destructive_code_reads(bool on) { destructive_code_reads_ = on; }
+
+ private:
+  LayoutKind layout_;
+  PhysMem phys_;
+  PageTable page_table_;
+  Mmu mmu_;
+  SymbolTable symbols_;
+  std::vector<PlacedSection> sections_;
+  uint64_t krx_edata_ = 0;
+  bool physmap_mapped_ = false;
+
+  uint64_t module_text_cursor_ = 0;
+  uint64_t module_data_cursor_ = 0;
+  std::unique_ptr<XnrState> xnr_;
+  bool destructive_code_reads_ = false;
+};
+
+// Links a compiled kernel (text blob + extra code-region sections + data
+// objects) into a KernelImage.
+struct KernelLinkInput {
+  TextBlob text;
+  std::vector<uint8_t> xkeys;     // empty unless return-address encryption
+  // Offsets of each per-function xkey symbol within the xkeys section.
+  std::vector<std::pair<int32_t, uint64_t>> xkey_symbols;
+  std::vector<DataObject> data_objects;
+  uint64_t phantom_guard_size = kDefaultPhantomGuardSize;
+  uint64_t phys_bytes = 64ULL << 20;
+  // Coarse-KASLR slide: page-aligned offset added to the image placement
+  // (and, under kR^X-KAS, to the code-region placement above _krx_edata).
+  uint64_t kaslr_slide = 0;
+};
+
+Result<std::unique_ptr<KernelImage>> LinkKernel(LayoutKind layout, KernelLinkInput input,
+                                                SymbolTable symbols);
+
+// Applies `relocs` to `bytes` given the final section base address.
+Status ApplyRelocs(std::vector<uint8_t>& bytes, const std::vector<Reloc>& relocs,
+                   uint64_t section_base, const SymbolTable& symbols);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_KERNEL_IMAGE_H_

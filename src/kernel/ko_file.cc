@@ -1,0 +1,258 @@
+#include "src/kernel/ko_file.h"
+
+#include <cstring>
+#include <string>
+
+namespace krx {
+namespace {
+
+class Writer {
+ public:
+  explicit Writer(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void Str(const std::string& s) {
+    U64(s.size());
+    out_->insert(out_->end(), s.begin(), s.end());
+  }
+  void Bytes(const std::vector<uint8_t>& b) {
+    U64(b.size());
+    out_->insert(out_->end(), b.begin(), b.end());
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+class Parser {
+ public:
+  Parser(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  Result<uint64_t> U64() {
+    if (pos_ + 8 > bytes_.size()) {
+      return OutOfRangeError("truncated .ko image");
+    }
+    uint64_t v = 0;
+    std::memcpy(&v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+  Result<std::string> Str() {
+    auto len = U64();
+    if (!len.ok()) {
+      return len.status();
+    }
+    if (*len > 4096 || pos_ + *len > bytes_.size()) {
+      return OutOfRangeError("truncated .ko string");
+    }
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_),
+                  static_cast<size_t>(*len));
+    pos_ += *len;
+    return s;
+  }
+  Result<std::vector<uint8_t>> Bytes() {
+    auto len = U64();
+    if (!len.ok()) {
+      return len.status();
+    }
+    if (pos_ + *len > bytes_.size()) {
+      return OutOfRangeError("truncated .ko blob");
+    }
+    std::vector<uint8_t> b(bytes_.begin() + static_cast<long>(pos_),
+                           bytes_.begin() + static_cast<long>(pos_ + *len));
+    pos_ += *len;
+    return b;
+  }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+};
+
+Result<std::string> SymbolName(const SymbolTable& symbols, int32_t idx) {
+  if (idx < 0 || static_cast<size_t>(idx) >= symbols.size()) {
+    return InternalError("relocation against invalid symbol index");
+  }
+  return symbols.at(idx).name;
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> SerializeModule(const ModuleObject& module,
+                                             const SymbolTable& symbols) {
+  std::vector<uint8_t> out;
+  Writer w(&out);
+  w.U64(kKoMagic);
+  w.Str(module.name);
+  // One conventional .text blob; no slicing on disk.
+  w.Bytes(module.text.bytes);
+  w.U64(module.xkey_bytes);
+
+  w.U64(module.text.functions.size());
+  for (const AssembledFunction& f : module.text.functions) {
+    w.Str(f.name);
+    w.U64(f.offset);
+    w.U64(f.size);
+  }
+  w.U64(module.text.relocs.size());
+  for (const Reloc& r : module.text.relocs) {
+    auto name = SymbolName(symbols, r.symbol);
+    if (!name.ok()) {
+      return name.status();
+    }
+    w.U64(static_cast<uint64_t>(r.kind));
+    w.U64(r.field_offset);
+    w.U64(r.inst_end_offset);
+    w.Str(*name);
+    w.U64(static_cast<uint64_t>(r.addend));
+  }
+  w.U64(module.text_symbol_offsets.size());
+  for (auto [sym, off] : module.text_symbol_offsets) {
+    auto name = SymbolName(symbols, sym);
+    if (!name.ok()) {
+      return name.status();
+    }
+    w.Str(*name);
+    w.U64(off);
+  }
+  w.U64(module.data_objects.size());
+  for (const DataObject& obj : module.data_objects) {
+    w.Str(obj.name);
+    w.U64(static_cast<uint64_t>(obj.kind));
+    w.Bytes(obj.bytes);
+    w.U64(obj.pointer_slots.size());
+    for (const DataObject::PtrInit& p : obj.pointer_slots) {
+      auto name = SymbolName(symbols, p.symbol);
+      if (!name.ok()) {
+        return name.status();
+      }
+      w.U64(p.offset);
+      w.Str(*name);
+      w.U64(static_cast<uint64_t>(p.addend));
+    }
+  }
+  return out;
+}
+
+Result<ModuleObject> ParseModule(const std::vector<uint8_t>& bytes,
+                                 SymbolTable& kernel_symbols) {
+  Parser p(bytes);
+  auto magic = p.U64();
+  if (!magic.ok()) {
+    return magic.status();
+  }
+  if (*magic != kKoMagic) {
+    return InvalidArgumentError("not a .ko image (bad magic)");
+  }
+  ModuleObject mod;
+  auto name = p.Str();
+  if (!name.ok()) {
+    return name.status();
+  }
+  mod.name = *name;
+  auto text = p.Bytes();
+  if (!text.ok()) {
+    return text.status();
+  }
+  mod.text.bytes = std::move(*text);
+  auto xkeys = p.U64();
+  if (!xkeys.ok()) {
+    return xkeys.status();
+  }
+  mod.xkey_bytes = *xkeys;
+
+  auto nfuncs = p.U64();
+  if (!nfuncs.ok()) {
+    return nfuncs.status();
+  }
+  for (uint64_t i = 0; i < *nfuncs; ++i) {
+    auto fname = p.Str();
+    auto off = p.U64();
+    auto size = p.U64();
+    if (!fname.ok() || !off.ok() || !size.ok()) {
+      return OutOfRangeError("truncated function record");
+    }
+    if (*off + *size > mod.text.bytes.size()) {
+      return InvalidArgumentError("function record outside .text");
+    }
+    mod.text.functions.push_back(AssembledFunction{*fname, *off, *size});
+  }
+  auto nrelocs = p.U64();
+  if (!nrelocs.ok()) {
+    return nrelocs.status();
+  }
+  for (uint64_t i = 0; i < *nrelocs; ++i) {
+    auto kind = p.U64();
+    auto field = p.U64();
+    auto inst_end = p.U64();
+    auto sym = p.Str();
+    auto addend = p.U64();
+    if (!kind.ok() || !field.ok() || !inst_end.ok() || !sym.ok() || !addend.ok()) {
+      return OutOfRangeError("truncated relocation record");
+    }
+    if (*kind > static_cast<uint64_t>(RelocKind::kAbs64)) {
+      return InvalidArgumentError("unknown relocation kind");
+    }
+    if (*field + 4 > mod.text.bytes.size()) {
+      return InvalidArgumentError("relocation outside .text");
+    }
+    mod.text.relocs.push_back(Reloc{static_cast<RelocKind>(*kind), *field, *inst_end,
+                                    kernel_symbols.Intern(*sym),
+                                    static_cast<int64_t>(*addend)});
+  }
+  auto ntextsyms = p.U64();
+  if (!ntextsyms.ok()) {
+    return ntextsyms.status();
+  }
+  for (uint64_t i = 0; i < *ntextsyms; ++i) {
+    auto sname = p.Str();
+    auto off = p.U64();
+    if (!sname.ok() || !off.ok()) {
+      return OutOfRangeError("truncated text-symbol record");
+    }
+    mod.text_symbol_offsets.emplace_back(kernel_symbols.Intern(*sname, SymbolKind::kData),
+                                         *off);
+  }
+  auto nobjs = p.U64();
+  if (!nobjs.ok()) {
+    return nobjs.status();
+  }
+  for (uint64_t i = 0; i < *nobjs; ++i) {
+    DataObject obj;
+    auto oname = p.Str();
+    auto kind = p.U64();
+    auto content = p.Bytes();
+    auto nslots = p.U64();
+    if (!oname.ok() || !kind.ok() || !content.ok() || !nslots.ok()) {
+      return OutOfRangeError("truncated data-object record");
+    }
+    if (*kind > static_cast<uint64_t>(SectionKind::kPhantomGuard)) {
+      return InvalidArgumentError("unknown section kind");
+    }
+    obj.name = *oname;
+    obj.kind = static_cast<SectionKind>(*kind);
+    obj.bytes = std::move(*content);
+    for (uint64_t s = 0; s < *nslots; ++s) {
+      auto off = p.U64();
+      auto sym = p.Str();
+      auto addend = p.U64();
+      if (!off.ok() || !sym.ok() || !addend.ok()) {
+        return OutOfRangeError("truncated pointer-slot record");
+      }
+      obj.pointer_slots.push_back(
+          {*off, kernel_symbols.Intern(*sym), static_cast<int64_t>(*addend)});
+    }
+    mod.data_objects.push_back(std::move(obj));
+  }
+  if (!p.AtEnd()) {
+    return InvalidArgumentError("trailing bytes after .ko image");
+  }
+  return mod;
+}
+
+}  // namespace krx

@@ -1,0 +1,38 @@
+// The on-disk module format ("ELF-lite .ko").
+//
+// §5.1.1: "Although kernel modules (.ko files) are also ELF objects, their
+// on-disk layout is left unaltered by kR^X, as the separation of .text from
+// all other (data) sections occurs during load time." This file implements
+// exactly that contract: a serialized module is one conventional blob —
+// text followed by data sections, with *named* symbol references — and the
+// kR^X-aware loader-linker (ModuleLoader) does the slicing, placement,
+// relocation and eager binding when it is loaded.
+#ifndef KRX_SRC_KERNEL_KO_FILE_H_
+#define KRX_SRC_KERNEL_KO_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/kernel/module_loader.h"
+
+namespace krx {
+
+inline constexpr uint64_t kKoMagic = 0x314F4B58526BULL;  // "kRXKO1"
+
+// Serializes `module` into the on-disk image. Symbol references (relocation
+// targets, text-symbol definitions) are stored by *name*, so the image is
+// independent of any particular kernel's symbol-table indices — like real
+// .ko files, which bind at load time.
+Result<std::vector<uint8_t>> SerializeModule(const ModuleObject& module,
+                                             const SymbolTable& symbols);
+
+// Parses an on-disk image, interning its symbol names into `kernel_symbols`
+// (the namespace of the kernel about to load it). Fails on bad magic,
+// truncation, or malformed records.
+Result<ModuleObject> ParseModule(const std::vector<uint8_t>& bytes,
+                                 SymbolTable& kernel_symbols);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_KERNEL_KO_FILE_H_

@@ -1,0 +1,62 @@
+// Kernel address-space layouts: vanilla x86-64 Linux vs. kR^X-KAS (§5.1.1).
+//
+// All kernel image / module addresses live in the top 2GB of the virtual
+// address space ([0xFFFFFFFF80000000, 2^64)), honouring -mcmodel=kernel:
+// rip-relative disp32 and sign-extended imm32 reach the whole region. The
+// physmap (direct map) sits lower in the upper canonical half, as on Linux.
+//
+// Vanilla layout: the kernel image is .text first, then data sections;
+// modules interleave per-module .text and .data inside one region.
+//
+// kR^X-KAS: code and data live in disjoint contiguous regions. The kernel
+// image is "flipped" (.text last, landing in the code region); the modules
+// region is split into modules_data (below fixmap) and modules_text (in the
+// code region); _krx_edata marks the end of the data region, followed by the
+// .krx_phantom guard section and then code.
+#ifndef KRX_SRC_KERNEL_LAYOUT_H_
+#define KRX_SRC_KERNEL_LAYOUT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace krx {
+
+enum class LayoutKind : uint8_t { kVanilla, kKrx };
+
+// ---- Region bases (upper canonical half) ----
+inline constexpr uint64_t kPhysmapBase = 0xFFFF888000000000ULL;
+inline constexpr uint64_t kVmallocBase = 0xFFFFC90000000000ULL;
+inline constexpr uint64_t kVmemmapBase = 0xFFFFEA0000000000ULL;
+
+// Vanilla: image (.text first) and one interleaved modules region.
+inline constexpr uint64_t kImageBase = 0xFFFFFFFF81000000ULL;
+inline constexpr uint64_t kVanillaModulesBase = 0xFFFFFFFFA0000000ULL;
+inline constexpr uint64_t kVanillaModulesLen = 512ULL << 20;
+
+// kR^X-KAS: data image base is the same; code region carved from the top.
+inline constexpr uint64_t kKrxModulesDataBase = 0xFFFFFFFFA0000000ULL;
+// sizeof(modules)/2 in spirit; capped at 480MB so the region ends exactly
+// at the (pushed-down) fixmap base and the data regions stay disjoint.
+inline constexpr uint64_t kKrxModulesDataLen = 480ULL << 20;
+inline constexpr uint64_t kKrxFixmapBase = 0xFFFFFFFFBE000000ULL;  // "pushed" below edata
+inline constexpr uint64_t kKrxCodeBase = 0xFFFFFFFFC0000000ULL;    // __START_KERNEL_map
+inline constexpr uint64_t kKrxModulesTextBase = 0xFFFFFFFFE0000000ULL;
+inline constexpr uint64_t kKrxModulesTextLen = 512ULL << 20;
+
+// Default .krx_phantom guard size; must exceed the maximum displacement of
+// any uninstrumented %rsp-relative read (asserted by the pass pipeline).
+inline constexpr uint64_t kDefaultPhantomGuardSize = 4096;
+
+struct Region {
+  std::string name;
+  uint64_t base = 0;
+  uint64_t size = 0;
+
+  uint64_t end() const { return base + size; }
+  bool Contains(uint64_t addr) const { return addr >= base && addr < end(); }
+};
+
+}  // namespace krx
+
+#endif  // KRX_SRC_KERNEL_LAYOUT_H_

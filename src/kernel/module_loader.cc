@@ -1,0 +1,157 @@
+#include "src/kernel/module_loader.h"
+
+#include "src/base/math_util.h"
+#include "src/kernel/assembler.h"
+
+namespace krx {
+
+Result<int32_t> ModuleLoader::Load(const ModuleObject& module) {
+  SymbolTable& symbols = image_->symbols();
+
+  // Slice: .text into the text area, all other sections into the data area.
+  auto text_vaddr = image_->AllocModuleText(module.text.bytes.size());
+  if (!text_vaddr.ok()) {
+    return text_vaddr.status();
+  }
+
+  // Build a single data blob for the module's data objects.
+  std::vector<uint8_t> data_bytes;
+  std::vector<Reloc> data_relocs;
+  std::vector<std::pair<int32_t, uint64_t>> data_syms;
+  for (const DataObject& obj : module.data_objects) {
+    uint64_t off = AlignUp(data_bytes.size(), 16);
+    data_bytes.resize(off, 0);
+    data_syms.emplace_back(symbols.Intern(obj.name, SymbolKind::kData), off);
+    data_bytes.insert(data_bytes.end(), obj.bytes.begin(), obj.bytes.end());
+    for (const DataObject::PtrInit& p : obj.pointer_slots) {
+      data_relocs.push_back(Reloc{RelocKind::kAbs64, off + p.offset, 0, p.symbol, p.addend});
+    }
+  }
+  auto data_vaddr = image_->AllocModuleData(std::max<uint64_t>(data_bytes.size(), 1));
+  if (!data_vaddr.ok()) {
+    return data_vaddr.status();
+  }
+
+  LoadedModule lm;
+  lm.name = module.name;
+  lm.text_vaddr = *text_vaddr;
+  lm.text_size = module.text.bytes.size();
+  lm.data_vaddr = *data_vaddr;
+  lm.data_size = data_bytes.size();
+
+  // Non-function text symbols (module xkeys) first.
+  for (auto [idx, off] : module.text_symbol_offsets) {
+    Symbol& s = symbols.at(idx);
+    if (s.defined) {
+      return AlreadyExistsError("module redefines symbol: " + s.name);
+    }
+    s.defined = true;
+    s.address = *text_vaddr + off;
+    s.size = 8;
+    lm.symbols.push_back(idx);
+  }
+
+  // Define this module's symbols (eager binding: everything resolved now).
+  for (const AssembledFunction& f : module.text.functions) {
+    int32_t idx = symbols.Intern(f.name, SymbolKind::kFunction);
+    Symbol& s = symbols.at(idx);
+    if (s.defined) {
+      return AlreadyExistsError("module redefines symbol: " + f.name);
+    }
+    s.defined = true;
+    s.address = *text_vaddr + f.offset;
+    s.size = f.size;
+    lm.symbols.push_back(idx);
+  }
+  for (auto [idx, off] : data_syms) {
+    Symbol& s = symbols.at(idx);
+    if (s.defined) {
+      return AlreadyExistsError("module redefines symbol: " + s.name);
+    }
+    s.defined = true;
+    s.address = *data_vaddr + off;
+    lm.symbols.push_back(idx);
+  }
+
+  // Relocate against the now-complete symbol table.
+  std::vector<uint8_t> text_bytes = module.text.bytes;
+  KRX_RETURN_IF_ERROR(ApplyRelocs(text_bytes, module.text.relocs, *text_vaddr, symbols));
+  KRX_RETURN_IF_ERROR(ApplyRelocs(data_bytes, data_relocs, *data_vaddr, symbols));
+
+  // Place into memory.
+  auto text_sec = image_->PlaceSection(".text$" + module.name, SectionKind::kText, *text_vaddr,
+                                       text_bytes);
+  if (!text_sec.ok()) {
+    return text_sec.status();
+  }
+  lm.text_first_frame = (*text_sec)->first_frame;
+  lm.text_pages = (*text_sec)->mapped_size >> kPageShift;
+  if (!data_bytes.empty()) {
+    auto data_sec = image_->PlaceSection(".data$" + module.name, SectionKind::kData, *data_vaddr,
+                                         data_bytes);
+    if (!data_sec.ok()) {
+      return data_sec.status();
+    }
+  }
+
+  // Replenish the module's xkeys with fresh random values (load-time
+  // analogue of the boot-time kernel xkey replenishment, §5.2.2).
+  if (module.xkey_bytes > 0) {
+    uint64_t xkeys_start = lm.text_size - module.xkey_bytes;
+    for (uint64_t off = 0; off + 8 <= module.xkey_bytes; off += 8) {
+      uint64_t key = 0;
+      while (key == 0) {
+        key = key_rng_.Next();
+      }
+      KRX_RETURN_IF_ERROR(image_->Poke64(*text_vaddr + xkeys_start + off, key));
+    }
+  }
+
+  // kR^X: remove the physmap synonyms of the module's text pages.
+  if (image_->layout() == LayoutKind::kKrx) {
+    image_->page_table().UnmapRange(image_->PhysmapVaddr(lm.text_first_frame), lm.text_pages);
+  }
+
+  lm.loaded = true;
+  modules_.push_back(std::move(lm));
+  return static_cast<int32_t>(modules_.size() - 1);
+}
+
+Status ModuleLoader::Unload(int32_t handle) {
+  if (handle < 0 || static_cast<size_t>(handle) >= modules_.size()) {
+    return InvalidArgumentError("bad module handle");
+  }
+  LoadedModule& lm = modules_[static_cast<size_t>(handle)];
+  if (!lm.loaded) {
+    return FailedPreconditionError("module already unloaded");
+  }
+
+  // Zap the text contents before the pages become reachable again, to
+  // prevent code-layout inference attacks (§5.1.1 "Physmap").
+  image_->phys().Fill(lm.text_first_frame << kPageShift, kTextPadByte,
+                      lm.text_pages << kPageShift);
+
+  // Unmap the module's text from the code region.
+  image_->page_table().UnmapRange(lm.text_vaddr, lm.text_pages);
+
+  // Restore the physmap synonyms.
+  if (image_->layout() == LayoutKind::kKrx) {
+    PteFlags f;
+    f.present = true;
+    f.writable = true;
+    f.nx = true;
+    image_->page_table().MapRange(image_->PhysmapVaddr(lm.text_first_frame), lm.text_first_frame,
+                                  lm.text_pages, f);
+  }
+
+  // Remove the module's symbols from the namespace.
+  for (int32_t idx : lm.symbols) {
+    Symbol& s = image_->symbols().at(idx);
+    s.defined = false;
+    s.address = 0;
+  }
+  lm.loaded = false;
+  return Status::Ok();
+}
+
+}  // namespace krx

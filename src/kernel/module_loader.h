@@ -1,0 +1,70 @@
+// kR^X-KAS-aware module loader-linker (§5.1.1 "Kernel Modules").
+//
+// A module arrives as a compiled object (text blob + data objects). Loading
+// slices the .text from the data sections: under kR^X-KAS the text lands in
+// modules_text, all other allocatable sections in modules_data; under the
+// vanilla layout the two are placed back-to-back in the single modules
+// region. Relocation and symbol binding are eager. Unloading zaps the text
+// (preventing code-layout inference, §5.1.1 "Physmap") and restores the
+// physmap synonyms that were removed at load time.
+#ifndef KRX_SRC_KERNEL_MODULE_LOADER_H_
+#define KRX_SRC_KERNEL_MODULE_LOADER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/kernel/image.h"
+
+namespace krx {
+
+struct ModuleObject {
+  std::string name;
+  TextBlob text;
+  std::vector<DataObject> data_objects;
+  // Non-function symbols defined inside the text blob (module-local xkeys:
+  // they must live in the execute-only region, so they ride along with the
+  // module's .text and are replenished at load time).
+  std::vector<std::pair<int32_t, uint64_t>> text_symbol_offsets;
+  uint64_t xkey_bytes = 0;  // size of the trailing xkey area in `text`
+};
+
+struct LoadedModule {
+  std::string name;
+  uint64_t text_vaddr = 0;
+  uint64_t text_size = 0;
+  uint64_t data_vaddr = 0;
+  uint64_t data_size = 0;
+  uint64_t text_first_frame = 0;
+  uint64_t text_pages = 0;
+  std::vector<int32_t> symbols;  // symbols this module defined
+  bool loaded = false;
+};
+
+class ModuleLoader {
+ public:
+  explicit ModuleLoader(KernelImage* image, uint64_t key_seed = 0x6b6579)
+      : image_(image), key_rng_(key_seed) {}
+
+  // Loads the module; binds its relocations against the kernel symbol
+  // table; returns a handle index.
+  Result<int32_t> Load(const ModuleObject& module);
+
+  Status Unload(int32_t handle);
+
+  const LoadedModule& module(int32_t handle) const {
+    return modules_[static_cast<size_t>(handle)];
+  }
+  size_t module_count() const { return modules_.size(); }
+
+ private:
+  KernelImage* image_;
+  Rng key_rng_;
+  std::vector<LoadedModule> modules_;
+};
+
+}  // namespace krx
+
+#endif  // KRX_SRC_KERNEL_MODULE_LOADER_H_

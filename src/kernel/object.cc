@@ -1,0 +1,45 @@
+#include "src/kernel/object.h"
+
+namespace krx {
+
+bool SectionKindIsCodeRegion(SectionKind kind) {
+  switch (kind) {
+    case SectionKind::kText:
+    case SectionKind::kXkeys:
+    case SectionKind::kExTable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int32_t SymbolTable::Intern(const std::string& name, SymbolKind kind) {
+  int32_t idx = Find(name);
+  if (idx >= 0) {
+    return idx;
+  }
+  Symbol s;
+  s.name = name;
+  s.kind = kind;
+  symbols_.push_back(std::move(s));
+  return static_cast<int32_t>(symbols_.size() - 1);
+}
+
+int32_t SymbolTable::Find(const std::string& name) const {
+  for (size_t i = 0; i < symbols_.size(); ++i) {
+    if (symbols_[i].name == name) {
+      return static_cast<int32_t>(i);
+    }
+  }
+  return -1;
+}
+
+Result<uint64_t> SymbolTable::AddressOf(const std::string& name) const {
+  int32_t idx = Find(name);
+  if (idx < 0 || !symbols_[static_cast<size_t>(idx)].defined) {
+    return NotFoundError("undefined symbol: " + name);
+  }
+  return symbols_[static_cast<size_t>(idx)].address;
+}
+
+}  // namespace krx

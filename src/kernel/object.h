@@ -1,0 +1,93 @@
+// "ELF-lite" object model: sections, symbols and relocations.
+//
+// The reproduction does not parse on-disk ELF; it keeps the same
+// responsibilities in memory: the kernel image and every module are
+// collections of sections referencing a symbol table, with relocations
+// applied at link/load time (eager binding, as the Linux module
+// loader-linker does — §5.1.1 "Kernel Modules").
+#ifndef KRX_SRC_KERNEL_OBJECT_H_
+#define KRX_SRC_KERNEL_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace krx {
+
+enum class SectionKind : uint8_t {
+  kText,      // executable code
+  kRodata,    // read-only data
+  kData,      // read-write data
+  kBss,       // zero-initialized read-write data
+  kXkeys,     // per-function return-address keys; lives in the code region
+  kExTable,   // code-pointer-bearing tables placed in the code region (§5.1.1 fn.5)
+  kPhantomGuard,  // .krx_phantom guard section
+};
+
+bool SectionKindIsCodeRegion(SectionKind kind);
+
+enum class SymbolKind : uint8_t { kFunction, kData };
+
+struct Symbol {
+  std::string name;
+  SymbolKind kind = SymbolKind::kFunction;
+  bool defined = false;
+  // Filled at link time.
+  uint64_t address = 0;
+  uint64_t size = 0;
+};
+
+// Shared symbol table: the kernel and its modules bind against one table,
+// modelling the kernel's exported-symbol namespace.
+class SymbolTable {
+ public:
+  // Returns the index of `name`, creating an undefined entry if new.
+  int32_t Intern(const std::string& name, SymbolKind kind = SymbolKind::kFunction);
+
+  // Index of `name` or -1.
+  int32_t Find(const std::string& name) const;
+
+  Symbol& at(int32_t idx) { return symbols_[static_cast<size_t>(idx)]; }
+  const Symbol& at(int32_t idx) const { return symbols_[static_cast<size_t>(idx)]; }
+  size_t size() const { return symbols_.size(); }
+
+  Result<uint64_t> AddressOf(const std::string& name) const;
+
+ private:
+  std::vector<Symbol> symbols_;
+};
+
+enum class RelocKind : uint8_t {
+  kRel32,   // 32-bit pc-relative: field := sym - inst_end
+  kAbs64,   // 64-bit absolute: field := sym (function pointers in data)
+};
+
+struct Reloc {
+  RelocKind kind = RelocKind::kRel32;
+  uint64_t field_offset = 0;  // byte offset of the patched field in the section
+  uint64_t inst_end_offset = 0;  // for kRel32: offset just past the instruction
+  int32_t symbol = -1;
+  int64_t addend = 0;  // kAbs64: field := sym + addend
+};
+
+// A data object destined for .rodata/.data/.bss. `pointer_slots` name
+// 8-byte slots initialized with the final address of a symbol (dispatch
+// tables, the syscall table, function-pointer-bearing structs — the raw
+// material of indirect JIT-ROP).
+struct DataObject {
+  std::string name;
+  SectionKind kind = SectionKind::kData;
+  std::vector<uint8_t> bytes;  // for kBss: only size matters (must be zero-filled)
+  struct PtrInit {
+    uint64_t offset;
+    int32_t symbol;
+    int64_t addend = 0;  // e.g. &page_cache + 4096
+  };
+  std::vector<PtrInit> pointer_slots;
+};
+
+}  // namespace krx
+
+#endif  // KRX_SRC_KERNEL_OBJECT_H_

@@ -1,0 +1,19 @@
+#include "src/mem/phys_mem.h"
+
+namespace krx {
+
+PhysMem::PhysMem(uint64_t size_bytes) {
+  KRX_CHECK(size_bytes % kPageSize == 0);
+  bytes_.assign(size_bytes, 0);
+}
+
+Result<uint64_t> PhysMem::AllocFrames(uint64_t count) {
+  if (next_free_frame_ + count > num_frames()) {
+    return ResourceExhaustedError("out of physical frames");
+  }
+  uint64_t first = next_free_frame_;
+  next_free_frame_ += count;
+  return first;
+}
+
+}  // namespace krx

@@ -1,0 +1,71 @@
+// Simulated physical memory with a bump frame allocator.
+#ifndef KRX_SRC_MEM_PHYS_MEM_H_
+#define KRX_SRC_MEM_PHYS_MEM_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace krx {
+
+inline constexpr uint64_t kPageSize = 4096;
+inline constexpr uint64_t kPageShift = 12;
+
+inline uint64_t PageFloor(uint64_t addr) { return addr & ~(kPageSize - 1); }
+inline uint64_t PageOffset(uint64_t addr) { return addr & (kPageSize - 1); }
+
+class PhysMem {
+ public:
+  explicit PhysMem(uint64_t size_bytes);
+
+  uint64_t size() const { return static_cast<uint64_t>(bytes_.size()); }
+  uint64_t num_frames() const { return size() >> kPageShift; }
+
+  // Allocates `count` contiguous frames; returns the first frame number.
+  Result<uint64_t> AllocFrames(uint64_t count);
+
+  uint8_t Read8(uint64_t paddr) const {
+    KRX_CHECK(paddr < size());
+    return bytes_[paddr];
+  }
+  void Write8(uint64_t paddr, uint8_t v) {
+    KRX_CHECK(paddr < size());
+    bytes_[paddr] = v;
+  }
+
+  uint64_t Read64(uint64_t paddr) const {
+    KRX_CHECK(paddr + 8 <= size());
+    uint64_t v;
+    std::memcpy(&v, bytes_.data() + paddr, 8);
+    return v;
+  }
+  void Write64(uint64_t paddr, uint64_t v) {
+    KRX_CHECK(paddr + 8 <= size());
+    std::memcpy(bytes_.data() + paddr, &v, 8);
+  }
+
+  void WriteBytes(uint64_t paddr, const uint8_t* src, uint64_t len) {
+    KRX_CHECK(paddr + len <= size());
+    std::memcpy(bytes_.data() + paddr, src, len);
+  }
+  void ReadBytes(uint64_t paddr, uint8_t* dst, uint64_t len) const {
+    KRX_CHECK(paddr + len <= size());
+    std::memcpy(dst, bytes_.data() + paddr, len);
+  }
+  void Fill(uint64_t paddr, uint8_t value, uint64_t len) {
+    KRX_CHECK(paddr + len <= size());
+    std::memset(bytes_.data() + paddr, value, len);
+  }
+
+  const uint8_t* raw(uint64_t paddr) const { return bytes_.data() + paddr; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint64_t next_free_frame_ = 0;
+};
+
+}  // namespace krx
+
+#endif  // KRX_SRC_MEM_PHYS_MEM_H_

@@ -1,0 +1,134 @@
+#include "src/plugin/kaslr_pass.h"
+
+#include "src/base/math_util.h"
+
+namespace krx {
+namespace {
+
+bool FallsThrough(const BasicBlock& b) {
+  return b.insts.empty() || !b.insts.back().IsTerminator();
+}
+
+BasicBlock MakePhantomBlock(Function& fn, Rng& rng) {
+  BasicBlock pb;
+  pb.id = fn.AllocateBlockId();
+  pb.phantom = true;
+  uint64_t count = 1 + rng.NextBelow(8);
+  for (uint64_t i = 0; i < count; ++i) {
+    Instruction tripwire = Instruction::Int3();
+    tripwire.origin = InstOrigin::kPhantomBlock;
+    pb.insts.push_back(tripwire);
+  }
+  return pb;
+}
+
+}  // namespace
+
+Status ApplyKaslrPass(Function& fn, int entropy_bits_k, Rng& rng, KaslrStats* stats) {
+  if (fn.blocks().empty()) {
+    return Status::Ok();
+  }
+  KaslrStats local;
+  local.functions = 1;
+  if (fn.blocks().size() == 1) {
+    local.single_block_functions = 1;
+  }
+
+  // ---- 1. Slice at call sites: code blocks end with callq. ----
+  std::vector<BasicBlock> sliced;
+  for (BasicBlock& b : fn.blocks()) {
+    BasicBlock current;
+    current.id = b.id;
+    current.phantom = b.phantom;
+    for (size_t j = 0; j < b.insts.size(); ++j) {
+      const bool is_call = b.insts[j].IsCall();
+      current.insts.push_back(std::move(b.insts[j]));
+      if (is_call && j + 1 != b.insts.size()) {
+        sliced.push_back(std::move(current));
+        current = BasicBlock();
+        current.id = fn.AllocateBlockId();
+      }
+    }
+    sliced.push_back(std::move(current));
+  }
+
+  const int32_t original_entry_id = sliced.front().id;
+
+  // ---- 2. Chunk at call-site granularity; refine if entropy is short. ----
+  // A chunk is a run of layout-consecutive blocks; boundaries fall after
+  // blocks ending in callq.
+  std::vector<std::vector<BasicBlock>> chunks;
+  chunks.emplace_back();
+  for (size_t i = 0; i < sliced.size(); ++i) {
+    bool ends_with_call = !sliced[i].insts.empty() && sliced[i].insts.back().IsCall();
+    chunks.back().push_back(std::move(sliced[i]));
+    if (ends_with_call && i + 1 != sliced.size()) {
+      chunks.emplace_back();
+    }
+  }
+  if (PermutationEntropyBits(chunks.size()) < entropy_bits_k) {
+    // Re-slice at basic-block granularity: every block its own chunk.
+    std::vector<std::vector<BasicBlock>> fine;
+    for (auto& chunk : chunks) {
+      for (auto& b : chunk) {
+        fine.push_back({std::move(b)});
+      }
+    }
+    chunks = std::move(fine);
+  }
+
+  // ---- 3. Connectors: make chunk-boundary fallthroughs explicit. ----
+  for (size_t i = 0; i + 1 < chunks.size(); ++i) {
+    BasicBlock& last = chunks[i].back();
+    if (FallsThrough(last)) {
+      Instruction jmp = Instruction::JmpBlock(chunks[i + 1].front().id);
+      jmp.origin = InstOrigin::kDiversifier;
+      last.insts.push_back(jmp);
+      ++local.connector_jmps;
+    }
+  }
+
+  // ---- 4. Pad with phantom blocks until lg(B!) >= k. ----
+  while (PermutationEntropyBits(chunks.size()) < entropy_bits_k) {
+    chunks.push_back({MakePhantomBlock(fn, rng)});
+    ++local.phantom_blocks;
+  }
+  local.total_chunks = chunks.size();
+  local.Note(PermutationEntropyBits(chunks.size()));
+
+  // ---- 5. Entry phantom block: jmp to the original entry, followed by a
+  // pinned run of tripwire padding. A leaked function pointer only reveals
+  // this trampoline. ----
+  BasicBlock entry;
+  entry.id = fn.AllocateBlockId();
+  {
+    Instruction jmp = Instruction::JmpBlock(original_entry_id);
+    jmp.origin = InstOrigin::kDiversifier;
+    entry.insts.push_back(jmp);
+  }
+  BasicBlock entry_pad = MakePhantomBlock(fn, rng);
+
+  // ---- 6. Permute and rebuild. ----
+  rng.Shuffle(chunks);
+  std::vector<BasicBlock> final_blocks;
+  final_blocks.push_back(std::move(entry));
+  final_blocks.push_back(std::move(entry_pad));
+  for (auto& chunk : chunks) {
+    for (auto& b : chunk) {
+      final_blocks.push_back(std::move(b));
+    }
+  }
+  fn.blocks() = std::move(final_blocks);
+
+  if (stats != nullptr) {
+    stats->functions += local.functions;
+    stats->single_block_functions += local.single_block_functions;
+    stats->total_chunks += local.total_chunks;
+    stats->phantom_blocks += local.phantom_blocks;
+    stats->connector_jmps += local.connector_jmps;
+    stats->Note(PermutationEntropyBits(local.total_chunks));
+  }
+  return fn.Validate();
+}
+
+}  // namespace krx

@@ -1,0 +1,48 @@
+// Fine-grained KASLR: code-block slicing, phantom blocks and permutation
+// (§5.2.1 "Foundational Diversification").
+//
+// The pass runs last (after R^X instrumentation and return-address
+// protection, §6) and:
+//   1. slices routines at call sites (code blocks ending with callq);
+//   2. if lg(B!) < k, re-slices at basic-block granularity;
+//   3. if entropy is still insufficient, pads with phantom blocks (random
+//      runs of int3 tripwires) until lg(B!) >= k;
+//   4. prepends an entry phantom block whose first instruction jumps to the
+//      original first code block (so a leaked function pointer only exposes
+//      a whole-function trampoline);
+//   5. makes chunk-boundary fallthroughs explicit and randomly permutes the
+//      chunks, patching the CFG so the original control flow is unchanged.
+//
+// Function-level permutation (section granularity) is done by the pipeline,
+// which shuffles the order functions are assembled in.
+#ifndef KRX_SRC_PLUGIN_KASLR_PASS_H_
+#define KRX_SRC_PLUGIN_KASLR_PASS_H_
+
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/ir/function.h"
+
+namespace krx {
+
+struct KaslrStats {
+  uint64_t functions = 0;
+  uint64_t single_block_functions = 0;  // one basic block before slicing
+  uint64_t total_chunks = 0;
+  uint64_t phantom_blocks = 0;
+  uint64_t connector_jmps = 0;
+  double min_entropy_bits = 1e9;
+  double total_entropy_bits = 0;
+
+  void Note(double entropy_bits) {
+    total_entropy_bits += entropy_bits;
+    if (entropy_bits < min_entropy_bits) {
+      min_entropy_bits = entropy_bits;
+    }
+  }
+};
+
+Status ApplyKaslrPass(Function& fn, int entropy_bits_k, Rng& rng, KaslrStats* stats);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_PLUGIN_KASLR_PASS_H_

@@ -1,0 +1,225 @@
+#include "src/plugin/pipeline.h"
+
+#include <algorithm>
+
+#include "src/base/math_util.h"
+#include "src/kernel/assembler.h"
+#include "src/kernel/layout.h"
+
+namespace krx {
+namespace {
+
+// Guard sizing: the .krx_phantom section must be larger than the maximum
+// displacement of any uninstrumented %rsp-relative read (§5.1.2).
+uint64_t GuardSizeFor(const std::vector<Function>& functions) {
+  int64_t max_disp = 0;
+  for (const Function& fn : functions) {
+    for (const BasicBlock& b : fn.blocks()) {
+      for (const Instruction& inst : b.insts) {
+        if (inst.ReadsMemory() && !inst.IsString() && inst.mem.IsPlainRspAccess()) {
+          max_disp = std::max(max_disp, inst.mem.disp);
+        }
+      }
+    }
+  }
+  uint64_t need = static_cast<uint64_t>(std::max<int64_t>(max_disp, 0)) + 16;
+  return AlignUp(std::max(need, kDefaultPhantomGuardSize), kPageSize);
+}
+
+// The default violation handler "appends a warning message to the kernel
+// log and halts the system" (§5.1.2): it bumps krx_violation_count, stores
+// a marker in the kernel log slot, and halts.
+Function MakeDefaultKrxHandler(SymbolTable& symbols) {
+  int32_t count_sym = symbols.Intern("krx_violation_count", SymbolKind::kData);
+  int32_t log_sym = symbols.Intern("kernel_log", SymbolKind::kData);
+  Function fn(kKrxHandlerName);
+  int32_t b = fn.AddBlock();
+  auto& insts = fn.block_by_id(b).insts;
+  insts.push_back(Instruction::Load(Reg::kR11, MemOperand::RipRelSym(count_sym)));
+  insts.push_back(Instruction::AddRI(Reg::kR11, 1));
+  insts.push_back(Instruction::Store(MemOperand::RipRelSym(count_sym), Reg::kR11));
+  insts.push_back(Instruction::MovRI(Reg::kR11, 0x6b52585f42554721));  // "BUG: kR^X" marker
+  insts.push_back(Instruction::Store(MemOperand::RipRelSym(log_sym), Reg::kR11));
+  insts.push_back(Instruction::Hlt());
+  return fn;
+}
+
+// Adds the handler's data objects if the source does not already carry them.
+void EnsureHandlerData(KernelSource& source) {
+  auto have = [&](const char* name) {
+    for (const DataObject& obj : source.data_objects) {
+      if (obj.name == name) {
+        return true;
+      }
+    }
+    return false;
+  };
+  if (!have("krx_violation_count")) {
+    DataObject count;
+    count.name = "krx_violation_count";
+    count.kind = SectionKind::kData;
+    count.bytes.assign(8, 0);
+    source.data_objects.push_back(std::move(count));
+  }
+  if (!have("kernel_log")) {
+    DataObject log;
+    log.name = "kernel_log";
+    log.kind = SectionKind::kData;
+    log.bytes.assign(64, 0);
+    source.data_objects.push_back(std::move(log));
+  }
+}
+
+}  // namespace
+
+int64_t ComputeEdata(uint64_t phantom_guard_size) {
+  return static_cast<int64_t>(kKrxCodeBase - phantom_guard_size);
+}
+
+Status ApplyProtection(std::vector<Function>& functions, SymbolTable& symbols,
+                       const ProtectionConfig& config, int64_t edata_imm, XkeyLayout* xkeys,
+                       PipelineStats* stats, Rng& rng) {
+  int32_t handler_sym = symbols.Intern(kKrxHandlerName, SymbolKind::kFunction);
+  for (Function& fn : functions) {
+    ++stats->functions;
+    if (fn.name() == kKrxHandlerName) {
+      continue;  // The violation handler stays pristine.
+    }
+    // Exempt functions model hand-written assembly: the plugins operate on
+    // RTL and "cannot handle assembly code" (§6), so exempt routines skip
+    // *every* pass — range checks, return-address protection and
+    // diversification alike (the ftrace/kprobes clones, context-switch
+    // stubs, ...).
+    const bool exempt = config.exempt_functions.count(fn.name()) > 0;
+    if (exempt) {
+      continue;
+    }
+    if (config.HasRangeChecks() || config.mpx) {
+      KRX_RETURN_IF_ERROR(ApplySfiPass(fn, config, handler_sym, edata_imm, &stats->sfi));
+      ++stats->instrumented_functions;
+    }
+    switch (config.ra) {
+      case RaScheme::kNone:
+        break;
+      case RaScheme::kEncrypt:
+        KRX_RETURN_IF_ERROR(ApplyRaEncryptPass(fn, symbols, xkeys));
+        break;
+      case RaScheme::kDecoy:
+        KRX_RETURN_IF_ERROR(ApplyRaDecoyPass(fn, rng, &stats->decoy));
+        break;
+    }
+    if (config.randomize_registers) {
+      KRX_RETURN_IF_ERROR(ApplyRegRandPass(fn, rng, &stats->reg_rand));
+    }
+    if (config.diversify) {
+      KRX_RETURN_IF_ERROR(ApplyKaslrPass(fn, config.entropy_bits_k, rng, &stats->kaslr));
+    }
+  }
+  stats->xkeys = xkeys->symbol_offsets.size();
+  return Status::Ok();
+}
+
+Result<CompiledKernel> CompileKernel(KernelSource source, const ProtectionConfig& config,
+                                     LayoutKind layout) {
+  if ((config.HasRangeChecks() || config.mpx) && layout != LayoutKind::kKrx) {
+    return InvalidArgumentError(
+        "R^X enforcement requires the kR^X-KAS layout (disjoint code/data regions)");
+  }
+
+  Rng rng(config.seed);
+  CompiledKernel out;
+  out.config = config;
+  out.layout = layout;
+
+  // Ensure a violation handler exists.
+  bool has_handler = false;
+  for (const Function& fn : source.functions) {
+    if (fn.name() == kKrxHandlerName) {
+      has_handler = true;
+    }
+  }
+  if (!has_handler) {
+    EnsureHandlerData(source);
+    source.functions.push_back(MakeDefaultKrxHandler(source.symbols));
+  }
+
+  const uint64_t guard = GuardSizeFor(source.functions);
+  out.stats.phantom_guard_size = guard;
+  const int64_t edata = ComputeEdata(guard);
+
+  XkeyLayout xkeys;
+  KRX_RETURN_IF_ERROR(ApplyProtection(source.functions, source.symbols, config, edata, &xkeys,
+                                      &out.stats, rng));
+
+  // Function permutation (section-level fine-grained KASLR).
+  if (config.diversify) {
+    rng.Shuffle(source.functions);
+  }
+
+  Assembler assembler;
+  KernelLinkInput link;
+  for (const Function& fn : source.functions) {
+    KRX_RETURN_IF_ERROR(assembler.Assemble(fn, &link.text));
+  }
+  link.xkeys.assign(xkeys.size_bytes, 0);
+  link.xkey_symbols = xkeys.symbol_offsets;
+  link.data_objects = std::move(source.data_objects);
+  link.phantom_guard_size = guard;
+  link.phys_bytes = source.phys_bytes;
+  if (config.coarse_kaslr) {
+    // Up to 64MB of page-aligned slide, as coarse KASLR provides.
+    link.kaslr_slide = rng.NextBelow(1ULL << 14) << kPageShift;
+  }
+
+  auto image = LinkKernel(layout, std::move(link), std::move(source.symbols));
+  if (!image.ok()) {
+    return image.status();
+  }
+  out.image = std::move(*image);
+
+  if (layout == LayoutKind::kKrx) {
+    KRX_CHECK(out.image->krx_edata() == static_cast<uint64_t>(edata));
+  }
+
+  Rng key_rng = rng.Fork();
+  KRX_RETURN_IF_ERROR(out.image->ReplenishXkeys(key_rng));
+  return out;
+}
+
+Result<ModuleObject> CompileModule(const std::string& name, std::vector<Function> functions,
+                                   std::vector<DataObject> data_objects, SymbolTable& symbols,
+                                   const ProtectionConfig& config) {
+  Rng rng(config.seed ^ 0x6d6f64);  // per-module stream
+  PipelineStats stats;
+  XkeyLayout xkeys;
+  const int64_t edata = ComputeEdata(kDefaultPhantomGuardSize);
+  KRX_RETURN_IF_ERROR(
+      ApplyProtection(functions, symbols, config, edata, &xkeys, &stats, rng));
+  if (config.diversify) {
+    rng.Shuffle(functions);
+  }
+  ModuleObject mod;
+  mod.name = name;
+  Assembler assembler;
+  for (const Function& fn : functions) {
+    KRX_RETURN_IF_ERROR(assembler.Assemble(fn, &mod.text));
+  }
+  // Module-local xkeys ride at the tail of the module's .text: they must
+  // live in the execute-only region, and a module owns no other memory
+  // there. The loader fills them with random values at load time.
+  if (xkeys.size_bytes > 0) {
+    while (!IsAligned(mod.text.bytes.size(), 16)) {
+      mod.text.bytes.push_back(kTextPadByte);
+    }
+    uint64_t base = mod.text.bytes.size();
+    mod.text.bytes.resize(base + xkeys.size_bytes, 0);
+    for (auto [sym, off] : xkeys.symbol_offsets) {
+      mod.text_symbol_offsets.emplace_back(sym, base + off);
+    }
+    mod.xkey_bytes = xkeys.size_bytes;
+  }
+  mod.data_objects = std::move(data_objects);
+  return mod;
+}
+
+}  // namespace krx

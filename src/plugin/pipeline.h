@@ -1,0 +1,81 @@
+// The kR^X toolchain pipeline: the reproduction's equivalent of
+// GCC -fplugin=krx -fplugin=kaslr + binutils + the patched kernel build.
+//
+// Pass order follows §6: the krx (R^X) instrumentation runs first, then
+// return-address protection, and code block slicing/permutation is the
+// final step. Function permutation happens at assembly time by shuffling
+// the order in which functions are laid out in .text.
+#ifndef KRX_SRC_PLUGIN_PIPELINE_H_
+#define KRX_SRC_PLUGIN_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/ir/function.h"
+#include "src/kernel/image.h"
+#include "src/kernel/module_loader.h"
+#include "src/kernel/object.h"
+#include "src/plugin/kaslr_pass.h"
+#include "src/plugin/pass_config.h"
+#include "src/plugin/ra_decoy_pass.h"
+#include "src/plugin/ra_encrypt_pass.h"
+#include "src/plugin/reg_rand_pass.h"
+#include "src/plugin/sfi_pass.h"
+
+namespace krx {
+
+// A kernel "source tree": IR functions plus data objects. Symbols referenced
+// by the functions (call targets, data) must be interned in `symbols`.
+struct KernelSource {
+  std::vector<Function> functions;
+  std::vector<DataObject> data_objects;
+  SymbolTable symbols;
+  uint64_t phys_bytes = 64ULL << 20;
+};
+
+struct PipelineStats {
+  SfiStats sfi;
+  KaslrStats kaslr;
+  DecoyStats decoy;
+  RegRandStats reg_rand;
+  uint64_t functions = 0;
+  uint64_t instrumented_functions = 0;
+  uint64_t xkeys = 0;
+  uint64_t phantom_guard_size = 0;
+};
+
+struct CompiledKernel {
+  std::unique_ptr<KernelImage> image;
+  PipelineStats stats;
+  ProtectionConfig config;
+  LayoutKind layout = LayoutKind::kVanilla;
+};
+
+// The _krx_edata value the instrumentation will compare against, given the
+// guard size the pipeline chooses. Exposed for tests.
+int64_t ComputeEdata(uint64_t phantom_guard_size);
+
+// Applies the configured passes to the functions in place; returns the
+// xkey layout (encryption scheme) and accumulated statistics.
+Status ApplyProtection(std::vector<Function>& functions, SymbolTable& symbols,
+                       const ProtectionConfig& config, int64_t edata_imm, XkeyLayout* xkeys,
+                       PipelineStats* stats, Rng& rng);
+
+// Full build: transform, permute, assemble, link, replenish xkeys.
+Result<CompiledKernel> CompileKernel(KernelSource source, const ProtectionConfig& config,
+                                     LayoutKind layout);
+
+// Compiles a module object against a (shared) kernel symbol table with its
+// own protection config — kR^X supports mixed protected/unprotected code
+// (§6). Under return-address encryption the module's xkeys are appended to
+// its .text (the only execute-only memory a module owns) and replenished by
+// the loader at load time.
+Result<ModuleObject> CompileModule(const std::string& name, std::vector<Function> functions,
+                                   std::vector<DataObject> data_objects, SymbolTable& symbols,
+                                   const ProtectionConfig& config);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_PLUGIN_PIPELINE_H_

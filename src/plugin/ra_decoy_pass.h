@@ -1,0 +1,47 @@
+// Return-address decoys (§5.2.2, scheme D).
+//
+// For every call site (and tail-call site) the caller places a *phantom
+// instruction* at a random position in its own code stream — a NOP-like
+// `mov $imm, %r11` whose immediate embeds an int3 tripwire byte — and
+// passes the tripwire's address to the callee in the predetermined scratch
+// register (%r11, as in Figure 3). The callee's prologue stores the decoy
+// next to the real return address, in a per-function random order:
+//
+//   variant (a), decoy on top:        variant (b), real on top:
+//     push %r11                         mov (%rsp), %rax
+//                                       mov %r11, (%rsp)
+//                                       push %rax
+//   epilogue:                         epilogue:
+//     add $8, %rsp                      pop %r11
+//     retq                              add $8, %rsp
+//                                       jmp *%r11
+//
+// Harvesting the stack yields {real, decoy} pairs; picking the decoy lands
+// on the int3 tripwire (#BP). With n call-preceded gadgets the attacker
+// succeeds with probability 1/2^n (§7.3).
+#ifndef KRX_SRC_PLUGIN_RA_DECOY_PASS_H_
+#define KRX_SRC_PLUGIN_RA_DECOY_PASS_H_
+
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/ir/function.h"
+
+namespace krx {
+
+// Byte offset of the tripwire (the int3 opcode byte inside the phantom
+// instruction's immediate field): [opcode][reg][imm64...] — the immediate's
+// low byte sits at offset 2.
+inline constexpr int32_t kTripwireByteOffset = 2;
+
+struct DecoyStats {
+  uint64_t call_sites = 0;
+  uint64_t phantom_insts = 0;
+  uint64_t variant_a_functions = 0;  // decoy stored below the return address
+  uint64_t variant_b_functions = 0;
+};
+
+Status ApplyRaDecoyPass(Function& fn, Rng& rng, DecoyStats* stats);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_PLUGIN_RA_DECOY_PASS_H_

@@ -1,0 +1,53 @@
+#include "src/plugin/ra_encrypt_pass.h"
+
+namespace krx {
+namespace {
+
+// mov xkey$fn(%rip), %r11 ; xor %r11, (%rsp)
+void EmitCrypt(std::vector<Instruction>& out, int32_t xkey_sym) {
+  Instruction load = Instruction::Load(kRangeCheckScratch, MemOperand::RipRelSym(xkey_sym));
+  load.origin = InstOrigin::kRaProtection;
+  out.push_back(load);
+  Instruction crypt = Instruction::XorMR(MemOperand::Base(Reg::kRsp, 0), kRangeCheckScratch);
+  crypt.origin = InstOrigin::kRaProtection;
+  out.push_back(crypt);
+}
+
+}  // namespace
+
+Status ApplyRaEncryptPass(Function& fn, SymbolTable& symbols, XkeyLayout* xkeys) {
+  int32_t xkey_sym = symbols.Intern("xkey$" + fn.name(), SymbolKind::kData);
+  xkeys->Add(xkey_sym);
+
+  bool first_block = true;
+  for (BasicBlock& b : fn.blocks()) {
+    std::vector<Instruction> out;
+    out.reserve(b.insts.size() + 4);
+    if (first_block) {
+      // Prologue: encrypt the just-pushed return address.
+      EmitCrypt(out, xkey_sym);
+      first_block = false;
+    }
+    for (const Instruction& inst : b.insts) {
+      const bool is_ret = inst.op == Opcode::kRet;
+      const bool is_tail_call = inst.op == Opcode::kJmpRel && inst.target_symbol >= 0;
+      if (is_ret || is_tail_call) {
+        // Epilogue: decrypt before the control transfer. A tail-called
+        // function re-encrypts with its own key.
+        EmitCrypt(out, xkey_sym);
+      }
+      out.push_back(inst);
+      if (inst.IsCall()) {
+        // Return site: zap the stale decrypted return address the callee's
+        // epilogue left just below the stack pointer.
+        Instruction zap = Instruction::StoreImm(MemOperand::Base(Reg::kRsp, -8), 0);
+        zap.origin = InstOrigin::kRaProtection;
+        out.push_back(zap);
+      }
+    }
+    b.insts = std::move(out);
+  }
+  return fn.Validate();
+}
+
+}  // namespace krx

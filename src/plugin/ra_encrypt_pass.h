@@ -1,0 +1,45 @@
+// Return-address encryption (§5.2.2, scheme X).
+//
+// Every routine gets a secret xkey placed in the non-readable (code) region.
+// Prologues and epilogues XOR the saved return address with the key:
+//
+//   mov xkey$fn(%rip), %r11     ; safe read — not range-checked
+//   xor %r11, (%rsp)            ; plain %rsp access — guard-covered
+//
+// The address stays encrypted for the whole activation; it is decrypted
+// just before retq and before tail calls (the new callee re-encrypts with
+// its own key). Return sites are instrumented to zap the stale decrypted
+// return address left below the stack pointer.
+#ifndef KRX_SRC_PLUGIN_RA_ENCRYPT_PASS_H_
+#define KRX_SRC_PLUGIN_RA_ENCRYPT_PASS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ir/function.h"
+#include "src/kernel/object.h"
+
+namespace krx {
+
+// Grows as functions are instrumented: one 8-byte slot per function. The
+// slots are merged into the contiguous .krx_xkeys section at link time and
+// replenished with random values at boot (§5.2.2).
+struct XkeyLayout {
+  std::vector<std::pair<int32_t, uint64_t>> symbol_offsets;
+  uint64_t size_bytes = 0;
+
+  // Registers a new xkey slot for symbol `sym`; returns its offset.
+  uint64_t Add(int32_t sym) {
+    uint64_t off = size_bytes;
+    symbol_offsets.emplace_back(sym, off);
+    size_bytes += 8;
+    return off;
+  }
+};
+
+Status ApplyRaEncryptPass(Function& fn, SymbolTable& symbols, XkeyLayout* xkeys);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_PLUGIN_RA_ENCRYPT_PASS_H_

@@ -1,0 +1,49 @@
+#include "src/plugin/reg_rand_pass.h"
+
+#include <array>
+
+namespace krx {
+namespace {
+
+Reg Rename(const std::array<Reg, std::size(kRenamePool)>& perm, Reg r, uint64_t* rewrites) {
+  for (size_t i = 0; i < std::size(kRenamePool); ++i) {
+    if (kRenamePool[i] == r) {
+      if (perm[i] != r) {
+        ++*rewrites;
+      }
+      return perm[i];
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+Status ApplyRegRandPass(Function& fn, Rng& rng, RegRandStats* stats) {
+  std::array<Reg, std::size(kRenamePool)> perm;
+  for (size_t i = 0; i < perm.size(); ++i) {
+    perm[i] = kRenamePool[i];
+  }
+  // Fisher-Yates over the pool.
+  for (size_t i = perm.size() - 1; i > 0; --i) {
+    size_t j = static_cast<size_t>(rng.NextBelow(i + 1));
+    std::swap(perm[i], perm[j]);
+  }
+
+  uint64_t rewrites = 0;
+  for (BasicBlock& b : fn.blocks()) {
+    for (Instruction& inst : b.insts) {
+      inst.r1 = Rename(perm, inst.r1, &rewrites);
+      inst.r2 = Rename(perm, inst.r2, &rewrites);
+      inst.mem.base = Rename(perm, inst.mem.base, &rewrites);
+      inst.mem.index = Rename(perm, inst.mem.index, &rewrites);
+    }
+  }
+  if (stats != nullptr) {
+    ++stats->functions_renamed;
+    stats->operands_rewritten += rewrites;
+  }
+  return fn.Validate();
+}
+
+}  // namespace krx

@@ -1,0 +1,38 @@
+// Register randomization — the complement §5.3 proposes for foiling
+// call-preceded gadget chaining ("they can be easily complemented with a
+// register randomization scheme [32, 87]").
+//
+// Each function gets a random permutation of the renameable register pool
+// {rbx, r12, r13, r14, r15}: callee-saved registers that are never argument,
+// return, string or instrumentation registers. Because the permutation is
+// per-function, a call-preceded gadget's *semantics* (which registers it
+// moves where) are no longer predictable even if its address leaks —
+// exactly the property that undermines payloads stitched from leaked
+// return sites.
+//
+// Contract: renamed registers carry no cross-function meaning (our kernel
+// convention already treats every register except %rsp/%rax as clobbered by
+// calls), and code must not read them before writing them except in
+// save/restore pairs (push/pop of the same register is permutation
+// invariant).
+#ifndef KRX_SRC_PLUGIN_REG_RAND_PASS_H_
+#define KRX_SRC_PLUGIN_REG_RAND_PASS_H_
+
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/ir/function.h"
+
+namespace krx {
+
+inline constexpr Reg kRenamePool[] = {Reg::kRbx, Reg::kR12, Reg::kR13, Reg::kR14, Reg::kR15};
+
+struct RegRandStats {
+  uint64_t functions_renamed = 0;
+  uint64_t operands_rewritten = 0;
+};
+
+Status ApplyRegRandPass(Function& fn, Rng& rng, RegRandStats* stats);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_PLUGIN_REG_RAND_PASS_H_

@@ -1,0 +1,366 @@
+#include "src/plugin/sfi_pass.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "src/ir/liveness.h"
+
+namespace krx {
+namespace {
+
+struct ReadSite {
+  int32_t layout_idx = 0;  // block layout index at collection time
+  size_t inst_idx = 0;
+  bool is_string = false;
+  bool place_after = false;  // rep-prefixed string: check lands after
+  Reg base = Reg::kNone;     // base register for the O2/O3 check form
+  int64_t disp = 0;          // original displacement
+  int64_t check_disp = 0;    // possibly raised by coalescing
+  MemOperand mem;            // original operand (lea form / MPX)
+  bool coalescible = false;  // base-only non-string reads
+  bool removed = false;
+};
+
+// State of the O3 availability analysis: per base register, the set of kept
+// check sites that dominate the current point with no intervening
+// redefinition, spill or call.
+using AvailState = std::map<Reg, std::set<ReadSite*>>;
+
+void KillReg(AvailState& state, Reg r) { state.erase(r); }
+
+void ApplyInstructionKills(AvailState& state, const Instruction& inst) {
+  if (inst.IsCall()) {
+    // Conservative: a callee may clobber or spill anything.
+    state.clear();
+    return;
+  }
+  // Redefinitions.
+  Reg written[6];
+  int wcount = 0;
+  InstructionRegWrites(inst, written, &wcount);
+  for (int i = 0; i < wcount; ++i) {
+    KillReg(state, written[i]);
+  }
+  // Spills: the register's value escapes to (attacker-writable) memory.
+  // A subsequent fill is a redefinition, but the paper additionally requires
+  // no spill between check and use (temporal attacks, §5.1.2 / [24]).
+  if (inst.op == Opcode::kStore || inst.op == Opcode::kPushR) {
+    KillReg(state, inst.r1);
+  }
+}
+
+AvailState MeetPredecessors(const std::vector<AvailState>& exit_states,
+                            const std::vector<std::vector<int32_t>>& preds, int32_t idx) {
+  AvailState out;
+  const auto& ps = preds[static_cast<size_t>(idx)];
+  if (ps.empty()) {
+    return out;
+  }
+  for (int32_t p : ps) {
+    if (p >= idx) {
+      return {};  // back edge: loop header gets the empty state (conservative)
+    }
+  }
+  out = exit_states[static_cast<size_t>(ps[0])];
+  for (size_t i = 1; i < ps.size(); ++i) {
+    const AvailState& other = exit_states[static_cast<size_t>(ps[i])];
+    AvailState merged;
+    for (const auto& [reg, sites] : out) {
+      auto it = other.find(reg);
+      if (it == other.end()) {
+        continue;  // not checked on every path
+      }
+      std::set<ReadSite*> u = sites;
+      u.insert(it->second.begin(), it->second.end());
+      merged[reg] = std::move(u);
+    }
+    out = std::move(merged);
+  }
+  return out;
+}
+
+}  // namespace
+
+void SfiStats::Accumulate(const SfiStats& o) {
+  read_sites += o.read_sites;
+  safe_reads += o.safe_reads;
+  rsp_reads += o.rsp_reads;
+  string_checks += o.string_checks;
+  checks_emitted += o.checks_emitted;
+  checks_coalesced += o.checks_coalesced;
+  wrappers_kept += o.wrappers_kept;
+  wrappers_eliminated += o.wrappers_eliminated;
+  lea_kept += o.lea_kept;
+  lea_eliminated += o.lea_eliminated;
+  max_rsp_disp = std::max(max_rsp_disp, o.max_rsp_disp);
+}
+
+double SfiStats::WrapperEliminationRate() const {
+  uint64_t total = wrappers_kept + wrappers_eliminated;
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(wrappers_eliminated) /
+                                static_cast<double>(total);
+}
+
+double SfiStats::LeaEliminationRate() const {
+  uint64_t total = lea_kept + lea_eliminated;
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(lea_eliminated) /
+                                static_cast<double>(total);
+}
+
+double SfiStats::CoalescingRate() const {
+  uint64_t total = checks_emitted + checks_coalesced;
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(checks_coalesced) /
+                                static_cast<double>(total);
+}
+
+double SfiStats::SafeReadRate() const {
+  return read_sites == 0 ? 0.0 : 100.0 * static_cast<double>(safe_reads) /
+                                     static_cast<double>(read_sites);
+}
+
+Status ApplySfiPass(Function& fn, const ProtectionConfig& config, int32_t krx_handler_sym,
+                    int64_t edata_imm, SfiStats* stats) {
+  if (!config.HasRangeChecks() && !config.mpx) {
+    return Status::Ok();
+  }
+  const bool mpx = config.mpx;
+  const SfiLevel level = config.sfi;
+  const bool do_liveness = !mpx && level != SfiLevel::kO0;
+  const bool do_lea_elim = mpx || level == SfiLevel::kO2 || level == SfiLevel::kO3;
+  const bool do_coalesce = mpx || level == SfiLevel::kO3;
+
+  SfiStats local;
+
+  // ---- Collect read sites. ----
+  std::vector<std::vector<ReadSite>> sites_by_block(fn.blocks().size());
+  for (size_t bi = 0; bi < fn.blocks().size(); ++bi) {
+    const BasicBlock& b = fn.blocks()[bi];
+    for (size_t j = 0; j < b.insts.size(); ++j) {
+      const Instruction& inst = b.insts[j];
+      if (!inst.ReadsMemory()) {
+        continue;
+      }
+      ++local.read_sites;
+      ReadSite site;
+      site.layout_idx = static_cast<int32_t>(bi);
+      site.inst_idx = j;
+      if (inst.IsString()) {
+        site.is_string = true;
+        site.place_after = inst.rep;
+        site.base = inst.StringReadBase();
+        site.disp = 0;
+        site.check_disp = 0;
+        site.mem = MemOperand::Base(site.base, 0);
+        ++local.string_checks;
+        sites_by_block[bi].push_back(site);
+        continue;
+      }
+      const MemOperand& mem = inst.mem;
+      if (mem.IsSafeAddress()) {
+        ++local.safe_reads;
+        continue;
+      }
+      if (mem.IsPlainRspAccess()) {
+        ++local.rsp_reads;
+        local.max_rsp_disp = std::max(local.max_rsp_disp, mem.disp);
+        continue;
+      }
+      site.mem = mem;
+      if (mem.has_base() && !mem.has_index()) {
+        site.base = mem.base;
+        site.disp = mem.disp;
+        site.coalescible = true;
+      } else {
+        site.base = Reg::kNone;  // needs lea (or a full-operand bndcu)
+        site.disp = mem.disp;
+      }
+      site.check_disp = site.disp;
+      sites_by_block[bi].push_back(site);
+    }
+  }
+
+  // ---- O3: cmp/ja coalescing. ----
+  if (do_coalesce) {
+    const size_t n = fn.blocks().size();
+    std::vector<std::vector<int32_t>> preds(n);
+    for (size_t bi = 0; bi < n; ++bi) {
+      for (int32_t succ_id : fn.SuccessorsOf(static_cast<int32_t>(bi))) {
+        int32_t sidx = fn.IndexOfBlock(succ_id);
+        if (sidx >= 0) {
+          preds[static_cast<size_t>(sidx)].push_back(static_cast<int32_t>(bi));
+        }
+      }
+    }
+    std::vector<AvailState> exit_states(n);
+    for (size_t bi = 0; bi < n; ++bi) {
+      AvailState state = MeetPredecessors(exit_states, preds, static_cast<int32_t>(bi));
+      auto& block_sites = sites_by_block[bi];
+      size_t next_site = 0;
+      const BasicBlock& b = fn.blocks()[bi];
+      for (size_t j = 0; j < b.insts.size(); ++j) {
+        // Check site placed *before* this instruction.
+        while (next_site < block_sites.size() && block_sites[next_site].inst_idx == j) {
+          ReadSite& site = block_sites[next_site];
+          ++next_site;
+          if (!site.coalescible || site.place_after) {
+            continue;
+          }
+          auto it = state.find(site.base);
+          if (it != state.end()) {
+            // Dominated on every path: fold into the dominating checks.
+            site.removed = true;
+            for (ReadSite* dom : it->second) {
+              dom->check_disp = std::max(dom->check_disp, site.disp);
+            }
+          } else {
+            state[site.base] = {&site};
+          }
+        }
+        ApplyInstructionKills(state, b.insts[j]);
+      }
+      exit_states[bi] = std::move(state);
+    }
+  }
+
+  // ---- Materialize. ----
+  FlagsLiveness liveness(fn);
+
+  bool any_kept = false;
+  for (const auto& bs : sites_by_block) {
+    for (const ReadSite& s : bs) {
+      if (!s.removed) {
+        any_kept = true;
+      }
+    }
+  }
+
+  // Violation block (SFI flavour only): callq krx_handler, then halt.
+  // Created before the rebuild so block references below stay stable.
+  int32_t viol_block = -1;
+  if (any_kept && !mpx) {
+    viol_block = fn.AddBlock();
+    BasicBlock& vb = fn.block_by_id(viol_block);
+    Instruction call = Instruction::CallSym(krx_handler_sym);
+    call.origin = InstOrigin::kRangeCheck;
+    Instruction hlt = Instruction::Hlt();
+    hlt.origin = InstOrigin::kRangeCheck;
+    vb.insts.push_back(call);
+    vb.insts.push_back(hlt);
+  }
+  auto violation_target = [&]() {
+    KRX_CHECK(viol_block >= 0);
+    return viol_block;
+  };
+
+  // Rebuild blocks that have sites; layout indices of the blocks the sites
+  // refer to are unchanged by the violation-block append.
+  for (size_t bi = 0; bi < sites_by_block.size(); ++bi) {
+    auto& block_sites = sites_by_block[bi];
+    bool any = false;
+    for (const ReadSite& s : block_sites) {
+      if (!s.removed) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) {
+      continue;
+    }
+    BasicBlock& b = fn.blocks()[bi];
+    std::vector<Instruction> out;
+    out.reserve(b.insts.size() + block_sites.size() * 5);
+    size_t next_site = 0;
+
+    auto emit_check = [&](const ReadSite& site, size_t liveness_point) {
+      ++local.checks_emitted;
+      if (mpx) {
+        MemOperand checked = site.coalescible || site.is_string
+                                 ? MemOperand::Base(site.base, site.check_disp)
+                                 : site.mem;
+        Instruction b1 = Instruction::Bndcu(checked);
+        b1.origin = InstOrigin::kRangeCheck;
+        out.push_back(b1);
+        return;
+      }
+      const bool base_form = site.is_string || (do_lea_elim && site.coalescible);
+      bool preserve;
+      if (level == SfiLevel::kO0) {
+        preserve = true;
+      } else {
+        preserve = liveness.LiveBefore(static_cast<int32_t>(bi), liveness_point);
+      }
+      if (preserve) {
+        ++local.wrappers_kept;
+        Instruction p = Instruction::Pushfq();
+        p.origin = InstOrigin::kRangeCheck;
+        out.push_back(p);
+      } else {
+        ++local.wrappers_eliminated;
+      }
+      if (base_form) {
+        if (!site.is_string) {
+          ++local.lea_eliminated;
+        }
+        Instruction cmp = Instruction::CmpRI(site.base, edata_imm - site.check_disp);
+        cmp.origin = InstOrigin::kRangeCheck;
+        out.push_back(cmp);
+      } else {
+        ++local.lea_kept;
+        Instruction lea = Instruction::Lea(kRangeCheckScratch, site.mem);
+        lea.origin = InstOrigin::kRangeCheck;
+        out.push_back(lea);
+        Instruction cmp = Instruction::CmpRI(kRangeCheckScratch, edata_imm);
+        cmp.origin = InstOrigin::kRangeCheck;
+        out.push_back(cmp);
+      }
+      Instruction ja = Instruction::JccBlock(Cond::kA, violation_target());
+      ja.origin = InstOrigin::kRangeCheck;
+      out.push_back(ja);
+      if (preserve) {
+        Instruction p = Instruction::Popfq();
+        p.origin = InstOrigin::kRangeCheck;
+        out.push_back(p);
+      }
+    };
+
+    for (size_t j = 0; j < b.insts.size(); ++j) {
+      // Before-checks for this instruction.
+      size_t si = next_site;
+      while (si < block_sites.size() && block_sites[si].inst_idx == j) {
+        const ReadSite& site = block_sites[si];
+        if (!site.removed && !site.place_after) {
+          emit_check(site, j);
+        }
+        ++si;
+      }
+      out.push_back(b.insts[j]);
+      // After-checks (rep string postmortem check).
+      while (next_site < block_sites.size() && block_sites[next_site].inst_idx == j) {
+        const ReadSite& site = block_sites[next_site];
+        if (!site.removed && site.place_after) {
+          emit_check(site, j + 1);
+        }
+        ++next_site;
+      }
+    }
+    b.insts = std::move(out);
+  }
+
+  local.checks_coalesced = 0;
+  for (const auto& bs : sites_by_block) {
+    for (const ReadSite& s : bs) {
+      if (s.removed) {
+        ++local.checks_coalesced;
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->Accumulate(local);
+  }
+  return fn.Validate();
+}
+
+}  // namespace krx

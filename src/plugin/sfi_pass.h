@@ -1,0 +1,66 @@
+// kR^X-SFI / kR^X-MPX range-check instrumentation (§5.1.2, §5.1.3).
+//
+// The pass confines every unsafe memory *read* to the data region
+// (effective address <= _krx_edata) by inserting range checks:
+//
+//   O0:  pushfq; lea mem, %r11; cmp $_krx_edata, %r11; ja .Lviol; popfq
+//   O1:  pushfq/popfq only where %rflags is live (liveness analysis)
+//   O2:  cmp $(_krx_edata - disp), %base; ja .Lviol   (base+disp operands)
+//   O3:  cmp/ja coalescing: checks on the same base register with no
+//        intervening redefinition/spill/call collapse into one check
+//        against the maximum displacement
+//   MPX: bndcu mem, %bnd0   (no flags, no scratch, #BR on violation)
+//
+// Exemptions, exactly as in the paper:
+//   - safe reads: rip-relative and absolute addresses (encoded in the
+//     instruction, immutable under W^X),
+//   - plain (%rsp)/disp(%rsp) reads, guarded by the .krx_phantom section
+//     (the pass reports the maximum such displacement so the guard can be
+//     sized),
+//   - string operations are checked through %rsi (%rdi for scas); for
+//     rep-prefixed forms the check lands *after* the instruction
+//     (postmortem detection, footnote 7).
+#ifndef KRX_SRC_PLUGIN_SFI_PASS_H_
+#define KRX_SRC_PLUGIN_SFI_PASS_H_
+
+#include <cstdint>
+
+#include "src/base/status.h"
+#include "src/ir/function.h"
+#include "src/kernel/object.h"
+#include "src/plugin/pass_config.h"
+
+namespace krx {
+
+struct SfiStats {
+  uint64_t read_sites = 0;        // all data-read sites considered
+  uint64_t safe_reads = 0;        // rip-relative / absolute
+  uint64_t rsp_reads = 0;         // plain %rsp accesses (guard-covered)
+  uint64_t string_checks = 0;
+  uint64_t checks_emitted = 0;    // materialized range checks
+  uint64_t checks_coalesced = 0;  // removed by O3
+  uint64_t wrappers_kept = 0;     // pushfq/popfq pairs emitted
+  uint64_t wrappers_eliminated = 0;
+  uint64_t lea_kept = 0;          // checks still needing lea (+scratch)
+  uint64_t lea_eliminated = 0;    // base+disp checks (O2 form)
+  int64_t max_rsp_disp = 0;       // drives .krx_phantom sizing
+
+  void Accumulate(const SfiStats& o);
+  double WrapperEliminationRate() const;
+  double LeaEliminationRate() const;
+  double CoalescingRate() const;
+  double SafeReadRate() const;
+};
+
+// Instruments `fn` in place. `krx_handler_sym` is the symbol index of the
+// violation handler (used by the SFI flavour; MPX raises #BR directly but
+// the check placement and coalescing logic are shared).
+// `edata_imm` is the link-time value the checks compare against; the
+// reproduction resolves _krx_edata at instrumentation time (the real plugin
+// emits a symbolic immediate the linker fills — same effect).
+Status ApplySfiPass(Function& fn, const ProtectionConfig& config, int32_t krx_handler_sym,
+                    int64_t edata_imm, SfiStats* stats);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_PLUGIN_SFI_PASS_H_

@@ -1,0 +1,287 @@
+#include "src/workload/corpus.h"
+
+#include "src/base/rng.h"
+#include "src/ir/builder.h"
+#include "src/mem/phys_mem.h"
+#include "src/workload/ops.h"
+
+namespace krx {
+namespace {
+
+// commit_creds(cred): current_cred = cred.
+Function MakeCommitCreds(SymbolTable& symbols) {
+  int32_t cred = symbols.Intern("current_cred", SymbolKind::kData);
+  FunctionBuilder b("commit_creds");
+  b.Emit(Instruction::Store(MemOperand::RipRelSym(cred), Reg::kRdi));
+  b.Emit(Instruction::MovRI(Reg::kRax, 0));
+  b.Emit(Instruction::Ret());
+  return b.Build();
+}
+
+// The retrofitted debugfs vulnerability: dereferences a user-supplied
+// kernel pointer and returns 8 bytes (§7.3 footnote 11). The read is a
+// plain (%rdi) load, so the kR^X instrumentation range-checks it.
+Function MakeLeakRead() {
+  FunctionBuilder b("debugfs_leak_read");
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 0)));
+  b.Emit(Instruction::Ret());
+  return b.Build();
+}
+
+// sys_deep_call -> deep_1 -> ... -> deep_{n-1}: leaves a ladder of frames
+// (and, under the decoy scheme, {real, decoy} pairs) on the kernel stack.
+void MakeDeepCallChain(KernelSource* src, int depth) {
+  for (int d = depth - 1; d >= 0; --d) {
+    std::string name = d == 0 ? "sys_deep_call" : "deep_" + std::to_string(d);
+    FunctionBuilder b(name);
+    b.Emit(Instruction::SubRI(Reg::kRsp, 24));
+    b.Emit(Instruction::MovRI(Reg::kRcx, 0xAB00 + d));
+    b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsp, 8), Reg::kRcx));
+    if (d + 1 < depth) {
+      b.Emit(Instruction::CallSym(src->symbols.Intern("deep_" + std::to_string(d + 1))));
+      b.Emit(Instruction::Load(Reg::kRcx, MemOperand::Base(Reg::kRsp, 8)));
+      b.Emit(Instruction::AddRR(Reg::kRax, Reg::kRcx));
+    } else {
+      b.Emit(Instruction::MovRI(Reg::kRax, 0xD0));
+    }
+    {
+      // A conditional hop so the chain is not made of single-block routines.
+      int32_t done = b.ReserveBlock();
+      b.Emit(Instruction::CmpRI(Reg::kRax, 0));
+      b.Emit(Instruction::JccBlock(Cond::kE, done));
+      b.Emit(Instruction::AddRI(Reg::kRax, 0));
+      b.Bind(done);
+    }
+    b.Emit(Instruction::AddRI(Reg::kRsp, 24));
+    b.Emit(Instruction::Ret());
+    src->functions.push_back(b.Build());
+    src->symbols.Intern(name);
+  }
+}
+
+// Routines that legitimately end in pop-reg epilogues — ROP raw material
+// that realistic kernels are full of.
+void MakeGadgetBearers(KernelSource* src) {
+  {
+    FunctionBuilder b("restore_args_rdi");
+    b.Emit(Instruction::PushR(Reg::kRdi));
+    b.Emit(Instruction::AddRI(Reg::kRax, 1));
+    b.Emit(Instruction::PopR(Reg::kRdi));
+    b.Emit(Instruction::Ret());
+    src->functions.push_back(b.Build());
+  }
+  {
+    FunctionBuilder b("restore_args_rsi");
+    b.Emit(Instruction::PushR(Reg::kRsi));
+    b.Emit(Instruction::XorRI(Reg::kRax, 3));
+    b.Emit(Instruction::PopR(Reg::kRsi));
+    b.Emit(Instruction::Ret());
+    src->functions.push_back(b.Build());
+  }
+  {
+    // mov %rsi, (%rdi); ret — an arbitrary-write primitive when reused.
+    FunctionBuilder b("store_word_helper");
+    b.Emit(Instruction::Store(MemOperand::Base(Reg::kRdi, 0), Reg::kRsi));
+    b.Emit(Instruction::Ret());
+    src->functions.push_back(b.Build());
+  }
+  {
+    FunctionBuilder b("mov_ret_helper");
+    b.Emit(Instruction::MovRR(Reg::kRax, Reg::kRdi));
+    b.Emit(Instruction::Ret());
+    src->functions.push_back(b.Build());
+  }
+  for (const char* n :
+       {"restore_args_rdi", "restore_args_rsi", "store_word_helper", "mov_ret_helper"}) {
+    src->symbols.Intern(n);
+  }
+}
+
+// Generated utility routines with a realistic shape distribution.
+void MakeUtilityFunctions(KernelSource* src, int count, Rng& rng) {
+  for (int i = 0; i < count; ++i) {
+    std::string name = "util_" + std::to_string(i);
+    FunctionBuilder b(name);
+    uint64_t shape = rng.NextBelow(100);
+    if (shape < 12) {
+      // Single basic block (~12% of kernel routines, §5.2.1).
+      b.Emit(Instruction::MovRR(Reg::kRax, Reg::kRdi));
+      b.Emit(Instruction::XorRI(Reg::kRax, static_cast<int64_t>(rng.NextBelow(1 << 16))));
+      b.Emit(Instruction::Ret());
+    } else if (shape < 45) {
+      // Read + branch.
+      int32_t skip = b.ReserveBlock();
+      b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 8 * (i % 16))));
+      b.Emit(Instruction::CmpRI(Reg::kRax, 0x40));
+      b.Emit(Instruction::JccBlock(Cond::kL, skip));
+      b.Emit(Instruction::AddRI(Reg::kRax, 7));
+      b.Bind(skip);
+      b.Emit(Instruction::Ret());
+    } else if (shape < 60) {
+      // Struct copy: a run of same-base reads (coalescible at O3).
+      b.Emit(Instruction::MovRI(Reg::kRax, 0));
+      uint64_t run = 6 + rng.NextBelow(10);
+      for (uint64_t k = 0; k < run; ++k) {
+        b.Emit(Instruction::AddRM(Reg::kRax, MemOperand::Base(Reg::kRdi, 8 * (k % 32))));
+      }
+      b.Emit(Instruction::CmpRI(Reg::kRax, 0));
+      int32_t done = b.ReserveBlock();
+      b.Emit(Instruction::JccBlock(Cond::kE, done));
+      b.Emit(Instruction::XorRI(Reg::kRax, 0x33));
+      b.Bind(done);
+      b.Emit(Instruction::Ret());
+    } else if (shape < 74) {
+      // Small loop.
+      b.Emit(Instruction::MovRI(Reg::kRcx, 1 + rng.NextBelow(6)));
+      b.Emit(Instruction::MovRI(Reg::kRax, 0));
+      int32_t loop = b.ReserveBlock();
+      b.Bind(loop);
+      b.Emit(Instruction::AddRM(Reg::kRax, MemOperand::Base(Reg::kRdi, 8 * (i % 8))));
+      b.Emit(Instruction::SubRI(Reg::kRcx, 1));
+      b.Emit(Instruction::JccBlock(Cond::kNe, loop));
+      b.Emit(Instruction::Ret());
+    } else if (shape < 90 && i > 0) {
+      // Calls an earlier utility.
+      b.Emit(Instruction::SubRI(Reg::kRsp, 8));
+      b.Emit(Instruction::CallSym(
+          src->symbols.Intern("util_" + std::to_string(rng.NextBelow(static_cast<uint64_t>(i))))));
+      b.Emit(Instruction::AddRI(Reg::kRax, 1));
+      b.Emit(Instruction::AddRI(Reg::kRsp, 8));
+      b.Emit(Instruction::Ret());
+    } else {
+      // Pop-reg epilogue (extra gadget surface).
+      Reg r = rng.NextBool() ? Reg::kRdx : Reg::kRbx;
+      b.Emit(Instruction::PushR(r));
+      b.Emit(Instruction::AddRI(Reg::kRax, static_cast<int64_t>(rng.NextBelow(32))));
+      b.Emit(Instruction::PopR(r));
+      b.Emit(Instruction::Ret());
+    }
+    src->functions.push_back(b.Build());
+    src->symbols.Intern(name);
+  }
+}
+
+// memcpy(dst=rdi, src=rsi, qwords=rdx): the body emitted twice — once as
+// the instrumented original, once as the exempt clone the tracing
+// subsystems use to legitimately read code (§6).
+Function MakeMemcpyBody(const std::string& name) {
+  FunctionBuilder b(name);
+  b.Emit(Instruction::MovRR(Reg::kRcx, Reg::kRdx));
+  b.Emit(Instruction::Movsq(/*rep_prefix=*/true));
+  b.Emit(Instruction::MovRR(Reg::kRax, Reg::kRdi));
+  b.Emit(Instruction::Ret());
+  return b.Build();
+}
+
+// kprobe_fetch_insn(dst=rdi, probe_addr=rsi): copies 16 bytes of kernel
+// code into a data buffer through the exempt clone — the primitive KProbes
+// needs to save the original instruction at a probe point.
+Function MakeKprobeFetch(SymbolTable& symbols) {
+  FunctionBuilder b("kprobe_fetch_insn");
+  b.Emit(Instruction::SubRI(Reg::kRsp, 8));
+  b.Emit(Instruction::MovRI(Reg::kRdx, 2));  // 2 qwords = 16 bytes
+  b.Emit(Instruction::CallSym(symbols.Intern("krx_memcpy_clone")));
+  b.Emit(Instruction::AddRI(Reg::kRsp, 8));
+  b.Emit(Instruction::Ret());
+  return b.Build();
+}
+
+}  // namespace
+
+std::set<std::string> DefaultExemptFunctions() { return {"krx_memcpy_clone"}; }
+
+KernelSource MakeBaseSource(const CorpusOptions& options) {
+  KernelSource src;
+  Rng rng(options.seed);
+
+  src.functions.push_back(MakeCommitCreds(src.symbols));
+  src.symbols.Intern("commit_creds");
+  src.functions.push_back(MakeLeakRead());
+  src.symbols.Intern("debugfs_leak_read");
+  MakeDeepCallChain(&src, options.deep_call_depth);
+  MakeGadgetBearers(&src);
+  src.functions.push_back(MakeMemcpyBody("krx_memcpy"));
+  src.symbols.Intern("krx_memcpy");
+  src.functions.push_back(MakeMemcpyBody("krx_memcpy_clone"));
+  src.symbols.Intern("krx_memcpy_clone");
+  src.functions.push_back(MakeKprobeFetch(src.symbols));
+  src.symbols.Intern("kprobe_fetch_insn");
+  MakeUtilityFunctions(&src, options.utility_functions, rng);
+
+  // current_cred: 8 bytes, initially unprivileged (0x1000).
+  DataObject cred;
+  cred.name = "current_cred";
+  cred.kind = SectionKind::kData;
+  cred.bytes = {0x00, 0x10, 0, 0, 0, 0, 0, 0};
+  src.data_objects.push_back(std::move(cred));
+
+  // sys_call_table: .rodata function-pointer table; slot 0 = commit_creds.
+  DataObject table;
+  table.name = "sys_call_table";
+  table.kind = SectionKind::kRodata;
+  std::vector<std::string> entries = {"commit_creds", "debugfs_leak_read", "sys_deep_call",
+                                      "restore_args_rdi", "store_word_helper",
+                                      "mov_ret_helper"};
+  for (int i = 0; i < 10; ++i) {
+    entries.push_back("util_" + std::to_string(i % options.utility_functions));
+  }
+  table.bytes.assign(entries.size() * 8, 0);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    table.pointer_slots.push_back({8 * i, src.symbols.Intern(entries[i])});
+  }
+  src.data_objects.push_back(std::move(table));
+
+  // notifier_hook: a *writable* function pointer (notifier chains, ops
+  // structs) + run_notifier(arg), the kernel path that dereferences it.
+  // This is the §7.3 residual surface: under full kR^X an attacker can
+  // still overwrite it with the entry point of a whole function of
+  // compatible arity (data-only attack).
+  {
+    DataObject hook;
+    hook.name = "notifier_hook";
+    hook.kind = SectionKind::kData;
+    hook.bytes.assign(8, 0);
+    hook.pointer_slots.push_back({0, src.symbols.Intern("mov_ret_helper"), 0});
+    src.data_objects.push_back(std::move(hook));
+
+    FunctionBuilder b("run_notifier");
+    b.Emit(Instruction::SubRI(Reg::kRsp, 8));
+    b.Emit(Instruction::CallM(MemOperand::RipRelSym(
+        src.symbols.Intern("notifier_hook", SymbolKind::kData))));
+    b.Emit(Instruction::AddRI(Reg::kRsp, 8));
+    b.Emit(Instruction::Ret());
+    src.functions.push_back(b.Build());
+    src.symbols.Intern("run_notifier");
+  }
+
+  // __ex_table: exception-fixup pairs (fault site, handler) — a table of
+  // code pointers. Under kR^X-KAS it lands in the execute-only region
+  // (footnote 5), so indirect JIT-ROP cannot harvest it.
+  DataObject extable;
+  extable.name = "__ex_table";
+  extable.kind = SectionKind::kExTable;
+  extable.bytes.assign(8 * 8, 0);
+  for (int i = 0; i < 8; ++i) {
+    extable.pointer_slots.push_back(
+        {8 * static_cast<uint64_t>(i),
+         src.symbols.Intern("util_" + std::to_string((i * 3) % options.utility_functions))});
+  }
+  src.data_objects.push_back(std::move(extable));
+
+  return src;
+}
+
+Result<uint64_t> SetUpOpBuffer(KernelImage& image, uint64_t seed) {
+  auto buf = image.AllocDataPages(kOpBufferBytes >> kPageShift);
+  if (!buf.ok()) {
+    return buf.status();
+  }
+  Rng rng(seed);
+  for (uint64_t off = 0; off < kOpBufferBytes; off += 8) {
+    // Small values so accumulators stay well-behaved.
+    KRX_RETURN_IF_ERROR(image.Poke64(*buf + off, rng.NextBelow(1 << 20)));
+  }
+  return *buf;
+}
+
+}  // namespace krx

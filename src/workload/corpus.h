@@ -1,0 +1,50 @@
+// The synthetic kernel "source tree".
+//
+// MakeBaseSource() builds the parts every experiment shares:
+//   - commit_creds / current_cred: the privilege-escalation witness,
+//   - debugfs_leak_read: the retrofitted arbitrary-read vulnerability (§7.3),
+//   - sys_deep_call: a call chain that leaves stack remnants for indirect
+//     JIT-ROP harvesting,
+//   - deliberately gadget-bearing utility routines (pop-reg epilogues,
+//     store helpers) so ROP material exists by construction,
+//   - a population of generated utility functions with a realistic shape
+//     distribution (~12% single-basic-block, §5.2.1),
+//   - sys_call_table: a .rodata dispatch table of function pointers — the
+//     readable code-pointer source indirect attacks start from.
+//
+// LMBench/Phoronix kernel ops (src/workload/ops.h) are added on top.
+#ifndef KRX_SRC_WORKLOAD_CORPUS_H_
+#define KRX_SRC_WORKLOAD_CORPUS_H_
+
+#include <cstdint>
+
+#include "src/plugin/pipeline.h"
+
+namespace krx {
+
+struct CorpusOptions {
+  uint64_t seed = 0xC0DE;
+  int utility_functions = 48;  // generated filler routines
+  int deep_call_depth = 10;
+};
+
+KernelSource MakeBaseSource(const CorpusOptions& options = CorpusOptions());
+
+// Initializes the shared scratch buffer the generated ops read from and
+// returns its kernel virtual address.
+Result<uint64_t> SetUpOpBuffer(KernelImage& image, uint64_t seed);
+
+// §6 "Legitimate Code Reads": the tracing/probing machinery needs to read
+// kernel code, so the corpus carries cloned, uninstrumented copies of the
+// read routines (the analogue of the paper's ten cloned get_next/peek_next/
+// memcpy/... functions) plus the instrumented originals:
+//   krx_memcpy        — instrumented: reading code through it dies.
+//   krx_memcpy_clone  — exempt clone: ftrace/kprobes use it.
+//   kprobe_fetch_insn — copies 16 code bytes via the clone into a buffer.
+// The clone names must be passed as `exempt_functions` when compiling;
+// DefaultExemptFunctions() returns that set.
+std::set<std::string> DefaultExemptFunctions();
+
+}  // namespace krx
+
+#endif  // KRX_SRC_WORKLOAD_CORPUS_H_

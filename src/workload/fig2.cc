@@ -1,0 +1,29 @@
+#include "src/workload/fig2.h"
+
+#include "src/ir/builder.h"
+
+namespace krx {
+
+Function MakeFig2Function() {
+  FunctionBuilder b("nhm_uncore_msr_enable_event");
+  const int32_t l1 = b.ReserveBlock();
+  const int32_t l2 = b.ReserveBlock();
+  b.Emit(Instruction::CmpMI(MemOperand::Base(Reg::kRsi, 0x154), 0x7));
+  b.Emit(Instruction::Load(Reg::kRcx, MemOperand::Base(Reg::kRsi, 0x140)));
+  b.Emit(Instruction::JccBlock(Cond::kG, l1));
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRsi, 0x130)));
+  b.Emit(Instruction::OrRI(Reg::kRax, 0x400000));
+  b.Emit(Instruction::MovRR(Reg::kRdx, Reg::kRax));
+  b.Emit(Instruction::ShrRI(Reg::kRdx, 0x20));
+  b.Emit(Instruction::JmpBlock(l2));
+  b.Bind(l1);
+  b.Emit(Instruction::XorRR(Reg::kRdx, Reg::kRdx));
+  b.Emit(Instruction::MovRI(Reg::kRax, 0x1));
+  b.Emit(Instruction::JmpBlock(l2));
+  b.Bind(l2);
+  b.Emit(Instruction::Wrmsr());
+  b.Emit(Instruction::Ret());
+  return b.Build();
+}
+
+}  // namespace krx

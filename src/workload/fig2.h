@@ -1,0 +1,28 @@
+// The paper's running example (Figure 2): the body of
+// nhm_uncore_msr_enable_event() from Linux v3.19, with its three memory
+// reads off %rsi (0x154, 0x140, 0x130).
+#ifndef KRX_SRC_WORKLOAD_FIG2_H_
+#define KRX_SRC_WORKLOAD_FIG2_H_
+
+#include "src/ir/function.h"
+
+namespace krx {
+
+// Builds:
+//   cmpl $0x7,0x154(%rsi)
+//   mov  0x140(%rsi),%rcx
+//   jg   L1
+//   mov  0x130(%rsi),%rax
+//   or   $0x400000,%rax
+//   mov  %rax,%rdx
+//   shr  $0x20,%rdx
+//   jmp  L2
+// L1: xor %edx,%edx
+//   mov  $0x1,%eax
+// L2: wrmsr
+//   retq
+Function MakeFig2Function();
+
+}  // namespace krx
+
+#endif  // KRX_SRC_WORKLOAD_FIG2_H_

@@ -1,0 +1,132 @@
+#include "src/workload/harness.h"
+
+#include "src/base/math_util.h"
+#include "src/workload/corpus.h"
+
+namespace krx {
+
+std::vector<Column> Table1Columns(uint64_t seed) {
+  std::vector<Column> cols;
+  cols.push_back({"SFI(-O0)", ProtectionConfig::SfiOnly(SfiLevel::kO0), LayoutKind::kKrx});
+  cols.push_back({"SFI(-O1)", ProtectionConfig::SfiOnly(SfiLevel::kO1), LayoutKind::kKrx});
+  cols.push_back({"SFI(-O2)", ProtectionConfig::SfiOnly(SfiLevel::kO2), LayoutKind::kKrx});
+  cols.push_back({"SFI(-O3)", ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx});
+  cols.push_back({"MPX", ProtectionConfig::MpxOnly(), LayoutKind::kKrx});
+  cols.push_back({"D", ProtectionConfig::DiversifyOnly(RaScheme::kDecoy, seed), LayoutKind::kKrx});
+  cols.push_back(
+      {"X", ProtectionConfig::DiversifyOnly(RaScheme::kEncrypt, seed), LayoutKind::kKrx});
+  cols.push_back({"SFI+D", ProtectionConfig::Full(false, RaScheme::kDecoy, seed),
+                  LayoutKind::kKrx});
+  cols.push_back({"SFI+X", ProtectionConfig::Full(false, RaScheme::kEncrypt, seed),
+                  LayoutKind::kKrx});
+  cols.push_back({"MPX+D", ProtectionConfig::Full(true, RaScheme::kDecoy, seed),
+                  LayoutKind::kKrx});
+  cols.push_back({"MPX+X", ProtectionConfig::Full(true, RaScheme::kEncrypt, seed),
+                  LayoutKind::kKrx});
+  return cols;
+}
+
+KernelSource MakeBenchSource(uint64_t seed) {
+  CorpusOptions opts;
+  opts.seed = seed;
+  KernelSource src = MakeBaseSource(opts);
+  for (const LmbenchRow& row : LmbenchRows()) {
+    EmitKernelOp(&src, row.profile);
+  }
+  return src;
+}
+
+Result<RowMeasurement> MeasureOp(Cpu& cpu, uint64_t buffer_vaddr, const std::string& op_symbol) {
+  auto entry = cpu.image()->symbols().AddressOf(op_symbol);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  RunResult r = cpu.CallFunction(*entry, {buffer_vaddr}, 50'000'000);
+  if (r.reason != StopReason::kReturned) {
+    return InternalError(op_symbol + " did not return cleanly: " +
+                         std::string(ExceptionKindName(r.exception)) +
+                         (r.krx_violation ? " (krx violation)" : ""));
+  }
+  RowMeasurement m;
+  m.row = op_symbol;
+  m.deci_cycles = r.deci_cycles;
+  m.instructions = r.instructions;
+  m.rax = r.rax;
+  return m;
+}
+
+Result<std::vector<RowMeasurement>> MeasureAllRows(CompiledKernel& kernel,
+                                                   uint64_t buffer_seed) {
+  CpuOptions copts;
+  copts.mpx_enabled = kernel.config.mpx;
+  Cpu cpu(kernel.image.get(), CostModel(), copts);
+  auto buf = SetUpOpBuffer(*kernel.image, buffer_seed);
+  if (!buf.ok()) {
+    return buf.status();
+  }
+  std::vector<RowMeasurement> out;
+  for (const LmbenchRow& row : LmbenchRows()) {
+    auto m = MeasureOp(cpu, *buf, "sys_" + row.profile.name);
+    if (!m.ok()) {
+      return m.status();
+    }
+    m->row = row.display_name;
+    out.push_back(*m);
+  }
+  return out;
+}
+
+Result<OverheadMatrix> RunTable1(uint64_t seed, int randomized_builds) {
+  KernelSource source = MakeBenchSource(seed);
+
+  auto vanilla = CompileKernel(source, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  if (!vanilla.ok()) {
+    return vanilla.status();
+  }
+  auto base = MeasureAllRows(*vanilla);
+  if (!base.ok()) {
+    return base.status();
+  }
+
+  OverheadMatrix matrix;
+  for (const auto& m : *base) {
+    matrix.row_names.push_back(m.row);
+    matrix.baseline.push_back(m.deci_cycles);
+  }
+  matrix.percent.assign(matrix.row_names.size(), {});
+
+  for (const Column& col : Table1Columns(seed)) {
+    matrix.column_names.push_back(col.name);
+    // Diversified builds are randomized: average over several seeds, as the
+    // paper does across its ten identically-configured compiles.
+    const int samples = col.config.diversify ? std::max(randomized_builds, 1) : 1;
+    std::vector<double> total(matrix.row_names.size(), 0.0);
+    for (int sample = 0; sample < samples; ++sample) {
+      ProtectionConfig config = col.config;
+      config.seed = seed + static_cast<uint64_t>(sample) * 0x9E3779B9ULL;
+      auto kernel = CompileKernel(source, config, col.layout);
+      if (!kernel.ok()) {
+        return kernel.status();
+      }
+      auto rows = MeasureAllRows(*kernel);
+      if (!rows.ok()) {
+        return rows.status();
+      }
+      for (size_t i = 0; i < rows->size(); ++i) {
+        // Semantic witness: every variant must compute the same result.
+        if ((*rows)[i].rax != (*base)[i].rax) {
+          return InternalError("variant " + col.name + " diverged on row " +
+                               matrix.row_names[i]);
+        }
+        total[i] += static_cast<double>((*rows)[i].deci_cycles);
+      }
+    }
+    for (size_t i = 0; i < matrix.row_names.size(); ++i) {
+      matrix.percent[i].push_back(OverheadPercent(static_cast<double>(matrix.baseline[i]),
+                                                  total[i] / samples));
+    }
+  }
+  return matrix;
+}
+
+}  // namespace krx

@@ -1,0 +1,233 @@
+#include "src/workload/ipc.h"
+
+#include "src/ir/builder.h"
+
+namespace krx {
+namespace {
+
+struct RingSyms {
+  int32_t ring;
+  int32_t head;  // monotonically increasing write counter
+  int32_t tail;  // monotonically increasing read counter
+};
+
+RingSyms InternRing(KernelSource* src, const std::string& prefix) {
+  return RingSyms{
+      src->symbols.Intern(prefix + "_ring", SymbolKind::kData),
+      src->symbols.Intern(prefix + "_head", SymbolKind::kData),
+      src->symbols.Intern(prefix + "_tail", SymbolKind::kData),
+  };
+}
+
+void AddRingObjects(KernelSource* src, const std::string& prefix, int64_t qwords) {
+  DataObject ring;
+  ring.name = prefix + "_ring";
+  ring.kind = SectionKind::kData;
+  ring.bytes.assign(static_cast<size_t>(qwords) * 8, 0);
+  src->data_objects.push_back(std::move(ring));
+  for (const char* counter : {"_head", "_tail"}) {
+    DataObject obj;
+    obj.name = prefix + counter;
+    obj.kind = SectionKind::kData;
+    obj.bytes.assign(8, 0);
+    src->data_objects.push_back(std::move(obj));
+  }
+}
+
+// Emits the element-copy loop shared by the ring producers/consumers:
+//   for (i = 0; i < count; ++i)
+//     {ring[(counter+i) & mask] = src[i]}  or  {dst[i] = ring[(counter+i) & mask]}
+// Registers: rax = i (clobbered), rcx = counter value, rsi = count,
+// rdi = user buffer, rbx/r8/rdx scratch.
+void EmitRingCopy(FunctionBuilder& b, int32_t ring_sym, int64_t mask, bool to_ring) {
+  const int32_t loop = b.ReserveBlock();
+  const int32_t done = b.ReserveBlock();
+  b.Emit(Instruction::MovRI(Reg::kRax, 0));
+  b.Bind(loop);
+  b.Emit(Instruction::CmpRR(Reg::kRax, Reg::kRsi));
+  b.Emit(Instruction::JccBlock(Cond::kE, done));
+  b.Emit(Instruction::MovRR(Reg::kR8, Reg::kRcx));
+  b.Emit(Instruction::AddRR(Reg::kR8, Reg::kRax));
+  b.Emit(Instruction::AndRI(Reg::kR8, mask));
+  b.Emit(Instruction::Lea(Reg::kRbx, MemOperand::RipRelSym(ring_sym)));
+  if (to_ring) {
+    b.Emit(Instruction::Load(Reg::kRdx, MemOperand::BaseIndex(Reg::kRdi, Reg::kRax, 8, 0)));
+    b.Emit(Instruction::Store(MemOperand::BaseIndex(Reg::kRbx, Reg::kR8, 8, 0), Reg::kRdx));
+  } else {
+    b.Emit(Instruction::Load(Reg::kRdx, MemOperand::BaseIndex(Reg::kRbx, Reg::kR8, 8, 0)));
+    b.Emit(Instruction::Store(MemOperand::BaseIndex(Reg::kRdi, Reg::kRax, 8, 0), Reg::kRdx));
+  }
+  b.Emit(Instruction::AddRI(Reg::kRax, 1));
+  b.Emit(Instruction::JmpBlock(loop));
+  b.Bind(done);
+}
+
+// pipe_write(src=rdi, qwords=rsi) / pipe_read(dst=rdi, qwords=rsi).
+void EmitPipeEnd(KernelSource* src, const RingSyms& syms, bool writer) {
+  FunctionBuilder b(writer ? "pipe_write" : "pipe_read");
+  const int32_t fail = b.ReserveBlock();
+  b.Emit(Instruction::Load(Reg::kRcx, MemOperand::RipRelSym(syms.head)));
+  b.Emit(Instruction::Load(Reg::kRdx, MemOperand::RipRelSym(syms.tail)));
+  if (writer) {
+    // free = capacity - (head - tail); fail if free < qwords.
+    b.Emit(Instruction::MovRR(Reg::kRax, Reg::kRcx));
+    b.Emit(Instruction::SubRR(Reg::kRax, Reg::kRdx));
+    b.Emit(Instruction::MovRI(Reg::kR8, kPipeRingQwords));
+    b.Emit(Instruction::SubRR(Reg::kR8, Reg::kRax));
+    b.Emit(Instruction::CmpRR(Reg::kR8, Reg::kRsi));
+    b.Emit(Instruction::JccBlock(Cond::kB, fail));
+  } else {
+    // buffered = head - tail; fail if buffered < qwords; copy from tail.
+    b.Emit(Instruction::MovRR(Reg::kRax, Reg::kRcx));
+    b.Emit(Instruction::SubRR(Reg::kRax, Reg::kRdx));
+    b.Emit(Instruction::CmpRR(Reg::kRax, Reg::kRsi));
+    b.Emit(Instruction::JccBlock(Cond::kB, fail));
+    b.Emit(Instruction::MovRR(Reg::kRcx, Reg::kRdx));  // copy cursor = tail
+  }
+  EmitRingCopy(b, syms.ring, kPipeRingQwords - 1, /*to_ring=*/writer);
+  // Advance the counter.
+  int32_t counter = writer ? syms.head : syms.tail;
+  b.Emit(Instruction::Load(Reg::kRcx, MemOperand::RipRelSym(counter)));
+  b.Emit(Instruction::AddRR(Reg::kRcx, Reg::kRsi));
+  b.Emit(Instruction::Store(MemOperand::RipRelSym(counter), Reg::kRcx));
+  b.Emit(Instruction::MovRR(Reg::kRax, Reg::kRsi));
+  b.Emit(Instruction::Ret());
+  b.Bind(fail);
+  b.Emit(Instruction::MovRI(Reg::kRax, -1));
+  b.Emit(Instruction::Ret());
+  src->functions.push_back(b.Build());
+  src->symbols.Intern(writer ? "pipe_write" : "pipe_read");
+}
+
+// Checksum loop: rax = sum of qwords at [rdi + i*8), i < rsi; r9 is the
+// loop counter so the caller's registers survive.
+void EmitChecksum(FunctionBuilder& b) {
+  const int32_t loop = b.ReserveBlock();
+  const int32_t done = b.ReserveBlock();
+  b.Emit(Instruction::MovRI(Reg::kRax, 0));
+  b.Emit(Instruction::MovRI(Reg::kR9, 0));
+  b.Bind(loop);
+  b.Emit(Instruction::CmpRR(Reg::kR9, Reg::kRsi));
+  b.Emit(Instruction::JccBlock(Cond::kE, done));
+  b.Emit(Instruction::AddRM(Reg::kRax, MemOperand::BaseIndex(Reg::kRdi, Reg::kR9, 8, 0)));
+  b.Emit(Instruction::AddRI(Reg::kR9, 1));
+  b.Emit(Instruction::JmpBlock(loop));
+  b.Bind(done);
+}
+
+// sock_send(src=rdi, qwords=rsi): header {qwords, csum} + payload.
+void EmitSockSend(KernelSource* src, const RingSyms& syms) {
+  FunctionBuilder b("sock_send");
+  const int32_t fail = b.ReserveBlock();
+  b.Emit(Instruction::SubRI(Reg::kRsp, 16));
+  // Space check: need qwords + 2 header slots.
+  b.Emit(Instruction::Load(Reg::kRcx, MemOperand::RipRelSym(syms.head)));
+  b.Emit(Instruction::Load(Reg::kRdx, MemOperand::RipRelSym(syms.tail)));
+  b.Emit(Instruction::MovRR(Reg::kRax, Reg::kRcx));
+  b.Emit(Instruction::SubRR(Reg::kRax, Reg::kRdx));
+  b.Emit(Instruction::MovRI(Reg::kR8, kSockRingQwords));
+  b.Emit(Instruction::SubRR(Reg::kR8, Reg::kRax));
+  b.Emit(Instruction::MovRR(Reg::kRdx, Reg::kRsi));
+  b.Emit(Instruction::AddRI(Reg::kRdx, 2));
+  b.Emit(Instruction::CmpRR(Reg::kR8, Reg::kRdx));
+  b.Emit(Instruction::JccBlock(Cond::kB, fail));
+  // Checksum the payload (clobbers rax, r9).
+  EmitChecksum(b);
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsp, 0), Reg::kRax));  // csum
+  // Header slot 0: length.
+  b.Emit(Instruction::Load(Reg::kRcx, MemOperand::RipRelSym(syms.head)));
+  b.Emit(Instruction::MovRR(Reg::kR8, Reg::kRcx));
+  b.Emit(Instruction::AndRI(Reg::kR8, kSockRingQwords - 1));
+  b.Emit(Instruction::Lea(Reg::kRbx, MemOperand::RipRelSym(syms.ring)));
+  b.Emit(Instruction::Store(MemOperand::BaseIndex(Reg::kRbx, Reg::kR8, 8, 0), Reg::kRsi));
+  // Header slot 1: checksum.
+  b.Emit(Instruction::AddRI(Reg::kRcx, 1));
+  b.Emit(Instruction::MovRR(Reg::kR8, Reg::kRcx));
+  b.Emit(Instruction::AndRI(Reg::kR8, kSockRingQwords - 1));
+  b.Emit(Instruction::Load(Reg::kRdx, MemOperand::Base(Reg::kRsp, 0)));
+  b.Emit(Instruction::Store(MemOperand::BaseIndex(Reg::kRbx, Reg::kR8, 8, 0), Reg::kRdx));
+  // Payload.
+  b.Emit(Instruction::AddRI(Reg::kRcx, 1));
+  EmitRingCopy(b, syms.ring, kSockRingQwords - 1, /*to_ring=*/true);
+  // head += qwords + 2.
+  b.Emit(Instruction::Load(Reg::kRcx, MemOperand::RipRelSym(syms.head)));
+  b.Emit(Instruction::AddRR(Reg::kRcx, Reg::kRsi));
+  b.Emit(Instruction::AddRI(Reg::kRcx, 2));
+  b.Emit(Instruction::Store(MemOperand::RipRelSym(syms.head), Reg::kRcx));
+  b.Emit(Instruction::MovRR(Reg::kRax, Reg::kRsi));
+  b.Emit(Instruction::AddRI(Reg::kRsp, 16));
+  b.Emit(Instruction::Ret());
+  b.Bind(fail);
+  b.Emit(Instruction::MovRI(Reg::kRax, -1));
+  b.Emit(Instruction::AddRI(Reg::kRsp, 16));
+  b.Emit(Instruction::Ret());
+  src->functions.push_back(b.Build());
+  src->symbols.Intern("sock_send");
+}
+
+// sock_recv(dst=rdi): reads one datagram; -1 when empty, -2 on checksum
+// mismatch (the validation branch every network stack has).
+void EmitSockRecv(KernelSource* src, const RingSyms& syms) {
+  FunctionBuilder b("sock_recv");
+  const int32_t empty = b.ReserveBlock();
+  const int32_t bad = b.ReserveBlock();
+  b.Emit(Instruction::SubRI(Reg::kRsp, 24));
+  b.Emit(Instruction::Load(Reg::kRcx, MemOperand::RipRelSym(syms.head)));
+  b.Emit(Instruction::Load(Reg::kRdx, MemOperand::RipRelSym(syms.tail)));
+  b.Emit(Instruction::CmpRR(Reg::kRcx, Reg::kRdx));
+  b.Emit(Instruction::JccBlock(Cond::kE, empty));
+  // Length and checksum from the header.
+  b.Emit(Instruction::Lea(Reg::kRbx, MemOperand::RipRelSym(syms.ring)));
+  b.Emit(Instruction::MovRR(Reg::kR8, Reg::kRdx));
+  b.Emit(Instruction::AndRI(Reg::kR8, kSockRingQwords - 1));
+  b.Emit(Instruction::Load(Reg::kRsi, MemOperand::BaseIndex(Reg::kRbx, Reg::kR8, 8, 0)));
+  b.Emit(Instruction::AddRI(Reg::kRdx, 1));
+  b.Emit(Instruction::MovRR(Reg::kR8, Reg::kRdx));
+  b.Emit(Instruction::AndRI(Reg::kR8, kSockRingQwords - 1));
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::BaseIndex(Reg::kRbx, Reg::kR8, 8, 0)));
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsp, 0), Reg::kRax));   // expected csum
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsp, 8), Reg::kRsi));   // length
+  // Copy payload to dst.
+  b.Emit(Instruction::AddRI(Reg::kRdx, 1));
+  b.Emit(Instruction::MovRR(Reg::kRcx, Reg::kRdx));
+  EmitRingCopy(b, syms.ring, kSockRingQwords - 1, /*to_ring=*/false);
+  // Validate: checksum what landed in dst.
+  EmitChecksum(b);
+  b.Emit(Instruction::Load(Reg::kRdx, MemOperand::Base(Reg::kRsp, 0)));
+  b.Emit(Instruction::CmpRR(Reg::kRax, Reg::kRdx));
+  b.Emit(Instruction::JccBlock(Cond::kNe, bad));
+  // tail += length + 2.
+  b.Emit(Instruction::Load(Reg::kRcx, MemOperand::RipRelSym(syms.tail)));
+  b.Emit(Instruction::Load(Reg::kRsi, MemOperand::Base(Reg::kRsp, 8)));
+  b.Emit(Instruction::AddRR(Reg::kRcx, Reg::kRsi));
+  b.Emit(Instruction::AddRI(Reg::kRcx, 2));
+  b.Emit(Instruction::Store(MemOperand::RipRelSym(syms.tail), Reg::kRcx));
+  b.Emit(Instruction::MovRR(Reg::kRax, Reg::kRsi));
+  b.Emit(Instruction::AddRI(Reg::kRsp, 24));
+  b.Emit(Instruction::Ret());
+  b.Bind(empty);
+  b.Emit(Instruction::MovRI(Reg::kRax, -1));
+  b.Emit(Instruction::AddRI(Reg::kRsp, 24));
+  b.Emit(Instruction::Ret());
+  b.Bind(bad);
+  b.Emit(Instruction::MovRI(Reg::kRax, -2));
+  b.Emit(Instruction::AddRI(Reg::kRsp, 24));
+  b.Emit(Instruction::Ret());
+  src->functions.push_back(b.Build());
+  src->symbols.Intern("sock_recv");
+}
+
+}  // namespace
+
+void AddIpc(KernelSource* source) {
+  AddRingObjects(source, "ipc_pipe", kPipeRingQwords);
+  AddRingObjects(source, "ipc_sock", kSockRingQwords);
+  RingSyms pipe = InternRing(source, "ipc_pipe");
+  RingSyms sock = InternRing(source, "ipc_sock");
+  EmitPipeEnd(source, pipe, /*writer=*/true);
+  EmitPipeEnd(source, pipe, /*writer=*/false);
+  EmitSockSend(source, sock);
+  EmitSockRecv(source, sock);
+}
+
+}  // namespace krx

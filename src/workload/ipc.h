@@ -1,0 +1,29 @@
+// In-kernel IPC substrate: a pipe ring buffer and a checksummed datagram
+// socket, built from krx64 IR — the honest analogue of the pipe/socket
+// LMBench rows (wrap-around ring indexing, header validation, payload
+// copies), runnable under every kR^X protection column.
+//
+// Exported kernel symbols:
+//   pipe_write(src, qwords) -> qwords | -1 (ring full)
+//   pipe_read(dst, qwords)  -> qwords | -1 (not enough buffered)
+//   sock_send(src, qwords)  -> qwords | -1 (ring full)
+//   sock_recv(dst)          -> qwords | -1 (empty) | -2 (checksum mismatch)
+// Data objects: ipc_pipe_ring/head/tail, ipc_sock_ring/head/tail/seq.
+#ifndef KRX_SRC_WORKLOAD_IPC_H_
+#define KRX_SRC_WORKLOAD_IPC_H_
+
+#include "src/plugin/pipeline.h"
+
+namespace krx {
+
+// Ring capacities in qwords (power of two; the kernel code masks with
+// capacity-1).
+inline constexpr int64_t kPipeRingQwords = 512;
+inline constexpr int64_t kSockRingQwords = 512;
+
+// Adds the IPC functions + data objects to `source`.
+void AddIpc(KernelSource* source);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_WORKLOAD_IPC_H_

@@ -1,0 +1,332 @@
+#include "src/workload/lmbench.h"
+
+namespace krx {
+
+const char* const kTable1ColumnNames[kNumTable1Columns] = {
+    "SFI(-O0)", "SFI(-O1)", "SFI(-O2)", "SFI(-O3)", "MPX", "D", "X",
+    "SFI+D",    "SFI+X",    "MPX+D",    "MPX+X",
+};
+
+namespace {
+
+OpProfile P(std::string name) {
+  OpProfile p;
+  p.name = std::move(name);
+  return p;
+}
+
+std::vector<LmbenchRow> BuildRows() {
+  std::vector<LmbenchRow> rows;
+
+  auto add = [&rows](std::string display, bool bandwidth, OpProfile p,
+                     std::initializer_list<double> paper) {
+    LmbenchRow row;
+    row.display_name = std::move(display);
+    row.bandwidth = bandwidth;
+    row.profile = std::move(p);
+    int i = 0;
+    for (double v : paper) {
+      row.paper[i++] = v;
+    }
+    rows.push_back(std::move(row));
+  };
+
+  {
+    OpProfile p = P("null_syscall");
+    p.loop_iters = 1;
+    p.coalescible_reads = 4;
+    p.chased_reads = 18;
+    p.flagful_reads = 1;
+    p.writes = 1;
+    p.alu = 10;
+    p.rsp_reads = 1;
+    add("syscall()", false, p,
+        {126.90, 13.41, 13.44, 12.74, 0.49, 0.62, 2.70, 13.67, 15.91, 2.24, 2.92});
+  }
+  {
+    // Path walk: pointer chases over dentries, permission checks, fd setup.
+    OpProfile p = P("open_close");
+    p.loop_iters = 6;
+    p.coalescible_reads = 4;
+    p.chased_reads = 20;
+    p.indexed_reads = 1;
+    p.flagful_reads = 2;
+    p.writes = 3;
+    p.alu = 6;
+    p.calls = 4;
+    p.leaf_depth = 3;
+    p.leaf_reads = 3;
+    add("open()/close()", false, p,
+        {306.24, 39.01, 37.45, 24.82, 3.47, 15.03, 18.30, 40.68, 44.56, 19.44, 22.79});
+  }
+  {
+    OpProfile p = P("read_write");
+    p.loop_iters = 4;
+    p.coalescible_reads = 6;
+    p.chased_reads = 16;
+    p.flagful_reads = 1;
+    p.writes = 2;
+    p.alu = 4;
+    p.calls = 2;
+    p.leaf_depth = 2;
+    p.leaf_reads = 2;
+    p.rep_movs_qwords = 64;
+    add("read()/write()", false, p,
+        {215.04, 22.05, 19.51, 18.11, 0.63, 7.67, 10.74, 29.37, 34.88, 9.61, 12.43});
+  }
+  {
+    OpProfile p = P("select_10");
+    p.loop_iters = 10;
+    p.coalescible_reads = 3;
+    p.chased_reads = 5;
+    p.alu = 8;
+    add("select(10 fds)", false, p,
+        {119.33, 10.24, 9.93, 10.25, 1.26, 3.00, 5.49, 15.05, 16.96, 4.59, 6.37});
+  }
+  {
+    // Long fd-scan loop off one base register: O3 coalescing collapses it.
+    OpProfile p = P("select_100_tcp");
+    p.loop_iters = 100;
+    p.coalescible_reads = 16;
+    p.alu = 4;
+    p.rsp_reads = 2;
+    add("select(100 TCP fds)", false, p,
+        {1037.33, 59.03, 49.00, 0.0, 0.0, 0.0, 5.08, 1.78, 9.29, 0.39, 7.43});
+  }
+  {
+    // stat-struct copy: many same-base reads.
+    OpProfile p = P("fstat");
+    p.loop_iters = 2;
+    p.coalescible_reads = 14;
+    p.chased_reads = 5;
+    p.alu = 4;
+    p.calls = 2;
+    p.leaf_depth = 2;
+    p.leaf_reads = 4;
+    add("fstat()", false, p,
+        {489.79, 15.31, 13.22, 7.91, 0.0, 4.46, 12.92, 16.30, 26.68, 8.36, 14.64});
+  }
+  {
+    OpProfile p = P("mmap_munmap");
+    p.loop_iters = 8;
+    p.coalescible_reads = 2;
+    p.chased_reads = 1;
+    p.writes = 6;
+    p.alu = 8;
+    p.calls = 2;
+    p.leaf_depth = 2;
+    p.leaf_reads = 1;
+    p.rep_stos_qwords = 128;
+    add("mmap()/munmap()", false, p,
+        {180.88, 7.24, 6.62, 1.97, 1.12, 4.83, 5.89, 7.57, 8.71, 6.86, 8.27});
+  }
+  {
+    OpProfile p = P("fork_exit");
+    p.loop_iters = 2;
+    p.coalescible_reads = 6;
+    p.chased_reads = 12;
+    p.writes = 4;
+    p.calls = 10;
+    p.leaf_depth = 5;
+    p.leaf_reads = 3;
+    p.rep_movs_qwords = 192;
+    p.rep_stos_qwords = 128;
+    add("fork()+exit()", false, p,
+        {208.86, 14.32, 14.26, 7.22, 0.0, 12.37, 16.57, 24.03, 21.48, 13.77, 11.64});
+  }
+  {
+    OpProfile p = P("fork_execve");
+    p.loop_iters = 2;
+    p.coalescible_reads = 4;
+    p.chased_reads = 20;
+    p.flagful_reads = 2;
+    p.writes = 4;
+    p.calls = 10;
+    p.leaf_depth = 5;
+    p.leaf_reads = 4;
+    p.rep_movs_qwords = 128;
+    add("fork()+execve()", false, p,
+        {191.83, 10.30, 21.75, 23.15, 0.0, 13.93, 16.38, 29.91, 34.18, 17.00, 17.42});
+  }
+  {
+    OpProfile p = P("fork_binsh");
+    p.loop_iters = 3;
+    p.coalescible_reads = 4;
+    p.chased_reads = 14;
+    p.flagful_reads = 1;
+    p.writes = 4;
+    p.calls = 9;
+    p.leaf_depth = 5;
+    p.leaf_reads = 3;
+    p.rep_movs_qwords = 192;
+    add("fork()+/bin/sh", false, p,
+        {113.77, 11.62, 19.22, 12.98, 6.27, 12.37, 15.44, 23.66, 22.94, 18.40, 16.66});
+  }
+  {
+    OpProfile p = P("sigaction");
+    p.loop_iters = 1;
+    p.coalescible_reads = 2;
+    p.chased_reads = 1;
+    p.writes = 2;
+    p.alu = 24;
+    add("sigaction()", false, p,
+        {63.49, 0.19, 0.0, 0.16, 1.01, 0.59, 2.20, 0.46, 2.27, 0.95, 2.43});
+  }
+  {
+    OpProfile p = P("signal_delivery");
+    p.loop_iters = 1;
+    p.coalescible_reads = 4;
+    p.chased_reads = 8;
+    p.writes = 3;
+    p.alu = 6;
+    p.calls = 1;
+    p.leaf_depth = 2;
+    p.leaf_reads = 2;
+    p.rep_movs_qwords = 32;
+    add("Signal delivery", false, p,
+        {123.29, 18.05, 16.74, 7.81, 1.12, 3.49, 4.94, 11.39, 13.31, 5.37, 6.52});
+  }
+  {
+    OpProfile p = P("protection_fault");
+    p.loop_iters = 1;
+    p.coalescible_reads = 2;
+    p.chased_reads = 2;
+    p.alu = 20;
+    p.rsp_reads = 1;
+    add("Protection fault", false, p,
+        {13.40, 1.26, 0.97, 1.33, 0.0, 1.69, 3.27, 3.34, 5.73, 1.60, 3.39});
+  }
+  {
+    OpProfile p = P("page_fault");
+    p.loop_iters = 1;
+    p.coalescible_reads = 4;
+    p.chased_reads = 10;
+    p.writes = 4;
+    p.alu = 6;
+    p.calls = 1;
+    p.leaf_depth = 2;
+    p.leaf_reads = 3;
+    p.rep_stos_qwords = 64;
+    add("Page fault", false, p,
+        {202.84, 0.0, 0.0, 7.38, 1.64, 7.83, 9.40, 15.69, 17.30, 10.80, 12.11});
+  }
+  {
+    OpProfile p = P("pipe_lat");
+    p.loop_iters = 2;
+    p.coalescible_reads = 6;
+    p.chased_reads = 12;
+    p.calls = 3;
+    p.leaf_depth = 2;
+    p.leaf_reads = 2;
+    p.rep_movs_qwords = 96;
+    add("Pipe I/O", false, p,
+        {126.26, 22.91, 21.39, 15.12, 0.42, 4.30, 6.89, 19.39, 22.39, 6.07, 7.62});
+  }
+  {
+    OpProfile p = P("unix_sock_lat");
+    p.loop_iters = 2;
+    p.coalescible_reads = 6;
+    p.chased_reads = 12;
+    p.flagful_reads = 1;
+    p.calls = 3;
+    p.leaf_depth = 2;
+    p.leaf_reads = 2;
+    p.rep_movs_qwords = 96;
+    add("UNIX socket I/O", false, p,
+        {148.11, 12.39, 17.31, 11.69, 4.74, 7.34, 10.04, 16.09, 16.64, 6.88, 8.80});
+  }
+  {
+    OpProfile p = P("tcp_sock_lat");
+    p.loop_iters = 3;
+    p.coalescible_reads = 6;
+    p.chased_reads = 16;
+    p.flagful_reads = 1;
+    p.writes = 2;
+    p.calls = 3;
+    p.leaf_depth = 3;
+    p.leaf_reads = 2;
+    p.rep_movs_qwords = 96;
+    add("TCP socket I/O", false, p,
+        {171.93, 25.15, 20.85, 16.33, 1.91, 4.83, 8.30, 21.63, 24.43, 8.20, 9.71});
+  }
+  {
+    OpProfile p = P("udp_sock_lat");
+    p.loop_iters = 3;
+    p.coalescible_reads = 6;
+    p.chased_reads = 16;
+    p.flagful_reads = 1;
+    p.writes = 3;
+    p.calls = 3;
+    p.leaf_depth = 3;
+    p.leaf_reads = 2;
+    p.rep_movs_qwords = 96;
+    add("UDP socket I/O", false, p,
+        {208.75, 25.71, 30.89, 16.96, 0.0, 7.38, 12.76, 24.98, 26.80, 11.22, 13.28});
+  }
+
+  // ---- Bandwidth section: dominated by bulk copies. ----
+  {
+    OpProfile p = P("pipe_bw");
+    p.loop_iters = 4;
+    p.coalescible_reads = 2;
+    p.calls = 1;
+    p.leaf_depth = 1;
+    p.leaf_reads = 1;
+    p.rep_movs_qwords = 2048;
+    add("Pipe I/O (bw)", true, p,
+        {46.70, 0.96, 1.62, 0.68, 0.0, 0.59, 1.00, 2.80, 3.53, 0.78, 1.61});
+  }
+  {
+    OpProfile p = P("unix_sock_bw");
+    p.loop_iters = 16;
+    p.coalescible_reads = 6;
+    p.chased_reads = 6;
+    p.calls = 1;
+    p.leaf_depth = 1;
+    p.leaf_reads = 2;
+    p.rep_movs_qwords = 192;
+    add("UNIX socket I/O (bw)", true, p,
+        {35.77, 3.54, 4.81, 6.43, 1.43, 2.79, 3.39, 5.71, 7.00, 3.17, 3.41});
+  }
+  {
+    OpProfile p = P("tcp_sock_bw");
+    p.loop_iters = 16;
+    p.coalescible_reads = 8;
+    p.chased_reads = 5;
+    p.flagful_reads = 1;
+    p.calls = 1;
+    p.leaf_depth = 1;
+    p.leaf_reads = 2;
+    p.rep_movs_qwords = 192;
+    add("TCP socket I/O (bw)", true, p,
+        {53.96, 10.90, 10.25, 6.05, 0.0, 3.71, 4.40, 9.82, 9.85, 3.64, 4.87});
+  }
+  {
+    // mmap'd I/O: no kernel-side copy at all.
+    OpProfile p = P("mmap_io_bw");
+    p.loop_iters = 4;
+    p.alu = 30;
+    p.rsp_reads = 2;
+    add("mmap() I/O (bw)", true, p, {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  }
+  {
+    OpProfile p = P("file_io_bw");
+    p.loop_iters = 4;
+    p.coalescible_reads = 4;
+    p.chased_reads = 2;
+    p.rep_movs_qwords = 1024;
+    add("File I/O (bw)", true, p,
+        {23.57, 0.0, 0.0, 0.67, 0.28, 1.21, 1.46, 1.81, 2.23, 1.74, 1.92});
+  }
+
+  return rows;
+}
+
+}  // namespace
+
+const std::vector<LmbenchRow>& LmbenchRows() {
+  static const std::vector<LmbenchRow>* rows = new std::vector<LmbenchRow>(BuildRows());
+  return *rows;
+}
+
+}  // namespace krx

@@ -1,0 +1,47 @@
+// The 23 LMBench rows of Table 1, each backed by a synthetic kernel op.
+//
+// Row profiles encode what the corresponding kernel path is made of (path
+// walks are pointer chases, fstat is a coalescible struct copy, fork is
+// bulk page copying plus deep call chains, bandwidth rows are dominated by
+// rep-string copies, ...). Paper reference numbers are carried along so the
+// bench harness can print paper-vs-measured side by side.
+#ifndef KRX_SRC_WORKLOAD_LMBENCH_H_
+#define KRX_SRC_WORKLOAD_LMBENCH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/workload/ops.h"
+
+namespace krx {
+
+// Column order of Table 1 (and of LmbenchRow::paper).
+enum Table1Column : int {
+  kColSfiO0 = 0,
+  kColSfiO1,
+  kColSfiO2,
+  kColSfiO3,
+  kColMpx,
+  kColD,
+  kColX,
+  kColSfiD,
+  kColSfiX,
+  kColMpxD,
+  kColMpxX,
+  kNumTable1Columns,
+};
+
+extern const char* const kTable1ColumnNames[kNumTable1Columns];
+
+struct LmbenchRow {
+  std::string display_name;       // e.g. "open()/close()"
+  bool bandwidth = false;         // latency vs. bandwidth section of Table 1
+  OpProfile profile;
+  double paper[kNumTable1Columns];  // Table 1 reference values (% overhead)
+};
+
+const std::vector<LmbenchRow>& LmbenchRows();
+
+}  // namespace krx
+
+#endif  // KRX_SRC_WORKLOAD_LMBENCH_H_

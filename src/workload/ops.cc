@@ -1,0 +1,199 @@
+#include "src/workload/ops.h"
+
+#include "src/ir/builder.h"
+
+namespace krx {
+namespace {
+
+constexpr Reg kBuf = Reg::kRdi;
+constexpr Reg kAcc = Reg::kR8;
+constexpr Reg kCounter = Reg::kR9;
+constexpr Reg kTmp = Reg::kRcx;
+
+// Frame slots of the generated entry function.
+constexpr int64_t kSlotBuf = 0;
+constexpr int64_t kSlotAcc = 8;
+constexpr int64_t kSlotCounter = 16;
+constexpr int64_t kSlotStringSave = 24;
+constexpr int64_t kSlotConst = 32;
+constexpr int64_t kFrameBytes = 48;
+
+std::string LeafName(const OpProfile& p, int depth) {
+  return "sys_" + p.name + "_leaf" + std::to_string(depth);
+}
+
+// Kernel global the generated ops read rip-relatively (a "jiffies"): the
+// paper's safe reads — encoded addresses, exempt from range checks.
+constexpr const char* kGlobalName = "krx_jiffies";
+constexpr uint64_t kGlobalValue = 0x4A1F;
+
+int32_t EnsureGlobal(KernelSource* source) {
+  int32_t sym = source->symbols.Intern(kGlobalName, SymbolKind::kData);
+  for (const DataObject& obj : source->data_objects) {
+    if (obj.name == kGlobalName) {
+      return sym;
+    }
+  }
+  DataObject obj;
+  obj.name = kGlobalName;
+  obj.kind = SectionKind::kData;
+  obj.bytes.assign(8, 0);
+  for (int i = 0; i < 8; ++i) {
+    obj.bytes[static_cast<size_t>(i)] = static_cast<uint8_t>(kGlobalValue >> (8 * i));
+  }
+  source->data_objects.push_back(std::move(obj));
+  return sym;
+}
+
+void EmitLeafChain(KernelSource* source, const OpProfile& p) {
+  for (int d = 0; d < p.leaf_depth; ++d) {
+    FunctionBuilder b(LeafName(p, d));
+    b.Emit(Instruction::SubRI(Reg::kRsp, 16));
+    b.Emit(Instruction::MovRI(Reg::kRax, 0));
+    for (int j = 0; j < p.leaf_reads; ++j) {
+      // Structure walks: each read dereferences a freshly computed pointer,
+      // so the checks cannot coalesce (as in real kernel object traversal).
+      b.Emit(Instruction::Lea(kTmp, MemOperand::Base(kBuf, 1024 + 8 * (j % 32))));
+      b.Emit(Instruction::AddRM(Reg::kRax, MemOperand::Base(kTmp, 0)));
+    }
+    b.Emit(Instruction::XorRI(Reg::kRax, 0x5a5a));
+    {
+      // A little control flow so leaves are not single-block routines.
+      const int32_t skip = b.ReserveBlock();
+      b.Emit(Instruction::CmpRI(Reg::kRax, 0x100000));
+      b.Emit(Instruction::JccBlock(Cond::kL, skip));
+      b.Emit(Instruction::AddRI(Reg::kRax, 1));
+      b.Bind(skip);
+    }
+    if (d + 1 < p.leaf_depth) {
+      b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsp, 8), Reg::kRax));
+      b.Emit(Instruction::CallSym(source->symbols.Intern(LeafName(p, d + 1))));
+      b.Emit(Instruction::Load(kTmp, MemOperand::Base(Reg::kRsp, 8)));
+      b.Emit(Instruction::AddRR(Reg::kRax, kTmp));
+    }
+    b.Emit(Instruction::AddRI(Reg::kRsp, 16));
+    b.Emit(Instruction::Ret());
+    source->functions.push_back(b.Build());
+    source->symbols.Intern(LeafName(p, d));
+  }
+}
+
+}  // namespace
+
+std::string EmitKernelOp(KernelSource* source, const OpProfile& p) {
+  const int32_t global_sym = EnsureGlobal(source);
+  EmitLeafChain(source, p);
+
+  const std::string entry_name = "sys_" + p.name;
+  FunctionBuilder b(entry_name);
+
+  // Prologue: frame, spills, constants.
+  b.Emit(Instruction::SubRI(Reg::kRsp, kFrameBytes));
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsp, kSlotBuf), kBuf));
+  b.Emit(Instruction::MovRI(kTmp, 0x1234));
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsp, kSlotConst), kTmp));
+  b.Emit(Instruction::MovRI(kAcc, 0));
+  b.Emit(Instruction::MovRI(kCounter, p.loop_iters));
+
+  const int32_t loop = b.ReserveBlock();
+  b.Bind(loop);
+
+  // Coalescible reads: one long-lived base, many displacements.
+  for (int k = 0; k < p.coalescible_reads; ++k) {
+    b.Emit(Instruction::AddRM(kAcc, MemOperand::Base(kBuf, 8 * (k % 64))));
+  }
+  // Pointer-chase-style reads: each via a freshly computed base register.
+  for (int k = 0; k < p.chased_reads; ++k) {
+    b.Emit(Instruction::Lea(kTmp, MemOperand::Base(kBuf, 8 * (k % 61) + 2048)));
+    b.Emit(Instruction::AddRM(kAcc, MemOperand::Base(kTmp, 0)));
+  }
+  // Indexed reads: scaled-index operands need the lea check form.
+  for (int k = 0; k < p.indexed_reads; ++k) {
+    b.Emit(Instruction::AddRM(kAcc, MemOperand::BaseIndex(kBuf, kCounter, 8, 0)));
+  }
+  // Reads between a flags definition and its use: the O1 liveness analysis
+  // must keep the pushfq/popfq wrapper for these at every optimization
+  // level. The base is freshly computed so coalescing cannot absorb them.
+  for (int k = 0; k < p.flagful_reads; ++k) {
+    const int32_t skip = b.ReserveBlock();
+    b.Emit(Instruction::Lea(Reg::kRdx, MemOperand::Base(kBuf, 256 + 8 * (k % 32))));
+    b.Emit(Instruction::CmpRI(kAcc, 1000 + k));
+    b.Emit(Instruction::Load(kTmp, MemOperand::Base(Reg::kRdx, 0)));
+    b.Emit(Instruction::JccBlock(Cond::kG, skip));
+    b.Emit(Instruction::AddRI(kAcc, 1));
+    b.Bind(skip);
+    b.Emit(Instruction::AddRR(kAcc, kTmp));
+  }
+  // Stores.
+  for (int k = 0; k < p.writes; ++k) {
+    b.Emit(Instruction::Store(MemOperand::Base(kBuf, 512 + 8 * (k % 64)), kAcc));
+  }
+  // Register-only work.
+  for (int k = 0; k < p.alu; ++k) {
+    switch (k % 3) {
+      case 0:
+        b.Emit(Instruction::XorRI(kAcc, 0x9e37));
+        break;
+      case 1:
+        b.Emit(Instruction::AddRI(kAcc, 0x7f));
+        break;
+      default:
+        b.Emit(Instruction::OrRI(kAcc, 0x101));
+        break;
+    }
+  }
+  // Exempt reads of the function's own stack slots.
+  for (int k = 0; k < p.rsp_reads; ++k) {
+    b.Emit(Instruction::Load(kTmp, MemOperand::Base(Reg::kRsp, kSlotConst)));
+    b.Emit(Instruction::XorRR(kAcc, kTmp));
+  }
+  // Safe reads: rip-relative loads of a kernel global.
+  for (int k = 0; k < p.global_reads; ++k) {
+    b.Emit(Instruction::Load(kTmp, MemOperand::RipRelSym(global_sym)));
+    b.Emit(Instruction::XorRR(kAcc, kTmp));
+  }
+  // Bulk copy: one rep movsq, range-checked once, after the fact.
+  if (p.rep_movs_qwords > 0) {
+    b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsp, kSlotStringSave), kBuf));
+    b.Emit(Instruction::MovRR(Reg::kRsi, kBuf));
+    b.Emit(Instruction::AddRI(kBuf, 4096));
+    b.Emit(Instruction::MovRI(Reg::kRcx, p.rep_movs_qwords));
+    b.Emit(Instruction::Movsq(/*rep_prefix=*/true));
+    b.Emit(Instruction::Load(kBuf, MemOperand::Base(Reg::kRsp, kSlotStringSave)));
+  }
+  // Bulk fill: rep stosq (write-only, no read check).
+  if (p.rep_stos_qwords > 0) {
+    b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsp, kSlotStringSave), kBuf));
+    b.Emit(Instruction::AddRI(kBuf, 8192));
+    b.Emit(Instruction::MovRI(Reg::kRax, 0));
+    b.Emit(Instruction::MovRI(Reg::kRcx, p.rep_stos_qwords));
+    b.Emit(Instruction::Stosq(/*rep_prefix=*/true));
+    b.Emit(Instruction::Load(kBuf, MemOperand::Base(Reg::kRsp, kSlotStringSave)));
+  }
+  // Call chain.
+  for (int k = 0; k < p.calls && p.leaf_depth > 0; ++k) {
+    b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsp, kSlotAcc), kAcc));
+    b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsp, kSlotCounter), kCounter));
+    b.Emit(Instruction::CallSym(source->symbols.Intern(LeafName(p, 0))));
+    b.Emit(Instruction::Load(kBuf, MemOperand::Base(Reg::kRsp, kSlotBuf)));
+    b.Emit(Instruction::Load(kAcc, MemOperand::Base(Reg::kRsp, kSlotAcc)));
+    b.Emit(Instruction::Load(kCounter, MemOperand::Base(Reg::kRsp, kSlotCounter)));
+    b.Emit(Instruction::AddRR(kAcc, Reg::kRax));
+  }
+
+  b.Emit(Instruction::SubRI(kCounter, 1));
+  b.Emit(Instruction::JccBlock(Cond::kNe, loop));
+
+  b.Emit(Instruction::MovRR(Reg::kRax, kAcc));
+  b.Emit(Instruction::AddRI(Reg::kRsp, kFrameBytes));
+  if (p.tail_call_leaf && p.leaf_depth > 0) {
+    b.Emit(Instruction::JmpSym(source->symbols.Intern(LeafName(p, 0))));
+  } else {
+    b.Emit(Instruction::Ret());
+  }
+  source->functions.push_back(b.Build());
+  source->symbols.Intern(entry_name);
+  return entry_name;
+}
+
+}  // namespace krx

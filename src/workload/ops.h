@@ -1,0 +1,53 @@
+// Parameterized synthetic kernel operations.
+//
+// Each LMBench row of Table 1 is backed by one generated kernel entry point
+// whose instruction mix is described by an OpProfile. The mix controls
+// exactly the properties the kR^X instrumentation is sensitive to:
+//   - reads off one long-lived base register => O3 coalescing collapses them,
+//   - reads via freshly computed bases       => one check each (uncoalescible),
+//   - reads between a flags def and its use  => the pushfq/popfq wrapper stays,
+//   - indexed reads                          => lea-form checks (no O2 form),
+//   - rep string copies                      => a single postmortem check,
+//   - plain %rsp reads                       => exempt (guard-covered),
+//   - call chains                            => return-address protection costs.
+#ifndef KRX_SRC_WORKLOAD_OPS_H_
+#define KRX_SRC_WORKLOAD_OPS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/plugin/pipeline.h"
+
+namespace krx {
+
+struct OpProfile {
+  std::string name;          // entry symbol becomes "sys_<name>"
+  int loop_iters = 8;        // main-loop trip count
+  int coalescible_reads = 0; // loads [buf + 8k] off the same base
+  int chased_reads = 0;      // loads via a freshly computed base (kills coalescing)
+  int indexed_reads = 0;     // loads [buf + idx*8] (lea-form checks)
+  int flagful_reads = 0;     // loads sandwiched between cmp and jcc (wrapper kept)
+  int writes = 0;            // stores [buf + 8k]
+  int alu = 0;               // register-only work
+  int rsp_reads = 0;         // reads of own stack slots (exempt)
+  int global_reads = 1;      // rip-relative reads of a kernel global (safe reads)
+  int calls = 0;             // calls to the leaf chain, per iteration
+  int leaf_depth = 0;        // length of the leaf call chain
+  int leaf_reads = 2;        // loads per leaf
+  int rep_movs_qwords = 0;   // bulk copy per iteration (one rep movsq)
+  int rep_stos_qwords = 0;   // bulk fill per iteration (one rep stosq)
+  bool tail_call_leaf = false;  // end with a tail call instead of ret
+};
+
+// Emits the op's entry function (named "sys_<profile.name>") plus its leaf
+// chain into `source`. The entry takes the scratch-buffer address in %rdi
+// and returns a value in %rax that depends only on the buffer contents —
+// which makes vanilla and instrumented builds directly comparable.
+std::string EmitKernelOp(KernelSource* source, const OpProfile& profile);
+
+// Size (bytes) of the scratch buffer the generated ops expect.
+inline constexpr uint64_t kOpBufferBytes = 64 * 1024;
+
+}  // namespace krx
+
+#endif  // KRX_SRC_WORKLOAD_OPS_H_

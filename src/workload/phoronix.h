@@ -1,0 +1,57 @@
+// The 11 Phoronix Test Suite rows of Table 2.
+//
+// A macro benchmark spends (1 - f) of its time in user mode (unaffected by
+// kernel hardening) and f in the kernel, exercising a benchmark-specific
+// mix of kernel ops. The harness measures the kernel mix on the vanilla and
+// protected builds and reports the end-to-end overhead:
+//
+//   total(variant) = user + kernel(variant),  user = kernel(vanilla)*(1-f)/f
+//
+// PostMark's f ≈ 0.83 comes straight from the paper ("spends ~83% of its
+// time in kernel mode"); the other fractions are documented estimates.
+#ifndef KRX_SRC_WORKLOAD_PHORONIX_H_
+#define KRX_SRC_WORKLOAD_PHORONIX_H_
+
+#include <string>
+#include <vector>
+
+#include "src/workload/harness.h"
+
+namespace krx {
+
+// Column order of Table 2 (subset of Table 1's columns).
+enum Table2Column : int {
+  kColT2Sfi = 0,
+  kColT2Mpx,
+  kColT2SfiD,
+  kColT2SfiX,
+  kColT2MpxD,
+  kColT2MpxX,
+  kNumTable2Columns,
+};
+
+extern const char* const kTable2ColumnNames[kNumTable2Columns];
+
+struct PhoronixRow {
+  std::string name;
+  std::string metric;       // what PTS reports (Req/s, Trans/s, sec, ...)
+  double kernel_fraction;   // share of runtime spent in kernel mode
+  // Kernel-op mix: (op symbol, weight).
+  std::vector<std::pair<std::string, int>> ops;
+  double paper[kNumTable2Columns];  // Table 2 reference values (% overhead)
+};
+
+const std::vector<PhoronixRow>& PhoronixRows();
+
+struct Table2Matrix {
+  std::vector<std::string> row_names;
+  std::vector<std::string> column_names;
+  std::vector<std::vector<double>> percent;  // [row][column]
+  std::vector<double> average;               // per column
+};
+
+Result<Table2Matrix> RunTable2(uint64_t seed);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_WORKLOAD_PHORONIX_H_

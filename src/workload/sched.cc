@@ -1,0 +1,251 @@
+#include "src/workload/sched.h"
+
+#include "src/ir/builder.h"
+#include "src/mem/phys_mem.h"
+
+namespace krx {
+namespace {
+
+// Task struct offsets.
+constexpr int64_t kTaskState = 0;
+constexpr int64_t kTaskRsp = 8;
+constexpr int64_t kTaskStackTop = 16;
+
+constexpr int64_t kStateFree = 0;
+constexpr int64_t kStateReady = 1;
+constexpr int64_t kStateDone = 2;
+
+// The six registers the context switch preserves (SysV callee-saved).
+constexpr Reg kSavedRegs[] = {Reg::kRbx, Reg::kRbp, Reg::kR12,
+                              Reg::kR13, Reg::kR14, Reg::kR15};
+constexpr int64_t kSwitchFrameBytes = 8 * (6 + 1);  // saved regs + return address
+
+// Loads the address of sched_tasks[index_reg] into dst (clobbers scratch).
+void EmitTaskAddr(FunctionBuilder& b, int32_t tasks_sym, Reg dst, Reg index, Reg scratch) {
+  b.Emit(Instruction::Lea(dst, MemOperand::RipRelSym(tasks_sym)));
+  b.Emit(Instruction::MovRR(scratch, index));
+  b.Emit(Instruction::ShlRI(scratch, 6));
+  b.Emit(Instruction::AddRR(dst, scratch));
+}
+
+// task_switch(prev=rdi, next=rsi): the switch_to analogue. Exempt from all
+// passes: its ret "returns" into whatever context the next task saved (or
+// the entry trampoline a fresh task was spawned with).
+void EmitTaskSwitch(KernelSource* src) {
+  int32_t tasks = src->symbols.Intern("sched_tasks", SymbolKind::kData);
+  int32_t current = src->symbols.Intern("sched_current", SymbolKind::kData);
+  FunctionBuilder b("task_switch");
+  for (Reg r : kSavedRegs) {
+    b.Emit(Instruction::PushR(r));
+  }
+  EmitTaskAddr(b, tasks, Reg::kRbx, Reg::kRdi, Reg::kRcx);
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kRbx, kTaskRsp), Reg::kRsp));
+  EmitTaskAddr(b, tasks, Reg::kRbx, Reg::kRsi, Reg::kRcx);
+  b.Emit(Instruction::Load(Reg::kRsp, MemOperand::Base(Reg::kRbx, kTaskRsp)));
+  b.Emit(Instruction::Store(MemOperand::RipRelSym(current), Reg::kRsi));
+  for (int i = 5; i >= 0; --i) {
+    b.Emit(Instruction::PopR(kSavedRegs[i]));
+  }
+  b.Emit(Instruction::Ret());
+  src->functions.push_back(b.Build());
+  src->symbols.Intern("task_switch");
+}
+
+// sched_yield(): round-robin to the next READY task (task 0, the init
+// context, is always schedulable).
+void EmitSchedYield(KernelSource* src) {
+  int32_t tasks = src->symbols.Intern("sched_tasks", SymbolKind::kData);
+  int32_t current = src->symbols.Intern("sched_current", SymbolKind::kData);
+  FunctionBuilder b("sched_yield");
+  const int32_t scan = b.ReserveBlock();
+  const int32_t self = b.ReserveBlock();
+  b.Emit(Instruction::SubRI(Reg::kRsp, 8));
+  b.Emit(Instruction::Load(Reg::kRdi, MemOperand::RipRelSym(current)));
+  b.Emit(Instruction::MovRR(Reg::kRsi, Reg::kRdi));
+  b.Bind(scan);
+  b.Emit(Instruction::AddRI(Reg::kRsi, 1));
+  b.Emit(Instruction::AndRI(Reg::kRsi, kSchedMaxTasks - 1));
+  b.Emit(Instruction::Lea(Reg::kRcx, MemOperand::RipRelSym(tasks)));
+  b.Emit(Instruction::MovRR(Reg::kRdx, Reg::kRsi));
+  b.Emit(Instruction::ShlRI(Reg::kRdx, 6));
+  b.Emit(Instruction::AddRR(Reg::kRcx, Reg::kRdx));
+  b.Emit(Instruction::Load(Reg::kRdx, MemOperand::Base(Reg::kRcx, kTaskState)));
+  b.Emit(Instruction::CmpRI(Reg::kRdx, kStateReady));
+  b.Emit(Instruction::JccBlock(Cond::kNe, scan));
+  b.Emit(Instruction::CmpRR(Reg::kRsi, Reg::kRdi));
+  b.Emit(Instruction::JccBlock(Cond::kE, self));
+  b.Emit(Instruction::CallSym(src->symbols.Intern("task_switch")));
+  b.Bind(self);
+  b.Emit(Instruction::AddRI(Reg::kRsp, 8));
+  b.Emit(Instruction::Ret());
+  src->functions.push_back(b.Build());
+  src->symbols.Intern("sched_yield");
+}
+
+// sys_spawn(entry_slot=rdi) -> task index | -1. Crafts the initial stack so
+// that the first task_switch into the task "returns" into its entry.
+void EmitSysSpawn(KernelSource* src) {
+  int32_t tasks = src->symbols.Intern("sched_tasks", SymbolKind::kData);
+  int32_t entries = src->symbols.Intern("task_entries", SymbolKind::kData);
+  FunctionBuilder b("sys_spawn");
+  const int32_t scan = b.ReserveBlock();
+  const int32_t found = b.ReserveBlock();
+  const int32_t fail = b.ReserveBlock();
+  // Validate the entry slot (the dispatch table has two entries).
+  b.Emit(Instruction::CmpRI(Reg::kRdi, 1));
+  b.Emit(Instruction::JccBlock(Cond::kA, fail));
+  // Find a free slot (1..7; slot 0 is init).
+  b.Emit(Instruction::MovRI(Reg::kRax, 0));
+  b.Bind(scan);
+  b.Emit(Instruction::AddRI(Reg::kRax, 1));
+  b.Emit(Instruction::CmpRI(Reg::kRax, kSchedMaxTasks));
+  b.Emit(Instruction::JccBlock(Cond::kE, fail));
+  EmitTaskAddr(b, tasks, Reg::kRbx, Reg::kRax, Reg::kRcx);
+  b.Emit(Instruction::Load(Reg::kRdx, MemOperand::Base(Reg::kRbx, kTaskState)));
+  b.Emit(Instruction::CmpRI(Reg::kRdx, kStateFree));
+  b.Emit(Instruction::JccBlock(Cond::kNe, scan));
+  b.Emit(Instruction::JmpBlock(found));
+  b.Bind(found);
+  // entry = task_entries[slot].
+  b.Emit(Instruction::Lea(Reg::kRcx, MemOperand::RipRelSym(entries)));
+  b.Emit(Instruction::MovRR(Reg::kRdx, Reg::kRdi));
+  b.Emit(Instruction::ShlRI(Reg::kRdx, 3));
+  b.Emit(Instruction::AddRR(Reg::kRcx, Reg::kRdx));
+  b.Emit(Instruction::Load(Reg::kRdx, MemOperand::Base(Reg::kRcx, 0)));
+  // Craft the initial frame below the stack top: six zeroed saved
+  // registers, then the entry as the switch's return address.
+  b.Emit(Instruction::Load(Reg::kR8, MemOperand::Base(Reg::kRbx, kTaskStackTop)));
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kR8, -8), Reg::kRdx));
+  b.Emit(Instruction::MovRI(Reg::kRcx, 0));
+  for (int i = 2; i <= 7; ++i) {
+    b.Emit(Instruction::Store(MemOperand::Base(Reg::kR8, -8 * i), Reg::kRcx));
+  }
+  b.Emit(Instruction::MovRR(Reg::kRcx, Reg::kR8));
+  b.Emit(Instruction::SubRI(Reg::kRcx, kSwitchFrameBytes));
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kRbx, kTaskRsp), Reg::kRcx));
+  b.Emit(Instruction::MovRI(Reg::kRcx, kStateReady));
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kRbx, kTaskState), Reg::kRcx));
+  b.Emit(Instruction::Ret());  // rax = task index
+  b.Bind(fail);
+  b.Emit(Instruction::MovRI(Reg::kRax, -1));
+  b.Emit(Instruction::Ret());
+  src->functions.push_back(b.Build());
+  src->symbols.Intern("sys_spawn");
+}
+
+// sched_run(limit=rdi): the init task's loop — yield until the shared
+// counter reaches the limit (i.e. until the workers finish).
+void EmitSchedRun(KernelSource* src) {
+  int32_t counter = src->symbols.Intern("sched_counter", SymbolKind::kData);
+  FunctionBuilder b("sched_run");
+  const int32_t loop = b.ReserveBlock();
+  b.Emit(Instruction::SubRI(Reg::kRsp, 16));
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsp, 0), Reg::kRdi));
+  b.Bind(loop);
+  b.Emit(Instruction::CallSym(src->symbols.Intern("sched_yield")));
+  b.Emit(Instruction::Load(Reg::kRcx, MemOperand::RipRelSym(counter)));
+  b.Emit(Instruction::Load(Reg::kRdx, MemOperand::Base(Reg::kRsp, 0)));
+  b.Emit(Instruction::CmpRR(Reg::kRcx, Reg::kRdx));
+  b.Emit(Instruction::JccBlock(Cond::kB, loop));
+  b.Emit(Instruction::MovRR(Reg::kRax, Reg::kRcx));
+  b.Emit(Instruction::AddRI(Reg::kRsp, 16));
+  b.Emit(Instruction::Ret());
+  src->functions.push_back(b.Build());
+  src->symbols.Intern("sched_run");
+}
+
+// A worker: bump the shared counter and its own run count, yield, repeat;
+// when the counter passes 64, mark itself done and park.
+void EmitWorker(KernelSource* src, const std::string& name, const std::string& run_counter) {
+  int32_t counter = src->symbols.Intern("sched_counter", SymbolKind::kData);
+  int32_t runs = src->symbols.Intern(run_counter, SymbolKind::kData);
+  int32_t tasks = src->symbols.Intern("sched_tasks", SymbolKind::kData);
+  int32_t current = src->symbols.Intern("sched_current", SymbolKind::kData);
+  FunctionBuilder b(name);
+  const int32_t loop = b.ReserveBlock();
+  const int32_t park = b.ReserveBlock();
+  const int32_t done = b.ReserveBlock();
+  b.Emit(Instruction::SubRI(Reg::kRsp, 8));  // tasks never return; keep a frame anyway
+  b.Bind(loop);
+  b.Emit(Instruction::Load(Reg::kRcx, MemOperand::RipRelSym(counter)));
+  b.Emit(Instruction::AddRI(Reg::kRcx, 1));
+  b.Emit(Instruction::Store(MemOperand::RipRelSym(counter), Reg::kRcx));
+  b.Emit(Instruction::Load(Reg::kRdx, MemOperand::RipRelSym(runs)));
+  b.Emit(Instruction::AddRI(Reg::kRdx, 1));
+  b.Emit(Instruction::Store(MemOperand::RipRelSym(runs), Reg::kRdx));
+  b.Emit(Instruction::CallSym(src->symbols.Intern("sched_yield")));
+  b.Emit(Instruction::Load(Reg::kRcx, MemOperand::RipRelSym(counter)));
+  b.Emit(Instruction::CmpRI(Reg::kRcx, 64));
+  b.Emit(Instruction::JccBlock(Cond::kAe, done));
+  b.Emit(Instruction::JmpBlock(loop));
+  b.Bind(done);
+  // Mark self done; never scheduled again.
+  b.Emit(Instruction::Load(Reg::kRdi, MemOperand::RipRelSym(current)));
+  EmitTaskAddr(b, tasks, Reg::kRbx, Reg::kRdi, Reg::kRcx);
+  b.Emit(Instruction::MovRI(Reg::kRcx, kStateDone));
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kRbx, kTaskState), Reg::kRcx));
+  b.Bind(park);
+  b.Emit(Instruction::CallSym(src->symbols.Intern("sched_yield")));
+  b.Emit(Instruction::JmpBlock(park));
+  src->functions.push_back(b.Build());
+  src->symbols.Intern(name);
+}
+
+}  // namespace
+
+std::set<std::string> SchedExemptFunctions() { return {"task_switch"}; }
+
+void AddSched(KernelSource* src) {
+  for (const char* name : {"sched_tasks", "sched_current", "sched_counter", "worker_a_runs",
+                           "worker_b_runs"}) {
+    DataObject obj;
+    obj.name = name;
+    obj.kind = SectionKind::kData;
+    obj.bytes.assign(std::string(name) == "sched_tasks"
+                         ? kSchedMaxTasks * kSchedTaskBytes
+                         : 8,
+                     0);
+    src->data_objects.push_back(std::move(obj));
+  }
+  EmitTaskSwitch(src);
+  EmitSchedYield(src);
+  EmitSysSpawn(src);
+  EmitSchedRun(src);
+  EmitWorker(src, "worker_a", "worker_a_runs");
+  EmitWorker(src, "worker_b", "worker_b_runs");
+
+  DataObject entries;
+  entries.name = "task_entries";
+  entries.kind = SectionKind::kRodata;
+  entries.bytes.assign(16, 0);
+  entries.pointer_slots.push_back({0, src->symbols.Intern("worker_a"), 0});
+  entries.pointer_slots.push_back({8, src->symbols.Intern("worker_b"), 0});
+  src->data_objects.push_back(std::move(entries));
+}
+
+Status SetUpTaskStacks(KernelImage& image) {
+  auto tasks = image.symbols().AddressOf("sched_tasks");
+  if (!tasks.ok()) {
+    return tasks.status();
+  }
+  // Task 0 is the init context: no stack of its own (it saves the
+  // caller's). Tasks 1..7 get 2-page kernel stacks.
+  for (int i = 1; i < kSchedMaxTasks; ++i) {
+    auto stack = image.AllocDataPages(2);
+    if (!stack.ok()) {
+      return stack.status();
+    }
+    KRX_RETURN_IF_ERROR(image.Poke64(
+        *tasks + static_cast<uint64_t>(i) * kSchedTaskBytes + kTaskStackTop,
+        *stack + 2 * kPageSize - 16));
+  }
+  // Init task (0) is READY; it is the current task.
+  KRX_RETURN_IF_ERROR(image.Poke64(*tasks + kTaskState, kStateReady));
+  auto current = image.symbols().AddressOf("sched_current");
+  if (!current.ok()) {
+    return current.status();
+  }
+  return image.Poke64(*current, 0);
+}
+
+}  // namespace krx

@@ -1,0 +1,45 @@
+// A cooperative in-kernel scheduler with genuine stack switching, written
+// in krx64 IR: task structs, per-task kernel stacks, a switch_to-style
+// context switch, round-robin yield, and spawn-by-dispatch-table.
+//
+// task_switch is the reproduction's "hand-written assembly": like Linux's
+// switch_to, it manipulates %rsp directly and its return address changes
+// identity across the switch, so it must be *exempt* from the kR^X passes
+// (§6: the RTL plugins cannot instrument assembly). SchedExemptFunctions()
+// returns the set to merge into ProtectionConfig::exempt_functions.
+//
+// Exported kernel symbols:
+//   task_switch(prev, next)      — save/switch/restore (assembly-style)
+//   sched_yield()                — round-robin to the next READY task
+//   sys_spawn(entry_slot)        — create a task running task_entries[slot]
+//   sched_run(counter_limit)     — init-task loop: yield until the shared
+//                                  counter reaches the limit
+// Data: sched_tasks (8 x 64B: state, saved rsp, stack top), sched_current,
+// sched_counter, worker_a_runs, worker_b_runs, task_entries (fn pointers).
+// Task states: 0 = free, 1 = ready, 2 = done.
+#ifndef KRX_SRC_WORKLOAD_SCHED_H_
+#define KRX_SRC_WORKLOAD_SCHED_H_
+
+#include <set>
+#include <string>
+
+#include "src/plugin/pipeline.h"
+
+namespace krx {
+
+inline constexpr int kSchedMaxTasks = 8;
+inline constexpr uint64_t kSchedTaskBytes = 64;
+
+// Adds the scheduler + two worker tasks to the source.
+void AddSched(KernelSource* source);
+
+// Must be merged into the protection config of any kernel using AddSched.
+std::set<std::string> SchedExemptFunctions();
+
+// Allocates per-task kernel stacks and initializes the task table: task 0
+// becomes the caller's (init) context. Call once after CompileKernel.
+Status SetUpTaskStacks(KernelImage& image);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_WORKLOAD_SCHED_H_

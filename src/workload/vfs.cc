@@ -1,0 +1,453 @@
+#include "src/workload/vfs.h"
+
+#include <map>
+
+#include "src/base/math_util.h"
+#include "src/ir/builder.h"
+
+namespace krx {
+namespace {
+
+// Dentry field offsets (64-byte records).
+constexpr int64_t kDeHash = 0;
+constexpr int64_t kDeInode = 8;
+constexpr int64_t kDeFirstChild = 16;
+constexpr int64_t kDeNextSibling = 24;
+constexpr int64_t kDeParent = 32;
+constexpr int64_t kDeFlags = 40;  // bit 0: directory
+
+// Inode field offsets (32-byte records).
+constexpr int64_t kInSize = 0;
+constexpr int64_t kInData = 8;  // pointer slot into vfs_page_cache
+constexpr int64_t kInPerms = 16;
+
+struct HostDentry {
+  uint64_t hash = 0;
+  int64_t inode = -1;
+  int64_t first_child = -1;
+  int64_t next_sibling = -1;
+  int64_t parent = 0;
+  uint64_t flags = 0;
+};
+
+struct HostInode {
+  uint64_t size = 0;
+  uint64_t cache_offset = 0;
+  uint64_t perms = 0644;
+};
+
+void Put64(std::vector<uint8_t>& bytes, uint64_t off, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes[off + static_cast<uint64_t>(i)] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : path) {
+    if (c == '/') {
+      if (!cur.empty()) {
+        parts.push_back(cur);
+      }
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) {
+    parts.push_back(cur);
+  }
+  KRX_CHECK(!parts.empty() && parts.size() <= 3);
+  return parts;
+}
+
+// ---- IR emission ----
+
+void EmitVfsLookup(KernelSource* src) {
+  int32_t dentries = src->symbols.Intern("vfs_dentries", SymbolKind::kData);
+  FunctionBuilder b("vfs_lookup");
+  const int32_t loop = b.ReserveBlock();
+  const int32_t done = b.ReserveBlock();
+  const int32_t next = b.ReserveBlock();
+  b.Emit(Instruction::Lea(Reg::kRbx, MemOperand::RipRelSym(dentries)));
+  b.Emit(Instruction::MovRR(Reg::kRcx, Reg::kRdi));
+  b.Emit(Instruction::ShlRI(Reg::kRcx, 6));
+  b.Emit(Instruction::AddRR(Reg::kRcx, Reg::kRbx));
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRcx, kDeFirstChild)));
+  b.Bind(loop);
+  b.Emit(Instruction::CmpRI(Reg::kRax, -1));
+  b.Emit(Instruction::JccBlock(Cond::kE, done));  // end of sibling chain: rax = -1
+  b.Emit(Instruction::MovRR(Reg::kRcx, Reg::kRax));
+  b.Emit(Instruction::ShlRI(Reg::kRcx, 6));
+  b.Emit(Instruction::AddRR(Reg::kRcx, Reg::kRbx));
+  b.Emit(Instruction::Load(Reg::kRdx, MemOperand::Base(Reg::kRcx, kDeHash)));
+  b.Emit(Instruction::CmpRR(Reg::kRdx, Reg::kRsi));
+  b.Emit(Instruction::JccBlock(Cond::kNe, next));
+  b.Emit(Instruction::Ret());  // found: rax is the dentry index
+  b.Bind(next);
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRcx, kDeNextSibling)));
+  b.Emit(Instruction::JmpBlock(loop));
+  b.Bind(done);
+  b.Emit(Instruction::Ret());
+  src->functions.push_back(b.Build());
+  src->symbols.Intern("vfs_lookup");
+}
+
+void EmitVfsFdAlloc(KernelSource* src) {
+  int32_t bitmap = src->symbols.Intern("vfs_fd_bitmap", SymbolKind::kData);
+  FunctionBuilder b("vfs_fd_alloc");
+  const int32_t loop = b.ReserveBlock();
+  const int32_t found = b.ReserveBlock();
+  b.Emit(Instruction::Load(Reg::kRcx, MemOperand::RipRelSym(bitmap)));  // safe read
+  b.Emit(Instruction::MovRI(Reg::kRdx, 1));
+  b.Emit(Instruction::MovRI(Reg::kRax, 0));
+  b.Bind(loop);
+  b.Emit(Instruction::MovRR(Reg::kR8, Reg::kRcx));
+  b.Emit(Instruction::AndRR(Reg::kR8, Reg::kRdx));
+  b.Emit(Instruction::CmpRI(Reg::kR8, 0));
+  b.Emit(Instruction::JccBlock(Cond::kE, found));
+  b.Emit(Instruction::ShlRI(Reg::kRdx, 1));
+  b.Emit(Instruction::AddRI(Reg::kRax, 1));
+  b.Emit(Instruction::CmpRI(Reg::kRax, kVfsMaxFds));
+  b.Emit(Instruction::JccBlock(Cond::kNe, loop));
+  b.Emit(Instruction::MovRI(Reg::kRax, -1));  // all fds in use
+  b.Emit(Instruction::Ret());
+  b.Bind(found);
+  b.Emit(Instruction::OrRR(Reg::kRcx, Reg::kRdx));
+  b.Emit(Instruction::Store(MemOperand::RipRelSym(bitmap), Reg::kRcx));
+  b.Emit(Instruction::Ret());
+  src->functions.push_back(b.Build());
+  src->symbols.Intern("vfs_fd_alloc");
+}
+
+void EmitVfsOpen(KernelSource* src) {
+  int32_t dentries = src->symbols.Intern("vfs_dentries", SymbolKind::kData);
+  int32_t fd_table = src->symbols.Intern("vfs_fd_table", SymbolKind::kData);
+  FunctionBuilder b("vfs_open");
+  const int32_t have_dentry = b.ReserveBlock();
+  const int32_t fail = b.ReserveBlock();
+  b.Emit(Instruction::SubRI(Reg::kRsp, 32));
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsp, 0), Reg::kRsi));   // h2
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsp, 8), Reg::kRdx));   // h3
+  // Component 1: lookup(root=0, h1).
+  b.Emit(Instruction::MovRR(Reg::kRsi, Reg::kRdi));
+  b.Emit(Instruction::MovRI(Reg::kRdi, 0));
+  b.Emit(Instruction::CallSym(src->symbols.Intern("vfs_lookup")));
+  b.Emit(Instruction::CmpRI(Reg::kRax, -1));
+  b.Emit(Instruction::JccBlock(Cond::kE, fail));
+  // Component 2 (h2 == 0 means the path ended).
+  b.Emit(Instruction::Load(Reg::kRcx, MemOperand::Base(Reg::kRsp, 0)));
+  b.Emit(Instruction::CmpRI(Reg::kRcx, 0));
+  b.Emit(Instruction::JccBlock(Cond::kE, have_dentry));
+  b.Emit(Instruction::MovRR(Reg::kRdi, Reg::kRax));
+  b.Emit(Instruction::MovRR(Reg::kRsi, Reg::kRcx));
+  b.Emit(Instruction::CallSym(src->symbols.Intern("vfs_lookup")));
+  b.Emit(Instruction::CmpRI(Reg::kRax, -1));
+  b.Emit(Instruction::JccBlock(Cond::kE, fail));
+  // Component 3.
+  b.Emit(Instruction::Load(Reg::kRcx, MemOperand::Base(Reg::kRsp, 8)));
+  b.Emit(Instruction::CmpRI(Reg::kRcx, 0));
+  b.Emit(Instruction::JccBlock(Cond::kE, have_dentry));
+  b.Emit(Instruction::MovRR(Reg::kRdi, Reg::kRax));
+  b.Emit(Instruction::MovRR(Reg::kRsi, Reg::kRcx));
+  b.Emit(Instruction::CallSym(src->symbols.Intern("vfs_lookup")));
+  b.Emit(Instruction::CmpRI(Reg::kRax, -1));
+  b.Emit(Instruction::JccBlock(Cond::kE, fail));
+  b.Bind(have_dentry);
+  // inode = dentries[rax].inode; directories cannot be opened.
+  b.Emit(Instruction::Lea(Reg::kRbx, MemOperand::RipRelSym(dentries)));
+  b.Emit(Instruction::MovRR(Reg::kRcx, Reg::kRax));
+  b.Emit(Instruction::ShlRI(Reg::kRcx, 6));
+  b.Emit(Instruction::AddRR(Reg::kRbx, Reg::kRcx));
+  b.Emit(Instruction::Load(Reg::kRdx, MemOperand::Base(Reg::kRbx, kDeInode)));
+  b.Emit(Instruction::CmpRI(Reg::kRdx, -1));
+  b.Emit(Instruction::JccBlock(Cond::kE, fail));
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsp, 16), Reg::kRdx));
+  b.Emit(Instruction::CallSym(src->symbols.Intern("vfs_fd_alloc")));
+  b.Emit(Instruction::CmpRI(Reg::kRax, -1));
+  b.Emit(Instruction::JccBlock(Cond::kE, fail));
+  // fd_table[fd] = inode + 1 (0 marks a free slot).
+  b.Emit(Instruction::Lea(Reg::kRbx, MemOperand::RipRelSym(fd_table)));
+  b.Emit(Instruction::MovRR(Reg::kRcx, Reg::kRax));
+  b.Emit(Instruction::ShlRI(Reg::kRcx, 3));
+  b.Emit(Instruction::AddRR(Reg::kRbx, Reg::kRcx));
+  b.Emit(Instruction::Load(Reg::kRdx, MemOperand::Base(Reg::kRsp, 16)));
+  b.Emit(Instruction::AddRI(Reg::kRdx, 1));
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kRbx, 0), Reg::kRdx));
+  b.Emit(Instruction::AddRI(Reg::kRsp, 32));
+  b.Emit(Instruction::Ret());
+  b.Bind(fail);
+  b.Emit(Instruction::MovRI(Reg::kRax, -1));
+  b.Emit(Instruction::AddRI(Reg::kRsp, 32));
+  b.Emit(Instruction::Ret());
+  src->functions.push_back(b.Build());
+  src->symbols.Intern("vfs_open");
+}
+
+void EmitVfsClose(KernelSource* src) {
+  int32_t fd_table = src->symbols.Intern("vfs_fd_table", SymbolKind::kData);
+  int32_t bitmap = src->symbols.Intern("vfs_fd_bitmap", SymbolKind::kData);
+  FunctionBuilder b("vfs_close");
+  const int32_t fail = b.ReserveBlock();
+  const int32_t shift = b.ReserveBlock();
+  const int32_t shifted = b.ReserveBlock();
+  b.Emit(Instruction::CmpRI(Reg::kRdi, kVfsMaxFds - 1));
+  b.Emit(Instruction::JccBlock(Cond::kA, fail));  // unsigned: also catches "negative" fds
+  b.Emit(Instruction::Lea(Reg::kRbx, MemOperand::RipRelSym(fd_table)));
+  b.Emit(Instruction::MovRR(Reg::kRcx, Reg::kRdi));
+  b.Emit(Instruction::ShlRI(Reg::kRcx, 3));
+  b.Emit(Instruction::AddRR(Reg::kRbx, Reg::kRcx));
+  b.Emit(Instruction::Load(Reg::kRdx, MemOperand::Base(Reg::kRbx, 0)));
+  b.Emit(Instruction::CmpRI(Reg::kRdx, 0));
+  b.Emit(Instruction::JccBlock(Cond::kE, fail));  // not open
+  b.Emit(Instruction::MovRI(Reg::kRax, 0));
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kRbx, 0), Reg::kRax));
+  // mask = 1 << fd, by repeated shifts (the ISA has immediate shifts only).
+  b.Emit(Instruction::MovRI(Reg::kRdx, 1));
+  b.Emit(Instruction::MovRR(Reg::kRcx, Reg::kRdi));
+  b.Bind(shift);
+  b.Emit(Instruction::CmpRI(Reg::kRcx, 0));
+  b.Emit(Instruction::JccBlock(Cond::kE, shifted));
+  b.Emit(Instruction::ShlRI(Reg::kRdx, 1));
+  b.Emit(Instruction::SubRI(Reg::kRcx, 1));
+  b.Emit(Instruction::JmpBlock(shift));
+  b.Bind(shifted);
+  b.Emit(Instruction::XorRI(Reg::kRdx, -1));  // ~mask
+  b.Emit(Instruction::Load(Reg::kRcx, MemOperand::RipRelSym(bitmap)));
+  b.Emit(Instruction::AndRR(Reg::kRcx, Reg::kRdx));
+  b.Emit(Instruction::Store(MemOperand::RipRelSym(bitmap), Reg::kRcx));
+  b.Emit(Instruction::MovRI(Reg::kRax, 0));
+  b.Emit(Instruction::Ret());
+  b.Bind(fail);
+  b.Emit(Instruction::MovRI(Reg::kRax, -1));
+  b.Emit(Instruction::Ret());
+  src->functions.push_back(b.Build());
+  src->symbols.Intern("vfs_close");
+}
+
+void EmitVfsRead(KernelSource* src) {
+  int32_t fd_table = src->symbols.Intern("vfs_fd_table", SymbolKind::kData);
+  int32_t inodes = src->symbols.Intern("vfs_inodes", SymbolKind::kData);
+  FunctionBuilder b("vfs_read");
+  const int32_t fail_early = b.ReserveBlock();
+  const int32_t fail_frame = b.ReserveBlock();
+  b.Emit(Instruction::CmpRI(Reg::kRdi, kVfsMaxFds - 1));
+  b.Emit(Instruction::JccBlock(Cond::kA, fail_early));
+  b.Emit(Instruction::SubRI(Reg::kRsp, 16));
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsp, 0), Reg::kRdx));  // qwords
+  b.Emit(Instruction::Lea(Reg::kRbx, MemOperand::RipRelSym(fd_table)));
+  b.Emit(Instruction::MovRR(Reg::kRcx, Reg::kRdi));
+  b.Emit(Instruction::ShlRI(Reg::kRcx, 3));
+  b.Emit(Instruction::AddRR(Reg::kRbx, Reg::kRcx));
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRbx, 0)));  // inode + 1
+  b.Emit(Instruction::CmpRI(Reg::kRax, 0));
+  b.Emit(Instruction::JccBlock(Cond::kE, fail_frame));
+  b.Emit(Instruction::SubRI(Reg::kRax, 1));
+  b.Emit(Instruction::Lea(Reg::kRbx, MemOperand::RipRelSym(inodes)));
+  b.Emit(Instruction::MovRR(Reg::kRcx, Reg::kRax));
+  b.Emit(Instruction::ShlRI(Reg::kRcx, 5));
+  b.Emit(Instruction::AddRR(Reg::kRbx, Reg::kRcx));
+  b.Emit(Instruction::Load(Reg::kR8, MemOperand::Base(Reg::kRbx, kInData)));  // page-cache ptr
+  // Copy: dst = rsi (arg), src = page cache.
+  b.Emit(Instruction::MovRR(Reg::kRdi, Reg::kRsi));
+  b.Emit(Instruction::MovRR(Reg::kRsi, Reg::kR8));
+  b.Emit(Instruction::Load(Reg::kRcx, MemOperand::Base(Reg::kRsp, 0)));
+  b.Emit(Instruction::Movsq(/*rep_prefix=*/true));
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRsp, 0)));
+  b.Emit(Instruction::AddRI(Reg::kRsp, 16));
+  b.Emit(Instruction::Ret());
+  b.Bind(fail_frame);
+  b.Emit(Instruction::AddRI(Reg::kRsp, 16));
+  b.Emit(Instruction::MovRI(Reg::kRax, -1));
+  b.Emit(Instruction::Ret());
+  b.Bind(fail_early);
+  b.Emit(Instruction::MovRI(Reg::kRax, -1));
+  b.Emit(Instruction::Ret());
+  src->functions.push_back(b.Build());
+  src->symbols.Intern("vfs_read");
+}
+
+void EmitVfsFstat(KernelSource* src) {
+  int32_t fd_table = src->symbols.Intern("vfs_fd_table", SymbolKind::kData);
+  int32_t inodes = src->symbols.Intern("vfs_inodes", SymbolKind::kData);
+  FunctionBuilder b("vfs_fstat");
+  const int32_t fail = b.ReserveBlock();
+  b.Emit(Instruction::CmpRI(Reg::kRdi, kVfsMaxFds - 1));
+  b.Emit(Instruction::JccBlock(Cond::kA, fail));
+  b.Emit(Instruction::Lea(Reg::kRbx, MemOperand::RipRelSym(fd_table)));
+  b.Emit(Instruction::MovRR(Reg::kRcx, Reg::kRdi));
+  b.Emit(Instruction::ShlRI(Reg::kRcx, 3));
+  b.Emit(Instruction::AddRR(Reg::kRbx, Reg::kRcx));
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRbx, 0)));
+  b.Emit(Instruction::CmpRI(Reg::kRax, 0));
+  b.Emit(Instruction::JccBlock(Cond::kE, fail));
+  b.Emit(Instruction::SubRI(Reg::kRax, 1));
+  b.Emit(Instruction::Lea(Reg::kRbx, MemOperand::RipRelSym(inodes)));
+  b.Emit(Instruction::MovRR(Reg::kRcx, Reg::kRax));
+  b.Emit(Instruction::ShlRI(Reg::kRcx, 5));
+  b.Emit(Instruction::AddRR(Reg::kRbx, Reg::kRcx));
+  // The stat-struct copy: a run of same-base reads (coalescible under O3).
+  b.Emit(Instruction::Load(Reg::kRcx, MemOperand::Base(Reg::kRbx, kInSize)));
+  b.Emit(Instruction::Load(Reg::kRdx, MemOperand::Base(Reg::kRbx, kInPerms)));
+  b.Emit(Instruction::Load(Reg::kR8, MemOperand::Base(Reg::kRbx, kInData)));
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsi, 0), Reg::kRcx));
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsi, 8), Reg::kRdx));
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsi, 16), Reg::kRax));
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsi, 24), Reg::kR8));
+  b.Emit(Instruction::MovRI(Reg::kRax, 0));
+  b.Emit(Instruction::Ret());
+  b.Bind(fail);
+  b.Emit(Instruction::MovRI(Reg::kRax, -1));
+  b.Emit(Instruction::Ret());
+  src->functions.push_back(b.Build());
+  src->symbols.Intern("vfs_fstat");
+}
+
+}  // namespace
+
+uint64_t VfsNameHash(const std::string& name) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h = (h ^ static_cast<uint8_t>(c)) * 0x100000001b3ULL;
+  }
+  return h == 0 ? 1 : h;  // 0 is the "no component" sentinel
+}
+
+VfsPathHashes HashPath(const std::string& path) {
+  std::vector<std::string> parts = SplitPath(path);
+  VfsPathHashes h;
+  h.h1 = VfsNameHash(parts[0]);
+  if (parts.size() > 1) {
+    h.h2 = VfsNameHash(parts[1]);
+  }
+  if (parts.size() > 2) {
+    h.h3 = VfsNameHash(parts[2]);
+  }
+  return h;
+}
+
+std::vector<VfsFile> DefaultVfsImage() {
+  return {
+      {"etc/passwd", "root:x:0:0:root:/root:/bin/sh\nuser:x:1000:1000::/home/user\n"},
+      {"etc/hosts", "127.0.0.1 localhost\n"},
+      {"usr/bin/sh", "#!ELF shell image bytes"},
+      {"usr/bin/id", "#!ELF id image bytes"},
+      {"var/log/dmesg", "[0.000] kR^X: phantom guard armed\n[0.001] kR^X: xkeys replenished\n"},
+      {"proc/version", "krx64 kernel 3.19-reproduction\n"},
+  };
+}
+
+int AddVfs(KernelSource* source, const std::vector<VfsFile>& files) {
+  // ---- Build the tree host-side. ----
+  std::vector<HostDentry> dentries(1);  // dentry 0 = root directory
+  dentries[0].flags = 1;
+  std::vector<HostInode> inodes;
+  std::vector<uint8_t> page_cache;
+
+  // (parent, hash) -> dentry idx for shared directories.
+  std::map<std::pair<int64_t, uint64_t>, int64_t> index;
+  auto child_of = [&](int64_t parent, const std::string& name, bool dir) {
+    uint64_t hash = VfsNameHash(name);
+    auto key = std::make_pair(parent, hash);
+    auto it = index.find(key);
+    if (it != index.end()) {
+      return it->second;
+    }
+    HostDentry d;
+    d.hash = hash;
+    d.parent = parent;
+    d.flags = dir ? 1 : 0;
+    // Prepend to the parent's child list.
+    d.next_sibling = dentries[static_cast<size_t>(parent)].first_child;
+    int64_t idx = static_cast<int64_t>(dentries.size());
+    dentries[static_cast<size_t>(parent)].first_child = idx;
+    dentries.push_back(d);
+    index[key] = idx;
+    return idx;
+  };
+
+  for (const VfsFile& file : files) {
+    std::vector<std::string> parts = SplitPath(file.path);
+    int64_t cur = 0;
+    for (size_t i = 0; i + 1 < parts.size(); ++i) {
+      cur = child_of(cur, parts[i], /*dir=*/true);
+    }
+    int64_t leaf = child_of(cur, parts.back(), /*dir=*/false);
+    // Content into the page cache, 8-byte aligned.
+    uint64_t off = AlignUp(page_cache.size(), 8);
+    page_cache.resize(off, 0);
+    page_cache.insert(page_cache.end(), file.content.begin(), file.content.end());
+    page_cache.resize(AlignUp(page_cache.size(), 8), 0);
+    HostInode inode;
+    inode.size = file.content.size();
+    inode.cache_offset = off;
+    inodes.push_back(inode);
+    dentries[static_cast<size_t>(leaf)].inode = static_cast<int64_t>(inodes.size()) - 1;
+  }
+
+  // ---- Serialize into data objects. ----
+  int32_t cache_sym = source->symbols.Intern("vfs_page_cache", SymbolKind::kData);
+  {
+    DataObject obj;
+    obj.name = "vfs_dentries";
+    obj.kind = SectionKind::kRodata;  // dcache entries are constified here
+    obj.bytes.assign(dentries.size() * kVfsDentryBytes, 0);
+    for (size_t i = 0; i < dentries.size(); ++i) {
+      uint64_t base = i * kVfsDentryBytes;
+      const HostDentry& d = dentries[i];
+      Put64(obj.bytes, base + kDeHash, d.hash);
+      Put64(obj.bytes, base + kDeInode, static_cast<uint64_t>(d.inode));
+      Put64(obj.bytes, base + kDeFirstChild, static_cast<uint64_t>(d.first_child));
+      Put64(obj.bytes, base + kDeNextSibling, static_cast<uint64_t>(d.next_sibling));
+      Put64(obj.bytes, base + kDeParent, static_cast<uint64_t>(d.parent));
+      Put64(obj.bytes, base + kDeFlags, d.flags);
+    }
+    source->data_objects.push_back(std::move(obj));
+  }
+  {
+    DataObject obj;
+    obj.name = "vfs_inodes";
+    obj.kind = SectionKind::kRodata;
+    obj.bytes.assign(inodes.size() * kVfsInodeBytes, 0);
+    for (size_t i = 0; i < inodes.size(); ++i) {
+      uint64_t base = i * kVfsInodeBytes;
+      Put64(obj.bytes, base + kInSize, inodes[i].size);
+      Put64(obj.bytes, base + kInPerms, inodes[i].perms);
+      obj.pointer_slots.push_back(
+          {base + kInData, cache_sym, static_cast<int64_t>(inodes[i].cache_offset)});
+    }
+    source->data_objects.push_back(std::move(obj));
+  }
+  {
+    DataObject obj;
+    obj.name = "vfs_page_cache";
+    obj.kind = SectionKind::kData;
+    obj.bytes = std::move(page_cache);
+    source->data_objects.push_back(std::move(obj));
+  }
+  {
+    DataObject obj;
+    obj.name = "vfs_fd_bitmap";
+    obj.kind = SectionKind::kData;
+    obj.bytes.assign(8, 0);
+    source->data_objects.push_back(std::move(obj));
+  }
+  {
+    DataObject obj;
+    obj.name = "vfs_fd_table";
+    obj.kind = SectionKind::kData;
+    obj.bytes.assign(kVfsMaxFds * 8, 0);
+    source->data_objects.push_back(std::move(obj));
+  }
+
+  EmitVfsLookup(source);
+  EmitVfsFdAlloc(source);
+  EmitVfsOpen(source);
+  EmitVfsClose(source);
+  EmitVfsRead(source);
+  EmitVfsFstat(source);
+  return static_cast<int>(dentries.size());
+}
+
+}  // namespace krx

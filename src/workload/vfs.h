@@ -1,0 +1,65 @@
+// A miniature in-kernel VFS, built entirely out of krx64 IR and kernel data
+// objects: a static dentry tree, an inode table whose data pointers resolve
+// into a page cache, a file-descriptor bitmap + table, and the syscalls
+// that operate on them.
+//
+// Unlike the profile-generated LMBench ops, these are *real* kernel code
+// paths — pointer-chasing hash lookups over the dentry tree, first-fit
+// bitmap scans, struct copies, page-cache rep-copies — and they run
+// unchanged under every kR^X protection column (bench/vfs_ops).
+//
+// Exported kernel symbols:
+//   vfs_lookup(parent_dentry, name_hash) -> dentry | -1
+//   vfs_fd_alloc()                       -> fd | -1 (64 fds)
+//   vfs_open(h1, h2, h3)                 -> fd | -1 (3-component path walk)
+//   vfs_close(fd)                        -> 0 | -1
+//   vfs_read(fd, dst, qwords)            -> qwords | -1
+//   vfs_fstat(fd, statbuf)               -> 0 | -1 (fills 4 qwords)
+// Data objects: vfs_dentries, vfs_inodes, vfs_page_cache, vfs_fd_bitmap,
+// vfs_fd_table.
+#ifndef KRX_SRC_WORKLOAD_VFS_H_
+#define KRX_SRC_WORKLOAD_VFS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/plugin/pipeline.h"
+
+namespace krx {
+
+// Host-side description of the filesystem image baked into the kernel.
+struct VfsFile {
+  std::string path;     // "etc/passwd" — up to 3 components
+  std::string content;  // lands in the page cache
+};
+
+// FNV-1a — the hash the lookup code compares dentry names against. The
+// "user" computes it in libc; the kernel only ever sees hashes.
+uint64_t VfsNameHash(const std::string& name);
+
+// Adds the VFS functions + data objects to `source`. Returns the number of
+// dentries created. Paths share intermediate directories.
+int AddVfs(KernelSource* source, const std::vector<VfsFile>& files);
+
+// The default image used by tests/benches: a handful of /etc, /usr/bin and
+// /var/log files.
+std::vector<VfsFile> DefaultVfsImage();
+
+// Host-side convenience mirroring the user-space stub: splits `path` into
+// up to 3 component hashes (missing components hash the empty string, which
+// the walk treats as "stop here").
+struct VfsPathHashes {
+  uint64_t h1 = 0;
+  uint64_t h2 = 0;
+  uint64_t h3 = 0;
+};
+VfsPathHashes HashPath(const std::string& path);
+
+inline constexpr int kVfsMaxFds = 64;
+inline constexpr uint64_t kVfsDentryBytes = 64;
+inline constexpr uint64_t kVfsInodeBytes = 32;
+
+}  // namespace krx
+
+#endif  // KRX_SRC_WORKLOAD_VFS_H_

@@ -1,0 +1,66 @@
+// Appendix A: the two Linux kernel bugs discovered while developing
+// kR^X-KAS, reproduced as executable models.
+#include <gtest/gtest.h>
+
+#include "src/kernel/appendix_bugs.h"
+
+namespace krx {
+namespace {
+
+constexpr uint64_t kKernelDataLarge =
+    kPteFlagPresent | kPteFlagWritable | kPteFlagAccessed | kPteFlagDirty | kPteFlagPse |
+    kPteFlagGlobal | kPteFlagXd;
+
+TEST(PgprotBug, SixtyFourBitKeepsXd) {
+  uint64_t flags = PgprotLarge2_4k(kKernelDataLarge, WordSize::k64);
+  EXPECT_TRUE(flags & kPteFlagXd);
+  EXPECT_FALSE(flags & kPteFlagPse);
+  EXPECT_FALSE(IsWxViolation(flags));
+}
+
+TEST(PgprotBug, ThirtyTwoBitDropsXd) {
+  // The security-critical bug: `unsigned long val` is 32 bits wide on x86,
+  // so the XD bit (bit 63) is cleared and the resulting 4KB pages are
+  // silently executable.
+  uint64_t flags = PgprotLarge2_4k(kKernelDataLarge, WordSize::k32);
+  EXPECT_FALSE(flags & kPteFlagXd);
+  EXPECT_TRUE(IsWxViolation(flags));  // writable + executable
+}
+
+TEST(PgprotBug, RoundTrip4kToLarge) {
+  uint64_t small = kPteFlagPresent | kPteFlagWritable | kPteFlagXd;
+  uint64_t large64 = Pgprot4k_2Large(small, WordSize::k64);
+  EXPECT_TRUE(large64 & kPteFlagPse);
+  EXPECT_TRUE(large64 & kPteFlagXd);
+  uint64_t large32 = Pgprot4k_2Large(small, WordSize::k32);
+  EXPECT_TRUE(large32 & kPteFlagPse);
+  EXPECT_FALSE(large32 & kPteFlagXd);  // lost again
+}
+
+TEST(PgprotBug, SplitOnlyViolatesWxWhenWritable) {
+  uint64_t ro_large = kPteFlagPresent | kPteFlagPse | kPteFlagXd;  // read-only data
+  EXPECT_FALSE(IsWxViolation(SplitLargePageFlags(ro_large, WordSize::k32)));
+  uint64_t rw_large = ro_large | kPteFlagWritable;
+  EXPECT_TRUE(IsWxViolation(SplitLargePageFlags(rw_large, WordSize::k32)));
+  EXPECT_FALSE(IsWxViolation(SplitLargePageFlags(rw_large, WordSize::k64)));
+}
+
+TEST(ModuleAllocBug, CorrectCheckRejectsOversize) {
+  const uint64_t modules_len = 512ULL << 20;
+  EXPECT_TRUE(ModuleAllocSizeCheckPasses(4096, modules_len, /*buggy=*/false));
+  EXPECT_TRUE(ModuleAllocSizeCheckPasses(modules_len, modules_len, false));
+  EXPECT_FALSE(ModuleAllocSizeCheckPasses(modules_len + 1, modules_len, false));
+}
+
+TEST(ModuleAllocBug, BuggyCheckNeverFails) {
+  // On 32-bit x86 MODULES_LEN was assigned its complementary value, so the
+  // sanity check can never reject — only the later vmalloc failure saves
+  // the day (a benign bug, per the paper).
+  const uint64_t modules_len = 512ULL << 20;
+  for (uint64_t size : std::initializer_list<uint64_t>{1, modules_len, modules_len * 16, ~0ULL >> 1}) {
+    EXPECT_TRUE(ModuleAllocSizeCheckPasses(size, modules_len, /*buggy=*/true)) << size;
+  }
+}
+
+}  // namespace
+}  // namespace krx

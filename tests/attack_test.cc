@@ -1,0 +1,237 @@
+// Attack-side components: gadget scanning, the disclosure oracle, and the
+// three §7.3 experiments as regression tests.
+#include <gtest/gtest.h>
+
+#include "src/attack/experiments.h"
+#include "src/workload/harness.h"
+
+namespace krx {
+namespace {
+
+CompiledKernel Build(const KernelSource& src, ProtectionConfig config, LayoutKind layout) {
+  auto kernel = CompileKernel(src, config, layout);
+  KRX_CHECK(kernel.ok());
+  return std::move(*kernel);
+}
+
+class AttackTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    src_ = new KernelSource(MakeBenchSource(0xA77));
+  }
+  static KernelSource* src_;
+};
+KernelSource* AttackTest::src_ = nullptr;
+
+TEST_F(AttackTest, ScannerFindsConstructedGadgets) {
+  CompiledKernel vanilla = Build(*src_, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  ExploitLab lab(&vanilla);
+  std::vector<uint8_t> text = lab.DumpText();
+  GadgetScanner scanner;
+  auto gadgets = scanner.Scan(text.data(), text.size(), lab.TextBase());
+  EXPECT_GT(gadgets.size(), 100u);
+  EXPECT_TRUE(GadgetScanner::FindPopReg(gadgets, Reg::kRdi).has_value());
+  EXPECT_TRUE(GadgetScanner::FindPopReg(gadgets, Reg::kRsi).has_value());
+  EXPECT_TRUE(GadgetScanner::FindStore(gadgets, Reg::kRdi, Reg::kRsi).has_value());
+  EXPECT_TRUE(GadgetScanner::FindMovRR(gadgets, Reg::kRax, Reg::kRdi).has_value());
+  // Every gadget ends in ret and contains no control transfer before it.
+  for (const Gadget& g : gadgets) {
+    ASSERT_FALSE(g.insts.empty());
+    EXPECT_EQ(g.insts.back().op, Opcode::kRet);
+    for (size_t i = 0; i + 1 < g.insts.size(); ++i) {
+      EXPECT_FALSE(g.insts[i].IsTerminator());
+      EXPECT_FALSE(g.insts[i].IsCall());
+    }
+  }
+}
+
+TEST_F(AttackTest, OracleLeaksDataButDiesOnCode) {
+  CompiledKernel full = Build(*src_, ProtectionConfig::Full(false, RaScheme::kEncrypt, 5),
+                              LayoutKind::kKrx);
+  ExploitLab lab(&full);
+  DisclosureOracle oracle(&lab.cpu());
+  auto table = full.image->symbols().AddressOf(kSyscallTableName);
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(oracle.Leak(*table).ok());
+  EXPECT_FALSE(oracle.kernel_killed());
+
+  const PlacedSection* text = full.image->FindSection(".text");
+  auto leak = oracle.Leak(text->vaddr + 64);
+  EXPECT_FALSE(leak.ok());
+  EXPECT_TRUE(oracle.kernel_killed());
+  // Once killed, everything fails (the machine halted).
+  EXPECT_FALSE(oracle.Leak(*table).ok());
+}
+
+TEST_F(AttackTest, OracleFaultsOnUnmappedSynonym) {
+  // Reading the (removed) physmap synonym of kernel code oopses with a page
+  // fault, not a kR^X violation — a different, equally fatal outcome.
+  CompiledKernel full = Build(*src_, ProtectionConfig::Full(false, RaScheme::kEncrypt, 5),
+                              LayoutKind::kKrx);
+  ExploitLab lab(&full);
+  DisclosureOracle oracle(&lab.cpu());
+  const PlacedSection* text = full.image->FindSection(".text");
+  uint64_t synonym = full.image->PhysmapVaddr(text->first_frame);
+  auto leak = oracle.Leak(synonym);
+  EXPECT_FALSE(leak.ok());
+  EXPECT_EQ(leak.status().code(), StatusCode::kNotFound);  // #PF, kernel survives
+  EXPECT_FALSE(oracle.kernel_killed());
+}
+
+TEST_F(AttackTest, VanillaPhysmapSynonymLeaksCode) {
+  // On the vanilla layout the alias exists: code is readable through the
+  // direct map even without touching the text mapping (ret2dir flavour).
+  CompiledKernel vanilla = Build(*src_, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  ExploitLab lab(&vanilla);
+  DisclosureOracle oracle(&lab.cpu());
+  const PlacedSection* text = vanilla.image->FindSection(".text");
+  uint64_t synonym = vanilla.image->PhysmapVaddr(text->first_frame);
+  auto via_synonym = oracle.Leak(synonym);
+  auto direct = vanilla.image->Peek64(text->vaddr);
+  ASSERT_TRUE(via_synonym.ok() && direct.ok());
+  EXPECT_EQ(*via_synonym, *direct);
+}
+
+TEST_F(AttackTest, DirectRopEndToEnd) {
+  CompiledKernel vanilla = Build(*src_, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  CompiledKernel hardened = Build(*src_, ProtectionConfig::Full(false, RaScheme::kDecoy, 6),
+                                  LayoutKind::kKrx);
+  ExploitLab ref(&vanilla), self(&vanilla), target(&hardened);
+  EXPECT_TRUE(DirectRopAttack(ref, self).success);
+  EXPECT_FALSE(DirectRopAttack(ref, target).success);
+}
+
+TEST_F(AttackTest, DirectJitRopKilledByRx) {
+  CompiledKernel kaslr_only = Build(*src_, ProtectionConfig::DiversifyOnly(RaScheme::kNone, 7),
+                                    LayoutKind::kKrx);
+  CompiledKernel full = Build(*src_, ProtectionConfig::Full(false, RaScheme::kEncrypt, 7),
+                              LayoutKind::kKrx);
+  {
+    ExploitLab lab(&kaslr_only);
+    AttackOutcome out = DirectJitRopAttack(lab);
+    EXPECT_TRUE(out.success) << out.detail;
+    EXPECT_GT(out.leaks, 100u);  // it really did harvest pages
+  }
+  {
+    ExploitLab lab(&full);
+    AttackOutcome out = DirectJitRopAttack(lab);
+    EXPECT_FALSE(out.success);
+    EXPECT_TRUE(out.kernel_killed);
+  }
+}
+
+TEST_F(AttackTest, IndirectJitRopRates) {
+  CompiledKernel none = Build(*src_, ProtectionConfig::DiversifyOnly(RaScheme::kNone, 8),
+                              LayoutKind::kKrx);
+  CompiledKernel enc = Build(*src_, ProtectionConfig::Full(false, RaScheme::kEncrypt, 8),
+                             LayoutKind::kKrx);
+  CompiledKernel dec = Build(*src_, ProtectionConfig::Full(false, RaScheme::kDecoy, 8),
+                             LayoutKind::kKrx);
+  {
+    ExploitLab lab(&none);
+    IndirectJitRopResult r = IndirectJitRopAttack(lab, 2, 64, 1);
+    EXPECT_DOUBLE_EQ(r.success_rate, 1.0) << r.outcome.detail;
+  }
+  {
+    ExploitLab lab(&enc);
+    IndirectJitRopResult r = IndirectJitRopAttack(lab, 1, 64, 1);
+    EXPECT_DOUBLE_EQ(r.success_rate, 0.0) << r.outcome.detail;
+  }
+  {
+    ExploitLab lab(&dec);
+    // n = 2: expect ~25%, allow generous sampling noise.
+    IndirectJitRopResult r = IndirectJitRopAttack(lab, 2, 512, 1);
+    EXPECT_GT(r.pairs_harvested, 2u);
+    EXPECT_GT(r.success_rate, 0.10);
+    EXPECT_LT(r.success_rate, 0.45);
+    EXPECT_TRUE(DecoyTripwireFires(lab));
+  }
+}
+
+TEST_F(AttackTest, CoarseKaslrFallsToSlideInference) {
+  CompiledKernel vanilla = Build(*src_, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  ProtectionConfig coarse;
+  coarse.coarse_kaslr = true;
+  coarse.seed = 77;
+  CompiledKernel slid = Build(*src_, coarse, LayoutKind::kVanilla);
+  // The image moved...
+  auto v_commit = vanilla.image->symbols().AddressOf(kCommitCredsName);
+  auto s_commit = slid.image->symbols().AddressOf(kCommitCredsName);
+  ASSERT_TRUE(v_commit.ok() && s_commit.ok());
+  EXPECT_NE(*v_commit, *s_commit);
+  // ...but one leaked pointer rebases the whole chain.
+  {
+    ExploitLab ref(&vanilla), target(&slid);
+    EXPECT_TRUE(KaslrSlideBypassAttack(ref, target).success);
+  }
+  // Fine-grained KASLR shrugs the same technique off.
+  CompiledKernel fine = Build(*src_, ProtectionConfig::DiversifyOnly(RaScheme::kNone, 77),
+                              LayoutKind::kKrx);
+  {
+    ExploitLab ref(&vanilla), target(&fine);
+    EXPECT_FALSE(KaslrSlideBypassAttack(ref, target).success);
+  }
+}
+
+TEST_F(AttackTest, DataOnlyPointerAttackIsTheResidualSurface) {
+  // §7.3's closing: full kR^X still permits whole-function reuse through
+  // corrupted function pointers (data-only attacks)...
+  CompiledKernel full = Build(*src_, ProtectionConfig::Full(false, RaScheme::kDecoy, 21),
+                              LayoutKind::kKrx);
+  {
+    ExploitLab lab(&full);
+    AttackOutcome out = DataOnlyFunctionPointerAttack(lab);
+    EXPECT_TRUE(out.success) << out.detail;
+  }
+  // ...but NOT gadget-grade reuse: pointing the hook into the middle of a
+  // function derails (entry trampolines are all a leaked pointer reveals).
+  {
+    ExploitLab lab(&full);
+    lab.ResetCreds();
+    auto hook = full.image->symbols().AddressOf("notifier_hook");
+    auto commit = full.image->symbols().AddressOf(kCommitCredsName);
+    auto trigger = full.image->symbols().AddressOf("run_notifier");
+    ASSERT_TRUE(hook.ok() && commit.ok() && trigger.ok());
+    ASSERT_TRUE(full.image->Poke64(*hook, *commit + 7).ok());  // mid-function guess
+    RunResult r = lab.cpu().CallFunction(*trigger, {kRootCred});
+    EXPECT_FALSE(lab.IsRoot() && r.reason == StopReason::kReturned);
+  }
+}
+
+TEST_F(AttackTest, Ret2UsrBlockedBySmep) {
+  CompiledKernel vanilla = Build(*src_, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  {
+    ExploitLab lab(&vanilla);
+    AttackOutcome out = Ret2UsrAttack(lab, /*smep_enabled=*/false);
+    EXPECT_TRUE(out.success) << out.detail;  // legacy kernels fall to ret2usr
+  }
+  {
+    ExploitLab lab(&vanilla);
+    AttackOutcome out = Ret2UsrAttack(lab, /*smep_enabled=*/true);
+    EXPECT_FALSE(out.success) << out.detail;  // the paper's hardening assumption
+  }
+}
+
+TEST_F(AttackTest, RopChainDerailsIntoPhantomTripwires) {
+  // Random addresses inside diversified text overwhelmingly hit phantom
+  // padding or mid-instruction bytes: execution traps rather than working.
+  CompiledKernel full = Build(*src_, ProtectionConfig::Full(false, RaScheme::kDecoy, 9),
+                              LayoutKind::kKrx);
+  ExploitLab lab(&full);
+  const PlacedSection* text = full.image->FindSection(".text");
+  int trapped = 0, total = 0;
+  Rng rng(4242);
+  for (int i = 0; i < 64; ++i) {
+    uint64_t addr = text->vaddr + rng.NextBelow(text->size);
+    lab.cpu().set_reg(Reg::kRsp, lab.cpu().stack_top() - 64);
+    RunResult r = lab.cpu().RunAt(addr, 64);
+    ++total;
+    if (r.reason == StopReason::kException || r.krx_violation) {
+      ++trapped;
+    }
+  }
+  EXPECT_GT(trapped, total / 2);
+}
+
+}  // namespace
+}  // namespace krx

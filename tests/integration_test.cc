@@ -1,0 +1,154 @@
+// End-to-end pipeline checks: compile the bench corpus under every
+// protection column, run kernel ops, and verify semantic transparency and
+// R^X enforcement.
+#include <gtest/gtest.h>
+
+#include "src/attack/experiments.h"
+#include "src/workload/corpus.h"
+#include "src/workload/harness.h"
+
+namespace krx {
+namespace {
+
+TEST(Integration, VanillaKernelRunsOps) {
+  KernelSource src = MakeBenchSource(1);
+  auto kernel = CompileKernel(std::move(src), ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  auto rows = MeasureAllRows(*kernel);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), LmbenchRows().size());
+  for (const auto& m : *rows) {
+    EXPECT_GT(m.instructions, 0u) << m.row;
+  }
+}
+
+class ColumnTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColumnTest, SemanticTransparencyAndCleanRuns) {
+  const uint64_t seed = 42;
+  KernelSource src = MakeBenchSource(seed);
+  auto vanilla = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  ASSERT_TRUE(vanilla.ok()) << vanilla.status().ToString();
+  auto base = MeasureAllRows(*vanilla);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+  Column col = Table1Columns(seed)[static_cast<size_t>(GetParam())];
+  auto kernel = CompileKernel(src, col.config, col.layout);
+  ASSERT_TRUE(kernel.ok()) << col.name << ": " << kernel.status().ToString();
+  auto rows = MeasureAllRows(*kernel);
+  ASSERT_TRUE(rows.ok()) << col.name << ": " << rows.status().ToString();
+  for (size_t i = 0; i < rows->size(); ++i) {
+    EXPECT_EQ((*rows)[i].rax, (*base)[i].rax) << col.name << " diverged on " << (*rows)[i].row;
+    EXPECT_GE((*rows)[i].deci_cycles, (*base)[i].deci_cycles)
+        << col.name << " cheaper than vanilla on " << (*rows)[i].row;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllColumns, ColumnTest,
+                         ::testing::Range(0, static_cast<int>(kNumTable1Columns)),
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           std::string n = kTable1ColumnNames[param_info.param];
+                           for (char& c : n) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+TEST(Integration, RangeCheckStopsCodeRead) {
+  KernelSource src = MakeBenchSource(7);
+  auto kernel = CompileKernel(std::move(src), ProtectionConfig::Full(false, RaScheme::kEncrypt, 7),
+                              LayoutKind::kKrx);
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  ExploitLab lab(&*kernel);
+  DisclosureOracle oracle(&lab.cpu());
+
+  // Reading data is fine.
+  auto cred = kernel->image->symbols().AddressOf(kCurrentCredName);
+  ASSERT_TRUE(cred.ok());
+  auto data_leak = oracle.Leak(*cred);
+  EXPECT_TRUE(data_leak.ok()) << data_leak.status().ToString();
+  EXPECT_EQ(*data_leak, kUnprivilegedCred);
+
+  // Reading code halts the machine.
+  auto text = kernel->image->FindSection(".text");
+  ASSERT_NE(text, nullptr);
+  auto code_leak = oracle.Leak(text->vaddr);
+  EXPECT_FALSE(code_leak.ok());
+  EXPECT_TRUE(oracle.kernel_killed());
+}
+
+TEST(Integration, ViolationHandlerLogsAndCounts) {
+  // §5.1.2: "our default handler appends a warning message to the kernel
+  // log and halts the system".
+  KernelSource src = MakeBenchSource(11);
+  auto kernel = CompileKernel(std::move(src), ProtectionConfig::SfiOnly(SfiLevel::kO3),
+                              LayoutKind::kKrx);
+  ASSERT_TRUE(kernel.ok());
+  auto count_addr = kernel->image->symbols().AddressOf("krx_violation_count");
+  auto log_addr = kernel->image->symbols().AddressOf("kernel_log");
+  ASSERT_TRUE(count_addr.ok() && log_addr.ok());
+  auto before = kernel->image->Peek64(*count_addr);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(*before, 0u);
+
+  ExploitLab lab(&*kernel);
+  DisclosureOracle oracle(&lab.cpu());
+  const PlacedSection* text = kernel->image->FindSection(".text");
+  EXPECT_FALSE(oracle.Leak(text->vaddr).ok());
+
+  auto after = kernel->image->Peek64(*count_addr);
+  auto log = kernel->image->Peek64(*log_addr);
+  ASSERT_TRUE(after.ok() && log.ok());
+  EXPECT_EQ(*after, 1u);
+  EXPECT_EQ(*log, 0x6b52585f42554721u);  // the warning marker
+}
+
+TEST(Integration, OverheadOrderingHolds) {
+  // The monotone structure Table 1 rests on: O0 >= O1 >= O2 >= O3 >= MPX
+  // in total kernel-op cycles.
+  KernelSource src = MakeBenchSource(13);
+  auto cycles_for = [&](ProtectionConfig config, LayoutKind layout) {
+    auto kernel = CompileKernel(src, config, layout);
+    KRX_CHECK(kernel.ok());
+    auto rows = MeasureAllRows(*kernel);
+    KRX_CHECK(rows.ok());
+    uint64_t total = 0;
+    for (const auto& m : *rows) {
+      total += m.deci_cycles;
+    }
+    return total;
+  };
+  uint64_t vanilla = cycles_for(ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  uint64_t o0 = cycles_for(ProtectionConfig::SfiOnly(SfiLevel::kO0), LayoutKind::kKrx);
+  uint64_t o1 = cycles_for(ProtectionConfig::SfiOnly(SfiLevel::kO1), LayoutKind::kKrx);
+  uint64_t o2 = cycles_for(ProtectionConfig::SfiOnly(SfiLevel::kO2), LayoutKind::kKrx);
+  uint64_t o3 = cycles_for(ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx);
+  uint64_t mpx = cycles_for(ProtectionConfig::MpxOnly(), LayoutKind::kKrx);
+  EXPECT_GT(o0, o1);
+  EXPECT_GE(o1, o2);
+  EXPECT_GE(o2, o3);
+  EXPECT_GT(o3, mpx);
+  EXPECT_GT(mpx, vanilla);
+}
+
+TEST(Integration, MpxStopsCodeReadWithBoundRange) {
+  KernelSource src = MakeBenchSource(9);
+  auto kernel =
+      CompileKernel(std::move(src), ProtectionConfig::MpxOnly(), LayoutKind::kKrx);
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  CpuOptions copts;
+  copts.mpx_enabled = true;
+  Cpu cpu(kernel->image.get(), CostModel(), copts);
+  auto leak = kernel->image->symbols().AddressOf(kLeakSymbolName);
+  ASSERT_TRUE(leak.ok());
+  auto text = kernel->image->FindSection(".text");
+  ASSERT_NE(text, nullptr);
+  RunResult r = cpu.CallFunction(*leak, {text->vaddr});
+  EXPECT_EQ(r.reason, StopReason::kException);
+  EXPECT_EQ(r.exception, ExceptionKind::kBoundRange);
+}
+
+}  // namespace
+}  // namespace krx

@@ -1,0 +1,158 @@
+// CFG IR, builder discipline and %rflags liveness analysis.
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/ir/liveness.h"
+
+namespace krx {
+namespace {
+
+TEST(Builder, LinearFunction) {
+  FunctionBuilder b("f");
+  b.Emit(Instruction::MovRI(Reg::kRax, 1));
+  b.Emit(Instruction::Ret());
+  Function fn = b.Build();
+  EXPECT_EQ(fn.blocks().size(), 1u);
+  EXPECT_EQ(fn.InstCount(), 2u);
+}
+
+TEST(Builder, BranchOpensBlocks) {
+  FunctionBuilder b("f");
+  int32_t target = b.ReserveBlock();
+  b.Emit(Instruction::CmpRI(Reg::kRax, 0));
+  b.Emit(Instruction::JccBlock(Cond::kE, target));
+  b.Emit(Instruction::AddRI(Reg::kRax, 1));
+  b.Bind(target);
+  b.Emit(Instruction::Ret());
+  Function fn = b.Build();
+  EXPECT_EQ(fn.blocks().size(), 3u);
+  EXPECT_TRUE(fn.Validate().ok());
+}
+
+TEST(Function, SuccessorsFallthroughAndBranch) {
+  FunctionBuilder b("f");
+  int32_t target = b.ReserveBlock();
+  b.Emit(Instruction::CmpRI(Reg::kRax, 0));
+  b.Emit(Instruction::JccBlock(Cond::kE, target));
+  b.Emit(Instruction::AddRI(Reg::kRax, 1));
+  b.Bind(target);
+  b.Emit(Instruction::Ret());
+  Function fn = b.Build();
+
+  // Block 0 ends with jcc: successors = {target, fallthrough}.
+  auto succs = fn.SuccessorsOf(0);
+  ASSERT_EQ(succs.size(), 2u);
+  // Ret block: no successors.
+  int32_t ret_idx = fn.IndexOfBlock(target);
+  EXPECT_TRUE(fn.SuccessorsOf(ret_idx).empty());
+}
+
+TEST(Function, ValidateRejectsUnknownTarget) {
+  Function fn("f");
+  int32_t b0 = fn.AddBlock();
+  fn.block_by_id(b0).insts.push_back(Instruction::JmpBlock(99));
+  EXPECT_FALSE(fn.Validate().ok());
+}
+
+TEST(Function, ValidateRejectsBranchToPhantom) {
+  Function fn("f");
+  int32_t b0 = fn.AddBlock();
+  int32_t b1 = fn.AddBlock();
+  fn.block_by_id(b0).insts.push_back(Instruction::JmpBlock(b1));
+  fn.block_by_id(b1).phantom = true;
+  fn.block_by_id(b1).insts.push_back(Instruction::Int3());
+  EXPECT_FALSE(fn.Validate().ok());
+}
+
+TEST(Function, ValidateRejectsTerminatorMidBlock) {
+  Function fn("f");
+  int32_t b0 = fn.AddBlock();
+  fn.block_by_id(b0).insts.push_back(Instruction::Ret());
+  fn.block_by_id(b0).insts.push_back(Instruction::Nop());
+  EXPECT_FALSE(fn.Validate().ok());
+}
+
+TEST(Function, ValidateRejectsTrailingFallthrough) {
+  Function fn("f");
+  int32_t b0 = fn.AddBlock();
+  fn.block_by_id(b0).insts.push_back(Instruction::Nop());
+  EXPECT_FALSE(fn.Validate().ok());
+}
+
+TEST(Liveness, DeadAfterImmediateRedefinition) {
+  // cmp; mov; cmp; jcc — flags from the first cmp die at the second cmp.
+  FunctionBuilder b("f");
+  int32_t target = b.ReserveBlock();
+  b.Emit(Instruction::CmpRI(Reg::kRax, 1));   // 0
+  b.Emit(Instruction::MovRR(Reg::kRbx, Reg::kRax));  // 1
+  b.Emit(Instruction::CmpRI(Reg::kRbx, 2));   // 2
+  b.Emit(Instruction::JccBlock(Cond::kE, target));   // 3
+  b.Emit(Instruction::Ret());
+  b.Bind(target);
+  b.Emit(Instruction::Ret());
+  Function fn = b.Build();
+  FlagsLiveness live(fn);
+  // Between cmp#1 and cmp#2 the next flag event is the *write* at cmp#2, so
+  // the first cmp's flags are dead there.
+  EXPECT_FALSE(live.LiveBefore(0, 1));
+  EXPECT_FALSE(live.LiveBefore(0, 2));  // just before cmp#2: dead (redefined)
+  EXPECT_TRUE(live.LiveBefore(0, 3));   // just before jcc: live
+}
+
+TEST(Liveness, LiveAcrossBlockBoundary) {
+  // Block A sets flags, falls through to block B which branches on them.
+  Function fn("f");
+  int32_t a = fn.AddBlock();
+  int32_t bb = fn.AddBlock();
+  int32_t c = fn.AddBlock();
+  fn.block_by_id(a).insts.push_back(Instruction::CmpRI(Reg::kRax, 0));
+  fn.block_by_id(bb).insts.push_back(Instruction::MovRR(Reg::kRbx, Reg::kRcx));
+  fn.block_by_id(bb).insts.push_back(Instruction::JccBlock(Cond::kE, c));
+  fn.block_by_id(bb).insts.push_back(Instruction::JmpBlock(c));
+  fn.block_by_id(c).insts.push_back(Instruction::Ret());
+  ASSERT_TRUE(fn.Validate().ok());
+  FlagsLiveness live(fn);
+  EXPECT_TRUE(live.LiveOut(0));
+  EXPECT_TRUE(live.LiveIn(1));
+  EXPECT_FALSE(live.LiveIn(2));
+  EXPECT_TRUE(live.LiveBefore(0, 1));  // after the cmp, flags live out of A
+}
+
+TEST(Liveness, CallsClobberFlags) {
+  FunctionBuilder b("f");
+  b.Emit(Instruction::CmpRI(Reg::kRax, 0));
+  b.Emit(Instruction::CallSym(0));
+  b.Emit(Instruction::Ret());
+  Function fn = b.Build();
+  FlagsLiveness live(fn);
+  // Before the call: the next flag event is the call's clobber, so dead.
+  EXPECT_FALSE(live.LiveBefore(0, 1));
+}
+
+TEST(Liveness, LoopCarriedFlags) {
+  // loop: sub; jne loop — at loop entry flags are dead (sub redefines),
+  // after sub they are live (consumed by jne).
+  FunctionBuilder b("f");
+  int32_t loop = b.ReserveBlock();
+  b.Emit(Instruction::MovRI(Reg::kRcx, 10));
+  b.Bind(loop);
+  b.Emit(Instruction::SubRI(Reg::kRcx, 1));
+  b.Emit(Instruction::JccBlock(Cond::kNe, loop));
+  b.Emit(Instruction::Ret());
+  Function fn = b.Build();
+  FlagsLiveness live(fn);
+  int32_t loop_idx = fn.IndexOfBlock(loop);
+  EXPECT_FALSE(live.LiveIn(loop_idx));
+  EXPECT_TRUE(live.LiveBefore(loop_idx, 1));
+}
+
+TEST(RegHelpers, WritesAndReads) {
+  EXPECT_TRUE(InstructionWritesReg(Instruction::Lea(Reg::kR11, MemOperand::Base(Reg::kRdi, 0)),
+                                   Reg::kR11));
+  EXPECT_FALSE(InstructionWritesReg(Instruction::PushR(Reg::kR11), Reg::kR11));
+  EXPECT_TRUE(InstructionReadsReg(Instruction::PushR(Reg::kR11), Reg::kR11));
+  EXPECT_TRUE(InstructionWritesReg(Instruction::Movsq(), Reg::kRsi));
+}
+
+}  // namespace
+}  // namespace krx

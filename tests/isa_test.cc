@@ -1,0 +1,192 @@
+// Encoding/decoding and static-property tests of the krx64 ISA, including a
+// property-style roundtrip sweep over randomly generated instructions.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/isa/encoding.h"
+#include "src/isa/instruction.h"
+
+namespace krx {
+namespace {
+
+Instruction RoundTrip(const Instruction& inst) {
+  std::vector<uint8_t> bytes;
+  EncodeInstruction(inst, bytes);
+  EXPECT_EQ(bytes.size(), EncodedSize(inst));
+  auto dec = DecodeInstruction(bytes.data(), bytes.size(), 0);
+  EXPECT_TRUE(dec.ok()) << dec.status().ToString();
+  EXPECT_EQ(dec->size, bytes.size());
+  return dec->inst;
+}
+
+TEST(Encoding, RoundTripBasics) {
+  EXPECT_EQ(RoundTrip(Instruction::Nop()).op, Opcode::kNop);
+  EXPECT_EQ(RoundTrip(Instruction::MovRI(Reg::kRax, -1)).imm, -1);
+  Instruction load = RoundTrip(Instruction::Load(Reg::kRcx, MemOperand::Base(Reg::kRsi, 0x140)));
+  EXPECT_EQ(load.op, Opcode::kLoad);
+  EXPECT_EQ(load.r1, Reg::kRcx);
+  EXPECT_EQ(load.mem.base, Reg::kRsi);
+  EXPECT_EQ(load.mem.disp, 0x140);
+}
+
+TEST(Encoding, AbsoluteAddressesKeepFullWidth) {
+  uint64_t addr = 0xFFFFFFFFC0001234ULL;
+  Instruction inst = RoundTrip(Instruction::Load(Reg::kRax, MemOperand::Absolute(
+                                                                static_cast<int64_t>(addr))));
+  EXPECT_TRUE(inst.mem.is_absolute());
+  EXPECT_EQ(static_cast<uint64_t>(inst.mem.disp), addr);
+}
+
+TEST(Encoding, RipRelativeRoundTrip) {
+  Instruction inst = RoundTrip(Instruction::Load(Reg::kR11, MemOperand::RipRel(-0x2000)));
+  EXPECT_TRUE(inst.mem.rip_relative);
+  EXPECT_EQ(inst.mem.disp, -0x2000);
+}
+
+TEST(Encoding, IndexedOperandRoundTrip) {
+  Instruction inst = RoundTrip(
+      Instruction::Load(Reg::kRax, MemOperand::BaseIndex(Reg::kRdi, Reg::kR9, 8, 24)));
+  EXPECT_EQ(inst.mem.index, Reg::kR9);
+  EXPECT_EQ(inst.mem.scale, 8);
+  EXPECT_EQ(inst.mem.disp, 24);
+}
+
+TEST(Encoding, InvalidOpcodeRejected) {
+  uint8_t bytes[] = {0xFE, 0x00, 0x00};
+  EXPECT_FALSE(DecodeInstruction(bytes, sizeof(bytes), 0).ok());
+}
+
+TEST(Encoding, TruncationRejected) {
+  Instruction inst = Instruction::MovRI(Reg::kRax, 0x1234567890ABCDEF);
+  std::vector<uint8_t> bytes;
+  EncodeInstruction(inst, bytes);
+  for (size_t cut = 1; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(DecodeInstruction(bytes.data(), cut, 0).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(Encoding, Int3IsSingleByte) {
+  // The decoy tripwire relies on int3 decoding from a single byte embedded
+  // inside a phantom instruction's immediate.
+  EXPECT_EQ(EncodedSize(Instruction::Int3()), 1);
+  uint8_t b = static_cast<uint8_t>(Opcode::kInt3);
+  auto dec = DecodeInstruction(&b, 1, 0);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(dec->inst.op, Opcode::kInt3);
+}
+
+TEST(Encoding, TripwireInsidePhantomImmediate) {
+  uint64_t imm = 0xA5A5A5A5A5A5A500ULL | static_cast<uint64_t>(Opcode::kInt3);
+  Instruction phantom = Instruction::MovRI(Reg::kR11, static_cast<int64_t>(imm));
+  std::vector<uint8_t> bytes;
+  EncodeInstruction(phantom, bytes);
+  // Byte offset 2 = start of the immediate field.
+  auto dec = DecodeInstruction(bytes.data(), bytes.size(), 2);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(dec->inst.op, Opcode::kInt3);
+}
+
+class RoundTripSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripSweep, RandomInstructionsSurviveRoundTrip) {
+  Rng rng(GetParam());
+  auto random_reg = [&] { return static_cast<Reg>(rng.NextBelow(16)); };
+  auto random_mem = [&] {
+    switch (rng.NextBelow(4)) {
+      case 0:
+        return MemOperand::Base(random_reg(), rng.NextInRange(-1024, 1024));
+      case 1:
+        return MemOperand::BaseIndex(random_reg(), random_reg(),
+                                     static_cast<uint8_t>(1u << rng.NextBelow(4)),
+                                     rng.NextInRange(-64, 64));
+      case 2:
+        return MemOperand::RipRel(rng.NextInRange(-100000, 100000));
+      default:
+        return MemOperand::Absolute(rng.NextInRange(0, 1'000'000'000));
+    }
+  };
+  for (int i = 0; i < 500; ++i) {
+    Instruction inst;
+    switch (rng.NextBelow(10)) {
+      case 0: inst = Instruction::MovRR(random_reg(), random_reg()); break;
+      case 1: inst = Instruction::MovRI(random_reg(), static_cast<int64_t>(rng.Next())); break;
+      case 2: inst = Instruction::Load(random_reg(), random_mem()); break;
+      case 3: inst = Instruction::Store(random_mem(), random_reg()); break;
+      case 4: inst = Instruction::AddRI(random_reg(), rng.NextInRange(-100000, 100000)); break;
+      case 5: inst = Instruction::CmpMI(random_mem(), rng.NextInRange(-1000, 1000)); break;
+      case 6: inst = Instruction::Bndcu(random_mem()); break;
+      case 7: inst = Instruction::Movsq(rng.NextBool()); break;
+      case 8: inst = Instruction::PushR(random_reg()); break;
+      default: inst = Instruction::XorMR(random_mem(), random_reg()); break;
+    }
+    Instruction back = RoundTrip(inst);
+    EXPECT_TRUE(back == inst) << FormatInstruction(inst) << " vs " << FormatInstruction(back);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(InstructionProps, MemoryReadClassification) {
+  EXPECT_TRUE(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 0)).ReadsMemory());
+  EXPECT_TRUE(Instruction::CmpMI(MemOperand::Base(Reg::kRsi, 8), 1).ReadsMemory());
+  EXPECT_TRUE(Instruction::XorMR(MemOperand::Base(Reg::kRsp, 0), Reg::kR11).ReadsMemory());
+  EXPECT_TRUE(Instruction::CallM(MemOperand::Base(Reg::kRax, 0)).ReadsMemory());
+  EXPECT_FALSE(Instruction::Store(MemOperand::Base(Reg::kRdi, 0), Reg::kRax).ReadsMemory());
+  EXPECT_FALSE(Instruction::Lea(Reg::kRax, MemOperand::Base(Reg::kRdi, 0)).ReadsMemory());
+  EXPECT_FALSE(Instruction::Stosq().ReadsMemory());
+  EXPECT_TRUE(Instruction::Movsq().ReadsMemory());
+}
+
+TEST(InstructionProps, SafeAndRspOperands) {
+  EXPECT_TRUE(MemOperand::RipRel(100).IsSafeAddress());
+  EXPECT_TRUE(MemOperand::Absolute(0x1000).IsSafeAddress());
+  EXPECT_FALSE(MemOperand::Base(Reg::kRdi, 0).IsSafeAddress());
+  EXPECT_TRUE(MemOperand::Base(Reg::kRsp, 16).IsPlainRspAccess());
+  EXPECT_FALSE(MemOperand::BaseIndex(Reg::kRsp, Reg::kRax, 8, 0).IsPlainRspAccess());
+}
+
+TEST(InstructionProps, FlagsClassification) {
+  EXPECT_TRUE(Instruction::CmpRI(Reg::kRax, 1).WritesFlags());
+  EXPECT_TRUE(Instruction::JccBlock(Cond::kA, 0).ReadsFlags());
+  EXPECT_TRUE(Instruction::Pushfq().ReadsFlags());
+  EXPECT_TRUE(Instruction::Popfq().WritesFlags());
+  EXPECT_FALSE(Instruction::Bndcu(MemOperand::Base(Reg::kRdi, 0)).WritesFlags());
+  EXPECT_FALSE(Instruction::MovRR(Reg::kRax, Reg::kRbx).WritesFlags());
+  // Calls clobber flags (callee does not preserve them).
+  EXPECT_TRUE(Instruction::CallSym(0).WritesFlags());
+  // repe cmpsq consults ZF.
+  EXPECT_TRUE(Instruction::Cmpsq(true).ReadsFlags());
+  EXPECT_FALSE(Instruction::Cmpsq(false).ReadsFlags());
+}
+
+TEST(InstructionProps, StringReadBases) {
+  EXPECT_EQ(Instruction::Movsq().StringReadBase(), Reg::kRsi);
+  EXPECT_EQ(Instruction::Lodsq().StringReadBase(), Reg::kRsi);
+  EXPECT_EQ(Instruction::Cmpsq().StringReadBase(), Reg::kRsi);
+  EXPECT_EQ(Instruction::Scasq().StringReadBase(), Reg::kRdi);
+  EXPECT_EQ(Instruction::Nop().StringReadBase(), Reg::kNone);
+}
+
+TEST(InstructionProps, RegReadsWrites) {
+  Reg regs[6];
+  int count = 0;
+  InstructionRegWrites(Instruction::PopR(Reg::kRdi), regs, &count);
+  EXPECT_EQ(count, 2);  // rdi and rsp
+  InstructionRegReads(Instruction::Store(MemOperand::Base(Reg::kRbx, 8), Reg::kRax), regs,
+                      &count);
+  EXPECT_EQ(count, 2);  // rax (value) and rbx (base)
+  InstructionRegWrites(Instruction::Movsq(true), regs, &count);
+  EXPECT_EQ(count, 3);  // rsi, rdi, rcx
+}
+
+TEST(InstructionProps, Formatting) {
+  EXPECT_EQ(FormatInstruction(Instruction::Load(Reg::kRcx, MemOperand::Base(Reg::kRsi, 0x140))),
+            "mov 0x140(%rsi),%rcx");
+  EXPECT_EQ(FormatInstruction(Instruction::CmpRI(Reg::kRsi, 0x7f)), "cmp $0x7f,%rsi");
+  EXPECT_EQ(FormatInstruction(Instruction::Ret()), "retq");
+  EXPECT_EQ(FormatInstruction(Instruction::Bndcu(MemOperand::Base(Reg::kRsi, 0x154))),
+            "bndcu 0x154(%rsi),%bnd0");
+}
+
+}  // namespace
+}  // namespace krx

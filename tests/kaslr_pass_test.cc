@@ -1,0 +1,171 @@
+// Fine-grained KASLR pass: slicing, phantom blocks, entropy, permutation,
+// and semantic preservation under diversification.
+#include <gtest/gtest.h>
+
+#include "src/base/math_util.h"
+#include "src/ir/builder.h"
+#include "src/plugin/pipeline.h"
+#include "src/workload/corpus.h"
+#include "src/workload/fig2.h"
+#include "src/workload/harness.h"
+
+namespace krx {
+namespace {
+
+Function Diversified(Function fn, uint64_t seed, int k = 30, KaslrStats* stats = nullptr) {
+  Rng rng(seed);
+  KaslrStats local;
+  KRX_CHECK_OK(ApplyKaslrPass(fn, k, rng, &local));
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return fn;
+}
+
+TEST(KaslrPass, EntryBlockIsTrampoline) {
+  Function fn = Diversified(MakeFig2Function(), 1);
+  const BasicBlock& entry = fn.blocks().front();
+  ASSERT_FALSE(entry.insts.empty());
+  EXPECT_EQ(entry.insts[0].op, Opcode::kJmpRel);
+  EXPECT_GE(entry.insts[0].target_block, 0);
+  EXPECT_EQ(entry.insts[0].origin, InstOrigin::kDiversifier);
+}
+
+TEST(KaslrPass, ReachesRequestedEntropy) {
+  for (int k : {10, 30, 45}) {
+    KaslrStats stats;
+    Diversified(MakeFig2Function(), 3, k, &stats);
+    EXPECT_GE(stats.min_entropy_bits, static_cast<double>(k)) << "k=" << k;
+  }
+}
+
+TEST(KaslrPass, PhantomBlocksNeverTargeted) {
+  Function fn = Diversified(MakeFig2Function(), 7);
+  // Validate() enforces this invariant; double-check directly.
+  for (const BasicBlock& b : fn.blocks()) {
+    if (!b.phantom) {
+      continue;
+    }
+    for (const BasicBlock& other : fn.blocks()) {
+      for (const Instruction& inst : other.insts) {
+        EXPECT_NE(inst.target_block, b.id);
+      }
+    }
+    for (const Instruction& inst : b.insts) {
+      EXPECT_EQ(inst.op, Opcode::kInt3);
+    }
+  }
+  EXPECT_TRUE(fn.Validate().ok());
+}
+
+TEST(KaslrPass, DifferentSeedsDifferentLayouts) {
+  Function a = Diversified(MakeFig2Function(), 1);
+  Function b = Diversified(MakeFig2Function(), 2);
+  std::vector<int32_t> order_a, order_b;
+  for (const BasicBlock& blk : a.blocks()) {
+    order_a.push_back(blk.id);
+  }
+  for (const BasicBlock& blk : b.blocks()) {
+    order_b.push_back(blk.id);
+  }
+  EXPECT_NE(order_a, order_b);
+}
+
+TEST(KaslrPass, SameSeedSameLayout) {
+  Function a = Diversified(MakeFig2Function(), 9);
+  Function b = Diversified(MakeFig2Function(), 9);
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+TEST(KaslrPass, SlicesAtCallSites) {
+  // A block with a call in the middle is cut after the callq.
+  FunctionBuilder b("f");
+  b.Emit(Instruction::SubRI(Reg::kRsp, 8));
+  b.Emit(Instruction::CallSym(0));
+  b.Emit(Instruction::AddRI(Reg::kRsp, 8));
+  b.Emit(Instruction::Ret());
+  Function fn = b.Build();
+  ASSERT_EQ(fn.blocks().size(), 1u);
+  KaslrStats stats;
+  Function diversified = Diversified(std::move(fn), 4, 0, &stats);
+  // After slicing, some block must end with the callq — possibly followed
+  // by the connector jmp the diversifier adds at the chunk boundary.
+  bool call_ends_block = false;
+  for (const BasicBlock& blk : diversified.blocks()) {
+    if (blk.insts.empty()) {
+      continue;
+    }
+    const auto& insts = blk.insts;
+    if (insts.back().IsCall() ||
+        (insts.size() >= 2 && insts.back().origin == InstOrigin::kDiversifier &&
+         insts[insts.size() - 2].IsCall())) {
+      call_ends_block = true;
+    }
+  }
+  EXPECT_TRUE(call_ends_block);
+}
+
+TEST(KaslrPass, SingleBlockFunctionCounted) {
+  FunctionBuilder b("tiny");
+  b.Emit(Instruction::MovRI(Reg::kRax, 1));
+  b.Emit(Instruction::Ret());
+  KaslrStats stats;
+  Diversified(b.Build(), 5, 30, &stats);
+  EXPECT_EQ(stats.single_block_functions, 1u);
+  EXPECT_GT(stats.phantom_blocks, 0u);  // zero-entropy routines get padding
+}
+
+// Semantic preservation: the diversified bench kernels must compute exactly
+// what the vanilla kernel computes, for several seeds.
+class KaslrSemantics : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KaslrSemantics, DiversifiedKernelMatchesVanilla) {
+  KernelSource src = MakeBenchSource(0xFEED);
+  auto vanilla = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  ASSERT_TRUE(vanilla.ok());
+  auto base = MeasureAllRows(*vanilla);
+  ASSERT_TRUE(base.ok());
+
+  auto diversified = CompileKernel(
+      src, ProtectionConfig::DiversifyOnly(RaScheme::kNone, GetParam()), LayoutKind::kKrx);
+  ASSERT_TRUE(diversified.ok());
+  auto rows = MeasureAllRows(*diversified);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  for (size_t i = 0; i < rows->size(); ++i) {
+    EXPECT_EQ((*rows)[i].rax, (*base)[i].rax) << (*rows)[i].row;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KaslrSemantics, ::testing::Values(11, 22, 33, 44));
+
+TEST(FunctionPermutation, NoFunctionKeepsItsOffset) {
+  KernelSource src = MakeBaseSource();
+  auto a = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  auto b = CompileKernel(src, ProtectionConfig::DiversifyOnly(RaScheme::kNone, 77),
+                         LayoutKind::kKrx);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const PlacedSection* ta = (*a).image->FindSection(".text");
+  const PlacedSection* tb = (*b).image->FindSection(".text");
+  size_t same = 0, total = 0;
+  const SymbolTable& sa = (*a).image->symbols();
+  const SymbolTable& sb = (*b).image->symbols();
+  for (size_t i = 0; i < sa.size(); ++i) {
+    const Symbol& s = sa.at(static_cast<int32_t>(i));
+    if (!s.defined || s.kind != SymbolKind::kFunction) {
+      continue;
+    }
+    int32_t j = sb.Find(s.name);
+    if (j < 0 || !sb.at(j).defined) {
+      continue;
+    }
+    ++total;
+    if (s.address - ta->vaddr == sb.at(j).address - tb->vaddr) {
+      ++same;
+    }
+  }
+  EXPECT_GT(total, 50u);
+  EXPECT_EQ(same, 0u);
+}
+
+}  // namespace
+}  // namespace krx

@@ -1,0 +1,145 @@
+// On-disk .ko format: serialization round trips, malformed-image rejection,
+// and the full distribution flow (compile once, ship bytes, load into a
+// different kernel whose symbol table the image has never seen).
+#include <gtest/gtest.h>
+
+#include "src/cpu/cpu.h"
+#include "src/ir/builder.h"
+#include "src/kernel/ko_file.h"
+#include "src/plugin/pipeline.h"
+#include "src/workload/corpus.h"
+
+namespace krx {
+namespace {
+
+// Compiles a small protected module against its own private symbol table
+// (the "vendor build machine").
+struct VendorModule {
+  std::vector<uint8_t> ko;
+};
+
+VendorModule BuildVendorKo(const ProtectionConfig& config) {
+  SymbolTable vendor_symbols;
+  std::vector<Function> fns;
+  {
+    FunctionBuilder b("vend_helper");
+    b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 8)));
+    b.Emit(Instruction::AddRI(Reg::kRax, 5));
+    b.Emit(Instruction::Ret());
+    fns.push_back(b.Build());
+    vendor_symbols.Intern("vend_helper");
+  }
+  {
+    FunctionBuilder b("vend_entry");
+    b.Emit(Instruction::SubRI(Reg::kRsp, 8));
+    b.Emit(Instruction::CallSym(vendor_symbols.Intern("vend_helper")));
+    // Calls a *kernel* export it has never seen defined:
+    b.Emit(Instruction::MovRR(Reg::kRdi, Reg::kRax));
+    b.Emit(Instruction::CallSym(vendor_symbols.Intern("mov_ret_helper")));
+    b.Emit(Instruction::AddRI(Reg::kRsp, 8));
+    b.Emit(Instruction::Ret());
+    fns.push_back(b.Build());
+    vendor_symbols.Intern("vend_entry");
+  }
+  DataObject obj;
+  obj.name = "vend_config";
+  obj.kind = SectionKind::kData;
+  obj.bytes.assign(16, 0x42);
+  obj.pointer_slots.push_back({8, vendor_symbols.Intern("vend_entry"), 0});
+  auto mod = CompileModule("vendmod", std::move(fns), {obj}, vendor_symbols, config);
+  KRX_CHECK(mod.ok());
+  auto ko = SerializeModule(*mod, vendor_symbols);
+  KRX_CHECK(ko.ok());
+  return VendorModule{std::move(*ko)};
+}
+
+TEST(KoFile, RoundTripPreservesEverything) {
+  VendorModule vendor = BuildVendorKo(ProtectionConfig::Full(false, RaScheme::kEncrypt, 3));
+  SymbolTable target;
+  auto mod = ParseModule(vendor.ko, target);
+  ASSERT_TRUE(mod.ok()) << mod.status().ToString();
+  EXPECT_EQ(mod->name, "vendmod");
+  EXPECT_EQ(mod->text.functions.size(), 2u);
+  EXPECT_EQ(mod->xkey_bytes, 16u);  // two functions under encryption
+  EXPECT_EQ(mod->text_symbol_offsets.size(), 2u);
+  EXPECT_EQ(mod->data_objects.size(), 1u);
+  EXPECT_EQ(mod->data_objects[0].pointer_slots.size(), 1u);
+  EXPECT_FALSE(mod->text.relocs.empty());
+  // Symbol names were interned into the *target* namespace.
+  EXPECT_GE(target.Find("mov_ret_helper"), 0);
+  EXPECT_GE(target.Find("vend_entry"), 0);
+}
+
+TEST(KoFile, DistributionFlowEndToEnd) {
+  // Vendor ships bytes; a kR^X kernel that has never seen the vendor's
+  // symbol table loads and runs them.
+  VendorModule vendor = BuildVendorKo(ProtectionConfig::Full(false, RaScheme::kEncrypt, 3));
+  auto kernel = CompileKernel(MakeBaseSource(), ProtectionConfig::Full(false, RaScheme::kEncrypt, 4),
+                              LayoutKind::kKrx);
+  ASSERT_TRUE(kernel.ok());
+  auto mod = ParseModule(vendor.ko, kernel->image->symbols());
+  ASSERT_TRUE(mod.ok());
+  ModuleLoader loader(kernel->image.get());
+  auto handle = loader.Load(*mod);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+
+  Cpu cpu(kernel->image.get());
+  auto buf = kernel->image->AllocDataPages(1);
+  ASSERT_TRUE(buf.ok());
+  ASSERT_TRUE(kernel->image->Poke64(*buf + 8, 100).ok());
+  RunResult r = cpu.CallFunction("vend_entry", {*buf});
+  EXPECT_EQ(r.reason, StopReason::kReturned);
+  // vend_helper: [buf+8] + 5 = 105; mov_ret_helper echoes it.
+  EXPECT_EQ(r.rax, 105u);
+  // The module's data pointer slot got the loaded entry address.
+  auto cfg = kernel->image->symbols().AddressOf("vend_config");
+  auto entry = kernel->image->symbols().AddressOf("vend_entry");
+  ASSERT_TRUE(cfg.ok() && entry.ok());
+  auto slot = kernel->image->Peek64(*cfg + 8);
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ(*slot, *entry);
+}
+
+TEST(KoFile, RejectsBadMagic) {
+  VendorModule vendor = BuildVendorKo(ProtectionConfig::Vanilla());
+  vendor.ko[0] ^= 0xFF;
+  SymbolTable target;
+  auto mod = ParseModule(vendor.ko, target);
+  EXPECT_FALSE(mod.ok());
+  EXPECT_EQ(mod.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KoFile, RejectsTruncation) {
+  VendorModule vendor = BuildVendorKo(ProtectionConfig::Vanilla());
+  SymbolTable target;
+  for (size_t cut : {size_t{4}, vendor.ko.size() / 2, vendor.ko.size() - 3}) {
+    std::vector<uint8_t> truncated(vendor.ko.begin(),
+                                   vendor.ko.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(ParseModule(truncated, target).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(KoFile, RejectsTrailingGarbage) {
+  VendorModule vendor = BuildVendorKo(ProtectionConfig::Vanilla());
+  vendor.ko.push_back(0);
+  SymbolTable target;
+  EXPECT_FALSE(ParseModule(vendor.ko, target).ok());
+}
+
+TEST(KoFile, RejectsOutOfRangeRecords) {
+  VendorModule vendor = BuildVendorKo(ProtectionConfig::Vanilla());
+  SymbolTable scratch;
+  auto mod = ParseModule(vendor.ko, scratch);
+  ASSERT_TRUE(mod.ok());
+  // Corrupt a function record so it points past .text, re-serialize, parse.
+  mod->text.functions[0].offset = mod->text.bytes.size();
+  mod->text.functions[0].size = 64;
+  auto bad = SerializeModule(*mod, scratch);
+  ASSERT_TRUE(bad.ok());
+  SymbolTable target;
+  auto parsed = ParseModule(*bad, target);
+  EXPECT_FALSE(parsed.ok());
+}
+
+}  // namespace
+}  // namespace krx

@@ -1,0 +1,179 @@
+// Build-pipeline unit tests: config presets, error paths, edata computation,
+// determinism, and the alternate write-what-where exploitation path.
+#include <gtest/gtest.h>
+
+#include "src/attack/experiments.h"
+#include "src/attack/gadget_scanner.h"
+#include "src/ir/builder.h"
+#include "src/kernel/layout.h"
+#include "src/plugin/pipeline.h"
+#include "src/workload/corpus.h"
+#include "src/workload/harness.h"
+
+namespace krx {
+namespace {
+
+TEST(Config, Presets) {
+  EXPECT_FALSE(ProtectionConfig::Vanilla().HasRangeChecks());
+  EXPECT_TRUE(ProtectionConfig::SfiOnly(SfiLevel::kO0).HasRangeChecks());
+  EXPECT_TRUE(ProtectionConfig::MpxOnly().mpx);
+  ProtectionConfig d = ProtectionConfig::DiversifyOnly(RaScheme::kDecoy, 7);
+  EXPECT_TRUE(d.diversify);
+  EXPECT_EQ(d.ra, RaScheme::kDecoy);
+  EXPECT_FALSE(d.HasRangeChecks());
+  ProtectionConfig full = ProtectionConfig::Full(true, RaScheme::kEncrypt, 9);
+  EXPECT_TRUE(full.mpx && full.diversify);
+  EXPECT_EQ(full.sfi, SfiLevel::kO3);
+}
+
+TEST(Pipeline, EdataSitsBelowCodeBase) {
+  EXPECT_EQ(static_cast<uint64_t>(ComputeEdata(4096)), kKrxCodeBase - 4096);
+  EXPECT_LT(static_cast<uint64_t>(ComputeEdata(8192)),
+            static_cast<uint64_t>(ComputeEdata(4096)));
+  // Sign-extended imm32 must reach the value (-mcmodel=kernel).
+  int64_t edata = ComputeEdata(4096);
+  EXPECT_GE(edata, INT32_MIN);  // fits the check immediate after sign extension
+}
+
+TEST(Pipeline, RangeChecksRequireKrxLayout) {
+  KernelSource src = MakeBaseSource();
+  auto bad = CompileKernel(std::move(src), ProtectionConfig::SfiOnly(SfiLevel::kO3),
+                           LayoutKind::kVanilla);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Pipeline, DefaultHandlerInjectedWhenMissing) {
+  KernelSource src = MakeBaseSource();  // corpus has no krx_handler of its own
+  auto kernel = CompileKernel(std::move(src), ProtectionConfig::SfiOnly(SfiLevel::kO3),
+                              LayoutKind::kKrx);
+  ASSERT_TRUE(kernel.ok());
+  EXPECT_TRUE(kernel->image->symbols().AddressOf(kKrxHandlerName).ok());
+  EXPECT_TRUE(kernel->image->symbols().AddressOf("krx_violation_count").ok());
+  // The handler lives in the execute-only region like all code.
+  auto handler = kernel->image->symbols().AddressOf(kKrxHandlerName);
+  EXPECT_GE(*handler, kernel->image->krx_edata());
+}
+
+TEST(Pipeline, SameSeedBitIdenticalText) {
+  KernelSource src = MakeBaseSource();
+  auto a = CompileKernel(src, ProtectionConfig::Full(false, RaScheme::kDecoy, 123),
+                         LayoutKind::kKrx);
+  auto b = CompileKernel(src, ProtectionConfig::Full(false, RaScheme::kDecoy, 123),
+                         LayoutKind::kKrx);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const PlacedSection* ta = (*a).image->FindSection(".text");
+  const PlacedSection* tb = (*b).image->FindSection(".text");
+  ASSERT_EQ(ta->size, tb->size);
+  std::vector<uint8_t> ba(ta->size), bb(tb->size);
+  ASSERT_TRUE((*a).image->PeekBytes(ta->vaddr, ba.data(), ba.size()).ok());
+  ASSERT_TRUE((*b).image->PeekBytes(tb->vaddr, bb.data(), bb.size()).ok());
+  EXPECT_EQ(ba, bb);
+}
+
+TEST(Pipeline, StatsArePopulated) {
+  KernelSource src = MakeBenchSource(3);
+  auto kernel = CompileKernel(std::move(src), ProtectionConfig::Full(false, RaScheme::kDecoy, 3),
+                              LayoutKind::kKrx);
+  ASSERT_TRUE(kernel.ok());
+  const PipelineStats& st = kernel->stats;
+  EXPECT_GT(st.functions, 100u);
+  EXPECT_GT(st.instrumented_functions, 100u);
+  EXPECT_GT(st.sfi.checks_emitted, 100u);
+  EXPECT_GT(st.kaslr.total_chunks, 500u);
+  EXPECT_GT(st.decoy.call_sites, 50u);
+  EXPECT_GE(st.kaslr.min_entropy_bits, 30.0);
+  EXPECT_GE(st.phantom_guard_size, kPageSize);
+}
+
+TEST(Pipeline, GuardGrowsWithRspDisplacement) {
+  KernelSource src = MakeBaseSource();
+  {
+    FunctionBuilder b("big_frame_reader");
+    b.Emit(Instruction::SubRI(Reg::kRsp, 8192));
+    b.Emit(Instruction::MovRI(Reg::kRcx, 1));
+    b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsp, 6000), Reg::kRcx));
+    b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRsp, 6000)));
+    b.Emit(Instruction::AddRI(Reg::kRsp, 8192));
+    b.Emit(Instruction::Ret());
+    src.functions.push_back(b.Build());
+    src.symbols.Intern("big_frame_reader");
+  }
+  auto kernel = CompileKernel(std::move(src), ProtectionConfig::SfiOnly(SfiLevel::kO3),
+                              LayoutKind::kKrx);
+  ASSERT_TRUE(kernel.ok());
+  // The guard must exceed the 6000-byte stack-read displacement.
+  EXPECT_GE(kernel->stats.phantom_guard_size, 6000u);
+  const PlacedSection* guard = kernel->image->FindSection(".krx_phantom");
+  ASSERT_NE(guard, nullptr);
+  EXPECT_GE(guard->mapped_size, 8192u);  // two pages
+  // And the function runs cleanly under enforcement.
+  Cpu cpu(kernel->image.get());
+  RunResult r = cpu.CallFunction("big_frame_reader", {});
+  EXPECT_EQ(r.reason, StopReason::kReturned);
+  EXPECT_EQ(r.rax, 1u);
+}
+
+TEST(Pipeline, WriteWhatWhereChainOnVanilla) {
+  // The alternate escalation path: instead of calling commit_creds, reuse
+  // [pop rdi; ret] + [pop rsi; ret] + [mov %rsi,(%rdi); ret] to write the
+  // root credential directly — and verify diversification breaks it too.
+  KernelSource src = MakeBenchSource(17);
+  auto vanilla = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  ASSERT_TRUE(vanilla.ok());
+  ExploitLab lab(&*vanilla);
+
+  std::vector<uint8_t> text = lab.DumpText();
+  GadgetScanner scanner;
+  auto gadgets = scanner.Scan(text.data(), text.size(), lab.TextBase());
+  auto pop_rdi = GadgetScanner::FindPopReg(gadgets, Reg::kRdi);
+  auto pop_rsi = GadgetScanner::FindPopReg(gadgets, Reg::kRsi);
+  auto store = GadgetScanner::FindStore(gadgets, Reg::kRdi, Reg::kRsi);
+  ASSERT_TRUE(pop_rdi && pop_rsi && store);
+  auto cred = vanilla->image->symbols().AddressOf(kCurrentCredName);
+  ASSERT_TRUE(cred.ok());
+
+  lab.ResetCreds();
+  std::vector<uint64_t> chain = {pop_rdi->address, *cred,        pop_rsi->address,
+                                 kRootCred,        store->address, Cpu::kReturnSentinel};
+  lab.RunRopChain(chain);
+  EXPECT_TRUE(lab.IsRoot());
+
+  // The same chain against a diversified build fails.
+  auto hardened = CompileKernel(src, ProtectionConfig::Full(false, RaScheme::kEncrypt, 17),
+                                LayoutKind::kKrx);
+  ASSERT_TRUE(hardened.ok());
+  ExploitLab target(&*hardened);
+  target.ResetCreds();
+  target.RunRopChain(chain);
+  EXPECT_FALSE(target.IsRoot());
+}
+
+TEST(Pipeline, ModuleCompilationSharesHandler) {
+  KernelSource src = MakeBaseSource();
+  auto kernel = CompileKernel(std::move(src), ProtectionConfig::SfiOnly(SfiLevel::kO3),
+                              LayoutKind::kKrx);
+  ASSERT_TRUE(kernel.ok());
+  // Module instrumentation binds its violation branch to the *kernel's*
+  // krx_handler symbol (eager binding at load).
+  std::vector<Function> fns;
+  FunctionBuilder b("m_read");
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 0)));
+  b.Emit(Instruction::Ret());
+  fns.push_back(b.Build());
+  kernel->image->symbols().Intern("m_read");
+  auto mod = CompileModule("m", std::move(fns), {}, kernel->image->symbols(),
+                           ProtectionConfig::SfiOnly(SfiLevel::kO3));
+  ASSERT_TRUE(mod.ok());
+  bool references_handler = false;
+  int32_t handler = kernel->image->symbols().Find(kKrxHandlerName);
+  for (const Reloc& r : mod->text.relocs) {
+    if (r.symbol == handler) {
+      references_handler = true;
+    }
+  }
+  EXPECT_TRUE(references_handler);
+}
+
+}  // namespace
+}  // namespace krx

@@ -1,0 +1,328 @@
+// Unit and property tests of the kR^X-SFI / kR^X-MPX instrumentation pass.
+#include <gtest/gtest.h>
+
+#include "src/attack/disclosure.h"
+#include "src/attack/experiments.h"
+#include "src/cpu/cpu.h"
+#include "src/ir/builder.h"
+#include "src/plugin/pipeline.h"
+#include "src/workload/corpus.h"
+#include "src/workload/fig2.h"
+#include "src/workload/harness.h"
+
+namespace krx {
+namespace {
+
+constexpr int64_t kEdata = 0x7FFF0000;
+
+struct PassResult {
+  Function fn;
+  SfiStats stats;
+};
+
+PassResult Apply(Function fn, SfiLevel level, bool mpx = false) {
+  SymbolTable symbols;
+  int32_t handler = symbols.Intern(kKrxHandlerName);
+  ProtectionConfig config;
+  config.sfi = level;
+  config.mpx = mpx;
+  SfiStats stats;
+  KRX_CHECK_OK(ApplySfiPass(fn, config, handler, kEdata, &stats));
+  return {std::move(fn), stats};
+}
+
+size_t CountOp(const Function& fn, Opcode op) {
+  size_t n = 0;
+  for (const BasicBlock& b : fn.blocks()) {
+    for (const Instruction& inst : b.insts) {
+      if (inst.op == op) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+// ---- The Figure 2 regression: exact structure at each level. ----
+
+TEST(SfiPass, Fig2O0WrapsEveryCheck) {
+  PassResult r = Apply(MakeFig2Function(), SfiLevel::kO0);
+  EXPECT_EQ(r.stats.checks_emitted, 3u);
+  EXPECT_EQ(r.stats.wrappers_kept, 3u);
+  EXPECT_EQ(CountOp(r.fn, Opcode::kPushfq), 3u);
+  EXPECT_EQ(CountOp(r.fn, Opcode::kPopfq), 3u);
+  EXPECT_EQ(CountOp(r.fn, Opcode::kLea), 3u);
+}
+
+TEST(SfiPass, Fig2O1KeepsOnlyRc2Wrapper) {
+  // Only the check between cmpl and jg needs %rflags preserved.
+  PassResult r = Apply(MakeFig2Function(), SfiLevel::kO1);
+  EXPECT_EQ(r.stats.wrappers_kept, 1u);
+  EXPECT_EQ(r.stats.wrappers_eliminated, 2u);
+  EXPECT_EQ(CountOp(r.fn, Opcode::kPushfq), 1u);
+}
+
+TEST(SfiPass, Fig2O2EliminatesAllLeas) {
+  PassResult r = Apply(MakeFig2Function(), SfiLevel::kO2);
+  EXPECT_EQ(r.stats.lea_eliminated, 3u);
+  EXPECT_EQ(r.stats.lea_kept, 0u);
+  EXPECT_EQ(CountOp(r.fn, Opcode::kLea), 0u);
+  // cmp $(edata - disp), %rsi form.
+  bool found = false;
+  for (const BasicBlock& b : r.fn.blocks()) {
+    for (const Instruction& inst : b.insts) {
+      if (inst.IsRangeCheck() && inst.op == Opcode::kCmpRI && inst.r1 == Reg::kRsi &&
+          inst.imm == kEdata - 0x154) {
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SfiPass, Fig2O3CoalescesToSingleMaxDispCheck) {
+  PassResult r = Apply(MakeFig2Function(), SfiLevel::kO3);
+  EXPECT_EQ(r.stats.checks_emitted, 1u);
+  EXPECT_EQ(r.stats.checks_coalesced, 2u);
+  // The surviving check compares against edata - 0x154 (max displacement).
+  size_t checks = 0;
+  for (const BasicBlock& b : r.fn.blocks()) {
+    for (const Instruction& inst : b.insts) {
+      if (inst.IsRangeCheck() && inst.op == Opcode::kCmpRI) {
+        ++checks;
+        EXPECT_EQ(inst.imm, kEdata - 0x154);
+      }
+    }
+  }
+  EXPECT_EQ(checks, 1u);
+}
+
+TEST(SfiPass, Fig2MpxSingleBndcu) {
+  PassResult r = Apply(MakeFig2Function(), SfiLevel::kO3, /*mpx=*/true);
+  EXPECT_EQ(CountOp(r.fn, Opcode::kBndcu), 1u);
+  EXPECT_EQ(CountOp(r.fn, Opcode::kPushfq), 0u);
+  EXPECT_EQ(CountOp(r.fn, Opcode::kLea), 0u);
+  EXPECT_EQ(CountOp(r.fn, Opcode::kCallRel), 0u);  // no handler call: #BR traps
+  for (const BasicBlock& b : r.fn.blocks()) {
+    for (const Instruction& inst : b.insts) {
+      if (inst.op == Opcode::kBndcu) {
+        EXPECT_EQ(inst.mem.base, Reg::kRsi);
+        EXPECT_EQ(inst.mem.disp, 0x154);
+      }
+    }
+  }
+}
+
+// ---- Exemptions. ----
+
+TEST(SfiPass, SafeAndRspReadsNotChecked) {
+  FunctionBuilder b("f");
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::RipRel(0x100)));         // safe
+  b.Emit(Instruction::Load(Reg::kRbx, MemOperand::Absolute(0x4000)));      // safe
+  b.Emit(Instruction::Load(Reg::kRcx, MemOperand::Base(Reg::kRsp, 24)));   // guard-covered
+  b.Emit(Instruction::Ret());
+  PassResult r = Apply(b.Build(), SfiLevel::kO3);
+  EXPECT_EQ(r.stats.checks_emitted, 0u);
+  EXPECT_EQ(r.stats.safe_reads, 2u);
+  EXPECT_EQ(r.stats.rsp_reads, 1u);
+  EXPECT_EQ(r.stats.max_rsp_disp, 24);
+}
+
+TEST(SfiPass, RspWithIndexIsChecked) {
+  FunctionBuilder b("f");
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::BaseIndex(Reg::kRsp, Reg::kRdi, 8, 0)));
+  b.Emit(Instruction::Ret());
+  PassResult r = Apply(b.Build(), SfiLevel::kO3);
+  EXPECT_EQ(r.stats.checks_emitted, 1u);
+  EXPECT_EQ(r.stats.lea_kept, 1u);  // indexed => lea form even at O3
+}
+
+// ---- String operations. ----
+
+TEST(SfiPass, RepStringCheckedAfterNonRepBefore) {
+  FunctionBuilder b("f");
+  b.Emit(Instruction::Movsq(/*rep=*/true));
+  b.Emit(Instruction::Lodsq(/*rep=*/false));
+  b.Emit(Instruction::Scasq(/*rep=*/true));
+  b.Emit(Instruction::Ret());
+  PassResult r = Apply(b.Build(), SfiLevel::kO3);
+  EXPECT_EQ(r.stats.string_checks, 3u);
+  const auto& insts = r.fn.blocks()[0].insts;
+  // rep movsq: check after; lodsq: check before; rep scasq: check after.
+  std::vector<Opcode> ops;
+  for (const Instruction& inst : insts) {
+    ops.push_back(inst.op);
+  }
+  // Expected: movsq, [cmp ja], [cmp ja], lodsq, scasq, [cmp ja](on rdi), ret
+  ASSERT_GE(ops.size(), 3u);
+  EXPECT_EQ(ops[0], Opcode::kMovsq);  // the rep op comes first, check follows
+  // Find scas check: must compare %rdi.
+  bool rdi_check = false;
+  for (const Instruction& inst : insts) {
+    if (inst.IsRangeCheck() && inst.op == Opcode::kCmpRI && inst.r1 == Reg::kRdi) {
+      rdi_check = true;
+    }
+  }
+  EXPECT_TRUE(rdi_check);
+}
+
+// ---- Coalescing safety. ----
+
+TEST(SfiPass, RedefinitionBlocksCoalescing) {
+  FunctionBuilder b("f");
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 8)));
+  b.Emit(Instruction::AddRI(Reg::kRdi, 64));  // redefines the base
+  b.Emit(Instruction::Load(Reg::kRbx, MemOperand::Base(Reg::kRdi, 16)));
+  b.Emit(Instruction::Ret());
+  PassResult r = Apply(b.Build(), SfiLevel::kO3);
+  EXPECT_EQ(r.stats.checks_emitted, 2u);
+  EXPECT_EQ(r.stats.checks_coalesced, 0u);
+}
+
+TEST(SfiPass, SpillBlocksCoalescing) {
+  FunctionBuilder b("f");
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 8)));
+  b.Emit(Instruction::Store(MemOperand::Base(Reg::kRsp, 0), Reg::kRdi));  // spill
+  b.Emit(Instruction::Load(Reg::kRbx, MemOperand::Base(Reg::kRdi, 16)));
+  b.Emit(Instruction::Ret());
+  PassResult r = Apply(b.Build(), SfiLevel::kO3);
+  EXPECT_EQ(r.stats.checks_coalesced, 0u);
+}
+
+TEST(SfiPass, CallBlocksCoalescing) {
+  FunctionBuilder b("f");
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 8)));
+  b.Emit(Instruction::CallSym(0));
+  b.Emit(Instruction::Load(Reg::kRbx, MemOperand::Base(Reg::kRdi, 16)));
+  b.Emit(Instruction::Ret());
+  PassResult r = Apply(b.Build(), SfiLevel::kO3);
+  EXPECT_EQ(r.stats.checks_coalesced, 0u);
+}
+
+TEST(SfiPass, CoalescesAcrossDiamondWhenCheckedOnAllPaths) {
+  // Both branch arms check %rdi; the join's read coalesces away.
+  FunctionBuilder b("f");
+  int32_t join = b.ReserveBlock();
+  int32_t arm = b.ReserveBlock();
+  b.Emit(Instruction::CmpRI(Reg::kRsi, 0));
+  b.Emit(Instruction::JccBlock(Cond::kE, arm));
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 8)));
+  b.Emit(Instruction::JmpBlock(join));
+  b.Bind(arm);
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 16)));
+  b.Bind(join);
+  b.Emit(Instruction::Load(Reg::kRbx, MemOperand::Base(Reg::kRdi, 24)));
+  b.Emit(Instruction::Ret());
+  PassResult r = Apply(b.Build(), SfiLevel::kO3);
+  EXPECT_EQ(r.stats.checks_emitted, 2u);
+  EXPECT_EQ(r.stats.checks_coalesced, 1u);
+  // Both surviving checks were raised to the join's displacement (24).
+  for (const BasicBlock& blk : r.fn.blocks()) {
+    for (const Instruction& inst : blk.insts) {
+      if (inst.IsRangeCheck() && inst.op == Opcode::kCmpRI && inst.r1 == Reg::kRdi) {
+        EXPECT_EQ(inst.imm, kEdata - 24);
+      }
+    }
+  }
+}
+
+TEST(SfiPass, NoCoalescingAcrossPartialPaths) {
+  // Only one arm checks %rdi: the join must keep its own check.
+  FunctionBuilder b("f");
+  int32_t join = b.ReserveBlock();
+  int32_t arm = b.ReserveBlock();
+  b.Emit(Instruction::CmpRI(Reg::kRsi, 0));
+  b.Emit(Instruction::JccBlock(Cond::kE, arm));
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 8)));
+  b.Emit(Instruction::JmpBlock(join));
+  b.Bind(arm);
+  b.Emit(Instruction::MovRI(Reg::kRax, 0));  // no check on this path
+  b.Bind(join);
+  b.Emit(Instruction::Load(Reg::kRbx, MemOperand::Base(Reg::kRdi, 24)));
+  b.Emit(Instruction::Ret());
+  PassResult r = Apply(b.Build(), SfiLevel::kO3);
+  EXPECT_EQ(r.stats.checks_emitted, 2u);
+  EXPECT_EQ(r.stats.checks_coalesced, 0u);
+}
+
+TEST(SfiPass, LoopHeaderChecksStay) {
+  // A check inside a loop cannot be absorbed by a pre-loop check.
+  FunctionBuilder b("f");
+  int32_t loop = b.ReserveBlock();
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 8)));
+  b.Bind(loop);
+  b.Emit(Instruction::Load(Reg::kRbx, MemOperand::Base(Reg::kRdi, 16)));
+  b.Emit(Instruction::SubRI(Reg::kRcx, 1));
+  b.Emit(Instruction::JccBlock(Cond::kNe, loop));
+  b.Emit(Instruction::Ret());
+  PassResult r = Apply(b.Build(), SfiLevel::kO3);
+  EXPECT_EQ(r.stats.checks_emitted, 2u);
+}
+
+// ---- Dynamic enforcement properties. ----
+
+class EnforcementSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnforcementSweep, AdversarialBaseRegistersAreAlwaysCaught) {
+  // Build a full kernel under each level; call the leak routine with
+  // addresses around every interesting boundary and verify reads above
+  // _krx_edata never survive.
+  const SfiLevel level = static_cast<SfiLevel>(GetParam());
+  KernelSource src = MakeBaseSource();
+  ProtectionConfig config;
+  config.sfi = level == SfiLevel::kNone ? SfiLevel::kO3 : level;
+  config.mpx = level == SfiLevel::kNone;  // param 0 exercises the MPX flavour
+  auto kernel = CompileKernel(std::move(src), config, LayoutKind::kKrx);
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  CpuOptions opts;
+  opts.mpx_enabled = config.mpx;
+  Cpu cpu(kernel->image.get(), CostModel(), opts);
+  uint64_t edata = kernel->image->krx_edata();
+  auto leak = kernel->image->symbols().AddressOf(kLeakSymbolName);
+  ASSERT_TRUE(leak.ok());
+
+  const PlacedSection* text = kernel->image->FindSection(".text");
+  const uint64_t probes[] = {
+      text->vaddr, text->vaddr + 1,  text->vaddr + text->size - 8,
+      edata + 8,   kKrxCodeBase + 8, edata + (1ULL << 20),
+  };
+  for (uint64_t addr : probes) {
+    RunResult r = cpu.CallFunction(*leak, {addr});
+    bool stopped = r.krx_violation ||
+                   (r.reason == StopReason::kException &&
+                    r.exception == ExceptionKind::kBoundRange);
+    EXPECT_TRUE(stopped) << "read of 0x" << std::hex << addr << " above edata survived";
+  }
+  // And reads below edata still work.
+  auto cred = kernel->image->symbols().AddressOf(kCurrentCredName);
+  ASSERT_TRUE(cred.ok());
+  RunResult ok = cpu.CallFunction(*leak, {*cred});
+  EXPECT_EQ(ok.reason, StopReason::kReturned);
+}
+
+std::string LevelName(const ::testing::TestParamInfo<int>& param_info) {
+  static const char* const kNames[] = {"MPX", "O0", "O1", "O2", "O3"};
+  return kNames[param_info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, EnforcementSweep, ::testing::Values(0, 1, 2, 3, 4), LevelName);
+
+TEST(SfiPass, ExemptFunctionsSkipped) {
+  KernelSource src = MakeBaseSource();
+  ProtectionConfig config = ProtectionConfig::SfiOnly(SfiLevel::kO3);
+  config.exempt_functions.insert(kLeakSymbolName);  // pretend it's a cloned memcpy
+  auto kernel = CompileKernel(std::move(src), config, LayoutKind::kKrx);
+  ASSERT_TRUE(kernel.ok());
+  Cpu cpu(kernel->image.get());
+  auto leak = kernel->image->symbols().AddressOf(kLeakSymbolName);
+  ASSERT_TRUE(leak.ok());
+  const PlacedSection* text = kernel->image->FindSection(".text");
+  // The exempt routine can read code (that is what the ftrace/kprobes
+  // clones are for).
+  RunResult r = cpu.CallFunction(*leak, {text->vaddr});
+  EXPECT_EQ(r.reason, StopReason::kReturned);
+  EXPECT_FALSE(r.krx_violation);
+}
+
+}  // namespace
+}  // namespace krx

@@ -1,0 +1,149 @@
+// §6 "Legitimate Code Reads": ftrace/KProbes-style code access through
+// exempt clones coexists with R^X enforcement on everything else.
+#include <gtest/gtest.h>
+
+#include "src/attack/gadget_scanner.h"
+#include "src/cpu/cpu.h"
+#include "src/isa/encoding.h"
+#include "src/plugin/pipeline.h"
+#include "src/workload/corpus.h"
+
+namespace krx {
+namespace {
+
+struct Env {
+  CompiledKernel kernel;
+  std::unique_ptr<Cpu> cpu;
+  uint64_t buf = 0;
+};
+
+Env MakeEnv() {
+  ProtectionConfig config = ProtectionConfig::Full(false, RaScheme::kEncrypt, 3);
+  config.exempt_functions = DefaultExemptFunctions();
+  auto kernel = CompileKernel(MakeBaseSource(), config, LayoutKind::kKrx);
+  KRX_CHECK(kernel.ok());
+  Env env{std::move(*kernel), nullptr, 0};
+  env.cpu = std::make_unique<Cpu>(env.kernel.image.get());
+  auto buf = env.kernel.image->AllocDataPages(1);
+  KRX_CHECK(buf.ok());
+  env.buf = *buf;
+  return env;
+}
+
+TEST(Tracing, KprobeFetchReadsCodeThroughTheClone) {
+  Env env = MakeEnv();
+  auto probe_target = env.kernel.image->symbols().AddressOf("commit_creds");
+  ASSERT_TRUE(probe_target.ok());
+  RunResult r = env.cpu->CallFunction("kprobe_fetch_insn", {env.buf, *probe_target});
+  EXPECT_EQ(r.reason, StopReason::kReturned);
+  EXPECT_FALSE(r.krx_violation);
+  // The fetched bytes decode as the probed function's first instruction.
+  uint8_t fetched[16];
+  ASSERT_TRUE(env.kernel.image->PeekBytes(env.buf, fetched, sizeof(fetched)).ok());
+  uint8_t original[16];
+  ASSERT_TRUE(env.kernel.image->PeekBytes(*probe_target, original, sizeof(original)).ok());
+  EXPECT_EQ(memcmp(fetched, original, 16), 0);
+  auto dec = DecodeInstruction(fetched, sizeof(fetched), 0);
+  EXPECT_TRUE(dec.ok());
+}
+
+TEST(Tracing, InstrumentedMemcpyDiesOnCode) {
+  Env env = MakeEnv();
+  const PlacedSection* text = env.kernel.image->FindSection(".text");
+  RunResult r = env.cpu->CallFunction("krx_memcpy", {env.buf, text->vaddr, 2});
+  EXPECT_TRUE(r.krx_violation);
+}
+
+TEST(Tracing, InstrumentedMemcpyWorksOnData) {
+  Env env = MakeEnv();
+  ASSERT_TRUE(env.kernel.image->Poke64(env.buf + 256, 0xBEEF).ok());
+  RunResult r = env.cpu->CallFunction("krx_memcpy", {env.buf, env.buf + 256, 1});
+  EXPECT_EQ(r.reason, StopReason::kReturned);
+  auto v = env.kernel.image->Peek64(env.buf);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 0xBEEFu);
+}
+
+TEST(Tracing, CloneIsNotReachableThroughTheSyscallTable) {
+  // §6: "care was taken to ensure that none of them is leaked through
+  // function pointers" — the corpus's syscall table must not expose the
+  // exempt clone.
+  KernelSource src = MakeBaseSource();
+  int32_t clone_sym = src.symbols.Find("krx_memcpy_clone");
+  ASSERT_GE(clone_sym, 0);
+  for (const DataObject& obj : src.data_objects) {
+    for (const auto& slot : obj.pointer_slots) {
+      EXPECT_NE(slot.symbol, clone_sym) << "clone leaked through " << obj.name;
+    }
+  }
+}
+
+TEST(ExTable, PlacedInCodeRegionAndUnharvestable) {
+  // Footnote 5: code-pointer-bearing tables live above _krx_edata. Reading
+  // them through the disclosure bug triggers the R^X machinery; on a
+  // vanilla kernel the same table is free to harvest.
+  Env env = MakeEnv();
+  const PlacedSection* extable = env.kernel.image->FindSection("__ex_table");
+  ASSERT_NE(extable, nullptr);
+  EXPECT_GE(extable->vaddr, env.kernel.image->krx_edata());
+  auto leak = env.kernel.image->symbols().AddressOf("debugfs_leak_read");
+  ASSERT_TRUE(leak.ok());
+  RunResult r = env.cpu->CallFunction(*leak, {extable->vaddr});
+  EXPECT_TRUE(r.krx_violation);
+
+  auto vanilla = CompileKernel(MakeBaseSource(), ProtectionConfig::Vanilla(),
+                               LayoutKind::kVanilla);
+  ASSERT_TRUE(vanilla.ok());
+  Cpu vcpu(vanilla->image.get());
+  const PlacedSection* vex = (*vanilla).image->FindSection("__ex_table");
+  ASSERT_NE(vex, nullptr);
+  auto vleak = (*vanilla).image->symbols().AddressOf("debugfs_leak_read");
+  ASSERT_TRUE(vleak.ok());
+  RunResult vr = vcpu.CallFunction(*vleak, {vex->vaddr});
+  EXPECT_EQ(vr.reason, StopReason::kReturned);
+  // The harvested value is a genuine function pointer.
+  auto util0 = (*vanilla).image->symbols().AddressOf("util_0");
+  ASSERT_TRUE(util0.ok());
+  EXPECT_EQ(vr.rax, *util0);
+}
+
+TEST(ExTable, NotExecutable) {
+  // The table is in the code region but marked NX: jumping into it faults.
+  Env env = MakeEnv();
+  const PlacedSection* extable = env.kernel.image->FindSection("__ex_table");
+  ASSERT_NE(extable, nullptr);
+  RunResult r = env.cpu->RunAt(extable->vaddr, 4);
+  EXPECT_EQ(r.reason, StopReason::kException);
+  EXPECT_EQ(r.exception, ExceptionKind::kPageFault);
+}
+
+TEST(JopGadgets, ScannerFindsIndirectBranchGadgets) {
+  Env env = MakeEnv();
+  const PlacedSection* text = env.kernel.image->FindSection(".text");
+  std::vector<uint8_t> bytes(text->size);
+  ASSERT_TRUE(env.kernel.image->PeekBytes(text->vaddr, bytes.data(), bytes.size()).ok());
+  GadgetScanner scanner;
+  auto jop = scanner.ScanJop(bytes.data(), bytes.size(), text->vaddr);
+  // The decoy-free encrypted build still has jmp*/callq* material (decoy
+  // epilogues are absent, but dispatch gadgets arise from unaligned decode).
+  EXPECT_FALSE(jop.empty());
+  for (const Gadget& g : jop) {
+    EXPECT_EQ(g.kind, GadgetKind::kJop);
+    Opcode last = g.insts.back().op;
+    EXPECT_TRUE(last == Opcode::kJmpR || last == Opcode::kJmpM || last == Opcode::kCallR ||
+                last == Opcode::kCallM);
+  }
+}
+
+TEST(JopGadgets, RxDeniesJopHarvestingToo) {
+  // JOP is mitigated the same way as ROP: the gadget discovery read dies.
+  Env env = MakeEnv();
+  auto leak = env.kernel.image->symbols().AddressOf("debugfs_leak_read");
+  ASSERT_TRUE(leak.ok());
+  const PlacedSection* text = env.kernel.image->FindSection(".text");
+  RunResult r = env.cpu->CallFunction(*leak, {text->vaddr + 128});
+  EXPECT_TRUE(r.krx_violation);
+}
+
+}  // namespace
+}  // namespace krx

@@ -1,0 +1,147 @@
+// Workload substrate: corpus structure, op generator determinism, the
+// LMBench/Phoronix row tables, and cross-variant semantic equivalence as a
+// property sweep over randomized op profiles.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/workload/corpus.h"
+#include "src/workload/harness.h"
+#include "src/workload/phoronix.h"
+
+namespace krx {
+namespace {
+
+TEST(Corpus, ExportsTheAttackContract) {
+  KernelSource src = MakeBaseSource();
+  for (const char* sym : {"commit_creds", "debugfs_leak_read", "sys_deep_call"}) {
+    EXPECT_GE(src.symbols.Find(sym), 0) << sym;
+  }
+  bool has_cred = false, has_table = false;
+  for (const DataObject& obj : src.data_objects) {
+    has_cred |= obj.name == "current_cred";
+    if (obj.name == "sys_call_table") {
+      has_table = true;
+      ASSERT_FALSE(obj.pointer_slots.empty());
+      // Slot 0 is commit_creds (the attack contract).
+      EXPECT_EQ(obj.pointer_slots[0].offset, 0u);
+      EXPECT_EQ(obj.pointer_slots[0].symbol, src.symbols.Find("commit_creds"));
+    }
+  }
+  EXPECT_TRUE(has_cred);
+  EXPECT_TRUE(has_table);
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  KernelSource a = MakeBaseSource();
+  KernelSource b = MakeBaseSource();
+  ASSERT_EQ(a.functions.size(), b.functions.size());
+  for (size_t i = 0; i < a.functions.size(); ++i) {
+    EXPECT_EQ(a.functions[i].ToString(), b.functions[i].ToString());
+  }
+}
+
+TEST(LmbenchTable, TwentyThreeRowsElevenColumns) {
+  const auto& rows = LmbenchRows();
+  EXPECT_EQ(rows.size(), 23u);
+  size_t bandwidth = 0;
+  for (const auto& row : rows) {
+    if (row.bandwidth) {
+      ++bandwidth;
+    }
+  }
+  EXPECT_EQ(bandwidth, 5u);  // Table 1's bandwidth section
+  EXPECT_EQ(static_cast<int>(kNumTable1Columns), 11);
+}
+
+TEST(PhoronixTable, ElevenRowsSixColumns) {
+  const auto& rows = PhoronixRows();
+  EXPECT_EQ(rows.size(), 11u);
+  EXPECT_EQ(static_cast<int>(kNumTable2Columns), 6);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.kernel_fraction, 0.0);
+    EXPECT_LE(row.kernel_fraction, 0.83 + 1e-9);  // PostMark is the max
+    EXPECT_FALSE(row.ops.empty());
+  }
+}
+
+TEST(Harness, ColumnsMatchTable1Names) {
+  auto cols = Table1Columns(1);
+  ASSERT_EQ(cols.size(), static_cast<size_t>(kNumTable1Columns));
+  for (size_t i = 0; i < cols.size(); ++i) {
+    EXPECT_EQ(cols[i].name, kTable1ColumnNames[i]);
+  }
+}
+
+TEST(OpBuffer, DeterministicContents) {
+  KernelSource src = MakeBaseSource();
+  auto a = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  auto b = CompileKernel(src, ProtectionConfig::Full(false, RaScheme::kEncrypt, 3),
+                         LayoutKind::kKrx);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto buf_a = SetUpOpBuffer(*(*a).image, 42);
+  auto buf_b = SetUpOpBuffer(*(*b).image, 42);
+  ASSERT_TRUE(buf_a.ok() && buf_b.ok());
+  for (uint64_t off = 0; off < 256; off += 8) {
+    auto va = (*a).image->Peek64(*buf_a + off);
+    auto vb = (*b).image->Peek64(*buf_b + off);
+    ASSERT_TRUE(va.ok() && vb.ok());
+    EXPECT_EQ(*va, *vb);
+  }
+}
+
+// Property sweep: randomized op profiles must compute identical results on
+// the vanilla build and under full protection (both RA schemes), while the
+// protected build never fires a spurious violation.
+class RandomOpEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomOpEquivalence, ProtectedVariantsMatchVanilla) {
+  Rng rng(GetParam());
+  KernelSource src = MakeBaseSource();
+  std::vector<std::string> ops;
+  for (int i = 0; i < 4; ++i) {
+    OpProfile p;
+    p.name = "rand" + std::to_string(GetParam()) + "_" + std::to_string(i);
+    p.loop_iters = 1 + static_cast<int>(rng.NextBelow(6));
+    p.coalescible_reads = static_cast<int>(rng.NextBelow(10));
+    p.chased_reads = static_cast<int>(rng.NextBelow(8));
+    p.indexed_reads = static_cast<int>(rng.NextBelow(3));
+    p.flagful_reads = static_cast<int>(rng.NextBelow(3));
+    p.writes = static_cast<int>(rng.NextBelow(4));
+    p.alu = static_cast<int>(rng.NextBelow(8));
+    p.rsp_reads = static_cast<int>(rng.NextBelow(3));
+    p.calls = static_cast<int>(rng.NextBelow(3));
+    p.leaf_depth = p.calls > 0 ? 1 + static_cast<int>(rng.NextBelow(3)) : 0;
+    p.rep_movs_qwords = rng.NextBool(0.3) ? 32 : 0;
+    p.rep_stos_qwords = rng.NextBool(0.3) ? 16 : 0;
+    p.tail_call_leaf = p.leaf_depth > 0 && rng.NextBool(0.2);
+    ops.push_back("sys_" + EmitKernelOp(&src, p).substr(4));
+  }
+
+  auto vanilla = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  ASSERT_TRUE(vanilla.ok());
+  Cpu vcpu(vanilla->image.get());
+  auto vbuf = SetUpOpBuffer(*vanilla->image, GetParam());
+  ASSERT_TRUE(vbuf.ok());
+
+  for (RaScheme scheme : {RaScheme::kEncrypt, RaScheme::kDecoy}) {
+    auto prot = CompileKernel(src, ProtectionConfig::Full(false, scheme, GetParam()),
+                              LayoutKind::kKrx);
+    ASSERT_TRUE(prot.ok());
+    Cpu pcpu(prot->image.get());
+    auto pbuf = SetUpOpBuffer(*prot->image, GetParam());
+    ASSERT_TRUE(pbuf.ok());
+    for (const std::string& op : ops) {
+      auto vm = MeasureOp(vcpu, *vbuf, op);
+      auto pm = MeasureOp(pcpu, *pbuf, op);
+      ASSERT_TRUE(vm.ok()) << op << ": " << vm.status().ToString();
+      ASSERT_TRUE(pm.ok()) << op << ": " << pm.status().ToString();
+      EXPECT_EQ(vm->rax, pm->rax) << op;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomOpEquivalence,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace krx

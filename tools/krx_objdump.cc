@@ -1,0 +1,160 @@
+// krx-objdump: build the bench corpus kernel under a chosen protection
+// config and inspect it — sections, symbols, per-function disassembly and a
+// gadget census. The reproduction's answer to `objdump -d vmlinux`.
+//
+// Usage:
+//   krx_objdump [config] [function ...]
+//     config: vanilla | sfi-o0..sfi-o3 | mpx | d | x | sfi+d | sfi+x |
+//             mpx+d | mpx+x          (default: sfi+x)
+//     function: names to disassemble (default: a small showcase set)
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/attack/gadget_scanner.h"
+#include "src/isa/encoding.h"
+#include "src/workload/harness.h"
+
+namespace krx {
+namespace {
+
+bool ParseConfig(const std::string& name, ProtectionConfig* config, LayoutKind* layout) {
+  const uint64_t seed = 0xD15A;
+  *layout = LayoutKind::kKrx;
+  if (name == "vanilla") {
+    *config = ProtectionConfig::Vanilla();
+    *layout = LayoutKind::kVanilla;
+  } else if (name == "sfi-o0") {
+    *config = ProtectionConfig::SfiOnly(SfiLevel::kO0);
+  } else if (name == "sfi-o1") {
+    *config = ProtectionConfig::SfiOnly(SfiLevel::kO1);
+  } else if (name == "sfi-o2") {
+    *config = ProtectionConfig::SfiOnly(SfiLevel::kO2);
+  } else if (name == "sfi-o3" || name == "sfi") {
+    *config = ProtectionConfig::SfiOnly(SfiLevel::kO3);
+  } else if (name == "mpx") {
+    *config = ProtectionConfig::MpxOnly();
+  } else if (name == "d") {
+    *config = ProtectionConfig::DiversifyOnly(RaScheme::kDecoy, seed);
+  } else if (name == "x") {
+    *config = ProtectionConfig::DiversifyOnly(RaScheme::kEncrypt, seed);
+  } else if (name == "sfi+d") {
+    *config = ProtectionConfig::Full(false, RaScheme::kDecoy, seed);
+  } else if (name == "sfi+x") {
+    *config = ProtectionConfig::Full(false, RaScheme::kEncrypt, seed);
+  } else if (name == "mpx+d") {
+    *config = ProtectionConfig::Full(true, RaScheme::kDecoy, seed);
+  } else if (name == "mpx+x") {
+    *config = ProtectionConfig::Full(true, RaScheme::kEncrypt, seed);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void Disassemble(const KernelImage& image, const Symbol& sym) {
+  std::printf("\n%016" PRIx64 " <%s>:  (%" PRIu64 " bytes)\n", sym.address, sym.name.c_str(),
+              sym.size);
+  std::vector<uint8_t> bytes(sym.size);
+  if (!image.PeekBytes(sym.address, bytes.data(), bytes.size()).ok()) {
+    std::printf("  <unreadable>\n");
+    return;
+  }
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    auto dec = DecodeInstruction(bytes.data(), bytes.size(), pos);
+    if (!dec.ok()) {
+      std::printf("  %016" PRIx64 ":  <undecodable>\n", sym.address + pos);
+      break;
+    }
+    std::printf("  %016" PRIx64 ":  ", sym.address + pos);
+    for (int i = 0; i < dec->size; ++i) {
+      std::printf("%02x", bytes[pos + static_cast<size_t>(i)]);
+    }
+    for (int i = dec->size; i < 12; ++i) {
+      std::printf("  ");
+    }
+    // Resolve branch targets into absolute addresses for readability.
+    Instruction inst = dec->inst;
+    std::string text = FormatInstruction(inst);
+    if ((inst.op == Opcode::kJmpRel || inst.op == Opcode::kJcc ||
+         inst.op == Opcode::kCallRel)) {
+      char resolved[64];
+      std::snprintf(resolved, sizeof(resolved), "  # -> 0x%" PRIx64,
+                    sym.address + pos + dec->size + static_cast<uint64_t>(inst.imm));
+      text += resolved;
+    }
+    std::printf("  %s\n", text.c_str());
+    pos += dec->size;
+  }
+}
+
+int Main(int argc, char** argv) {
+  std::string config_name = argc > 1 ? argv[1] : "sfi+x";
+  ProtectionConfig config;
+  LayoutKind layout;
+  if (!ParseConfig(config_name, &config, &layout)) {
+    std::fprintf(stderr,
+                 "unknown config '%s'\nusage: krx_objdump "
+                 "[vanilla|sfi-o0..o3|mpx|d|x|sfi+d|sfi+x|mpx+d|mpx+x] [function...]\n",
+                 config_name.c_str());
+    return 2;
+  }
+
+  auto kernel = CompileKernel(MakeBenchSource(0xD15A), config, layout);
+  if (!kernel.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", kernel.status().ToString().c_str());
+    return 1;
+  }
+  const KernelImage& image = *kernel->image;
+
+  std::printf("kR^X kernel image, config=%s, layout=%s\n\n", config_name.c_str(),
+              layout == LayoutKind::kKrx ? "kR^X-KAS" : "vanilla");
+  std::printf("Sections:\n%-16s %-18s %10s  %s\n", "name", "vaddr", "size", "region");
+  for (const PlacedSection& s : image.sections()) {
+    std::printf("%-16s 0x%016" PRIx64 " %10" PRIu64 "  %s\n", s.name.c_str(), s.vaddr, s.size,
+                layout == LayoutKind::kKrx
+                    ? (s.vaddr >= image.krx_edata() ? "code (execute-only)" : "data")
+                    : "-");
+  }
+  if (layout == LayoutKind::kKrx) {
+    std::printf("_krx_edata = 0x%016" PRIx64 "\n", image.krx_edata());
+  }
+
+  // Gadget census over .text.
+  {
+    const PlacedSection* text = image.FindSection(".text");
+    std::vector<uint8_t> bytes(text->size);
+    KRX_CHECK(image.PeekBytes(text->vaddr, bytes.data(), bytes.size()).ok());
+    GadgetScanner scanner;
+    auto rop = scanner.Scan(bytes.data(), bytes.size(), text->vaddr);
+    auto jop = scanner.ScanJop(bytes.data(), bytes.size(), text->vaddr);
+    std::printf("\nGadget census: %zu ROP, %zu JOP (discoverable only if code is readable)\n",
+                rop.size(), jop.size());
+  }
+
+  // Disassembly.
+  std::vector<std::string> wanted;
+  for (int i = 2; i < argc; ++i) {
+    wanted.push_back(argv[i]);
+  }
+  if (wanted.empty()) {
+    wanted = {"commit_creds", "debugfs_leak_read", "sys_null_syscall"};
+  }
+  for (const std::string& name : wanted) {
+    int32_t idx = image.symbols().Find(name);
+    if (idx < 0 || !image.symbols().at(idx).defined) {
+      std::printf("\n<%s>: not found\n", name.c_str());
+      continue;
+    }
+    Disassemble(image, image.symbols().at(idx));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace krx
+
+int main(int argc, char** argv) { return krx::Main(argc, argv); }
