@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_defenses.dir/baseline_defenses.cc.o"
+  "CMakeFiles/baseline_defenses.dir/baseline_defenses.cc.o.d"
+  "baseline_defenses"
+  "baseline_defenses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_defenses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

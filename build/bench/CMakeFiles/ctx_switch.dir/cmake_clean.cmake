@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctx_switch.dir/ctx_switch.cc.o"
+  "CMakeFiles/ctx_switch.dir/ctx_switch.cc.o.d"
+  "ctx_switch"
+  "ctx_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctx_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entropy_stats.dir/entropy_stats.cc.o"
+  "CMakeFiles/entropy_stats.dir/entropy_stats.cc.o.d"
+  "entropy_stats"
+  "entropy_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entropy_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

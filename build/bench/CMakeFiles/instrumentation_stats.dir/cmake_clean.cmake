@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrumentation_stats.dir/instrumentation_stats.cc.o"
+  "CMakeFiles/instrumentation_stats.dir/instrumentation_stats.cc.o.d"
+  "instrumentation_stats"
+  "instrumentation_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrumentation_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipc_ops.dir/ipc_ops.cc.o"
+  "CMakeFiles/ipc_ops.dir/ipc_ops.cc.o.d"
+  "ipc_ops"
+  "ipc_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipc_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

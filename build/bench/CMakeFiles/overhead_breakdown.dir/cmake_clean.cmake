@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_breakdown.dir/overhead_breakdown.cc.o"
+  "CMakeFiles/overhead_breakdown.dir/overhead_breakdown.cc.o.d"
+  "overhead_breakdown"
+  "overhead_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

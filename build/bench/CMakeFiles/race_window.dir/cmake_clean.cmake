@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_window.dir/race_window.cc.o"
+  "CMakeFiles/race_window.dir/race_window.cc.o.d"
+  "race_window"
+  "race_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

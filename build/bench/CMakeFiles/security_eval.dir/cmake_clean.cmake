@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_eval.dir/security_eval.cc.o"
+  "CMakeFiles/security_eval.dir/security_eval.cc.o.d"
+  "security_eval"
+  "security_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_lmbench.dir/table1_lmbench.cc.o"
+  "CMakeFiles/table1_lmbench.dir/table1_lmbench.cc.o.d"
+  "table1_lmbench"
+  "table1_lmbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_lmbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_phoronix.dir/table2_phoronix.cc.o"
+  "CMakeFiles/table2_phoronix.dir/table2_phoronix.cc.o.d"
+  "table2_phoronix"
+  "table2_phoronix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_phoronix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfs_ops.dir/vfs_ops.cc.o"
+  "CMakeFiles/vfs_ops.dir/vfs_ops.cc.o.d"
+  "vfs_ops"
+  "vfs_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfs_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

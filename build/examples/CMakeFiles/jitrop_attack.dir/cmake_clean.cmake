@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitrop_attack.dir/jitrop_attack.cpp.o"
+  "CMakeFiles/jitrop_attack.dir/jitrop_attack.cpp.o.d"
+  "jitrop_attack"
+  "jitrop_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitrop_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module_loading.dir/module_loading.cpp.o"
+  "CMakeFiles/module_loading.dir/module_loading.cpp.o.d"
+  "module_loading"
+  "module_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

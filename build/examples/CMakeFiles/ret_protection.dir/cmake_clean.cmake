@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ret_protection.dir/ret_protection.cpp.o"
+  "CMakeFiles/ret_protection.dir/ret_protection.cpp.o.d"
+  "ret_protection"
+  "ret_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ret_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

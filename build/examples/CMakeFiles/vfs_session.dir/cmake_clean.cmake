@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfs_session.dir/vfs_session.cpp.o"
+  "CMakeFiles/vfs_session.dir/vfs_session.cpp.o.d"
+  "vfs_session"
+  "vfs_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfs_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

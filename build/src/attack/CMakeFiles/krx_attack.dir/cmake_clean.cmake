@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krx_attack.dir/disclosure.cc.o"
+  "CMakeFiles/krx_attack.dir/disclosure.cc.o.d"
+  "CMakeFiles/krx_attack.dir/experiments.cc.o"
+  "CMakeFiles/krx_attack.dir/experiments.cc.o.d"
+  "CMakeFiles/krx_attack.dir/gadget_scanner.cc.o"
+  "CMakeFiles/krx_attack.dir/gadget_scanner.cc.o.d"
+  "libkrx_attack.a"
+  "libkrx_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krx_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

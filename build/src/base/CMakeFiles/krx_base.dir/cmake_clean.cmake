@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krx_base.dir/rng.cc.o"
+  "CMakeFiles/krx_base.dir/rng.cc.o.d"
+  "CMakeFiles/krx_base.dir/status.cc.o"
+  "CMakeFiles/krx_base.dir/status.cc.o.d"
+  "libkrx_base.a"
+  "libkrx_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krx_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

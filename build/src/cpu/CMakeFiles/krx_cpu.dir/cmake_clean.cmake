@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krx_cpu.dir/cost_model.cc.o"
+  "CMakeFiles/krx_cpu.dir/cost_model.cc.o.d"
+  "CMakeFiles/krx_cpu.dir/cpu.cc.o"
+  "CMakeFiles/krx_cpu.dir/cpu.cc.o.d"
+  "libkrx_cpu.a"
+  "libkrx_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krx_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

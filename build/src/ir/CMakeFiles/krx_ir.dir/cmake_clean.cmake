@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krx_ir.dir/function.cc.o"
+  "CMakeFiles/krx_ir.dir/function.cc.o.d"
+  "CMakeFiles/krx_ir.dir/liveness.cc.o"
+  "CMakeFiles/krx_ir.dir/liveness.cc.o.d"
+  "libkrx_ir.a"
+  "libkrx_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krx_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krx_isa.dir/encoding.cc.o"
+  "CMakeFiles/krx_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/krx_isa.dir/instruction.cc.o"
+  "CMakeFiles/krx_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/krx_isa.dir/opcode.cc.o"
+  "CMakeFiles/krx_isa.dir/opcode.cc.o.d"
+  "CMakeFiles/krx_isa.dir/register.cc.o"
+  "CMakeFiles/krx_isa.dir/register.cc.o.d"
+  "libkrx_isa.a"
+  "libkrx_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krx_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/allocator.cc" "src/kernel/CMakeFiles/krx_kernel.dir/allocator.cc.o" "gcc" "src/kernel/CMakeFiles/krx_kernel.dir/allocator.cc.o.d"
+  "/root/repo/src/kernel/appendix_bugs.cc" "src/kernel/CMakeFiles/krx_kernel.dir/appendix_bugs.cc.o" "gcc" "src/kernel/CMakeFiles/krx_kernel.dir/appendix_bugs.cc.o.d"
+  "/root/repo/src/kernel/assembler.cc" "src/kernel/CMakeFiles/krx_kernel.dir/assembler.cc.o" "gcc" "src/kernel/CMakeFiles/krx_kernel.dir/assembler.cc.o.d"
+  "/root/repo/src/kernel/baseline_defenses.cc" "src/kernel/CMakeFiles/krx_kernel.dir/baseline_defenses.cc.o" "gcc" "src/kernel/CMakeFiles/krx_kernel.dir/baseline_defenses.cc.o.d"
+  "/root/repo/src/kernel/image.cc" "src/kernel/CMakeFiles/krx_kernel.dir/image.cc.o" "gcc" "src/kernel/CMakeFiles/krx_kernel.dir/image.cc.o.d"
+  "/root/repo/src/kernel/ko_file.cc" "src/kernel/CMakeFiles/krx_kernel.dir/ko_file.cc.o" "gcc" "src/kernel/CMakeFiles/krx_kernel.dir/ko_file.cc.o.d"
+  "/root/repo/src/kernel/module_loader.cc" "src/kernel/CMakeFiles/krx_kernel.dir/module_loader.cc.o" "gcc" "src/kernel/CMakeFiles/krx_kernel.dir/module_loader.cc.o.d"
+  "/root/repo/src/kernel/object.cc" "src/kernel/CMakeFiles/krx_kernel.dir/object.cc.o" "gcc" "src/kernel/CMakeFiles/krx_kernel.dir/object.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/krx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/krx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/krx_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/krx_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krx_kernel.dir/allocator.cc.o"
+  "CMakeFiles/krx_kernel.dir/allocator.cc.o.d"
+  "CMakeFiles/krx_kernel.dir/appendix_bugs.cc.o"
+  "CMakeFiles/krx_kernel.dir/appendix_bugs.cc.o.d"
+  "CMakeFiles/krx_kernel.dir/assembler.cc.o"
+  "CMakeFiles/krx_kernel.dir/assembler.cc.o.d"
+  "CMakeFiles/krx_kernel.dir/baseline_defenses.cc.o"
+  "CMakeFiles/krx_kernel.dir/baseline_defenses.cc.o.d"
+  "CMakeFiles/krx_kernel.dir/image.cc.o"
+  "CMakeFiles/krx_kernel.dir/image.cc.o.d"
+  "CMakeFiles/krx_kernel.dir/ko_file.cc.o"
+  "CMakeFiles/krx_kernel.dir/ko_file.cc.o.d"
+  "CMakeFiles/krx_kernel.dir/module_loader.cc.o"
+  "CMakeFiles/krx_kernel.dir/module_loader.cc.o.d"
+  "CMakeFiles/krx_kernel.dir/object.cc.o"
+  "CMakeFiles/krx_kernel.dir/object.cc.o.d"
+  "libkrx_kernel.a"
+  "libkrx_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krx_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

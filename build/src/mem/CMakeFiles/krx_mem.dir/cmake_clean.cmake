@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krx_mem.dir/mmu.cc.o"
+  "CMakeFiles/krx_mem.dir/mmu.cc.o.d"
+  "CMakeFiles/krx_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/krx_mem.dir/phys_mem.cc.o.d"
+  "libkrx_mem.a"
+  "libkrx_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krx_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plugin/kaslr_pass.cc" "src/plugin/CMakeFiles/krx_plugin.dir/kaslr_pass.cc.o" "gcc" "src/plugin/CMakeFiles/krx_plugin.dir/kaslr_pass.cc.o.d"
+  "/root/repo/src/plugin/pipeline.cc" "src/plugin/CMakeFiles/krx_plugin.dir/pipeline.cc.o" "gcc" "src/plugin/CMakeFiles/krx_plugin.dir/pipeline.cc.o.d"
+  "/root/repo/src/plugin/ra_decoy_pass.cc" "src/plugin/CMakeFiles/krx_plugin.dir/ra_decoy_pass.cc.o" "gcc" "src/plugin/CMakeFiles/krx_plugin.dir/ra_decoy_pass.cc.o.d"
+  "/root/repo/src/plugin/ra_encrypt_pass.cc" "src/plugin/CMakeFiles/krx_plugin.dir/ra_encrypt_pass.cc.o" "gcc" "src/plugin/CMakeFiles/krx_plugin.dir/ra_encrypt_pass.cc.o.d"
+  "/root/repo/src/plugin/reg_rand_pass.cc" "src/plugin/CMakeFiles/krx_plugin.dir/reg_rand_pass.cc.o" "gcc" "src/plugin/CMakeFiles/krx_plugin.dir/reg_rand_pass.cc.o.d"
+  "/root/repo/src/plugin/sfi_pass.cc" "src/plugin/CMakeFiles/krx_plugin.dir/sfi_pass.cc.o" "gcc" "src/plugin/CMakeFiles/krx_plugin.dir/sfi_pass.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/krx_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/krx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/krx_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/krx_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/krx_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krx_plugin.dir/kaslr_pass.cc.o"
+  "CMakeFiles/krx_plugin.dir/kaslr_pass.cc.o.d"
+  "CMakeFiles/krx_plugin.dir/pipeline.cc.o"
+  "CMakeFiles/krx_plugin.dir/pipeline.cc.o.d"
+  "CMakeFiles/krx_plugin.dir/ra_decoy_pass.cc.o"
+  "CMakeFiles/krx_plugin.dir/ra_decoy_pass.cc.o.d"
+  "CMakeFiles/krx_plugin.dir/ra_encrypt_pass.cc.o"
+  "CMakeFiles/krx_plugin.dir/ra_encrypt_pass.cc.o.d"
+  "CMakeFiles/krx_plugin.dir/reg_rand_pass.cc.o"
+  "CMakeFiles/krx_plugin.dir/reg_rand_pass.cc.o.d"
+  "CMakeFiles/krx_plugin.dir/sfi_pass.cc.o"
+  "CMakeFiles/krx_plugin.dir/sfi_pass.cc.o.d"
+  "libkrx_plugin.a"
+  "libkrx_plugin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krx_plugin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkrx_plugin.a"
+)

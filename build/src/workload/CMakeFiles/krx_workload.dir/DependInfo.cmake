@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/corpus.cc" "src/workload/CMakeFiles/krx_workload.dir/corpus.cc.o" "gcc" "src/workload/CMakeFiles/krx_workload.dir/corpus.cc.o.d"
+  "/root/repo/src/workload/fig2.cc" "src/workload/CMakeFiles/krx_workload.dir/fig2.cc.o" "gcc" "src/workload/CMakeFiles/krx_workload.dir/fig2.cc.o.d"
+  "/root/repo/src/workload/harness.cc" "src/workload/CMakeFiles/krx_workload.dir/harness.cc.o" "gcc" "src/workload/CMakeFiles/krx_workload.dir/harness.cc.o.d"
+  "/root/repo/src/workload/ipc.cc" "src/workload/CMakeFiles/krx_workload.dir/ipc.cc.o" "gcc" "src/workload/CMakeFiles/krx_workload.dir/ipc.cc.o.d"
+  "/root/repo/src/workload/lmbench.cc" "src/workload/CMakeFiles/krx_workload.dir/lmbench.cc.o" "gcc" "src/workload/CMakeFiles/krx_workload.dir/lmbench.cc.o.d"
+  "/root/repo/src/workload/ops.cc" "src/workload/CMakeFiles/krx_workload.dir/ops.cc.o" "gcc" "src/workload/CMakeFiles/krx_workload.dir/ops.cc.o.d"
+  "/root/repo/src/workload/phoronix.cc" "src/workload/CMakeFiles/krx_workload.dir/phoronix.cc.o" "gcc" "src/workload/CMakeFiles/krx_workload.dir/phoronix.cc.o.d"
+  "/root/repo/src/workload/sched.cc" "src/workload/CMakeFiles/krx_workload.dir/sched.cc.o" "gcc" "src/workload/CMakeFiles/krx_workload.dir/sched.cc.o.d"
+  "/root/repo/src/workload/vfs.cc" "src/workload/CMakeFiles/krx_workload.dir/vfs.cc.o" "gcc" "src/workload/CMakeFiles/krx_workload.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plugin/CMakeFiles/krx_plugin.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/krx_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/krx_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/krx_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/krx_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/krx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/krx_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krx_workload.dir/corpus.cc.o"
+  "CMakeFiles/krx_workload.dir/corpus.cc.o.d"
+  "CMakeFiles/krx_workload.dir/fig2.cc.o"
+  "CMakeFiles/krx_workload.dir/fig2.cc.o.d"
+  "CMakeFiles/krx_workload.dir/harness.cc.o"
+  "CMakeFiles/krx_workload.dir/harness.cc.o.d"
+  "CMakeFiles/krx_workload.dir/ipc.cc.o"
+  "CMakeFiles/krx_workload.dir/ipc.cc.o.d"
+  "CMakeFiles/krx_workload.dir/lmbench.cc.o"
+  "CMakeFiles/krx_workload.dir/lmbench.cc.o.d"
+  "CMakeFiles/krx_workload.dir/ops.cc.o"
+  "CMakeFiles/krx_workload.dir/ops.cc.o.d"
+  "CMakeFiles/krx_workload.dir/phoronix.cc.o"
+  "CMakeFiles/krx_workload.dir/phoronix.cc.o.d"
+  "CMakeFiles/krx_workload.dir/sched.cc.o"
+  "CMakeFiles/krx_workload.dir/sched.cc.o.d"
+  "CMakeFiles/krx_workload.dir/vfs.cc.o"
+  "CMakeFiles/krx_workload.dir/vfs.cc.o.d"
+  "libkrx_workload.a"
+  "libkrx_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krx_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_bugs_test.dir/appendix_bugs_test.cc.o"
+  "CMakeFiles/appendix_bugs_test.dir/appendix_bugs_test.cc.o.d"
+  "appendix_bugs_test"
+  "appendix_bugs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_bugs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_defenses_test.dir/baseline_defenses_test.cc.o"
+  "CMakeFiles/baseline_defenses_test.dir/baseline_defenses_test.cc.o.d"
+  "baseline_defenses_test"
+  "baseline_defenses_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_defenses_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

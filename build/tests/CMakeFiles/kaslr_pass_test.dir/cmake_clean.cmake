@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kaslr_pass_test.dir/kaslr_pass_test.cc.o"
+  "CMakeFiles/kaslr_pass_test.dir/kaslr_pass_test.cc.o.d"
+  "kaslr_pass_test"
+  "kaslr_pass_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kaslr_pass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

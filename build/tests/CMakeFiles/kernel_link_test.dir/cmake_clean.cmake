@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_link_test.dir/kernel_link_test.cc.o"
+  "CMakeFiles/kernel_link_test.dir/kernel_link_test.cc.o.d"
+  "kernel_link_test"
+  "kernel_link_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

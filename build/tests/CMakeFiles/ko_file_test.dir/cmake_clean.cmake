@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ko_file_test.dir/ko_file_test.cc.o"
+  "CMakeFiles/ko_file_test.dir/ko_file_test.cc.o.d"
+  "ko_file_test"
+  "ko_file_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ko_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

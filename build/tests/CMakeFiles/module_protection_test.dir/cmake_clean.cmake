@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module_protection_test.dir/module_protection_test.cc.o"
+  "CMakeFiles/module_protection_test.dir/module_protection_test.cc.o.d"
+  "module_protection_test"
+  "module_protection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module_protection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

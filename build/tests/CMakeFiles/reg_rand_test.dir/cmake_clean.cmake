@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reg_rand_test.dir/reg_rand_test.cc.o"
+  "CMakeFiles/reg_rand_test.dir/reg_rand_test.cc.o.d"
+  "reg_rand_test"
+  "reg_rand_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reg_rand_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_pass_test.dir/sfi_pass_test.cc.o"
+  "CMakeFiles/sfi_pass_test.dir/sfi_pass_test.cc.o.d"
+  "sfi_pass_test"
+  "sfi_pass_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_pass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vfs_test.cc" "tests/CMakeFiles/vfs_test.dir/vfs_test.cc.o" "gcc" "tests/CMakeFiles/vfs_test.dir/vfs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/krx_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/krx_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/plugin/CMakeFiles/krx_plugin.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/krx_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/krx_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/krx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/krx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/krx_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/krx_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krx_objdump.dir/krx_objdump.cc.o"
+  "CMakeFiles/krx_objdump.dir/krx_objdump.cc.o.d"
+  "krx_objdump"
+  "krx_objdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krx_objdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
