@@ -40,6 +40,7 @@ class KernelImage {
   LayoutKind layout() const { return layout_; }
   PhysMem& phys() { return phys_; }
   PageTable& page_table() { return page_table_; }
+  const PageTable& page_table() const { return page_table_; }
   Mmu& mmu() { return mmu_; }
   SymbolTable& symbols() { return symbols_; }
   const SymbolTable& symbols() const { return symbols_; }

@@ -13,12 +13,19 @@ BasicBlock MakePhantomBlock(Function& fn, Rng& rng) {
   BasicBlock pb;
   pb.id = fn.AllocateBlockId();
   pb.phantom = true;
+  // int3 padding closed by a ud2. Both trap if reached; the trailing ud2
+  // additionally makes phantom blocks recoverable from bytes alone (an
+  // unreachable ud2 is never emitted otherwise), which the binary verifier
+  // uses to lower-bound the permutation entropy.
   uint64_t count = 1 + rng.NextBelow(8);
-  for (uint64_t i = 0; i < count; ++i) {
+  for (uint64_t i = 0; i + 1 < count; ++i) {
     Instruction tripwire = Instruction::Int3();
     tripwire.origin = InstOrigin::kPhantomBlock;
     pb.insts.push_back(tripwire);
   }
+  Instruction marker = Instruction::Ud2();
+  marker.origin = InstOrigin::kPhantomBlock;
+  pb.insts.push_back(marker);
   return pb;
 }
 

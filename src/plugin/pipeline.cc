@@ -1,13 +1,18 @@
 #include "src/plugin/pipeline.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "src/base/math_util.h"
 #include "src/kernel/assembler.h"
 #include "src/kernel/layout.h"
+#include "src/verify/verifier.h"
 
 namespace krx {
 namespace {
+
+// -1: consult the environment on first use; 0/1: explicit override.
+int g_post_link_verify = -1;
 
 // Guard sizing: the .krx_phantom section must be larger than the maximum
 // displacement of any uninstrumented %rsp-relative read (§5.1.2).
@@ -71,6 +76,16 @@ void EnsureHandlerData(KernelSource& source) {
 }
 
 }  // namespace
+
+bool PostLinkVerifyEnabled() {
+  if (g_post_link_verify < 0) {
+    const char* env = std::getenv("KRX_POST_LINK_VERIFY");
+    g_post_link_verify = (env != nullptr && env[0] == '1') ? 1 : 0;
+  }
+  return g_post_link_verify == 1;
+}
+
+void SetPostLinkVerify(bool enabled) { g_post_link_verify = enabled ? 1 : 0; }
 
 int64_t ComputeEdata(uint64_t phantom_guard_size) {
   return static_cast<int64_t>(kKrxCodeBase - phantom_guard_size);
@@ -183,6 +198,19 @@ Result<CompiledKernel> CompileKernel(KernelSource source, const ProtectionConfig
 
   Rng key_rng = rng.Fork();
   KRX_RETURN_IF_ERROR(out.image->ReplenishXkeys(key_rng));
+
+  // Independent post-link check of the just-built artifact: the verifier
+  // re-proves from the assembled bytes what the passes claim by
+  // construction (SFI-verifier discipline — see src/verify/).
+  if (PostLinkVerifyEnabled()) {
+    VerifyOptions vopts = VerifyOptions::ForConfig(config);
+    if (vopts.AnyChecks()) {
+      VerifyReport report = VerifyImage(*out.image, vopts);
+      if (!report.ok()) {
+        return InternalError("post-link verification failed:\n" + report.Summary(8));
+      }
+    }
+  }
   return out;
 }
 

@@ -63,9 +63,17 @@ Status ApplyProtection(std::vector<Function>& functions, SymbolTable& symbols,
                        const ProtectionConfig& config, int64_t edata_imm, XkeyLayout* xkeys,
                        PipelineStats* stats, Rng& rng);
 
-// Full build: transform, permute, assemble, link, replenish xkeys.
+// Full build: transform, permute, assemble, link, replenish xkeys — then,
+// when post-link verification is enabled, prove the kR^X contract on the
+// linked bytes with the src/verify checker and fail the build on violations.
 Result<CompiledKernel> CompileKernel(KernelSource source, const ProtectionConfig& config,
                                      LayoutKind layout);
+
+// Post-link verification toggle. Defaults to the KRX_POST_LINK_VERIFY
+// environment variable ("1"/"0"); SetPostLinkVerify overrides it for the
+// process. The test suite runs with it on.
+bool PostLinkVerifyEnabled();
+void SetPostLinkVerify(bool enabled);
 
 // Compiles a module object against a (shared) kernel symbol table with its
 // own protection config — kR^X supports mixed protected/unprotected code

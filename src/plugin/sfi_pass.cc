@@ -127,7 +127,6 @@ Status ApplySfiPass(Function& fn, const ProtectionConfig& config, int32_t krx_ha
   }
   const bool mpx = config.mpx;
   const SfiLevel level = config.sfi;
-  const bool do_liveness = !mpx && level != SfiLevel::kO0;
   const bool do_lea_elim = mpx || level == SfiLevel::kO2 || level == SfiLevel::kO3;
   const bool do_coalesce = mpx || level == SfiLevel::kO3;
 

@@ -1,0 +1,455 @@
+#include "src/verify/confinement.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace krx {
+namespace {
+
+// Available-check facts at a program point. `cover[r] = D` means: on every
+// path to this point, a check proved r <= edata - D with r unchanged since,
+// so a read through r at any displacement <= D stays within the data
+// region. `exact` holds fully-checked operands (lea-form checks and
+// full-operand bndcu) whose effective address was proven <= edata.
+struct Facts {
+  bool top = true;  // optimistic "unvisited" element of the meet lattice
+  std::map<Reg, int64_t> cover;
+  std::vector<MemOperand> exact;
+};
+
+bool HasExact(const Facts& f, const MemOperand& mem) {
+  return std::find(f.exact.begin(), f.exact.end(), mem) != f.exact.end();
+}
+
+void AddExact(Facts& f, const MemOperand& mem) {
+  if (!HasExact(f, mem)) {
+    f.exact.push_back(mem);
+  }
+}
+
+// Intersection meet: facts survive only if proven on every predecessor
+// path, with the weakest coverage. Returns true if `into` changed.
+bool MeetInto(Facts& into, const Facts& contrib) {
+  if (contrib.top) {
+    return false;
+  }
+  if (into.top) {
+    into = contrib;
+    into.top = false;
+    return true;
+  }
+  bool changed = false;
+  for (auto it = into.cover.begin(); it != into.cover.end();) {
+    auto other = contrib.cover.find(it->first);
+    if (other == contrib.cover.end()) {
+      it = into.cover.erase(it);
+      changed = true;
+    } else {
+      if (other->second < it->second) {
+        it->second = other->second;
+        changed = true;
+      }
+      ++it;
+    }
+  }
+  for (auto it = into.exact.begin(); it != into.exact.end();) {
+    if (!HasExact(contrib, *it)) {
+      it = into.exact.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  return changed;
+}
+
+bool MemUsesReg(const MemOperand& mem, Reg r) { return mem.base == r || mem.index == r; }
+
+// A candidate fact between a `cmp reg, imm` and the `ja` that consumes its
+// flags. Instructions in between (e.g. a decoy phantom mov) may clobber
+// parts of it.
+struct PendingCheck {
+  bool valid = false;
+  Reg reg = Reg::kNone;
+  int64_t imm = 0;
+  bool reg_intact = false;       // reg unwritten/unspilled since the cmp
+  bool has_exact = false;        // cmp'd reg held a lea'd effective address
+  MemOperand exact;
+  bool exact_intact = false;     // the lea'd operand's registers unwritten
+};
+
+// Facts a conditional block exit adds on its fallthrough edge.
+struct FallExtra {
+  bool has_cover = false;
+  Reg reg = Reg::kNone;
+  int64_t cover = 0;
+  bool has_exact = false;
+  MemOperand exact;
+};
+
+// Resolves whether `target` is a violation site: a (possibly connector-jmp
+// reached, possibly decoy-instrumented) `callq krx_handler`.
+bool IsViolationTarget(const DecodedFunction& fn, uint64_t target, uint64_t handler) {
+  if (handler == 0) {
+    return false;
+  }
+  for (int hops = 0; hops < 8; ++hops) {
+    const DecodedInst* di = fn.InstAt(target);
+    if (di == nullptr) {
+      return false;
+    }
+    switch (di->inst.op) {
+      case Opcode::kJmpRel: {  // connector jmp into the (shuffled) block
+        uint64_t t = di->BranchTarget();
+        if (!fn.Contains(t)) {
+          return false;
+        }
+        target = t;
+        continue;
+      }
+      case Opcode::kLea:  // decoy tripwire lea preceding the handler call
+        if (!di->inst.mem.rip_relative) {
+          return false;
+        }
+        target = di->address + di->size;
+        continue;
+      case Opcode::kCallRel:
+        return di->BranchTarget() == handler;
+      default:
+        return false;
+    }
+  }
+  return false;
+}
+
+class ConfinementChecker {
+ public:
+  ConfinementChecker(const DecodedFunction& fn, const ConfinementParams& params,
+                     VerifyReport* report)
+      : fn_(fn), params_(params), report_(report) {}
+
+  void Run() {
+    const size_t n = fn_.blocks.size();
+    if (n == 0) {
+      return;
+    }
+    std::vector<Facts> in(n);
+    in[0].top = false;  // entry: nothing proven yet
+
+    // Greatest-fixpoint iteration. This is at least as precise as the
+    // pass's layout-order analysis (which drops all facts at back edges),
+    // so every read the pass left uninstrumented because a dominating
+    // check covers it is also justified here — and block permutation
+    // cannot manufacture spurious violations.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t b = 0; b < n; ++b) {
+        if (!fn_.blocks[b].reachable || in[b].top) {
+          continue;
+        }
+        FallExtra extra;
+        Facts out = Transfer(b, in[b], /*verify=*/false, &extra);
+        const VerifierBlock& blk = fn_.blocks[b];
+        if (blk.taken >= 0) {
+          changed |= MeetInto(in[static_cast<size_t>(blk.taken)], out);
+        }
+        if (blk.fall >= 0) {
+          ApplyExtra(out, extra);
+          changed |= MeetInto(in[static_cast<size_t>(blk.fall)], out);
+        }
+      }
+    }
+
+    for (size_t b = 0; b < n; ++b) {
+      if (!fn_.blocks[b].reachable || in[b].top) {
+        continue;
+      }
+      FallExtra extra;
+      Transfer(b, in[b], /*verify=*/true, &extra);
+    }
+  }
+
+ private:
+  static void ApplyExtra(Facts& f, const FallExtra& extra) {
+    if (extra.has_cover) {
+      auto it = f.cover.find(extra.reg);
+      if (it == f.cover.end() || it->second < extra.cover) {
+        f.cover[extra.reg] = extra.cover;
+      }
+    }
+    if (extra.has_exact) {
+      AddExact(f, extra.exact);
+    }
+  }
+
+  void KillReg(Facts& f, std::map<Reg, MemOperand>& lea_ea, PendingCheck& pending, Reg r) {
+    f.cover.erase(r);
+    f.exact.erase(std::remove_if(f.exact.begin(), f.exact.end(),
+                                 [r](const MemOperand& m) { return MemUsesReg(m, r); }),
+                  f.exact.end());
+    for (auto it = lea_ea.begin(); it != lea_ea.end();) {
+      if (it->first == r || MemUsesReg(it->second, r)) {
+        it = lea_ea.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (pending.valid) {
+      if (pending.reg == r) {
+        pending.reg_intact = false;
+      }
+      if (pending.has_exact && MemUsesReg(pending.exact, r)) {
+        pending.exact_intact = false;
+      }
+    }
+  }
+
+  // Mirrors ApplySfiPass's ApplyInstructionKills: calls clear everything,
+  // register writes kill per-register facts, and a store/push of a register
+  // spill-kills it (its value escapes to writable memory, §5.1.2).
+  void ApplyKills(Facts& f, std::map<Reg, MemOperand>& lea_ea, PendingCheck& pending,
+                  const Instruction& inst) {
+    if (inst.IsCall()) {
+      f.cover.clear();
+      f.exact.clear();
+      lea_ea.clear();
+      pending.valid = false;
+      return;
+    }
+    Reg written[6];
+    int wcount = 0;
+    InstructionRegWrites(inst, written, &wcount);
+    for (int i = 0; i < wcount; ++i) {
+      KillReg(f, lea_ea, pending, written[i]);
+    }
+    if (inst.op == Opcode::kStore || inst.op == Opcode::kPushR) {
+      KillReg(f, lea_ea, pending, inst.r1);
+    }
+  }
+
+  void Diagnose(RuleId rule, uint64_t address, std::string message) {
+    Diagnostic d;
+    d.rule = rule;
+    d.function = fn_.name;
+    d.address = address;
+    d.snippet = fn_.SnippetAt(address);
+    d.message = std::move(message);
+    report_->Add(std::move(d));
+  }
+
+  // Records a recognized range check's coverage and enforces the
+  // coalescing bound: a dominating check may have had its displacement
+  // raised, but never past the guard-section size (the distance overshoot
+  // the layout can absorb).
+  void NoteCheck(bool verify, uint64_t address, int64_t coverage) {
+    if (!verify) {
+      return;
+    }
+    ++report_->counters.range_checks_seen;
+    if (params_.guard_size > 0 && coverage > static_cast<int64_t>(params_.guard_size)) {
+      Diagnose(RuleId::kRxCheckDisp, address,
+               "check coverage " + std::to_string(coverage) + " exceeds guard size " +
+                   std::to_string(params_.guard_size));
+    }
+  }
+
+  // True if reading through `mem` is proven in-bounds by current facts.
+  bool Justified(const Facts& f, const MemOperand& mem) const {
+    if (mem.has_base() && !mem.has_index()) {
+      auto it = f.cover.find(mem.base);
+      if (it != f.cover.end() && mem.disp <= it->second) {
+        return true;
+      }
+    }
+    return HasExact(f, mem);
+  }
+
+  // Peephole for rep-prefixed string reads: the paper places their check
+  // *after* the instruction ("postmortem detection", §5.1.2), so look
+  // forward for [pushfq]? cmp <base>, imm ; ja <viol>  (or a bndcu).
+  bool StringCheckFollows(size_t i, Reg base) const {
+    size_t j = i + 1;
+    auto skippable = [&](const Instruction& inst) {
+      if (inst.op == Opcode::kPushfq) {
+        return true;
+      }
+      if (inst.WritesFlags() || inst.IsCall() || inst.ReadsMemory() || inst.WritesMemory()) {
+        return false;
+      }
+      Reg written[6];
+      int wcount = 0;
+      InstructionRegWrites(inst, written, &wcount);
+      for (int k = 0; k < wcount; ++k) {
+        if (written[k] == base) {
+          return false;
+        }
+      }
+      return true;
+    };
+    for (int steps = 0; steps < 8 && j < fn_.insts.size(); ++steps, ++j) {
+      const Instruction& inst = fn_.insts[j].inst;
+      if (inst.op == Opcode::kBndcu) {
+        return inst.mem.base == base && !inst.mem.has_index() && inst.mem.disp >= 0;
+      }
+      if (inst.op == Opcode::kCmpRI) {
+        if (inst.r1 != base ||
+            static_cast<uint64_t>(inst.imm) > params_.edata) {
+          return false;
+        }
+        // Find the ja consuming these flags.
+        for (size_t k = j + 1; k < fn_.insts.size() && k < j + 4; ++k) {
+          const Instruction& next = fn_.insts[k].inst;
+          if (next.op == Opcode::kJcc) {
+            return next.cond == Cond::kA &&
+                   IsViolationTarget(fn_, fn_.insts[k].BranchTarget(), params_.handler_address);
+          }
+          if (!skippable(next)) {
+            return false;
+          }
+        }
+        return false;
+      }
+      if (!skippable(inst)) {
+        return false;
+      }
+    }
+    return false;
+  }
+
+  void VerifyRead(const Facts& f, size_t i) {
+    const DecodedInst& di = fn_.insts[i];
+    const Instruction& inst = di.inst;
+    ++report_->counters.reads_seen;
+    if (inst.IsString()) {
+      Reg base = inst.StringReadBase();
+      auto it = f.cover.find(base);
+      bool ok = (it != f.cover.end() && it->second >= 0) || StringCheckFollows(i, base);
+      if (ok) {
+        ++report_->counters.justified_reads;
+      } else {
+        Diagnose(RuleId::kRxRead, di.address,
+                 std::string("string read through %") + RegName(base) +
+                     " has no dominating or postmortem range check");
+      }
+      return;
+    }
+    const MemOperand& mem = inst.mem;
+    if (mem.IsSafeAddress()) {
+      ++report_->counters.safe_reads;
+      return;
+    }
+    if (mem.IsPlainRspAccess()) {
+      ++report_->counters.rsp_reads;
+      report_->counters.max_rsp_disp = std::max(report_->counters.max_rsp_disp, mem.disp);
+      return;
+    }
+    if (Justified(f, mem)) {
+      ++report_->counters.justified_reads;
+    } else {
+      Diagnose(RuleId::kRxRead, di.address,
+               "read " + FormatMemOperand(mem) + " not dominated by a range check");
+    }
+  }
+
+  // Walks one block from `in`, producing the exit facts and any
+  // fallthrough-edge extra from a trailing check's cmp/ja pair. With
+  // `verify` set, also validates every read against the incoming facts.
+  Facts Transfer(size_t b, const Facts& in, bool verify, FallExtra* extra) {
+    const VerifierBlock& blk = fn_.blocks[b];
+    Facts f = in;
+    std::map<Reg, MemOperand> lea_ea;  // reg -> effective address it holds
+    PendingCheck pending;
+
+    for (size_t i = blk.first; i < blk.first + blk.count; ++i) {
+      const DecodedInst& di = fn_.insts[i];
+      const Instruction& inst = di.inst;
+
+      if (verify && inst.ReadsMemory()) {
+        VerifyRead(f, i);
+      }
+
+      // A flag-writing instruction invalidates any pending cmp (the ja
+      // would consume the newer flags). The cmp handled below re-arms it.
+      if (inst.WritesFlags() && inst.op != Opcode::kCmpRI) {
+        pending.valid = false;
+      }
+
+      ApplyKills(f, lea_ea, pending, inst);
+
+      switch (inst.op) {
+        case Opcode::kBndcu:
+          // bndcu traps if EA > %bnd0.ub (= edata, installed at kernel
+          // entry): the full operand is proven, and for base-only forms
+          // the base is covered up to the checked displacement.
+          NoteCheck(verify, di.address, inst.mem.has_index() ? 0 : inst.mem.disp);
+          AddExact(f, inst.mem);
+          if (inst.mem.has_base() && !inst.mem.has_index()) {
+            auto it = f.cover.find(inst.mem.base);
+            if (it == f.cover.end() || it->second < inst.mem.disp) {
+              f.cover[inst.mem.base] = inst.mem.disp;
+            }
+          }
+          break;
+        case Opcode::kLea:
+          // Remember the EA the destination now holds, unless the operand
+          // involves the destination itself (the value would be stale).
+          if (!inst.mem.rip_relative && !inst.mem.is_absolute() &&
+              !MemUsesReg(inst.mem, inst.r1)) {
+            lea_ea[inst.r1] = inst.mem;
+          }
+          break;
+        case Opcode::kCmpRI: {
+          pending.valid = true;
+          pending.reg = inst.r1;
+          pending.imm = inst.imm;
+          pending.reg_intact = true;
+          auto it = lea_ea.find(inst.r1);
+          pending.has_exact = it != lea_ea.end();
+          pending.exact_intact = pending.has_exact;
+          if (pending.has_exact) {
+            pending.exact = it->second;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+
+    *extra = FallExtra{};
+    const DecodedInst& last = fn_.insts[blk.first + blk.count - 1];
+    if (last.inst.op == Opcode::kJcc && last.inst.cond == Cond::kA && pending.valid &&
+        static_cast<uint64_t>(pending.imm) <= params_.edata &&
+        IsViolationTarget(fn_, last.BranchTarget(), params_.handler_address)) {
+      // ja-not-taken proves reg <=u imm: the fallthrough edge learns the
+      // coverage fact (and the lea'd operand fact, if any).
+      int64_t coverage = static_cast<int64_t>(params_.edata) - pending.imm;
+      NoteCheck(verify, last.address, coverage);
+      if (pending.reg_intact) {
+        extra->has_cover = true;
+        extra->reg = pending.reg;
+        extra->cover = coverage;
+      }
+      if (pending.has_exact && pending.exact_intact) {
+        extra->has_exact = true;
+        extra->exact = pending.exact;
+      }
+    }
+    return f;
+  }
+
+  const DecodedFunction& fn_;
+  const ConfinementParams& params_;
+  VerifyReport* report_;
+};
+
+}  // namespace
+
+void CheckReadConfinement(const DecodedFunction& fn, const ConfinementParams& params,
+                          VerifyReport* report) {
+  ConfinementChecker(fn, params, report).Run();
+}
+
+}  // namespace krx

@@ -1,0 +1,32 @@
+// Read-confinement verification: proves that every memory read in a
+// function's final bytes is justified under the kR^X R^X contract (§5.1.2).
+//
+// A read is justified if it is (a) a safe address (rip-relative/absolute),
+// (b) a plain (%rsp)-relative access (guarded by .krx_phantom; the
+// displacement bound is checked image-wide), or (c) dominated on every path
+// by a range check — cmp/ja against _krx_edata or a bndcu — that covers its
+// displacement with no intervening redefinition, spill or call of the base
+// register. The dominating-check availability dataflow mirrors the O3 model
+// in src/plugin/sfi_pass.cc but is rebuilt independently from decoded bytes.
+#ifndef KRX_SRC_VERIFY_CONFINEMENT_H_
+#define KRX_SRC_VERIFY_CONFINEMENT_H_
+
+#include <cstdint>
+
+#include "src/verify/decoded_function.h"
+#include "src/verify/report.h"
+
+namespace krx {
+
+struct ConfinementParams {
+  uint64_t edata = 0;            // _krx_edata the checks must compare against
+  uint64_t handler_address = 0;  // resolved krx_handler entry (0 if absent)
+  uint64_t guard_size = 0;       // mapped .krx_phantom size (0 if absent)
+};
+
+void CheckReadConfinement(const DecodedFunction& fn, const ConfinementParams& params,
+                          VerifyReport* report);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_VERIFY_CONFINEMENT_H_

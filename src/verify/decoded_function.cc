@@ -1,0 +1,155 @@
+#include "src/verify/decoded_function.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/isa/encoding.h"
+
+namespace krx {
+namespace {
+
+// Ends a basic block: any control transfer, conditional or not.
+bool EndsBlock(const Instruction& inst) {
+  return inst.IsTerminator() || inst.op == Opcode::kJcc;
+}
+
+}  // namespace
+
+const DecodedInst* DecodedFunction::InstAt(uint64_t addr) const {
+  int64_t idx = InstIndexAt(addr);
+  return idx < 0 ? nullptr : &insts[static_cast<size_t>(idx)];
+}
+
+int64_t DecodedFunction::InstIndexAt(uint64_t addr) const {
+  auto it = std::lower_bound(insts.begin(), insts.end(), addr,
+                             [](const DecodedInst& di, uint64_t a) { return di.address < a; });
+  if (it == insts.end() || it->address != addr) {
+    return -1;
+  }
+  return it - insts.begin();
+}
+
+std::string DecodedFunction::SnippetAt(uint64_t addr) const {
+  const DecodedInst* di = InstAt(addr);
+  if (di == nullptr) {
+    return "<no instruction boundary>";
+  }
+  return FormatInstruction(di->inst);
+}
+
+Result<DecodedFunction> DecodeFunction(const KernelImage& image, const std::string& name,
+                                       uint64_t address, uint64_t size) {
+  DecodedFunction fn;
+  fn.name = name;
+  fn.address = address;
+  fn.size = size;
+
+  std::vector<uint8_t> bytes(size);
+  KRX_RETURN_IF_ERROR(image.PeekBytes(address, bytes.data(), bytes.size()));
+
+  // ---- Linear sweep. The assembler lays instructions back to back within
+  // a symbol range (phantom padding included), so a decode failure at any
+  // offset is itself a verification finding. ----
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    auto dec = DecodeInstruction(bytes.data(), bytes.size(), pos);
+    if (!dec.ok()) {
+      return InternalError(name + ": undecodable bytes at +0x" + std::to_string(pos) + ": " +
+                           dec.status().message());
+    }
+    DecodedInst di;
+    di.address = address + pos;
+    di.size = dec->size;
+    di.inst = dec->inst;
+    fn.insts.push_back(di);
+    pos += dec->size;
+  }
+
+  if (fn.insts.empty()) {
+    return fn;
+  }
+
+  // ---- Block boundaries: function entry, every direct-branch target, and
+  // the instruction after every control transfer. ----
+  std::set<uint64_t> starts;
+  starts.insert(address);
+  for (const DecodedInst& di : fn.insts) {
+    if (di.inst.op == Opcode::kJcc || di.inst.op == Opcode::kJmpRel) {
+      uint64_t target = di.BranchTarget();
+      if (fn.Contains(target)) {
+        starts.insert(target);
+      }
+    }
+    if (EndsBlock(di.inst)) {
+      starts.insert(di.address + di.size);
+    }
+  }
+
+  std::vector<size_t> block_of(fn.insts.size(), 0);
+  for (size_t i = 0; i < fn.insts.size(); ++i) {
+    if (starts.count(fn.insts[i].address) > 0) {
+      VerifierBlock b;
+      b.first = i;
+      fn.blocks.push_back(b);
+    }
+    if (fn.blocks.empty()) {
+      return InternalError(name + ": no block covers entry");
+    }
+    fn.blocks.back().count += 1;
+    block_of[i] = fn.blocks.size() - 1;
+  }
+
+  auto block_at = [&](uint64_t addr) -> int32_t {
+    int64_t idx = fn.InstIndexAt(addr);
+    if (idx < 0) {
+      return -1;
+    }
+    size_t b = block_of[static_cast<size_t>(idx)];
+    return fn.blocks[b].first == static_cast<size_t>(idx) ? static_cast<int32_t>(b) : -1;
+  };
+
+  // ---- Successors. ----
+  for (size_t b = 0; b < fn.blocks.size(); ++b) {
+    VerifierBlock& blk = fn.blocks[b];
+    const DecodedInst& last = fn.insts[blk.first + blk.count - 1];
+    const bool has_next = b + 1 < fn.blocks.size();
+    if (last.inst.op == Opcode::kJcc) {
+      uint64_t target = last.BranchTarget();
+      if (fn.Contains(target)) {
+        blk.taken = block_at(target);
+      }
+      blk.fall = has_next ? static_cast<int32_t>(b + 1) : -1;
+    } else if (last.inst.op == Opcode::kJmpRel) {
+      uint64_t target = last.BranchTarget();
+      if (fn.Contains(target)) {
+        blk.taken = block_at(target);
+      }
+      // A jmp out of the symbol range is a tail call: no intra successor.
+    } else if (last.inst.IsTerminator()) {
+      // ret / indirect jmp / hlt / ud2 / sysret: no static successor.
+    } else {
+      blk.fall = has_next ? static_cast<int32_t>(b + 1) : -1;
+    }
+  }
+
+  // ---- Reachability from the entry block. ----
+  std::vector<int32_t> work = {0};
+  while (!work.empty()) {
+    int32_t b = work.back();
+    work.pop_back();
+    if (b < 0 || fn.blocks[static_cast<size_t>(b)].reachable) {
+      continue;
+    }
+    VerifierBlock& blk = fn.blocks[static_cast<size_t>(b)];
+    blk.reachable = true;
+    for (size_t i = 0; i < blk.count; ++i) {
+      fn.insts[blk.first + i].reachable = true;
+    }
+    work.push_back(blk.fall);
+    work.push_back(blk.taken);
+  }
+
+  return fn;
+}
+
+}  // namespace krx

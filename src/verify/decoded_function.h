@@ -1,0 +1,72 @@
+// Binary-level CFG reconstruction for the kR^X verifier.
+//
+// DecodeFunction linearly disassembles a function's symbol range out of the
+// linked image and rebuilds a conservative CFG from the bytes alone: blocks
+// split at every branch target and conditional/unconditional transfer,
+// successors follow direct rel32 edges and fallthrough, and reachability is
+// computed from the function entry. The verifier deliberately does *not*
+// consult any pass-internal IR — it distrusts the compiler, in the spirit
+// of SFI verifiers.
+#ifndef KRX_SRC_VERIFY_DECODED_FUNCTION_H_
+#define KRX_SRC_VERIFY_DECODED_FUNCTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/isa/instruction.h"
+#include "src/kernel/image.h"
+
+namespace krx {
+
+struct DecodedInst {
+  uint64_t address = 0;
+  uint8_t size = 0;
+  bool reachable = false;
+  Instruction inst;
+
+  // Absolute target of a rel32 branch/call (imm is the displacement from the
+  // end of the instruction).
+  uint64_t BranchTarget() const {
+    return address + size + static_cast<uint64_t>(inst.imm);
+  }
+  // Resolved effective address of a rip-relative memory operand.
+  uint64_t RipRelTarget() const {
+    return address + size + static_cast<uint64_t>(inst.mem.disp);
+  }
+};
+
+struct VerifierBlock {
+  size_t first = 0;  // index of the block's first instruction in `insts`
+  size_t count = 0;
+  int32_t fall = -1;   // fallthrough / split successor (block index)
+  int32_t taken = -1;  // direct-branch successor (block index)
+  bool reachable = false;
+};
+
+struct DecodedFunction {
+  std::string name;
+  uint64_t address = 0;
+  uint64_t size = 0;
+  std::vector<DecodedInst> insts;
+  std::vector<VerifierBlock> blocks;
+
+  bool Contains(uint64_t addr) const { return addr >= address && addr < address + size; }
+  // Instruction starting exactly at `addr`, or nullptr.
+  const DecodedInst* InstAt(uint64_t addr) const;
+  // Index (into insts) of the instruction at `addr`, or -1.
+  int64_t InstIndexAt(uint64_t addr) const;
+  // Disassembly of the instruction at `addr` (best effort, for snippets).
+  std::string SnippetAt(uint64_t addr) const;
+};
+
+// Decodes `size` bytes at `address` and reconstructs the CFG. Fails (for a
+// CFG_DECODE diagnostic) if any byte position reached by linear sweep does
+// not decode.
+Result<DecodedFunction> DecodeFunction(const KernelImage& image, const std::string& name,
+                                       uint64_t address, uint64_t size);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_VERIFY_DECODED_FUNCTION_H_

@@ -1,0 +1,34 @@
+// Return-address protection and fine-grained-KASLR invariant checkers
+// (§5.2): xkey XOR pairing at prologue/epilogue and zapping after calls
+// (encryption scheme), decoy slot discipline and live tripwires (decoy
+// scheme), and the pinned entry trampoline plus per-function permutation
+// entropy (diversification). All checks run over decoded bytes.
+#ifndef KRX_SRC_VERIFY_RA_CHECK_H_
+#define KRX_SRC_VERIFY_RA_CHECK_H_
+
+#include <cstdint>
+
+#include "src/kernel/image.h"
+#include "src/verify/decoded_function.h"
+#include "src/verify/report.h"
+
+namespace krx {
+
+struct RaCheckParams {
+  uint64_t edata = 0;      // 0: xkey region containment not checkable
+  bool diversify = false;  // an entry trampoline precedes the prologue
+  int entropy_bits_k = 30;
+};
+
+void CheckRaEncrypt(const DecodedFunction& fn, const KernelImage& image,
+                    const RaCheckParams& params, VerifyReport* report);
+
+void CheckRaDecoy(const DecodedFunction& fn, const KernelImage& image,
+                  const RaCheckParams& params, VerifyReport* report);
+
+void CheckDiversification(const DecodedFunction& fn, const RaCheckParams& params,
+                          VerifyReport* report);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_VERIFY_RA_CHECK_H_

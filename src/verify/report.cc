@@ -1,0 +1,96 @@
+#include "src/verify/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace krx {
+
+const char* RuleName(RuleId rule) {
+  switch (rule) {
+    case RuleId::kCfgDecode: return "CFG_DECODE";
+    case RuleId::kRxLayout: return "RX_LAYOUT";
+    case RuleId::kRxPhysmap: return "RX_PHYSMAP";
+    case RuleId::kRxGuard: return "RX_GUARD";
+    case RuleId::kRxCheckDisp: return "RX_CHECK_DISP";
+    case RuleId::kRxRead: return "RX_READ";
+    case RuleId::kRxXkeys: return "RX_XKEYS";
+    case RuleId::kRaXPrologue: return "RA_X_PROLOGUE";
+    case RuleId::kRaXEpilogue: return "RA_X_EPILOGUE";
+    case RuleId::kRaXCallSite: return "RA_X_CALLSITE";
+    case RuleId::kRaDPrologue: return "RA_D_PROLOGUE";
+    case RuleId::kRaDEpilogue: return "RA_D_EPILOGUE";
+    case RuleId::kRaDTripwire: return "RA_D_TRIPWIRE";
+    case RuleId::kDivEntry: return "DIV_ENTRY";
+    case RuleId::kDivEntropy: return "DIV_ENTROPY";
+    case RuleId::kNumRules: break;
+  }
+  return "??";
+}
+
+std::string Diagnostic::ToString() const {
+  char head[128];
+  if (address != 0) {
+    std::snprintf(head, sizeof(head), "[%s] %s @ 0x%016" PRIx64 ": ", RuleName(rule),
+                  function.empty() ? "<image>" : function.c_str(), address);
+  } else {
+    std::snprintf(head, sizeof(head), "[%s] %s: ", RuleName(rule),
+                  function.empty() ? "<image>" : function.c_str());
+  }
+  std::string out = head;
+  out += message;
+  if (!snippet.empty()) {
+    out += "\n    | " + snippet;
+  }
+  return out;
+}
+
+std::map<RuleId, uint64_t> VerifyReport::RuleCounts() const {
+  std::map<RuleId, uint64_t> counts;
+  for (const Diagnostic& d : diagnostics) {
+    ++counts[d.rule];
+  }
+  return counts;
+}
+
+bool VerifyReport::Violates(RuleId rule) const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.rule == rule) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string VerifyReport::Summary(size_t max_diagnostics) const {
+  std::string out;
+  if (diagnostics.empty()) {
+    out = "verified: no violations\n";
+  } else {
+    out = "violations by rule:\n";
+    for (const auto& [rule, count] : RuleCounts()) {
+      out += "  " + std::string(RuleName(rule)) + ": " + std::to_string(count) + "\n";
+    }
+    size_t shown = 0;
+    for (const Diagnostic& d : diagnostics) {
+      if (max_diagnostics != 0 && shown == max_diagnostics) {
+        out += "  ... " + std::to_string(diagnostics.size() - shown) + " more\n";
+        break;
+      }
+      out += d.ToString() + "\n";
+      ++shown;
+    }
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "checked: %" PRIu64 " functions (%" PRIu64 " exempt), %" PRIu64
+                " reads (%" PRIu64 " safe, %" PRIu64 " rsp, %" PRIu64 " check-justified), %" PRIu64
+                " range checks, %" PRIu64 " RA sites, %" PRIu64 " tripwires\n",
+                counters.functions_checked, counters.functions_exempt, counters.reads_seen,
+                counters.safe_reads, counters.rsp_reads, counters.justified_reads,
+                counters.range_checks_seen, counters.ra_sites_checked,
+                counters.tripwires_verified);
+  out += buf;
+  return out;
+}
+
+}  // namespace krx

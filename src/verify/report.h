@@ -1,0 +1,85 @@
+// Structured diagnostics for the binary-level kR^X verifier.
+//
+// Every violated invariant is reported as a Diagnostic carrying the rule
+// id, the offending function and address, and a disassembly (or structural)
+// snippet — never as a bare boolean. A VerifyReport aggregates diagnostics
+// plus coverage counters so callers can see *what* was proven, not just
+// that nothing failed.
+#ifndef KRX_SRC_VERIFY_REPORT_H_
+#define KRX_SRC_VERIFY_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace krx {
+
+// Invariants the verifier proves over the linked image. Grouped by the
+// paper section they come from: R^X enforcement (§5.1), return-address
+// protection (§5.2.2) and fine-grained KASLR (§5.2.1).
+enum class RuleId : uint8_t {
+  kCfgDecode = 0,   // function bytes do not decode to a well-formed CFG
+  kRxLayout,        // section placement violates the kR^X-KAS split at _krx_edata
+  kRxPhysmap,       // a code-region frame keeps a readable physmap synonym
+  kRxGuard,         // %rsp-relative read displacement exceeds the phantom guard
+  kRxCheckDisp,     // a (coalesced) check's coverage exceeds the guard size
+  kRxRead,          // memory read not dominated by any range-check justification
+  kRxXkeys,         // xkey outside the execute-only region, or never replenished
+  kRaXPrologue,     // missing/malformed xkey XOR at function entry
+  kRaXEpilogue,     // ret/tail-jmp not preceded by the decrypting XOR pair
+  kRaXCallSite,     // call not followed by the stale-plaintext zap store
+  kRaDPrologue,     // missing/malformed {real,decoy} pair setup at entry
+  kRaDEpilogue,     // epilogue does not consume the decoy slot correctly
+  kRaDTripwire,     // call/tail-call without a tripwire lea, or dead tripwire
+  kDivEntry,        // diversified function lacks the pinned entry trampoline
+  kDivEntropy,      // permutable units give fewer than k bits of entropy
+  kNumRules,
+};
+
+const char* RuleName(RuleId rule);
+
+struct Diagnostic {
+  RuleId rule = RuleId::kRxRead;
+  std::string function;  // empty for image-level structural rules
+  uint64_t address = 0;  // 0 when no single address is implicated
+  std::string snippet;   // disassembly / structural context at `address`
+  std::string message;
+
+  std::string ToString() const;
+};
+
+// Counters describing what the verifier covered. Mirrors SfiStats where the
+// concepts line up so `krx_objdump` can show both side by side.
+struct VerifyCounters {
+  uint64_t functions_checked = 0;
+  uint64_t functions_exempt = 0;
+  uint64_t reads_seen = 0;
+  uint64_t safe_reads = 0;
+  uint64_t rsp_reads = 0;
+  uint64_t justified_reads = 0;
+  uint64_t range_checks_seen = 0;
+  uint64_t ra_sites_checked = 0;
+  uint64_t tripwires_verified = 0;
+  int64_t max_rsp_disp = 0;
+};
+
+struct VerifyReport {
+  std::vector<Diagnostic> diagnostics;
+  VerifyCounters counters;
+
+  bool ok() const { return diagnostics.empty(); }
+  void Add(Diagnostic d) { diagnostics.push_back(std::move(d)); }
+
+  // Number of diagnostics per violated rule (violated rules only).
+  std::map<RuleId, uint64_t> RuleCounts() const;
+  bool Violates(RuleId rule) const;
+
+  // Multi-line human-readable rendering; `max_diagnostics` caps the listing
+  // (0 = unlimited) — the per-rule totals are always printed in full.
+  std::string Summary(size_t max_diagnostics = 0) const;
+};
+
+}  // namespace krx
+
+#endif  // KRX_SRC_VERIFY_REPORT_H_

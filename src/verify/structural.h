@@ -1,0 +1,34 @@
+// Structural (whole-image) invariant checkers for the kR^X verifier:
+// section disjointness around _krx_edata, physmap synonym removal, the
+// phantom-guard bound on %rsp-relative reads, and xkey residency in the
+// execute-only region.
+#ifndef KRX_SRC_VERIFY_STRUCTURAL_H_
+#define KRX_SRC_VERIFY_STRUCTURAL_H_
+
+#include "src/kernel/image.h"
+#include "src/verify/report.h"
+
+namespace krx {
+
+// kR^X-KAS layout (§5.1.1): data sections end below _krx_edata, code-region
+// sections (.text, .krx_xkeys, __ex_table, module text) start at or above
+// it, the .krx_phantom guard fills [edata, code base), and no two sections
+// overlap.
+void CheckImageLayout(const KernelImage& image, VerifyReport* report);
+
+// No physical frame backing a code-region section may keep a readable
+// physmap alias (§5.1.1 "physmap").
+void CheckPhysmapSynonyms(const KernelImage& image, VerifyReport* report);
+
+// Uninstrumented (%rsp)-relative reads are only sound while their maximum
+// displacement stays below the guard size; called after read confinement
+// has accumulated counters.max_rsp_disp.
+void CheckGuardBound(const KernelImage& image, VerifyReport* report);
+
+// Return-address encryption (§5.2.2): every xkey$<fn> slot must live in the
+// execute-only region and hold a (replenished) nonzero key.
+void CheckXkeys(const KernelImage& image, VerifyReport* report);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_VERIFY_STRUCTURAL_H_

@@ -1,0 +1,89 @@
+#include "src/verify/verifier.h"
+
+#include "src/verify/confinement.h"
+#include "src/verify/decoded_function.h"
+#include "src/verify/ra_check.h"
+#include "src/verify/structural.h"
+
+namespace krx {
+
+VerifyOptions VerifyOptions::ForConfig(const ProtectionConfig& config) {
+  VerifyOptions opts;
+  opts.check_rx = config.HasRangeChecks() || config.mpx;
+  opts.mpx = config.mpx;
+  opts.check_ra_encrypt = config.ra == RaScheme::kEncrypt;
+  opts.check_ra_decoy = config.ra == RaScheme::kDecoy;
+  opts.check_diversify = config.diversify;
+  opts.entropy_bits_k = config.entropy_bits_k;
+  opts.exempt_functions = config.exempt_functions;
+  return opts;
+}
+
+VerifyReport VerifyImage(const KernelImage& image, const VerifyOptions& options) {
+  VerifyReport report;
+
+  ConfinementParams rx;
+  rx.edata = image.krx_edata();
+  auto handler = image.symbols().AddressOf(kKrxHandlerName);
+  rx.handler_address = handler.ok() ? *handler : 0;
+  const PlacedSection* guard = image.FindSection(".krx_phantom");
+  rx.guard_size = guard != nullptr ? guard->mapped_size : 0;
+
+  RaCheckParams ra;
+  ra.edata = image.krx_edata();
+  ra.diversify = options.check_diversify;
+  ra.entropy_bits_k = options.entropy_bits_k;
+
+  const SymbolTable& symbols = image.symbols();
+  for (int32_t i = 0; i < static_cast<int32_t>(symbols.size()); ++i) {
+    const Symbol& sym = symbols.at(i);
+    if (!sym.defined || sym.kind != SymbolKind::kFunction || sym.size == 0) {
+      continue;
+    }
+    if (sym.name == kKrxHandlerName || options.exempt_functions.count(sym.name) > 0) {
+      ++report.counters.functions_exempt;
+      continue;
+    }
+    auto decoded = DecodeFunction(image, sym.name, sym.address, sym.size);
+    if (!decoded.ok()) {
+      Diagnostic d;
+      d.rule = RuleId::kCfgDecode;
+      d.function = sym.name;
+      d.address = sym.address;
+      d.message = decoded.status().message();
+      report.Add(std::move(d));
+      continue;
+    }
+    ++report.counters.functions_checked;
+    if (options.check_rx) {
+      CheckReadConfinement(*decoded, rx, &report);
+    }
+    if (options.check_ra_encrypt) {
+      CheckRaEncrypt(*decoded, image, ra, &report);
+    }
+    if (options.check_ra_decoy) {
+      CheckRaDecoy(*decoded, image, ra, &report);
+    }
+    if (options.check_diversify) {
+      CheckDiversification(*decoded, ra, &report);
+    }
+  }
+
+  // Structural R^X checks: always with read confinement, and also for any
+  // kR^X-KAS image being verified at all (a diversified-only build still
+  // promises the section split and physmap treatment its layout claims).
+  if (options.check_rx ||
+      (options.AnyChecks() && image.layout() == LayoutKind::kKrx)) {
+    CheckImageLayout(image, &report);
+    CheckPhysmapSynonyms(image, &report);
+  }
+  if (options.check_rx) {
+    CheckGuardBound(image, &report);
+  }
+  if (options.check_ra_encrypt) {
+    CheckXkeys(image, &report);
+  }
+  return report;
+}
+
+}  // namespace krx

@@ -1,0 +1,45 @@
+// Top-level kR^X binary verifier: proves the R^X and diversification
+// contract on a linked KernelImage from decoded bytes alone — an
+// SFI-verifier-style independent check that distrusts the instrumentation
+// passes (the paper's §4 invariants, enforced on the artifact).
+#ifndef KRX_SRC_VERIFY_VERIFIER_H_
+#define KRX_SRC_VERIFY_VERIFIER_H_
+
+#include <set>
+#include <string>
+
+#include "src/kernel/image.h"
+#include "src/plugin/pass_config.h"
+#include "src/verify/report.h"
+
+namespace krx {
+
+// Which invariants to prove. Derive from a ProtectionConfig with ForConfig,
+// or set fields directly (the CLI forces check_rx on vanilla images to
+// demonstrate where they fail).
+struct VerifyOptions {
+  bool check_rx = false;          // layout, physmap, read confinement, guard
+  bool mpx = false;               // reads may also be justified by bndcu
+  bool check_ra_encrypt = false;  // xkey XOR pairing + zaps + key residency
+  bool check_ra_decoy = false;    // decoy slot discipline + live tripwires
+  bool check_diversify = false;   // entry trampoline + permutation entropy
+  int entropy_bits_k = 30;
+  // Functions the pipeline left uninstrumented (hand-written-assembly
+  // analogues, §6); the verifier skips them and counts them as exempt.
+  std::set<std::string> exempt_functions;
+
+  static VerifyOptions ForConfig(const ProtectionConfig& config);
+
+  bool AnyChecks() const {
+    return check_rx || check_ra_encrypt || check_ra_decoy || check_diversify;
+  }
+};
+
+// Runs every enabled checker over every defined function symbol plus the
+// whole-image structural checks. Never fails as a Status: problems are
+// diagnostics in the returned report (report.ok() == verified).
+VerifyReport VerifyImage(const KernelImage& image, const VerifyOptions& options);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_VERIFY_VERIFIER_H_

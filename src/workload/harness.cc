@@ -26,6 +26,40 @@ std::vector<Column> Table1Columns(uint64_t seed) {
   return cols;
 }
 
+bool ParseConfigName(const std::string& name, uint64_t seed, ProtectionConfig* config,
+                     LayoutKind* layout) {
+  *layout = LayoutKind::kKrx;
+  if (name == "vanilla") {
+    *config = ProtectionConfig::Vanilla();
+    *layout = LayoutKind::kVanilla;
+  } else if (name == "sfi-o0") {
+    *config = ProtectionConfig::SfiOnly(SfiLevel::kO0);
+  } else if (name == "sfi-o1") {
+    *config = ProtectionConfig::SfiOnly(SfiLevel::kO1);
+  } else if (name == "sfi-o2") {
+    *config = ProtectionConfig::SfiOnly(SfiLevel::kO2);
+  } else if (name == "sfi-o3" || name == "sfi") {
+    *config = ProtectionConfig::SfiOnly(SfiLevel::kO3);
+  } else if (name == "mpx") {
+    *config = ProtectionConfig::MpxOnly();
+  } else if (name == "d") {
+    *config = ProtectionConfig::DiversifyOnly(RaScheme::kDecoy, seed);
+  } else if (name == "x") {
+    *config = ProtectionConfig::DiversifyOnly(RaScheme::kEncrypt, seed);
+  } else if (name == "sfi+d") {
+    *config = ProtectionConfig::Full(false, RaScheme::kDecoy, seed);
+  } else if (name == "sfi+x") {
+    *config = ProtectionConfig::Full(false, RaScheme::kEncrypt, seed);
+  } else if (name == "mpx+d") {
+    *config = ProtectionConfig::Full(true, RaScheme::kDecoy, seed);
+  } else if (name == "mpx+x") {
+    *config = ProtectionConfig::Full(true, RaScheme::kEncrypt, seed);
+  } else {
+    return false;
+  }
+  return true;
+}
+
 KernelSource MakeBenchSource(uint64_t seed) {
   CorpusOptions opts;
   opts.seed = seed;

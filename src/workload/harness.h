@@ -22,6 +22,16 @@ struct Column {
 // The 11 protection columns of Tables 1 and 2, in kTable1ColumnNames order.
 std::vector<Column> Table1Columns(uint64_t seed);
 
+// CLI-style config names shared by krx_objdump and krx_verify:
+//   vanilla | sfi-o0..sfi-o3 | sfi | mpx | d | x | sfi+d | sfi+x | mpx+d |
+//   mpx+x. Returns false on an unknown name.
+bool ParseConfigName(const std::string& name, uint64_t seed, ProtectionConfig* config,
+                     LayoutKind* layout);
+
+// The accepted names, for usage messages.
+inline constexpr const char* kConfigNamesUsage =
+    "vanilla|sfi-o0..o3|mpx|d|x|sfi+d|sfi+x|mpx+d|mpx+x";
+
 // Base corpus + one kernel op per LMBench row.
 KernelSource MakeBenchSource(uint64_t seed);
 

@@ -51,8 +51,11 @@ TEST(KaslrPass, PhantomBlocksNeverTargeted) {
         EXPECT_NE(inst.target_block, b.id);
       }
     }
-    for (const Instruction& inst : b.insts) {
-      EXPECT_EQ(inst.op, Opcode::kInt3);
+    // int3 padding closed by the ud2 byte-level phantom-block marker.
+    ASSERT_FALSE(b.insts.empty());
+    EXPECT_EQ(b.insts.back().op, Opcode::kUd2);
+    for (size_t i = 0; i + 1 < b.insts.size(); ++i) {
+      EXPECT_EQ(b.insts[i].op, Opcode::kInt3);
     }
   }
   EXPECT_TRUE(fn.Validate().ok());

@@ -1,0 +1,294 @@
+// Binary-level verifier (src/verify/): the config matrix verifies clean,
+// vanilla demonstrably fails R^X, exemptions are honored, and single-byte
+// image corruptions are pinned to exactly the right rule — the soundness
+// half of an SFI-style verifier's contract.
+#include <gtest/gtest.h>
+
+#include "src/isa/encoding.h"
+#include "src/plugin/pipeline.h"
+#include "src/verify/decoded_function.h"
+#include "src/verify/verifier.h"
+#include "src/workload/harness.h"
+
+namespace krx {
+namespace {
+
+constexpr uint64_t kSeed = 0xD15A;
+
+CompiledKernel Build(const ProtectionConfig& config, LayoutKind layout) {
+  auto kernel = CompileKernel(MakeBenchSource(kSeed), config, layout);
+  KRX_CHECK_OK(kernel.status());
+  return std::move(*kernel);
+}
+
+// All diagnostics in `report` carry `rule` (and there is at least one).
+void ExpectOnlyRule(const VerifyReport& report, RuleId rule) {
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Violates(rule)) << report.Summary(4);
+  for (const Diagnostic& d : report.diagnostics) {
+    EXPECT_EQ(static_cast<int>(d.rule), static_cast<int>(rule)) << d.ToString();
+  }
+}
+
+// Overwrites the instruction at `di` in place with `repl`. Encodings are
+// operand-value independent in size, so in-place rewrites always fit.
+void Rewrite(KernelImage& image, const DecodedInst& di, const Instruction& repl) {
+  std::vector<uint8_t> bytes;
+  EncodeInstruction(repl, bytes);
+  ASSERT_EQ(bytes.size(), di.size);
+  KRX_CHECK_OK(image.PokeBytes(di.address, bytes.data(), bytes.size()));
+}
+
+// Index of a range-check `cmp base, imm` + `ja` pair in `fn`, or -1. A
+// range-check immediate sits within one guard-size below edata — no
+// workload compare comes near that band.
+int64_t FindRangeCheckCmp(const DecodedFunction& fn, uint64_t edata) {
+  for (size_t i = 0; i + 1 < fn.insts.size(); ++i) {
+    const Instruction& inst = fn.insts[i].inst;
+    const Instruction& next = fn.insts[i + 1].inst;
+    if (inst.op == Opcode::kCmpRI && static_cast<uint64_t>(inst.imm) <= edata &&
+        static_cast<uint64_t>(inst.imm) >= edata - 4096 && next.op == Opcode::kJcc &&
+        next.cond == Cond::kA) {
+      return static_cast<int64_t>(i);
+    }
+  }
+  return -1;
+}
+
+// Some function in `image` containing a range check (which function gets
+// one depends on the corpus RNG, so scan instead of hardcoding a name).
+struct RangeCheckSite {
+  DecodedFunction fn;
+  size_t index = 0;
+};
+
+bool FindRangeCheckSite(const KernelImage& image, RangeCheckSite* out) {
+  const SymbolTable& symbols = image.symbols();
+  for (int32_t i = 0; i < static_cast<int32_t>(symbols.size()); ++i) {
+    const Symbol& sym = symbols.at(i);
+    if (!sym.defined || sym.kind != SymbolKind::kFunction || sym.size == 0 ||
+        sym.name == kKrxHandlerName) {
+      continue;
+    }
+    auto fn = DecodeFunction(image, sym.name, sym.address, sym.size);
+    if (!fn.ok()) {
+      continue;
+    }
+    int64_t idx = FindRangeCheckCmp(*fn, image.krx_edata());
+    if (idx >= 0) {
+      out->fn = std::move(*fn);
+      out->index = static_cast<size_t>(idx);
+      return true;
+    }
+  }
+  return false;
+}
+
+// Decoded view of a defined function symbol.
+DecodedFunction Decode(const KernelImage& image, const std::string& name) {
+  int32_t idx = image.symbols().Find(name);
+  KRX_CHECK(idx >= 0 && image.symbols().at(idx).defined);
+  const Symbol& sym = image.symbols().at(idx);
+  auto fn = DecodeFunction(image, sym.name, sym.address, sym.size);
+  KRX_CHECK_OK(fn.status());
+  return std::move(*fn);
+}
+
+// Real entry of a (possibly diversified) function: follow the pinned entry
+// trampoline and any connector jmps to the first non-jmp instruction.
+int64_t EntryIndex(const DecodedFunction& fn) {
+  int64_t idx = 0;
+  for (int hops = 0; hops < 16; ++hops) {
+    const DecodedInst& di = fn.insts[static_cast<size_t>(idx)];
+    if (di.inst.op != Opcode::kJmpRel || !fn.Contains(di.BranchTarget())) {
+      return idx;
+    }
+    idx = fn.InstIndexAt(di.BranchTarget());
+    if (idx < 0) {
+      return -1;
+    }
+  }
+  return idx;
+}
+
+TEST(VerifyMatrix, VanillaFailsRxByConstruction) {
+  CompiledKernel kernel = Build(ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  VerifyOptions opts;    // nothing derivable from a vanilla config...
+  opts.check_rx = true;  // ...so force the R^X rules, as the CLI does
+  VerifyReport report = VerifyImage(*kernel.image, opts);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Violates(RuleId::kRxLayout));
+  EXPECT_TRUE(report.Violates(RuleId::kRxPhysmap));
+  EXPECT_TRUE(report.Violates(RuleId::kRxRead));
+  EXPECT_GT(report.counters.reads_seen, 0u);
+}
+
+TEST(VerifyMatrix, EveryProtectedConfigVerifies) {
+  for (const Column& col : Table1Columns(kSeed)) {
+    CompiledKernel kernel = Build(col.config, col.layout);
+    VerifyReport report = VerifyImage(*kernel.image, VerifyOptions::ForConfig(col.config));
+    EXPECT_TRUE(report.ok()) << col.name << ":\n" << report.Summary(4);
+    EXPECT_GT(report.counters.functions_checked, 0u) << col.name;
+  }
+}
+
+TEST(VerifyMatrix, ExemptFunctionsAreSkippedButStayDangerous) {
+  // Pick a function the O3 pass actually instrumented...
+  CompiledKernel baseline = Build(ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx);
+  RangeCheckSite site;
+  ASSERT_TRUE(FindRangeCheckSite(*baseline.image, &site));
+
+  // ...and rebuild with it exempted, as ftrace/KProbes readers would be.
+  ProtectionConfig config = ProtectionConfig::SfiOnly(SfiLevel::kO3);
+  config.exempt_functions = {site.fn.name};
+  CompiledKernel kernel = Build(config, LayoutKind::kKrx);
+
+  // With the exemption the image verifies (the verifier skips it too)...
+  VerifyOptions opts = VerifyOptions::ForConfig(config);
+  VerifyReport report = VerifyImage(*kernel.image, opts);
+  EXPECT_TRUE(report.ok()) << report.Summary(4);
+  EXPECT_GE(report.counters.functions_exempt, 2u);  // exempt fn + krx_handler
+
+  // ...but dropping the exemption exposes its uninstrumented reads: the
+  // verifier, not the pass, is what notices.
+  opts.exempt_functions.clear();
+  ExpectOnlyRule(VerifyImage(*kernel.image, opts), RuleId::kRxRead);
+}
+
+TEST(VerifyMutation, DroppedCmpIsCaught) {
+  CompiledKernel kernel = Build(ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx);
+  VerifyOptions opts = VerifyOptions::ForConfig(kernel.config);
+  ASSERT_TRUE(VerifyImage(*kernel.image, opts).ok());
+
+  RangeCheckSite site;
+  ASSERT_TRUE(FindRangeCheckSite(*kernel.image, &site));
+  // Neutralize the check: compare a register the read never goes through.
+  Instruction cmp = site.fn.insts[site.index].inst;
+  cmp.r1 = cmp.r1 == Reg::kRax ? Reg::kRbx : Reg::kRax;
+  Rewrite(*kernel.image, site.fn.insts[site.index], cmp);
+
+  ExpectOnlyRule(VerifyImage(*kernel.image, opts), RuleId::kRxRead);
+}
+
+TEST(VerifyMutation, RetargetedJaIsCaught) {
+  CompiledKernel kernel = Build(ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx);
+  VerifyOptions opts = VerifyOptions::ForConfig(kernel.config);
+  ASSERT_TRUE(VerifyImage(*kernel.image, opts).ok());
+
+  RangeCheckSite site;
+  ASSERT_TRUE(FindRangeCheckSite(*kernel.image, &site));
+  // Point the ja at its own fallthrough: the check no longer has a
+  // violation edge, so it proves nothing about the read it guarded.
+  Instruction ja = site.fn.insts[site.index + 1].inst;
+  ja.imm = 0;
+  Rewrite(*kernel.image, site.fn.insts[site.index + 1], ja);
+
+  ExpectOnlyRule(VerifyImage(*kernel.image, opts), RuleId::kRxRead);
+}
+
+TEST(VerifyMutation, ZeroedXkeyIsCaught) {
+  CompiledKernel kernel =
+      Build(ProtectionConfig::DiversifyOnly(RaScheme::kEncrypt, kSeed), LayoutKind::kKrx);
+  VerifyOptions opts = VerifyOptions::ForConfig(kernel.config);
+  ASSERT_TRUE(VerifyImage(*kernel.image, opts).ok());
+
+  int32_t sym = kernel.image->symbols().Find("xkey$util_1");
+  ASSERT_GE(sym, 0);
+  KRX_CHECK_OK(kernel.image->Poke64(kernel.image->symbols().at(sym).address, 0));
+
+  ExpectOnlyRule(VerifyImage(*kernel.image, opts), RuleId::kRxXkeys);
+}
+
+TEST(VerifyMutation, BrokenEncryptPrologueIsCaught) {
+  CompiledKernel kernel =
+      Build(ProtectionConfig::DiversifyOnly(RaScheme::kEncrypt, kSeed), LayoutKind::kKrx);
+  VerifyOptions opts = VerifyOptions::ForConfig(kernel.config);
+  ASSERT_TRUE(VerifyImage(*kernel.image, opts).ok());
+
+  // Entry trampoline -> xkey load -> `xor %r11, (%rsp)`. Shift the xor one
+  // slot up the stack: the return address is no longer encrypted.
+  DecodedFunction fn = Decode(*kernel.image, "util_1");
+  int64_t entry = EntryIndex(fn);
+  ASSERT_GE(entry, 0);
+  ASSERT_EQ(fn.insts[static_cast<size_t>(entry)].inst.op, Opcode::kLoad);
+  const DecodedInst& xor_inst = fn.insts[static_cast<size_t>(entry) + 1];
+  ASSERT_EQ(xor_inst.inst.op, Opcode::kXorMR);
+  Instruction broken = xor_inst.inst;
+  broken.mem = MemOperand::Base(Reg::kRsp, 8);
+  Rewrite(*kernel.image, xor_inst, broken);
+
+  ExpectOnlyRule(VerifyImage(*kernel.image, opts), RuleId::kRaXPrologue);
+}
+
+TEST(VerifyMutation, DeadTripwireIsCaught) {
+  CompiledKernel kernel =
+      Build(ProtectionConfig::DiversifyOnly(RaScheme::kDecoy, kSeed), LayoutKind::kKrx);
+  VerifyOptions opts = VerifyOptions::ForConfig(kernel.config);
+  VerifyReport base = VerifyImage(*kernel.image, opts);
+  ASSERT_TRUE(base.ok()) << base.Summary(4);
+  ASSERT_GT(base.counters.tripwires_verified, 0u);
+
+  // Find a tripwire lea (rip-relative into %r11 right before a call) and
+  // bend it to point at the call itself — a decoy that would execute real
+  // code instead of trapping.
+  const SymbolTable& symbols = kernel.image->symbols();
+  bool mutated = false;
+  for (int32_t s = 0; s < static_cast<int32_t>(symbols.size()) && !mutated; ++s) {
+    const Symbol& sym = symbols.at(s);
+    if (!sym.defined || sym.kind != SymbolKind::kFunction || sym.size == 0 ||
+        sym.name == kKrxHandlerName) {
+      continue;
+    }
+    auto fn = DecodeFunction(*kernel.image, sym.name, sym.address, sym.size);
+    KRX_CHECK_OK(fn.status());
+    for (size_t i = 0; i + 1 < fn->insts.size(); ++i) {
+      const DecodedInst& di = fn->insts[i];
+      if (di.reachable && di.inst.op == Opcode::kLea && di.inst.r1 == Reg::kR11 &&
+          di.inst.mem.rip_relative && fn->insts[i + 1].inst.IsCall()) {
+        Instruction bent = di.inst;
+        bent.mem.disp = 0;  // EA = end of the lea = the call instruction
+        Rewrite(*kernel.image, di, bent);
+        mutated = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(mutated);
+  ExpectOnlyRule(VerifyImage(*kernel.image, opts), RuleId::kRaDTripwire);
+}
+
+TEST(VerifyHook, PostLinkToggleGovernsCompile) {
+  // The suite runs with KRX_POST_LINK_VERIFY=1; the explicit setter
+  // overrides in both directions and the hook accepts a sound build.
+  SetPostLinkVerify(true);
+  EXPECT_TRUE(PostLinkVerifyEnabled());
+  auto kernel = CompileKernel(MakeBenchSource(kSeed), ProtectionConfig::SfiOnly(SfiLevel::kO3),
+                              LayoutKind::kKrx);
+  EXPECT_TRUE(kernel.ok()) << kernel.status().ToString();
+  SetPostLinkVerify(false);
+  EXPECT_FALSE(PostLinkVerifyEnabled());
+  SetPostLinkVerify(true);
+}
+
+TEST(VerifyReportFormat, DiagnosticCarriesRuleFunctionAddressSnippet) {
+  CompiledKernel kernel = Build(ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  VerifyOptions opts;
+  opts.check_rx = true;
+  VerifyReport report = VerifyImage(*kernel.image, opts);
+  ASSERT_TRUE(report.Violates(RuleId::kRxRead));
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.rule != RuleId::kRxRead) {
+      continue;
+    }
+    EXPECT_FALSE(d.function.empty());
+    EXPECT_NE(d.address, 0u);
+    EXPECT_FALSE(d.snippet.empty());
+    std::string text = d.ToString();
+    EXPECT_NE(text.find("RX_READ"), std::string::npos);
+    EXPECT_NE(text.find(d.function), std::string::npos);
+    break;
+  }
+}
+
+}  // namespace
+}  // namespace krx

@@ -15,44 +15,11 @@
 
 #include "src/attack/gadget_scanner.h"
 #include "src/isa/encoding.h"
+#include "src/verify/verifier.h"
 #include "src/workload/harness.h"
 
 namespace krx {
 namespace {
-
-bool ParseConfig(const std::string& name, ProtectionConfig* config, LayoutKind* layout) {
-  const uint64_t seed = 0xD15A;
-  *layout = LayoutKind::kKrx;
-  if (name == "vanilla") {
-    *config = ProtectionConfig::Vanilla();
-    *layout = LayoutKind::kVanilla;
-  } else if (name == "sfi-o0") {
-    *config = ProtectionConfig::SfiOnly(SfiLevel::kO0);
-  } else if (name == "sfi-o1") {
-    *config = ProtectionConfig::SfiOnly(SfiLevel::kO1);
-  } else if (name == "sfi-o2") {
-    *config = ProtectionConfig::SfiOnly(SfiLevel::kO2);
-  } else if (name == "sfi-o3" || name == "sfi") {
-    *config = ProtectionConfig::SfiOnly(SfiLevel::kO3);
-  } else if (name == "mpx") {
-    *config = ProtectionConfig::MpxOnly();
-  } else if (name == "d") {
-    *config = ProtectionConfig::DiversifyOnly(RaScheme::kDecoy, seed);
-  } else if (name == "x") {
-    *config = ProtectionConfig::DiversifyOnly(RaScheme::kEncrypt, seed);
-  } else if (name == "sfi+d") {
-    *config = ProtectionConfig::Full(false, RaScheme::kDecoy, seed);
-  } else if (name == "sfi+x") {
-    *config = ProtectionConfig::Full(false, RaScheme::kEncrypt, seed);
-  } else if (name == "mpx+d") {
-    *config = ProtectionConfig::Full(true, RaScheme::kDecoy, seed);
-  } else if (name == "mpx+x") {
-    *config = ProtectionConfig::Full(true, RaScheme::kEncrypt, seed);
-  } else {
-    return false;
-  }
-  return true;
-}
 
 void Disassemble(const KernelImage& image, const Symbol& sym) {
   std::printf("\n%016" PRIx64 " <%s>:  (%" PRIu64 " bytes)\n", sym.address, sym.name.c_str(),
@@ -95,11 +62,9 @@ int Main(int argc, char** argv) {
   std::string config_name = argc > 1 ? argv[1] : "sfi+x";
   ProtectionConfig config;
   LayoutKind layout;
-  if (!ParseConfig(config_name, &config, &layout)) {
-    std::fprintf(stderr,
-                 "unknown config '%s'\nusage: krx_objdump "
-                 "[vanilla|sfi-o0..o3|mpx|d|x|sfi+d|sfi+x|mpx+d|mpx+x] [function...]\n",
-                 config_name.c_str());
+  if (!ParseConfigName(config_name, 0xD15A, &config, &layout)) {
+    std::fprintf(stderr, "unknown config '%s'\nusage: krx_objdump [%s] [function...]\n",
+                 config_name.c_str(), kConfigNamesUsage);
     return 2;
   }
 
@@ -124,8 +89,10 @@ int Main(int argc, char** argv) {
   }
 
   // Gadget census over .text.
-  {
-    const PlacedSection* text = image.FindSection(".text");
+  const PlacedSection* text = image.FindSection(".text");
+  if (text == nullptr) {
+    std::fprintf(stderr, "no .text section in this image; skipping gadget census\n");
+  } else {
     std::vector<uint8_t> bytes(text->size);
     KRX_CHECK(image.PeekBytes(text->vaddr, bytes.data(), bytes.size()).ok());
     GadgetScanner scanner;
@@ -133,6 +100,45 @@ int Main(int argc, char** argv) {
     auto jop = scanner.ScanJop(bytes.data(), bytes.size(), text->vaddr);
     std::printf("\nGadget census: %zu ROP, %zu JOP (discoverable only if code is readable)\n",
                 rop.size(), jop.size());
+  }
+
+  // Instrumentation statistics (pass-side view).
+  {
+    const SfiStats& s = kernel->stats.sfi;
+    std::printf("\nSFI stats: %" PRIu64 " read sites (%" PRIu64 " safe, %" PRIu64
+                " rsp-guarded, %" PRIu64 " string), %" PRIu64 " checks emitted, %" PRIu64
+                " coalesced (%.1f%%), wrappers %" PRIu64 " kept / %" PRIu64
+                " elided, lea %" PRIu64 " kept / %" PRIu64 " elided\n",
+                s.read_sites, s.safe_reads, s.rsp_reads, s.string_checks, s.checks_emitted,
+                s.checks_coalesced, s.CoalescingRate(), s.wrappers_kept, s.wrappers_eliminated,
+                s.lea_kept, s.lea_eliminated);
+  }
+
+  // Verifier view of the same image (binary-level, pass-independent). On a
+  // vanilla build the R^X checks are forced on to show what it fails.
+  {
+    VerifyOptions vopts = VerifyOptions::ForConfig(config);
+    if (layout == LayoutKind::kVanilla) {
+      vopts.check_rx = true;
+    }
+    VerifyReport report = VerifyImage(image, vopts);
+    const VerifyCounters& c = report.counters;
+    std::printf("\nVerifier: %" PRIu64 " functions checked (%" PRIu64 " exempt), %" PRIu64
+                " reads seen (%" PRIu64 " safe, %" PRIu64 " rsp, %" PRIu64
+                " check-justified), %" PRIu64 " range checks, %" PRIu64 " RA sites, %" PRIu64
+                " tripwires\n",
+                c.functions_checked, c.functions_exempt, c.reads_seen, c.safe_reads, c.rsp_reads,
+                c.justified_reads, c.range_checks_seen, c.ra_sites_checked,
+                c.tripwires_verified);
+    if (report.ok()) {
+      std::printf("Verifier verdict: PASS (no rule violations)\n");
+    } else {
+      std::printf("Verifier verdict: FAIL —");
+      for (const auto& [rule, count] : report.RuleCounts()) {
+        std::printf(" %s:%" PRIu64, RuleName(rule), count);
+      }
+      std::printf("\n");
+    }
   }
 
   // Disassembly.

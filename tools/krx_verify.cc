@@ -1,0 +1,107 @@
+// krx-verify: build the bench corpus kernel under a protection config and
+// statically prove the kR^X contract on the linked bytes (src/verify/).
+//
+// Usage:
+//   krx_verify [--expect-fail] <config>   verify one configuration
+//   krx_verify all                        verify the whole config matrix
+//     config: vanilla | sfi-o0..sfi-o3 | mpx | d | x | sfi+d | sfi+x |
+//             mpx+d | mpx+x
+//
+// Checks are derived from the config (confinement for SFI/MPX builds, RA
+// rules for X/D, entropy for diversified builds). On a vanilla build the
+// R^X group is forced on — it is *supposed* to fail (code and data share
+// readable regions), which `all` asserts.
+//
+// Exit codes: 0 = expectations met (verified, or failed as expected),
+//             1 = rule violations (or an expected failure did not occur),
+//             2 = usage or build error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/verify/verifier.h"
+#include "src/workload/harness.h"
+
+namespace krx {
+namespace {
+
+constexpr uint64_t kSeed = 0xD15A;
+
+// Returns 0/1/2 like main; prints the report summary.
+int VerifyOneConfig(const std::string& name, bool expect_fail) {
+  ProtectionConfig config;
+  LayoutKind layout;
+  if (!ParseConfigName(name, kSeed, &config, &layout)) {
+    std::fprintf(stderr, "unknown config '%s'\n", name.c_str());
+    return 2;
+  }
+  // The hook would reject unverifiable builds before we get to report them.
+  SetPostLinkVerify(false);
+  auto kernel = CompileKernel(MakeBenchSource(kSeed), config, layout);
+  if (!kernel.ok()) {
+    std::fprintf(stderr, "%s: build failed: %s\n", name.c_str(),
+                 kernel.status().ToString().c_str());
+    return 2;
+  }
+  VerifyOptions opts = VerifyOptions::ForConfig(config);
+  if (layout == LayoutKind::kVanilla) {
+    // A vanilla build enables no checks on its own; force the R^X group so
+    // the tool demonstrates exactly which invariants the baseline violates.
+    opts.check_rx = true;
+  }
+  VerifyReport report = VerifyImage(*kernel->image, opts);
+
+  std::printf("== %s ==\n%s", name.c_str(), report.Summary(8).c_str());
+  if (expect_fail) {
+    if (report.ok()) {
+      std::printf("result: UNEXPECTED PASS (violations were expected)\n\n");
+      return 1;
+    }
+    std::printf("result: FAIL (as expected)\n\n");
+    return 0;
+  }
+  std::printf("result: %s\n\n", report.ok() ? "PASS" : "FAIL");
+  return report.ok() ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  bool expect_fail = false;
+  std::string config_name;
+  for (const std::string& a : args) {
+    if (a == "--expect-fail") {
+      expect_fail = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
+      return 2;
+    } else if (config_name.empty()) {
+      config_name = a;
+    } else {
+      std::fprintf(stderr, "extra argument '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+  if (config_name.empty()) {
+    std::fprintf(stderr, "usage: krx_verify [--expect-fail] <%s> | all\n", kConfigNamesUsage);
+    return 2;
+  }
+
+  if (config_name == "all") {
+    // Vanilla must fail R^X; every kR^X config must verify clean.
+    int worst = VerifyOneConfig("vanilla", /*expect_fail=*/true);
+    for (const char* name : {"sfi-o0", "sfi-o1", "sfi-o2", "sfi-o3", "mpx", "d", "x", "sfi+d",
+                             "sfi+x", "mpx+d", "mpx+x"}) {
+      int rc = VerifyOneConfig(name, /*expect_fail=*/false);
+      worst = std::max(worst, rc);
+    }
+    std::printf("matrix: %s\n", worst == 0 ? "all expectations met" : "FAILURES");
+    return worst;
+  }
+  return VerifyOneConfig(config_name, expect_fail);
+}
+
+}  // namespace
+}  // namespace krx
+
+int main(int argc, char** argv) { return krx::Main(argc, argv); }
