@@ -86,6 +86,17 @@ void InstMix::Count(Opcode op) {
   }
 }
 
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kReturned: return "returned";
+    case StopReason::kHalted: return "halted";
+    case StopReason::kException: return "exception";
+    case StopReason::kStepLimit: return "step-limit";
+    case StopReason::kHostError: return "host-error";
+  }
+  return "??";
+}
+
 const char* ExceptionKindName(ExceptionKind kind) {
   switch (kind) {
     case ExceptionKind::kNone: return "none";
@@ -101,9 +112,14 @@ const char* ExceptionKindName(ExceptionKind kind) {
 Cpu::Cpu(KernelImage* image, CostModel cost, CpuOptions options)
     : image_(image), cost_(cost), options_(options) {
   auto stack = image_->AllocDataPages(options_.stack_pages);
-  KRX_CHECK(stack.ok());
-  stack_base_ = *stack;
-  stack_top_ = stack_base_ + options_.stack_pages * kPageSize;
+  if (!stack.ok()) {
+    // Degrade instead of aborting the host: the failure surfaces as a
+    // kHostError result on the first CallFunction.
+    init_error_ = "kernel stack allocation failed: " + stack.status().ToString();
+  } else {
+    stack_base_ = *stack;
+    stack_top_ = stack_base_ + options_.stack_pages * kPageSize;
+  }
 
   int32_t h = image_->symbols().Find(kKrxHandlerName);
   if (h >= 0 && image_->symbols().at(h).defined) {
@@ -567,7 +583,16 @@ bool Cpu::Step() {
         one();
       } else {
         const bool conditional = in.op == Opcode::kCmpsq || in.op == Opcode::kScasq;
+        // A corrupted or hostile image can enter a rep with an enormous
+        // %rcx; bound the host-side loop by the run's step budget so the
+        // interpreter always terminates (the run ends as kStepLimit).
+        uint64_t iterations = 0;
         while (reg(Reg::kRcx) != 0 && !stopped_) {
+          if (++iterations > max_steps_) {
+            pending_.reason = StopReason::kStepLimit;
+            stopped_ = true;
+            break;
+          }
           pending_.deci_cycles += cost_.string_per_iter;
           if (!one()) {
             break;
@@ -610,6 +635,7 @@ bool Cpu::Step() {
 RunResult Cpu::Run(uint64_t max_steps, bool charge_mode_switch) {
   pending_ = RunResult();
   stopped_ = false;
+  max_steps_ = max_steps;
   if (charge_mode_switch) {
     pending_.deci_cycles += cost_.mode_switch;
     if (options_.mpx_enabled) {
@@ -629,7 +655,19 @@ RunResult Cpu::CallFunction(uint64_t entry, const std::vector<uint64_t>& args,
                             uint64_t max_steps) {
   static constexpr Reg kArgRegs[6] = {Reg::kRdi, Reg::kRsi, Reg::kRdx,
                                       Reg::kRcx, Reg::kR8,  Reg::kR9};
-  KRX_CHECK(args.size() <= 6);
+  auto host_error = [](std::string message) {
+    RunResult r;
+    r.reason = StopReason::kHostError;
+    r.host_error = std::move(message);
+    return r;
+  };
+  if (!init_error_.empty()) {
+    return host_error(init_error_);
+  }
+  if (args.size() > 6) {
+    return host_error("CallFunction supports at most 6 register arguments, got " +
+                      std::to_string(args.size()));
+  }
   for (size_t i = 0; i < args.size(); ++i) {
     set_reg(kArgRegs[i], args[i]);
   }
@@ -637,7 +675,10 @@ RunResult Cpu::CallFunction(uint64_t entry, const std::vector<uint64_t>& args,
   // harness pseudo-tripwire so decoy-instrumented callees have a value to
   // store (the real syscall entry stub is itself instrumented).
   set_reg(Reg::kRsp, stack_top_ - 24);
-  KRX_CHECK(image_->mmu().Write64(reg(Reg::kRsp), kReturnSentinel).ok());
+  Status sentinel = image_->mmu().Write64(reg(Reg::kRsp), kReturnSentinel);
+  if (!sentinel.ok()) {
+    return host_error("sentinel push failed: " + sentinel.ToString());
+  }
   set_reg(Reg::kR11, kReturnSentinel);
   bnd0_ub_ = options_.mpx_enabled ? image_->krx_edata() : ~0ULL;
   rip_ = entry;
@@ -647,7 +688,12 @@ RunResult Cpu::CallFunction(uint64_t entry, const std::vector<uint64_t>& args,
 RunResult Cpu::CallFunction(const std::string& symbol, const std::vector<uint64_t>& args,
                             uint64_t max_steps) {
   auto addr = image_->symbols().AddressOf(symbol);
-  KRX_CHECK(addr.ok());
+  if (!addr.ok()) {
+    RunResult r;
+    r.reason = StopReason::kHostError;
+    r.host_error = "unresolvable entry symbol '" + symbol + "': " + addr.status().ToString();
+    return r;
+  }
   return CallFunction(*addr, args, max_steps);
 }
 

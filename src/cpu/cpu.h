@@ -56,7 +56,10 @@ enum class StopReason : uint8_t {
   kHalted,         // hlt
   kException,      // see exception field
   kStepLimit,
+  kHostError,      // the harness could not start the run; see host_error
 };
+
+const char* StopReasonName(StopReason reason);
 
 // Dynamic instruction mix of a run — the telemetry the overhead-breakdown
 // bench uses to attribute cycles to instrumentation classes.
@@ -93,6 +96,10 @@ struct RunResult {
   // True when the XnR baseline defense detected a data access to a
   // non-resident code page (see src/kernel/baseline_defenses.h).
   bool xnr_violation = false;
+  // Populated when reason == kHostError: why the harness could not run the
+  // call (bad symbol, too many arguments, unmapped stack, ...). Host-side
+  // failures degrade into an error result instead of aborting the process.
+  std::string host_error;
 
   double cycles() const { return static_cast<double>(deci_cycles) / 10.0; }
 };
@@ -114,6 +121,11 @@ class Cpu {
   uint64_t stack_top() const { return stack_top_; }
   uint64_t bnd0_ub() const { return bnd0_ub_; }
   KernelImage* image() { return image_; }
+  const KernelImage* image() const { return image_; }
+
+  // Non-empty when construction failed to allocate a kernel stack; every
+  // CallFunction on such a CPU returns a kHostError result.
+  const std::string& init_error() const { return init_error_; }
 
   // Simulates a user->kernel mode switch and a call of the function at
   // `entry` with up to 6 arguments (SysV order: rdi, rsi, rdx, rcx, r8,
@@ -169,6 +181,8 @@ class Cpu {
   // Run bookkeeping.
   RunResult pending_;
   bool stopped_ = false;
+  uint64_t max_steps_ = 0;  // current run's budget; also bounds rep iterations
+  std::string init_error_;
   uint64_t krx_handler_lo_ = 0;
   uint64_t krx_handler_hi_ = 0;
   std::function<void(const Cpu&)> step_observer_;

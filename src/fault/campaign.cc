@@ -1,0 +1,226 @@
+#include "src/fault/campaign.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+#include "src/workload/corpus.h"
+#include "src/workload/harness.h"
+#include "src/workload/lmbench.h"
+#include "src/workload/sched.h"
+
+namespace krx {
+namespace {
+
+constexpr size_t kMaxRecordedFailures = 32;
+
+void Record(CampaignReport& report, const InjectionOutcome& outcome) {
+  ClassStats& cs = report.per_class[static_cast<int>(outcome.cls)];
+  ++cs.injected;
+  ++report.total;
+  switch (outcome.detection) {
+    case Detection::kTrap:
+      ++cs.trapped;
+      break;
+    case Detection::kAudit:
+      ++cs.audited;
+      break;
+    case Detection::kLoadError:
+      ++cs.load_errors;
+      break;
+    case Detection::kBenign:
+      ++cs.benign;
+      ++report.benign;
+      break;
+    case Detection::kSilent:
+      break;
+  }
+  if (outcome.correct && outcome.detection != Detection::kBenign &&
+      outcome.detection != Detection::kSilent) {
+    ++report.detected;
+  }
+  if (!outcome.correct) {
+    ++cs.misclassified;
+    ++report.misclassified;
+    if (report.failures.size() < kMaxRecordedFailures) {
+      report.failures.push_back(outcome);
+    }
+  }
+  if (outcome.correct && outcome.detection == Detection::kTrap) {
+    cs.latency_sum += outcome.latency;
+    cs.latency_max = std::max(cs.latency_max, outcome.latency);
+    ++cs.latency_samples;
+  }
+  if (outcome.result_changed) {
+    ++cs.sdc;
+  }
+}
+
+}  // namespace
+
+Result<CampaignReport> RunFaultCampaign(const CampaignOptions& options) {
+  struct Variant {
+    const char* name;
+    ProtectionConfig config;
+  };
+  const Variant variants[] = {
+      {"sfi-o3", ProtectionConfig::SfiOnly(SfiLevel::kO3)},
+      {"mpx", ProtectionConfig::MpxOnly()},
+      {"sfi+x", ProtectionConfig::Full(false, RaScheme::kEncrypt, options.seed)},
+  };
+
+  std::vector<CompiledKernel> kernels;
+  std::vector<std::unique_ptr<FaultInjector>> injectors;
+  for (const Variant& v : variants) {
+    auto kernel = CompileKernel(MakeBenchSource(options.seed), v.config, LayoutKind::kKrx);
+    if (!kernel.ok()) {
+      return InternalError(std::string("building ") + v.name +
+                           " kernel failed: " + kernel.status().message());
+    }
+    kernels.push_back(std::move(*kernel));
+  }
+  for (CompiledKernel& k : kernels) {
+    injectors.push_back(std::make_unique<FaultInjector>(&k, options.seed ^ 0xB0F));
+  }
+
+  const std::vector<LmbenchRow>& rows = LmbenchRows();
+  CampaignReport report;
+  report.options = options;
+  Rng rng(options.seed);
+  std::vector<size_t> class_cursor(kernels.size(), 0);
+
+  for (int i = 0; i < options.injections; ++i) {
+    const size_t k = static_cast<size_t>(i) % kernels.size();
+    const std::vector<FaultClass> classes = injectors[k]->EligibleClasses();
+    const FaultClass cls = classes[class_cursor[k]++ % classes.size()];
+    const std::string op =
+        "sys_" + rows[rng.NextBelow(rows.size())].profile.name;
+    auto outcome = injectors[k]->Inject(cls, op, rng);
+    if (!outcome.ok()) {
+      return InternalError("injection " + std::to_string(i) + " (" +
+                           FaultClassName(cls) + " on " + variants[k].name +
+                           ") failed host-side: " + outcome.status().message());
+    }
+    Record(report, *outcome);
+  }
+  return report;
+}
+
+std::string CampaignReport::ToString() const {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "fault campaign: %d injections, seed 0x%" PRIx64 "\n",
+                options.injections, options.seed);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%-20s %8s %8s %8s %8s %10s %10s\n", "class", "injected",
+                "detected", "benign", "missed", "mean-lat", "max-lat");
+  out += buf;
+  for (int c = 0; c < static_cast<int>(FaultClass::kNumFaultClasses); ++c) {
+    const ClassStats& cs = per_class[c];
+    if (cs.injected == 0) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "%-20s %8" PRIu64 " %8" PRIu64 " %8" PRIu64 " %8" PRIu64
+                  " %10.1f %10" PRIu64 "\n",
+                  FaultClassName(static_cast<FaultClass>(c)), cs.injected, cs.detected(),
+                  cs.benign, cs.misclassified, cs.mean_latency(), cs.latency_max);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "total %" PRIu64 ": %" PRIu64 " detected, %" PRIu64 " benign, %" PRIu64
+                " misclassified (detection rate %.1f%% of adversarial faults)\n",
+                total, detected, benign, misclassified, 100.0 * DetectionRate());
+  out += buf;
+  for (const InjectionOutcome& f : failures) {
+    out += "  MISSED [" + std::string(FaultClassName(f.cls)) + "] " + f.detail + "\n";
+  }
+  return out;
+}
+
+std::string CampaignReport::ToJson() const {
+  char buf[256];
+  std::string out = "{\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"seed\": %" PRIu64 ",\n  \"injections\": %d,\n  \"total\": %" PRIu64
+                ",\n  \"detected\": %" PRIu64 ",\n  \"benign\": %" PRIu64
+                ",\n  \"misclassified\": %" PRIu64 ",\n  \"detection_rate\": %.4f,\n",
+                options.seed, options.injections, total, detected, benign, misclassified,
+                DetectionRate());
+  out += buf;
+  out += "  \"classes\": [\n";
+  bool first = true;
+  for (int c = 0; c < static_cast<int>(FaultClass::kNumFaultClasses); ++c) {
+    const ClassStats& cs = per_class[c];
+    if (cs.injected == 0) {
+      continue;
+    }
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"injected\": %" PRIu64 ", \"trapped\": %" PRIu64
+                  ", \"audited\": %" PRIu64 ", \"load_errors\": %" PRIu64
+                  ", \"benign\": %" PRIu64 ", \"misclassified\": %" PRIu64
+                  ", \"sdc\": %" PRIu64 ", \"mean_latency\": %.2f, \"max_latency\": %" PRIu64
+                  "}",
+                  FaultClassName(static_cast<FaultClass>(c)), cs.injected, cs.trapped,
+                  cs.audited, cs.load_errors, cs.benign, cs.misclassified, cs.sdc,
+                  cs.mean_latency(), cs.latency_max);
+    out += buf;
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+Result<SurvivalReport> RunKillTaskScenario(uint64_t seed, OopsPolicy policy) {
+  KernelSource src = MakeBaseSource();
+  AddSched(&src, /*with_rogue_worker=*/true);
+  ProtectionConfig config = ProtectionConfig::SfiOnly(SfiLevel::kO3);
+  config.seed = seed;
+  for (const std::string& name : SchedExemptFunctions()) {
+    config.exempt_functions.insert(name);
+  }
+  auto kernel = CompileKernel(std::move(src), config, LayoutKind::kKrx);
+  if (!kernel.ok()) {
+    return kernel.status();
+  }
+  KRX_RETURN_IF_ERROR(SetUpTaskStacks(*kernel->image));
+  Cpu cpu(kernel->image.get());
+
+  // Spawn the two honest workers and the rogue one, then run the scheduler
+  // under the oops supervisor.
+  for (uint64_t slot : {0ULL, 1ULL, 2ULL}) {
+    RunResult r = cpu.CallFunction("sys_spawn", {slot});
+    if (r.reason != StopReason::kReturned || static_cast<int64_t>(r.rax) < 0) {
+      return InternalError("sys_spawn failed for slot " + std::to_string(slot));
+    }
+  }
+  OopsSupervisor supervisor(&cpu, policy);
+  RecoveryOutcome outcome = supervisor.Run("sched_run", {64});
+
+  SurvivalReport report;
+  report.survived = outcome.survived();
+  report.killed_tasks = outcome.killed_tasks;
+  report.oops_count = outcome.oopses.size();
+  if (!outcome.oopses.empty()) {
+    report.first_oops = outcome.oopses.front().ToString();
+  }
+  auto global = [&](const char* name) -> uint64_t {
+    auto addr = kernel->image->symbols().AddressOf(name);
+    if (!addr.ok()) {
+      return 0;
+    }
+    auto v = kernel->image->Peek64(*addr);
+    return v.ok() ? *v : 0;
+  };
+  report.worker_a_runs = global("worker_a_runs");
+  report.worker_b_runs = global("worker_b_runs");
+  report.worker_c_runs = global("worker_c_runs");
+  report.counter = global("sched_counter");
+  return report;
+}
+
+}  // namespace krx

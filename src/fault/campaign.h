@@ -1,0 +1,93 @@
+// Seeded fault-injection campaigns and the kill-task survival scenario.
+//
+// RunFaultCampaign builds three protected kernels (SFI-O3, MPX, SFI+X) from
+// the bench source tree and drives N seeded injections across them, cycling
+// through each kernel's eligible fault classes and aiming every injection
+// at a random LMBench op. The report aggregates, per class: how many were
+// injected, how each was detected (trap / audit / load-error / benign), the
+// detection latency in instructions from injection to trap, and — the
+// number that matters — how many were misclassified. The acceptance bar is
+// zero: every injected fault is either detected with the right diagnostic
+// class or proven benign.
+#ifndef KRX_SRC_FAULT_CAMPAIGN_H_
+#define KRX_SRC_FAULT_CAMPAIGN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fault/injector.h"
+#include "src/fault/recovery.h"
+
+namespace krx {
+
+struct CampaignOptions {
+  uint64_t seed = 0xFA017;
+  int injections = 500;
+};
+
+struct ClassStats {
+  uint64_t injected = 0;
+  uint64_t trapped = 0;
+  uint64_t audited = 0;
+  uint64_t load_errors = 0;
+  uint64_t benign = 0;
+  uint64_t misclassified = 0;
+  uint64_t sdc = 0;  // benign returns whose result differed from golden
+  uint64_t latency_sum = 0;
+  uint64_t latency_max = 0;
+  uint64_t latency_samples = 0;
+
+  uint64_t detected() const { return trapped + audited + load_errors; }
+  double mean_latency() const {
+    return latency_samples == 0
+               ? 0.0
+               : static_cast<double>(latency_sum) / static_cast<double>(latency_samples);
+  }
+};
+
+struct CampaignReport {
+  CampaignOptions options;
+  ClassStats per_class[static_cast<int>(FaultClass::kNumFaultClasses)];
+  uint64_t total = 0;
+  uint64_t detected = 0;
+  uint64_t benign = 0;
+  uint64_t misclassified = 0;
+  // Details of the misclassified injections (capped), for diagnosis.
+  std::vector<InjectionOutcome> failures;
+
+  // The acceptance criterion: every fault detected correctly or benign.
+  bool AllAccounted() const { return misclassified == 0; }
+  double DetectionRate() const {
+    const uint64_t adversarial = total - benign;
+    return adversarial == 0 ? 1.0
+                            : static_cast<double>(detected) / static_cast<double>(adversarial);
+  }
+  std::string ToString() const;
+  std::string ToJson() const;
+};
+
+Result<CampaignReport> RunFaultCampaign(const CampaignOptions& options);
+
+// The survivable-oops scenario: an SFI-O3 kernel with the scheduler and a
+// rogue worker whose third run performs a wild read of kernel text. Under
+// kKillTask the supervisor must reap the rogue task and the remaining
+// workers must complete their workloads correctly; under kPanic the first
+// oops ends the run.
+struct SurvivalReport {
+  bool survived = false;
+  std::vector<uint64_t> killed_tasks;
+  size_t oops_count = 0;
+  uint64_t worker_a_runs = 0;
+  uint64_t worker_b_runs = 0;
+  uint64_t worker_c_runs = 0;
+  uint64_t counter = 0;  // final sched_counter
+  std::string first_oops;  // rendered oops record, for display
+};
+
+Result<SurvivalReport> RunKillTaskScenario(uint64_t seed,
+                                           OopsPolicy policy = OopsPolicy::kKillTask);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_FAULT_CAMPAIGN_H_

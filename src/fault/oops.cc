@@ -1,0 +1,189 @@
+#include "src/fault/oops.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace krx {
+namespace {
+
+// How far above the stopped %rsp the backtrace scanner looks for saved
+// return addresses (64 8-byte slots ~ a handful of frames).
+constexpr int kBacktraceScanSlots = 64;
+constexpr int kBacktraceMaxFrames = 16;
+
+// Resolves `addr` to a containing defined function symbol; returns the
+// symbol index or -1.
+int32_t ResolveFunction(const SymbolTable& symbols, uint64_t addr) {
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    const Symbol& sym = symbols.at(static_cast<int32_t>(i));
+    if (sym.kind != SymbolKind::kFunction || !sym.defined || sym.size == 0) {
+      continue;
+    }
+    if (addr >= sym.address && addr < sym.address + sym.size) {
+      return static_cast<int32_t>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+const char* OopsPolicyName(OopsPolicy policy) {
+  switch (policy) {
+    case OopsPolicy::kPanic:
+      return "panic";
+    case OopsPolicy::kKillTask:
+      return "kill-task";
+  }
+  return "?";
+}
+
+bool IsOopsWorthy(const RunResult& result) {
+  if (result.reason == StopReason::kException) {
+    return true;
+  }
+  if (result.reason == StopReason::kHalted &&
+      (result.krx_violation || result.xnr_violation)) {
+    return true;
+  }
+  return false;
+}
+
+KernelOops BuildOops(const Cpu& cpu, const RunResult& result) {
+  KernelOops oops;
+  oops.reason = result.reason;
+  oops.exception = result.exception;
+  oops.krx_violation = result.krx_violation;
+  oops.xnr_violation = result.xnr_violation;
+  oops.rip = cpu.rip();
+  oops.fault_addr = result.fault_addr;
+  oops.instructions = result.instructions;
+  for (int i = 0; i < kNumGpRegs; ++i) {
+    oops.regs[i] = cpu.reg(static_cast<Reg>(i));
+  }
+
+  const KernelImage* image = cpu.image();
+  if (image == nullptr) {
+    return oops;
+  }
+  const SymbolTable& symbols = image->symbols();
+
+  // Diagnostics the violation handler maintains.
+  auto read_global = [&](const char* name, uint64_t* out) {
+    int32_t idx = symbols.Find(name);
+    if (idx < 0 || !symbols.at(idx).defined) {
+      return;
+    }
+    auto v = image->Peek64(symbols.at(idx).address);
+    if (v.ok()) {
+      *out = *v;
+    }
+  };
+  read_global("krx_violation_count", &oops.violation_count);
+  read_global("kernel_log", &oops.log_marker);
+
+  // Collect the current value of every live xkey once: under return-address
+  // encryption a saved RA on the stack is `real_ra ^ xkey$fn`, so the raw
+  // slot value resolves to nothing — but XORing with the right key does.
+  std::vector<uint64_t> xkeys;
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    const Symbol& sym = symbols.at(static_cast<int32_t>(i));
+    if (sym.defined && sym.name.compare(0, 5, "xkey$") == 0) {
+      auto v = image->Peek64(sym.address);
+      if (v.ok() && *v != 0) {
+        xkeys.push_back(*v);
+      }
+    }
+  }
+
+  // Scan the stack upward from the stopped %rsp for return addresses.
+  const uint64_t rsp = cpu.reg(Reg::kRsp);
+  for (int slot = 0; slot < kBacktraceScanSlots &&
+                     oops.backtrace.size() < kBacktraceMaxFrames;
+       ++slot) {
+    const uint64_t addr = rsp + 8ULL * static_cast<uint64_t>(slot);
+    auto v = image->Peek64(addr);
+    if (!v.ok()) {
+      break;  // walked off the mapped stack
+    }
+    OopsFrame frame;
+    frame.slot_addr = addr;
+    frame.value = *v;
+    if (*v == Cpu::kReturnSentinel) {
+      frame.code_addr = *v;
+      frame.function = "<harness sentinel>";
+      oops.backtrace.push_back(frame);
+      break;  // bottom of the kernel stack walk
+    }
+    int32_t fn = ResolveFunction(symbols, *v);
+    if (fn >= 0) {
+      frame.code_addr = *v;
+      frame.function = symbols.at(fn).name;
+      frame.offset = *v - symbols.at(fn).address;
+      oops.backtrace.push_back(frame);
+      continue;
+    }
+    // Not a plaintext code address: try every live xkey (the scanner does
+    // not know which function's frame this is, so it brute-forces the
+    // per-function keys — cheap here, and exactly what a human reading an
+    // encrypted-RA oops would script).
+    for (uint64_t key : xkeys) {
+      const uint64_t dec = *v ^ key;
+      fn = ResolveFunction(symbols, dec);
+      if (fn >= 0) {
+        frame.code_addr = dec;
+        frame.decrypted = true;
+        frame.function = symbols.at(fn).name;
+        frame.offset = dec - symbols.at(fn).address;
+        oops.backtrace.push_back(frame);
+        break;
+      }
+    }
+  }
+  return oops;
+}
+
+std::string KernelOops::ToString() const {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf), "kernel oops: %s", StopReasonName(reason));
+  out += buf;
+  if (reason == StopReason::kException) {
+    std::snprintf(buf, sizeof(buf), " (%s)", ExceptionKindName(exception));
+    out += buf;
+  }
+  if (krx_violation) {
+    out += " [kR^X violation]";
+  }
+  if (xnr_violation) {
+    out += " [XnR violation]";
+  }
+  std::snprintf(buf, sizeof(buf),
+                "\n  rip=0x%016" PRIx64 " fault_addr=0x%016" PRIx64
+                " instructions=%" PRIu64,
+                rip, fault_addr, instructions);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\n  krx_violation_count=%" PRIu64 " kernel_log=0x%016" PRIx64,
+                violation_count, log_marker);
+  out += buf;
+  for (int i = 0; i < kNumGpRegs; ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%s=0x%016" PRIx64,
+                  (i % 4 == 0) ? "\n  " : "  ", RegName(static_cast<Reg>(i)),
+                  regs[i]);
+    out += buf;
+  }
+  out += "\n  backtrace:";
+  if (backtrace.empty()) {
+    out += " <none>";
+  }
+  for (const OopsFrame& f : backtrace) {
+    std::snprintf(buf, sizeof(buf), "\n    [0x%016" PRIx64 "] %s+0x%" PRIx64 "%s",
+                  f.slot_addr, f.function.c_str(), f.offset,
+                  f.decrypted ? " (RA-decrypted)" : "");
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace krx

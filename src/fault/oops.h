@@ -1,0 +1,67 @@
+// Structured kernel oops records (the survivable replacement for the bare
+// RunResult.krx_violation flag).
+//
+// When a run stops on a trap — an SFI range-check violation halting inside
+// krx_handler, an MPX #BR, a tripwire #BP, a #PF from a garbled return
+// address — BuildOops harvests everything a kernel oops would print: the
+// exception class, %rip, the faulting address, a full register snapshot,
+// the krx_violation_count / kernel_log diagnostics, and a backtrace scan of
+// the active stack. The backtrace is RA-decryption-aware: under the X
+// scheme the saved return addresses on the stack are XOR-encrypted with
+// per-function xkeys, so the scanner also tries every live xkey and marks
+// frames it could only resolve after decryption.
+#ifndef KRX_SRC_FAULT_OOPS_H_
+#define KRX_SRC_FAULT_OOPS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cpu/cpu.h"
+
+namespace krx {
+
+// What the kernel does after an oops: stop the machine, or reap the
+// offending task and keep scheduling (see src/fault/recovery.h).
+enum class OopsPolicy : uint8_t {
+  kPanic = 0,
+  kKillTask,
+};
+
+const char* OopsPolicyName(OopsPolicy policy);
+
+struct OopsFrame {
+  uint64_t slot_addr = 0;   // stack slot the value was read from
+  uint64_t value = 0;       // raw slot contents
+  uint64_t code_addr = 0;   // resolved code address (== value unless decrypted)
+  bool decrypted = false;   // resolved only after XORing with a live xkey
+  std::string function;     // containing function symbol
+  uint64_t offset = 0;      // code_addr - function start
+};
+
+struct KernelOops {
+  StopReason reason = StopReason::kException;
+  ExceptionKind exception = ExceptionKind::kNone;
+  bool krx_violation = false;
+  bool xnr_violation = false;
+  uint64_t rip = 0;
+  uint64_t fault_addr = 0;
+  uint64_t instructions = 0;          // retired in the segment that trapped
+  uint64_t regs[kNumGpRegs] = {};
+  uint64_t violation_count = 0;       // krx_violation_count global, if present
+  uint64_t log_marker = 0;            // kernel_log slot ("BUG: kR^X" marker)
+  std::vector<OopsFrame> backtrace;
+
+  std::string ToString() const;
+};
+
+// True when the result represents an in-kernel fault an oops handler would
+// see: an exception, or a halt with a detected violation.
+bool IsOopsWorthy(const RunResult& result);
+
+// Harvests an oops record from the machine state a stopped run left behind.
+KernelOops BuildOops(const Cpu& cpu, const RunResult& result);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_FAULT_OOPS_H_

@@ -1,0 +1,90 @@
+#include "src/fault/recovery.h"
+
+#include "src/workload/sched.h"
+
+namespace krx {
+
+Result<uint64_t> OopsSupervisor::KillCurrentTask(RecoveryOutcome* outcome) {
+  KernelImage* image = cpu_->image();
+  const SymbolTable& symbols = image->symbols();
+
+  auto current_addr = symbols.AddressOf("sched_current");
+  if (!current_addr.ok()) {
+    return FailedPreconditionError("kill-task policy requires a scheduler: " +
+                                   current_addr.status().ToString());
+  }
+  auto current = image->Peek64(*current_addr);
+  if (!current.ok()) {
+    return current.status();
+  }
+  if (*current == 0 || *current >= static_cast<uint64_t>(kSchedMaxTasks)) {
+    return FailedPreconditionError("attempted to kill init (oops in task 0)");
+  }
+
+  auto tasks_addr = symbols.AddressOf("sched_tasks");
+  if (!tasks_addr.ok()) {
+    return tasks_addr.status();
+  }
+
+  // Reap: the slot becomes free, so sched_yield's round-robin scan never
+  // selects it again (and sys_spawn may reuse it).
+  const uint64_t task = *tasks_addr + *current * kSchedTaskBytes;
+  KRX_RETURN_IF_ERROR(
+      image->Poke64(task + kSchedTaskStateOffset, static_cast<uint64_t>(kSchedStateFree)));
+  outcome->killed_tasks.push_back(*current);
+
+  // Restore the init task's saved task_switch frame: callee-saved registers
+  // below the saved %rsp, then the return address into sched_yield.
+  auto saved_rsp = image->Peek64(*tasks_addr + kSchedTaskRspOffset);
+  if (!saved_rsp.ok()) {
+    return saved_rsp.status();
+  }
+  static constexpr Reg kFrameRegs[] = {Reg::kR15, Reg::kR14, Reg::kR13,
+                                       Reg::kR12, Reg::kRbp, Reg::kRbx};
+  for (int i = 0; i < 6; ++i) {
+    auto v = image->Peek64(*saved_rsp + 8ULL * static_cast<uint64_t>(i));
+    if (!v.ok()) {
+      return v.status();
+    }
+    cpu_->set_reg(kFrameRegs[i], *v);
+  }
+  auto resume_ra = image->Peek64(*saved_rsp + 48);
+  if (!resume_ra.ok()) {
+    return resume_ra.status();
+  }
+  cpu_->set_reg(Reg::kRsp, *saved_rsp + kSchedSwitchFrameBytes);
+  KRX_RETURN_IF_ERROR(image->Poke64(*current_addr, 0));
+  return *resume_ra;
+}
+
+RecoveryOutcome OopsSupervisor::Run(const std::string& entry_symbol,
+                                    const std::vector<uint64_t>& args, uint64_t max_steps) {
+  RecoveryOutcome outcome;
+  RunResult r = cpu_->CallFunction(entry_symbol, args, max_steps);
+  outcome.total_instructions = r.instructions;
+
+  while (IsOopsWorthy(r)) {
+    outcome.oopses.push_back(BuildOops(*cpu_, r));
+    if (policy_ == OopsPolicy::kPanic) {
+      outcome.panicked = true;
+      break;
+    }
+    auto resume_rip = KillCurrentTask(&outcome);
+    if (!resume_rip.ok()) {
+      outcome.panicked = true;
+      break;
+    }
+    const uint64_t remaining =
+        max_steps > outcome.total_instructions ? max_steps - outcome.total_instructions : 0;
+    if (remaining == 0) {
+      r.reason = StopReason::kStepLimit;
+      break;
+    }
+    r = cpu_->RunAt(*resume_rip, remaining);
+    outcome.total_instructions += r.instructions;
+  }
+  outcome.result = r;
+  return outcome;
+}
+
+}  // namespace krx

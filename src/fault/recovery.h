@@ -1,0 +1,52 @@
+// The survivable oops path: run a kernel entry under an oops policy.
+//
+// Under kPanic a trap ends the run (the paper's default handler "halts the
+// system"). Under kKillTask the supervisor plays the role of the oops
+// handler's do_exit path: it reaps the offending scheduler task (state :=
+// free, so the round-robin never picks it again), restores the init task's
+// saved task_switch context, and resumes execution there — the remaining
+// tasks' workloads must complete correctly. The kernel being supervised
+// must have been built with AddSched (src/workload/sched.h); the supervisor
+// reads the task table through the exported struct offsets.
+#ifndef KRX_SRC_FAULT_RECOVERY_H_
+#define KRX_SRC_FAULT_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cpu/cpu.h"
+#include "src/fault/oops.h"
+
+namespace krx {
+
+struct RecoveryOutcome {
+  RunResult result;                  // the final (post-recovery) stop
+  std::vector<KernelOops> oopses;    // one record per trap survived or not
+  std::vector<uint64_t> killed_tasks;
+  uint64_t total_instructions = 0;   // across all resumed segments
+  bool panicked = false;             // policy or state forced a stop
+
+  bool survived() const { return !panicked && result.reason == StopReason::kReturned; }
+};
+
+class OopsSupervisor {
+ public:
+  OopsSupervisor(Cpu* cpu, OopsPolicy policy) : cpu_(cpu), policy_(policy) {}
+
+  RecoveryOutcome Run(const std::string& entry_symbol, const std::vector<uint64_t>& args,
+                      uint64_t max_steps = 2'000'000);
+
+ private:
+  // Reaps sched_current and restores the init task's saved context; returns
+  // the resume rip, or an error when recovery is impossible (no scheduler,
+  // or the init task itself oopsed — "attempted to kill init").
+  Result<uint64_t> KillCurrentTask(RecoveryOutcome* outcome);
+
+  Cpu* cpu_;
+  OopsPolicy policy_;
+};
+
+}  // namespace krx
+
+#endif  // KRX_SRC_FAULT_RECOVERY_H_

@@ -69,6 +69,20 @@ Result<PlacedSection*> KernelImage::PlaceSection(const std::string& name, Sectio
   return &sections_.back();
 }
 
+Status KernelImage::RemoveSection(const std::string& name, uint8_t fill) {
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    if (sections_[i].name != name) {
+      continue;
+    }
+    const PlacedSection s = sections_[i];
+    phys_.Fill(s.first_frame << kPageShift, fill, s.mapped_size);
+    page_table_.UnmapRange(s.vaddr, s.mapped_size >> kPageShift);
+    sections_.erase(sections_.begin() + static_cast<std::ptrdiff_t>(i));
+    return Status::Ok();
+  }
+  return NotFoundError("no such section: " + name);
+}
+
 void KernelImage::MapPhysmap() {
   KRX_CHECK(!physmap_mapped_);
   PteFlags f;

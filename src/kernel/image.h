@@ -96,6 +96,25 @@ class KernelImage {
   Result<uint64_t> AllocModuleText(uint64_t size);
   Result<uint64_t> AllocModuleData(uint64_t size);
 
+  // Snapshot/restore of the module-region bump cursors: a transactional
+  // module load saves them up front and restores them on rollback, so a
+  // failed load leaks no module address space.
+  struct ModuleCursors {
+    uint64_t text = 0;
+    uint64_t data = 0;
+  };
+  ModuleCursors module_cursors() const { return {module_text_cursor_, module_data_cursor_}; }
+  void RestoreModuleCursors(ModuleCursors c) {
+    module_text_cursor_ = c.text;
+    module_data_cursor_ = c.data;
+  }
+
+  // Unmaps a placed section, fills its frames with `fill`, and forgets it.
+  // The physical frames are not refunded (PhysMem is a bump allocator);
+  // they are zapped so no stale bytes survive. Used by module unload and
+  // load rollback.
+  Status RemoveSection(const std::string& name, uint8_t fill = 0);
+
   // Region queries.
   bool InCodeRegion(uint64_t addr) const;
 

@@ -5,13 +5,94 @@
 
 namespace krx {
 
+const char* ModuleLoadStepName(ModuleLoadStep step) {
+  switch (step) {
+    case ModuleLoadStep::kAllocText: return "alloc-text";
+    case ModuleLoadStep::kAllocData: return "alloc-data";
+    case ModuleLoadStep::kBindSymbols: return "bind-symbols";
+    case ModuleLoadStep::kRelocate: return "relocate";
+    case ModuleLoadStep::kPlaceText: return "place-text";
+    case ModuleLoadStep::kPlaceData: return "place-data";
+    case ModuleLoadStep::kReplenishXkeys: return "replenish-xkeys";
+    case ModuleLoadStep::kUnmapSynonyms: return "unmap-synonyms";
+    case ModuleLoadStep::kNumSteps: break;
+  }
+  return "??";
+}
+
+namespace {
+
+// Tracks everything a partially executed Load has changed, so a failure at
+// any step can be unwound completely.
+struct LoadTransaction {
+  KernelImage* image;
+  KernelImage::ModuleCursors saved_cursors;
+  std::vector<int32_t> defined_symbols;
+  bool text_placed = false;
+  bool data_placed = false;
+  bool synonyms_unmapped = false;
+  uint64_t synonym_frame = 0;
+  uint64_t synonym_pages = 0;
+  std::string text_section;
+  std::string data_section;
+
+  void Rollback() {
+    if (synonyms_unmapped) {
+      PteFlags f;
+      f.present = true;
+      f.writable = true;
+      f.nx = true;
+      image->page_table().MapRange(image->PhysmapVaddr(synonym_frame), synonym_frame,
+                                   synonym_pages, f);
+    }
+    // Placed sections: unmap and zap (text gets the tripwire pad byte, as
+    // unload does, so no partially loaded code survives).
+    if (text_placed) {
+      (void)image->RemoveSection(text_section, kTextPadByte);
+    }
+    if (data_placed) {
+      (void)image->RemoveSection(data_section, 0);
+    }
+    for (int32_t idx : defined_symbols) {
+      Symbol& s = image->symbols().at(idx);
+      s.defined = false;
+      s.address = 0;
+      s.size = 0;
+    }
+    image->RestoreModuleCursors(saved_cursors);
+  }
+};
+
+}  // namespace
+
 Result<int32_t> ModuleLoader::Load(const ModuleObject& module) {
   SymbolTable& symbols = image_->symbols();
 
+  LoadTransaction txn;
+  txn.image = image_;
+  txn.saved_cursors = image_->module_cursors();
+  txn.text_section = ".text$" + module.name;
+  txn.data_section = ".data$" + module.name;
+
+  auto fail = [&](Status status) -> Status {
+    txn.Rollback();
+    return status;
+  };
+  auto failpoint = [&](ModuleLoadStep step) -> Status {
+    if (failpoint_ == static_cast<int>(step)) {
+      return ResourceExhaustedError(std::string("injected module-load fault before step ") +
+                                    ModuleLoadStepName(step));
+    }
+    return Status::Ok();
+  };
+
   // Slice: .text into the text area, all other sections into the data area.
+  if (Status s = failpoint(ModuleLoadStep::kAllocText); !s.ok()) {
+    return fail(s);
+  }
   auto text_vaddr = image_->AllocModuleText(module.text.bytes.size());
   if (!text_vaddr.ok()) {
-    return text_vaddr.status();
+    return fail(text_vaddr.status());
   }
 
   // Build a single data blob for the module's data objects.
@@ -27,9 +108,12 @@ Result<int32_t> ModuleLoader::Load(const ModuleObject& module) {
       data_relocs.push_back(Reloc{RelocKind::kAbs64, off + p.offset, 0, p.symbol, p.addend});
     }
   }
+  if (Status s = failpoint(ModuleLoadStep::kAllocData); !s.ok()) {
+    return fail(s);
+  }
   auto data_vaddr = image_->AllocModuleData(std::max<uint64_t>(data_bytes.size(), 1));
   if (!data_vaddr.ok()) {
-    return data_vaddr.status();
+    return fail(data_vaddr.status());
   }
 
   LoadedModule lm;
@@ -38,80 +122,107 @@ Result<int32_t> ModuleLoader::Load(const ModuleObject& module) {
   lm.text_size = module.text.bytes.size();
   lm.data_vaddr = *data_vaddr;
   lm.data_size = data_bytes.size();
+  lm.xkey_bytes = module.xkey_bytes;
 
-  // Non-function text symbols (module xkeys) first.
-  for (auto [idx, off] : module.text_symbol_offsets) {
+  if (Status s = failpoint(ModuleLoadStep::kBindSymbols); !s.ok()) {
+    return fail(s);
+  }
+  auto define = [&](int32_t idx, uint64_t address, uint64_t size) -> Status {
     Symbol& s = symbols.at(idx);
     if (s.defined) {
       return AlreadyExistsError("module redefines symbol: " + s.name);
     }
     s.defined = true;
-    s.address = *text_vaddr + off;
-    s.size = 8;
-    lm.symbols.push_back(idx);
+    s.address = address;
+    s.size = size;
+    txn.defined_symbols.push_back(idx);
+    return Status::Ok();
+  };
+  // Non-function text symbols (module xkeys) first.
+  for (auto [idx, off] : module.text_symbol_offsets) {
+    if (Status s = define(idx, *text_vaddr + off, 8); !s.ok()) {
+      return fail(s);
+    }
   }
-
   // Define this module's symbols (eager binding: everything resolved now).
   for (const AssembledFunction& f : module.text.functions) {
     int32_t idx = symbols.Intern(f.name, SymbolKind::kFunction);
-    Symbol& s = symbols.at(idx);
-    if (s.defined) {
-      return AlreadyExistsError("module redefines symbol: " + f.name);
+    if (Status s = define(idx, *text_vaddr + f.offset, f.size); !s.ok()) {
+      return fail(s);
     }
-    s.defined = true;
-    s.address = *text_vaddr + f.offset;
-    s.size = f.size;
-    lm.symbols.push_back(idx);
   }
   for (auto [idx, off] : data_syms) {
-    Symbol& s = symbols.at(idx);
-    if (s.defined) {
-      return AlreadyExistsError("module redefines symbol: " + s.name);
+    if (Status s = define(idx, *data_vaddr + off, 0); !s.ok()) {
+      return fail(s);
     }
-    s.defined = true;
-    s.address = *data_vaddr + off;
-    lm.symbols.push_back(idx);
   }
 
   // Relocate against the now-complete symbol table.
+  if (Status s = failpoint(ModuleLoadStep::kRelocate); !s.ok()) {
+    return fail(s);
+  }
   std::vector<uint8_t> text_bytes = module.text.bytes;
-  KRX_RETURN_IF_ERROR(ApplyRelocs(text_bytes, module.text.relocs, *text_vaddr, symbols));
-  KRX_RETURN_IF_ERROR(ApplyRelocs(data_bytes, data_relocs, *data_vaddr, symbols));
+  if (Status s = ApplyRelocs(text_bytes, module.text.relocs, *text_vaddr, symbols); !s.ok()) {
+    return fail(s);
+  }
+  if (Status s = ApplyRelocs(data_bytes, data_relocs, *data_vaddr, symbols); !s.ok()) {
+    return fail(s);
+  }
 
   // Place into memory.
-  auto text_sec = image_->PlaceSection(".text$" + module.name, SectionKind::kText, *text_vaddr,
+  if (Status s = failpoint(ModuleLoadStep::kPlaceText); !s.ok()) {
+    return fail(s);
+  }
+  auto text_sec = image_->PlaceSection(txn.text_section, SectionKind::kText, *text_vaddr,
                                        text_bytes);
   if (!text_sec.ok()) {
-    return text_sec.status();
+    return fail(text_sec.status());
   }
+  txn.text_placed = true;
   lm.text_first_frame = (*text_sec)->first_frame;
   lm.text_pages = (*text_sec)->mapped_size >> kPageShift;
   if (!data_bytes.empty()) {
-    auto data_sec = image_->PlaceSection(".data$" + module.name, SectionKind::kData, *data_vaddr,
+    if (Status s = failpoint(ModuleLoadStep::kPlaceData); !s.ok()) {
+      return fail(s);
+    }
+    auto data_sec = image_->PlaceSection(txn.data_section, SectionKind::kData, *data_vaddr,
                                          data_bytes);
     if (!data_sec.ok()) {
-      return data_sec.status();
+      return fail(data_sec.status());
     }
+    txn.data_placed = true;
   }
 
   // Replenish the module's xkeys with fresh random values (load-time
   // analogue of the boot-time kernel xkey replenishment, §5.2.2).
   if (module.xkey_bytes > 0) {
+    if (Status s = failpoint(ModuleLoadStep::kReplenishXkeys); !s.ok()) {
+      return fail(s);
+    }
     uint64_t xkeys_start = lm.text_size - module.xkey_bytes;
     for (uint64_t off = 0; off + 8 <= module.xkey_bytes; off += 8) {
       uint64_t key = 0;
       while (key == 0) {
         key = key_rng_.Next();
       }
-      KRX_RETURN_IF_ERROR(image_->Poke64(*text_vaddr + xkeys_start + off, key));
+      if (Status s = image_->Poke64(*text_vaddr + xkeys_start + off, key); !s.ok()) {
+        return fail(s);
+      }
     }
   }
 
   // kR^X: remove the physmap synonyms of the module's text pages.
   if (image_->layout() == LayoutKind::kKrx) {
+    if (Status s = failpoint(ModuleLoadStep::kUnmapSynonyms); !s.ok()) {
+      return fail(s);
+    }
     image_->page_table().UnmapRange(image_->PhysmapVaddr(lm.text_first_frame), lm.text_pages);
+    txn.synonyms_unmapped = true;
+    txn.synonym_frame = lm.text_first_frame;
+    txn.synonym_pages = lm.text_pages;
   }
 
+  lm.symbols = std::move(txn.defined_symbols);
   lm.loaded = true;
   modules_.push_back(std::move(lm));
   return static_cast<int32_t>(modules_.size() - 1);
@@ -127,12 +238,22 @@ Status ModuleLoader::Unload(int32_t handle) {
   }
 
   // Zap the text contents before the pages become reachable again, to
-  // prevent code-layout inference attacks (§5.1.1 "Physmap").
-  image_->phys().Fill(lm.text_first_frame << kPageShift, kTextPadByte,
-                      lm.text_pages << kPageShift);
+  // prevent code-layout inference attacks (§5.1.1 "Physmap"): unmap the
+  // module's text from the code region, fill the frames with the tripwire
+  // pad byte, and drop the section record.
+  KRX_RETURN_IF_ERROR(image_->RemoveSection(".text$" + lm.name, kTextPadByte));
 
-  // Unmap the module's text from the code region.
-  image_->page_table().UnmapRange(lm.text_vaddr, lm.text_pages);
+  // Destroy the key material outright: the xkey tail is zeroed, not merely
+  // padded, so no stale return-address keys survive an unload.
+  if (lm.xkey_bytes > 0) {
+    uint64_t xkeys_start = lm.text_size - lm.xkey_bytes;
+    image_->phys().Fill((lm.text_first_frame << kPageShift) + xkeys_start, 0, lm.xkey_bytes);
+  }
+
+  // The data section goes away with the module as well.
+  if (lm.data_size > 0) {
+    KRX_RETURN_IF_ERROR(image_->RemoveSection(".data$" + lm.name, 0));
+  }
 
   // Restore the physmap synonyms.
   if (image_->layout() == LayoutKind::kKrx) {

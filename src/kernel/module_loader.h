@@ -5,8 +5,14 @@
 // modules_text, all other allocatable sections in modules_data; under the
 // vanilla layout the two are placed back-to-back in the single modules
 // region. Relocation and symbol binding are eager. Unloading zaps the text
-// (preventing code-layout inference, §5.1.1 "Physmap") and restores the
-// physmap synonyms that were removed at load time.
+// (preventing code-layout inference, §5.1.1 "Physmap"), zeroes the module's
+// xkeys, and restores the physmap synonyms that were removed at load time.
+//
+// Load is transactional: a failure at any step — allocator exhaustion,
+// symbol redefinition, relocation overflow, placement failure — rolls the
+// image back completely (no dangling symbols, no leaked modules_text
+// address space, physmap synonym state restored). set_failpoint() lets the
+// fault-injection campaign interpose a failure before any step.
 #ifndef KRX_SRC_KERNEL_MODULE_LOADER_H_
 #define KRX_SRC_KERNEL_MODULE_LOADER_H_
 
@@ -39,9 +45,26 @@ struct LoadedModule {
   uint64_t data_size = 0;
   uint64_t text_first_frame = 0;
   uint64_t text_pages = 0;
+  uint64_t xkey_bytes = 0;       // trailing xkey area (zeroed on unload)
   std::vector<int32_t> symbols;  // symbols this module defined
   bool loaded = false;
 };
+
+// The interposable steps of a module load, in execution order. A failpoint
+// set to one of these makes the next Load fail *before* that step runs.
+enum class ModuleLoadStep : uint8_t {
+  kAllocText = 0,   // carve modules_text address space
+  kAllocData,       // carve modules_data address space
+  kBindSymbols,     // define text/function/data symbols
+  kRelocate,        // apply text + data relocations
+  kPlaceText,       // allocate frames + map the text section
+  kPlaceData,       // allocate frames + map the data section
+  kReplenishXkeys,  // fill the module's xkeys with fresh keys
+  kUnmapSynonyms,   // remove the text pages' physmap synonyms
+  kNumSteps,
+};
+
+const char* ModuleLoadStepName(ModuleLoadStep step);
 
 class ModuleLoader {
  public:
@@ -49,10 +72,17 @@ class ModuleLoader {
       : image_(image), key_rng_(key_seed) {}
 
   // Loads the module; binds its relocations against the kernel symbol
-  // table; returns a handle index.
+  // table; returns a handle index. On any failure the load is rolled back
+  // completely before the error is returned.
   Result<int32_t> Load(const ModuleObject& module);
 
   Status Unload(int32_t handle);
+
+  // Fault injection: every subsequent Load fails just before `step`
+  // (sticky until clear_failpoint). Models allocator exhaustion /
+  // relocation failure mid-load.
+  void set_failpoint(ModuleLoadStep step) { failpoint_ = static_cast<int>(step); }
+  void clear_failpoint() { failpoint_ = -1; }
 
   const LoadedModule& module(int32_t handle) const {
     return modules_[static_cast<size_t>(handle)];
@@ -63,6 +93,7 @@ class ModuleLoader {
   KernelImage* image_;
   Rng key_rng_;
   std::vector<LoadedModule> modules_;
+  int failpoint_ = -1;
 };
 
 }  // namespace krx

@@ -1,6 +1,7 @@
 #include "src/plugin/pipeline.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "src/base/math_util.h"
@@ -13,6 +14,9 @@ namespace {
 
 // -1: consult the environment on first use; 0/1: explicit override.
 int g_post_link_verify = -1;
+
+// Test-only mutation applied to the linked image before verification.
+std::function<void(KernelImage&, int)> g_post_link_mutator;
 
 // Guard sizing: the .krx_phantom section must be larger than the maximum
 // displacement of any uninstrumented %rsp-relative read (§5.1.2).
@@ -87,6 +91,10 @@ bool PostLinkVerifyEnabled() {
 
 void SetPostLinkVerify(bool enabled) { g_post_link_verify = enabled ? 1 : 0; }
 
+void SetPostLinkMutatorForTest(std::function<void(KernelImage&, int attempt)> mutator) {
+  g_post_link_mutator = std::move(mutator);
+}
+
 int64_t ComputeEdata(uint64_t phantom_guard_size) {
   return static_cast<int64_t>(kKrxCodeBase - phantom_guard_size);
 }
@@ -134,8 +142,15 @@ Status ApplyProtection(std::vector<Function>& functions, SymbolTable& symbols,
   return Status::Ok();
 }
 
-Result<CompiledKernel> CompileKernel(KernelSource source, const ProtectionConfig& config,
-                                     LayoutKind layout) {
+namespace {
+
+// Prefix of the status message a post-link verification failure carries;
+// the retry loop in CompileKernel keys off it (only verify failures are
+// retryable — assembler/linker errors are deterministic and final).
+constexpr const char* kVerifyFailurePrefix = "post-link verification failed";
+
+Result<CompiledKernel> CompileKernelAttempt(KernelSource source, const ProtectionConfig& config,
+                                            LayoutKind layout, int attempt) {
   if ((config.HasRangeChecks() || config.mpx) && layout != LayoutKind::kKrx) {
     return InvalidArgumentError(
         "R^X enforcement requires the kR^X-KAS layout (disjoint code/data regions)");
@@ -199,6 +214,10 @@ Result<CompiledKernel> CompileKernel(KernelSource source, const ProtectionConfig
   Rng key_rng = rng.Fork();
   KRX_RETURN_IF_ERROR(out.image->ReplenishXkeys(key_rng));
 
+  if (g_post_link_mutator) {
+    g_post_link_mutator(*out.image, attempt);
+  }
+
   // Independent post-link check of the just-built artifact: the verifier
   // re-proves from the assembled bytes what the passes claim by
   // construction (SFI-verifier discipline — see src/verify/).
@@ -207,11 +226,40 @@ Result<CompiledKernel> CompileKernel(KernelSource source, const ProtectionConfig
     if (vopts.AnyChecks()) {
       VerifyReport report = VerifyImage(*out.image, vopts);
       if (!report.ok()) {
-        return InternalError("post-link verification failed:\n" + report.Summary(8));
+        return InternalError(std::string(kVerifyFailurePrefix) + ":\n" + report.Summary(8));
       }
     }
   }
   return out;
+}
+
+}  // namespace
+
+Result<CompiledKernel> CompileKernel(KernelSource source, const ProtectionConfig& config,
+                                     LayoutKind layout) {
+  ProtectionConfig attempt_config = config;
+  for (int attempt = 0;; ++attempt) {
+    auto built = CompileKernelAttempt(source, attempt_config, layout, attempt);
+    if (built.ok()) {
+      built->stats.verify_retries = static_cast<uint64_t>(attempt);
+      return built;
+    }
+    const std::string message = built.status().message();
+    const bool verify_failure =
+        message.compare(0, std::string(kVerifyFailurePrefix).size(), kVerifyFailurePrefix) == 0;
+    if (!verify_failure || attempt >= kMaxVerifyRetries) {
+      return built;
+    }
+    // Retry with the next diversification seed: for randomized builds a
+    // verify failure is a bad draw, not a dead end (bounded, logged).
+    const uint64_t failed_seed = attempt_config.seed;
+    attempt_config.seed = config.seed + 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(attempt + 1);
+    std::fprintf(stderr,
+                 "[krx] post-link verify failed (attempt %d, seed 0x%llx); "
+                 "retrying with seed 0x%llx\n",
+                 attempt, static_cast<unsigned long long>(failed_seed),
+                 static_cast<unsigned long long>(attempt_config.seed));
+  }
 }
 
 Result<ModuleObject> CompileModule(const std::string& name, std::vector<Function> functions,

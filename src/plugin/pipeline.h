@@ -8,6 +8,7 @@
 #ifndef KRX_SRC_PLUGIN_PIPELINE_H_
 #define KRX_SRC_PLUGIN_PIPELINE_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -44,6 +45,9 @@ struct PipelineStats {
   uint64_t instrumented_functions = 0;
   uint64_t xkeys = 0;
   uint64_t phantom_guard_size = 0;
+  // How many post-link-verify failures CompileKernel recovered from by
+  // rebuilding with a rotated diversification seed (0 on a clean build).
+  uint64_t verify_retries = 0;
 };
 
 struct CompiledKernel {
@@ -66,8 +70,18 @@ Status ApplyProtection(std::vector<Function>& functions, SymbolTable& symbols,
 // Full build: transform, permute, assemble, link, replenish xkeys — then,
 // when post-link verification is enabled, prove the kR^X contract on the
 // linked bytes with the src/verify checker and fail the build on violations.
+// A verify failure is retried up to kMaxVerifyRetries times with the next
+// diversification seed (bounded, logged to stderr) before the build fails.
 Result<CompiledKernel> CompileKernel(KernelSource source, const ProtectionConfig& config,
                                      LayoutKind layout);
+
+// Upper bound on rebuild attempts after a post-link verification failure.
+inline constexpr int kMaxVerifyRetries = 3;
+
+// Test hook: runs on the linked image just before the post-link verifier,
+// with the zero-based build attempt number. Lets the fault tests corrupt
+// selected attempts to exercise the retry path. Pass nullptr to clear.
+void SetPostLinkMutatorForTest(std::function<void(KernelImage&, int attempt)> mutator);
 
 // Post-link verification toggle. Defaults to the KRX_POST_LINK_VERIFY
 // environment variable ("1"/"0"); SetPostLinkVerify overrides it for the

@@ -276,12 +276,17 @@ Result<uint64_t> SetUpOpBuffer(KernelImage& image, uint64_t seed) {
   if (!buf.ok()) {
     return buf.status();
   }
+  KRX_RETURN_IF_ERROR(FillOpBuffer(image, *buf, seed));
+  return *buf;
+}
+
+Status FillOpBuffer(KernelImage& image, uint64_t buffer_vaddr, uint64_t seed) {
   Rng rng(seed);
   for (uint64_t off = 0; off < kOpBufferBytes; off += 8) {
     // Small values so accumulators stay well-behaved.
-    KRX_RETURN_IF_ERROR(image.Poke64(*buf + off, rng.NextBelow(1 << 20)));
+    KRX_RETURN_IF_ERROR(image.Poke64(buffer_vaddr + off, rng.NextBelow(1 << 20)));
   }
-  return *buf;
+  return Status::Ok();
 }
 
 }  // namespace krx

@@ -34,6 +34,11 @@ KernelSource MakeBaseSource(const CorpusOptions& options = CorpusOptions());
 // returns its kernel virtual address.
 Result<uint64_t> SetUpOpBuffer(KernelImage& image, uint64_t seed);
 
+// (Re)fills an already-allocated op buffer with the deterministic contents
+// SetUpOpBuffer would give it — lets a caller reuse one buffer across many
+// runs (the fault campaign) instead of leaking 16 pages per run.
+Status FillOpBuffer(KernelImage& image, uint64_t buffer_vaddr, uint64_t seed);
+
 // §6 "Legitimate Code Reads": the tracing/probing machinery needs to read
 // kernel code, so the corpus carries cloned, uninstrumented copies of the
 // read routines (the analogue of the paper's ten cloned get_next/peek_next/

@@ -6,19 +6,19 @@
 namespace krx {
 namespace {
 
-// Task struct offsets.
-constexpr int64_t kTaskState = 0;
-constexpr int64_t kTaskRsp = 8;
-constexpr int64_t kTaskStackTop = 16;
+// Task struct offsets (exported via sched.h for the oops supervisor).
+constexpr int64_t kTaskState = kSchedTaskStateOffset;
+constexpr int64_t kTaskRsp = kSchedTaskRspOffset;
+constexpr int64_t kTaskStackTop = kSchedTaskStackTopOffset;
 
-constexpr int64_t kStateFree = 0;
-constexpr int64_t kStateReady = 1;
-constexpr int64_t kStateDone = 2;
+constexpr int64_t kStateFree = kSchedStateFree;
+constexpr int64_t kStateReady = kSchedStateReady;
+constexpr int64_t kStateDone = kSchedStateDone;
 
 // The six registers the context switch preserves (SysV callee-saved).
 constexpr Reg kSavedRegs[] = {Reg::kRbx, Reg::kRbp, Reg::kR12,
                               Reg::kR13, Reg::kR14, Reg::kR15};
-constexpr int64_t kSwitchFrameBytes = 8 * (6 + 1);  // saved regs + return address
+constexpr int64_t kSwitchFrameBytes = kSchedSwitchFrameBytes;
 
 // Loads the address of sched_tasks[index_reg] into dst (clobbers scratch).
 void EmitTaskAddr(FunctionBuilder& b, int32_t tasks_sym, Reg dst, Reg index, Reg scratch) {
@@ -84,15 +84,15 @@ void EmitSchedYield(KernelSource* src) {
 
 // sys_spawn(entry_slot=rdi) -> task index | -1. Crafts the initial stack so
 // that the first task_switch into the task "returns" into its entry.
-void EmitSysSpawn(KernelSource* src) {
+void EmitSysSpawn(KernelSource* src, int64_t num_entries) {
   int32_t tasks = src->symbols.Intern("sched_tasks", SymbolKind::kData);
   int32_t entries = src->symbols.Intern("task_entries", SymbolKind::kData);
   FunctionBuilder b("sys_spawn");
   const int32_t scan = b.ReserveBlock();
   const int32_t found = b.ReserveBlock();
   const int32_t fail = b.ReserveBlock();
-  // Validate the entry slot (the dispatch table has two entries).
-  b.Emit(Instruction::CmpRI(Reg::kRdi, 1));
+  // Validate the entry slot against the dispatch-table size.
+  b.Emit(Instruction::CmpRI(Reg::kRdi, num_entries - 1));
   b.Emit(Instruction::JccBlock(Cond::kA, fail));
   // Find a free slot (1..7; slot 0 is init).
   b.Emit(Instruction::MovRI(Reg::kRax, 0));
@@ -191,13 +191,50 @@ void EmitWorker(KernelSource* src, const std::string& name, const std::string& r
   src->symbols.Intern(name);
 }
 
+// A rogue worker: behaves like a normal worker for its first two runs,
+// then performs a wild register-based read of kernel text (_text). Under a
+// range-check config that read traps into krx_handler (or raises #BR under
+// MPX) — the injected in-kernel fault the kill-task policy must survive.
+void EmitRogueWorker(KernelSource* src, const std::string& name,
+                     const std::string& run_counter) {
+  int32_t counter = src->symbols.Intern("sched_counter", SymbolKind::kData);
+  int32_t runs = src->symbols.Intern(run_counter, SymbolKind::kData);
+  int32_t text = src->symbols.Intern("_text", SymbolKind::kData);
+  FunctionBuilder b(name);
+  const int32_t loop = b.ReserveBlock();
+  const int32_t behave = b.ReserveBlock();
+  b.Emit(Instruction::SubRI(Reg::kRsp, 8));
+  b.Bind(loop);
+  b.Emit(Instruction::Load(Reg::kRcx, MemOperand::RipRelSym(counter)));
+  b.Emit(Instruction::AddRI(Reg::kRcx, 1));
+  b.Emit(Instruction::Store(MemOperand::RipRelSym(counter), Reg::kRcx));
+  b.Emit(Instruction::Load(Reg::kRdx, MemOperand::RipRelSym(runs)));
+  b.Emit(Instruction::AddRI(Reg::kRdx, 1));
+  b.Emit(Instruction::Store(MemOperand::RipRelSym(runs), Reg::kRdx));
+  b.Emit(Instruction::CmpRI(Reg::kRdx, 3));
+  b.Emit(Instruction::JccBlock(Cond::kB, behave));
+  // Third run: read kernel text through a computed base — a disclosure
+  // attempt the R^X instrumentation must detect.
+  b.Emit(Instruction::Lea(Reg::kRdi, MemOperand::RipRelSym(text)));
+  b.Emit(Instruction::Load(Reg::kRdi, MemOperand::Base(Reg::kRdi, 0)));
+  b.Bind(behave);
+  b.Emit(Instruction::CallSym(src->symbols.Intern("sched_yield")));
+  b.Emit(Instruction::JmpBlock(loop));
+  src->functions.push_back(b.Build());
+  src->symbols.Intern(name);
+}
+
 }  // namespace
 
 std::set<std::string> SchedExemptFunctions() { return {"task_switch"}; }
 
-void AddSched(KernelSource* src) {
-  for (const char* name : {"sched_tasks", "sched_current", "sched_counter", "worker_a_runs",
-                           "worker_b_runs"}) {
+void AddSched(KernelSource* src, bool with_rogue_worker) {
+  std::vector<const char*> globals = {"sched_tasks", "sched_current", "sched_counter",
+                                      "worker_a_runs", "worker_b_runs"};
+  if (with_rogue_worker) {
+    globals.push_back("worker_c_runs");
+  }
+  for (const char* name : globals) {
     DataObject obj;
     obj.name = name;
     obj.kind = SectionKind::kData;
@@ -209,17 +246,23 @@ void AddSched(KernelSource* src) {
   }
   EmitTaskSwitch(src);
   EmitSchedYield(src);
-  EmitSysSpawn(src);
+  EmitSysSpawn(src, with_rogue_worker ? 3 : 2);
   EmitSchedRun(src);
   EmitWorker(src, "worker_a", "worker_a_runs");
   EmitWorker(src, "worker_b", "worker_b_runs");
+  if (with_rogue_worker) {
+    EmitRogueWorker(src, "worker_c", "worker_c_runs");
+  }
 
   DataObject entries;
   entries.name = "task_entries";
   entries.kind = SectionKind::kRodata;
-  entries.bytes.assign(16, 0);
+  entries.bytes.assign(with_rogue_worker ? 24 : 16, 0);
   entries.pointer_slots.push_back({0, src->symbols.Intern("worker_a"), 0});
   entries.pointer_slots.push_back({8, src->symbols.Intern("worker_b"), 0});
+  if (with_rogue_worker) {
+    entries.pointer_slots.push_back({16, src->symbols.Intern("worker_c"), 0});
+  }
   src->data_objects.push_back(std::move(entries));
 }
 

@@ -30,8 +30,23 @@ namespace krx {
 inline constexpr int kSchedMaxTasks = 8;
 inline constexpr uint64_t kSchedTaskBytes = 64;
 
-// Adds the scheduler + two worker tasks to the source.
-void AddSched(KernelSource* source);
+// Task struct offsets and states, shared with the oops-recovery supervisor
+// (src/fault/recovery.h) which reaps tasks and restores saved contexts.
+inline constexpr int64_t kSchedTaskStateOffset = 0;
+inline constexpr int64_t kSchedTaskRspOffset = 8;
+inline constexpr int64_t kSchedTaskStackTopOffset = 16;
+inline constexpr int64_t kSchedStateFree = 0;
+inline constexpr int64_t kSchedStateReady = 1;
+inline constexpr int64_t kSchedStateDone = 2;
+// The task_switch frame below a saved %rsp: r15, r14, r13, r12, rbp, rbx,
+// then the return address (the saved regs are pushed rbx-first).
+inline constexpr int64_t kSchedSwitchFrameBytes = 8 * (6 + 1);
+
+// Adds the scheduler + two worker tasks to the source. With
+// `with_rogue_worker`, a third dispatch-table entry ("worker_c" /
+// worker_c_runs) is added whose third iteration performs a wild read of
+// kernel text — the in-kernel fault the kill-task oops policy must survive.
+void AddSched(KernelSource* source, bool with_rogue_worker = false);
 
 // Must be merged into the protection config of any kernel using AddSched.
 std::set<std::string> SchedExemptFunctions();

@@ -1,0 +1,265 @@
+// The fault-injection and survivable-oops subsystem (src/fault): campaign
+// accounting, structured oops records with RA-decryption-aware backtraces,
+// the kill-task recovery policy, host-error paths, and the bounded
+// post-link-verify retry in CompileKernel.
+#include <gtest/gtest.h>
+
+#include "src/fault/campaign.h"
+#include "src/fault/injector.h"
+#include "src/fault/oops.h"
+#include "src/fault/recovery.h"
+#include "src/ir/builder.h"
+#include "src/verify/verifier.h"
+#include "src/workload/corpus.h"
+#include "src/workload/harness.h"
+#include "src/workload/lmbench.h"
+
+namespace krx {
+namespace {
+
+// ~100 injections cycle every kernel through all of its eligible classes
+// several times; the acceptance contract is zero misclassifications.
+TEST(Campaign, SmallCampaignAllAccounted) {
+  CampaignOptions options;
+  options.seed = 0x51;
+  options.injections = 96;
+  auto report = RunFaultCampaign(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->total, 96u);
+  EXPECT_TRUE(report->AllAccounted()) << report->ToString();
+  EXPECT_DOUBLE_EQ(report->DetectionRate(), 1.0);
+  // Every fault class is exercised (the three kernels together are eligible
+  // for all of them).
+  for (int c = 0; c < static_cast<int>(FaultClass::kNumFaultClasses); ++c) {
+    EXPECT_GT(report->per_class[c].injected, 0u)
+        << FaultClassName(static_cast<FaultClass>(c));
+  }
+  // Adversarial trap classes produce latency samples.
+  EXPECT_GT(report->per_class[static_cast<int>(FaultClass::kTextInt3)].latency_samples, 0u);
+}
+
+// Injections restore the image completely: after a pass over every eligible
+// class, the post-link verifier still proves the full protection contract.
+TEST(Injector, InjectionsComposeAndRestoreImage) {
+  auto kernel = CompileKernel(MakeBenchSource(3),
+                              ProtectionConfig::Full(false, RaScheme::kEncrypt, 3),
+                              LayoutKind::kKrx);
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  FaultInjector injector(&*kernel, /*buffer_seed=*/0xB0F);
+  Rng rng(11);
+  const std::vector<LmbenchRow>& rows = LmbenchRows();
+  for (FaultClass cls : injector.EligibleClasses()) {
+    const std::string op = "sys_" + rows[rng.NextBelow(rows.size())].profile.name;
+    auto outcome = injector.Inject(cls, op, rng);
+    ASSERT_TRUE(outcome.ok()) << FaultClassName(cls) << ": " << outcome.status().ToString();
+    EXPECT_TRUE(outcome->correct)
+        << FaultClassName(cls) << " " << DetectionName(outcome->detection) << " "
+        << outcome->detail;
+  }
+  VerifyReport report =
+      VerifyImage(*kernel->image, VerifyOptions::ForConfig(kernel->config));
+  EXPECT_TRUE(report.ok()) << report.Summary(8);
+}
+
+TEST(Oops, RecordCapturesViolationState) {
+  auto kernel = CompileKernel(MakeBaseSource(), ProtectionConfig::SfiOnly(SfiLevel::kO3),
+                              LayoutKind::kKrx);
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  Cpu cpu(kernel->image.get());
+  const PlacedSection* text = kernel->image->FindSection(".text");
+  ASSERT_NE(text, nullptr);
+
+  RunResult r = cpu.CallFunction("debugfs_leak_read", {text->vaddr});
+  ASSERT_EQ(r.reason, StopReason::kHalted);
+  ASSERT_TRUE(r.krx_violation);
+  ASSERT_TRUE(IsOopsWorthy(r));
+
+  KernelOops oops = BuildOops(cpu, r);
+  EXPECT_EQ(oops.reason, StopReason::kHalted);
+  EXPECT_TRUE(oops.krx_violation);
+  EXPECT_EQ(oops.rip, cpu.rip());
+  EXPECT_EQ(oops.instructions, r.instructions);
+  EXPECT_EQ(oops.violation_count, 1u);                    // krx_handler bumped it
+  EXPECT_EQ(oops.log_marker, 0x6b52585f42554721u);        // "BUG: kR^X" marker
+  for (int i = 0; i < kNumGpRegs; ++i) {
+    EXPECT_EQ(oops.regs[i], cpu.reg(static_cast<Reg>(i)));
+  }
+  const std::string rendered = oops.ToString();
+  EXPECT_NE(rendered.find("kR^X violation"), std::string::npos);
+  EXPECT_NE(rendered.find("krx_violation_count=1"), std::string::npos);
+  EXPECT_NE(rendered.find("backtrace:"), std::string::npos);
+}
+
+TEST(Oops, CleanReturnIsNotOopsWorthy) {
+  auto kernel = CompileKernel(MakeBaseSource(), ProtectionConfig::SfiOnly(SfiLevel::kO3),
+                              LayoutKind::kKrx);
+  ASSERT_TRUE(kernel.ok());
+  Cpu cpu(kernel->image.get());
+  auto buf = kernel->image->AllocDataPages(1);
+  ASSERT_TRUE(buf.ok());
+  ASSERT_TRUE(kernel->image->Poke64(*buf, 42).ok());
+  RunResult r = cpu.CallFunction("debugfs_leak_read", {*buf});
+  ASSERT_EQ(r.reason, StopReason::kReturned);
+  EXPECT_EQ(r.rax, 42u);
+  EXPECT_FALSE(IsOopsWorthy(r));
+}
+
+// Under the X scheme the saved return addresses on the stack are
+// XOR-encrypted; the backtrace scanner must recover the caller by trying
+// the live per-function xkeys.
+TEST(Oops, BacktraceDecryptsEncryptedReturnAddresses) {
+  KernelSource src = MakeBaseSource();
+  {
+    FunctionBuilder b("victim_inner");
+    b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 0)));
+    b.Emit(Instruction::Ret());
+    src.functions.push_back(b.Build());
+    src.symbols.Intern("victim_inner");
+  }
+  {
+    FunctionBuilder b("victim_outer");
+    b.Emit(Instruction::CallSym(src.symbols.Intern("victim_inner")));
+    b.Emit(Instruction::Ret());
+    src.functions.push_back(b.Build());
+    src.symbols.Intern("victim_outer");
+  }
+  auto kernel = CompileKernel(std::move(src),
+                              ProtectionConfig::Full(false, RaScheme::kEncrypt, 7),
+                              LayoutKind::kKrx);
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  Cpu cpu(kernel->image.get());
+  const PlacedSection* text = kernel->image->FindSection(".text");
+  ASSERT_NE(text, nullptr);
+
+  // The wild read inside victim_inner trips the range check while
+  // victim_outer's return address sits encrypted on the stack.
+  RunResult r = cpu.CallFunction("victim_outer", {text->vaddr});
+  ASSERT_TRUE(IsOopsWorthy(r));
+  KernelOops oops = BuildOops(cpu, r);
+  bool found_decrypted_caller = false;
+  for (const OopsFrame& f : oops.backtrace) {
+    if (f.function == "victim_outer") {
+      EXPECT_TRUE(f.decrypted);
+      EXPECT_NE(f.value, f.code_addr);  // raw slot was ciphertext
+      found_decrypted_caller = true;
+    }
+  }
+  EXPECT_TRUE(found_decrypted_caller) << oops.ToString();
+  EXPECT_NE(oops.ToString().find("(RA-decrypted)"), std::string::npos);
+}
+
+// The tentpole survivability claim: the rogue worker is reaped and the
+// remaining tasks' workloads complete correctly.
+TEST(Recovery, KillTaskPolicySurvivesRogueWorker) {
+  auto report = RunKillTaskScenario(0xD00D, OopsPolicy::kKillTask);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->survived);
+  ASSERT_EQ(report->killed_tasks.size(), 1u);
+  EXPECT_EQ(report->killed_tasks[0], 3u);  // the rogue worker's task slot
+  EXPECT_EQ(report->oops_count, 1u);
+  // The rogue worker got exactly its three runs in before dying; the honest
+  // workers then finished the whole 64-round schedule between them.
+  EXPECT_EQ(report->worker_c_runs, 3u);
+  EXPECT_GE(report->counter, 64u);
+  EXPECT_EQ(report->worker_a_runs + report->worker_b_runs + report->worker_c_runs,
+            report->counter);
+  // The oops record names the offender.
+  EXPECT_NE(report->first_oops.find("worker_c"), std::string::npos) << report->first_oops;
+}
+
+TEST(Recovery, PanicPolicyStopsAtFirstOops) {
+  auto report = RunKillTaskScenario(0xD00D, OopsPolicy::kPanic);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->survived);
+  EXPECT_TRUE(report->killed_tasks.empty());
+  EXPECT_EQ(report->oops_count, 1u);
+  EXPECT_LT(report->counter, 64u);  // the schedule never completed
+}
+
+// Host-side problems surface as kHostError results, never as aborts.
+TEST(HostError, BadEntryAndTooManyArgs) {
+  auto kernel = CompileKernel(MakeBaseSource(), ProtectionConfig::SfiOnly(SfiLevel::kO3),
+                              LayoutKind::kKrx);
+  ASSERT_TRUE(kernel.ok());
+  Cpu cpu(kernel->image.get());
+
+  RunResult missing = cpu.CallFunction("no_such_entry", {});
+  EXPECT_EQ(missing.reason, StopReason::kHostError);
+  EXPECT_FALSE(missing.host_error.empty());
+  EXPECT_FALSE(IsOopsWorthy(missing));
+
+  RunResult too_many = cpu.CallFunction("debugfs_leak_read", {1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(too_many.reason, StopReason::kHostError);
+  EXPECT_FALSE(too_many.host_error.empty());
+
+  // The machine is still usable after host errors.
+  auto buf = kernel->image->AllocDataPages(1);
+  ASSERT_TRUE(buf.ok());
+  RunResult ok = cpu.CallFunction("debugfs_leak_read", {*buf});
+  EXPECT_EQ(ok.reason, StopReason::kReturned);
+}
+
+// Clears the post-link mutator hook even when a test fails mid-way.
+struct MutatorGuard {
+  ~MutatorGuard() { SetPostLinkMutatorForTest(nullptr); }
+};
+
+// Remapping a physmap synonym of a code page violates the R^X contract the
+// verifier proves — a deterministic way to fail post-link verification.
+void CorruptImage(KernelImage& image) {
+  const PlacedSection* text = image.FindSection(".text");
+  ASSERT_NE(text, nullptr);
+  PteFlags f;
+  f.present = true;
+  f.writable = true;
+  f.nx = true;
+  image.page_table().MapRange(image.PhysmapVaddr(text->first_frame), text->first_frame, 1, f);
+}
+
+TEST(VerifyRetry, TransientFailureRecoversWithRotatedSeed) {
+  MutatorGuard guard;
+  SetPostLinkVerify(true);
+  SetPostLinkMutatorForTest([](KernelImage& image, int attempt) {
+    if (attempt == 0) {
+      CorruptImage(image);
+    }
+  });
+  auto kernel = CompileKernel(MakeBaseSource(),
+                              ProtectionConfig::Full(false, RaScheme::kEncrypt, 21),
+                              LayoutKind::kKrx);
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  EXPECT_EQ(kernel->stats.verify_retries, 1u);
+  // The retried build changed the diversification seed, and the shipped
+  // image itself verifies clean.
+  VerifyReport report =
+      VerifyImage(*kernel->image, VerifyOptions::ForConfig(kernel->config));
+  EXPECT_TRUE(report.ok()) << report.Summary(8);
+}
+
+TEST(VerifyRetry, PersistentFailureIsBoundedAndFinal) {
+  MutatorGuard guard;
+  SetPostLinkVerify(true);
+  int attempts_seen = 0;
+  SetPostLinkMutatorForTest([&attempts_seen](KernelImage& image, int attempt) {
+    attempts_seen = attempt + 1;
+    CorruptImage(image);
+  });
+  auto kernel = CompileKernel(MakeBaseSource(),
+                              ProtectionConfig::Full(false, RaScheme::kEncrypt, 22),
+                              LayoutKind::kKrx);
+  ASSERT_FALSE(kernel.ok());
+  EXPECT_NE(kernel.status().message().find("post-link verification failed"),
+            std::string::npos);
+  EXPECT_EQ(attempts_seen, kMaxVerifyRetries + 1);  // initial build + retries
+}
+
+TEST(VerifyRetry, CleanBuildNeverRetries) {
+  auto kernel = CompileKernel(MakeBaseSource(),
+                              ProtectionConfig::Full(false, RaScheme::kEncrypt, 23),
+                              LayoutKind::kKrx);
+  ASSERT_TRUE(kernel.ok());
+  EXPECT_EQ(kernel->stats.verify_retries, 0u);
+}
+
+}  // namespace
+}  // namespace krx

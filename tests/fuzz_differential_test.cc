@@ -245,6 +245,130 @@ TEST_P(FuzzDifferential, AllColumnsAgreeWithVanilla) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
 
+// Interpreter robustness under corrupted images: random bytes smashed into
+// executing code must surface as clean guest exceptions in the RunResult
+// (#UD / #BP / #PF / #GP ...), never as host UB. Runs under ASan+UBSan via
+// the sanitize label.
+TEST(FuzzCorruption, RandomTextBytesNeverCrashTheHost) {
+  const uint64_t seed = 0xC0DE;
+  KernelSource src = MakeBaseSource();
+  RandomProgram gen(&src, seed);
+  gen.set_seed_tag(seed);
+  std::vector<std::string> fns = gen.EmitFunctions(4);
+  auto kernel = CompileKernel(std::move(src), ProtectionConfig::SfiOnly(SfiLevel::kO3),
+                              LayoutKind::kKrx);
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  KernelImage& image = *kernel->image;
+  const PlacedSection* text = image.FindSection(".text");
+  ASSERT_NE(text, nullptr);
+  Cpu cpu(&image);
+  auto buf = SetUpOpBuffer(image, seed);
+  ASSERT_TRUE(buf.ok());
+
+  Rng rng(seed);
+  int clean_returns = 0;
+  int guest_stops = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    ASSERT_TRUE(FillOpBuffer(image, *buf, seed + static_cast<uint64_t>(trial)).ok());
+    const std::string& fn = fns[rng.NextBelow(fns.size())];
+
+    // Corrupt 1-4 random code bytes, either before the run or mid-run at a
+    // random retired-instruction count.
+    struct Patch {
+      uint64_t addr;
+      uint8_t orig;
+      uint8_t evil;
+    };
+    std::vector<Patch> patches;
+    const uint64_t n_patches = 1 + rng.NextBelow(4);
+    for (uint64_t p = 0; p < n_patches; ++p) {
+      Patch patch;
+      patch.addr = text->vaddr + rng.NextBelow(text->size);
+      uint8_t orig = 0;
+      ASSERT_TRUE(image.PeekBytes(patch.addr, &orig, 1).ok());
+      patch.orig = orig;
+      patch.evil = static_cast<uint8_t>(rng.Next());
+      patches.push_back(patch);
+    }
+    const bool mid_run = rng.NextBool(0.5);
+    const uint64_t trigger = 1 + rng.NextBelow(200);
+    auto apply = [&image, &patches] {
+      for (const Patch& p : patches) {
+        (void)image.PokeBytes(p.addr, &p.evil, 1);
+      }
+    };
+    uint64_t retired = 0;
+    if (mid_run) {
+      cpu.set_step_observer([&](const Cpu&) {
+        if (++retired == trigger) {
+          apply();
+        }
+      });
+    } else {
+      apply();
+    }
+    RunResult r = cpu.CallFunction(fn, {*buf}, /*max_steps=*/100'000);
+    cpu.set_step_observer(nullptr);
+    for (const Patch& p : patches) {
+      ASSERT_TRUE(image.PokeBytes(p.addr, &p.orig, 1).ok());
+    }
+
+    // Any guest-visible stop is acceptable; what is not acceptable is a
+    // host-side failure (or a crash, which ASan would turn into one).
+    ASSERT_NE(r.reason, StopReason::kHostError) << fn << ": " << r.host_error;
+    if (r.reason == StopReason::kReturned) {
+      ++clean_returns;
+    } else {
+      ++guest_stops;
+      if (r.reason == StopReason::kException) {
+        EXPECT_NE(r.exception, ExceptionKind::kNone);
+      }
+    }
+  }
+  // Sanity on the distribution: corrupted text does trip traps, and patches
+  // that miss the executed path return cleanly.
+  EXPECT_GT(guest_stops, 0);
+  EXPECT_GT(clean_returns, 0);
+}
+
+// Truncated images: the final bytes of a function replaced by page-end
+// garbage must fault in the guest, not overrun host buffers.
+TEST(FuzzCorruption, TruncatedFunctionTailFaultsCleanly) {
+  auto kernel = CompileKernel(MakeBaseSource(), ProtectionConfig::SfiOnly(SfiLevel::kO3),
+                              LayoutKind::kKrx);
+  ASSERT_TRUE(kernel.ok());
+  KernelImage& image = *kernel->image;
+  auto entry = image.symbols().AddressOf("debugfs_leak_read");
+  ASSERT_TRUE(entry.ok());
+  int32_t sym = image.symbols().Find("debugfs_leak_read");
+  ASSERT_GE(sym, 0);
+  const uint64_t size = image.symbols().at(sym).size;
+  ASSERT_GT(size, 2u);
+  Cpu cpu(&image);
+  auto buf = image.AllocDataPages(1);
+  ASSERT_TRUE(buf.ok());
+
+  // Chop the function's tail (including its ret) to multi-byte garbage that
+  // forces the decoder to read past the recorded function end.
+  Rng rng(0x7A11);
+  for (int trial = 0; trial < 32; ++trial) {
+    const uint64_t cut = 1 + rng.NextBelow(size - 1);
+    std::vector<uint8_t> orig(size - cut);
+    ASSERT_TRUE(image.PeekBytes(*entry + cut, orig.data(), orig.size()).ok());
+    std::vector<uint8_t> garbage(orig.size());
+    for (auto& byte : garbage) {
+      byte = static_cast<uint8_t>(rng.Next());
+    }
+    ASSERT_TRUE(image.PokeBytes(*entry + cut, garbage.data(), garbage.size()).ok());
+    RunResult r = cpu.CallFunction("debugfs_leak_read", {*buf}, /*max_steps=*/10'000);
+    ASSERT_NE(r.reason, StopReason::kHostError) << r.host_error;
+    ASSERT_TRUE(image.PokeBytes(*entry + cut, orig.data(), orig.size()).ok());
+  }
+  // Restored image behaves again.
+  RunResult r = cpu.CallFunction("debugfs_leak_read", {*buf});
+  EXPECT_EQ(r.reason, StopReason::kReturned);
+}
+
 // Decoder robustness: random byte soup must decode deterministically (ok or
 // error, never crash) and decoded sizes must stay within bounds.
 TEST(FuzzDecoder, RandomBytesNeverMisbehave) {

@@ -1,0 +1,47 @@
+#!/bin/sh
+# CI driver: builds the default and ASan+UBSan presets, runs the tier-1
+# suite, the sanitizer subset, and the fault-injection campaigns, and
+# produces the BENCH_fault.json artifact (EXPERIMENTS.md E15).
+#
+# Usage: tools/ci.sh [--quick]
+#   --quick   skip the ASan preset (default build + tests + fault labels only)
+set -eu
+
+cd "$(dirname "$0")/.."
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "usage: tools/ci.sh [--quick]" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> configure + build (default preset)"
+cmake --preset default
+cmake --build --preset default -j
+
+echo "==> tier-1 tests (default preset)"
+ctest --preset default -j8
+
+echo "==> fault-injection labels (default preset)"
+ctest --test-dir build -L fault --output-on-failure -j4
+
+echo "==> fault campaign artifact (build/BENCH_fault.json)"
+./build/bench/fault_campaign --n 500 --json > build/BENCH_fault.json
+./build/bench/fault_campaign --n 500 > /dev/null || {
+  echo "fault campaign acceptance failed" >&2; exit 1;
+}
+
+if [ "$QUICK" -eq 0 ]; then
+  echo "==> configure + build (asan preset)"
+  cmake --preset asan
+  cmake --build --preset asan -j
+
+  echo "==> sanitize label (asan preset)"
+  ctest --preset asan -j8
+
+  echo "==> fault-injection labels (asan preset)"
+  ctest --test-dir build-asan -L fault --output-on-failure -j4
+fi
+
+echo "==> CI OK"
