@@ -31,7 +31,7 @@ int Main() {
   KernelSource src = MakeBenchSource(seed);
   std::printf("kR^X reproduction — ablation sweeps\n");
 
-  auto vanilla = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  auto vanilla = CompileKernel(src, {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
   KRX_CHECK(vanilla.ok());
   const double base = static_cast<double>(TotalCycles(*vanilla));
   const double base_text = static_cast<double>(TextSize(*vanilla));
@@ -48,7 +48,7 @@ int Main() {
     ProtectionConfig c;
     c.sfi = l.level;
     c.mpx = l.mpx;
-    auto k = CompileKernel(src, c, LayoutKind::kKrx);
+    auto k = CompileKernel(src, {c, LayoutKind::kKrx});
     KRX_CHECK(k.ok());
     std::printf("  %-4s overhead %7.2f%%   text size +%5.1f%%   checks %llu (coalesced %llu)\n",
                 l.name, 100.0 * (static_cast<double>(TotalCycles(*k)) - base) / base,
@@ -61,7 +61,7 @@ int Main() {
   for (int kbits : {0, 10, 20, 30, 40, 50}) {
     ProtectionConfig c = ProtectionConfig::DiversifyOnly(RaScheme::kNone, seed);
     c.entropy_bits_k = kbits;
-    auto k = CompileKernel(src, c, LayoutKind::kKrx);
+    auto k = CompileKernel(src, {c, LayoutKind::kKrx});
     KRX_CHECK(k.ok());
     std::printf("  k=%-3d phantom blocks %5llu   text size +%5.1f%%   runtime +%5.2f%%\n", kbits,
                 static_cast<unsigned long long>(k->stats.kaslr.phantom_blocks),
@@ -71,7 +71,7 @@ int Main() {
 
   std::printf("\n[3] %%rsp-read exemption (the .krx_phantom guard trade, §5.1.2)\n");
   {
-    auto k = CompileKernel(src, ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx);
+    auto k = CompileKernel(src, {ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx});
     KRX_CHECK(k.ok());
     std::printf("  with exemption:  %llu checks, %llu stack reads exempt, guard %llu bytes\n",
                 static_cast<unsigned long long>(k->stats.sfi.checks_emitted),
@@ -84,7 +84,7 @@ int Main() {
   std::printf("\n[4] return-address protection head-to-head (SFI flavour vs MPX flavour)\n");
   for (bool mpx : {false, true}) {
     for (RaScheme ra : {RaScheme::kDecoy, RaScheme::kEncrypt}) {
-      auto k = CompileKernel(src, ProtectionConfig::Full(mpx, ra, seed), LayoutKind::kKrx);
+      auto k = CompileKernel(src, {ProtectionConfig::Full(mpx, ra, seed), LayoutKind::kKrx});
       KRX_CHECK(k.ok());
       std::printf("  %s+%s: %6.2f%%\n", mpx ? "MPX" : "SFI",
                   ra == RaScheme::kDecoy ? "D" : "X",

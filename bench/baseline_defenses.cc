@@ -48,7 +48,7 @@ int Main() {
   KernelSource src = MakeBenchSource(seed);
 
   auto plain = [&src] {
-    auto k = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+    auto k = CompileKernel(src, {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
     KRX_CHECK(k.ok());
     return std::move(*k);
   };
@@ -81,8 +81,7 @@ int Main() {
   rows.push_back(Evaluate(
       "kR^X (SFI+D)",
       [&src, seed] {
-        auto k = CompileKernel(src, ProtectionConfig::Full(false, RaScheme::kDecoy, seed),
-                               LayoutKind::kKrx);
+        auto k = CompileKernel(src, {ProtectionConfig::Full(false, RaScheme::kDecoy, seed), LayoutKind::kKrx});
         KRX_CHECK(k.ok());
         return std::move(*k);
       },

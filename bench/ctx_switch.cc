@@ -41,14 +41,13 @@ int Main() {
     return config;
   };
 
-  auto vanilla = CompileKernel(src, with_exempt(ProtectionConfig::Vanilla()),
-                               LayoutKind::kVanilla);
+  auto vanilla = CompileKernel(src, {with_exempt(ProtectionConfig::Vanilla()), LayoutKind::kVanilla});
   KRX_CHECK(vanilla.ok());
   double base = SwitchRoundTripCycles(*vanilla);
   std::printf("vanilla: %.1f cycles per rotation\n\n", base);
   std::printf("%-9s %12s\n", "column", "overhead");
   for (const Column& col : Table1Columns(0xC7)) {
-    auto kernel = CompileKernel(src, with_exempt(col.config), col.layout);
+    auto kernel = CompileKernel(src, {with_exempt(col.config), col.layout});
     KRX_CHECK(kernel.ok());
     double v = SwitchRoundTripCycles(*kernel);
     std::printf("%-9s %11.2f%%\n", col.name.c_str(), OverheadPercent(base, v));

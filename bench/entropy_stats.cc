@@ -32,7 +32,7 @@ int Main() {
   for (int k : {10, 20, 30, 40}) {
     ProtectionConfig config = ProtectionConfig::DiversifyOnly(RaScheme::kNone, seed);
     config.entropy_bits_k = k;
-    auto kernel = CompileKernel(src, config, LayoutKind::kKrx);
+    auto kernel = CompileKernel(src, {config, LayoutKind::kKrx});
     KRX_CHECK(kernel.ok());
     const KaslrStats& ks = kernel->stats.kaslr;
     std::printf("k=%2d: chunks/function avg %.1f, phantom blocks %llu, min entropy %.1f bits "
@@ -45,8 +45,7 @@ int Main() {
   // Gadget displacement under two different seeds (paper: "no gadget
   // remained at its original location").
   auto build = [&](uint64_t s) {
-    auto kernel = CompileKernel(src, ProtectionConfig::DiversifyOnly(RaScheme::kNone, s),
-                                LayoutKind::kKrx);
+    auto kernel = CompileKernel(src, {ProtectionConfig::DiversifyOnly(RaScheme::kNone, s), LayoutKind::kKrx});
     KRX_CHECK(kernel.ok());
     return std::move(*kernel);
   };

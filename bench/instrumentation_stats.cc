@@ -14,7 +14,7 @@ SfiStats StatsFor(const KernelSource& src, SfiLevel level, bool mpx) {
   ProtectionConfig config;
   config.sfi = level;
   config.mpx = mpx;
-  auto kernel = CompileKernel(src, config, LayoutKind::kKrx);
+  auto kernel = CompileKernel(src, {config, LayoutKind::kKrx});
   KRX_CHECK(kernel.ok());
   return kernel->stats.sfi;
 }

@@ -48,13 +48,13 @@ int Main() {
   std::printf("kR^X reproduction — in-kernel IPC overhead (%% over vanilla)\n\n");
   KernelSource src = MakeBaseSource();
   AddIpc(&src);
-  auto vanilla = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  auto vanilla = CompileKernel(src, {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
   KRX_CHECK(vanilla.ok());
   OpCycles base = Measure(*vanilla);
   std::printf("vanilla cycles: pipe(64q) %.0f   sock(16q) %.0f\n\n", base.pipe, base.sock);
   std::printf("%-9s %12s %12s\n", "column", "pipe I/O", "socket I/O");
   for (const Column& col : Table1Columns(0xE1)) {
-    auto kernel = CompileKernel(src, col.config, col.layout);
+    auto kernel = CompileKernel(src, {col.config, col.layout});
     KRX_CHECK(kernel.ok());
     OpCycles v = Measure(*kernel);
     std::printf("%-9s %11.2f%% %11.2f%%\n", col.name.c_str(),

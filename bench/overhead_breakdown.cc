@@ -40,7 +40,7 @@ int Main() {
   std::printf("kR^X reproduction — dynamic instruction-mix deltas vs. vanilla\n"
               "(positive numbers: instructions the protection adds per op invocation)\n");
   KernelSource src = MakeBenchSource(seed);
-  auto vanilla = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  auto vanilla = CompileKernel(src, {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
   KRX_CHECK(vanilla.ok());
 
   const char* ops[] = {"sys_open_close", "sys_select_100_tcp", "sys_fork_exit"};
@@ -51,7 +51,7 @@ int Main() {
                 " branches, %" PRIu64 " calls\n",
                 base.loads, base.stores, base.alu, base.branches, base.calls);
     for (const Column& col : Table1Columns(seed)) {
-      auto kernel = CompileKernel(src, col.config, col.layout);
+      auto kernel = CompileKernel(src, {col.config, col.layout});
       KRX_CHECK(kernel.ok());
       PrintDelta(col.name.c_str(), base, MixFor(*kernel, op, seed));
     }

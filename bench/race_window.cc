@@ -80,7 +80,7 @@ int Main() {
   std::printf("%-18s %14s %14s %18s\n", "scheme", "steps exposed", "total steps",
               "longest window");
   for (const Row& row : rows) {
-    auto kernel = CompileKernel(src, row.config, LayoutKind::kKrx);
+    auto kernel = CompileKernel(src, {row.config, LayoutKind::kKrx});
     KRX_CHECK(kernel.ok());
     Window w = MeasureExposure(*kernel);
     std::printf("%-18s %8" PRIu64 " (%4.1f%%) %14" PRIu64 " %12" PRIu64 " insts\n", row.name,

@@ -12,7 +12,7 @@ namespace {
 
 Result<CompiledKernel> Build(const KernelSource& src, ProtectionConfig config,
                              LayoutKind layout) {
-  return CompileKernel(src, config, layout);
+  return CompileKernel(src, {config, layout});
 }
 
 void Report(const char* label, const AttackOutcome& out, bool expect_success) {

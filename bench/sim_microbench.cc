@@ -42,8 +42,7 @@ BENCHMARK(BM_SfiPass)->DenseRange(1, 4);  // kO0 .. kO3
 void BM_CompileKernel(benchmark::State& state) {
   KernelSource src = MakeBenchSource(1);
   for (auto _ : state) {
-    auto kernel = CompileKernel(src, ProtectionConfig::Full(false, RaScheme::kEncrypt, 1),
-                                LayoutKind::kKrx);
+    auto kernel = CompileKernel(src, {ProtectionConfig::Full(false, RaScheme::kEncrypt, 1), LayoutKind::kKrx});
     benchmark::DoNotOptimize(kernel);
   }
 }
@@ -51,7 +50,7 @@ BENCHMARK(BM_CompileKernel)->Unit(benchmark::kMillisecond);
 
 void BM_Interpreter(benchmark::State& state) {
   KernelSource src = MakeBenchSource(1);
-  auto kernel = CompileKernel(std::move(src), ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  auto kernel = CompileKernel(std::move(src), {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
   KRX_CHECK(kernel.ok());
   Cpu cpu(kernel->image.get());
   auto buf = SetUpOpBuffer(*kernel->image, 1);
@@ -71,7 +70,7 @@ BENCHMARK(BM_Interpreter);
 
 void BM_GadgetScan(benchmark::State& state) {
   KernelSource src = MakeBenchSource(1);
-  auto kernel = CompileKernel(std::move(src), ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  auto kernel = CompileKernel(std::move(src), {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
   KRX_CHECK(kernel.ok());
   const PlacedSection* text = kernel->image->FindSection(".text");
   std::vector<uint8_t> bytes(text->size);

@@ -56,7 +56,7 @@ int Main() {
   KernelSource src = MakeBaseSource();
   AddVfs(&src, DefaultVfsImage());
 
-  auto vanilla = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  auto vanilla = CompileKernel(src, {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
   KRX_CHECK(vanilla.ok());
   OpCycles base = Measure(*vanilla);
   std::printf("vanilla cycles: open %.0f  read %.0f  fstat %.0f  close %.0f\n\n", base.open,
@@ -64,7 +64,7 @@ int Main() {
 
   std::printf("%-9s %10s %10s %10s %10s\n", "column", "open()", "read()", "fstat()", "close()");
   for (const Column& col : Table1Columns(seed)) {
-    auto kernel = CompileKernel(src, col.config, col.layout);
+    auto kernel = CompileKernel(src, {col.config, col.layout});
     KRX_CHECK(kernel.ok());
     OpCycles v = Measure(*kernel);
     std::printf("%-9s %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n", col.name.c_str(),

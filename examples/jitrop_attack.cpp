@@ -28,11 +28,9 @@ int main() {
   const uint64_t seed = 0xC4FE;
   KernelSource src = MakeBenchSource(seed);
 
-  auto vanilla = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
-  auto kaslr = CompileKernel(src, ProtectionConfig::DiversifyOnly(RaScheme::kNone, seed),
-                             LayoutKind::kKrx);
-  auto krx = CompileKernel(src, ProtectionConfig::Full(false, RaScheme::kDecoy, seed),
-                           LayoutKind::kKrx);
+  auto vanilla = CompileKernel(src, {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
+  auto kaslr = CompileKernel(src, {ProtectionConfig::DiversifyOnly(RaScheme::kNone, seed), LayoutKind::kKrx});
+  auto krx = CompileKernel(src, {ProtectionConfig::Full(false, RaScheme::kDecoy, seed), LayoutKind::kKrx});
   if (!vanilla.ok() || !kaslr.ok() || !krx.ok()) {
     std::fprintf(stderr, "build failed\n");
     return 1;

@@ -41,9 +41,7 @@ int main() {
     source.functions.push_back(b.Build());
     source.symbols.Intern("commit_creds_noop");
   }
-  auto kernel = CompileKernel(std::move(source),
-                              ProtectionConfig::Full(false, RaScheme::kDecoy, 99),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(std::move(source), {ProtectionConfig::Full(false, RaScheme::kDecoy, 99), LayoutKind::kKrx});
   KRX_CHECK(kernel.ok());
   KernelImage& image = *kernel->image;
   ModuleLoader loader(&image);

@@ -29,10 +29,8 @@ int main() {
 
   // 2. Compile with full kR^X protection: SFI range checks (O3),
   //    fine-grained KASLR, return-address encryption, kR^X-KAS layout.
-  auto kernel = CompileKernel(std::move(source),
-                              ProtectionConfig::Full(/*with_mpx=*/false, RaScheme::kEncrypt,
-                                                     /*seed_value=*/2024),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(std::move(source), {ProtectionConfig::Full(/*with_mpx=*/false, RaScheme::kEncrypt,
+                                                     /*seed_value=*/2024), LayoutKind::kKrx});
   if (!kernel.ok()) {
     std::fprintf(stderr, "compile failed: %s\n", kernel.status().ToString().c_str());
     return 1;

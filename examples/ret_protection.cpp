@@ -49,12 +49,9 @@ int main() {
   const uint64_t seed = 0xDECAF;
   KernelSource src = MakeBaseSource();
 
-  auto plain = CompileKernel(src, ProtectionConfig::DiversifyOnly(RaScheme::kNone, seed),
-                             LayoutKind::kKrx);
-  auto enc = CompileKernel(src, ProtectionConfig::DiversifyOnly(RaScheme::kEncrypt, seed),
-                           LayoutKind::kKrx);
-  auto dec = CompileKernel(src, ProtectionConfig::DiversifyOnly(RaScheme::kDecoy, seed),
-                           LayoutKind::kKrx);
+  auto plain = CompileKernel(src, {ProtectionConfig::DiversifyOnly(RaScheme::kNone, seed), LayoutKind::kKrx});
+  auto enc = CompileKernel(src, {ProtectionConfig::DiversifyOnly(RaScheme::kEncrypt, seed), LayoutKind::kKrx});
+  auto dec = CompileKernel(src, {ProtectionConfig::DiversifyOnly(RaScheme::kDecoy, seed), LayoutKind::kKrx});
   KRX_CHECK(plain.ok() && enc.ok() && dec.ok());
 
   DumpStack("no RA protection: cleartext return addresses", *plain);

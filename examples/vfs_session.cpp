@@ -16,9 +16,7 @@ using namespace krx;
 int main() {
   KernelSource src = MakeBaseSource();
   AddVfs(&src, DefaultVfsImage());
-  auto kernel = CompileKernel(std::move(src),
-                              ProtectionConfig::Full(false, RaScheme::kDecoy, 0xF11E),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(std::move(src), {ProtectionConfig::Full(false, RaScheme::kDecoy, 0xF11E), LayoutKind::kKrx});
   KRX_CHECK(kernel.ok());
   Cpu cpu(kernel->image.get());
   auto buf = kernel->image->AllocDataPages(1);

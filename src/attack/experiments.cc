@@ -59,7 +59,7 @@ RunResult ExploitLab::RunRopChain(const std::vector<uint64_t>& chain, uint64_t m
   // Hijacked control transfer: %rsp pivoted onto the payload; execution
   // "returns" into the first chain entry.
   cpu_.set_reg(Reg::kRsp, payload_buf_ + 8);
-  return cpu_.RunAt(chain[0], max_steps);
+  return cpu_.RunAt(chain[0], RunOptions{.max_steps = max_steps});
 }
 
 std::vector<uint8_t> ExploitLab::DumpText() const {
@@ -407,7 +407,7 @@ AttackOutcome DataOnlyFunctionPointerAttack(ExploitLab& target) {
 
 AttackOutcome Ret2UsrAttack(ExploitLab& target, bool smep_enabled) {
   AttackOutcome out;
-  target.image().mmu().set_smep(smep_enabled);
+  target.cpu().mmu().set_smep(smep_enabled);
   target.ResetCreds();
 
   auto cred = target.image().symbols().AddressOf(kCurrentCredName);
@@ -435,18 +435,18 @@ AttackOutcome Ret2UsrAttack(ExploitLab& target, bool smep_enabled) {
   // Hijacked kernel control transfer into user space.
   Cpu& cpu = target.cpu();
   cpu.set_reg(Reg::kRsp, cpu.stack_top() - 64);
-  RunResult r = cpu.RunAt(kUserCode, 64);
+  RunResult r = cpu.RunAt(kUserCode, RunOptions{.max_steps = 64});
 
   out.success = target.IsRoot();
   if (out.success) {
     out.detail = "kernel executed user-space shellcode (no SMEP)";
   } else if (r.reason == StopReason::kException && r.exception == ExceptionKind::kPageFault &&
-             target.image().mmu().last_fault().kind == FaultKind::kSmepViolation) {
+             cpu.mmu().last_fault().kind == FaultKind::kSmepViolation) {
     out.detail = "SMEP: supervisor fetch from user page faulted";
   } else {
     out.detail = "hijack derailed";
   }
-  target.image().mmu().set_smep(false);
+  target.cpu().mmu().set_smep(false);
   return out;
 }
 
@@ -478,7 +478,7 @@ bool DecoyTripwireFires(ExploitLab& target) {
     } else {
       continue;
     }
-    RunResult r = cpu.RunAt(decoy, 16);
+    RunResult r = cpu.RunAt(decoy, RunOptions{.max_steps = 16});
     return r.reason == StopReason::kException && r.exception == ExceptionKind::kBreakpoint;
   }
   return false;

@@ -1,0 +1,77 @@
+#include "src/bench_runner/kernel_cache.h"
+
+#include <sstream>
+
+namespace krx {
+
+std::string KernelCache::Key(const BuildOptions& options) {
+  const ProtectionConfig& c = options.config;
+  std::ostringstream key;
+  key << "sfi=" << static_cast<int>(c.sfi) << ";mpx=" << c.mpx << ";div=" << c.diversify
+      << ";ckaslr=" << c.coarse_kaslr << ";ra=" << static_cast<int>(c.ra)
+      << ";regrand=" << c.randomize_registers << ";k=" << c.entropy_bits_k
+      << ";seed=" << (options.seed != 0 ? options.seed : c.seed)
+      << ";layout=" << static_cast<int>(options.layout)
+      << ";verify=" << static_cast<int>(options.verify)
+      << ";retries=" << options.max_verify_retries << ";exempt=";
+  for (const std::string& fn : c.exempt_functions) {  // std::set: sorted, stable
+    key << fn << ',';
+  }
+  return key.str();
+}
+
+Result<std::shared_ptr<CompiledKernel>> KernelCache::Get(const BuildOptions& options) {
+  const std::string key = Key(options);
+  std::promise<Built> promise;
+  std::shared_future<Built> future;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      future = it->second;
+    } else {
+      ++stats_.compiles;
+      future = promise.get_future().share();
+      entries_.emplace(key, future);
+      builder = true;
+    }
+  }
+  if (builder) {
+    // Compile outside the lock: other keys proceed in parallel, and
+    // same-key requesters block on the future, not the mutex.
+    Built built;
+    auto compiled = CompileKernel(factory_(), options);
+    if (compiled.ok()) {
+      built.kernel = std::make_shared<CompiledKernel>(std::move(*compiled));
+    } else {
+      built.status = compiled.status();
+    }
+    promise.set_value(std::move(built));
+  }
+  const Built& built = future.get();
+  if (built.kernel == nullptr) {
+    return built.status;
+  }
+  return built.kernel;
+}
+
+Result<std::shared_ptr<CompiledKernel>> KernelCache::GetExclusive(const BuildOptions& options) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.exclusive_compiles;
+  }
+  auto compiled = CompileKernel(factory_(), options);
+  if (!compiled.ok()) {
+    return compiled.status();
+  }
+  return std::make_shared<CompiledKernel>(std::move(*compiled));
+}
+
+KernelCache::Stats KernelCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace krx

@@ -1,0 +1,70 @@
+// Compiled-kernel cache: compile each (ProtectionConfig, LayoutKind, seed)
+// point of a bench matrix exactly once, even when many worker threads
+// request it concurrently.
+//
+// The cache keys on the build-relevant fields of BuildOptions (config knobs,
+// layout, effective seed). The first requester of a key compiles; concurrent
+// requesters block on a shared_future of the same build instead of
+// duplicating the (expensive) pipeline run. Returned kernels are shared —
+// callers must treat the image as execute-only state: per-thread Cpu
+// instances may run on it concurrently (each owns its Mmu and stack; frame
+// allocation is thread-safe) but nothing may remap or poke text. Stateful
+// workloads that mutate guest globals should request a private build
+// (GetExclusive) instead.
+#ifndef KRX_SRC_BENCH_RUNNER_KERNEL_CACHE_H_
+#define KRX_SRC_BENCH_RUNNER_KERNEL_CACHE_H_
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/plugin/pipeline.h"
+
+namespace krx {
+
+class KernelCache {
+ public:
+  // `factory` produces the kernel source tree for every build (called once
+  // per distinct key, and once per GetExclusive). It must be callable from
+  // any worker thread.
+  using SourceFactory = std::function<KernelSource()>;
+
+  explicit KernelCache(SourceFactory factory) : factory_(std::move(factory)) {}
+
+  // Returns the shared compiled kernel for `options`, compiling at most
+  // once per distinct key across all threads. Thread-safe.
+  Result<std::shared_ptr<CompiledKernel>> Get(const BuildOptions& options);
+
+  // Compiles a private, uncached kernel for a task that mutates guest
+  // state (VFS tables, IPC rings). Thread-safe.
+  Result<std::shared_ptr<CompiledKernel>> GetExclusive(const BuildOptions& options);
+
+  // Serialized build identity: every config field that changes the emitted
+  // bytes, plus layout and effective seed. Exposed for tests.
+  static std::string Key(const BuildOptions& options);
+
+  struct Stats {
+    uint64_t hits = 0;              // served an already-requested key
+    uint64_t compiles = 0;          // distinct shared builds
+    uint64_t exclusive_compiles = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Built {
+    std::shared_ptr<CompiledKernel> kernel;  // null on failure
+    Status status;
+  };
+
+  SourceFactory factory_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_future<Built>> entries_;
+  Stats stats_;
+};
+
+}  // namespace krx
+
+#endif  // KRX_SRC_BENCH_RUNNER_KERNEL_CACHE_H_

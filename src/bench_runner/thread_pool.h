@@ -1,0 +1,50 @@
+// A minimal fixed-size thread pool for the parallel bench driver.
+//
+// Deliberately tiny: FIFO queue, no futures, no work stealing. Callers
+// Submit() closures and Wait() for the queue to drain; results travel
+// through caller-owned slots (the bench runner preallocates one result slot
+// per task, so workers never contend on a results container).
+#ifndef KRX_SRC_BENCH_RUNNER_THREAD_POOL_H_
+#define KRX_SRC_BENCH_RUNNER_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace krx {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+  // Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished executing.
+  void Wait();
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // queue non-empty or shutting down
+  std::condition_variable idle_cv_;   // queue empty and nothing in flight
+  int in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace krx
+
+#endif  // KRX_SRC_BENCH_RUNNER_THREAD_POOL_H_

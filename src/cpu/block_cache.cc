@@ -1,0 +1,55 @@
+#include "src/cpu/block_cache.h"
+
+namespace krx {
+
+bool EndsBlock(Opcode op) {
+  switch (op) {
+    case Opcode::kJmpRel:
+    case Opcode::kJcc:
+    case Opcode::kJmpR:
+    case Opcode::kJmpM:
+    case Opcode::kCallRel:
+    case Opcode::kCallR:
+    case Opcode::kCallM:
+    case Opcode::kRet:
+    case Opcode::kHlt:
+    case Opcode::kInt3:
+    case Opcode::kUd2:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const DecodedBlock* BlockCache::Lookup(uint64_t rip, uint64_t generation) {
+  if (generation != generation_) {
+    if (!blocks_.empty()) {
+      blocks_.clear();
+      ++stats_.flushes;
+    }
+    generation_ = generation;
+  }
+  auto it = blocks_.find(rip);
+  if (it == blocks_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second;
+}
+
+const DecodedBlock* BlockCache::Insert(DecodedBlock block) {
+  stats_.decoded_insts += block.insts.size();
+  auto [it, inserted] = blocks_.insert_or_assign(block.start, std::move(block));
+  (void)inserted;
+  return &it->second;
+}
+
+void BlockCache::Flush() {
+  if (!blocks_.empty()) {
+    blocks_.clear();
+    ++stats_.flushes;
+  }
+}
+
+}  // namespace krx

@@ -5,6 +5,12 @@
 
 namespace krx {
 
+namespace {
+// Cap on predecoded-block length. Straight-line runs longer than this are
+// split into consecutive blocks; correctness is unaffected.
+constexpr size_t kMaxBlockInsts = 64;
+}  // namespace
+
 void InstMix::Count(Opcode op) {
   switch (op) {
     case Opcode::kLoad:
@@ -110,7 +116,16 @@ const char* ExceptionKindName(ExceptionKind kind) {
 }
 
 Cpu::Cpu(KernelImage* image, CostModel cost, CpuOptions options)
-    : image_(image), cost_(cost), options_(options) {
+    : image_(image),
+      mmu_(&image->phys(), &image->page_table()),
+      cost_(cost),
+      options_(options) {
+  // Inherit the image's hardening switches; from here on this CPU's private
+  // MMU view is authoritative for this CPU (per-run fault record and TLB
+  // counters must not be shared between concurrently executing CPUs).
+  mmu_.set_smep(image_->mmu().smep());
+  mmu_.set_smap(image_->mmu().smap());
+
   auto stack = image_->AllocDataPages(options_.stack_pages);
   if (!stack.ok()) {
     // Degrade instead of aborting the host: the failure surfaces as a
@@ -143,7 +158,7 @@ uint64_t Cpu::EffectiveAddress(const MemOperand& mem, uint64_t rip_next) const {
 }
 
 bool Cpu::DataRead64(uint64_t vaddr, uint64_t* value) {
-  auto v = image_->mmu().Read64(vaddr);
+  auto v = mmu_.Read64(vaddr);
   if (v.ok() && image_->destructive_code_reads()) {
     // Heisenbyte baseline (§8): a successful data read of executable bytes
     // destroys them in place, so disclosed gadgets crash when reused.
@@ -170,10 +185,17 @@ bool Cpu::DataRead64(uint64_t vaddr, uint64_t* value) {
 }
 
 bool Cpu::DataWrite64(uint64_t vaddr, uint64_t value) {
-  Status s = image_->mmu().Write64(vaddr, value);
+  Status s = mmu_.Write64(vaddr, value);
   if (!s.ok()) {
     RaiseException(ExceptionKind::kPageFault, vaddr);
     return false;
+  }
+  // Self-modifying code: a guest store that lands on a frame backing
+  // executable pages (e.g. through a writable physmap synonym under the
+  // vanilla layout) invalidates any predecode of those bytes — in this CPU
+  // and in every other CPU sharing the image.
+  if (image_->VaddrAliasesCode(vaddr)) {
+    image_->BumpTextGeneration();
   }
   return true;
 }
@@ -226,23 +248,17 @@ void Cpu::RaiseException(ExceptionKind kind, uint64_t addr) {
   stopped_ = true;
 }
 
-bool Cpu::Step() {
-  if (krx_handler_lo_ != 0 && rip_ >= krx_handler_lo_ && rip_ < krx_handler_hi_) {
-    pending_.krx_violation = true;
-  }
-
+bool Cpu::FetchDecode(Instruction* inst, uint8_t* inst_size) {
   // Fetch + decode, servicing XnR instruction-fetch faults: both for the
   // page at %rip and for the next page when an instruction straddles the
   // boundary (a partial fetch that truncates the decode).
   uint8_t buf[16];
-  Instruction in;
-  uint8_t inst_size = 0;
   for (int attempt = 0;; ++attempt) {
     if (attempt > 2) {
       RaiseException(ExceptionKind::kPageFault, rip_);
       return false;
     }
-    auto fetched = image_->mmu().FetchCode(rip_, buf, sizeof(buf));
+    auto fetched = mmu_.FetchCode(rip_, buf, sizeof(buf));
     if (!fetched.ok()) {
       if (image_->xnr() != nullptr && image_->xnr()->HandleFetchFault(rip_)) {
         continue;  // serviced; retry
@@ -265,10 +281,13 @@ bool Cpu::Step() {
       RaiseException(ExceptionKind::kInvalidOpcode, rip_);
       return false;
     }
-    in = dec->inst;
-    inst_size = dec->size;
-    break;
+    *inst = dec->inst;
+    *inst_size = dec->size;
+    return true;
   }
+}
+
+bool Cpu::ExecuteInst(const Instruction& in, uint8_t inst_size) {
   const uint64_t rip_next = rip_ + inst_size;
   uint64_t next = rip_next;
 
@@ -632,17 +651,119 @@ bool Cpu::Step() {
   return true;
 }
 
-RunResult Cpu::Run(uint64_t max_steps, bool charge_mode_switch) {
+bool Cpu::Step() {
+  if (krx_handler_lo_ != 0 && rip_ >= krx_handler_lo_ && rip_ < krx_handler_hi_) {
+    pending_.krx_violation = true;
+  }
+  Instruction in;
+  uint8_t inst_size = 0;
+  if (!FetchDecode(&in, &inst_size)) {
+    return false;
+  }
+  return ExecuteInst(in, inst_size);
+}
+
+DecodedBlock Cpu::BuildBlock(uint64_t start) {
+  DecodedBlock block;
+  block.start = start;
+  uint64_t rip = start;
+  uint8_t buf[16];
+  while (block.insts.size() < kMaxBlockInsts) {
+    auto fetched = mmu_.FetchCode(rip, buf, sizeof(buf));
+    if (!fetched.ok()) {
+      break;
+    }
+    auto dec = DecodeInstruction(buf, *fetched, 0);
+    if (!dec.ok()) {
+      // Undecodable (or truncated-at-unmapped-boundary) bytes terminate the
+      // block; execution reaching this %rip falls back to the canonical
+      // single-step path, which raises the identical exception.
+      break;
+    }
+    block.insts.push_back(PredecodedInst{dec->inst, dec->size});
+    if (EndsBlock(dec->inst.op)) {
+      break;
+    }
+    rip += dec->size;
+  }
+  return block;
+}
+
+RunResult Cpu::RunCached() {
+  uint64_t steps = 0;
+  while (steps < max_steps_) {
+    const uint64_t generation = image_->text_generation();
+    const DecodedBlock* block = cache_.Lookup(rip_, generation);
+    const bool replaying = block != nullptr;
+    if (block == nullptr) {
+      DecodedBlock built = BuildBlock(rip_);
+      if (built.insts.empty()) {
+        // Unfetchable or undecodable bytes at %rip: take the canonical
+        // single-step path so the fault surfaces exactly as uncached.
+        if (!Step()) {
+          return pending_;
+        }
+        ++steps;
+        continue;
+      }
+      block = cache_.Insert(std::move(built));
+    }
+    uint64_t executed = 0;
+    bool stop = false;
+    for (const PredecodedInst& pi : block->insts) {
+      if (steps >= max_steps_) {
+        break;
+      }
+      if (krx_handler_lo_ != 0 && rip_ >= krx_handler_lo_ && rip_ < krx_handler_hi_) {
+        pending_.krx_violation = true;
+      }
+      ++steps;
+      ++executed;
+      if (!ExecuteInst(pi.inst, pi.size)) {
+        stop = true;
+        break;
+      }
+      // A store into the code region (self-modifying code through a synonym,
+      // a module load triggered by the run, ...) bumped the image's text
+      // generation: the rest of this predecode is stale, re-decode at %rip.
+      if (image_->text_generation() != generation) {
+        break;
+      }
+    }
+    if (replaying) {
+      cache_.CountReplayed(executed);
+    }
+    if (stop) {
+      return pending_;
+    }
+  }
+  pending_.reason = StopReason::kStepLimit;
+  return pending_;
+}
+
+RunResult Cpu::Run(const RunOptions& options, bool entered_via_call) {
   pending_ = RunResult();
   stopped_ = false;
-  max_steps_ = max_steps;
-  if (charge_mode_switch) {
+  max_steps_ = options.max_steps;
+  const bool charge = options.mode_switch == RunOptions::ModeSwitch::kAuto
+                          ? entered_via_call
+                          : options.mode_switch == RunOptions::ModeSwitch::kCharge;
+  if (charge) {
     pending_.deci_cycles += cost_.mode_switch;
     if (options_.mpx_enabled) {
       pending_.deci_cycles += cost_.mpx_mode_switch_extra;
     }
   }
-  for (uint64_t i = 0; i < max_steps; ++i) {
+  // The step observer must fire at every single-stepped instruction
+  // boundary; XnR turns fetch faults into the defense mechanism itself; and
+  // destructive code reads mutate text bytes without a paging event. All
+  // three force the canonical fetch-decode-execute path.
+  const bool cached = options.use_block_cache && step_observer_ == nullptr &&
+                      image_->xnr() == nullptr && !image_->destructive_code_reads();
+  if (cached) {
+    return RunCached();
+  }
+  for (uint64_t i = 0; i < max_steps_; ++i) {
     if (!Step()) {
       return pending_;
     }
@@ -652,7 +773,7 @@ RunResult Cpu::Run(uint64_t max_steps, bool charge_mode_switch) {
 }
 
 RunResult Cpu::CallFunction(uint64_t entry, const std::vector<uint64_t>& args,
-                            uint64_t max_steps) {
+                            const RunOptions& options) {
   static constexpr Reg kArgRegs[6] = {Reg::kRdi, Reg::kRsi, Reg::kRdx,
                                       Reg::kRcx, Reg::kR8,  Reg::kR9};
   auto host_error = [](std::string message) {
@@ -675,18 +796,18 @@ RunResult Cpu::CallFunction(uint64_t entry, const std::vector<uint64_t>& args,
   // harness pseudo-tripwire so decoy-instrumented callees have a value to
   // store (the real syscall entry stub is itself instrumented).
   set_reg(Reg::kRsp, stack_top_ - 24);
-  Status sentinel = image_->mmu().Write64(reg(Reg::kRsp), kReturnSentinel);
+  Status sentinel = mmu_.Write64(reg(Reg::kRsp), kReturnSentinel);
   if (!sentinel.ok()) {
     return host_error("sentinel push failed: " + sentinel.ToString());
   }
   set_reg(Reg::kR11, kReturnSentinel);
   bnd0_ub_ = options_.mpx_enabled ? image_->krx_edata() : ~0ULL;
   rip_ = entry;
-  return Run(max_steps, /*charge_mode_switch=*/true);
+  return Run(options, /*entered_via_call=*/true);
 }
 
 RunResult Cpu::CallFunction(const std::string& symbol, const std::vector<uint64_t>& args,
-                            uint64_t max_steps) {
+                            const RunOptions& options) {
   auto addr = image_->symbols().AddressOf(symbol);
   if (!addr.ok()) {
     RunResult r;
@@ -694,12 +815,12 @@ RunResult Cpu::CallFunction(const std::string& symbol, const std::vector<uint64_
     r.host_error = "unresolvable entry symbol '" + symbol + "': " + addr.status().ToString();
     return r;
   }
-  return CallFunction(*addr, args, max_steps);
+  return CallFunction(*addr, args, options);
 }
 
-RunResult Cpu::RunAt(uint64_t rip, uint64_t max_steps) {
+RunResult Cpu::RunAt(uint64_t rip, const RunOptions& options) {
   rip_ = rip;
-  return Run(max_steps, /*charge_mode_switch=*/false);
+  return Run(options, /*entered_via_call=*/false);
 }
 
 }  // namespace krx

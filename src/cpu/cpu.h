@@ -6,6 +6,18 @@
 // The CPU carries the MPX %bnd0 bounds register; bndcu raises #BR, int3
 // raises a breakpoint exception (the tripwire mechanism), and translation
 // failures surface as page faults. Cycle accounting follows CostModel.
+//
+// Two execution engines share one instruction-execution path:
+//   - single-step: fetch + decode + execute every retired instruction;
+//   - block-cached (default): predecode straight-line basic blocks once and
+//     replay them (src/cpu/block_cache.h), bit-identical results, decode
+//     cost amortized away. A step observer, XnR, or destructive code reads
+//     force single-step mode (see RunOptions::use_block_cache).
+//
+// Each Cpu owns its own Mmu view (translation state, fault record, TLB
+// counters) over the image's shared page table and physical memory, so many
+// Cpus can execute concurrently on one immutable image (the parallel bench
+// driver) without sharing mutable per-run state.
 #ifndef KRX_SRC_CPU_CPU_H_
 #define KRX_SRC_CPU_CPU_H_
 
@@ -15,6 +27,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/cpu/block_cache.h"
 #include "src/cpu/cost_model.h"
 #include "src/kernel/image.h"
 
@@ -80,6 +93,8 @@ struct InstMix {
   uint64_t other = 0;
 
   void Count(Opcode op);
+
+  bool operator==(const InstMix&) const = default;
 };
 
 struct RunResult {
@@ -109,6 +124,25 @@ struct CpuOptions {
   uint64_t stack_pages = 4;  // 16KB kernel stack, like THREAD_SIZE
 };
 
+// Default per-run retired-instruction budget (was a duplicated 2'000'000
+// literal at every call site).
+inline constexpr uint64_t kDefaultMaxSteps = 2'000'000;
+
+// Per-run knobs, shared by CallFunction and RunAt.
+struct RunOptions {
+  uint64_t max_steps = kDefaultMaxSteps;
+  // Whether the run is charged the user->kernel mode-switch cost. kAuto
+  // preserves the historical contract: CallFunction (a simulated syscall
+  // entry) charges it, RunAt (a hijacked raw control transfer) does not.
+  enum class ModeSwitch : uint8_t { kAuto, kCharge, kSkip };
+  ModeSwitch mode_switch = ModeSwitch::kAuto;
+  // Execute through the predecoded-block cache. Forced off for the whole
+  // run when a step observer is installed (the observer must see every
+  // single-stepped instruction boundary), under XnR (fetch faults are the
+  // defense) and under destructive code reads (decoded bytes self-destruct).
+  bool use_block_cache = true;
+};
+
 class Cpu {
  public:
   Cpu(KernelImage* image, CostModel cost = CostModel(), CpuOptions options = CpuOptions());
@@ -123,6 +157,15 @@ class Cpu {
   KernelImage* image() { return image_; }
   const KernelImage* image() const { return image_; }
 
+  // This CPU's private translation context (fault record, TLB counters,
+  // SMEP/SMAP switches) over the image's shared page table.
+  Mmu& mmu() { return mmu_; }
+  const Mmu& mmu() const { return mmu_; }
+
+  // This CPU's predecoded-block cache (hit/decode telemetry for the bench
+  // driver; entries are invalidated by the image's text generation).
+  const BlockCache& block_cache() const { return cache_; }
+
   // Non-empty when construction failed to allocate a kernel stack; every
   // CallFunction on such a CPU returns a kHostError result.
   const std::string& init_error() const { return init_error_; }
@@ -131,31 +174,41 @@ class Cpu {
   // `entry` with up to 6 arguments (SysV order: rdi, rsi, rdx, rcx, r8,
   // r9). Returns when the function returns to the harness sentinel.
   RunResult CallFunction(uint64_t entry, const std::vector<uint64_t>& args,
-                         uint64_t max_steps = 2'000'000);
+                         const RunOptions& options = RunOptions());
 
   RunResult CallFunction(const std::string& symbol, const std::vector<uint64_t>& args,
-                         uint64_t max_steps = 2'000'000);
+                         const RunOptions& options = RunOptions());
 
   // Raw execution starting at `rip` with current register state — the
-  // primitive a hijacked control transfer gives an attacker. No mode-switch
-  // cost is added and the stack is left wherever %rsp points.
-  RunResult RunAt(uint64_t rip, uint64_t max_steps = 2'000'000);
+  // primitive a hijacked control transfer gives an attacker. Under
+  // ModeSwitch::kAuto no mode-switch cost is added and the stack is left
+  // wherever %rsp points.
+  RunResult RunAt(uint64_t rip, const RunOptions& options = RunOptions());
 
   // Sentinel return address that terminates a CallFunction run.
   static constexpr uint64_t kReturnSentinel = 0xFFFF5E17DEAD7A80ULL;
 
   // Invoked after every retired instruction (when set). Used by the §5.3
   // race-hazard measurement: an arbitrarily fast attacker inspecting the
-  // machine between any two instructions.
+  // machine between any two instructions. Installing an observer forces
+  // single-step (uncached) execution so the observer sees state at every
+  // instruction boundary, exactly as without the block cache.
   void set_step_observer(std::function<void(const Cpu&)> observer) {
     step_observer_ = std::move(observer);
   }
 
  private:
-  RunResult Run(uint64_t max_steps, bool charge_mode_switch);
-  // Executes one instruction; returns false if execution must stop (fills
-  // pending_stop_).
+  RunResult Run(const RunOptions& options, bool entered_via_call);
+  RunResult RunCached();
+  // Executes one instruction the canonical way (fetch + decode + execute);
+  // returns false if execution must stop (fills pending_).
   bool Step();
+  // The fetch+decode half of Step (XnR-fault-servicing included).
+  bool FetchDecode(Instruction* inst, uint8_t* inst_size);
+  // The execute half: retires one decoded instruction at the current %rip.
+  bool ExecuteInst(const Instruction& in, uint8_t inst_size);
+  // Predecodes the straight-line block starting at `start` (may be empty).
+  DecodedBlock BuildBlock(uint64_t start);
 
   uint64_t EffectiveAddress(const MemOperand& mem, uint64_t rip_next) const;
   bool DataRead64(uint64_t vaddr, uint64_t* value);
@@ -167,6 +220,7 @@ class Cpu {
   void RaiseException(ExceptionKind kind, uint64_t addr);
 
   KernelImage* image_;
+  Mmu mmu_;
   CostModel cost_;
   CpuOptions options_;
 
@@ -186,6 +240,7 @@ class Cpu {
   uint64_t krx_handler_lo_ = 0;
   uint64_t krx_handler_hi_ = 0;
   std::function<void(const Cpu&)> step_observer_;
+  BlockCache cache_;
 };
 
 }  // namespace krx

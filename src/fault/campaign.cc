@@ -73,7 +73,7 @@ Result<CampaignReport> RunFaultCampaign(const CampaignOptions& options) {
   std::vector<CompiledKernel> kernels;
   std::vector<std::unique_ptr<FaultInjector>> injectors;
   for (const Variant& v : variants) {
-    auto kernel = CompileKernel(MakeBenchSource(options.seed), v.config, LayoutKind::kKrx);
+    auto kernel = CompileKernel(MakeBenchSource(options.seed), {v.config, LayoutKind::kKrx});
     if (!kernel.ok()) {
       return InternalError(std::string("building ") + v.name +
                            " kernel failed: " + kernel.status().message());
@@ -183,7 +183,7 @@ Result<SurvivalReport> RunKillTaskScenario(uint64_t seed, OopsPolicy policy) {
   for (const std::string& name : SchedExemptFunctions()) {
     config.exempt_functions.insert(name);
   }
-  auto kernel = CompileKernel(std::move(src), config, LayoutKind::kKrx);
+  auto kernel = CompileKernel(std::move(src), {config, LayoutKind::kKrx});
   if (!kernel.ok()) {
     return kernel.status();
   }

@@ -60,7 +60,7 @@ Result<uint64_t> OopsSupervisor::KillCurrentTask(RecoveryOutcome* outcome) {
 RecoveryOutcome OopsSupervisor::Run(const std::string& entry_symbol,
                                     const std::vector<uint64_t>& args, uint64_t max_steps) {
   RecoveryOutcome outcome;
-  RunResult r = cpu_->CallFunction(entry_symbol, args, max_steps);
+  RunResult r = cpu_->CallFunction(entry_symbol, args, RunOptions{.max_steps = max_steps});
   outcome.total_instructions = r.instructions;
 
   while (IsOopsWorthy(r)) {
@@ -80,7 +80,7 @@ RecoveryOutcome OopsSupervisor::Run(const std::string& entry_symbol,
       r.reason = StopReason::kStepLimit;
       break;
     }
-    r = cpu_->RunAt(*resume_rip, remaining);
+    r = cpu_->RunAt(*resume_rip, RunOptions{.max_steps = remaining});
     outcome.total_instructions += r.instructions;
   }
   outcome.result = r;

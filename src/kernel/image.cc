@@ -66,6 +66,12 @@ Result<PlacedSection*> KernelImage::PlaceSection(const std::string& name, Sectio
   }
   page_table_.MapRange(vaddr, *frames, mapped >> kPageShift, FlagsForSection(kind));
   sections_.push_back(PlacedSection{name, kind, vaddr, size, mapped, *frames});
+  if (kind == SectionKind::kText) {
+    code_frame_ranges_.emplace_back(*frames, *frames + (mapped >> kPageShift));
+  }
+  // New mapped bytes: any block cache predecoded before this placement is
+  // stale (a previously-unfetchable %rip may now decode).
+  BumpTextGeneration();
   return &sections_.back();
 }
 
@@ -78,6 +84,19 @@ Status KernelImage::RemoveSection(const std::string& name, uint8_t fill) {
     phys_.Fill(s.first_frame << kPageShift, fill, s.mapped_size);
     page_table_.UnmapRange(s.vaddr, s.mapped_size >> kPageShift);
     sections_.erase(sections_.begin() + static_cast<std::ptrdiff_t>(i));
+    if (s.kind == SectionKind::kText) {
+      const uint64_t end = s.first_frame + (s.mapped_size >> kPageShift);
+      for (size_t r = 0; r < code_frame_ranges_.size(); ++r) {
+        if (code_frame_ranges_[r].first == s.first_frame &&
+            code_frame_ranges_[r].second == end) {
+          code_frame_ranges_.erase(code_frame_ranges_.begin() +
+                                   static_cast<std::ptrdiff_t>(r));
+          break;
+        }
+      }
+    }
+    // Unmapped (and zapped) code: stale predecoded blocks must not replay.
+    BumpTextGeneration();
     return Status::Ok();
   }
   return NotFoundError("no such section: " + name);
@@ -127,10 +146,39 @@ Result<uint64_t> KernelImage::MapUserPages(uint64_t vaddr, uint64_t num_pages) {
   f.nx = false;
   f.user = true;
   page_table_.MapRange(vaddr, *frames, num_pages, f);
+  // User pages are RWX: their frames back executable mappings, so writes to
+  // them are self-modification and new mappings invalidate block caches.
+  code_frame_ranges_.emplace_back(*frames, *frames + num_pages);
+  BumpTextGeneration();
   return vaddr;
 }
 
+bool KernelImage::FrameIsCode(uint64_t frame) const {
+  for (const auto& [first, end] : code_frame_ranges_) {
+    if (frame >= first && frame < end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool KernelImage::VaddrAliasesCode(uint64_t vaddr, uint64_t span) const {
+  const Pte* pte = page_table_.Lookup(vaddr);
+  if (pte != nullptr && FrameIsCode(pte->frame)) {
+    return true;
+  }
+  const uint64_t last = vaddr + (span == 0 ? 0 : span - 1);
+  if (PageFloor(last) != PageFloor(vaddr)) {
+    const Pte* tail = page_table_.Lookup(last);
+    if (tail != nullptr && FrameIsCode(tail->frame)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 Status KernelImage::PokeBytes(uint64_t vaddr, const uint8_t* src, uint64_t len) {
+  bool touched_code = false;
   for (uint64_t done = 0; done < len;) {
     const Pte* pte = page_table_.Lookup(vaddr + done);
     if (pte == nullptr) {
@@ -139,7 +187,11 @@ Status KernelImage::PokeBytes(uint64_t vaddr, const uint8_t* src, uint64_t len) 
     uint64_t in_page = kPageSize - PageOffset(vaddr + done);
     uint64_t n = std::min(in_page, len - done);
     phys_.WriteBytes((pte->frame << kPageShift) | PageOffset(vaddr + done), src + done, n);
+    touched_code = touched_code || FrameIsCode(pte->frame);
     done += n;
+  }
+  if (touched_code) {
+    BumpTextGeneration();
   }
   return Status::Ok();
 }

@@ -3,6 +3,7 @@
 #ifndef KRX_SRC_KERNEL_IMAGE_H_
 #define KRX_SRC_KERNEL_IMAGE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -118,6 +119,29 @@ class KernelImage {
   // Region queries.
   bool InCodeRegion(uint64_t addr) const;
 
+  // ---- Text-generation counter (predecoded-block-cache invalidation). ----
+  //
+  // Monotonic counter bumped on every event that can change the bytes an
+  // instruction fetch would observe, or their fetchability: host-side pokes
+  // that touch a code frame, section placement/removal (module load/unload,
+  // fault-injector corruption goes through PokeBytes), new executable
+  // mappings, and guest stores that alias executable frames (the Cpu calls
+  // BumpTextGeneration via VaddrAliasesCode). Block caches tag entries with
+  // the generation they decoded under and drop them on mismatch, so cached
+  // execution stays bit-identical to the uncached interpreter. Atomic: the
+  // parallel bench driver runs many Cpus over one shared image.
+  uint64_t text_generation() const {
+    return text_generation_.load(std::memory_order_acquire);
+  }
+  void BumpTextGeneration() { text_generation_.fetch_add(1, std::memory_order_acq_rel); }
+
+  // True when the physical frame backing `vaddr` also backs executable
+  // pages — i.e. a data write through `vaddr` is (possibly synonym-mediated)
+  // self-modification of code. Checks the page of `vaddr` and of
+  // `vaddr + span - 1` so straddling stores are caught.
+  bool VaddrAliasesCode(uint64_t vaddr, uint64_t span = 8) const;
+  bool FrameIsCode(uint64_t frame) const;
+
   // XnR baseline-defense state (see src/kernel/baseline_defenses.h); null
   // unless EnableXnr() was called on this image.
   XnrState* xnr() { return xnr_.get(); }
@@ -143,6 +167,11 @@ class KernelImage {
   uint64_t module_data_cursor_ = 0;
   std::unique_ptr<XnrState> xnr_;
   bool destructive_code_reads_ = false;
+
+  std::atomic<uint64_t> text_generation_{0};
+  // Frame ranges [first, end) backing executable mappings (.text, module
+  // text, user RWX pages). A handful of entries; linear scan.
+  std::vector<std::pair<uint64_t, uint64_t>> code_frame_ranges_;
 };
 
 // Links a compiled kernel (text blob + extra code-region sections + data

@@ -8,6 +8,7 @@ PhysMem::PhysMem(uint64_t size_bytes) {
 }
 
 Result<uint64_t> PhysMem::AllocFrames(uint64_t count) {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
   if (next_free_frame_ + count > num_frames()) {
     return ResourceExhaustedError("out of physical frames");
   }

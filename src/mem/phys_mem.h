@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <mutex>
 #include <vector>
 
 #include "src/base/status.h"
@@ -24,6 +25,8 @@ class PhysMem {
   uint64_t num_frames() const { return size() >> kPageShift; }
 
   // Allocates `count` contiguous frames; returns the first frame number.
+  // Thread-safe: the parallel bench driver sets up per-thread CPU stacks and
+  // scratch buffers on a shared image concurrently.
   Result<uint64_t> AllocFrames(uint64_t count);
 
   uint8_t Read8(uint64_t paddr) const {
@@ -63,6 +66,7 @@ class PhysMem {
 
  private:
   std::vector<uint8_t> bytes_;
+  std::mutex alloc_mu_;
   uint64_t next_free_frame_ = 0;
 };
 

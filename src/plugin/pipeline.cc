@@ -150,7 +150,7 @@ namespace {
 constexpr const char* kVerifyFailurePrefix = "post-link verification failed";
 
 Result<CompiledKernel> CompileKernelAttempt(KernelSource source, const ProtectionConfig& config,
-                                            LayoutKind layout, int attempt) {
+                                            LayoutKind layout, bool verify, int attempt) {
   if ((config.HasRangeChecks() || config.mpx) && layout != LayoutKind::kKrx) {
     return InvalidArgumentError(
         "R^X enforcement requires the kR^X-KAS layout (disjoint code/data regions)");
@@ -221,7 +221,7 @@ Result<CompiledKernel> CompileKernelAttempt(KernelSource source, const Protectio
   // Independent post-link check of the just-built artifact: the verifier
   // re-proves from the assembled bytes what the passes claim by
   // construction (SFI-verifier discipline — see src/verify/).
-  if (PostLinkVerifyEnabled()) {
+  if (verify) {
     VerifyOptions vopts = VerifyOptions::ForConfig(config);
     if (vopts.AnyChecks()) {
       VerifyReport report = VerifyImage(*out.image, vopts);
@@ -235,11 +235,17 @@ Result<CompiledKernel> CompileKernelAttempt(KernelSource source, const Protectio
 
 }  // namespace
 
-Result<CompiledKernel> CompileKernel(KernelSource source, const ProtectionConfig& config,
-                                     LayoutKind layout) {
-  ProtectionConfig attempt_config = config;
+Result<CompiledKernel> CompileKernel(KernelSource source, const BuildOptions& options) {
+  ProtectionConfig base_config = options.config;
+  if (options.seed != 0) {
+    base_config.seed = options.seed;
+  }
+  const bool verify = options.verify == BuildOptions::Verify::kDefault
+                          ? PostLinkVerifyEnabled()
+                          : options.verify == BuildOptions::Verify::kOn;
+  ProtectionConfig attempt_config = base_config;
   for (int attempt = 0;; ++attempt) {
-    auto built = CompileKernelAttempt(source, attempt_config, layout, attempt);
+    auto built = CompileKernelAttempt(source, attempt_config, options.layout, verify, attempt);
     if (built.ok()) {
       built->stats.verify_retries = static_cast<uint64_t>(attempt);
       return built;
@@ -247,13 +253,14 @@ Result<CompiledKernel> CompileKernel(KernelSource source, const ProtectionConfig
     const std::string message = built.status().message();
     const bool verify_failure =
         message.compare(0, std::string(kVerifyFailurePrefix).size(), kVerifyFailurePrefix) == 0;
-    if (!verify_failure || attempt >= kMaxVerifyRetries) {
+    if (!verify_failure || attempt >= options.max_verify_retries) {
       return built;
     }
     // Retry with the next diversification seed: for randomized builds a
     // verify failure is a bad draw, not a dead end (bounded, logged).
     const uint64_t failed_seed = attempt_config.seed;
-    attempt_config.seed = config.seed + 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(attempt + 1);
+    attempt_config.seed =
+        base_config.seed + 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(attempt + 1);
     std::fprintf(stderr,
                  "[krx] post-link verify failed (attempt %d, seed 0x%llx); "
                  "retrying with seed 0x%llx\n",

@@ -67,16 +67,37 @@ Status ApplyProtection(std::vector<Function>& functions, SymbolTable& symbols,
                        const ProtectionConfig& config, int64_t edata_imm, XkeyLayout* xkeys,
                        PipelineStats* stats, Rng& rng);
 
+// Upper bound on rebuild attempts after a post-link verification failure.
+inline constexpr int kMaxVerifyRetries = 3;
+
+// Everything that parameterizes a kernel build, in one place. Replaces the
+// old positional (config, layout) signature; call sites read
+//   CompileKernel(src, {config, layout})
+// or spell fields out for the less common knobs:
+//   CompileKernel(src, {.config = cfg, .layout = LayoutKind::kKrx,
+//                       .seed = s, .verify = BuildOptions::Verify::kOff})
+struct BuildOptions {
+  ProtectionConfig config;
+  LayoutKind layout = LayoutKind::kVanilla;
+  // Nonzero overrides config.seed — the compiled-kernel cache and bench
+  // matrices sweep seeds without cloning whole configs.
+  uint64_t seed = 0;
+  // Post-link verification policy. kDefault consults the process-wide
+  // setting (KRX_POST_LINK_VERIFY / SetPostLinkVerify); kOn / kOff force it
+  // for this build only.
+  enum class Verify : uint8_t { kDefault, kOn, kOff };
+  Verify verify = Verify::kDefault;
+  // Upper bound on seed-rotated rebuilds after a verify failure.
+  int max_verify_retries = kMaxVerifyRetries;
+};
+
 // Full build: transform, permute, assemble, link, replenish xkeys — then,
 // when post-link verification is enabled, prove the kR^X contract on the
 // linked bytes with the src/verify checker and fail the build on violations.
-// A verify failure is retried up to kMaxVerifyRetries times with the next
-// diversification seed (bounded, logged to stderr) before the build fails.
-Result<CompiledKernel> CompileKernel(KernelSource source, const ProtectionConfig& config,
-                                     LayoutKind layout);
-
-// Upper bound on rebuild attempts after a post-link verification failure.
-inline constexpr int kMaxVerifyRetries = 3;
+// A verify failure is retried up to options.max_verify_retries times with
+// the next diversification seed (bounded, logged to stderr) before the
+// build fails.
+Result<CompiledKernel> CompileKernel(KernelSource source, const BuildOptions& options);
 
 // Test hook: runs on the linked image just before the post-link verifier,
 // with the zero-based build attempt number. Lets the fault tests corrupt

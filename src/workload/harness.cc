@@ -75,7 +75,7 @@ Result<RowMeasurement> MeasureOp(Cpu& cpu, uint64_t buffer_vaddr, const std::str
   if (!entry.ok()) {
     return entry.status();
   }
-  RunResult r = cpu.CallFunction(*entry, {buffer_vaddr}, 50'000'000);
+  RunResult r = cpu.CallFunction(*entry, {buffer_vaddr}, RunOptions{.max_steps = 50'000'000});
   if (r.reason != StopReason::kReturned) {
     return InternalError(op_symbol + " did not return cleanly: " +
                          std::string(ExceptionKindName(r.exception)) +
@@ -113,7 +113,7 @@ Result<std::vector<RowMeasurement>> MeasureAllRows(CompiledKernel& kernel,
 Result<OverheadMatrix> RunTable1(uint64_t seed, int randomized_builds) {
   KernelSource source = MakeBenchSource(seed);
 
-  auto vanilla = CompileKernel(source, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  auto vanilla = CompileKernel(source, {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
   if (!vanilla.ok()) {
     return vanilla.status();
   }
@@ -138,7 +138,7 @@ Result<OverheadMatrix> RunTable1(uint64_t seed, int randomized_builds) {
     for (int sample = 0; sample < samples; ++sample) {
       ProtectionConfig config = col.config;
       config.seed = seed + static_cast<uint64_t>(sample) * 0x9E3779B9ULL;
-      auto kernel = CompileKernel(source, config, col.layout);
+      auto kernel = CompileKernel(source, {config, col.layout});
       if (!kernel.ok()) {
         return kernel.status();
       }

@@ -97,7 +97,7 @@ Result<Table2Matrix> RunTable2(uint64_t seed) {
   const auto& rows = PhoronixRows();
   KernelSource source = MakeBenchSource(seed);
 
-  auto vanilla = CompileKernel(source, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  auto vanilla = CompileKernel(source, {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
   if (!vanilla.ok()) {
     return vanilla.status();
   }
@@ -130,7 +130,7 @@ Result<Table2Matrix> RunTable2(uint64_t seed) {
   matrix.average.assign(columns.size(), 0.0);
   for (size_t ci = 0; ci < columns.size(); ++ci) {
     matrix.column_names.push_back(columns[ci].name);
-    auto kernel = CompileKernel(source, columns[ci].config, columns[ci].layout);
+    auto kernel = CompileKernel(source, {columns[ci].config, columns[ci].layout});
     if (!kernel.ok()) {
       return kernel.status();
     }

@@ -13,11 +13,9 @@ namespace krx {
 namespace {
 
 CompiledKernel Build(LayoutKind layout) {
-  auto kernel = CompileKernel(MakeBaseSource(),
-                              layout == LayoutKind::kKrx
+  auto kernel = CompileKernel(MakeBaseSource(), {layout == LayoutKind::kKrx
                                   ? ProtectionConfig::Full(false, RaScheme::kEncrypt, 1)
-                                  : ProtectionConfig::Vanilla(),
-                              layout);
+                                  : ProtectionConfig::Vanilla(), layout});
   KRX_CHECK(kernel.ok());
   return std::move(*kernel);
 }

@@ -9,7 +9,7 @@ namespace krx {
 namespace {
 
 CompiledKernel Build(const KernelSource& src, ProtectionConfig config, LayoutKind layout) {
-  auto kernel = CompileKernel(src, config, layout);
+  auto kernel = CompileKernel(src, {config, layout});
   KRX_CHECK(kernel.ok());
   return std::move(*kernel);
 }
@@ -224,7 +224,7 @@ TEST_F(AttackTest, RopChainDerailsIntoPhantomTripwires) {
   for (int i = 0; i < 64; ++i) {
     uint64_t addr = text->vaddr + rng.NextBelow(text->size);
     lab.cpu().set_reg(Reg::kRsp, lab.cpu().stack_top() - 64);
-    RunResult r = lab.cpu().RunAt(addr, 64);
+    RunResult r = lab.cpu().RunAt(addr, RunOptions{.max_steps = 64});
     ++total;
     if (r.reason == StopReason::kException || r.krx_violation) {
       ++trapped;

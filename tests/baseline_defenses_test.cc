@@ -14,7 +14,7 @@ namespace {
 CompiledKernel BuildPlain(const KernelSource& src) {
   // The baselines run on an undiversified, uninstrumented kernel (they are
   // page-table tricks, not compiler transformations).
-  auto kernel = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  auto kernel = CompileKernel(src, {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
   KRX_CHECK(kernel.ok());
   return std::move(*kernel);
 }
@@ -151,7 +151,7 @@ TEST_F(BaselineTest, HeisenbyteDestroysWhatItDiscloses) {
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(*after, 0xD7D7D7D7D7D7D7D7ULL);
   // Executing the disclosed-and-destroyed code now traps.
-  RunResult r = lab.cpu().RunAt(*target, 8);
+  RunResult r = lab.cpu().RunAt(*target, RunOptions{.max_steps = 8});
   EXPECT_EQ(r.reason, StopReason::kException);
 }
 
@@ -194,14 +194,14 @@ TEST_F(BaselineTest, HeisenbyteBypassedByCodeInference) {
   ASSERT_TRUE(mov_ret.has_value());
 
   // Copy A is toast at that offset...
-  RunResult dead = lab.cpu().RunAt(*copy_a + mov_ret->address, 8);
+  RunResult dead = lab.cpu().RunAt(*copy_a + mov_ret->address, RunOptions{.max_steps = 8});
   EXPECT_EQ(dead.reason, StopReason::kException);
 
   // ...but the inferred twin executes the zombie gadget fine.
   lab.cpu().set_reg(Reg::kRdi, 0x1337);
   lab.cpu().set_reg(Reg::kRsp, lab.cpu().stack_top() - 16);
   KRX_CHECK(kernel.image->mmu().Write64(lab.cpu().reg(Reg::kRsp), Cpu::kReturnSentinel).ok());
-  RunResult alive = lab.cpu().RunAt(*copy_b + mov_ret->address, 8);
+  RunResult alive = lab.cpu().RunAt(*copy_b + mov_ret->address, RunOptions{.max_steps = 8});
   EXPECT_EQ(alive.reason, StopReason::kReturned);
   EXPECT_EQ(alive.rax, 0x1337u);
 }

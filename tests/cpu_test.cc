@@ -320,7 +320,7 @@ TEST(Cpu, StepLimit) {
   b.Emit(Instruction::Ret());
   MiniKernel mk = MakeKernel(b.Build());
   Cpu cpu(mk.image.get());
-  RunResult r = cpu.CallFunction(mk.entry, {}, 1000);
+  RunResult r = cpu.CallFunction(mk.entry, {}, RunOptions{.max_steps = 1000});
   EXPECT_EQ(r.reason, StopReason::kStepLimit);
   EXPECT_EQ(r.instructions, 1000u);
 }

@@ -41,9 +41,7 @@ TEST(Campaign, SmallCampaignAllAccounted) {
 // Injections restore the image completely: after a pass over every eligible
 // class, the post-link verifier still proves the full protection contract.
 TEST(Injector, InjectionsComposeAndRestoreImage) {
-  auto kernel = CompileKernel(MakeBenchSource(3),
-                              ProtectionConfig::Full(false, RaScheme::kEncrypt, 3),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(MakeBenchSource(3), {ProtectionConfig::Full(false, RaScheme::kEncrypt, 3), LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
   FaultInjector injector(&*kernel, /*buffer_seed=*/0xB0F);
   Rng rng(11);
@@ -62,8 +60,7 @@ TEST(Injector, InjectionsComposeAndRestoreImage) {
 }
 
 TEST(Oops, RecordCapturesViolationState) {
-  auto kernel = CompileKernel(MakeBaseSource(), ProtectionConfig::SfiOnly(SfiLevel::kO3),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(MakeBaseSource(), {ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
   Cpu cpu(kernel->image.get());
   const PlacedSection* text = kernel->image->FindSection(".text");
@@ -91,8 +88,7 @@ TEST(Oops, RecordCapturesViolationState) {
 }
 
 TEST(Oops, CleanReturnIsNotOopsWorthy) {
-  auto kernel = CompileKernel(MakeBaseSource(), ProtectionConfig::SfiOnly(SfiLevel::kO3),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(MakeBaseSource(), {ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok());
   Cpu cpu(kernel->image.get());
   auto buf = kernel->image->AllocDataPages(1);
@@ -123,9 +119,7 @@ TEST(Oops, BacktraceDecryptsEncryptedReturnAddresses) {
     src.functions.push_back(b.Build());
     src.symbols.Intern("victim_outer");
   }
-  auto kernel = CompileKernel(std::move(src),
-                              ProtectionConfig::Full(false, RaScheme::kEncrypt, 7),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(std::move(src), {ProtectionConfig::Full(false, RaScheme::kEncrypt, 7), LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
   Cpu cpu(kernel->image.get());
   const PlacedSection* text = kernel->image->FindSection(".text");
@@ -178,8 +172,7 @@ TEST(Recovery, PanicPolicyStopsAtFirstOops) {
 
 // Host-side problems surface as kHostError results, never as aborts.
 TEST(HostError, BadEntryAndTooManyArgs) {
-  auto kernel = CompileKernel(MakeBaseSource(), ProtectionConfig::SfiOnly(SfiLevel::kO3),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(MakeBaseSource(), {ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok());
   Cpu cpu(kernel->image.get());
 
@@ -224,9 +217,7 @@ TEST(VerifyRetry, TransientFailureRecoversWithRotatedSeed) {
       CorruptImage(image);
     }
   });
-  auto kernel = CompileKernel(MakeBaseSource(),
-                              ProtectionConfig::Full(false, RaScheme::kEncrypt, 21),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(MakeBaseSource(), {ProtectionConfig::Full(false, RaScheme::kEncrypt, 21), LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
   EXPECT_EQ(kernel->stats.verify_retries, 1u);
   // The retried build changed the diversification seed, and the shipped
@@ -244,9 +235,7 @@ TEST(VerifyRetry, PersistentFailureIsBoundedAndFinal) {
     attempts_seen = attempt + 1;
     CorruptImage(image);
   });
-  auto kernel = CompileKernel(MakeBaseSource(),
-                              ProtectionConfig::Full(false, RaScheme::kEncrypt, 22),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(MakeBaseSource(), {ProtectionConfig::Full(false, RaScheme::kEncrypt, 22), LayoutKind::kKrx});
   ASSERT_FALSE(kernel.ok());
   EXPECT_NE(kernel.status().message().find("post-link verification failed"),
             std::string::npos);
@@ -254,9 +243,7 @@ TEST(VerifyRetry, PersistentFailureIsBoundedAndFinal) {
 }
 
 TEST(VerifyRetry, CleanBuildNeverRetries) {
-  auto kernel = CompileKernel(MakeBaseSource(),
-                              ProtectionConfig::Full(false, RaScheme::kEncrypt, 23),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(MakeBaseSource(), {ProtectionConfig::Full(false, RaScheme::kEncrypt, 23), LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok());
   EXPECT_EQ(kernel->stats.verify_retries, 0u);
 }

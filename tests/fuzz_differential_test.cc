@@ -210,7 +210,7 @@ TEST_P(FuzzDifferential, AllColumnsAgreeWithVanilla) {
   };
   std::vector<Expected> expected;
   {
-    auto vanilla = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+    auto vanilla = CompileKernel(src, {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
     ASSERT_TRUE(vanilla.ok());
     Cpu cpu(vanilla->image.get());
     for (const std::string& fn : fns) {
@@ -223,7 +223,7 @@ TEST_P(FuzzDifferential, AllColumnsAgreeWithVanilla) {
   }
 
   for (const Column& col : Table1Columns(seed)) {
-    auto kernel = CompileKernel(src, col.config, col.layout);
+    auto kernel = CompileKernel(src, {col.config, col.layout});
     ASSERT_TRUE(kernel.ok()) << col.name;
     CpuOptions opts;
     opts.mpx_enabled = col.config.mpx;
@@ -245,6 +245,79 @@ TEST_P(FuzzDifferential, AllColumnsAgreeWithVanilla) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
 
+// Second differential axis: the predecoded-block-cache engine vs. the
+// single-step interpreter, over the same random programs. Every
+// guest-visible RunResult field must match bit-for-bit — including the
+// exception trace after text corruption, when stale cached blocks would be
+// the bug.
+void ExpectSameRunResult(const RunResult& cached, const RunResult& uncached,
+                         const std::string& context) {
+  EXPECT_EQ(cached.reason, uncached.reason) << context;
+  EXPECT_EQ(cached.exception, uncached.exception) << context;
+  EXPECT_EQ(cached.fault_addr, uncached.fault_addr) << context;
+  EXPECT_EQ(cached.rax, uncached.rax) << context;
+  EXPECT_EQ(cached.instructions, uncached.instructions) << context;
+  EXPECT_EQ(cached.deci_cycles, uncached.deci_cycles) << context;
+  EXPECT_TRUE(cached.mix == uncached.mix) << context;
+  EXPECT_EQ(cached.krx_violation, uncached.krx_violation) << context;
+  EXPECT_EQ(cached.xnr_violation, uncached.xnr_violation) << context;
+}
+
+TEST_P(FuzzDifferential, CachedEngineMatchesUncached) {
+  const uint64_t seed = GetParam();
+  KernelSource src = MakeBaseSource();
+  RandomProgram gen(&src, seed ^ 0xCAFEF00D);
+  gen.set_seed_tag(seed + 100);
+  std::vector<std::string> fns = gen.EmitFunctions(4);
+
+  std::vector<Column> columns = {
+      {"vanilla", ProtectionConfig::Vanilla(), LayoutKind::kVanilla},
+      {"SFI(-O3)", ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx},
+      {"MPX", ProtectionConfig::MpxOnly(), LayoutKind::kKrx},
+      {"X", ProtectionConfig::DiversifyOnly(RaScheme::kEncrypt, seed), LayoutKind::kKrx},
+      {"D", ProtectionConfig::DiversifyOnly(RaScheme::kDecoy, seed), LayoutKind::kKrx},
+  };
+  for (const Column& col : columns) {
+    auto kernel = CompileKernel(src, {col.config, col.layout});
+    ASSERT_TRUE(kernel.ok()) << col.name;
+    KernelImage& image = *kernel->image;
+    CpuOptions opts;
+    opts.mpx_enabled = col.config.mpx;
+    Cpu cached_cpu(&image, CostModel(), opts);
+    Cpu uncached_cpu(&image, CostModel(), opts);
+    auto buf = SetUpOpBuffer(image, seed);
+    ASSERT_TRUE(buf.ok());
+
+    for (const std::string& fn : fns) {
+      ASSERT_TRUE(FillOpBuffer(image, *buf, seed).ok());
+      RunResult u = uncached_cpu.CallFunction(fn, {*buf}, RunOptions{.use_block_cache = false});
+      const uint64_t u_sum = RegionChecksum(image, *buf);
+      ASSERT_TRUE(FillOpBuffer(image, *buf, seed).ok());
+      RunResult c = cached_cpu.CallFunction(fn, {*buf}, RunOptions{.use_block_cache = true});
+      ExpectSameRunResult(c, u, col.name + "/" + fn);
+      EXPECT_EQ(RegionChecksum(image, *buf), u_sum) << col.name << "/" << fn;
+    }
+    EXPECT_GT(cached_cpu.block_cache().stats().decoded_insts, 0u) << col.name;
+
+    // Corrupt the first function's entry byte after both engines have hot
+    // state: the exception traces must still be identical (a stale block
+    // would return cleanly instead of trapping).
+    auto entry = image.symbols().AddressOf(fns[0]);
+    ASSERT_TRUE(entry.ok());
+    uint8_t orig = 0;
+    ASSERT_TRUE(image.PeekBytes(*entry, &orig, 1).ok());
+    const uint8_t evil = 0xCC;  // does not decode: both engines must trap
+    ASSERT_TRUE(image.PokeBytes(*entry, &evil, 1).ok());
+    RunResult u = uncached_cpu.CallFunction(fns[0], {*buf}, RunOptions{.use_block_cache = false});
+    RunResult c = cached_cpu.CallFunction(fns[0], {*buf}, RunOptions{.use_block_cache = true});
+    EXPECT_EQ(c.reason, StopReason::kException) << col.name;
+    ExpectSameRunResult(c, u, col.name + "/corrupted " + fns[0]);
+    ASSERT_TRUE(image.PokeBytes(*entry, &orig, 1).ok());
+    RunResult healed = cached_cpu.CallFunction(fns[0], {*buf}, RunOptions{.use_block_cache = true});
+    EXPECT_EQ(healed.reason, StopReason::kReturned) << col.name;
+  }
+}
+
 // Interpreter robustness under corrupted images: random bytes smashed into
 // executing code must surface as clean guest exceptions in the RunResult
 // (#UD / #BP / #PF / #GP ...), never as host UB. Runs under ASan+UBSan via
@@ -255,8 +328,7 @@ TEST(FuzzCorruption, RandomTextBytesNeverCrashTheHost) {
   RandomProgram gen(&src, seed);
   gen.set_seed_tag(seed);
   std::vector<std::string> fns = gen.EmitFunctions(4);
-  auto kernel = CompileKernel(std::move(src), ProtectionConfig::SfiOnly(SfiLevel::kO3),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(std::move(src), {ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
   KernelImage& image = *kernel->image;
   const PlacedSection* text = image.FindSection(".text");
@@ -307,7 +379,7 @@ TEST(FuzzCorruption, RandomTextBytesNeverCrashTheHost) {
     } else {
       apply();
     }
-    RunResult r = cpu.CallFunction(fn, {*buf}, /*max_steps=*/100'000);
+    RunResult r = cpu.CallFunction(fn, {*buf}, RunOptions{.max_steps = 100'000});
     cpu.set_step_observer(nullptr);
     for (const Patch& p : patches) {
       ASSERT_TRUE(image.PokeBytes(p.addr, &p.orig, 1).ok());
@@ -334,8 +406,7 @@ TEST(FuzzCorruption, RandomTextBytesNeverCrashTheHost) {
 // Truncated images: the final bytes of a function replaced by page-end
 // garbage must fault in the guest, not overrun host buffers.
 TEST(FuzzCorruption, TruncatedFunctionTailFaultsCleanly) {
-  auto kernel = CompileKernel(MakeBaseSource(), ProtectionConfig::SfiOnly(SfiLevel::kO3),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(MakeBaseSource(), {ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok());
   KernelImage& image = *kernel->image;
   auto entry = image.symbols().AddressOf("debugfs_leak_read");
@@ -360,7 +431,7 @@ TEST(FuzzCorruption, TruncatedFunctionTailFaultsCleanly) {
       byte = static_cast<uint8_t>(rng.Next());
     }
     ASSERT_TRUE(image.PokeBytes(*entry + cut, garbage.data(), garbage.size()).ok());
-    RunResult r = cpu.CallFunction("debugfs_leak_read", {*buf}, /*max_steps=*/10'000);
+    RunResult r = cpu.CallFunction("debugfs_leak_read", {*buf}, RunOptions{.max_steps = 10'000});
     ASSERT_NE(r.reason, StopReason::kHostError) << r.host_error;
     ASSERT_TRUE(image.PokeBytes(*entry + cut, orig.data(), orig.size()).ok());
   }

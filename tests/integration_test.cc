@@ -12,7 +12,7 @@ namespace {
 
 TEST(Integration, VanillaKernelRunsOps) {
   KernelSource src = MakeBenchSource(1);
-  auto kernel = CompileKernel(std::move(src), ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  auto kernel = CompileKernel(std::move(src), {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
   ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
   auto rows = MeasureAllRows(*kernel);
   ASSERT_TRUE(rows.ok()) << rows.status().ToString();
@@ -27,13 +27,13 @@ class ColumnTest : public ::testing::TestWithParam<int> {};
 TEST_P(ColumnTest, SemanticTransparencyAndCleanRuns) {
   const uint64_t seed = 42;
   KernelSource src = MakeBenchSource(seed);
-  auto vanilla = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  auto vanilla = CompileKernel(src, {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
   ASSERT_TRUE(vanilla.ok()) << vanilla.status().ToString();
   auto base = MeasureAllRows(*vanilla);
   ASSERT_TRUE(base.ok()) << base.status().ToString();
 
   Column col = Table1Columns(seed)[static_cast<size_t>(GetParam())];
-  auto kernel = CompileKernel(src, col.config, col.layout);
+  auto kernel = CompileKernel(src, {col.config, col.layout});
   ASSERT_TRUE(kernel.ok()) << col.name << ": " << kernel.status().ToString();
   auto rows = MeasureAllRows(*kernel);
   ASSERT_TRUE(rows.ok()) << col.name << ": " << rows.status().ToString();
@@ -58,8 +58,7 @@ INSTANTIATE_TEST_SUITE_P(AllColumns, ColumnTest,
 
 TEST(Integration, RangeCheckStopsCodeRead) {
   KernelSource src = MakeBenchSource(7);
-  auto kernel = CompileKernel(std::move(src), ProtectionConfig::Full(false, RaScheme::kEncrypt, 7),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(std::move(src), {ProtectionConfig::Full(false, RaScheme::kEncrypt, 7), LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
   ExploitLab lab(&*kernel);
   DisclosureOracle oracle(&lab.cpu());
@@ -83,8 +82,7 @@ TEST(Integration, ViolationHandlerLogsAndCounts) {
   // §5.1.2: "our default handler appends a warning message to the kernel
   // log and halts the system".
   KernelSource src = MakeBenchSource(11);
-  auto kernel = CompileKernel(std::move(src), ProtectionConfig::SfiOnly(SfiLevel::kO3),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(std::move(src), {ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok());
   auto count_addr = kernel->image->symbols().AddressOf("krx_violation_count");
   auto log_addr = kernel->image->symbols().AddressOf("kernel_log");
@@ -110,7 +108,7 @@ TEST(Integration, OverheadOrderingHolds) {
   // in total kernel-op cycles.
   KernelSource src = MakeBenchSource(13);
   auto cycles_for = [&](ProtectionConfig config, LayoutKind layout) {
-    auto kernel = CompileKernel(src, config, layout);
+    auto kernel = CompileKernel(src, {config, layout});
     KRX_CHECK(kernel.ok());
     auto rows = MeasureAllRows(*kernel);
     KRX_CHECK(rows.ok());
@@ -136,7 +134,7 @@ TEST(Integration, OverheadOrderingHolds) {
 TEST(Integration, MpxStopsCodeReadWithBoundRange) {
   KernelSource src = MakeBenchSource(9);
   auto kernel =
-      CompileKernel(std::move(src), ProtectionConfig::MpxOnly(), LayoutKind::kKrx);
+      CompileKernel(std::move(src), {ProtectionConfig::MpxOnly(), LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
   CpuOptions copts;
   copts.mpx_enabled = true;

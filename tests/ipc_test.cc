@@ -44,7 +44,7 @@ IpcEnv MakeEnv(ProtectionConfig config = ProtectionConfig::Vanilla(),
                LayoutKind layout = LayoutKind::kVanilla) {
   KernelSource src = MakeBaseSource();
   AddIpc(&src);
-  auto kernel = CompileKernel(std::move(src), config, layout);
+  auto kernel = CompileKernel(std::move(src), {config, layout});
   KRX_CHECK(kernel.ok());
   IpcEnv env{std::move(*kernel), nullptr, 0, 0};
   env.cpu = std::make_unique<Cpu>(env.kernel.image.get());

@@ -124,13 +124,13 @@ class KaslrSemantics : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(KaslrSemantics, DiversifiedKernelMatchesVanilla) {
   KernelSource src = MakeBenchSource(0xFEED);
-  auto vanilla = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  auto vanilla = CompileKernel(src, {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
   ASSERT_TRUE(vanilla.ok());
   auto base = MeasureAllRows(*vanilla);
   ASSERT_TRUE(base.ok());
 
   auto diversified = CompileKernel(
-      src, ProtectionConfig::DiversifyOnly(RaScheme::kNone, GetParam()), LayoutKind::kKrx);
+      src, {ProtectionConfig::DiversifyOnly(RaScheme::kNone, GetParam()), LayoutKind::kKrx});
   ASSERT_TRUE(diversified.ok());
   auto rows = MeasureAllRows(*diversified);
   ASSERT_TRUE(rows.ok()) << rows.status().ToString();
@@ -143,9 +143,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, KaslrSemantics, ::testing::Values(11, 22, 33, 44
 
 TEST(FunctionPermutation, NoFunctionKeepsItsOffset) {
   KernelSource src = MakeBaseSource();
-  auto a = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
-  auto b = CompileKernel(src, ProtectionConfig::DiversifyOnly(RaScheme::kNone, 77),
-                         LayoutKind::kKrx);
+  auto a = CompileKernel(src, {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
+  auto b = CompileKernel(src, {ProtectionConfig::DiversifyOnly(RaScheme::kNone, 77), LayoutKind::kKrx});
   ASSERT_TRUE(a.ok() && b.ok());
   const PlacedSection* ta = (*a).image->FindSection(".text");
   const PlacedSection* tb = (*b).image->FindSection(".text");

@@ -74,8 +74,7 @@ TEST(KoFile, DistributionFlowEndToEnd) {
   // Vendor ships bytes; a kR^X kernel that has never seen the vendor's
   // symbol table loads and runs them.
   VendorModule vendor = BuildVendorKo(ProtectionConfig::Full(false, RaScheme::kEncrypt, 3));
-  auto kernel = CompileKernel(MakeBaseSource(), ProtectionConfig::Full(false, RaScheme::kEncrypt, 4),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(MakeBaseSource(), {ProtectionConfig::Full(false, RaScheme::kEncrypt, 4), LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok());
   auto mod = ParseModule(vendor.ko, kernel->image->symbols());
   ASSERT_TRUE(mod.ok());

@@ -40,8 +40,7 @@ TEST(LayoutConstants, KernelImageRegionsFitTheCodeModel) {
 }
 
 TEST(Layout, KrxBuildSeparatesCodeAndData) {
-  auto kernel = CompileKernel(MakeBaseSource(), ProtectionConfig::Full(false, RaScheme::kEncrypt, 2),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(MakeBaseSource(), {ProtectionConfig::Full(false, RaScheme::kEncrypt, 2), LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok());
   uint64_t edata = kernel->image->krx_edata();
   for (const PlacedSection& s : kernel->image->sections()) {
@@ -57,8 +56,7 @@ TEST(Layout, KrxBuildSeparatesCodeAndData) {
 }
 
 TEST(Layout, VanillaBuildInterleavesWithinTheImage) {
-  auto kernel = CompileKernel(MakeBaseSource(), ProtectionConfig::Vanilla(),
-                              LayoutKind::kVanilla);
+  auto kernel = CompileKernel(MakeBaseSource(), {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
   ASSERT_TRUE(kernel.ok());
   const PlacedSection* text = kernel->image->FindSection(".text");
   const PlacedSection* data = kernel->image->FindSection(".data");
@@ -70,11 +68,9 @@ TEST(Layout, VanillaBuildInterleavesWithinTheImage) {
 
 TEST(Layout, SectionsPageAlignedAndNonOverlapping) {
   for (LayoutKind layout : {LayoutKind::kVanilla, LayoutKind::kKrx}) {
-    auto kernel = CompileKernel(MakeBaseSource(),
-                                layout == LayoutKind::kKrx
+    auto kernel = CompileKernel(MakeBaseSource(), {layout == LayoutKind::kKrx
                                     ? ProtectionConfig::Full(false, RaScheme::kDecoy, 3)
-                                    : ProtectionConfig::Vanilla(),
-                                layout);
+                                    : ProtectionConfig::Vanilla(), layout});
     ASSERT_TRUE(kernel.ok());
     const auto& sections = kernel->image->sections();
     for (size_t i = 0; i < sections.size(); ++i) {
@@ -93,7 +89,7 @@ TEST(Layout, CoarseSlideKeepsRegionInvariants) {
   ProtectionConfig config;
   config.coarse_kaslr = true;
   config.seed = 99;
-  auto kernel = CompileKernel(MakeBaseSource(), config, LayoutKind::kVanilla);
+  auto kernel = CompileKernel(MakeBaseSource(), {config, LayoutKind::kVanilla});
   ASSERT_TRUE(kernel.ok());
   const PlacedSection* text = kernel->image->FindSection(".text");
   ASSERT_NE(text, nullptr);
@@ -103,8 +99,7 @@ TEST(Layout, CoarseSlideKeepsRegionInvariants) {
 }
 
 TEST(Layout, GuardSectionIsUnwritableAndUnexecutable) {
-  auto kernel = CompileKernel(MakeBaseSource(), ProtectionConfig::SfiOnly(SfiLevel::kO3),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(MakeBaseSource(), {ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok());
   const PlacedSection* guard = kernel->image->FindSection(".krx_phantom");
   ASSERT_NE(guard, nullptr);

@@ -44,8 +44,7 @@ struct Env {
 };
 
 Env MakeEnv() {
-  auto kernel = CompileKernel(MakeBaseSource(), ProtectionConfig::Full(false, RaScheme::kEncrypt, 1),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(MakeBaseSource(), {ProtectionConfig::Full(false, RaScheme::kEncrypt, 1), LayoutKind::kKrx});
   KRX_CHECK(kernel.ok());
   Env env{std::move(*kernel), nullptr, nullptr, 0};
   env.loader = std::make_unique<ModuleLoader>(env.kernel.image.get());

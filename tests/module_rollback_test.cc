@@ -22,9 +22,7 @@ struct Env {
 };
 
 Env MakeEnv(uint64_t seed) {
-  auto kernel = CompileKernel(MakeBaseSource(),
-                              ProtectionConfig::Full(false, RaScheme::kEncrypt, seed),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(MakeBaseSource(), {ProtectionConfig::Full(false, RaScheme::kEncrypt, seed), LayoutKind::kKrx});
   KRX_CHECK(kernel.ok());
   Env env{std::move(*kernel), nullptr, nullptr, 0};
   env.loader = std::make_unique<ModuleLoader>(env.kernel.image.get());

@@ -37,16 +37,14 @@ TEST(Pipeline, EdataSitsBelowCodeBase) {
 
 TEST(Pipeline, RangeChecksRequireKrxLayout) {
   KernelSource src = MakeBaseSource();
-  auto bad = CompileKernel(std::move(src), ProtectionConfig::SfiOnly(SfiLevel::kO3),
-                           LayoutKind::kVanilla);
+  auto bad = CompileKernel(std::move(src), {ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kVanilla});
   EXPECT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(Pipeline, DefaultHandlerInjectedWhenMissing) {
   KernelSource src = MakeBaseSource();  // corpus has no krx_handler of its own
-  auto kernel = CompileKernel(std::move(src), ProtectionConfig::SfiOnly(SfiLevel::kO3),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(std::move(src), {ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok());
   EXPECT_TRUE(kernel->image->symbols().AddressOf(kKrxHandlerName).ok());
   EXPECT_TRUE(kernel->image->symbols().AddressOf("krx_violation_count").ok());
@@ -57,10 +55,8 @@ TEST(Pipeline, DefaultHandlerInjectedWhenMissing) {
 
 TEST(Pipeline, SameSeedBitIdenticalText) {
   KernelSource src = MakeBaseSource();
-  auto a = CompileKernel(src, ProtectionConfig::Full(false, RaScheme::kDecoy, 123),
-                         LayoutKind::kKrx);
-  auto b = CompileKernel(src, ProtectionConfig::Full(false, RaScheme::kDecoy, 123),
-                         LayoutKind::kKrx);
+  auto a = CompileKernel(src, {ProtectionConfig::Full(false, RaScheme::kDecoy, 123), LayoutKind::kKrx});
+  auto b = CompileKernel(src, {ProtectionConfig::Full(false, RaScheme::kDecoy, 123), LayoutKind::kKrx});
   ASSERT_TRUE(a.ok() && b.ok());
   const PlacedSection* ta = (*a).image->FindSection(".text");
   const PlacedSection* tb = (*b).image->FindSection(".text");
@@ -73,8 +69,7 @@ TEST(Pipeline, SameSeedBitIdenticalText) {
 
 TEST(Pipeline, StatsArePopulated) {
   KernelSource src = MakeBenchSource(3);
-  auto kernel = CompileKernel(std::move(src), ProtectionConfig::Full(false, RaScheme::kDecoy, 3),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(std::move(src), {ProtectionConfig::Full(false, RaScheme::kDecoy, 3), LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok());
   const PipelineStats& st = kernel->stats;
   EXPECT_GT(st.functions, 100u);
@@ -99,8 +94,7 @@ TEST(Pipeline, GuardGrowsWithRspDisplacement) {
     src.functions.push_back(b.Build());
     src.symbols.Intern("big_frame_reader");
   }
-  auto kernel = CompileKernel(std::move(src), ProtectionConfig::SfiOnly(SfiLevel::kO3),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(std::move(src), {ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok());
   // The guard must exceed the 6000-byte stack-read displacement.
   EXPECT_GE(kernel->stats.phantom_guard_size, 6000u);
@@ -119,7 +113,7 @@ TEST(Pipeline, WriteWhatWhereChainOnVanilla) {
   // [pop rdi; ret] + [pop rsi; ret] + [mov %rsi,(%rdi); ret] to write the
   // root credential directly — and verify diversification breaks it too.
   KernelSource src = MakeBenchSource(17);
-  auto vanilla = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  auto vanilla = CompileKernel(src, {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
   ASSERT_TRUE(vanilla.ok());
   ExploitLab lab(&*vanilla);
 
@@ -140,8 +134,7 @@ TEST(Pipeline, WriteWhatWhereChainOnVanilla) {
   EXPECT_TRUE(lab.IsRoot());
 
   // The same chain against a diversified build fails.
-  auto hardened = CompileKernel(src, ProtectionConfig::Full(false, RaScheme::kEncrypt, 17),
-                                LayoutKind::kKrx);
+  auto hardened = CompileKernel(src, {ProtectionConfig::Full(false, RaScheme::kEncrypt, 17), LayoutKind::kKrx});
   ASSERT_TRUE(hardened.ok());
   ExploitLab target(&*hardened);
   target.ResetCreds();
@@ -151,8 +144,7 @@ TEST(Pipeline, WriteWhatWhereChainOnVanilla) {
 
 TEST(Pipeline, ModuleCompilationSharesHandler) {
   KernelSource src = MakeBaseSource();
-  auto kernel = CompileKernel(std::move(src), ProtectionConfig::SfiOnly(SfiLevel::kO3),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(std::move(src), {ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok());
   // Module instrumentation binds its violation branch to the *kernel's*
   // krx_handler symbol (eager binding at load).

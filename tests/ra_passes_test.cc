@@ -108,8 +108,7 @@ struct RaKernel {
 
 RaKernel Build(RaScheme scheme, uint64_t seed) {
   KernelSource src = MakeBaseSource();
-  auto kernel = CompileKernel(std::move(src), ProtectionConfig::DiversifyOnly(scheme, seed),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(std::move(src), {ProtectionConfig::DiversifyOnly(scheme, seed), LayoutKind::kKrx});
   KRX_CHECK(kernel.ok());
   RaKernel rk{std::move(*kernel), nullptr};
   rk.cpu = std::make_unique<Cpu>(rk.kernel.image.get());
@@ -197,9 +196,7 @@ TEST(RaEncrypt, SubstitutionAttackAlgebraHolds) {
     src.functions.push_back(g.Build());
     src.symbols.Intern("subst_g");
   }
-  auto kernel = CompileKernel(std::move(src),
-                              ProtectionConfig::DiversifyOnly(RaScheme::kEncrypt, 55),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(std::move(src), {ProtectionConfig::DiversifyOnly(RaScheme::kEncrypt, 55), LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok());
   Cpu cpu(kernel->image.get());
   RunResult r = cpu.CallFunction("subst_g", {});
@@ -290,8 +287,7 @@ TEST(RaDecoy, TailCallSupport) {
   EmitKernelOp(&src, p);
   for (RaScheme scheme : {RaScheme::kDecoy, RaScheme::kEncrypt}) {
     for (uint64_t seed : {1u, 2u, 3u}) {
-      auto kernel = CompileKernel(src, ProtectionConfig::DiversifyOnly(scheme, seed),
-                                  LayoutKind::kKrx);
+      auto kernel = CompileKernel(src, {ProtectionConfig::DiversifyOnly(scheme, seed), LayoutKind::kKrx});
       ASSERT_TRUE(kernel.ok());
       Cpu cpu(kernel->image.get());
       auto buf = SetUpOpBuffer(*kernel->image, 1);

@@ -63,14 +63,14 @@ TEST(RegRand, SemanticTransparencyOnTheBenchCorpus) {
   // The generated ops never rely on pool registers across calls, so a
   // renamed kernel must compute identical results.
   KernelSource src = MakeBenchSource(0x5EED);
-  auto vanilla = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  auto vanilla = CompileKernel(src, {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
   ASSERT_TRUE(vanilla.ok());
   auto base = MeasureAllRows(*vanilla);
   ASSERT_TRUE(base.ok());
 
   ProtectionConfig config = ProtectionConfig::Full(false, RaScheme::kDecoy, 0x5EED);
   config.randomize_registers = true;
-  auto renamed = CompileKernel(src, config, LayoutKind::kKrx);
+  auto renamed = CompileKernel(src, {config, LayoutKind::kKrx});
   ASSERT_TRUE(renamed.ok());
   EXPECT_GT(renamed->stats.reg_rand.operands_rewritten, 0u);
   auto rows = MeasureAllRows(*renamed);
@@ -89,7 +89,7 @@ TEST(RegRand, GadgetSemanticsDiverge) {
     ProtectionConfig config;
     config.randomize_registers = true;
     config.seed = seed;
-    auto kernel = CompileKernel(std::move(src), config, LayoutKind::kVanilla);
+    auto kernel = CompileKernel(std::move(src), {config, LayoutKind::kVanilla});
     KRX_CHECK(kernel.ok());
     return std::move(*kernel);
   };

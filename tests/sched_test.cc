@@ -29,7 +29,7 @@ SchedEnv MakeEnv(ProtectionConfig config, LayoutKind layout) {
   for (const std::string& name : SchedExemptFunctions()) {
     config.exempt_functions.insert(name);
   }
-  auto kernel = CompileKernel(std::move(src), config, layout);
+  auto kernel = CompileKernel(std::move(src), {config, layout});
   KRX_CHECK(kernel.ok());
   SchedEnv env{std::move(*kernel), nullptr};
   KRX_CHECK(SetUpTaskStacks(*env.kernel.image).ok());

@@ -272,7 +272,7 @@ TEST_P(EnforcementSweep, AdversarialBaseRegistersAreAlwaysCaught) {
   ProtectionConfig config;
   config.sfi = level == SfiLevel::kNone ? SfiLevel::kO3 : level;
   config.mpx = level == SfiLevel::kNone;  // param 0 exercises the MPX flavour
-  auto kernel = CompileKernel(std::move(src), config, LayoutKind::kKrx);
+  auto kernel = CompileKernel(std::move(src), {config, LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
   CpuOptions opts;
   opts.mpx_enabled = config.mpx;
@@ -311,7 +311,7 @@ TEST(SfiPass, ExemptFunctionsSkipped) {
   KernelSource src = MakeBaseSource();
   ProtectionConfig config = ProtectionConfig::SfiOnly(SfiLevel::kO3);
   config.exempt_functions.insert(kLeakSymbolName);  // pretend it's a cloned memcpy
-  auto kernel = CompileKernel(std::move(src), config, LayoutKind::kKrx);
+  auto kernel = CompileKernel(std::move(src), {config, LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok());
   Cpu cpu(kernel->image.get());
   auto leak = kernel->image->symbols().AddressOf(kLeakSymbolName);

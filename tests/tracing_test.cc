@@ -20,7 +20,7 @@ struct Env {
 Env MakeEnv() {
   ProtectionConfig config = ProtectionConfig::Full(false, RaScheme::kEncrypt, 3);
   config.exempt_functions = DefaultExemptFunctions();
-  auto kernel = CompileKernel(MakeBaseSource(), config, LayoutKind::kKrx);
+  auto kernel = CompileKernel(MakeBaseSource(), {config, LayoutKind::kKrx});
   KRX_CHECK(kernel.ok());
   Env env{std::move(*kernel), nullptr, 0};
   env.cpu = std::make_unique<Cpu>(env.kernel.image.get());
@@ -91,8 +91,7 @@ TEST(ExTable, PlacedInCodeRegionAndUnharvestable) {
   RunResult r = env.cpu->CallFunction(*leak, {extable->vaddr});
   EXPECT_TRUE(r.krx_violation);
 
-  auto vanilla = CompileKernel(MakeBaseSource(), ProtectionConfig::Vanilla(),
-                               LayoutKind::kVanilla);
+  auto vanilla = CompileKernel(MakeBaseSource(), {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
   ASSERT_TRUE(vanilla.ok());
   Cpu vcpu(vanilla->image.get());
   const PlacedSection* vex = (*vanilla).image->FindSection("__ex_table");
@@ -112,7 +111,7 @@ TEST(ExTable, NotExecutable) {
   Env env = MakeEnv();
   const PlacedSection* extable = env.kernel.image->FindSection("__ex_table");
   ASSERT_NE(extable, nullptr);
-  RunResult r = env.cpu->RunAt(extable->vaddr, 4);
+  RunResult r = env.cpu->RunAt(extable->vaddr, RunOptions{.max_steps = 4});
   EXPECT_EQ(r.reason, StopReason::kException);
   EXPECT_EQ(r.exception, ExceptionKind::kPageFault);
 }

@@ -16,7 +16,7 @@ namespace {
 constexpr uint64_t kSeed = 0xD15A;
 
 CompiledKernel Build(const ProtectionConfig& config, LayoutKind layout) {
-  auto kernel = CompileKernel(MakeBenchSource(kSeed), config, layout);
+  auto kernel = CompileKernel(MakeBenchSource(kSeed), {config, layout});
   KRX_CHECK_OK(kernel.status());
   return std::move(*kernel);
 }
@@ -262,8 +262,7 @@ TEST(VerifyHook, PostLinkToggleGovernsCompile) {
   // overrides in both directions and the hook accepts a sound build.
   SetPostLinkVerify(true);
   EXPECT_TRUE(PostLinkVerifyEnabled());
-  auto kernel = CompileKernel(MakeBenchSource(kSeed), ProtectionConfig::SfiOnly(SfiLevel::kO3),
-                              LayoutKind::kKrx);
+  auto kernel = CompileKernel(MakeBenchSource(kSeed), {ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx});
   EXPECT_TRUE(kernel.ok()) << kernel.status().ToString();
   SetPostLinkVerify(false);
   EXPECT_FALSE(PostLinkVerifyEnabled());

@@ -42,7 +42,7 @@ struct VfsEnv {
 VfsEnv MakeEnv(ProtectionConfig config, LayoutKind layout) {
   KernelSource src = MakeBaseSource();
   AddVfs(&src, DefaultVfsImage());
-  auto kernel = CompileKernel(std::move(src), config, layout);
+  auto kernel = CompileKernel(std::move(src), {config, layout});
   KRX_CHECK(kernel.ok());
   VfsEnv env{std::move(*kernel), nullptr, 0};
   env.cpu = std::make_unique<Cpu>(env.kernel.image.get());

@@ -74,9 +74,8 @@ TEST(Harness, ColumnsMatchTable1Names) {
 
 TEST(OpBuffer, DeterministicContents) {
   KernelSource src = MakeBaseSource();
-  auto a = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
-  auto b = CompileKernel(src, ProtectionConfig::Full(false, RaScheme::kEncrypt, 3),
-                         LayoutKind::kKrx);
+  auto a = CompileKernel(src, {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
+  auto b = CompileKernel(src, {ProtectionConfig::Full(false, RaScheme::kEncrypt, 3), LayoutKind::kKrx});
   ASSERT_TRUE(a.ok() && b.ok());
   auto buf_a = SetUpOpBuffer(*(*a).image, 42);
   auto buf_b = SetUpOpBuffer(*(*b).image, 42);
@@ -117,15 +116,14 @@ TEST_P(RandomOpEquivalence, ProtectedVariantsMatchVanilla) {
     ops.push_back("sys_" + EmitKernelOp(&src, p).substr(4));
   }
 
-  auto vanilla = CompileKernel(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
+  auto vanilla = CompileKernel(src, {ProtectionConfig::Vanilla(), LayoutKind::kVanilla});
   ASSERT_TRUE(vanilla.ok());
   Cpu vcpu(vanilla->image.get());
   auto vbuf = SetUpOpBuffer(*vanilla->image, GetParam());
   ASSERT_TRUE(vbuf.ok());
 
   for (RaScheme scheme : {RaScheme::kEncrypt, RaScheme::kDecoy}) {
-    auto prot = CompileKernel(src, ProtectionConfig::Full(false, scheme, GetParam()),
-                              LayoutKind::kKrx);
+    auto prot = CompileKernel(src, {ProtectionConfig::Full(false, scheme, GetParam()), LayoutKind::kKrx});
     ASSERT_TRUE(prot.ok());
     Cpu pcpu(prot->image.get());
     auto pbuf = SetUpOpBuffer(*prot->image, GetParam());

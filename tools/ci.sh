@@ -1,7 +1,8 @@
 #!/bin/sh
 # CI driver: builds the default and ASan+UBSan presets, runs the tier-1
-# suite, the sanitizer subset, and the fault-injection campaigns, and
-# produces the BENCH_fault.json artifact (EXPERIMENTS.md E15).
+# suite, the sanitizer subset, the fault-injection campaigns, and the perf
+# stage (block-cache equivalence tests + parallel bench smoke matrix), and
+# produces the BENCH_fault.json and BENCH_perf.json artifacts.
 #
 # Usage: tools/ci.sh [--quick]
 #   --quick   skip the ASan preset (default build + tests + fault labels only)
@@ -30,6 +31,12 @@ echo "==> fault campaign artifact (build/BENCH_fault.json)"
 ./build/bench/fault_campaign --n 500 --json > build/BENCH_fault.json
 ./build/bench/fault_campaign --n 500 > /dev/null || {
   echo "fault campaign acceptance failed" >&2; exit 1;
+}
+
+echo "==> perf stage: engine-equivalence tests + bench smoke matrix"
+ctest --test-dir build -L perf --output-on-failure -j4
+./build/bench/bench_perf --quick --json build/BENCH_perf.json || {
+  echo "bench_perf smoke matrix failed" >&2; exit 1;
 }
 
 if [ "$QUICK" -eq 0 ]; then

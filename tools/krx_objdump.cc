@@ -68,7 +68,7 @@ int Main(int argc, char** argv) {
     return 2;
   }
 
-  auto kernel = CompileKernel(MakeBenchSource(0xD15A), config, layout);
+  auto kernel = CompileKernel(MakeBenchSource(0xD15A), {config, layout});
   if (!kernel.ok()) {
     std::fprintf(stderr, "build failed: %s\n", kernel.status().ToString().c_str());
     return 1;

@@ -38,7 +38,7 @@ int VerifyOneConfig(const std::string& name, bool expect_fail) {
   }
   // The hook would reject unverifiable builds before we get to report them.
   SetPostLinkVerify(false);
-  auto kernel = CompileKernel(MakeBenchSource(kSeed), config, layout);
+  auto kernel = CompileKernel(MakeBenchSource(kSeed), {config, layout});
   if (!kernel.ok()) {
     std::fprintf(stderr, "%s: build failed: %s\n", name.c_str(),
                  kernel.status().ToString().c_str());
