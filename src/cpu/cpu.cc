@@ -2,6 +2,7 @@
 
 #include "src/isa/encoding.h"
 #include "src/kernel/baseline_defenses.h"
+#include "src/rerand/quiesce.h"
 
 namespace krx {
 
@@ -136,6 +137,10 @@ Cpu::Cpu(KernelImage* image, CostModel cost, CpuOptions options)
     stack_top_ = stack_base_ + options_.stack_pages * kPageSize;
   }
 
+  RefreshKrxHandlerRange();
+}
+
+void Cpu::RefreshKrxHandlerRange() {
   int32_t h = image_->symbols().Find(kKrxHandlerName);
   if (h >= 0 && image_->symbols().at(h).defined) {
     krx_handler_lo_ = image_->symbols().at(h).address;
@@ -772,8 +777,8 @@ RunResult Cpu::Run(const RunOptions& options, bool entered_via_call) {
   return pending_;
 }
 
-RunResult Cpu::CallFunction(uint64_t entry, const std::vector<uint64_t>& args,
-                            const RunOptions& options) {
+RunResult Cpu::CallFunctionImpl(uint64_t entry, const std::vector<uint64_t>& args,
+                                const RunOptions& options) {
   static constexpr Reg kArgRegs[6] = {Reg::kRdi, Reg::kRsi, Reg::kRdx,
                                       Reg::kRcx, Reg::kR8,  Reg::kR9};
   auto host_error = [](std::string message) {
@@ -806,8 +811,23 @@ RunResult Cpu::CallFunction(uint64_t entry, const std::vector<uint64_t>& args,
   return Run(options, /*entered_via_call=*/true);
 }
 
+// The public entry points below are the quiescence safe points: each one
+// holds the gate for the whole run and acquires it exactly once (nested
+// acquisition would deadlock against a waiting epoch, which has writer
+// priority). Symbol resolution happens inside the gated scope so a name
+// resolves against the layout the run will actually execute — resolving
+// before the gate could race a concurrent epoch and hand back a stale
+// address.
+
+RunResult Cpu::CallFunction(uint64_t entry, const std::vector<uint64_t>& args,
+                            const RunOptions& options) {
+  QuiesceRunScope scope(quiesce_gate_);
+  return CallFunctionImpl(entry, args, options);
+}
+
 RunResult Cpu::CallFunction(const std::string& symbol, const std::vector<uint64_t>& args,
                             const RunOptions& options) {
+  QuiesceRunScope scope(quiesce_gate_);
   auto addr = image_->symbols().AddressOf(symbol);
   if (!addr.ok()) {
     RunResult r;
@@ -815,10 +835,11 @@ RunResult Cpu::CallFunction(const std::string& symbol, const std::vector<uint64_
     r.host_error = "unresolvable entry symbol '" + symbol + "': " + addr.status().ToString();
     return r;
   }
-  return CallFunction(*addr, args, options);
+  return CallFunctionImpl(*addr, args, options);
 }
 
 RunResult Cpu::RunAt(uint64_t rip, const RunOptions& options) {
+  QuiesceRunScope scope(quiesce_gate_);
   rip_ = rip;
   return Run(options, /*entered_via_call=*/false);
 }

@@ -33,6 +33,8 @@
 
 namespace krx {
 
+class QuiesceGate;
+
 struct RFlags {
   bool zf = false;
   bool sf = false;
@@ -197,7 +199,18 @@ class Cpu {
     step_observer_ = std::move(observer);
   }
 
+  // Quiescence gate (src/rerand/quiesce.h): when set, every CallFunction /
+  // RunAt runs inside the gate, making run boundaries the safe points the
+  // re-randomization engine quiesces to. Null (the default) = ungated.
+  void set_quiesce_gate(QuiesceGate* gate) { quiesce_gate_ = gate; }
+
+  // Re-resolves the cached krx_handler extent from the symbol table. The
+  // re-randomization engine calls this after an epoch moves the handler.
+  void RefreshKrxHandlerRange();
+
  private:
+  RunResult CallFunctionImpl(uint64_t entry, const std::vector<uint64_t>& args,
+                             const RunOptions& options);
   RunResult Run(const RunOptions& options, bool entered_via_call);
   RunResult RunCached();
   // Executes one instruction the canonical way (fetch + decode + execute);
@@ -240,6 +253,7 @@ class Cpu {
   uint64_t krx_handler_lo_ = 0;
   uint64_t krx_handler_hi_ = 0;
   std::function<void(const Cpu&)> step_observer_;
+  QuiesceGate* quiesce_gate_ = nullptr;
   BlockCache cache_;
 };
 

@@ -89,8 +89,12 @@ class KernelImage {
   Result<uint64_t> Peek64(uint64_t vaddr) const;
   Status Poke64(uint64_t vaddr, uint64_t value);
 
-  // Overwrites every xkey slot with fresh random values (boot-time
-  // replenishment of return-address keys).
+  // Overwrites every xkey slot with fresh random values. Boot-time only:
+  // it does not re-encrypt return addresses already on live stacks, so any
+  // in-flight call chain would decrypt with the wrong key afterwards. For
+  // live rotation use the re-randomization engine (src/rerand/engine.h),
+  // whose kRotateKeys + kRewriteStacks steps rotate the keys *and* rewrite
+  // the encrypted return addresses under quiescence.
   Status ReplenishXkeys(Rng& rng);
 
   // Bump allocators for module placement.

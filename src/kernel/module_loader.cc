@@ -123,6 +123,10 @@ Result<int32_t> ModuleLoader::Load(const ModuleObject& module) {
   lm.data_vaddr = *data_vaddr;
   lm.data_size = data_bytes.size();
   lm.xkey_bytes = module.xkey_bytes;
+  // Retained for re-randomization epochs: an epoch that moves kernel
+  // functions re-patches these sites in place (see src/rerand/engine.h).
+  lm.text_relocs = module.text.relocs;
+  lm.data_relocs = data_relocs;
 
   if (Status s = failpoint(ModuleLoadStep::kBindSymbols); !s.ok()) {
     return fail(s);
@@ -271,6 +275,8 @@ Status ModuleLoader::Unload(int32_t handle) {
     s.defined = false;
     s.address = 0;
   }
+  lm.text_relocs.clear();
+  lm.data_relocs.clear();
   lm.loaded = false;
   return Status::Ok();
 }

@@ -47,6 +47,13 @@ struct LoadedModule {
   uint64_t text_pages = 0;
   uint64_t xkey_bytes = 0;       // trailing xkey area (zeroed on unload)
   std::vector<int32_t> symbols;  // symbols this module defined
+  // Relocations retained past load so a re-randomization epoch can re-patch
+  // the module's references to moved kernel functions: text relocs (fields
+  // are guest-immutable under R^X, recomputed unconditionally) and data
+  // pointer-slot relocs (conditional — the module may overwrite its own
+  // data). Cleared on unload.
+  std::vector<Reloc> text_relocs;
+  std::vector<Reloc> data_relocs;
   bool loaded = false;
 };
 

@@ -201,6 +201,18 @@ Result<CompiledKernel> CompileKernelAttempt(KernelSource source, const Protectio
     link.kaslr_slide = rng.NextBelow(1ULL << 14) << kPageShift;
   }
 
+  // Live re-randomization metadata: LinkKernel relocates the blob and
+  // consumes the data objects, so the pristine bytes and the pointer-slot
+  // descriptors must be captured now (resolved against the linked image
+  // below, once addresses exist).
+  out.rerand = std::make_shared<RerandMap>();
+  out.rerand->pristine = link.text;
+  for (const DataObject& obj : link.data_objects) {
+    for (const DataObject::PtrInit& p : obj.pointer_slots) {
+      out.rerand->pending_ptr_sites.push_back({obj.name, p.offset, p.symbol, p.addend});
+    }
+  }
+
   auto image = LinkKernel(layout, std::move(link), std::move(source.symbols));
   if (!image.ok()) {
     return image.status();
@@ -213,6 +225,8 @@ Result<CompiledKernel> CompileKernelAttempt(KernelSource source, const Protectio
 
   Rng key_rng = rng.Fork();
   KRX_RETURN_IF_ERROR(out.image->ReplenishXkeys(key_rng));
+
+  KRX_RETURN_IF_ERROR(out.rerand->Finalize(*out.image));
 
   if (g_post_link_mutator) {
     g_post_link_mutator(*out.image, attempt);

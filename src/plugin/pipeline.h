@@ -24,6 +24,7 @@
 #include "src/plugin/ra_encrypt_pass.h"
 #include "src/plugin/reg_rand_pass.h"
 #include "src/plugin/sfi_pass.h"
+#include "src/rerand/rerand_map.h"
 
 namespace krx {
 
@@ -55,6 +56,11 @@ struct CompiledKernel {
   PipelineStats stats;
   ProtectionConfig config;
   LayoutKind layout = LayoutKind::kVanilla;
+  // Live re-randomization metadata (pristine text, function extents, xkey
+  // slots, patchable pointer sites) — what RerandEngine epochs consume.
+  // Always populated; shared so engines and tools can outlive moves of the
+  // CompiledKernel wrapper.
+  std::shared_ptr<RerandMap> rerand;
 };
 
 // The _krx_edata value the instrumentation will compare against, given the

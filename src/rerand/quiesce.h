@@ -1,0 +1,91 @@
+// Quiescence protocol between running Cpus and the re-randomization engine.
+//
+// Safe points are run boundaries: a Cpu enters the gate for the whole of one
+// CallFunction/RunAt and leaves it when the run returns. An epoch takes the
+// gate exclusively, which (a) waits for every in-flight run to reach its
+// boundary and (b) holds new runs at the entry until the epoch completes.
+// This is a readers/writer lock with writer priority — without priority a
+// steady stream of runs would starve the epoch thread indefinitely.
+//
+// Deliberately header-only: src/cpu only forward-declares QuiesceGate and
+// keeps no link dependency on src/rerand; src/cpu/cpu.cc includes this
+// header for the inline definitions.
+//
+// Rules (enforced by construction, documented in DESIGN.md §10):
+//   - A thread must never start an epoch while it is itself inside a run on
+//     a gated Cpu (self-deadlock).
+//   - Cpu entry points acquire the gate exactly once per run; internal
+//     delegation (CallFunction(name) -> CallFunction(entry)) must not
+//     re-enter, or a waiting writer wedges the nested acquisition.
+#ifndef KRX_SRC_RERAND_QUIESCE_H_
+#define KRX_SRC_RERAND_QUIESCE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace krx {
+
+class QuiesceGate {
+ public:
+  // Reader side: a Cpu run. Blocks while an epoch is active or waiting
+  // (writer priority).
+  void BeginRun() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !exclusive_ && writers_waiting_ == 0; });
+    ++active_runs_;
+  }
+  void EndRun() {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_runs_;
+    if (active_runs_ == 0) cv_.notify_all();
+  }
+
+  // Writer side: an epoch. Returns once every in-flight run has drained;
+  // new runs are held at BeginRun until EndExclusive.
+  void BeginExclusive() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++writers_waiting_;
+    cv_.wait(lock, [this] { return !exclusive_ && active_runs_ == 0; });
+    --writers_waiting_;
+    exclusive_ = true;
+  }
+  void EndExclusive() {
+    std::lock_guard<std::mutex> lock(mu_);
+    exclusive_ = false;
+    cv_.notify_all();
+  }
+
+  // Snapshot for diagnostics/benchmarks; racy by nature.
+  uint64_t active_runs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return active_runs_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t active_runs_ = 0;
+  uint64_t writers_waiting_ = 0;
+  bool exclusive_ = false;
+};
+
+// RAII reader scope; tolerates a null gate (ungated Cpu, the default).
+class QuiesceRunScope {
+ public:
+  explicit QuiesceRunScope(QuiesceGate* gate) : gate_(gate) {
+    if (gate_ != nullptr) gate_->BeginRun();
+  }
+  ~QuiesceRunScope() {
+    if (gate_ != nullptr) gate_->EndRun();
+  }
+  QuiesceRunScope(const QuiesceRunScope&) = delete;
+  QuiesceRunScope& operator=(const QuiesceRunScope&) = delete;
+
+ private:
+  QuiesceGate* gate_;
+};
+
+}  // namespace krx
+
+#endif  // KRX_SRC_RERAND_QUIESCE_H_

@@ -1,0 +1,129 @@
+#include "src/rerand/rerand_map.h"
+
+#include <algorithm>
+
+#include "src/isa/encoding.h"
+#include "src/isa/instruction.h"
+
+namespace krx {
+namespace {
+
+constexpr const char* kXkeyPrefix = "xkey$";
+
+bool IsCallOpcode(Opcode op) {
+  return op == Opcode::kCallRel || op == Opcode::kCallR || op == Opcode::kCallM;
+}
+
+}  // namespace
+
+Status RerandMap::Finalize(const KernelImage& image) {
+  if (finalized) {
+    return FailedPreconditionError("RerandMap already finalized");
+  }
+  const PlacedSection* text = image.FindSection(".text");
+  if (text == nullptr) {
+    return NotFoundError("RerandMap: image has no .text section");
+  }
+  if (text->size != pristine.bytes.size()) {
+    return InternalError("RerandMap: pristine blob size " +
+                         std::to_string(pristine.bytes.size()) +
+                         " != linked .text content size " + std::to_string(text->size));
+  }
+  text_base = text->vaddr;
+  text_content_size = text->size;
+  text_mapped_size = text->mapped_size;
+
+  const SymbolTable& syms = image.symbols();
+
+  // Function extents. The initial layout is the pristine layout: the link
+  // placed each function at its blob offset.
+  functions.clear();
+  functions.reserve(pristine.functions.size());
+  for (const AssembledFunction& fn : pristine.functions) {
+    RerandFunction rf;
+    rf.name = fn.name;
+    rf.symbol = syms.Find(fn.name);
+    if (rf.symbol < 0 || !syms.at(rf.symbol).defined) {
+      return NotFoundError("RerandMap: no defined symbol for function " + fn.name);
+    }
+    rf.pristine_offset = fn.offset;
+    rf.size = fn.size;
+    rf.current_offset = fn.offset;
+    // Decode the pristine extent to find return sites (offset just past each
+    // call). Sizes are operand-independent, so unapplied relocations do not
+    // perturb the decode walk; an operand field that happens to hold a
+    // placeholder still decodes with the correct size and opcode.
+    uint64_t off = fn.offset;
+    const uint64_t end = fn.offset + fn.size;
+    while (off < end) {
+      auto dec = DecodeInstruction(pristine.bytes.data(), pristine.bytes.size(), off);
+      if (!dec.ok()) {
+        // Alignment padding inside the extent would be a build bug; surface it.
+        return InternalError("RerandMap: undecodable byte at pristine offset " +
+                             std::to_string(off) + " in " + fn.name + ": " +
+                             dec.status().message());
+      }
+      off += dec->size;
+      if (IsCallOpcode(dec->inst.op)) {
+        rf.return_sites.push_back(off - fn.offset);
+      }
+    }
+    functions.push_back(std::move(rf));
+  }
+
+  // Every text relocation must fall inside some function extent, or an epoch
+  // could not shift it with its function.
+  for (const Reloc& r : pristine.relocs) {
+    bool covered = false;
+    for (const RerandFunction& rf : functions) {
+      if (r.field_offset >= rf.pristine_offset &&
+          r.field_offset + 4 <= rf.pristine_offset + rf.size) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      return InternalError("RerandMap: text reloc at blob offset " +
+                           std::to_string(r.field_offset) +
+                           " lies outside every function extent");
+    }
+  }
+
+  // Xkey slots: every defined data symbol named xkey$<fn>. Absent when the
+  // build did not enable return-address encryption.
+  xkey_slots.clear();
+  for (size_t i = 0; i < syms.size(); ++i) {
+    const Symbol& s = syms.at(static_cast<int32_t>(i));
+    if (!s.defined || s.name.rfind(kXkeyPrefix, 0) != 0) continue;
+    RerandXkeySlot slot;
+    slot.key_symbol = static_cast<int32_t>(i);
+    slot.vaddr = s.address;
+    slot.fn_name = s.name.substr(std::string(kXkeyPrefix).size());
+    slot.fn_symbol = syms.Find(slot.fn_name);
+    xkey_slots.push_back(std::move(slot));
+  }
+
+  // Pointer sites: resolve object-relative slots to absolute addresses.
+  ptr_sites.clear();
+  ptr_sites.reserve(pending_ptr_sites.size());
+  for (const PendingPtrSite& p : pending_ptr_sites) {
+    auto base = syms.AddressOf(p.object);
+    if (!base.ok()) {
+      return NotFoundError("RerandMap: pointer-slot owner " + p.object +
+                           " has no linked address");
+    }
+    RerandPtrSite site;
+    site.vaddr = *base + p.offset;
+    site.symbol = p.symbol;
+    site.addend = p.addend;
+    site.object = p.object;
+    site.offset = p.offset;
+    ptr_sites.push_back(std::move(site));
+  }
+  pending_ptr_sites.clear();
+
+  finalized = true;
+  return Status::Ok();
+}
+
+}  // namespace krx

@@ -291,4 +291,32 @@ Status SetUpTaskStacks(KernelImage& image) {
   return image.Poke64(*current, 0);
 }
 
+Result<std::vector<std::pair<uint64_t, uint64_t>>> SchedLiveStackRanges(
+    const KernelImage& image) {
+  auto tasks = image.symbols().AddressOf("sched_tasks");
+  if (!tasks.ok()) {
+    return tasks.status();
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  // Task 0 (init) runs on the harness Cpu's own stack; when an epoch fires
+  // the init context is at a run boundary with nothing live below it, so
+  // only the suspended tasks 1..7 carry in-flight frames.
+  for (int i = 1; i < kSchedMaxTasks; ++i) {
+    const uint64_t task = *tasks + static_cast<uint64_t>(i) * kSchedTaskBytes;
+    auto state = image.Peek64(task + kTaskState);
+    KRX_RETURN_IF_ERROR(state.status());
+    if (static_cast<int64_t>(*state) != kStateReady) continue;
+    auto rsp = image.Peek64(task + kTaskRsp);
+    KRX_RETURN_IF_ERROR(rsp.status());
+    auto top = image.Peek64(task + kTaskStackTop);
+    KRX_RETURN_IF_ERROR(top.status());
+    // A READY task that has never run yet still has a synthetic switch frame
+    // below its saved %rsp; a zero saved %rsp means spawn never initialized
+    // it (not a live stack).
+    if (*top == 0 || *rsp == 0 || *rsp >= *top) continue;
+    ranges.emplace_back(*rsp, *top);
+  }
+  return ranges;
+}
+
 }  // namespace krx

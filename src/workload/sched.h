@@ -22,6 +22,8 @@
 
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/plugin/pipeline.h"
 
@@ -54,6 +56,14 @@ std::set<std::string> SchedExemptFunctions();
 // Allocates per-task kernel stacks and initializes the task table: task 0
 // becomes the caller's (init) context. Call once after CompileKernel.
 Status SetUpTaskStacks(KernelImage& image);
+
+// The live stack extents of every suspended READY task: [saved %rsp,
+// stack top) for tasks 1..7 whose saved context is valid. This is the
+// scheduler's RerandEngine stack-range provider — the words in these
+// ranges include saved in-flight (encrypted) return addresses that an
+// epoch's xkey rotation must rewrite.
+Result<std::vector<std::pair<uint64_t, uint64_t>>> SchedLiveStackRanges(
+    const KernelImage& image);
 
 }  // namespace krx
 

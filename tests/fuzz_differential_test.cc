@@ -8,6 +8,7 @@
 #include "src/base/rng.h"
 #include "src/isa/encoding.h"
 #include "src/ir/builder.h"
+#include "src/rerand/engine.h"
 #include "src/workload/corpus.h"
 #include "src/workload/harness.h"
 
@@ -316,6 +317,52 @@ TEST_P(FuzzDifferential, CachedEngineMatchesUncached) {
     RunResult healed = cached_cpu.CallFunction(fns[0], {*buf}, RunOptions{.use_block_cache = true});
     EXPECT_EQ(healed.reason, StopReason::kReturned) << col.name;
   }
+}
+
+// Third differential axis: a live re-randomization epoch between runs. The
+// cached engine's predecoded blocks were built against the pre-epoch text;
+// the epoch's generation bump must drop them, and both engines must agree
+// bit-for-bit on the re-randomized image — a stale block silently executing
+// the old layout is exactly the bug this axis exists to catch.
+TEST_P(FuzzDifferential, CachedEngineMatchesUncachedAcrossEpochs) {
+  const uint64_t seed = GetParam();
+  KernelSource src = MakeBaseSource();
+  RandomProgram gen(&src, seed ^ 0x5EED);
+  gen.set_seed_tag(seed + 200);
+  std::vector<std::string> fns = gen.EmitFunctions(4);
+
+  auto kernel =
+      CompileKernel(src, {ProtectionConfig::DiversifyOnly(RaScheme::kEncrypt, seed), LayoutKind::kKrx});
+  ASSERT_TRUE(kernel.ok());
+  KernelImage& image = *kernel->image;
+  Cpu cached_cpu(&image);
+  Cpu uncached_cpu(&image);
+  RerandEngine engine(&*kernel);
+  engine.RegisterCpu(&cached_cpu);
+  engine.RegisterCpu(&uncached_cpu);
+  auto buf = SetUpOpBuffer(image, seed);
+  ASSERT_TRUE(buf.ok());
+
+  for (int epoch = 0; epoch <= 3; ++epoch) {
+    const std::string tag = "epoch" + std::to_string(epoch) + "/";
+    for (const std::string& fn : fns) {
+      ASSERT_TRUE(FillOpBuffer(image, *buf, seed).ok());
+      RunResult u = uncached_cpu.CallFunction(fn, {*buf}, RunOptions{.use_block_cache = false});
+      const uint64_t u_sum = RegionChecksum(image, *buf);
+      ASSERT_TRUE(FillOpBuffer(image, *buf, seed).ok());
+      RunResult c = cached_cpu.CallFunction(fn, {*buf}, RunOptions{.use_block_cache = true});
+      ASSERT_EQ(c.reason, StopReason::kReturned)
+          << tag << fn << " " << ExceptionKindName(c.exception);
+      ExpectSameRunResult(c, u, tag + fn);
+      EXPECT_EQ(RegionChecksum(image, *buf), u_sum) << tag << fn;
+    }
+    if (epoch < 3) {
+      auto r = engine.RunEpoch();
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_TRUE(r->verified);
+    }
+  }
+  EXPECT_EQ(engine.epochs_completed(), 3u);
 }
 
 // Interpreter robustness under corrupted images: random bytes smashed into

@@ -1,8 +1,9 @@
 #!/bin/sh
 # CI driver: builds the default and ASan+UBSan presets, runs the tier-1
-# suite, the sanitizer subset, the fault-injection campaigns, and the perf
-# stage (block-cache equivalence tests + parallel bench smoke matrix), and
-# produces the BENCH_fault.json and BENCH_perf.json artifacts.
+# suite, the sanitizer subset, the fault-injection campaigns, the live
+# re-randomization (rerand) stage, and the perf stage (block-cache
+# equivalence tests + parallel bench smoke matrix), and produces the
+# BENCH_fault.json, BENCH_rerand.json and BENCH_perf.json artifacts.
 #
 # Usage: tools/ci.sh [--quick]
 #   --quick   skip the ASan preset (default build + tests + fault labels only)
@@ -33,6 +34,12 @@ echo "==> fault campaign artifact (build/BENCH_fault.json)"
   echo "fault campaign acceptance failed" >&2; exit 1;
 }
 
+echo "==> rerand stage: live re-randomization epoch tests"
+ctest --test-dir build -L rerand --output-on-failure -j4
+
+echo "==> rerand bench artifact (build/BENCH_rerand.json)"
+./build/bench/rerand_epoch --quick --json > build/BENCH_rerand.json
+
 echo "==> perf stage: engine-equivalence tests + bench smoke matrix"
 ctest --test-dir build -L perf --output-on-failure -j4
 ./build/bench/bench_perf --quick --json build/BENCH_perf.json || {
@@ -49,6 +56,9 @@ if [ "$QUICK" -eq 0 ]; then
 
   echo "==> fault-injection labels (asan preset)"
   ctest --test-dir build-asan -L fault --output-on-failure -j4
+
+  echo "==> rerand labels (asan preset)"
+  ctest --test-dir build-asan -L rerand --output-on-failure -j4
 fi
 
 echo "==> CI OK"

@@ -7,6 +7,10 @@
 //     config: vanilla | sfi-o0..sfi-o3 | mpx | d | x | sfi+d | sfi+x |
 //             mpx+d | mpx+x          (default: sfi+x)
 //     function: names to disassemble (default: a small showcase set)
+//   krx_objdump --rerand [config]
+//     dump the retained re-randomization metadata (RerandMap) instead:
+//     function extents and return sites, xkey slots, pointer sites — then
+//     run one live epoch and show the before/after layout.
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -15,6 +19,7 @@
 
 #include "src/attack/gadget_scanner.h"
 #include "src/isa/encoding.h"
+#include "src/rerand/engine.h"
 #include "src/verify/verifier.h"
 #include "src/workload/harness.h"
 
@@ -58,7 +63,68 @@ void Disassemble(const KernelImage& image, const Symbol& sym) {
   }
 }
 
+// --rerand: dump the RerandMap the pipeline retains for live epochs, then
+// run one epoch and show the relocated layout.
+int DumpRerand(const std::string& config_name) {
+  ProtectionConfig config;
+  LayoutKind layout;
+  if (!ParseConfigName(config_name, 0xD15A, &config, &layout)) {
+    std::fprintf(stderr, "unknown config '%s'\n", config_name.c_str());
+    return 2;
+  }
+  auto kernel = CompileKernel(MakeBenchSource(0xD15A), {config, layout});
+  if (!kernel.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", kernel.status().ToString().c_str());
+    return 1;
+  }
+  RerandEngine engine(&*kernel);
+  const RerandMap& map = engine.map();
+  std::printf("RerandMap, config=%s\n", config_name.c_str());
+  std::printf(".text base 0x%016" PRIx64 ", content %" PRIu64 " bytes, mapped %" PRIu64
+              " bytes (%.1f%% slack)\n\n",
+              map.text_base, map.text_content_size, map.text_mapped_size,
+              100.0 * static_cast<double>(map.text_mapped_size - map.text_content_size) /
+                  static_cast<double>(map.text_mapped_size));
+
+  std::vector<uint64_t> boot_offsets;
+  for (const RerandFunction& fn : map.functions) {
+    boot_offsets.push_back(fn.current_offset);
+  }
+  auto epoch = engine.RunEpoch();
+  if (!epoch.ok()) {
+    std::fprintf(stderr, "epoch failed: %s\n", epoch.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-28s %10s %10s %10s %6s %8s\n", "function", "pristine", "boot", "epoch1",
+              "size", "retsites");
+  for (size_t i = 0; i < map.functions.size(); ++i) {
+    const RerandFunction& fn = map.functions[i];
+    std::printf("%-28s 0x%08" PRIx64 " 0x%08" PRIx64 " 0x%08" PRIx64 " %6" PRIu64 " %8zu\n",
+                fn.name.c_str(), fn.pristine_offset, boot_offsets[i], fn.current_offset,
+                fn.size, fn.return_sites.size());
+  }
+  std::printf("\nxkey slots: %zu\n", map.xkey_slots.size());
+  for (const RerandXkeySlot& slot : map.xkey_slots) {
+    std::printf("  0x%016" PRIx64 "  xkey$%s\n", slot.vaddr, slot.fn_name.c_str());
+  }
+  std::printf("\npointer sites (retained PtrInit relocations in data objects): %zu\n",
+              map.ptr_sites.size());
+  for (const RerandPtrSite& site : map.ptr_sites) {
+    std::printf("  0x%016" PRIx64 "  %s+%" PRIu64 " -> sym#%d+%" PRId64 "\n", site.vaddr,
+                site.object.c_str(), site.offset, site.symbol, site.addend);
+  }
+  std::printf("\nepoch 1: %" PRIu64 " functions moved, front gap %" PRIu64 " bytes, %" PRIu64
+              " keys rotated, %" PRIu64 " ptr sites patched, stw %.2f ms, verified=%s\n",
+              epoch->functions_moved, epoch->front_gap, epoch->keys_rotated,
+              epoch->ptr_sites_patched, epoch->stw_ms, epoch->verified ? "yes" : "no");
+  return 0;
+}
+
 int Main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--rerand") == 0) {
+    return DumpRerand(argc > 2 ? argv[2] : "sfi+x");
+  }
   std::string config_name = argc > 1 ? argv[1] : "sfi+x";
   ProtectionConfig config;
   LayoutKind layout;
