@@ -1,0 +1,57 @@
+// Shared pieces of the BENCH_*.json artifacts.
+//
+// Every artifact opens with the same "meta" block so downstream tooling can
+// key on {bench, seed, config, layout, timestamp} without per-bench parsers,
+// and carries a "metrics" section snapshotted from the process-wide
+// MetricsRegistry. Timestamps are real wall clock (artifacts are run
+// records, not golden files); the deterministic subset of the registry is
+// what tests/telemetry_test.cc pins down instead.
+#ifndef KRX_BENCH_BENCH_JSON_H_
+#define KRX_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
+#include <string>
+
+#include "src/telemetry/metrics.h"
+
+namespace krx {
+namespace bench_json {
+
+// UTC wall clock at call time, ISO 8601: "2026-08-06T12:34:56Z".
+inline std::string TimestampUtc() {
+  std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+// The common metadata object, as one line:
+//   {"bench": "...", "seed": "0x...", "config": "...", "layout": "...",
+//    "timestamp": "..."}
+// `config` names the protection matrix the bench ran ("vanilla..sfi-o3",
+// "full", ...); `layout` the text layout ("krx", "vanilla", "mixed").
+inline std::string MetaBlock(const std::string& bench, uint64_t seed,
+                             const std::string& config, const std::string& layout) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "{\"bench\": \"%s\", \"seed\": \"0x%llx\", \"config\": \"%s\", "
+                "\"layout\": \"%s\", \"timestamp\": \"%s\"}",
+                bench.c_str(), static_cast<unsigned long long>(seed), config.c_str(),
+                layout.c_str(), TimestampUtc().c_str());
+  return buf;
+}
+
+// The registry snapshot for the artifact's "metrics" key. Every line is
+// prefixed with `indent` so the object nests cleanly.
+inline std::string MetricsBlock(const std::string& indent = "  ") {
+  return telemetry::MetricsRegistry::Global().SnapshotJson(/*include_timing=*/true, indent);
+}
+
+}  // namespace bench_json
+}  // namespace krx
+
+#endif  // KRX_BENCH_BENCH_JSON_H_

@@ -17,6 +17,7 @@
 #include <cstring>
 #include <inttypes.h>
 
+#include "bench/bench_json.h"
 #include "src/fault/campaign.h"
 
 namespace krx {
@@ -57,7 +58,14 @@ int Run(int argc, char** argv) {
 
   if (json) {
     std::string campaign_json = report->ToJson();
-    // Splice the survival block into the campaign object.
+    // Prepend the shared metadata header, then splice the survival and
+    // metrics blocks into the campaign object.
+    const size_t opening = campaign_json.find('{');
+    campaign_json.insert(opening + 1,
+                         "\n  \"meta\": " +
+                             bench_json::MetaBlock("fault_campaign", options.seed,
+                                                   "sfi-o3+mpx+x", "krx") +
+                             ",");
     const size_t closing = campaign_json.rfind('}');
     std::string out = campaign_json.substr(0, closing);
     char buf[512];
@@ -65,12 +73,13 @@ int Run(int argc, char** argv) {
                   ",\n  \"kill_task\": {\"survived\": %s, \"killed_task\": %" PRIu64
                   ", \"oopses\": %zu, \"worker_a_runs\": %" PRIu64
                   ", \"worker_b_runs\": %" PRIu64 ", \"worker_c_runs\": %" PRIu64
-                  ", \"counter\": %" PRIu64 "}\n}\n",
+                  ", \"counter\": %" PRIu64 "}",
                   workers_ok ? "true" : "false",
                   survival->killed_tasks.empty() ? 0 : survival->killed_tasks[0],
                   survival->oops_count, survival->worker_a_runs, survival->worker_b_runs,
                   survival->worker_c_runs, survival->counter);
     out += buf;
+    out += ",\n  \"metrics\": " + bench_json::MetricsBlock() + "\n}\n";
     std::fputs(out.c_str(), stdout);
   } else {
     std::fputs(report->ToString().c_str(), stdout);

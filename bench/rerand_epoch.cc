@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "src/cpu/cpu.h"
 #include "src/rerand/engine.h"
 #include "src/workload/corpus.h"
@@ -155,7 +156,8 @@ int Run(int argc, char** argv) {
   }
 
   if (json) {
-    std::printf("{\n  \"bench\": \"rerand_epoch\",\n");
+    std::printf("{\n  \"meta\": %s,\n",
+                bench_json::MetaBlock("rerand_epoch", seed, "full+encrypt", "krx").c_str());
     std::printf("  \"stw_ms\": {\"min\": %.3f, \"mean\": %.3f, \"max\": %.3f, \"epochs\": %llu},\n",
                 stw.min_ms, stw.mean_ms, stw.max_ms, static_cast<unsigned long long>(stw.epochs));
     std::printf("  \"per_epoch\": {\"functions_moved\": %llu, \"keys_rotated\": %llu, "
@@ -171,7 +173,7 @@ int Run(int argc, char** argv) {
                   p.period_ms, p.ops_per_sec, p.overhead_pct,
                   static_cast<unsigned long long>(p.epochs), i + 1 < steady.size() ? "," : "");
     }
-    std::printf("  ]\n}\n");
+    std::printf("  ],\n  \"metrics\": %s\n}\n", bench_json::MetricsBlock().c_str());
     return 0;
   }
 

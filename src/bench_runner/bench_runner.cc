@@ -4,6 +4,8 @@
 
 #include "src/base/rng.h"
 #include "src/bench_runner/thread_pool.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
 #include "src/workload/corpus.h"
 #include "src/workload/harness.h"
 #include "src/workload/ipc.h"
@@ -61,6 +63,7 @@ const char* WorkloadKindName(WorkloadKind kind) {
 }
 
 TaskResult BenchRunner::RunOne(const BenchTask& task) const {
+  KRX_TRACE_SPAN_SCOPED(("task:" + task.name).c_str());
   TaskResult result;
   result.name = task.name;
   result.config_name = task.config_name;
@@ -185,6 +188,12 @@ TaskResult BenchRunner::RunOne(const BenchTask& task) const {
   result.replayed_insts = cs.replayed_insts;
   result.decoded_insts = cs.decoded_insts;
   result.ok = ok && result.error.empty();
+  KRX_COUNTER_ADD("bench.tasks", 1);
+  if (!result.ok) {
+    KRX_COUNTER_ADD("bench.task_failures", 1);
+  }
+  KRX_COUNTER_ADD("bench.calls", result.calls);
+  KRX_COUNTER_ADD("bench.guest_instructions", result.instructions);
   return result;
 }
 
@@ -194,6 +203,7 @@ std::vector<TaskResult> BenchRunner::Run(const std::vector<BenchTask>& tasks) {
   for (size_t i = 0; i < tasks.size(); ++i) {
     pool.Submit([this, &tasks, &results, i] { results[i] = RunOne(tasks[i]); });
   }
+  KRX_COUNTER_ADD("bench.batches", 1);
   pool.Wait();
   return results;
 }

@@ -1,6 +1,9 @@
 #include "src/bench_runner/kernel_cache.h"
 
+#include <chrono>
 #include <sstream>
+
+#include "src/telemetry/metrics.h"
 
 namespace krx {
 
@@ -30,9 +33,17 @@ Result<std::shared_ptr<CompiledKernel>> KernelCache::Get(const BuildOptions& opt
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
+      KRX_COUNTER_ADD("kernel_cache.hits", 1);
       future = it->second;
+      // A not-yet-ready future means the keyed build is still running: this
+      // request was deduplicated into it rather than served from cache.
+      if (future.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+        ++stats_.inflight_dedup;
+        KRX_COUNTER_ADD("kernel_cache.inflight_dedup", 1);
+      }
     } else {
       ++stats_.compiles;
+      KRX_COUNTER_ADD("kernel_cache.misses", 1);
       future = promise.get_future().share();
       entries_.emplace(key, future);
       builder = true;
@@ -61,6 +72,7 @@ Result<std::shared_ptr<CompiledKernel>> KernelCache::GetExclusive(const BuildOpt
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.exclusive_compiles;
+    KRX_COUNTER_ADD("kernel_cache.exclusive_compiles", 1);
   }
   auto compiled = CompileKernel(factory_(), options);
   if (!compiled.ok()) {

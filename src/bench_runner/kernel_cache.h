@@ -50,6 +50,9 @@ class KernelCache {
     uint64_t hits = 0;              // served an already-requested key
     uint64_t compiles = 0;          // distinct shared builds
     uint64_t exclusive_compiles = 0;
+    // Hits that arrived while the keyed build was still compiling — the
+    // requests the shared_future deduplicated into one pipeline run.
+    uint64_t inflight_dedup = 0;
   };
   Stats stats() const;
 

@@ -1,6 +1,9 @@
 #include "src/bench_runner/thread_pool.h"
 
 #include <algorithm>
+#include <string>
+
+#include "src/telemetry/telemetry.h"
 
 namespace krx {
 
@@ -8,7 +11,18 @@ ThreadPool::ThreadPool(int threads) {
   const int n = std::max(threads, 1);
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+#if !defined(KRX_TELEMETRY_DISABLED)
+      // Only materialize (and label) this thread's trace ring when tracing
+      // is actually on — naming allocates the ring.
+      if (telemetry::TraceEnabled()) {
+        telemetry::SetThreadName("worker-" + std::to_string(i));
+      }
+#else
+      (void)i;
+#endif
+      WorkerLoop();
+    });
   }
 }
 

@@ -1,5 +1,7 @@
 #include "src/cpu/block_cache.h"
 
+#include "src/telemetry/telemetry.h"
+
 namespace krx {
 
 bool EndsBlock(Opcode op) {
@@ -26,6 +28,7 @@ const DecodedBlock* BlockCache::Lookup(uint64_t rip, uint64_t generation) {
     if (!blocks_.empty()) {
       blocks_.clear();
       ++stats_.flushes;
+      KRX_TRACE_EVENT(kBlockCacheFlush, "block_cache_flush", generation, 0);
     }
     generation_ = generation;
   }
@@ -49,6 +52,7 @@ void BlockCache::Flush() {
   if (!blocks_.empty()) {
     blocks_.clear();
     ++stats_.flushes;
+    KRX_TRACE_EVENT(kBlockCacheFlush, "block_cache_flush", 0, 0);
   }
 }
 

@@ -3,6 +3,8 @@
 #include "src/isa/encoding.h"
 #include "src/kernel/baseline_defenses.h"
 #include "src/rerand/quiesce.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
 
 namespace krx {
 
@@ -650,6 +652,9 @@ bool Cpu::ExecuteInst(const Instruction& in, uint8_t inst_size) {
     return false;
   }
   rip_ = next;
+  if (sample_pc_slot_ != nullptr) {
+    sample_pc_slot_->store(next, std::memory_order_relaxed);
+  }
   if (step_observer_) {
     step_observer_(*this);
   }
@@ -747,6 +752,63 @@ RunResult Cpu::RunCached() {
 }
 
 RunResult Cpu::Run(const RunOptions& options, bool entered_via_call) {
+  KRX_TRACE_SPAN_SCOPED("cpu.run");
+  RunResult result = RunInner(options, entered_via_call);
+  if (sample_pc_slot_ != nullptr) {
+    // Idle marker: between runs the profiler must not re-attribute the last
+    // guest %rip of a finished run.
+    sample_pc_slot_->store(0, std::memory_order_relaxed);
+  }
+  PublishRunTelemetry(result);
+  return result;
+}
+
+void Cpu::PublishRunTelemetry(const RunResult& result) {
+#if defined(KRX_TELEMETRY_DISABLED)
+  (void)result;
+#else
+  if (telemetry::MetricsEnabled()) {
+    KRX_COUNTER_ADD("cpu.runs", 1);
+    KRX_COUNTER_ADD("cpu.instructions", result.instructions);
+    KRX_COUNTER_ADD("cpu.checks.bndcu", result.mix.bndcu);
+    if (result.reason == StopReason::kException) {
+      telemetry::MetricsRegistry::Global()
+          .GetCounter(std::string("cpu.trap.") + ExceptionKindName(result.exception))
+          .Increment();
+    }
+    if (result.krx_violation) {
+      KRX_COUNTER_ADD("cpu.krx_violations", 1);
+    }
+    if (result.xnr_violation) {
+      KRX_COUNTER_ADD("cpu.xnr_violations", 1);
+    }
+    const BlockCacheStats& s = cache_.stats();
+    KRX_COUNTER_ADD("cpu.block_cache.hits", s.hits - published_cache_stats_.hits);
+    KRX_COUNTER_ADD("cpu.block_cache.misses", s.misses - published_cache_stats_.misses);
+    KRX_COUNTER_ADD("cpu.block_cache.flushes", s.flushes - published_cache_stats_.flushes);
+    KRX_COUNTER_ADD("cpu.block_cache.decoded_insts",
+                    s.decoded_insts - published_cache_stats_.decoded_insts);
+    KRX_COUNTER_ADD("cpu.block_cache.replayed_insts",
+                    s.replayed_insts - published_cache_stats_.replayed_insts);
+    published_cache_stats_ = s;
+  }
+  if (telemetry::TraceEnabled()) {
+    if (result.reason == StopReason::kException) {
+      telemetry::EmitEvent(telemetry::TraceEventType::kCpuTrap,
+                           ExceptionKindName(result.exception),
+                           static_cast<uint64_t>(result.exception), result.fault_addr);
+    }
+    if (result.krx_violation) {
+      telemetry::EmitEvent(telemetry::TraceEventType::kKrxViolation, "krx_violation",
+                           result.fault_addr, 0);
+    }
+    telemetry::EmitEvent(telemetry::TraceEventType::kCheckOutcome, "run_checks",
+                         result.mix.bndcu, result.mix.loads);
+  }
+#endif
+}
+
+RunResult Cpu::RunInner(const RunOptions& options, bool entered_via_call) {
   pending_ = RunResult();
   stopped_ = false;
   max_steps_ = options.max_steps;

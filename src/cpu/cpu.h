@@ -21,6 +21,7 @@
 #ifndef KRX_SRC_CPU_CPU_H_
 #define KRX_SRC_CPU_CPU_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -208,11 +209,21 @@ class Cpu {
   // re-randomization engine calls this after an epoch moves the handler.
   void RefreshKrxHandlerRange();
 
+  // Sampling-profiler hook (src/telemetry/profiler.h): while a slot is
+  // installed the Cpu publishes its %rip with one relaxed store per retired
+  // instruction; the slot is zeroed at the end of each run (idle marker).
+  // The default (null) costs only this pointer test per instruction —
+  // telemetry's sole per-instruction hook, see DESIGN.md §11.
+  void set_sample_pc_slot(std::atomic<uint64_t>* slot) { sample_pc_slot_ = slot; }
+
  private:
   RunResult CallFunctionImpl(uint64_t entry, const std::vector<uint64_t>& args,
                              const RunOptions& options);
   RunResult Run(const RunOptions& options, bool entered_via_call);
+  RunResult RunInner(const RunOptions& options, bool entered_via_call);
   RunResult RunCached();
+  // Run-end metrics/events: run + trap counters, block-cache stat deltas.
+  void PublishRunTelemetry(const RunResult& result);
   // Executes one instruction the canonical way (fetch + decode + execute);
   // returns false if execution must stop (fills pending_).
   bool Step();
@@ -254,7 +265,11 @@ class Cpu {
   uint64_t krx_handler_hi_ = 0;
   std::function<void(const Cpu&)> step_observer_;
   QuiesceGate* quiesce_gate_ = nullptr;
+  std::atomic<uint64_t>* sample_pc_slot_ = nullptr;
   BlockCache cache_;
+  // Block-cache stats already published to the metrics registry; the
+  // per-run delta is what gets added (stats are cumulative per Cpu).
+  BlockCacheStats published_cache_stats_;
 };
 
 }  // namespace krx

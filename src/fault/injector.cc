@@ -5,6 +5,8 @@
 
 #include "src/ir/builder.h"
 #include "src/kernel/assembler.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
 #include "src/workload/corpus.h"
 #include "src/workload/ops.h"
 
@@ -146,6 +148,32 @@ Result<const GoldenRun*> FaultInjector::Golden(const std::string& op_symbol) {
 
 Result<InjectionOutcome> FaultInjector::Inject(FaultClass cls, const std::string& op_symbol,
                                                Rng& rng) {
+  Result<InjectionOutcome> outcome = InjectDispatch(cls, op_symbol, rng);
+#if !defined(KRX_TELEMETRY_DISABLED)
+  if (telemetry::MetricsEnabled()) {
+    telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::Global();
+    reg.GetCounter("fault.injections").Increment();
+    reg.GetCounter(std::string("fault.class.") + FaultClassName(cls)).Increment();
+    if (outcome.ok()) {
+      reg.GetCounter(std::string("fault.detection.") + DetectionName(outcome->detection))
+          .Increment();
+      if (!outcome->correct) {
+        reg.GetCounter("fault.contract_misses").Increment();
+      }
+    } else {
+      reg.GetCounter("fault.inject_errors").Increment();
+    }
+  }
+  if (outcome.ok()) {
+    telemetry::EmitEvent(telemetry::TraceEventType::kFaultInject, FaultClassName(cls),
+                         static_cast<uint64_t>(cls), outcome->trigger_step);
+  }
+#endif
+  return outcome;
+}
+
+Result<InjectionOutcome> FaultInjector::InjectDispatch(FaultClass cls,
+                                                       const std::string& op_symbol, Rng& rng) {
   if (!setup_error_.ok()) {
     return setup_error_;
   }

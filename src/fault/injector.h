@@ -119,6 +119,9 @@ class FaultInjector {
   // starts from identical machine state.
   Status ResetForRun();
 
+  // The per-class dispatch behind Inject (which wraps it with telemetry).
+  Result<InjectionOutcome> InjectDispatch(FaultClass cls, const std::string& op_symbol,
+                                          Rng& rng);
   Result<InjectionOutcome> InjectDataBitFlip(const std::string& op, Rng& rng);
   Result<InjectionOutcome> InjectXkeyBitFlip(const std::string& op, Rng& rng);
   Result<InjectionOutcome> InjectPtePresentClear(const std::string& op, Rng& rng);

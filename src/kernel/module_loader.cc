@@ -2,6 +2,8 @@
 
 #include "src/base/math_util.h"
 #include "src/kernel/assembler.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
 
 namespace krx {
 
@@ -68,6 +70,7 @@ struct LoadTransaction {
 Result<int32_t> ModuleLoader::Load(const ModuleObject& module) {
   SymbolTable& symbols = image_->symbols();
 
+  KRX_TRACE_SPAN_SCOPED("module.load");
   LoadTransaction txn;
   txn.image = image_;
   txn.saved_cursors = image_->module_cursors();
@@ -76,6 +79,7 @@ Result<int32_t> ModuleLoader::Load(const ModuleObject& module) {
 
   auto fail = [&](Status status) -> Status {
     txn.Rollback();
+    KRX_COUNTER_ADD("module.load_failures", 1);
     return status;
   };
   auto failpoint = [&](ModuleLoadStep step) -> Status {
@@ -229,7 +233,11 @@ Result<int32_t> ModuleLoader::Load(const ModuleObject& module) {
   lm.symbols = std::move(txn.defined_symbols);
   lm.loaded = true;
   modules_.push_back(std::move(lm));
-  return static_cast<int32_t>(modules_.size() - 1);
+  const int32_t handle = static_cast<int32_t>(modules_.size() - 1);
+  KRX_COUNTER_ADD("module.loads", 1);
+  KRX_TRACE_EVENT(kModuleLoad, module.name, static_cast<uint64_t>(handle),
+                  modules_.back().text_size);
+  return handle;
 }
 
 Status ModuleLoader::Unload(int32_t handle) {
@@ -278,6 +286,8 @@ Status ModuleLoader::Unload(int32_t handle) {
   lm.text_relocs.clear();
   lm.data_relocs.clear();
   lm.loaded = false;
+  KRX_COUNTER_ADD("module.unloads", 1);
+  KRX_TRACE_EVENT(kModuleUnload, lm.name, static_cast<uint64_t>(handle), 0);
   return Status::Ok();
 }
 

@@ -7,10 +7,78 @@
 #include "src/base/math_util.h"
 #include "src/kernel/assembler.h"
 #include "src/kernel/layout.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
 #include "src/verify/verifier.h"
 
 namespace krx {
 namespace {
+
+// Times one named compile phase: a kCompilePhase trace event plus a
+// per-phase wall-time histogram ("compile.phase_us.<name>", timing-tagged
+// so deterministic snapshots omit it). Clock reads only when telemetry is
+// live.
+class CompilePhaseScope {
+ public:
+  explicit CompilePhaseScope(const char* name) : name_(name) {
+#if !defined(KRX_TELEMETRY_DISABLED)
+    if (telemetry::Mode() != 0) {
+      t0_ = telemetry::TraceNowUs();
+      live_ = true;
+    }
+#endif
+  }
+  ~CompilePhaseScope() {
+#if !defined(KRX_TELEMETRY_DISABLED)
+    if (!live_) {
+      return;
+    }
+    const uint64_t us = telemetry::TraceNowUs() - t0_;
+    telemetry::EmitEvent(telemetry::TraceEventType::kCompilePhase, name_, us, 0);
+    if (telemetry::MetricsEnabled()) {
+      telemetry::MetricsRegistry::Global()
+          .GetHistogram(std::string("compile.phase_us.") + name_,
+                        telemetry::LatencyBucketsUs(), /*timing=*/true)
+          .Observe(us);
+    }
+#endif
+  }
+  CompilePhaseScope(const CompilePhaseScope&) = delete;
+  CompilePhaseScope& operator=(const CompilePhaseScope&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t t0_ = 0;
+  bool live_ = false;
+};
+
+// Check counts and elision rates of a finished build, published through the
+// registry (krx_objdump --stats and every bench JSON read them from here).
+void PublishCompileMetrics(const PipelineStats& s) {
+#if defined(KRX_TELEMETRY_DISABLED)
+  (void)s;
+#else
+  if (!telemetry::MetricsEnabled()) {
+    return;
+  }
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::Global();
+  reg.GetCounter("compile.builds").Increment();
+  reg.GetCounter("compile.verify_retries").Add(s.verify_retries);
+  reg.GetCounter("compile.functions").Add(s.functions);
+  reg.GetCounter("compile.instrumented_functions").Add(s.instrumented_functions);
+  reg.GetCounter("compile.xkeys").Add(s.xkeys);
+  reg.GetCounter("compile.sfi.read_sites").Add(s.sfi.read_sites);
+  reg.GetCounter("compile.sfi.safe_reads").Add(s.sfi.safe_reads);
+  reg.GetCounter("compile.sfi.rsp_reads").Add(s.sfi.rsp_reads);
+  reg.GetCounter("compile.sfi.string_checks").Add(s.sfi.string_checks);
+  reg.GetCounter("compile.sfi.checks_emitted").Add(s.sfi.checks_emitted);
+  reg.GetCounter("compile.sfi.checks_coalesced").Add(s.sfi.checks_coalesced);
+  reg.GetCounter("compile.sfi.wrappers_kept").Add(s.sfi.wrappers_kept);
+  reg.GetCounter("compile.sfi.wrappers_eliminated").Add(s.sfi.wrappers_eliminated);
+  reg.GetCounter("compile.sfi.lea_kept").Add(s.sfi.lea_kept);
+  reg.GetCounter("compile.sfi.lea_eliminated").Add(s.sfi.lea_eliminated);
+#endif
+}
 
 // -1: consult the environment on first use; 0/1: explicit override.
 int g_post_link_verify = -1;
@@ -161,35 +229,45 @@ Result<CompiledKernel> CompileKernelAttempt(KernelSource source, const Protectio
   out.config = config;
   out.layout = layout;
 
-  // Ensure a violation handler exists.
-  bool has_handler = false;
-  for (const Function& fn : source.functions) {
-    if (fn.name() == kKrxHandlerName) {
-      has_handler = true;
+  KRX_TRACE_SPAN_SCOPED("compile");
+
+  uint64_t guard = 0;
+  XkeyLayout xkeys;
+  {
+    CompilePhaseScope phase("protect");
+
+    // Ensure a violation handler exists.
+    bool has_handler = false;
+    for (const Function& fn : source.functions) {
+      if (fn.name() == kKrxHandlerName) {
+        has_handler = true;
+      }
+    }
+    if (!has_handler) {
+      EnsureHandlerData(source);
+      source.functions.push_back(MakeDefaultKrxHandler(source.symbols));
+    }
+
+    guard = GuardSizeFor(source.functions);
+    out.stats.phantom_guard_size = guard;
+
+    KRX_RETURN_IF_ERROR(ApplyProtection(source.functions, source.symbols, config,
+                                        ComputeEdata(guard), &xkeys, &out.stats, rng));
+
+    // Function permutation (section-level fine-grained KASLR).
+    if (config.diversify) {
+      rng.Shuffle(source.functions);
     }
   }
-  if (!has_handler) {
-    EnsureHandlerData(source);
-    source.functions.push_back(MakeDefaultKrxHandler(source.symbols));
-  }
-
-  const uint64_t guard = GuardSizeFor(source.functions);
-  out.stats.phantom_guard_size = guard;
   const int64_t edata = ComputeEdata(guard);
-
-  XkeyLayout xkeys;
-  KRX_RETURN_IF_ERROR(ApplyProtection(source.functions, source.symbols, config, edata, &xkeys,
-                                      &out.stats, rng));
-
-  // Function permutation (section-level fine-grained KASLR).
-  if (config.diversify) {
-    rng.Shuffle(source.functions);
-  }
 
   Assembler assembler;
   KernelLinkInput link;
-  for (const Function& fn : source.functions) {
-    KRX_RETURN_IF_ERROR(assembler.Assemble(fn, &link.text));
+  {
+    CompilePhaseScope phase("assemble");
+    for (const Function& fn : source.functions) {
+      KRX_RETURN_IF_ERROR(assembler.Assemble(fn, &link.text));
+    }
   }
   link.xkeys.assign(xkeys.size_bytes, 0);
   link.xkey_symbols = xkeys.symbol_offsets;
@@ -213,7 +291,10 @@ Result<CompiledKernel> CompileKernelAttempt(KernelSource source, const Protectio
     }
   }
 
-  auto image = LinkKernel(layout, std::move(link), std::move(source.symbols));
+  auto image = [&] {
+    CompilePhaseScope phase("link");
+    return LinkKernel(layout, std::move(link), std::move(source.symbols));
+  }();
   if (!image.ok()) {
     return image.status();
   }
@@ -223,10 +304,12 @@ Result<CompiledKernel> CompileKernelAttempt(KernelSource source, const Protectio
     KRX_CHECK(out.image->krx_edata() == static_cast<uint64_t>(edata));
   }
 
-  Rng key_rng = rng.Fork();
-  KRX_RETURN_IF_ERROR(out.image->ReplenishXkeys(key_rng));
-
-  KRX_RETURN_IF_ERROR(out.rerand->Finalize(*out.image));
+  {
+    CompilePhaseScope phase("finalize");
+    Rng key_rng = rng.Fork();
+    KRX_RETURN_IF_ERROR(out.image->ReplenishXkeys(key_rng));
+    KRX_RETURN_IF_ERROR(out.rerand->Finalize(*out.image));
+  }
 
   if (g_post_link_mutator) {
     g_post_link_mutator(*out.image, attempt);
@@ -236,6 +319,7 @@ Result<CompiledKernel> CompileKernelAttempt(KernelSource source, const Protectio
   // re-proves from the assembled bytes what the passes claim by
   // construction (SFI-verifier discipline — see src/verify/).
   if (verify) {
+    CompilePhaseScope phase("verify");
     VerifyOptions vopts = VerifyOptions::ForConfig(config);
     if (vopts.AnyChecks()) {
       VerifyReport report = VerifyImage(*out.image, vopts);
@@ -262,6 +346,7 @@ Result<CompiledKernel> CompileKernel(KernelSource source, const BuildOptions& op
     auto built = CompileKernelAttempt(source, attempt_config, options.layout, verify, attempt);
     if (built.ok()) {
       built->stats.verify_retries = static_cast<uint64_t>(attempt);
+      PublishCompileMetrics(built->stats);
       return built;
     }
     const std::string message = built.status().message();

@@ -6,6 +6,8 @@
 
 #include "src/cpu/cpu.h"
 #include "src/kernel/assembler.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
 #include "src/verify/verifier.h"
 
 namespace krx {
@@ -414,13 +416,22 @@ void RerandEngine::Rollback(const Journal& journal,
 
 Result<EpochReport> RerandEngine::RunEpoch(RerandTrigger trigger) {
   std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
+  KRX_TRACE_SPAN_SCOPED("rerand.epoch");
   EpochReport report;
   report.trigger = trigger;
   Status st = DoEpoch(trigger, &report);
   if (!st.ok()) {
     epoch_failures_.fetch_add(1, std::memory_order_acq_rel);
+    KRX_COUNTER_ADD("rerand.epoch_failures", 1);
     return st;
   }
+  KRX_COUNTER_ADD("rerand.epochs", 1);
+  KRX_COUNTER_ADD("rerand.functions_moved", report.functions_moved);
+  KRX_COUNTER_ADD("rerand.keys_rotated", report.keys_rotated);
+  KRX_COUNTER_ADD("rerand.stack_words_rewritten", report.stack_words_rewritten);
+  KRX_HISTO_US("rerand.stw_us", static_cast<uint64_t>(report.stw_ms * 1000.0));
+  KRX_HISTO_US("rerand.quiesce_wait_us",
+               static_cast<uint64_t>(report.quiesce_wait_ms * 1000.0));
   last_report_ = report;
   return report;
 }
@@ -435,6 +446,26 @@ Status RerandEngine::DoEpoch(RerandTrigger trigger, EpochReport* report) {
   const auto t_quiesced = std::chrono::steady_clock::now();
   report->quiesce_wait_ms =
       std::chrono::duration<double, std::milli>(t_quiesced - t_request).count();
+
+  // Per-step trace marks: one kRerandStep event per completed pipeline
+  // step, carrying the step's wall time. Clock reads happen only with
+  // tracing enabled.
+  auto t_step = t_quiesced;
+  (void)t_step;
+  auto mark_step = [&](RerandStep step) {
+    (void)step;
+#if !defined(KRX_TELEMETRY_DISABLED)
+    if (telemetry::TraceEnabled()) {
+      const auto now = std::chrono::steady_clock::now();
+      const uint64_t us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(now - t_step).count());
+      t_step = now;
+      telemetry::EmitEvent(telemetry::TraceEventType::kRerandStep, RerandStepName(step),
+                           static_cast<uint64_t>(step), us);
+    }
+#endif
+  };
+  mark_step(RerandStep::kQuiesce);
 
   // Snapshots for rollback and for old->new address mapping.
   SymbolTable& syms = image.symbols();
@@ -462,6 +493,7 @@ Status RerandEngine::DoEpoch(RerandTrigger trigger, EpochReport* report) {
     st = DrawLayout(&layout);
     if (!st.ok()) return fail(st);
   }
+  mark_step(RerandStep::kRelayout);
 
   st = CheckFailpoint(RerandStep::kPatchText);
   if (!st.ok()) return fail(st);
@@ -471,27 +503,32 @@ Status RerandEngine::DoEpoch(RerandTrigger trigger, EpochReport* report) {
     report->functions_moved = layout.moved;
     report->front_gap = layout.front_gap;
   }
+  mark_step(RerandStep::kPatchText);
 
   st = CheckFailpoint(RerandStep::kRotateKeys);
   if (!st.ok()) return fail(st);
   std::vector<uint64_t> old_keys, new_keys;
   st = RotateKeys(&old_keys, &new_keys, &journal, report);
   if (!st.ok()) return fail(st);
+  mark_step(RerandStep::kRotateKeys);
 
   st = CheckFailpoint(RerandStep::kRewriteStacks);
   if (!st.ok()) return fail(st);
   st = RewriteStacks(old_offsets, old_keys, new_keys, &journal, report);
   if (!st.ok()) return fail(st);
+  mark_step(RerandStep::kRewriteStacks);
 
   st = CheckFailpoint(RerandStep::kPatchPointers);
   if (!st.ok()) return fail(st);
   st = PatchPointers(old_symbol_addrs, &journal, report);
   if (!st.ok()) return fail(st);
+  mark_step(RerandStep::kPatchPointers);
 
   st = CheckFailpoint(RerandStep::kPatchModules);
   if (!st.ok()) return fail(st);
   st = PatchModules(old_symbol_addrs, &journal, report);
   if (!st.ok()) return fail(st);
+  mark_step(RerandStep::kPatchModules);
 
   st = CheckFailpoint(RerandStep::kVerify);
   if (!st.ok()) return fail(st);
@@ -505,6 +542,7 @@ Status RerandEngine::DoEpoch(RerandTrigger trigger, EpochReport* report) {
       report->verified = true;
     }
   }
+  mark_step(RerandStep::kVerify);
 
   // Commit: every block cache must re-decode under the new layout, and each
   // registered Cpu re-resolves the (moved) krx_handler extent it caches.

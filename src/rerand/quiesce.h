@@ -24,6 +24,9 @@
 #include <cstdint>
 #include <mutex>
 
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
+
 namespace krx {
 
 class QuiesceGate {
@@ -32,7 +35,13 @@ class QuiesceGate {
   // (writer priority).
   void BeginRun() {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return !exclusive_ && writers_waiting_ == 0; });
+    // The wait is timed only when this run actually blocks (an epoch is in
+    // flight or queued): the uncontended fast path stays clock-free.
+    if (exclusive_ || writers_waiting_ != 0) {
+      const uint64_t t0 = WaitClockUs();
+      cv_.wait(lock, [this] { return !exclusive_ && writers_waiting_ == 0; });
+      RecordWait(/*writer=*/false, WaitClockUs() - t0);
+    }
     ++active_runs_;
   }
   void EndRun() {
@@ -46,7 +55,11 @@ class QuiesceGate {
   void BeginExclusive() {
     std::unique_lock<std::mutex> lock(mu_);
     ++writers_waiting_;
-    cv_.wait(lock, [this] { return !exclusive_ && active_runs_ == 0; });
+    if (exclusive_ || active_runs_ != 0) {
+      const uint64_t t0 = WaitClockUs();
+      cv_.wait(lock, [this] { return !exclusive_ && active_runs_ == 0; });
+      RecordWait(/*writer=*/true, WaitClockUs() - t0);
+    }
     --writers_waiting_;
     exclusive_ = true;
   }
@@ -63,6 +76,27 @@ class QuiesceGate {
   }
 
  private:
+  static uint64_t WaitClockUs() {
+#if defined(KRX_TELEMETRY_DISABLED)
+    return 0;
+#else
+    return telemetry::Mode() == 0 ? 0 : telemetry::TraceNowUs();
+#endif
+  }
+  static void RecordWait(bool writer, uint64_t waited_us) {
+    (void)writer;
+    (void)waited_us;
+    if (writer) {
+      KRX_COUNTER_ADD("quiesce.writer_waits", 1);
+      KRX_HISTO_US("quiesce.writer_wait_us", waited_us);
+    } else {
+      KRX_COUNTER_ADD("quiesce.reader_waits", 1);
+      KRX_HISTO_US("quiesce.reader_wait_us", waited_us);
+    }
+    KRX_TRACE_EVENT(kQuiesceWait, writer ? "quiesce_wait_writer" : "quiesce_wait_reader",
+                    waited_us, writer ? 1 : 0);
+  }
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   uint64_t active_runs_ = 0;

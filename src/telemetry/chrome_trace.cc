@@ -1,0 +1,113 @@
+#include "src/telemetry/chrome_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "src/telemetry/telemetry.h"
+
+namespace krx {
+namespace telemetry {
+namespace {
+
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendEvent(std::string* out, bool* first, const char* ph, uint64_t ts_us, uint32_t tid,
+                 const char* name, const std::string& args) {
+  out->append(*first ? "\n" : ",\n");
+  *first = false;
+  char head[96];
+  std::snprintf(head, sizeof head, "    {\"ph\": \"%s\", \"pid\": 1, \"tid\": %u, \"ts\": %llu",
+                ph, tid, static_cast<unsigned long long>(ts_us));
+  out->append(head);
+  out->append(", \"name\": \"");
+  AppendEscaped(out, name);
+  out->push_back('"');
+  if (ph[0] == 'i') {
+    out->append(", \"s\": \"t\"");
+  }
+  if (!args.empty()) {
+    out->append(", \"args\": ");
+    out->append(args);
+  }
+  out->append("}");
+}
+
+std::string InstantArgs(const TraceRecord& r) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "{\"type\": \"%s\", \"arg0\": %llu, \"arg1\": %llu}", TraceEventTypeName(r.type),
+                static_cast<unsigned long long>(r.arg0),
+                static_cast<unsigned long long>(r.arg1));
+  return buf;
+}
+
+}  // namespace
+
+std::string ExportChromeTrace() {
+  std::string out = "{\n  \"traceEvents\": [";
+  bool first = true;
+  for (const std::shared_ptr<TraceRing>& ring : AllRings()) {
+    const std::vector<TraceRecord> records = ring->Snapshot();
+    if (!ring->thread_name().empty()) {
+      std::string args = "{\"name\": \"";
+      AppendEscaped(&args, ring->thread_name().c_str());
+      args += "\"}";
+      AppendEvent(&out, &first, "M", 0, ring->tid(), "thread_name", args);
+    }
+    // Open-span bookkeeping so the window (which may have wrapped) exports
+    // balanced: indexes into `records` of kSpanBegin without a kSpanEnd yet.
+    std::vector<size_t> open;
+    uint64_t last_ts = 0;
+    for (size_t i = 0; i < records.size(); ++i) {
+      const TraceRecord& r = records[i];
+      last_ts = r.ts_us;
+      switch (r.type) {
+        case TraceEventType::kSpanBegin:
+          open.push_back(i);
+          AppendEvent(&out, &first, "B", r.ts_us, r.tid, r.name, "");
+          break;
+        case TraceEventType::kSpanEnd:
+          // An end whose begin fell off the ring has no "B" in the export;
+          // emitting the "E" would close the wrong span. Drop it.
+          if (!open.empty()) {
+            open.pop_back();
+            AppendEvent(&out, &first, "E", r.ts_us, r.tid, r.name, "");
+          }
+          break;
+        case TraceEventType::kNone:
+          break;
+        default:
+          AppendEvent(&out, &first, "i", r.ts_us, r.tid, r.name, InstantArgs(r));
+          break;
+      }
+    }
+    // Spans still open at the end of the window close at its last
+    // timestamp, innermost first.
+    while (!open.empty()) {
+      const TraceRecord& b = records[open.back()];
+      open.pop_back();
+      AppendEvent(&out, &first, "E", last_ts, b.tid, b.name, "");
+    }
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"displayTimeUnit\": \"ms\"\n}\n";
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace krx

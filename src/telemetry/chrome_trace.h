@@ -1,0 +1,24 @@
+// Chrome-trace-event exporter: turns the per-thread TraceRings into a
+// `{"traceEvents": [...]}` JSON document loadable by chrome://tracing and
+// Perfetto. Span records become "B"/"E" duration events; every other typed
+// record becomes a thread-scoped instant ("i") carrying its decoded args.
+//
+// Robustness: rings wrap, so a window can open with an unmatched kSpanEnd
+// (dropped) or end with an unmatched kSpanBegin (closed at the ring's last
+// timestamp) — the exported document is always balanced.
+#ifndef KRX_SRC_TELEMETRY_CHROME_TRACE_H_
+#define KRX_SRC_TELEMETRY_CHROME_TRACE_H_
+
+#include <string>
+
+namespace krx {
+namespace telemetry {
+
+// Serializes every registered ring (writer-quiescent callers only — see
+// TraceRing::Snapshot).
+std::string ExportChromeTrace();
+
+}  // namespace telemetry
+}  // namespace krx
+
+#endif  // KRX_SRC_TELEMETRY_CHROME_TRACE_H_

@@ -1,0 +1,318 @@
+#include "src/telemetry/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace krx {
+namespace telemetry {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    Status s = ParseValue(&v, 0);
+    if (!s.ok()) {
+      return s;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after document");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return InvalidArgumentError("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return Error("nesting too deep");
+    }
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->type = JsonType::kString;
+        return ParseString(&out->string);
+      case 't':
+        return ParseLiteral("true", out, JsonType::kBool, true);
+      case 'f':
+        return ParseLiteral("false", out, JsonType::kBool, false);
+      case 'n':
+        return ParseLiteral("null", out, JsonType::kNull, false);
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) {
+          return ParseNumber(out);
+        }
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Status ParseLiteral(const char* lit, JsonValue* out, JsonType type, bool b) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return Error(std::string("bad literal, expected ") + lit);
+      }
+      ++pos_;
+    }
+    out->type = type;
+    out->boolean = b;
+    return Status::Ok();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (!ConsumeDigits()) {
+      return Error("bad number");
+    }
+    if (Consume('.') && !ConsumeDigits()) {
+      return Error("bad fraction");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!ConsumeDigits()) {
+        return Error("bad exponent");
+      }
+    }
+    out->type = JsonType::kNumber;
+    out->number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return Status::Ok();
+  }
+
+  bool ConsumeDigits() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return Error("expected '\"'");
+    }
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) {
+        return Error("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return Status::Ok();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return Error("unterminated escape");
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(e);
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t cp = 0;
+          if (!ParseHex4(&cp)) {
+            return Error("bad \\u escape");
+          }
+          // Surrogate pairs: decode the low half if present; otherwise keep
+          // the lone surrogate as a replacement character.
+          if (cp >= 0xD800 && cp <= 0xDBFF && pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+              text_[pos_ + 1] == 'u') {
+            pos_ += 2;
+            uint32_t lo = 0;
+            if (!ParseHex4(&lo)) {
+              return Error("bad \\u escape");
+            }
+            if (lo >= 0xDC00 && lo <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              cp = 0xFFFD;
+            }
+          } else if (cp >= 0xD800 && cp <= 0xDFFF) {
+            cp = 0xFFFD;
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          return Error("bad escape");
+      }
+    }
+  }
+
+  bool ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) {
+      return false;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    *out = v;
+    return true;
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    Consume('[');
+    out->type = JsonType::kArray;
+    SkipWs();
+    if (Consume(']')) {
+      return Status::Ok();
+    }
+    while (true) {
+      JsonValue elem;
+      Status s = ParseValue(&elem, depth + 1);
+      if (!s.ok()) {
+        return s;
+      }
+      out->array.push_back(std::move(elem));
+      SkipWs();
+      if (Consume(']')) {
+        return Status::Ok();
+      }
+      if (!Consume(',')) {
+        return Error("expected ',' or ']'");
+      }
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    Consume('{');
+    out->type = JsonType::kObject;
+    SkipWs();
+    if (Consume('}')) {
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      Status s = ParseString(&key);
+      if (!s.ok()) {
+        return s;
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        return Error("expected ':'");
+      }
+      JsonValue val;
+      s = ParseValue(&val, depth + 1);
+      if (!s.ok()) {
+        return s;
+      }
+      out->object[std::move(key)] = std::move(val);
+      SkipWs();
+      if (Consume('}')) {
+        return Status::Ok();
+      }
+      if (!Consume(',')) {
+        return Error("expected ',' or '}'");
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type != JsonType::kObject) {
+    return nullptr;
+  }
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+Result<JsonValue> ParseJson(const std::string& text) { return Parser(text).Parse(); }
+
+}  // namespace telemetry
+}  // namespace krx

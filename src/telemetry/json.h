@@ -1,0 +1,57 @@
+// Minimal JSON DOM parser. The repo deliberately avoids external
+// dependencies, yet the telemetry acceptance tests and krx_trace's
+// `validate` subcommand must check that exported documents actually parse
+// and have the promised shape. This is a strict-enough recursive-descent
+// parser for that job: full JSON value grammar, numbers kept as double,
+// \uXXXX escapes decoded to UTF-8. It is a validation tool, not a
+// serialization framework — exporters still print their own JSON.
+#ifndef KRX_SRC_TELEMETRY_JSON_H_
+#define KRX_SRC_TELEMETRY_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace krx {
+namespace telemetry {
+
+enum class JsonType : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class JsonValue {
+ public:
+  JsonType type = JsonType::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Duplicate keys: last one wins (matching common parsers).
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return type == JsonType::kNull; }
+  bool is_object() const { return type == JsonType::kObject; }
+  bool is_array() const { return type == JsonType::kArray; }
+  bool is_string() const { return type == JsonType::kString; }
+  bool is_number() const { return type == JsonType::kNumber; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  // Convenience accessors with fallbacks for probing optional fields.
+  double NumberOr(double fallback) const { return is_number() ? number : fallback; }
+  const std::string& StringOr(const std::string& fallback) const {
+    return is_string() ? string : fallback;
+  }
+};
+
+// Parses a complete document; trailing non-whitespace is an error. Error
+// statuses carry a byte offset.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace telemetry
+}  // namespace krx
+
+#endif  // KRX_SRC_TELEMETRY_JSON_H_

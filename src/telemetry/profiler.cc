@@ -1,0 +1,291 @@
+#include "src/telemetry/profiler.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "src/isa/encoding.h"
+
+namespace krx {
+namespace telemetry {
+namespace {
+
+// Census-side cost of one instruction, from the CostModel's public fields.
+// This intentionally re-derives only the coarse opcode classes (the exact
+// per-operand refinements live in the interpreter): the census feeds a
+// percentage estimate, where class-level costs are what matters.
+uint64_t CensusCost(const Instruction& inst, const CostModel& cost) {
+  switch (inst.op) {
+    case Opcode::kLoad:
+    case Opcode::kAddRM:
+    case Opcode::kCmpRM:
+    case Opcode::kCmpMI:
+      return inst.mem.rip_relative ? cost.load_riprel : cost.load;
+    case Opcode::kStore:
+    case Opcode::kStoreImm:
+      return cost.store;
+    case Opcode::kXorMR:
+      return cost.rmw;
+    case Opcode::kLea:
+      return cost.lea;
+    case Opcode::kImulRR:
+      return cost.imul;
+    case Opcode::kPushR:
+      return cost.push;
+    case Opcode::kPopR:
+      return cost.pop;
+    case Opcode::kPushfq:
+      return cost.pushfq;
+    case Opcode::kPopfq:
+      return cost.popfq;
+    case Opcode::kJcc:
+      return cost.branch;
+    case Opcode::kJmpRel:
+      return cost.jmp;
+    case Opcode::kJmpR:
+    case Opcode::kJmpM:
+    case Opcode::kCallR:
+    case Opcode::kCallM:
+      return cost.indirect;
+    case Opcode::kCallRel:
+      return cost.call;
+    case Opcode::kRet:
+      return cost.ret;
+    case Opcode::kMovsq:
+    case Opcode::kLodsq:
+    case Opcode::kStosq:
+    case Opcode::kCmpsq:
+    case Opcode::kScasq:
+      return cost.string_setup;
+    case Opcode::kBndcu:
+      return cost.bndcu;
+    case Opcode::kLoadBnd0:
+      return cost.bnd_load;
+    case Opcode::kInt3:
+      return cost.int3;
+    case Opcode::kNop:
+    case Opcode::kUd2:
+    case Opcode::kHlt:
+      return cost.nop;
+    case Opcode::kWrmsr:
+      return cost.wrmsr;
+    default:
+      return cost.alu;
+  }
+}
+
+}  // namespace
+
+CheckCensus CensusOf(const FunctionExtent& fn, uint64_t handler_lo, uint64_t handler_hi,
+                     const CostModel& cost) {
+  CheckCensus census;
+  const uint8_t* bytes = fn.bytes.data();
+  const size_t len = fn.bytes.size();
+
+  // Pre-decode the function into an address-indexed table so branch targets
+  // can be chased. kR^X-SFI checks usually branch to a function-local
+  // violation block (reason-code setup + jmp into krx_handler) rather than
+  // into the handler directly, so "is this Jcc a check" means "does its
+  // target reach the handler by straight-line flow".
+  std::map<uint64_t, std::pair<Instruction, int>> table;  // va -> (inst, size)
+  {
+    size_t scan = 0;
+    while (scan < len) {
+      Result<Decoded> d = DecodeInstruction(bytes, len, scan);
+      if (!d.ok()) {
+        ++scan;
+        continue;
+      }
+      table.emplace(fn.addr + scan, std::make_pair(d->inst, d->size));
+      scan += d->size;
+    }
+  }
+  auto reaches_handler = [&](uint64_t va) {
+    for (int hops = 0; hops < 8; ++hops) {
+      if (va >= handler_lo && va < handler_hi) {
+        return true;
+      }
+      auto it = table.find(va);
+      if (it == table.end()) {
+        return false;
+      }
+      const Instruction& i = it->second.first;
+      const int size = it->second.second;
+      if (i.op == Opcode::kJmpRel || i.op == Opcode::kCallRel) {
+        // The violation block is `callq krx_handler; hlt` — a call into the
+        // handler reaches it just as surely as a jump.
+        va = va + static_cast<uint64_t>(size) + static_cast<uint64_t>(i.imm);
+        continue;
+      }
+      if (i.op == Opcode::kRet || i.op == Opcode::kJcc || i.op == Opcode::kJmpR ||
+          i.op == Opcode::kJmpM || i.op == Opcode::kCallR || i.op == Opcode::kCallM ||
+          i.op == Opcode::kHlt || i.op == Opcode::kUd2) {
+        return false;
+      }
+      va += static_cast<uint64_t>(size);  // straight-line (mov reason, ...)
+    }
+    return false;
+  };
+
+  size_t off = 0;
+  // Sliding window of the two previous decoded instructions, to price the
+  // cmp/lea that feed an SFI check branch.
+  Instruction prev1, prev2;
+  uint64_t prev1_cost = 0, prev2_cost = 0;
+  bool have1 = false, have2 = false;
+  while (off < len) {
+    Result<Decoded> d = DecodeInstruction(bytes, len, off);
+    if (!d.ok()) {
+      // Phantom padding / data in the extent: skip a byte and resync.
+      ++off;
+      continue;
+    }
+    const Instruction& inst = d->inst;
+    const uint64_t c = CensusCost(inst, cost);
+    census.total_decicycles += c;
+    if (inst.op == Opcode::kBndcu) {
+      ++census.mpx_checks;
+      census.check_decicycles += c;
+    } else if (inst.op == Opcode::kJcc && handler_hi > handler_lo) {
+      const uint64_t va = fn.addr + off;
+      const uint64_t target =
+          va + d->size + static_cast<uint64_t>(static_cast<int64_t>(inst.imm));
+      if (reaches_handler(target)) {
+        ++census.sfi_checks;
+        census.check_decicycles += c;
+        // The SFI sequence is lea (effective address) + cmp (against the
+        // limit) + jcc into the handler; credit the feeders when present.
+        if (have1 && (prev1.op == Opcode::kCmpRR || prev1.op == Opcode::kCmpRI)) {
+          census.check_decicycles += prev1_cost;
+          if (have2 && prev2.op == Opcode::kLea) {
+            census.check_decicycles += prev2_cost;
+          }
+        }
+      }
+    }
+    prev2 = prev1;
+    prev2_cost = prev1_cost;
+    have2 = have1;
+    prev1 = inst;
+    prev1_cost = c;
+    have1 = true;
+    off += d->size;
+  }
+  return census;
+}
+
+GuestProfiler::~GuestProfiler() { Stop(); }
+
+void GuestProfiler::SetFunctions(std::vector<FunctionExtent> extents, uint64_t handler_lo,
+                                 uint64_t handler_hi) {
+  std::lock_guard<std::mutex> lock(mu_);
+  extents_ = std::move(extents);
+  std::sort(extents_.begin(), extents_.end(),
+            [](const FunctionExtent& a, const FunctionExtent& b) { return a.addr < b.addr; });
+  handler_lo_ = handler_lo;
+  handler_hi_ = handler_hi;
+  samples_per_fn_.assign(extents_.size(), 0);
+  total_samples_ = 0;
+  idle_samples_ = 0;
+  unattributed_ = 0;
+}
+
+std::atomic<uint64_t>* GuestProfiler::AddTarget(const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  targets_.push_back(std::make_unique<Target>());
+  targets_.back()->label = label;
+  return &targets_.back()->pc;
+}
+
+void GuestProfiler::Start(std::chrono::microseconds period) {
+  if (running_.exchange(true)) {
+    return;
+  }
+  sampler_ = std::thread([this, period] { SamplerLoop(period); });
+}
+
+void GuestProfiler::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  sampler_.join();
+}
+
+void GuestProfiler::SamplerLoop(std::chrono::microseconds period) {
+  while (running_.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const std::unique_ptr<Target>& t : targets_) {
+        const uint64_t pc = t->pc.load(std::memory_order_relaxed);
+        ++total_samples_;
+        if (pc == 0) {
+          ++idle_samples_;
+          continue;
+        }
+        const int idx = AttributePc(pc);
+        if (idx < 0) {
+          ++unattributed_;
+        } else {
+          ++samples_per_fn_[static_cast<size_t>(idx)];
+        }
+      }
+    }
+    std::this_thread::sleep_for(period);
+  }
+}
+
+int GuestProfiler::AttributePc(uint64_t pc) const {
+  // extents_ sorted by addr: find the last extent starting at or below pc.
+  size_t lo = 0, hi = extents_.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (extents_[mid].addr <= pc) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) {
+    return -1;
+  }
+  const FunctionExtent& fn = extents_[lo - 1];
+  return pc < fn.addr + fn.size ? static_cast<int>(lo - 1) : -1;
+}
+
+ProfileReport GuestProfiler::MakeReport(const CostModel& cost) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ProfileReport report;
+  report.total_samples = total_samples_;
+  report.idle_samples = idle_samples_;
+  report.unattributed = unattributed_;
+  const uint64_t live = total_samples_ - idle_samples_;
+  for (size_t i = 0; i < extents_.size(); ++i) {
+    if (samples_per_fn_[i] == 0) {
+      continue;
+    }
+    FunctionProfile fp;
+    fp.name = extents_[i].name;
+    fp.samples = samples_per_fn_[i];
+    fp.sample_pct = live == 0 ? 0 : 100.0 * static_cast<double>(fp.samples) /
+                                        static_cast<double>(live);
+    fp.census = CensusOf(extents_[i], handler_lo_, handler_hi_, cost);
+    fp.check_cost_pct =
+        fp.census.total_decicycles == 0
+            ? 0
+            : 100.0 * static_cast<double>(fp.census.check_decicycles) /
+                  static_cast<double>(fp.census.total_decicycles);
+    fp.est_check_share = fp.sample_pct * fp.check_cost_pct / 100.0;
+    report.functions.push_back(std::move(fp));
+  }
+  std::sort(report.functions.begin(), report.functions.end(),
+            [](const FunctionProfile& a, const FunctionProfile& b) {
+              if (a.samples != b.samples) {
+                return a.samples > b.samples;
+              }
+              return a.name < b.name;
+            });
+  return report;
+}
+
+}  // namespace telemetry
+}  // namespace krx

@@ -1,0 +1,172 @@
+#include "src/telemetry/telemetry.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+
+namespace krx {
+namespace telemetry {
+namespace {
+
+uint32_t InitialMode() {
+  const char* env = std::getenv("KRX_TELEMETRY");
+  uint32_t mode = kModeMetrics;
+  if (env != nullptr && !ParseModeName(env, &mode)) {
+    mode = kModeMetrics;
+  }
+  return mode;
+}
+
+std::chrono::steady_clock::time_point TraceOrigin() {
+  static const std::chrono::steady_clock::time_point origin = std::chrono::steady_clock::now();
+  return origin;
+}
+
+struct RingRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<TraceRing>> rings;
+};
+
+RingRegistry& Registry() {
+  // Leaked: rings must stay valid for thread-local cached pointers held by
+  // threads that may outlive any static-destruction order.
+  static RingRegistry* registry = new RingRegistry();
+  return *registry;
+}
+
+}  // namespace
+
+namespace internal {
+std::atomic<uint32_t> g_mode{InitialMode()};
+}  // namespace internal
+
+void SetMode(uint32_t mode) { internal::g_mode.store(mode, std::memory_order_relaxed); }
+
+uint32_t Mode() { return internal::g_mode.load(std::memory_order_relaxed); }
+
+bool ParseModeName(const std::string& name, uint32_t* mode) {
+  if (name == "off") {
+    *mode = 0;
+  } else if (name == "metrics") {
+    *mode = kModeMetrics;
+  } else if (name == "trace" || name == "full") {
+    *mode = kModeMetrics | kModeTrace;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+uint64_t TraceNowUs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - TraceOrigin())
+                                   .count());
+}
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kNone:
+      return "none";
+    case TraceEventType::kSpanBegin:
+      return "span_begin";
+    case TraceEventType::kSpanEnd:
+      return "span_end";
+    case TraceEventType::kInstant:
+      return "instant";
+    case TraceEventType::kCpuTrap:
+      return "cpu_trap";
+    case TraceEventType::kKrxViolation:
+      return "krx_violation";
+    case TraceEventType::kCheckOutcome:
+      return "check_outcome";
+    case TraceEventType::kBlockCacheFlush:
+      return "block_cache_flush";
+    case TraceEventType::kQuiesceWait:
+      return "quiesce_wait";
+    case TraceEventType::kRerandStep:
+      return "rerand_step";
+    case TraceEventType::kFaultInject:
+      return "fault_inject";
+    case TraceEventType::kModuleLoad:
+      return "module_load";
+    case TraceEventType::kModuleUnload:
+      return "module_unload";
+    case TraceEventType::kCompilePhase:
+      return "compile_phase";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(uint32_t tid, size_t capacity)
+    : slots_(capacity == 0 ? 1 : capacity), tid_(tid) {}
+
+void TraceRing::Emit(TraceEventType type, const char* name, uint64_t arg0, uint64_t arg1) {
+  const uint64_t h = head_.load(std::memory_order_relaxed);
+  TraceRecord& slot = slots_[h % slots_.size()];
+  slot.ts_us = TraceNowUs();
+  slot.arg0 = arg0;
+  slot.arg1 = arg1;
+  slot.tid = tid_;
+  slot.type = type;
+  slot.name[0] = '\0';
+  if (name != nullptr) {
+    std::strncpy(slot.name, name, sizeof(slot.name) - 1);
+    slot.name[sizeof(slot.name) - 1] = '\0';
+  }
+  // Release-publish: a quiescent reader that acquires `head_` sees every
+  // slot write that preceded it.
+  head_.store(h + 1, std::memory_order_release);
+}
+
+std::vector<TraceRecord> TraceRing::Snapshot() const {
+  const uint64_t h = head_.load(std::memory_order_acquire);
+  const uint64_t n = slots_.size();
+  const uint64_t retained = h < n ? h : n;
+  std::vector<TraceRecord> out;
+  out.reserve(retained);
+  for (uint64_t i = h - retained; i < h; ++i) {
+    out.push_back(slots_[i % n]);
+  }
+  return out;
+}
+
+void TraceRing::Clear() {
+  for (TraceRecord& slot : slots_) {
+    slot = TraceRecord{};
+  }
+  head_.store(0, std::memory_order_release);
+}
+
+TraceRing& ThreadRing() {
+  thread_local TraceRing* ring = [] {
+    RingRegistry& reg = Registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto created =
+        std::make_shared<TraceRing>(static_cast<uint32_t>(reg.rings.size()));
+    reg.rings.push_back(created);
+    return created.get();
+  }();
+  return *ring;
+}
+
+void SetThreadName(const std::string& name) {
+  TraceRing& ring = ThreadRing();
+  RingRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  ring.set_thread_name(name);
+}
+
+std::vector<std::shared_ptr<TraceRing>> AllRings() {
+  RingRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.rings;
+}
+
+void ClearAllRings() {
+  for (const std::shared_ptr<TraceRing>& ring : AllRings()) {
+    ring->Clear();
+  }
+}
+
+}  // namespace telemetry
+}  // namespace krx

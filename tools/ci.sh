@@ -1,9 +1,11 @@
 #!/bin/sh
 # CI driver: builds the default and ASan+UBSan presets, runs the tier-1
 # suite, the sanitizer subset, the fault-injection campaigns, the live
-# re-randomization (rerand) stage, and the perf stage (block-cache
-# equivalence tests + parallel bench smoke matrix), and produces the
-# BENCH_fault.json, BENCH_rerand.json and BENCH_perf.json artifacts.
+# re-randomization (rerand) stage, the perf stage (block-cache equivalence
+# tests + parallel bench smoke matrix with the telemetry overhead gate), and
+# the telemetry stage (subsystem tests + krx_trace export/validate smoke),
+# and produces the BENCH_fault.json, BENCH_rerand.json, BENCH_perf.json and
+# BENCH_trace.json artifacts.
 #
 # Usage: tools/ci.sh [--quick]
 #   --quick   skip the ASan preset (default build + tests + fault labels only)
@@ -42,8 +44,19 @@ echo "==> rerand bench artifact (build/BENCH_rerand.json)"
 
 echo "==> perf stage: engine-equivalence tests + bench smoke matrix"
 ctest --test-dir build -L perf --output-on-failure -j4
-./build/bench/bench_perf --quick --json build/BENCH_perf.json || {
+./build/bench/bench_perf --quick --json build/BENCH_perf.json \
+    --trace build/BENCH_perf_trace.json || {
   echo "bench_perf smoke matrix failed" >&2; exit 1;
+}
+
+echo "==> telemetry stage: subsystem tests + trace export smoke"
+ctest --test-dir build -L telemetry --output-on-failure -j4
+./build/tools/krx_trace trace --out build/BENCH_trace.json
+./build/tools/krx_trace validate build/BENCH_trace.json || {
+  echo "exported chrome trace failed validation" >&2; exit 1;
+}
+./build/tools/krx_trace validate build/BENCH_perf_trace.json || {
+  echo "bench_perf chrome trace failed validation" >&2; exit 1;
 }
 
 if [ "$QUICK" -eq 0 ]; then
@@ -59,6 +72,9 @@ if [ "$QUICK" -eq 0 ]; then
 
   echo "==> rerand labels (asan preset)"
   ctest --test-dir build-asan -L rerand --output-on-failure -j4
+
+  echo "==> telemetry labels (asan preset)"
+  ctest --test-dir build-asan -L telemetry --output-on-failure -j4
 fi
 
 echo "==> CI OK"

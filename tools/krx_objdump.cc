@@ -11,6 +11,9 @@
 //     dump the retained re-randomization metadata (RerandMap) instead:
 //     function extents and return sites, xkey slots, pointer sites — then
 //     run one live epoch and show the before/after layout.
+//   krx_objdump --stats [config]
+//     compile under the config and print the metrics-registry snapshot of
+//     the build (compile.* counters and per-phase timings) as JSON.
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -20,6 +23,8 @@
 #include "src/attack/gadget_scanner.h"
 #include "src/isa/encoding.h"
 #include "src/rerand/engine.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
 #include "src/verify/verifier.h"
 #include "src/workload/harness.h"
 
@@ -121,9 +126,32 @@ int DumpRerand(const std::string& config_name) {
   return 0;
 }
 
+// --stats: one compile under the config, observed through the metrics
+// registry — the pipeline's own counters and phase timings, as JSON.
+int DumpStats(const std::string& config_name) {
+  ProtectionConfig config;
+  LayoutKind layout;
+  if (!ParseConfigName(config_name, 0xD15A, &config, &layout)) {
+    std::fprintf(stderr, "unknown config '%s'\n", config_name.c_str());
+    return 2;
+  }
+  telemetry::MetricsRegistry::Global().Reset();
+  telemetry::SetMode(telemetry::Mode() | telemetry::kModeMetrics);
+  auto kernel = CompileKernel(MakeBenchSource(0xD15A), {config, layout});
+  if (!kernel.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", kernel.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", telemetry::MetricsRegistry::Global().SnapshotJson().c_str());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--rerand") == 0) {
     return DumpRerand(argc > 2 ? argv[2] : "sfi+x");
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--stats") == 0) {
+    return DumpStats(argc > 2 ? argv[2] : "sfi+x");
   }
   std::string config_name = argc > 1 ? argv[1] : "sfi+x";
   ProtectionConfig config;
