@@ -35,8 +35,10 @@
 #include "bench/bench_json.h"
 #include "src/base/status.h"
 #include "src/bench_runner/bench_runner.h"
+#include "src/plugin/pipeline.h"
 #include "src/telemetry/chrome_trace.h"
 #include "src/telemetry/telemetry.h"
+#include "src/workload/harness.h"
 
 namespace krx {
 namespace {
@@ -150,8 +152,8 @@ int Main(int argc, char** argv) {
   if (args.threads < 1) args.threads = 1;
 
   const std::vector<std::string> configs =
-      args.quick ? std::vector<std::string>{"vanilla", "sfi-o3"}
-                 : std::vector<std::string>{"vanilla", "sfi-o3", "mpx", "x", "d"};
+      args.quick ? std::vector<std::string>{"vanilla", "sfi-o3", "sfi-o4"}
+                 : std::vector<std::string>{"vanilla", "sfi-o3", "sfi-o4", "mpx", "x", "d"};
   const int lmbench_rows = args.quick ? 4 : 0;  // 0 = all 23 rows
   // Enough outer repetitions that decode cost is fully amortized — the
   // regime the block cache exists for (hit rates > 95%).
@@ -305,6 +307,31 @@ int Main(int argc, char** argv) {
               (unsigned long long)kstats.compiles, (unsigned long long)kstats.hits,
               (unsigned long long)kstats.exclusive_compiles);
 
+  // Static check census: what O4's cross-block elision + loop hoisting
+  // removes from the image relative to O3, over the same bench source. The
+  // matrix above already proves the two columns produce identical
+  // guest-visible results; this quantifies the static reduction.
+  SfiStats census_o3, census_o4;
+  {
+    KernelSource src = MakeBenchSource(args.seed);
+    auto o3 = CompileKernel(src, {ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx});
+    auto o4 = CompileKernel(std::move(src),
+                            {ProtectionConfig::SfiOnly(SfiLevel::kO4), LayoutKind::kKrx});
+    KRX_CHECK(o3.ok() && o4.ok());
+    census_o3 = o3->stats.sfi;
+    census_o4 = o4->stats.sfi;
+  }
+  const double census_delta_pct =
+      census_o3.checks_emitted > 0
+          ? 100.0 * (1.0 - static_cast<double>(census_o4.checks_emitted) /
+                               static_cast<double>(census_o3.checks_emitted))
+          : 0.0;
+  std::printf("check census: O3 emits %llu checks, O4 emits %llu (%llu hoisted) — "
+              "%.1f%% fewer static checks\n",
+              (unsigned long long)census_o3.checks_emitted,
+              (unsigned long long)census_o4.checks_emitted,
+              (unsigned long long)census_o4.checks_hoisted, census_delta_pct);
+
   bool all_ok = identical && overhead_ok && traced_identical;
   for (const TaskResult& r : widest) {
     if (!r.ok) {
@@ -317,7 +344,7 @@ int Main(int argc, char** argv) {
     std::string json = "{\n";
     json += "  \"meta\": " +
             bench_json::MetaBlock("bench_perf", args.seed,
-                                  args.quick ? "vanilla..sfi-o3 (quick)" : "vanilla..d",
+                                  args.quick ? "vanilla..sfi-o4 (quick)" : "vanilla..d",
                                   "krx") +
             ",\n";
     char buf[512];
@@ -351,6 +378,16 @@ int Main(int argc, char** argv) {
                   "\"exclusive_compiles\": %llu},\n",
                   (unsigned long long)kstats.compiles, (unsigned long long)kstats.hits,
                   (unsigned long long)kstats.exclusive_compiles);
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"check_census\": {\"o3_emitted\": %llu, \"o3_elided\": %llu, "
+                  "\"o4_emitted\": %llu, \"o4_elided\": %llu, \"o4_hoisted\": %llu, "
+                  "\"o4_reduction_pct\": %.2f},\n",
+                  (unsigned long long)census_o3.checks_emitted,
+                  (unsigned long long)census_o3.checks_coalesced,
+                  (unsigned long long)census_o4.checks_emitted,
+                  (unsigned long long)census_o4.checks_coalesced,
+                  (unsigned long long)census_o4.checks_hoisted, census_delta_pct);
     json += buf;
     json += "  \"tasks\": [\n";
     for (size_t i = 0; i < widest.size(); ++i) {

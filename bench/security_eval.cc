@@ -1,14 +1,25 @@
 // E6/E7/E8 — Reproduces §7.3 ("Security"): direct ROP, direct JIT-ROP and
 // indirect JIT-ROP against vanilla / partially protected / fully protected
 // kernels, plus the layout-diff verification the paper performs.
+//
+//   security_eval [--trace PATH]
+//     --trace runs the whole suite under full event tracing and writes a
+//     Chrome trace: one span per attack scenario, with the CPU's
+//     kKrxViolation instants landing inside the spans of the attacks the
+//     protected kernels defeat (per-attack timeline via krx_trace/Perfetto;
+//     validate with `krx_trace validate PATH`).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <string>
 
 #include "src/attack/experiments.h"
 #include "src/attack/gadget_scanner.h"
 #include "src/isa/encoding.h"
 #include "src/rerand/engine.h"
+#include "src/telemetry/chrome_trace.h"
+#include "src/telemetry/telemetry.h"
 #include "src/workload/harness.h"
 
 namespace krx {
@@ -20,6 +31,15 @@ Result<CompiledKernel> Build(const KernelSource& src, ProtectionConfig config,
 }
 
 void Report(const char* label, const AttackOutcome& out, bool expect_success) {
+  // Timeline marker per attack verdict; the kKrxViolation instants the CPU
+  // emitted during the attempt sit just before it in the same span. A halt
+  // the harness observed without a CPU-level record (the exploit died in
+  // the handler before its run returned) still gets a violation marker.
+  telemetry::EmitEvent(telemetry::TraceEventType::kInstant, label,
+                       out.success ? 1 : 0, out.leaks);
+  if (out.kernel_killed) {
+    telemetry::EmitEvent(telemetry::TraceEventType::kKrxViolation, label, 0, 0);
+  }
   std::printf("  %-52s %s%s  [%s]\n", label,
               out.success ? "EXPLOITED" : "DEFEATED",
               out.kernel_killed ? " (kernel halted)" : "",
@@ -28,9 +48,19 @@ void Report(const char* label, const AttackOutcome& out, bool expect_success) {
               static_cast<unsigned long long>(out.leaks));
 }
 
-int Main() {
+int Main(const std::string& trace_path) {
   const uint64_t seed = 0x5EC;
   std::printf("kR^X reproduction — security evaluation (paper §7.3)\n\n");
+
+  if (!trace_path.empty()) {
+    // The E8 trials alone retire thousands of CPU runs (one kCheckOutcome
+    // record each); size the ring so the early scenarios' violation
+    // instants survive to the export. Must precede the first emission.
+    telemetry::SetDefaultRingCapacity(1u << 18);
+    telemetry::SetMode(telemetry::kModeMetrics | telemetry::kModeTrace);
+    telemetry::ClearAllRings();
+    telemetry::SetThreadName("security_eval");
+  }
 
   KernelSource src = MakeBenchSource(seed);
   auto vanilla = Build(src, ProtectionConfig::Vanilla(), LayoutKind::kVanilla);
@@ -76,10 +106,12 @@ int Main() {
   // ---- E0: the pre-kR^X baseline — ret2usr vs. SMEP (§1-§3). ----
   std::printf("[E0: ret2usr baseline (why attackers moved to code reuse)]\n");
   {
+    KRX_TRACE_SPAN_SCOPED("E0.ret2usr.no_smep");
     ExploitLab target(&*vanilla);
     Report("ret2usr, no SMEP (legacy kernel)", Ret2UsrAttack(target, false), true);
   }
   {
+    KRX_TRACE_SPAN_SCOPED("E0.ret2usr.smep");
     ExploitLab target(&*vanilla);
     Report("ret2usr, SMEP enabled (hardening assumption)", Ret2UsrAttack(target, true), false);
   }
@@ -88,10 +120,12 @@ int Main() {
   // ---- E6: direct ROP with precomputed addresses. ----
   std::printf("[E6: direct ROP (precomputed gadget addresses, CVE-2013-2094 style)]\n");
   {
+    KRX_TRACE_SPAN_SCOPED("E6.direct_rop.vanilla");
     ExploitLab ref(&*vanilla), self(&*vanilla);
     Report("vanilla -> vanilla (exploit sanity check)", DirectRopAttack(ref, self), true);
   }
   {
+    KRX_TRACE_SPAN_SCOPED("E6.direct_rop.krx");
     ExploitLab ref(&*vanilla), target(&*full_x);
     Report("vanilla addresses -> kR^X kernel", DirectRopAttack(ref, target), false);
   }
@@ -104,11 +138,13 @@ int Main() {
     coarse.seed = seed;
     auto coarse_kernel = Build(src, coarse, LayoutKind::kVanilla);
     if (coarse_kernel.ok()) {
+      KRX_TRACE_SPAN_SCOPED("E6b.kaslr_slide.coarse");
       ExploitLab ref(&*vanilla), target(&*coarse_kernel);
       Report("coarse KASLR (image slide only)", KaslrSlideBypassAttack(ref, target), true);
     }
   }
   {
+    KRX_TRACE_SPAN_SCOPED("E6b.kaslr_slide.fine");
     ExploitLab ref(&*vanilla), target(&*full_x);
     Report("fine-grained KASLR (kR^X)", KaslrSlideBypassAttack(ref, target), false);
   }
@@ -116,10 +152,12 @@ int Main() {
   // ---- E7: direct JIT-ROP through the retrofitted debugfs leak. ----
   std::printf("\n[E7: direct JIT-ROP (arbitrary-read primitive, on-the-fly payload)]\n");
   {
+    KRX_TRACE_SPAN_SCOPED("E7.direct_jitrop.kaslr_only");
     ExploitLab target(&*kaslr_only);
     Report("fine-grained KASLR only (R^X disabled)", DirectJitRopAttack(target), true);
   }
   {
+    KRX_TRACE_SPAN_SCOPED("E7.direct_jitrop.krx");
     ExploitLab target(&*full_x);
     Report("full kR^X (R^X + fine-grained KASLR)", DirectJitRopAttack(target), false);
   }
@@ -127,6 +165,7 @@ int Main() {
   // ---- E9: the residual surface the paper admits (§7.3 closing). ----
   std::printf("\n[E9: data-only function-pointer attack (the surface kR^X leaves, §7.3)]\n");
   {
+    KRX_TRACE_SPAN_SCOPED("E9.data_only_fnptr");
     ExploitLab target(&*full_x);
     Report("whole-function reuse via corrupted notifier_hook",
            DataOnlyFunctionPointerAttack(target), true);
@@ -137,18 +176,21 @@ int Main() {
   // ---- E8: indirect JIT-ROP: harvesting return addresses from stacks. ----
   std::printf("\n[E8: indirect JIT-ROP (return-address harvesting), 256 trials each]\n");
   {
+    KRX_TRACE_SPAN_SCOPED("E8.indirect_jitrop.unprotected");
     ExploitLab target(&*kaslr_only);
     IndirectJitRopResult r = IndirectJitRopAttack(target, 2, 256, seed);
     std::printf("  no RA protection: success rate %.3f (expected 1.0) — %s\n", r.success_rate,
                 r.outcome.detail.c_str());
   }
   {
+    KRX_TRACE_SPAN_SCOPED("E8.indirect_jitrop.encrypt");
     ExploitLab target(&*full_x);
     IndirectJitRopResult r = IndirectJitRopAttack(target, 2, 256, seed);
     std::printf("  encryption (X):   success rate %.3f (expected 0.0) — %s\n", r.success_rate,
                 r.outcome.detail.c_str());
   }
   {
+    KRX_TRACE_SPAN_SCOPED("E8.indirect_jitrop.decoy");
     ExploitLab target(&*full_d);
     std::printf("  decoys (D): Psucc = 1/2^n per the paper —\n");
     for (int n = 1; n <= 6; ++n) {
@@ -166,6 +208,7 @@ int Main() {
   // map afterwards — the JIT-ROP window closes at the epoch boundary. ----
   std::printf("\n[E17: gadget staleness after one live re-randomization epoch]\n");
   {
+    KRX_TRACE_SPAN_SCOPED("E17.gadget_staleness");
     KernelImage& image = *full_x->image;
     const PlacedSection* text = image.FindSection(".text");
     std::vector<uint8_t> pre(text->size);
@@ -201,10 +244,42 @@ int Main() {
     std::printf("  (mirrors the paper's layout diff: pre-epoch gadget knowledge no longer\n"
                 "   decodes to the same code — continuous re-diversification, §8 outlook.)\n");
   }
+
+  if (!trace_path.empty()) {
+    const std::string chrome = telemetry::ExportChromeTrace();
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    out << chrome;
+    size_t records = 0, violations = 0;
+    for (const auto& ring : telemetry::AllRings()) {
+      for (const telemetry::TraceRecord& rec : ring->Snapshot()) {
+        ++records;
+        if (rec.type == telemetry::TraceEventType::kKrxViolation) {
+          ++violations;
+        }
+      }
+    }
+    std::printf("\n[trace] wrote %s: %zu retained records, %zu krx_violation instant(s)\n",
+                trace_path.c_str(), records, violations);
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace krx
 
-int main() { return krx::Main(); }
+int main(int argc, char** argv) {
+  std::string trace;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: security_eval [--trace PATH]\n");
+      return 2;
+    }
+  }
+  return krx::Main(trace);
+}

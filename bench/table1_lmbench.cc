@@ -1,14 +1,21 @@
 // E1 — Reproduces Table 1: LMBench latency/bandwidth overhead (% over the
 // vanilla kernel) for every kR^X protection column.
+//
+//   table1_lmbench [--csv PATH] [--metrics-csv PATH]
+//     --csv writes the matrix in long form (benchmark,config,measured_pct,
+//     paper_pct); --metrics-csv writes the post-run metrics registry
+//     snapshot (deterministic: timing metrics excluded).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 
+#include "src/telemetry/metrics.h"
 #include "src/workload/harness.h"
 
 namespace krx {
 namespace {
 
-int Main() {
+int Main(const std::string& csv_path, const std::string& metrics_csv_path) {
   std::printf("kR^X reproduction — Table 1 (LMBench micro-benchmark overhead, %% over vanilla)\n");
   std::printf("paper values in parentheses; '~0' printed for |x| < 0.05\n\n");
 
@@ -70,10 +77,50 @@ int Main() {
     cell(m, p);
   }
   std::printf("\n");
+
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+    out << "benchmark,config,measured_pct,paper_pct\n";
+    for (size_t i = 0; i < matrix->row_names.size(); ++i) {
+      for (size_t c = 0; c < matrix->column_names.size(); ++c) {
+        char line[160];
+        std::snprintf(line, sizeof(line), "%s,%s,%.4f,%.2f\n", matrix->row_names[i].c_str(),
+                      matrix->column_names[c].c_str(), matrix->percent[i][c], rows[i].paper[c]);
+        out << line;
+      }
+    }
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+  if (!metrics_csv_path.empty()) {
+    std::ofstream out(metrics_csv_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_csv_path.c_str());
+      return 1;
+    }
+    out << telemetry::MetricsRegistry::Global().SnapshotCsv(/*include_timing=*/false);
+    std::printf("wrote %s\n", metrics_csv_path.c_str());
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace krx
 
-int main() { return krx::Main(); }
+int main(int argc, char** argv) {
+  std::string csv, metrics_csv;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-csv") == 0 && i + 1 < argc) {
+      metrics_csv = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: table1_lmbench [--csv PATH] [--metrics-csv PATH]\n");
+      return 2;
+    }
+  }
+  return krx::Main(csv, metrics_csv);
+}

@@ -1,0 +1,81 @@
+// Static analyses over the CFG IR that go beyond single-pass dataflow:
+// dominator trees, natural-loop discovery and the register-congruence
+// derivation rule. Together they power the O4 check-elision/hoisting stage
+// of the kR^X-SFI pass (src/plugin/sfi_pass.cc): a range check can be
+// elided when a dominating check on a congruent register value is still
+// valid, and loop-invariant checks can be hoisted to a preheader with a
+// widened bound.
+//
+// Everything here speaks in *layout indices* (positions in
+// Function::blocks()), not block ids — the pass runs before any layout
+// permutation, and layout indices are what the availability dataflow and
+// the materialization step already use.
+#ifndef KRX_SRC_IR_ANALYSIS_H_
+#define KRX_SRC_IR_ANALYSIS_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/ir/function.h"
+
+namespace krx {
+
+// Predecessor lists by layout index (inverse of Function::SuccessorsOf,
+// resolved to indices).
+std::vector<std::vector<int32_t>> PredecessorsOf(const Function& fn);
+
+// Immediate-dominator tree over the layout-index CFG, entry = index 0.
+// Iterative Cooper–Harvey–Kennedy on a reverse-postorder numbering.
+// Unreachable blocks (e.g. diversification phantoms) have no dominators
+// and dominate nothing.
+class DominatorTree {
+ public:
+  explicit DominatorTree(const Function& fn);
+
+  bool Reachable(int32_t idx) const {
+    return rpo_number_[static_cast<size_t>(idx)] >= 0;
+  }
+  // Immediate dominator of `idx`, or -1 for the entry block and
+  // unreachable blocks.
+  int32_t Idom(int32_t idx) const { return idom_[static_cast<size_t>(idx)]; }
+  // Reflexive dominance: Dominates(a, a) is true for reachable a.
+  bool Dominates(int32_t a, int32_t b) const;
+
+ private:
+  std::vector<int32_t> idom_;
+  std::vector<int32_t> rpo_number_;  // -1 = unreachable
+};
+
+// A natural loop: `header` dominates every block in `body`, and each latch
+// has a back edge latch -> header. Loops sharing a header are merged.
+struct NaturalLoop {
+  int32_t header = -1;
+  std::vector<int32_t> latches;
+  std::set<int32_t> body;  // layout indices, header included
+};
+
+// Natural loops of `fn`, sorted by header layout index. A back edge is an
+// edge u -> h where h dominates u; the body is every block that reaches a
+// latch without passing through the header.
+std::vector<NaturalLoop> FindNaturalLoops(const Function& fn, const DominatorTree& dom);
+
+// The congruence (value-derivation) rule shared by the O4 availability
+// analysis: returns true when `inst` leaves *dst holding exactly the value
+// *src held before the instruction, plus the non-negative constant *delta:
+//
+//   mov %src, %dst          -> dst = src + 0
+//   add $c, %r    (c >= 0)  -> r   = r'  + c   (dst == src == r)
+//   lea c(%src), %dst (c>=0)-> dst = src + c   (base-only operand)
+//
+// A check proving src <= edata - D therefore proves dst <= edata - D + delta,
+// so a read through dst at displacement d is covered when delta + d <= D.
+// Negative deltas are rejected: the checks are unsigned compares, and a
+// decrement may wrap below zero. The verifier's interval abstract
+// interpreter (src/verify/confinement.cc) applies the same rule to decoded
+// bytes; the two must stay in agreement or O4 images fail post-link verify.
+bool RegOffsetDerivation(const Instruction& inst, Reg* dst, Reg* src, int64_t* delta);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_IR_ANALYSIS_H_

@@ -16,6 +16,12 @@ enum class SfiLevel : uint8_t {
   kO1,  // + pushfq/popfq elimination via %rflags liveness
   kO2,  // + lea elimination for base+disp operands
   kO3,  // + cmp/ja coalescing (maximum optimization; plugin default)
+  // Reproduction extension past the paper's O3: dominance/value-range based
+  // cross-block check elision plus loop-invariant check hoisting into
+  // preheaders with a widened bound (src/ir/analysis). Every elision is
+  // independently re-proven by the post-link verifier's interval-domain
+  // abstract interpreter (src/verify/confinement.cc).
+  kO4,
 };
 
 // Return-address protection scheme (§5.2.2).

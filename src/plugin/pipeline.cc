@@ -73,6 +73,7 @@ void PublishCompileMetrics(const PipelineStats& s) {
   reg.GetCounter("compile.sfi.string_checks").Add(s.sfi.string_checks);
   reg.GetCounter("compile.sfi.checks_emitted").Add(s.sfi.checks_emitted);
   reg.GetCounter("compile.sfi.checks_coalesced").Add(s.sfi.checks_coalesced);
+  reg.GetCounter("compile.sfi.checks_hoisted").Add(s.sfi.checks_hoisted);
   reg.GetCounter("compile.sfi.wrappers_kept").Add(s.sfi.wrappers_kept);
   reg.GetCounter("compile.sfi.wrappers_eliminated").Add(s.sfi.wrappers_eliminated);
   reg.GetCounter("compile.sfi.lea_kept").Add(s.sfi.lea_kept);
@@ -186,7 +187,10 @@ Status ApplyProtection(std::vector<Function>& functions, SymbolTable& symbols,
       continue;
     }
     if (config.HasRangeChecks() || config.mpx) {
-      KRX_RETURN_IF_ERROR(ApplySfiPass(fn, config, handler_sym, edata_imm, &stats->sfi));
+      SfiStats fn_stats;
+      KRX_RETURN_IF_ERROR(ApplySfiPass(fn, config, handler_sym, edata_imm, &fn_stats));
+      stats->sfi.Accumulate(fn_stats);
+      stats->per_function.emplace_back(fn.name(), fn_stats);
       ++stats->instrumented_functions;
     }
     switch (config.ra) {

@@ -10,6 +10,8 @@
 
 #include <functional>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/base/rng.h"
@@ -49,6 +51,10 @@ struct PipelineStats {
   // How many post-link-verify failures CompileKernel recovered from by
   // rebuilding with a rotated diversification seed (0 on a clean build).
   uint64_t verify_retries = 0;
+  // Per-function SFI census (function name -> that function's SfiStats),
+  // in instrumentation order. Drives the per-function elided/kept/hoisted
+  // tables in krx_objdump/krx_verify and the O4 check-census benches.
+  std::vector<std::pair<std::string, SfiStats>> per_function;
 };
 
 struct CompiledKernel {

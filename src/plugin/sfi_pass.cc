@@ -4,8 +4,11 @@
 #include <map>
 #include <set>
 #include <unordered_map>
+#include <utility>
 
+#include "src/ir/analysis.h"
 #include "src/ir/liveness.h"
+#include "src/kernel/layout.h"
 
 namespace krx {
 namespace {
@@ -21,6 +24,8 @@ struct ReadSite {
   MemOperand mem;            // original operand (lea form / MPX)
   bool coalescible = false;  // base-only non-string reads
   bool removed = false;
+  bool hoisted = false;        // O4: synthetic loop-preheader check
+  bool hoist_covered = false;  // O4: a preheader check was created for it
 };
 
 // State of the O3 availability analysis: per base register, the set of kept
@@ -81,6 +86,343 @@ AvailState MeetPredecessors(const std::vector<AvailState>& exit_states,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// O4: dominance/value-range check elision and loop-invariant hoisting.
+//
+// The O3 analysis above is a single layout-order pass that drops all facts
+// at loop back edges. O4 replaces it with a greatest-fixpoint dataflow whose
+// facts are *congruence-derived* coverage sources: `state[r] = {(S, off)}`
+// means that on every path to this point, kept check site S proved some
+// value v <= edata - check_disp(S), and r == v + off with off >= 0 (r was
+// derived from the checked value by mov/add/lea per RegOffsetDerivation and
+// has not been redefined, spilled or survived a call since). A read through
+// r at displacement d is then covered by raising every source's check to
+// off + d — capped by the phantom-guard size, which bounds how far a check's
+// displacement may legally be widened (the post-link verifier enforces the
+// same bound, RuleId::kRxCheckDisp).
+//
+// The verifier re-derives all of this from the linked bytes with an
+// interval-domain abstract interpreter (src/verify/confinement.cc); any
+// elision it cannot re-prove fails the build, so this analysis only has to
+// be *sound*, never trusted.
+
+// Coverage cap: check displacements may not be raised past the guard that
+// absorbs the distance overshoot. The pipeline's guard is always at least
+// this large (GuardSizeFor), so the constant is a safe static bound.
+constexpr int64_t kO4CoverCap = static_cast<int64_t>(kDefaultPhantomGuardSize);
+
+// Per register: kept check site -> maximum derivation offset along any path.
+using O4State = std::map<Reg, std::map<ReadSite*, int64_t>>;
+
+// Intersection meet with per-source offset widening to the maximum (the
+// weakest derivation seen on any path).
+O4State O4Meet(const O4State& a, const O4State& b) {
+  O4State out;
+  for (const auto& [reg, sources] : a) {
+    auto it = b.find(reg);
+    if (it == b.end()) {
+      continue;
+    }
+    std::map<ReadSite*, int64_t> u = sources;
+    for (const auto& [site, off] : it->second) {
+      auto [slot, fresh] = u.emplace(site, off);
+      if (!fresh) {
+        slot->second = std::max(slot->second, off);
+      }
+    }
+    out[reg] = std::move(u);
+  }
+  return out;
+}
+
+// Kills + congruence transfer for one instruction.
+void O4ApplyInst(O4State& state, const Instruction& inst) {
+  if (inst.IsCall()) {
+    state.clear();
+    return;
+  }
+  // Derivations are computed against the pre-kill state: `add $8, %rdi`
+  // both redefines %rdi and re-derives it from its own old value.
+  Reg dst = Reg::kNone;
+  Reg src = Reg::kNone;
+  int64_t delta = 0;
+  std::map<ReadSite*, int64_t> derived;
+  if (RegOffsetDerivation(inst, &dst, &src, &delta)) {
+    auto it = state.find(src);
+    if (it != state.end()) {
+      for (const auto& [site, off] : it->second) {
+        if (off + delta <= kO4CoverCap) {
+          derived[site] = off + delta;
+        }
+      }
+    }
+  }
+  Reg written[6];
+  int wcount = 0;
+  InstructionRegWrites(inst, written, &wcount);
+  for (int i = 0; i < wcount; ++i) {
+    state.erase(written[i]);
+  }
+  if (inst.op == Opcode::kStore || inst.op == Opcode::kPushR) {
+    state.erase(inst.r1);
+  }
+  if (!derived.empty()) {
+    state[dst] = std::move(derived);
+  }
+}
+
+// Walks one block. Without `commit`, this is the fixpoint transfer; with
+// `commit`, elision decisions are written into the sites (removed flags and
+// raised check displacements). Site entries at inst_idx == insts.size()
+// (synthetic checks in an otherwise empty preheader) are handled by the
+// trailing loop iteration.
+O4State O4TransferBlock(const BasicBlock& b, std::vector<ReadSite>& block_sites, O4State state,
+                        bool commit) {
+  size_t next_site = 0;
+  for (size_t j = 0; j <= b.insts.size(); ++j) {
+    while (next_site < block_sites.size() && block_sites[next_site].inst_idx == j) {
+      ReadSite& site = block_sites[next_site];
+      ++next_site;
+      if (!site.coalescible || site.place_after) {
+        continue;
+      }
+      auto it = state.find(site.base);
+      bool covered = it != state.end() && !it->second.empty();
+      if (covered) {
+        for (const auto& [dom, off] : it->second) {
+          (void)dom;
+          if (off + site.disp > kO4CoverCap) {
+            covered = false;  // widening past the guard: keep this check
+            break;
+          }
+        }
+      }
+      if (covered) {
+        if (commit) {
+          site.removed = true;
+          for (const auto& [dom, off] : it->second) {
+            dom->check_disp = std::max(dom->check_disp, off + site.disp);
+          }
+        }
+      } else {
+        state[site.base] = {{&site, 0}};
+      }
+    }
+    if (j < b.insts.size()) {
+      O4ApplyInst(state, b.insts[j]);
+    }
+  }
+  return state;
+}
+
+// Interval widening between rounds: a source whose offset is still climbing
+// at the same block entry is riding a net-positive arithmetic cycle
+// (`add $8, %rdi` in a loop) and will never stabilize — drop it, keeping
+// the in-loop check. Stable facts are never touched.
+void O4Widen(O4State& in, const O4State& prev) {
+  for (auto it = in.begin(); it != in.end();) {
+    auto pit = prev.find(it->first);
+    if (pit != prev.end()) {
+      for (auto sit = it->second.begin(); sit != it->second.end();) {
+        auto ps = pit->second.find(sit->first);
+        if (ps != pit->second.end() && sit->second > ps->second) {
+          sit = it->second.erase(sit);
+        } else {
+          ++sit;
+        }
+      }
+    }
+    if (it->second.empty()) {
+      it = in.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// Greatest-fixpoint elision over the whole CFG. Returns false if the
+// iteration failed to converge within the (generous) round budget — the
+// caller then falls back to the O3 analysis, which is always sound.
+bool O4Coalesce(Function& fn, std::vector<std::vector<ReadSite>>& sites_by_block) {
+  const size_t n = fn.blocks().size();
+  std::vector<std::vector<int32_t>> preds = PredecessorsOf(fn);
+  std::vector<O4State> exit_states(n);
+  std::vector<O4State> in_states(n);
+  std::vector<bool> visited(n, false);
+
+  const size_t widen_after = n + 8;
+  const size_t max_rounds = 8 * n + 64;
+  size_t round = 0;
+  bool changed = true;
+  while (changed) {
+    if (round++ >= max_rounds) {
+      return false;
+    }
+    changed = false;
+    for (size_t bi = 0; bi < n; ++bi) {
+      O4State in;
+      if (bi != 0) {  // the entry block always meets the caller's empty state
+        bool first = true;
+        for (int32_t p : preds[bi]) {
+          if (!visited[static_cast<size_t>(p)]) {
+            continue;  // optimistic: an unvisited predecessor contributes top
+          }
+          if (first) {
+            in = exit_states[static_cast<size_t>(p)];
+            first = false;
+          } else {
+            in = O4Meet(in, exit_states[static_cast<size_t>(p)]);
+          }
+        }
+      }
+      if (round > widen_after) {
+        O4Widen(in, in_states[bi]);
+      }
+      in_states[bi] = in;
+      O4State out = O4TransferBlock(fn.blocks()[bi], sites_by_block[bi], std::move(in),
+                                    /*commit=*/false);
+      if (!visited[bi] || out != exit_states[bi]) {
+        visited[bi] = true;
+        exit_states[bi] = std::move(out);
+        changed = true;
+      }
+    }
+  }
+
+  // Converged: replay once, committing elisions and raising the survivors.
+  for (size_t bi = 0; bi < n; ++bi) {
+    O4TransferBlock(fn.blocks()[bi], sites_by_block[bi], in_states[bi], /*commit=*/true);
+  }
+  return true;
+}
+
+// Hoists loop-invariant checks: for every natural loop whose body never
+// clobbers a checked base register (no redefinition, no spill, no call), a
+// synthetic check site is placed in a freshly inserted preheader block. The
+// in-loop sites then sit in its coverage and are elided by O4Coalesce,
+// which also widens the preheader check to the maximum in-loop
+// displacement. Loops are re-derived after each restructure; the chain
+// terminates because every hoist marks its covered sites.
+void O4HoistLoops(Function& fn, std::vector<std::vector<ReadSite>>& sites_by_block,
+                  SfiStats* local) {
+  for (int iter = 0; iter < 32; ++iter) {
+    DominatorTree dom(fn);
+    std::vector<NaturalLoop> loops = FindNaturalLoops(fn, dom);
+    bool applied = false;
+    for (const NaturalLoop& loop : loops) {
+      const int32_t h = loop.header;
+      // Layout constraint: the block physically before the header must not
+      // fall through into it from inside the loop, or the preheader would
+      // intercept the back edge.
+      if (h > 0 && loop.body.count(h - 1) > 0 &&
+          !fn.blocks()[static_cast<size_t>(h - 1)].ends_with_unconditional_transfer()) {
+        continue;
+      }
+      // Clobber summary of the whole loop body.
+      bool has_call = false;
+      std::set<Reg> clobbered;
+      for (int32_t b : loop.body) {
+        for (const Instruction& inst : fn.blocks()[static_cast<size_t>(b)].insts) {
+          if (inst.IsCall()) {
+            has_call = true;
+            break;
+          }
+          Reg written[6];
+          int wcount = 0;
+          InstructionRegWrites(inst, written, &wcount);
+          for (int i = 0; i < wcount; ++i) {
+            clobbered.insert(written[i]);
+          }
+          if (inst.op == Opcode::kStore || inst.op == Opcode::kPushR) {
+            clobbered.insert(inst.r1);
+          }
+        }
+        if (has_call) {
+          break;
+        }
+      }
+      if (has_call) {
+        continue;
+      }
+      // Eligible bases: loop-invariant, all displacements within the cap.
+      std::set<Reg> hoistable;
+      for (int32_t b : loop.body) {
+        for (const ReadSite& site : sites_by_block[static_cast<size_t>(b)]) {
+          if (!site.coalescible || site.place_after || site.hoist_covered ||
+              clobbered.count(site.base) > 0 || site.disp > kO4CoverCap) {
+            continue;
+          }
+          hoistable.insert(site.base);
+        }
+      }
+      if (hoistable.empty()) {
+        continue;
+      }
+
+      // Insert the preheader at the header's layout position and steer
+      // every entry edge from outside the loop through it (back edges keep
+      // targeting the header; an out-of-loop layout predecessor now falls
+      // through the preheader into the header).
+      const int32_t header_id = fn.blocks()[static_cast<size_t>(h)].id;
+      const int32_t preheader_id = fn.AllocateBlockId();
+      BasicBlock pb;
+      pb.id = preheader_id;
+      fn.blocks().insert(fn.blocks().begin() + h, std::move(pb));
+      std::set<int32_t> body_shifted;
+      for (int32_t b : loop.body) {
+        body_shifted.insert(b >= h ? b + 1 : b);
+      }
+      for (size_t bi = 0; bi < fn.blocks().size(); ++bi) {
+        if (static_cast<int32_t>(bi) == h || body_shifted.count(static_cast<int32_t>(bi)) > 0) {
+          continue;
+        }
+        for (Instruction& inst : fn.blocks()[bi].insts) {
+          if (inst.target_block == header_id) {
+            inst.target_block = preheader_id;
+          }
+        }
+      }
+
+      // Site bookkeeping: shift, then add one synthetic check per base. The
+      // synthetic starts at displacement 0 — O4Coalesce widens it while
+      // eliding the in-loop sites it covers.
+      for (auto& bs : sites_by_block) {
+        for (ReadSite& s : bs) {
+          if (s.layout_idx >= h) {
+            ++s.layout_idx;
+          }
+        }
+      }
+      sites_by_block.emplace(sites_by_block.begin() + h);
+      for (Reg base : hoistable) {
+        ReadSite syn;
+        syn.layout_idx = h;
+        syn.inst_idx = 0;
+        syn.base = base;
+        syn.disp = 0;
+        syn.check_disp = 0;
+        syn.mem = MemOperand::Base(base, 0);
+        syn.coalescible = true;
+        syn.hoisted = true;
+        sites_by_block[static_cast<size_t>(h)].push_back(syn);
+      }
+      for (int32_t b : body_shifted) {
+        for (ReadSite& s : sites_by_block[static_cast<size_t>(b)]) {
+          if (s.coalescible && !s.place_after && hoistable.count(s.base) > 0) {
+            s.hoist_covered = true;
+          }
+        }
+      }
+      (void)local;
+      applied = true;
+      break;  // re-derive dominators and loops after the restructure
+    }
+    if (!applied) {
+      break;
+    }
+  }
+}
+
 }  // namespace
 
 void SfiStats::Accumulate(const SfiStats& o) {
@@ -90,6 +432,7 @@ void SfiStats::Accumulate(const SfiStats& o) {
   string_checks += o.string_checks;
   checks_emitted += o.checks_emitted;
   checks_coalesced += o.checks_coalesced;
+  checks_hoisted += o.checks_hoisted;
   wrappers_kept += o.wrappers_kept;
   wrappers_eliminated += o.wrappers_eliminated;
   lea_kept += o.lea_kept;
@@ -127,8 +470,9 @@ Status ApplySfiPass(Function& fn, const ProtectionConfig& config, int32_t krx_ha
   }
   const bool mpx = config.mpx;
   const SfiLevel level = config.sfi;
-  const bool do_lea_elim = mpx || level == SfiLevel::kO2 || level == SfiLevel::kO3;
-  const bool do_coalesce = mpx || level == SfiLevel::kO3;
+  const bool o4 = level == SfiLevel::kO4;
+  const bool do_lea_elim = mpx || level == SfiLevel::kO2 || level == SfiLevel::kO3 || o4;
+  const bool do_coalesce = mpx || level == SfiLevel::kO3 || o4;
 
   SfiStats local;
 
@@ -180,8 +524,18 @@ Status ApplySfiPass(Function& fn, const ProtectionConfig& config, int32_t krx_ha
     }
   }
 
+  // ---- O4: loop hoisting + cross-block dominance elision. ----
+  bool o4_done = false;
+  if (o4) {
+    O4HoistLoops(fn, sites_by_block, &local);
+    o4_done = O4Coalesce(fn, sites_by_block);
+    // On (theoretical) non-convergence the O3 single-pass analysis below
+    // runs instead; any synthetic preheader checks are simply kept, which
+    // is redundant but sound.
+  }
+
   // ---- O3: cmp/ja coalescing. ----
-  if (do_coalesce) {
+  if (do_coalesce && !o4_done) {
     const size_t n = fn.blocks().size();
     std::vector<std::vector<int32_t>> preds(n);
     for (size_t bi = 0; bi < n; ++bi) {
@@ -274,6 +628,9 @@ Status ApplySfiPass(Function& fn, const ProtectionConfig& config, int32_t krx_ha
 
     auto emit_check = [&](const ReadSite& site, size_t liveness_point) {
       ++local.checks_emitted;
+      if (site.hoisted) {
+        ++local.checks_hoisted;
+      }
       if (mpx) {
         MemOperand checked = site.coalescible || site.is_string
                                  ? MemOperand::Base(site.base, site.check_disp)
@@ -299,7 +656,7 @@ Status ApplySfiPass(Function& fn, const ProtectionConfig& config, int32_t krx_ha
         ++local.wrappers_eliminated;
       }
       if (base_form) {
-        if (!site.is_string) {
+        if (!site.is_string && !site.hoisted) {
           ++local.lea_eliminated;
         }
         Instruction cmp = Instruction::CmpRI(site.base, edata_imm - site.check_disp);
@@ -343,6 +700,15 @@ Status ApplySfiPass(Function& fn, const ProtectionConfig& config, int32_t krx_ha
         }
         ++next_site;
       }
+    }
+    // Synthetic preheader checks land in an otherwise empty block (inst_idx
+    // == insts.size()), which the loop above never reaches.
+    while (next_site < block_sites.size()) {
+      const ReadSite& site = block_sites[next_site];
+      if (!site.removed) {
+        emit_check(site, b.insts.size());
+      }
+      ++next_site;
     }
     b.insts = std::move(out);
   }

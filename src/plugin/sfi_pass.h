@@ -9,6 +9,13 @@
 //   O3:  cmp/ja coalescing: checks on the same base register with no
 //        intervening redefinition/spill/call collapse into one check
 //        against the maximum displacement
+//   O4:  cross-block elision and loop hoisting (extension; src/ir/analysis):
+//        a check is elided when a still-valid check on a congruent register
+//        value (same register, or derived by mov/add/lea with a known
+//        non-negative offset) is available on every path — computed as a
+//        greatest-fixpoint dataflow, so facts survive loop back edges —
+//        and loop-invariant checks are hoisted to a preheader with the
+//        bound widened to the maximum in-loop displacement
 //   MPX: bndcu mem, %bnd0   (no flags, no scratch, #BR on violation)
 //
 // Exemptions, exactly as in the paper:
@@ -38,7 +45,8 @@ struct SfiStats {
   uint64_t rsp_reads = 0;         // plain %rsp accesses (guard-covered)
   uint64_t string_checks = 0;
   uint64_t checks_emitted = 0;    // materialized range checks
-  uint64_t checks_coalesced = 0;  // removed by O3
+  uint64_t checks_coalesced = 0;  // removed by O3/O4 (elided)
+  uint64_t checks_hoisted = 0;    // O4 loop-preheader checks emitted
   uint64_t wrappers_kept = 0;     // pushfq/popfq pairs emitted
   uint64_t wrappers_eliminated = 0;
   uint64_t lea_kept = 0;          // checks still needing lea (+scratch)

@@ -34,6 +34,21 @@ void AppendI64(std::string* out, int64_t v) {
   out->append(buf);
 }
 
+void AppendCsvField(std::string* out, const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    out->append(s);
+    return;
+  }
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"') {
+      out->push_back('"');
+    }
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
 }  // namespace
 
 Histogram::Histogram(std::string name, std::vector<uint64_t> bounds, bool timing)
@@ -189,6 +204,47 @@ std::string MetricsRegistry::SnapshotJson(bool include_timing, const std::string
   out += first ? "}\n" : "\n" + in1 + "}\n";
 
   out += indent + "}";
+  return out;
+}
+
+std::string MetricsRegistry::SnapshotCsv(bool include_timing) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "kind,name,value\n";
+  for (const auto& [name, c] : counters_) {
+    if (c->timing() && !include_timing) {
+      continue;
+    }
+    out += "counter,";
+    AppendCsvField(&out, name);
+    out += ",";
+    AppendU64(&out, c->value());
+    out += "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (g->timing() && !include_timing) {
+      continue;
+    }
+    out += "gauge,";
+    AppendCsvField(&out, name);
+    out += ",";
+    AppendI64(&out, g->value());
+    out += "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (h->timing() && !include_timing) {
+      continue;
+    }
+    for (const char* field : {"count", "sum", "overflow"}) {
+      out += "histogram,";
+      AppendCsvField(&out, name + "." + field);
+      out += ",";
+      const uint64_t v = field[0] == 'c'   ? h->count()
+                         : field[0] == 's' ? h->sum()
+                                           : h->overflow_count();
+      AppendU64(&out, v);
+      out += "\n";
+    }
+  }
   return out;
 }
 

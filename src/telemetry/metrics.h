@@ -111,6 +111,13 @@ class MetricsRegistry {
   // (for embedding in a larger document).
   std::string SnapshotJson(bool include_timing = true, const std::string& indent = "") const;
 
+  // CSV form of the same snapshot: header `kind,name,value` followed by one
+  // row per counter/gauge and three rows per histogram (<name>.count,
+  // <name>.sum, <name>.overflow). Rows are sorted by (kind, name), so with
+  // include_timing = false the document is as deterministic as the JSON
+  // snapshot. Names containing `,` or `"` are quoted RFC-4180 style.
+  std::string SnapshotCsv(bool include_timing = true) const;
+
  private:
   MetricsRegistry() = default;
   mutable std::mutex mu_;

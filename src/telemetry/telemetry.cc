@@ -137,12 +137,22 @@ void TraceRing::Clear() {
   head_.store(0, std::memory_order_release);
 }
 
+namespace {
+std::atomic<size_t> g_ring_capacity{kDefaultRingCapacity};
+}  // namespace
+
+void SetDefaultRingCapacity(size_t capacity) {
+  g_ring_capacity.store(capacity == 0 ? 1 : capacity, std::memory_order_relaxed);
+}
+
+size_t DefaultRingCapacity() { return g_ring_capacity.load(std::memory_order_relaxed); }
+
 TraceRing& ThreadRing() {
   thread_local TraceRing* ring = [] {
     RingRegistry& reg = Registry();
     std::lock_guard<std::mutex> lock(reg.mu);
-    auto created =
-        std::make_shared<TraceRing>(static_cast<uint32_t>(reg.rings.size()));
+    auto created = std::make_shared<TraceRing>(static_cast<uint32_t>(reg.rings.size()),
+                                               DefaultRingCapacity());
     reg.rings.push_back(created);
     return created.get();
   }();

@@ -77,7 +77,7 @@ enum class TraceEventType : uint16_t {
   kSpanEnd,
   kInstant,          // generic point event
   kCpuTrap,          // arg0 = ExceptionKind, arg1 = fault address
-  kKrxViolation,     // arg0 = %rip inside krx_handler
+  kKrxViolation,     // arg0 = %rip inside krx_handler (0: harness-observed)
   kCheckOutcome,     // per-run aggregate: arg0 = bndcu retired, arg1 = loads
   kBlockCacheFlush,  // arg0 = new text generation
   kQuiesceWait,      // arg0 = wait in us, arg1 = 1 writer / 0 reader
@@ -101,6 +101,13 @@ struct TraceRecord {
 };
 
 inline constexpr size_t kDefaultRingCapacity = 8192;
+
+// Capacity used for rings created after the call (a live thread's ring is
+// never resized — call this before the first emission on the threads you
+// care about). Tools whose whole run must fit in the retained window (the
+// traced security_eval attack suite) raise it; zero is clamped to 1.
+void SetDefaultRingCapacity(size_t capacity);
+size_t DefaultRingCapacity();
 
 // Single-writer event ring. The owning thread emits; any thread may read
 // the atomic counters; Snapshot() must run at writer quiescence (records

@@ -66,6 +66,50 @@ bool MeetInto(Facts& into, const Facts& contrib) {
 
 bool MemUsesReg(const MemOperand& mem, Reg r) { return mem.base == r || mem.index == r; }
 
+// Congruence rule of the interval domain: `dst = src + delta` with a known
+// constant delta >= 0, so `cover[dst] = cover[src] - delta` (the proven
+// upper bound shifts down by the added offset; it may go negative, at which
+// point it justifies nothing but stays exact for further derivations).
+//
+// This is the verifier-side duplicate of RegOffsetDerivation in
+// src/ir/analysis.cc — kept inline because krx_verify deliberately does not
+// link the IR analyses it is meant to distrust. The two rule sets MUST
+// agree: any derivation the O4 pass uses to elide a check that is not
+// reproduced here turns into a post-link kRxRead failure.
+bool DeriveRegOffset(const Instruction& inst, Reg* dst, Reg* src, int64_t* delta) {
+  switch (inst.op) {
+    case Opcode::kMovRR:
+      *dst = inst.r1;
+      *src = inst.r2;
+      *delta = 0;
+      return true;
+    case Opcode::kAddRI:
+      if (inst.imm < 0) {
+        return false;  // could wrap below zero under the unsigned compare
+      }
+      *dst = inst.r1;
+      *src = inst.r1;
+      *delta = inst.imm;
+      return true;
+    case Opcode::kLea:
+      if (!inst.mem.has_base() || inst.mem.has_index() || inst.mem.rip_relative ||
+          inst.mem.disp < 0) {
+        return false;
+      }
+      *dst = inst.r1;
+      *src = inst.mem.base;
+      *delta = inst.mem.disp;
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Offsets past this are dropped instead of subtracted: no real derivation
+// chain gets here (the pass caps at the guard size), and the bound keeps
+// the int64 cover arithmetic far from overflow.
+constexpr int64_t kMaxDerivationDelta = int64_t{1} << 40;
+
 // A candidate fact between a `cmp reg, imm` and the `ja` that consumes its
 // flags. Instructions in between (e.g. a decoy phantom mov) may clobber
 // parts of it.
@@ -138,16 +182,44 @@ class ConfinementChecker {
     in[0].top = false;  // entry: nothing proven yet
 
     // Greatest-fixpoint iteration. This is at least as precise as the
-    // pass's layout-order analysis (which drops all facts at back edges),
-    // so every read the pass left uninstrumented because a dominating
-    // check covers it is also justified here — and block permutation
-    // cannot manufacture spurious violations.
+    // pass's analyses — facts survive loop back edges via the intersection
+    // meet, matching O4's availability fixpoint — so every read the pass
+    // left uninstrumented because a dominating check covers it is also
+    // justified here, and block permutation cannot manufacture spurious
+    // violations.
+    //
+    // Termination needs widening: a net-positive derivation cycle (an
+    // `add $c, %r` around a loop) drives cover[r] down by c per round
+    // forever. After the CFG has had time to stabilize (n + 8 rounds) a
+    // snapshot is taken, and any cover entry still descending below its
+    // snapshot value is widened to "unknown" (erased). Erasure only ever
+    // weakens facts, so the result stays a sound over-approximation — and
+    // it mirrors the O4 pass's own widening, which keeps the in-loop check
+    // in exactly these situations.
+    const size_t widen_after = n + 8;
+    std::vector<Facts> widen_base;
+    size_t round = 0;
     bool changed = true;
     while (changed) {
       changed = false;
+      ++round;
+      if (round == widen_after) {
+        widen_base = in;
+      }
       for (size_t b = 0; b < n; ++b) {
         if (!fn_.blocks[b].reachable || in[b].top) {
           continue;
+        }
+        if (round > widen_after && !widen_base[b].top) {
+          const Facts& base = widen_base[b];
+          for (auto it = in[b].cover.begin(); it != in[b].cover.end();) {
+            auto snap = base.cover.find(it->first);
+            if (snap != base.cover.end() && it->second < snap->second) {
+              it = in[b].cover.erase(it);
+            } else {
+              ++it;
+            }
+          }
         }
         FallExtra extra;
         Facts out = Transfer(b, in[b], /*verify=*/false, &extra);
@@ -376,7 +448,33 @@ class ConfinementChecker {
         pending.valid = false;
       }
 
+      // Congruence derivation against the *pre-kill* facts: `add $8, %rdi`
+      // both redefines %rdi and re-derives it from its own old value.
+      bool has_derived = false;
+      Reg derived_dst = Reg::kNone;
+      int64_t derived_cover = 0;
+      {
+        Reg dst = Reg::kNone;
+        Reg src = Reg::kNone;
+        int64_t delta = 0;
+        if (DeriveRegOffset(inst, &dst, &src, &delta) && delta <= kMaxDerivationDelta) {
+          auto it = f.cover.find(src);
+          if (it != f.cover.end()) {
+            has_derived = true;
+            derived_dst = dst;
+            derived_cover = it->second - delta;
+          }
+        }
+      }
+
       ApplyKills(f, lea_ea, pending, inst);
+
+      if (has_derived) {
+        auto it = f.cover.find(derived_dst);
+        if (it == f.cover.end() || it->second < derived_cover) {
+          f.cover[derived_dst] = derived_cover;
+        }
+      }
 
       switch (inst.op) {
         case Opcode::kBndcu:
@@ -398,6 +496,13 @@ class ConfinementChecker {
           if (!inst.mem.rip_relative && !inst.mem.is_absolute() &&
               !MemUsesReg(inst.mem, inst.r1)) {
             lea_ea[inst.r1] = inst.mem;
+          }
+          break;
+        case Opcode::kMovRI:
+          // The register now holds a known constant: if it is within the
+          // data region, reads through it are bounded by edata - imm.
+          if (inst.imm >= 0 && static_cast<uint64_t>(inst.imm) <= params_.edata) {
+            f.cover[inst.r1] = static_cast<int64_t>(params_.edata) - inst.imm;
           }
           break;
         case Opcode::kCmpRI: {
@@ -449,7 +554,13 @@ class ConfinementChecker {
 
 void CheckReadConfinement(const DecodedFunction& fn, const ConfinementParams& params,
                           VerifyReport* report) {
+  const VerifyCounters before = report->counters;
   ConfinementChecker(fn, params, report).Run();
+  FunctionReadCensus census;
+  census.reads_seen = report->counters.reads_seen - before.reads_seen;
+  census.justified_reads = report->counters.justified_reads - before.justified_reads;
+  census.range_checks_seen = report->counters.range_checks_seen - before.range_checks_seen;
+  report->per_function.emplace_back(fn.name, census);
 }
 
 }  // namespace krx

@@ -6,8 +6,18 @@
 // displacement bound is checked image-wide), or (c) dominated on every path
 // by a range check — cmp/ja against _krx_edata or a bndcu — that covers its
 // displacement with no intervening redefinition, spill or call of the base
-// register. The dominating-check availability dataflow mirrors the O3 model
-// in src/plugin/sfi_pass.cc but is rebuilt independently from decoded bytes.
+// register.
+//
+// The availability analysis is a small abstract interpreter over the
+// decoded CFG with an interval domain per register (`cover[r] = D` means
+// r <= edata - D on every path) — a greatest fixpoint with intersection
+// joins at merge points, so facts survive loop back edges, plus a
+// congruence transfer for mov/add/lea register derivations. That makes it
+// strictly stronger than the instrumentation passes' own O3/O4 analyses
+// (src/plugin/sfi_pass.cc): every check elision the pass performs —
+// including O4's cross-block elision and loop hoisting — must be
+// independently re-provable here from the final bytes alone, or the build
+// fails post-link verification.
 #ifndef KRX_SRC_VERIFY_CONFINEMENT_H_
 #define KRX_SRC_VERIFY_CONFINEMENT_H_
 

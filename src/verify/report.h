@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace krx {
@@ -64,9 +65,20 @@ struct VerifyCounters {
   int64_t max_rsp_disp = 0;
 };
 
+// Read-confinement census of a single function: what the abstract
+// interpreter saw and proved there. Lines up with the pass side's
+// per-function SfiStats so krx_objdump/krx_verify can print both.
+struct FunctionReadCensus {
+  uint64_t reads_seen = 0;
+  uint64_t justified_reads = 0;
+  uint64_t range_checks_seen = 0;
+};
+
 struct VerifyReport {
   std::vector<Diagnostic> diagnostics;
   VerifyCounters counters;
+  // Filled by CheckReadConfinement, in verification order.
+  std::vector<std::pair<std::string, FunctionReadCensus>> per_function;
 
   bool ok() const { return diagnostics.empty(); }
   void Add(Diagnostic d) { diagnostics.push_back(std::move(d)); }

@@ -23,6 +23,7 @@ std::vector<Column> Table1Columns(uint64_t seed) {
                   LayoutKind::kKrx});
   cols.push_back({"MPX+X", ProtectionConfig::Full(true, RaScheme::kEncrypt, seed),
                   LayoutKind::kKrx});
+  cols.push_back({"SFI(-O4)", ProtectionConfig::SfiOnly(SfiLevel::kO4), LayoutKind::kKrx});
   return cols;
 }
 
@@ -40,8 +41,13 @@ bool ParseConfigName(const std::string& name, uint64_t seed, ProtectionConfig* c
     *config = ProtectionConfig::SfiOnly(SfiLevel::kO2);
   } else if (name == "sfi-o3" || name == "sfi") {
     *config = ProtectionConfig::SfiOnly(SfiLevel::kO3);
+  } else if (name == "sfi-o4") {
+    *config = ProtectionConfig::SfiOnly(SfiLevel::kO4);
   } else if (name == "mpx") {
     *config = ProtectionConfig::MpxOnly();
+  } else if (name == "mpx-o4") {
+    *config = ProtectionConfig::MpxOnly();
+    config->sfi = SfiLevel::kO4;
   } else if (name == "d") {
     *config = ProtectionConfig::DiversifyOnly(RaScheme::kDecoy, seed);
   } else if (name == "x") {

@@ -3,8 +3,8 @@
 namespace krx {
 
 const char* const kTable1ColumnNames[kNumTable1Columns] = {
-    "SFI(-O0)", "SFI(-O1)", "SFI(-O2)", "SFI(-O3)", "MPX", "D", "X",
-    "SFI+D",    "SFI+X",    "MPX+D",    "MPX+X",
+    "SFI(-O0)", "SFI(-O1)", "SFI(-O2)", "SFI(-O3)", "MPX",      "D", "X",
+    "SFI+D",    "SFI+X",    "MPX+D",    "MPX+X",    "SFI(-O4)",
 };
 
 namespace {
@@ -28,6 +28,7 @@ std::vector<LmbenchRow> BuildRows() {
     for (double v : paper) {
       row.paper[i++] = v;
     }
+    row.paper[kColSfiO4] = row.paper[kColSfiO3];  // no paper number for O4
     rows.push_back(std::move(row));
   };
 

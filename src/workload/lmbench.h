@@ -28,6 +28,11 @@ enum Table1Column : int {
   kColSfiX,
   kColMpxD,
   kColMpxX,
+  // Reproduction extension past the paper's columns (appended so the
+  // 11-value paper rows keep their positional initializers): SFI at the O4
+  // cross-block-elision level. Its `paper` reference falls back to SFI(-O3)
+  // — the paper has no O4 column, and O4 can only remove checks.
+  kColSfiO4,
   kNumTable1Columns,
 };
 
@@ -37,7 +42,7 @@ struct LmbenchRow {
   std::string display_name;       // e.g. "open()/close()"
   bool bandwidth = false;         // latency vs. bandwidth section of Table 1
   OpProfile profile;
-  double paper[kNumTable1Columns];  // Table 1 reference values (% overhead)
+  double paper[kNumTable1Columns] = {};  // Table 1 reference values (% overhead)
 };
 
 const std::vector<LmbenchRow>& LmbenchRows();

@@ -1,6 +1,7 @@
 // CFG IR, builder discipline and %rflags liveness analysis.
 #include <gtest/gtest.h>
 
+#include "src/ir/analysis.h"
 #include "src/ir/builder.h"
 #include "src/ir/liveness.h"
 
@@ -144,6 +145,94 @@ TEST(Liveness, LoopCarriedFlags) {
   int32_t loop_idx = fn.IndexOfBlock(loop);
   EXPECT_FALSE(live.LiveIn(loop_idx));
   EXPECT_TRUE(live.LiveBefore(loop_idx, 1));
+}
+
+TEST(Dominators, DiamondJoinDominatedOnlyByEntry) {
+  // layout: 0 = [cmp, jcc] -> {1, 2}; 1 = [add, jmp join]; 2 = arm; 3 = join.
+  FunctionBuilder b("f");
+  int32_t join = b.ReserveBlock();
+  int32_t arm = b.ReserveBlock();
+  b.Emit(Instruction::CmpRI(Reg::kRax, 0));
+  b.Emit(Instruction::JccBlock(Cond::kE, arm));
+  b.Emit(Instruction::AddRI(Reg::kRbx, 1));
+  b.Emit(Instruction::JmpBlock(join));
+  b.Bind(arm);
+  b.Emit(Instruction::AddRI(Reg::kRbx, 2));
+  b.Bind(join);
+  b.Emit(Instruction::Ret());
+  Function fn = b.Build();
+  DominatorTree dom(fn);
+  EXPECT_EQ(dom.Idom(0), -1);
+  EXPECT_EQ(dom.Idom(1), 0);
+  EXPECT_EQ(dom.Idom(2), 0);
+  EXPECT_EQ(dom.Idom(3), 0);  // neither arm dominates the join
+  EXPECT_TRUE(dom.Dominates(0, 3));
+  EXPECT_FALSE(dom.Dominates(1, 3));
+  EXPECT_FALSE(dom.Dominates(2, 3));
+  EXPECT_TRUE(dom.Dominates(3, 3));  // reflexive
+  EXPECT_TRUE(FindNaturalLoops(fn, dom).empty());
+}
+
+TEST(Dominators, LoopHeaderDominatesBodyAndLatch) {
+  // layout: 0 = [mov]; 1 = head [add]; 2 = latch [sub, jne head]; 3 = [ret].
+  FunctionBuilder b("f");
+  int32_t head = b.ReserveBlock();
+  int32_t latch = b.ReserveBlock();
+  b.Emit(Instruction::MovRI(Reg::kRcx, 4));
+  b.Bind(head);
+  b.Emit(Instruction::AddRI(Reg::kRax, 1));
+  b.Bind(latch);
+  b.Emit(Instruction::SubRI(Reg::kRcx, 1));
+  b.Emit(Instruction::JccBlock(Cond::kNe, head));
+  b.Emit(Instruction::Ret());
+  Function fn = b.Build();
+  DominatorTree dom(fn);
+  EXPECT_EQ(dom.Idom(1), 0);
+  EXPECT_EQ(dom.Idom(2), 1);
+  EXPECT_TRUE(dom.Dominates(1, 2));
+  EXPECT_FALSE(dom.Dominates(2, 1));
+
+  std::vector<NaturalLoop> loops = FindNaturalLoops(fn, dom);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0].header, 1);
+  EXPECT_EQ(loops[0].latches, std::vector<int32_t>{2});
+  EXPECT_EQ(loops[0].body, (std::set<int32_t>{1, 2}));
+}
+
+TEST(Congruence, DerivationRules) {
+  Reg dst = Reg::kRax;
+  Reg src = Reg::kRax;
+  int64_t delta = -1;
+  // mov %rdi, %rsi: rsi = rdi + 0.
+  ASSERT_TRUE(RegOffsetDerivation(Instruction::MovRR(Reg::kRsi, Reg::kRdi), &dst, &src, &delta));
+  EXPECT_EQ(dst, Reg::kRsi);
+  EXPECT_EQ(src, Reg::kRdi);
+  EXPECT_EQ(delta, 0);
+  // add $32, %rdi: rdi = rdi + 32.
+  ASSERT_TRUE(RegOffsetDerivation(Instruction::AddRI(Reg::kRdi, 32), &dst, &src, &delta));
+  EXPECT_EQ(dst, Reg::kRdi);
+  EXPECT_EQ(src, Reg::kRdi);
+  EXPECT_EQ(delta, 32);
+  // lea 40(%rdi), %rsi: rsi = rdi + 40.
+  ASSERT_TRUE(RegOffsetDerivation(Instruction::Lea(Reg::kRsi, MemOperand::Base(Reg::kRdi, 40)),
+                                  &dst, &src, &delta));
+  EXPECT_EQ(dst, Reg::kRsi);
+  EXPECT_EQ(src, Reg::kRdi);
+  EXPECT_EQ(delta, 40);
+  // Unsigned checks: negative deltas may wrap, so they never derive.
+  EXPECT_FALSE(RegOffsetDerivation(Instruction::AddRI(Reg::kRdi, -8), &dst, &src, &delta));
+  EXPECT_FALSE(RegOffsetDerivation(Instruction::Lea(Reg::kRsi, MemOperand::Base(Reg::kRdi, -8)),
+                                   &dst, &src, &delta));
+  // Indexed and rip-relative leas depend on more than one input value.
+  EXPECT_FALSE(RegOffsetDerivation(
+      Instruction::Lea(Reg::kRsi, MemOperand::BaseIndex(Reg::kRdi, Reg::kRcx, 8, 0)), &dst, &src,
+      &delta));
+  EXPECT_FALSE(
+      RegOffsetDerivation(Instruction::Lea(Reg::kRsi, MemOperand::RipRel(0x10)), &dst, &src,
+                          &delta));
+  // Constant loads and subtractions are not derivations.
+  EXPECT_FALSE(RegOffsetDerivation(Instruction::MovRI(Reg::kRsi, 5), &dst, &src, &delta));
+  EXPECT_FALSE(RegOffsetDerivation(Instruction::SubRI(Reg::kRdi, 8), &dst, &src, &delta));
 }
 
 TEST(RegHelpers, WritesAndReads) {

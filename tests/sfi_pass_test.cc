@@ -245,6 +245,175 @@ TEST(SfiPass, NoCoalescingAcrossPartialPaths) {
   EXPECT_EQ(r.stats.checks_coalesced, 0u);
 }
 
+// ---- O4: cross-block congruence elision and loop hoisting. ----
+
+// Returns every surviving range-check cmp immediate, across all blocks.
+std::vector<int64_t> RangeCheckImms(const Function& fn) {
+  std::vector<int64_t> imms;
+  for (const BasicBlock& b : fn.blocks()) {
+    for (const Instruction& inst : b.insts) {
+      if (inst.IsRangeCheck() && inst.op == Opcode::kCmpRI) {
+        imms.push_back(inst.imm);
+      }
+    }
+  }
+  return imms;
+}
+
+TEST(SfiPassO4, ElidesAcrossMovCongruence) {
+  // mov %rdi, %rsi carries the checked value into a new register: the read
+  // through %rsi is covered by the %rdi check once its bound is widened.
+  auto make = [] {
+    FunctionBuilder b("f");
+    b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 8)));
+    b.Emit(Instruction::MovRR(Reg::kRsi, Reg::kRdi));
+    b.Emit(Instruction::Load(Reg::kRbx, MemOperand::Base(Reg::kRsi, 16)));
+    b.Emit(Instruction::Ret());
+    return b.Build();
+  };
+  PassResult o3 = Apply(make(), SfiLevel::kO3);
+  EXPECT_EQ(o3.stats.checks_emitted, 2u);  // O3 cannot see through the mov
+  PassResult o4 = Apply(make(), SfiLevel::kO4);
+  EXPECT_EQ(o4.stats.checks_emitted, 1u);
+  EXPECT_EQ(o4.stats.checks_coalesced, 1u);
+  // The surviving %rdi check was widened to the congruent read's reach.
+  EXPECT_EQ(RangeCheckImms(o4.fn), std::vector<int64_t>{kEdata - 16});
+}
+
+TEST(SfiPassO4, ElidesAfterNonNegativeAdd) {
+  // `add $64, %rdi` kills O3 coalescing (RedefinitionBlocksCoalescing), but
+  // O4 knows the new value is old + 64 and folds the second read into the
+  // first check at displacement 64 + 16.
+  auto make = [] {
+    FunctionBuilder b("f");
+    b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 8)));
+    b.Emit(Instruction::AddRI(Reg::kRdi, 64));
+    b.Emit(Instruction::Load(Reg::kRbx, MemOperand::Base(Reg::kRdi, 16)));
+    b.Emit(Instruction::Ret());
+    return b.Build();
+  };
+  PassResult o3 = Apply(make(), SfiLevel::kO3);
+  EXPECT_EQ(o3.stats.checks_emitted, 2u);
+  PassResult o4 = Apply(make(), SfiLevel::kO4);
+  EXPECT_EQ(o4.stats.checks_emitted, 1u);
+  EXPECT_EQ(RangeCheckImms(o4.fn), std::vector<int64_t>{kEdata - 80});
+}
+
+TEST(SfiPassO4, NegativeAddStillBlocksElision) {
+  // Decrements may wrap below the checked bound under the unsigned compare,
+  // so they must not transfer coverage even at O4.
+  FunctionBuilder b("f");
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 8)));
+  b.Emit(Instruction::AddRI(Reg::kRdi, -64));
+  b.Emit(Instruction::Load(Reg::kRbx, MemOperand::Base(Reg::kRdi, 16)));
+  b.Emit(Instruction::Ret());
+  PassResult r = Apply(b.Build(), SfiLevel::kO4);
+  EXPECT_EQ(r.stats.checks_emitted, 2u);
+  EXPECT_EQ(r.stats.checks_coalesced, 0u);
+}
+
+TEST(SfiPassO4, PartialPathChecksStay) {
+  // The NoCoalescingAcrossPartialPaths property must survive O4: coverage
+  // only flows through the meet when *every* predecessor provides it.
+  FunctionBuilder b("f");
+  int32_t join = b.ReserveBlock();
+  int32_t arm = b.ReserveBlock();
+  b.Emit(Instruction::CmpRI(Reg::kRsi, 0));
+  b.Emit(Instruction::JccBlock(Cond::kE, arm));
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 8)));
+  b.Emit(Instruction::JmpBlock(join));
+  b.Bind(arm);
+  b.Emit(Instruction::MovRI(Reg::kRax, 0));  // no check on this path
+  b.Bind(join);
+  b.Emit(Instruction::Load(Reg::kRbx, MemOperand::Base(Reg::kRdi, 24)));
+  b.Emit(Instruction::Ret());
+  PassResult r = Apply(b.Build(), SfiLevel::kO4);
+  EXPECT_EQ(r.stats.checks_emitted, 2u);
+  EXPECT_EQ(r.stats.checks_coalesced, 0u);
+}
+
+TEST(SfiPassO4, HoistsLoopInvariantCheckToPreheader) {
+  // O3 keeps the check inside the loop (LoopHeaderChecksStay); O4 hoists it
+  // into a fresh preheader, so it executes once instead of per iteration.
+  auto make = [] {
+    FunctionBuilder b("f");
+    int32_t loop = b.ReserveBlock();
+    b.Emit(Instruction::MovRI(Reg::kRcx, 10));
+    b.Bind(loop);
+    b.Emit(Instruction::Load(Reg::kRbx, MemOperand::Base(Reg::kRdi, 16)));
+    b.Emit(Instruction::SubRI(Reg::kRcx, 1));
+    b.Emit(Instruction::JccBlock(Cond::kNe, loop));
+    b.Emit(Instruction::Ret());
+    return b.Build();
+  };
+  PassResult o3 = Apply(make(), SfiLevel::kO3);
+  EXPECT_EQ(o3.stats.checks_emitted, 1u);
+  EXPECT_EQ(o3.stats.checks_hoisted, 0u);
+  PassResult o4 = Apply(make(), SfiLevel::kO4);
+  EXPECT_EQ(o4.stats.checks_emitted, 1u);
+  EXPECT_EQ(o4.stats.checks_hoisted, 1u);
+  EXPECT_EQ(o4.stats.checks_coalesced, 1u);  // the in-loop site was absorbed
+  // The surviving check covers the in-loop displacement and does not live
+  // in the loop body (the block that decrements the counter).
+  EXPECT_EQ(RangeCheckImms(o4.fn), std::vector<int64_t>{kEdata - 16});
+  for (const BasicBlock& blk : o4.fn.blocks()) {
+    bool in_loop = false;
+    for (const Instruction& inst : blk.insts) {
+      if (inst.op == Opcode::kSubRI) {
+        in_loop = true;
+      }
+    }
+    if (in_loop) {
+      for (const Instruction& inst : blk.insts) {
+        EXPECT_FALSE(inst.IsRangeCheck()) << "check left inside the loop";
+      }
+    }
+  }
+}
+
+TEST(SfiPassO4, ClobberedBaseKeepsCheckInLoop) {
+  // The base advances every iteration, so hoisting is unsound and the
+  // widening pass must also refuse to elide: the check stays in the loop.
+  FunctionBuilder b("f");
+  int32_t loop = b.ReserveBlock();
+  b.Emit(Instruction::MovRI(Reg::kRcx, 10));
+  b.Bind(loop);
+  b.Emit(Instruction::Load(Reg::kRbx, MemOperand::Base(Reg::kRdi, 16)));
+  b.Emit(Instruction::AddRI(Reg::kRdi, 8));
+  b.Emit(Instruction::SubRI(Reg::kRcx, 1));
+  b.Emit(Instruction::JccBlock(Cond::kNe, loop));
+  b.Emit(Instruction::Ret());
+  PassResult r = Apply(b.Build(), SfiLevel::kO4);
+  EXPECT_EQ(r.stats.checks_hoisted, 0u);
+  EXPECT_EQ(r.stats.checks_emitted, 1u);
+  EXPECT_EQ(r.stats.checks_coalesced, 0u);
+  // The check sits next to the load, inside the loop.
+  for (const BasicBlock& blk : r.fn.blocks()) {
+    bool has_load = false;
+    bool has_check = false;
+    for (const Instruction& inst : blk.insts) {
+      has_load |= inst.op == Opcode::kLoad;
+      has_check |= inst.IsRangeCheck() && inst.op == Opcode::kCmpRI;
+    }
+    EXPECT_EQ(has_load, has_check);
+  }
+}
+
+TEST(SfiPassO4, CallInLoopBlocksHoisting) {
+  FunctionBuilder b("f");
+  int32_t loop = b.ReserveBlock();
+  b.Emit(Instruction::MovRI(Reg::kRcx, 10));
+  b.Bind(loop);
+  b.Emit(Instruction::Load(Reg::kRbx, MemOperand::Base(Reg::kRdi, 16)));
+  b.Emit(Instruction::CallSym(0));
+  b.Emit(Instruction::SubRI(Reg::kRcx, 1));
+  b.Emit(Instruction::JccBlock(Cond::kNe, loop));
+  b.Emit(Instruction::Ret());
+  PassResult r = Apply(b.Build(), SfiLevel::kO4);
+  EXPECT_EQ(r.stats.checks_hoisted, 0u);
+  EXPECT_EQ(r.stats.checks_emitted, 1u);
+}
+
 TEST(SfiPass, LoopHeaderChecksStay) {
   // A check inside a loop cannot be absorbed by a pre-loop check.
   FunctionBuilder b("f");
@@ -267,11 +436,15 @@ TEST_P(EnforcementSweep, AdversarialBaseRegistersAreAlwaysCaught) {
   // Build a full kernel under each level; call the leak routine with
   // addresses around every interesting boundary and verify reads above
   // _krx_edata never survive.
-  const SfiLevel level = static_cast<SfiLevel>(GetParam());
+  const int param = GetParam();
   KernelSource src = MakeBaseSource();
   ProtectionConfig config;
-  config.sfi = level == SfiLevel::kNone ? SfiLevel::kO3 : level;
-  config.mpx = level == SfiLevel::kNone;  // param 0 exercises the MPX flavour
+  if (param == 0 || param == 6) {  // params 0/6 exercise the MPX flavour
+    config.sfi = param == 0 ? SfiLevel::kO3 : SfiLevel::kO4;
+    config.mpx = true;
+  } else {
+    config.sfi = static_cast<SfiLevel>(param);
+  }
   auto kernel = CompileKernel(std::move(src), {config, LayoutKind::kKrx});
   ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
   CpuOptions opts;
@@ -301,11 +474,12 @@ TEST_P(EnforcementSweep, AdversarialBaseRegistersAreAlwaysCaught) {
 }
 
 std::string LevelName(const ::testing::TestParamInfo<int>& param_info) {
-  static const char* const kNames[] = {"MPX", "O0", "O1", "O2", "O3"};
+  static const char* const kNames[] = {"MPX", "O0", "O1", "O2", "O3", "O4", "MpxO4"};
   return kNames[param_info.param];
 }
 
-INSTANTIATE_TEST_SUITE_P(Levels, EnforcementSweep, ::testing::Values(0, 1, 2, 3, 4), LevelName);
+INSTANTIATE_TEST_SUITE_P(Levels, EnforcementSweep, ::testing::Values(0, 1, 2, 3, 4, 5, 6),
+                         LevelName);
 
 TEST(SfiPass, ExemptFunctionsSkipped) {
   KernelSource src = MakeBaseSource();

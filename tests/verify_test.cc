@@ -4,6 +4,7 @@
 // half of an SFI-style verifier's contract.
 #include <gtest/gtest.h>
 
+#include "src/ir/liveness.h"
 #include "src/isa/encoding.h"
 #include "src/plugin/pipeline.h"
 #include "src/verify/decoded_function.h"
@@ -167,6 +168,133 @@ TEST(VerifyMutation, DroppedCmpIsCaught) {
   cmp.r1 = cmp.r1 == Reg::kRax ? Reg::kRbx : Reg::kRax;
   Rewrite(*kernel.image, site.fn.insts[site.index], cmp);
 
+  ExpectOnlyRule(VerifyImage(*kernel.image, opts), RuleId::kRxRead);
+}
+
+TEST(VerifyMutation, DroppedCmpIsCaughtAtO4) {
+  // The O4 image carries far fewer checks, every one justifying whole
+  // families of elided reads — neutralizing the first one found must break
+  // the interval-domain proof.
+  CompiledKernel kernel = Build(ProtectionConfig::SfiOnly(SfiLevel::kO4), LayoutKind::kKrx);
+  VerifyOptions opts = VerifyOptions::ForConfig(kernel.config);
+  ASSERT_TRUE(VerifyImage(*kernel.image, opts).ok());
+
+  RangeCheckSite site;
+  ASSERT_TRUE(FindRangeCheckSite(*kernel.image, &site));
+  Instruction cmp = site.fn.insts[site.index].inst;
+  cmp.r1 = cmp.r1 == Reg::kRax ? Reg::kRbx : Reg::kRax;
+  Rewrite(*kernel.image, site.fn.insts[site.index], cmp);
+
+  ExpectOnlyRule(VerifyImage(*kernel.image, opts), RuleId::kRxRead);
+}
+
+TEST(VerifyMutation, EveryO4CheckIsLoadBearing) {
+  // O4's contract: a check that survives elision is non-redundant. Strip
+  // each surviving check (one per function, register-swap neutralization),
+  // verify, and restore — every single mutation must be rejected.
+  CompiledKernel kernel = Build(ProtectionConfig::SfiOnly(SfiLevel::kO4), LayoutKind::kKrx);
+  VerifyOptions opts = VerifyOptions::ForConfig(kernel.config);
+  ASSERT_TRUE(VerifyImage(*kernel.image, opts).ok());
+
+  const SymbolTable& symbols = kernel.image->symbols();
+  int mutations = 0;
+  for (int32_t s = 0; s < static_cast<int32_t>(symbols.size()); ++s) {
+    const Symbol& sym = symbols.at(s);
+    if (!sym.defined || sym.kind != SymbolKind::kFunction || sym.size == 0 ||
+        sym.name == kKrxHandlerName) {
+      continue;
+    }
+    auto fn = DecodeFunction(*kernel.image, sym.name, sym.address, sym.size);
+    if (!fn.ok()) {
+      continue;
+    }
+    int64_t idx = FindRangeCheckCmp(*fn, kernel.image->krx_edata());
+    if (idx < 0) {
+      continue;
+    }
+    const DecodedInst& di = fn->insts[static_cast<size_t>(idx)];
+    Instruction broken = di.inst;
+    broken.r1 = broken.r1 == Reg::kRax ? Reg::kRbx : Reg::kRax;
+    Rewrite(*kernel.image, di, broken);
+    VerifyReport report = VerifyImage(*kernel.image, opts);
+    EXPECT_FALSE(report.ok()) << sym.name << ": stripped check at index " << idx
+                              << " was not load-bearing";
+    EXPECT_TRUE(report.Violates(RuleId::kRxRead)) << sym.name;
+    Rewrite(*kernel.image, di, di.inst);  // restore the original bytes
+    ++mutations;
+  }
+  ASSERT_GT(mutations, 4);  // the corpus has many instrumented functions
+  // Restoration left the image sound.
+  EXPECT_TRUE(VerifyImage(*kernel.image, opts).ok());
+}
+
+TEST(VerifyMutation, ClobberedDominatingBaseIsCaughtAtO4) {
+  // Find a surviving check whose base register justifies a *later* read
+  // (an O4 elision), with a rewritable instruction in between. Clobbering
+  // the base there (mov $above-edata, %base) kills the interval fact the
+  // elided read depends on; the verifier must notice.
+  CompiledKernel kernel = Build(ProtectionConfig::SfiOnly(SfiLevel::kO4), LayoutKind::kKrx);
+  VerifyOptions opts = VerifyOptions::ForConfig(kernel.config);
+  ASSERT_TRUE(VerifyImage(*kernel.image, opts).ok());
+  const uint64_t edata = kernel.image->krx_edata();
+
+  const SymbolTable& symbols = kernel.image->symbols();
+  bool mutated = false;
+  for (int32_t s = 0; s < static_cast<int32_t>(symbols.size()) && !mutated; ++s) {
+    const Symbol& sym = symbols.at(s);
+    if (!sym.defined || sym.kind != SymbolKind::kFunction || sym.size == 0 ||
+        sym.name == kKrxHandlerName) {
+      continue;
+    }
+    auto fn = DecodeFunction(*kernel.image, sym.name, sym.address, sym.size);
+    if (!fn.ok()) {
+      continue;
+    }
+    for (size_t i = 0; i + 1 < fn->insts.size() && !mutated; ++i) {
+      const Instruction& cmp = fn->insts[i].inst;
+      const Instruction& ja = fn->insts[i + 1].inst;
+      if (cmp.op != Opcode::kCmpRI || static_cast<uint64_t>(cmp.imm) > edata ||
+          static_cast<uint64_t>(cmp.imm) < edata - 4096 || ja.op != Opcode::kJcc ||
+          ja.cond != Cond::kA) {
+        continue;
+      }
+      const Reg base = cmp.r1;
+      // Scan the straight-line tail: stop at anything that re-derives or
+      // re-checks the base (positive adds keep coverage and may pass). The
+      // clobber vehicle is the first load *through* the base into some
+      // other register — redirecting its destination onto the base itself
+      // replaces the checked pointer with unchecked memory content. The
+      // victim is any later non-indexed read through the base (indexed
+      // reads carry their own lea-form check).
+      int64_t clobber = -1;
+      for (size_t j = i + 2; j < fn->insts.size(); ++j) {
+        const DecodedInst& dj = fn->insts[j];
+        const Instruction& inst = dj.inst;
+        const bool derives_base = inst.op == Opcode::kAddRI && inst.r1 == base && inst.imm >= 0;
+        if (!dj.reachable || inst.IsCall() || inst.IsTerminator() ||
+            (InstructionWritesReg(inst, base) && !derives_base)) {
+          break;
+        }
+        if (inst.op == Opcode::kCmpRI && inst.r1 == base) {
+          break;  // a fresh check would re-cover the base
+        }
+        const bool read_via_base = inst.ReadsMemory() && inst.mem.base == base &&
+                                   inst.mem.index == Reg::kNone && !inst.mem.rip_relative;
+        if (clobber >= 0 && read_via_base) {
+          Instruction evil = fn->insts[static_cast<size_t>(clobber)].inst;
+          evil.r1 = base;  // load [base+d] -> base: the interval fact dies
+          Rewrite(*kernel.image, fn->insts[static_cast<size_t>(clobber)], evil);
+          mutated = true;
+          break;
+        }
+        if (clobber < 0 && read_via_base && inst.r1 != base &&
+            (inst.op == Opcode::kLoad || inst.op == Opcode::kAddRM)) {
+          clobber = static_cast<int64_t>(j);
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(mutated) << "no check/clobber-point/read triple found in the O4 image";
   ExpectOnlyRule(VerifyImage(*kernel.image, opts), RuleId::kRxRead);
 }
 

@@ -2,13 +2,18 @@
 # CI driver: builds the default and ASan+UBSan presets, runs the tier-1
 # suite, the sanitizer subset, the fault-injection campaigns, the live
 # re-randomization (rerand) stage, the perf stage (block-cache equivalence
-# tests + parallel bench smoke matrix with the telemetry overhead gate), and
-# the telemetry stage (subsystem tests + krx_trace export/validate smoke),
-# and produces the BENCH_fault.json, BENCH_rerand.json, BENCH_perf.json and
-# BENCH_trace.json artifacts.
+# tests + parallel bench smoke matrix with the telemetry overhead gate), the
+# telemetry stage (subsystem tests + krx_trace export/validate smoke + the
+# traced security_eval attack timeline), and the static-analysis stage
+# (krx_verify over the full config matrix, proving every image — including
+# the O4-optimized ones — still carries a sufficient dominating check for
+# each load/store). Produces the BENCH_fault.json, BENCH_rerand.json,
+# BENCH_perf.json, BENCH_trace.json and BENCH_attacks_trace.json artifacts.
+# The full (non-quick) run re-verifies under the ASan preset and adds a
+# ThreadSanitizer preset pass over the telemetry-labelled suites.
 #
 # Usage: tools/ci.sh [--quick]
-#   --quick   skip the ASan preset (default build + tests + fault labels only)
+#   --quick   skip the ASan and TSan presets (default preset stages only)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -59,6 +64,17 @@ ctest --test-dir build -L telemetry --output-on-failure -j4
   echo "bench_perf chrome trace failed validation" >&2; exit 1;
 }
 
+echo "==> telemetry stage: per-attack timeline (build/BENCH_attacks_trace.json)"
+./build/bench/security_eval --trace build/BENCH_attacks_trace.json > /dev/null
+./build/tools/krx_trace validate build/BENCH_attacks_trace.json || {
+  echo "security_eval chrome trace failed validation" >&2; exit 1;
+}
+
+echo "==> static-analysis stage: verifier over the full config matrix"
+./build/tools/krx_verify all || {
+  echo "static-analysis verification failed (default preset)" >&2; exit 1;
+}
+
 if [ "$QUICK" -eq 0 ]; then
   echo "==> configure + build (asan preset)"
   cmake --preset asan
@@ -75,6 +91,18 @@ if [ "$QUICK" -eq 0 ]; then
 
   echo "==> telemetry labels (asan preset)"
   ctest --test-dir build-asan -L telemetry --output-on-failure -j4
+
+  echo "==> static-analysis stage (asan preset)"
+  ./build-asan/tools/krx_verify all || {
+    echo "static-analysis verification failed (asan preset)" >&2; exit 1;
+  }
+
+  echo "==> configure + build (tsan preset)"
+  cmake --preset tsan
+  cmake --build --preset tsan -j
+
+  echo "==> telemetry + concurrency labels (tsan preset)"
+  ctest --preset tsan -j8
 fi
 
 echo "==> CI OK"

@@ -3,10 +3,13 @@
 // gadget census. The reproduction's answer to `objdump -d vmlinux`.
 //
 // Usage:
-//   krx_objdump [config] [function ...]
-//     config: vanilla | sfi-o0..sfi-o3 | mpx | d | x | sfi+d | sfi+x |
-//             mpx+d | mpx+x          (default: sfi+x)
+//   krx_objdump [--per-function] [config] [function ...]
+//     config: vanilla | sfi-o0..sfi-o4 | mpx | mpx-o4 | d | x | sfi+d |
+//             sfi+x | mpx+d | mpx+x  (default: sfi+x)
 //     function: names to disassemble (default: a small showcase set)
+//     --per-function: print the per-function check census — pass side
+//     (emitted/elided/hoisted) next to the verifier's independent count of
+//     reads it proved justified there
 //   krx_objdump --rerand [config]
 //     dump the retained re-randomization metadata (RerandMap) instead:
 //     function extents and return sites, xkey slots, pointer sites — then
@@ -153,11 +156,18 @@ int Main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--stats") == 0) {
     return DumpStats(argc > 2 ? argv[2] : "sfi+x");
   }
-  std::string config_name = argc > 1 ? argv[1] : "sfi+x";
+  int argi = 1;
+  bool per_function = false;
+  if (argi < argc && std::strcmp(argv[argi], "--per-function") == 0) {
+    per_function = true;
+    ++argi;
+  }
+  std::string config_name = argi < argc ? argv[argi++] : "sfi+x";
   ProtectionConfig config;
   LayoutKind layout;
   if (!ParseConfigName(config_name, 0xD15A, &config, &layout)) {
-    std::fprintf(stderr, "unknown config '%s'\nusage: krx_objdump [%s] [function...]\n",
+    std::fprintf(stderr,
+                 "unknown config '%s'\nusage: krx_objdump [--per-function] [%s] [function...]\n",
                  config_name.c_str(), kConfigNamesUsage);
     return 2;
   }
@@ -201,21 +211,22 @@ int Main(int argc, char** argv) {
     const SfiStats& s = kernel->stats.sfi;
     std::printf("\nSFI stats: %" PRIu64 " read sites (%" PRIu64 " safe, %" PRIu64
                 " rsp-guarded, %" PRIu64 " string), %" PRIu64 " checks emitted, %" PRIu64
-                " coalesced (%.1f%%), wrappers %" PRIu64 " kept / %" PRIu64
+                " coalesced (%.1f%%), %" PRIu64 " hoisted, wrappers %" PRIu64 " kept / %" PRIu64
                 " elided, lea %" PRIu64 " kept / %" PRIu64 " elided\n",
                 s.read_sites, s.safe_reads, s.rsp_reads, s.string_checks, s.checks_emitted,
-                s.checks_coalesced, s.CoalescingRate(), s.wrappers_kept, s.wrappers_eliminated,
-                s.lea_kept, s.lea_eliminated);
+                s.checks_coalesced, s.CoalescingRate(), s.checks_hoisted, s.wrappers_kept,
+                s.wrappers_eliminated, s.lea_kept, s.lea_eliminated);
   }
 
   // Verifier view of the same image (binary-level, pass-independent). On a
   // vanilla build the R^X checks are forced on to show what it fails.
+  VerifyReport report;
   {
     VerifyOptions vopts = VerifyOptions::ForConfig(config);
     if (layout == LayoutKind::kVanilla) {
       vopts.check_rx = true;
     }
-    VerifyReport report = VerifyImage(image, vopts);
+    report = VerifyImage(image, vopts);
     const VerifyCounters& c = report.counters;
     std::printf("\nVerifier: %" PRIu64 " functions checked (%" PRIu64 " exempt), %" PRIu64
                 " reads seen (%" PRIu64 " safe, %" PRIu64 " rsp, %" PRIu64
@@ -235,9 +246,33 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // Per-function census: the pass's emitted/elided/hoisted counts next to
+  // what the verifier independently proved in the same function.
+  if (per_function) {
+    std::printf("\n%-28s %8s %8s %8s | %8s %10s %8s\n", "function", "emitted", "elided",
+                "hoisted", "reads", "justified", "checks");
+    for (const auto& [fn, s] : kernel->stats.per_function) {
+      std::printf("%-28s %8" PRIu64 " %8" PRIu64 " %8" PRIu64, fn.c_str(), s.checks_emitted,
+                  s.checks_coalesced, s.checks_hoisted);
+      const FunctionReadCensus* census = nullptr;
+      for (const auto& [vfn, vc] : report.per_function) {
+        if (vfn == fn) {
+          census = &vc;
+          break;
+        }
+      }
+      if (census != nullptr) {
+        std::printf(" | %8" PRIu64 " %10" PRIu64 " %8" PRIu64 "\n", census->reads_seen,
+                    census->justified_reads, census->range_checks_seen);
+      } else {
+        std::printf(" | %8s %10s %8s\n", "-", "-", "-");
+      }
+    }
+  }
+
   // Disassembly.
   std::vector<std::string> wanted;
-  for (int i = 2; i < argc; ++i) {
+  for (int i = argi; i < argc; ++i) {
     wanted.push_back(argv[i]);
   }
   if (wanted.empty()) {

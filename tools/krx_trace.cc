@@ -7,9 +7,10 @@
 //   krx_trace top [--n N] [--seed S] [--ms W]
 //     Sample a hot guest workload with the guest profiler and print the
 //     top-N functions with their protection-check cost attribution.
-//   krx_trace metrics [--seed S] [config]
+//   krx_trace metrics [--seed S] [--csv] [config]
 //     Compile + run one op under the chosen config and print the metrics
-//     registry snapshot (the same JSON the bench artifacts embed).
+//     registry snapshot (the same JSON the bench artifacts embed), or the
+//     flat CSV form with --csv.
 //   krx_trace validate FILE
 //     Parse FILE and require the Chrome trace shape ({"traceEvents": [...]}).
 //     CI smoke for exported traces.
@@ -203,7 +204,7 @@ int CmdTop(int top_n, uint64_t seed, int window_ms) {
   return 0;
 }
 
-int CmdMetrics(const std::string& config_name, uint64_t seed) {
+int CmdMetrics(const std::string& config_name, uint64_t seed, bool csv) {
   telemetry::MetricsRegistry::Global().Reset();
   telemetry::SetMode(telemetry::kModeMetrics);
   ProtectionConfig config;
@@ -223,7 +224,11 @@ int CmdMetrics(const std::string& config_name, uint64_t seed) {
     Cpu cpu(&image, CostModel(), CpuOptions{});
     (void)cpu.CallFunction("sys_null_syscall", {*buf});
   }
-  std::printf("%s\n", telemetry::MetricsRegistry::Global().SnapshotJson().c_str());
+  if (csv) {
+    std::printf("%s", telemetry::MetricsRegistry::Global().SnapshotCsv().c_str());
+  } else {
+    std::printf("%s\n", telemetry::MetricsRegistry::Global().SnapshotJson().c_str());
+  }
   return 0;
 }
 
@@ -267,7 +272,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: krx_trace trace [--out PATH] [--seed S]\n"
                "       krx_trace top [--n N] [--seed S] [--ms W]\n"
-               "       krx_trace metrics [--seed S] [config]\n"
+               "       krx_trace metrics [--seed S] [--csv] [config]\n"
                "       krx_trace validate FILE\n");
   return 2;
 }
@@ -308,14 +313,17 @@ int Main(int argc, char** argv) {
   }
   if (cmd == "metrics") {
     std::string config = "sfi+x";
+    bool csv = false;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
         seed = std::strtoull(argv[++i], nullptr, 0);
+      } else if (std::strcmp(argv[i], "--csv") == 0) {
+        csv = true;
       } else {
         config = argv[i];
       }
     }
-    return CmdMetrics(config, seed);
+    return CmdMetrics(config, seed, csv);
   }
   if (cmd == "validate") {
     if (argc != 3) {

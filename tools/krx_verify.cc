@@ -2,10 +2,15 @@
 // statically prove the kR^X contract on the linked bytes (src/verify/).
 //
 // Usage:
-//   krx_verify [--expect-fail] <config>   verify one configuration
+//   krx_verify [--expect-fail] [--per-function] <config>
 //   krx_verify all                        verify the whole config matrix
-//     config: vanilla | sfi-o0..sfi-o3 | mpx | d | x | sfi+d | sfi+x |
-//             mpx+d | mpx+x
+//     config: vanilla | sfi-o0..sfi-o4 | mpx | mpx-o4 | d | x | sfi+d |
+//             sfi+x | mpx+d | mpx+x
+//
+// --per-function additionally prints, for every verified function, how many
+// reads the read-confinement abstract interpreter saw, how many it proved
+// justified, and how many materialized range checks it recognized — the
+// checker-side census that krx_objdump --stats shows from the pass side.
 //
 // Checks are derived from the config (confinement for SFI/MPX builds, RA
 // rules for X/D, entropy for diversified builds). On a vanilla build the
@@ -29,7 +34,7 @@ namespace {
 constexpr uint64_t kSeed = 0xD15A;
 
 // Returns 0/1/2 like main; prints the report summary.
-int VerifyOneConfig(const std::string& name, bool expect_fail) {
+int VerifyOneConfig(const std::string& name, bool expect_fail, bool per_function = false) {
   ProtectionConfig config;
   LayoutKind layout;
   if (!ParseConfigName(name, kSeed, &config, &layout)) {
@@ -53,6 +58,15 @@ int VerifyOneConfig(const std::string& name, bool expect_fail) {
   VerifyReport report = VerifyImage(*kernel->image, opts);
 
   std::printf("== %s ==\n%s", name.c_str(), report.Summary(8).c_str());
+  if (per_function && !report.per_function.empty()) {
+    std::printf("%-28s %8s %10s %8s\n", "function", "reads", "justified", "checks");
+    for (const auto& [fn, census] : report.per_function) {
+      std::printf("%-28s %8llu %10llu %8llu\n", fn.c_str(),
+                  static_cast<unsigned long long>(census.reads_seen),
+                  static_cast<unsigned long long>(census.justified_reads),
+                  static_cast<unsigned long long>(census.range_checks_seen));
+    }
+  }
   if (expect_fail) {
     if (report.ok()) {
       std::printf("result: UNEXPECTED PASS (violations were expected)\n\n");
@@ -68,10 +82,13 @@ int VerifyOneConfig(const std::string& name, bool expect_fail) {
 int Main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   bool expect_fail = false;
+  bool per_function = false;
   std::string config_name;
   for (const std::string& a : args) {
     if (a == "--expect-fail") {
       expect_fail = true;
+    } else if (a == "--per-function") {
+      per_function = true;
     } else if (!a.empty() && a[0] == '-') {
       std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
       return 2;
@@ -83,22 +100,23 @@ int Main(int argc, char** argv) {
     }
   }
   if (config_name.empty()) {
-    std::fprintf(stderr, "usage: krx_verify [--expect-fail] <%s> | all\n", kConfigNamesUsage);
+    std::fprintf(stderr, "usage: krx_verify [--expect-fail] [--per-function] <%s> | all\n",
+                 kConfigNamesUsage);
     return 2;
   }
 
   if (config_name == "all") {
     // Vanilla must fail R^X; every kR^X config must verify clean.
     int worst = VerifyOneConfig("vanilla", /*expect_fail=*/true);
-    for (const char* name : {"sfi-o0", "sfi-o1", "sfi-o2", "sfi-o3", "mpx", "d", "x", "sfi+d",
-                             "sfi+x", "mpx+d", "mpx+x"}) {
-      int rc = VerifyOneConfig(name, /*expect_fail=*/false);
+    for (const char* name : {"sfi-o0", "sfi-o1", "sfi-o2", "sfi-o3", "sfi-o4", "mpx", "mpx-o4",
+                             "d", "x", "sfi+d", "sfi+x", "mpx+d", "mpx+x"}) {
+      int rc = VerifyOneConfig(name, /*expect_fail=*/false, per_function);
       worst = std::max(worst, rc);
     }
     std::printf("matrix: %s\n", worst == 0 ? "all expectations met" : "FAILURES");
     return worst;
   }
-  return VerifyOneConfig(config_name, expect_fail);
+  return VerifyOneConfig(config_name, expect_fail, per_function);
 }
 
 }  // namespace
