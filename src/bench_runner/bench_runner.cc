@@ -4,7 +4,9 @@
 
 #include "src/base/rng.h"
 #include "src/bench_runner/thread_pool.h"
+#include "src/supervise/health.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/profiler.h"
 #include "src/telemetry/telemetry.h"
 #include "src/workload/corpus.h"
 #include "src/workload/harness.h"
@@ -97,6 +99,19 @@ TaskResult BenchRunner::RunOne(const BenchTask& task) const {
   RunOptions run;
   run.max_steps = options_.max_steps;
   run.use_block_cache = options_.use_block_cache;
+  run.deadline_us = options_.deadline_us;
+  // Degradation ladder: once the block cache is quarantined, every task
+  // falls back to the single-step engine (same semantics, no cache risk).
+  if (options_.health != nullptr && !options_.health->block_cache_enabled()) {
+    run.use_block_cache = false;
+  }
+  std::atomic<uint64_t>* pc_slot = nullptr;
+  if (options_.profiler != nullptr) {
+    const int worker = ThreadPool::CurrentWorkerIndex();
+    pc_slot = options_.profiler->AddTarget(
+        "worker-" + std::to_string(worker < 0 ? 0 : worker));
+    cpu.set_sample_pc_slot(pc_slot);
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   bool ok = true;
@@ -182,6 +197,11 @@ TaskResult BenchRunner::RunOne(const BenchTask& task) const {
   }
   const auto t1 = std::chrono::steady_clock::now();
   result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  if (pc_slot != nullptr) {
+    // The worker's slot outlives this task; park it at idle so samples taken
+    // between tasks don't re-attribute the last guest PC.
+    pc_slot->store(0, std::memory_order_relaxed);
+  }
 
   const BlockCacheStats& cs = cpu.block_cache().stats();
   result.cache_hit_rate = cs.hit_rate();

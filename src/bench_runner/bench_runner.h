@@ -25,6 +25,11 @@
 
 namespace krx {
 
+class HealthState;
+namespace telemetry {
+class GuestProfiler;
+}  // namespace telemetry
+
 enum class WorkloadKind : uint8_t {
   kLmbench,   // one synthetic kernel op, called with the scratch buffer
   kPhoronix,  // weighted mix of kernel ops (Table 2 row)
@@ -69,6 +74,14 @@ struct BenchRunnerOptions {
   uint64_t seed = 0xB0F;         // source-corpus and build seed
   bool use_block_cache = true;   // forwarded to every RunOptions
   uint64_t max_steps = 50'000'000;
+  // Supervision hooks (all optional). A deadline preempts a runaway task's
+  // guest run (StopReason::kDeadlineExceeded); `health` lets the degradation
+  // ladder force the block cache off once it is quarantined; `profiler`
+  // gets one PC slot per pool worker ("worker-N") for per-worker
+  // attribution of the sampled matrix.
+  uint64_t deadline_us = 0;
+  HealthState* health = nullptr;
+  telemetry::GuestProfiler* profiler = nullptr;
 };
 
 class BenchRunner {

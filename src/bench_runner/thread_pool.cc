@@ -6,12 +6,18 @@
 #include "src/telemetry/telemetry.h"
 
 namespace krx {
+namespace {
+thread_local int t_worker_index = -1;
+}  // namespace
+
+int ThreadPool::CurrentWorkerIndex() { return t_worker_index; }
 
 ThreadPool::ThreadPool(int threads) {
   const int n = std::max(threads, 1);
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     workers_.emplace_back([this, i] {
+      t_worker_index = i;
 #if !defined(KRX_TELEMETRY_DISABLED)
       // Only materialize (and label) this thread's trace ring when tracing
       // is actually on — naming allocates the ring.

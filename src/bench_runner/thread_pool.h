@@ -33,6 +33,12 @@ class ThreadPool {
 
   int threads() const { return static_cast<int>(workers_.size()); }
 
+  // The calling thread's worker ordinal within its pool, or -1 when the
+  // caller is not a pool worker. Tasks use it for per-worker attribution
+  // (profiler slots, result labelling) without threading an id through
+  // every closure.
+  static int CurrentWorkerIndex();
+
  private:
   void WorkerLoop();
 

@@ -1,5 +1,7 @@
 #include "src/cpu/cpu.h"
 
+#include <chrono>
+
 #include "src/isa/encoding.h"
 #include "src/kernel/baseline_defenses.h"
 #include "src/rerand/quiesce.h"
@@ -102,6 +104,7 @@ const char* StopReasonName(StopReason reason) {
     case StopReason::kException: return "exception";
     case StopReason::kStepLimit: return "step-limit";
     case StopReason::kHostError: return "host-error";
+    case StopReason::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "??";
 }
@@ -655,6 +658,12 @@ bool Cpu::ExecuteInst(const Instruction& in, uint8_t inst_size) {
   if (sample_pc_slot_ != nullptr) {
     sample_pc_slot_->store(next, std::memory_order_relaxed);
   }
+  if (heartbeat_slot_ != nullptr) {
+    // Watchdog heartbeat: pending_.instructions is never zero here (it was
+    // incremented when this instruction retired), so a nonzero-and-frozen
+    // slot across ticks distinguishes "wedged" from "idle" (slot == 0).
+    heartbeat_slot_->store(pending_.instructions, std::memory_order_relaxed);
+  }
   if (step_observer_) {
     step_observer_(*this);
   }
@@ -699,9 +708,21 @@ DecodedBlock Cpu::BuildBlock(uint64_t start) {
   return block;
 }
 
+bool Cpu::PreemptDue(uint64_t step) {
+  if (preempt_.load(std::memory_order_acquire)) {
+    return true;
+  }
+  return deadline_armed_ && (step & 1023) == 0 &&
+         std::chrono::steady_clock::now() >= deadline_;
+}
+
 RunResult Cpu::RunCached() {
   uint64_t steps = 0;
   while (steps < max_steps_) {
+    if (PreemptDue(0)) {  // block boundary: preempt + deadline check
+      pending_.reason = StopReason::kDeadlineExceeded;
+      return pending_;
+    }
     const uint64_t generation = image_->text_generation();
     const DecodedBlock* block = cache_.Lookup(rip_, generation);
     const bool replaying = block != nullptr;
@@ -759,6 +780,10 @@ RunResult Cpu::Run(const RunOptions& options, bool entered_via_call) {
     // guest %rip of a finished run.
     sample_pc_slot_->store(0, std::memory_order_relaxed);
   }
+  if (heartbeat_slot_ != nullptr) {
+    // Idle marker: the watchdog must not report a lockup between runs.
+    heartbeat_slot_->store(0, std::memory_order_relaxed);
+  }
   PublishRunTelemetry(result);
   return result;
 }
@@ -781,6 +806,9 @@ void Cpu::PublishRunTelemetry(const RunResult& result) {
     }
     if (result.xnr_violation) {
       KRX_COUNTER_ADD("cpu.xnr_violations", 1);
+    }
+    if (result.reason == StopReason::kDeadlineExceeded) {
+      KRX_COUNTER_ADD("cpu.deadline_exceeded", 1);
     }
     const BlockCacheStats& s = cache_.stats();
     KRX_COUNTER_ADD("cpu.block_cache.hits", s.hits - published_cache_stats_.hits);
@@ -812,6 +840,13 @@ RunResult Cpu::RunInner(const RunOptions& options, bool entered_via_call) {
   pending_ = RunResult();
   stopped_ = false;
   max_steps_ = options.max_steps;
+  // A preempt request targets the in-flight run; one landing between runs
+  // must not kill the next run before it starts.
+  preempt_.store(false, std::memory_order_release);
+  deadline_armed_ = options.deadline_us > 0;
+  if (deadline_armed_) {
+    deadline_ = std::chrono::steady_clock::now() + std::chrono::microseconds(options.deadline_us);
+  }
   const bool charge = options.mode_switch == RunOptions::ModeSwitch::kAuto
                           ? entered_via_call
                           : options.mode_switch == RunOptions::ModeSwitch::kCharge;
@@ -831,6 +866,10 @@ RunResult Cpu::RunInner(const RunOptions& options, bool entered_via_call) {
     return RunCached();
   }
   for (uint64_t i = 0; i < max_steps_; ++i) {
+    if (PreemptDue(i)) {
+      pending_.reason = StopReason::kDeadlineExceeded;
+      return pending_;
+    }
     if (!Step()) {
       return pending_;
     }

@@ -22,6 +22,7 @@
 #define KRX_SRC_CPU_CPU_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -73,6 +74,7 @@ enum class StopReason : uint8_t {
   kException,      // see exception field
   kStepLimit,
   kHostError,      // the harness could not start the run; see host_error
+  kDeadlineExceeded,  // preempted: RunOptions deadline or RequestPreempt
 };
 
 const char* StopReasonName(StopReason reason);
@@ -144,6 +146,11 @@ struct RunOptions {
   // single-stepped instruction boundary), under XnR (fetch faults are the
   // defense) and under destructive code reads (decoded bytes self-destruct).
   bool use_block_cache = true;
+  // Wall-clock budget for the run in microseconds; 0 = unbounded. A run
+  // past its deadline is preempted at the next block boundary (cached) or
+  // within 1024 instructions (single-step) into a kDeadlineExceeded result
+  // — the supervision layer's answer to runaway-but-progressing guests.
+  uint64_t deadline_us = 0;
 };
 
 class Cpu {
@@ -216,6 +223,44 @@ class Cpu {
   // telemetry's sole per-instruction hook, see DESIGN.md §11.
   void set_sample_pc_slot(std::atomic<uint64_t>* slot) { sample_pc_slot_ = slot; }
 
+  // Watchdog heartbeat hook (src/supervise/watchdog.h): while a slot is
+  // installed the Cpu publishes its retired-instruction count with one
+  // relaxed store per instruction and zeroes the slot at run end (idle
+  // marker) — the same discipline and cost as the profiler slot above. A
+  // nonzero, frozen heartbeat across watchdog ticks means the run's host
+  // thread is wedged (lockup); an advancing one is the deadline's problem.
+  void set_heartbeat_slot(std::atomic<uint64_t>* slot) { heartbeat_slot_ = slot; }
+
+  // Cross-thread preemption: the in-flight run (the request is cleared at
+  // the start of each run) stops at its next boundary with
+  // StopReason::kDeadlineExceeded. Safe from any thread — this is how a
+  // watchdog's hard-lockup callback unwedges a stuck Cpu.
+  void RequestPreempt() { preempt_.store(true, std::memory_order_release); }
+
+  // Architectural state snapshot for checkpoint/restore
+  // (src/supervise/checkpoint.h). Memory lives in the image; this is only
+  // the per-Cpu register file.
+  struct ArchState {
+    uint64_t regs[kNumGpRegs] = {};
+    uint64_t rip = 0;
+    uint64_t rflags = 0;
+    uint64_t bnd0_ub = 0;
+  };
+  ArchState SaveArch() const {
+    ArchState s;
+    for (int i = 0; i < kNumGpRegs; ++i) s.regs[i] = regs_[i];
+    s.rip = rip_;
+    s.rflags = rflags_.ToBits();
+    s.bnd0_ub = bnd0_ub_;
+    return s;
+  }
+  void RestoreArch(const ArchState& s) {
+    for (int i = 0; i < kNumGpRegs; ++i) regs_[i] = s.regs[i];
+    rip_ = s.rip;
+    rflags_.FromBits(s.rflags);
+    bnd0_ub_ = s.bnd0_ub;
+  }
+
  private:
   RunResult CallFunctionImpl(uint64_t entry, const std::vector<uint64_t>& args,
                              const RunOptions& options);
@@ -242,6 +287,9 @@ class Cpu {
   void SetFlagsLogic(uint64_t result);
   bool EvalCond(Cond c) const;
   void RaiseException(ExceptionKind kind, uint64_t addr);
+  // Preempt request pending, or (when armed, sampled every 1024th step) the
+  // run's wall-clock deadline passed.
+  bool PreemptDue(uint64_t step);
 
   KernelImage* image_;
   Mmu mmu_;
@@ -266,6 +314,10 @@ class Cpu {
   std::function<void(const Cpu&)> step_observer_;
   QuiesceGate* quiesce_gate_ = nullptr;
   std::atomic<uint64_t>* sample_pc_slot_ = nullptr;
+  std::atomic<uint64_t>* heartbeat_slot_ = nullptr;
+  std::atomic<bool> preempt_{false};
+  bool deadline_armed_ = false;  // current run only
+  std::chrono::steady_clock::time_point deadline_{};
   BlockCache cache_;
   // Block-cache stats already published to the metrics registry; the
   // per-run delta is what gets added (stats are cumulative per Cpu).

@@ -7,6 +7,7 @@
 #include "src/base/math_util.h"
 #include "src/kernel/assembler.h"
 #include "src/kernel/layout.h"
+#include "src/supervise/retry.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/telemetry.h"
 #include "src/verify/verifier.h"
@@ -345,31 +346,38 @@ Result<CompiledKernel> CompileKernel(KernelSource source, const BuildOptions& op
   const bool verify = options.verify == BuildOptions::Verify::kDefault
                           ? PostLinkVerifyEnabled()
                           : options.verify == BuildOptions::Verify::kOn;
-  ProtectionConfig attempt_config = base_config;
-  for (int attempt = 0;; ++attempt) {
+  // Retry with the next diversification seed: for randomized builds a
+  // verify failure is a bad draw, not a dead end. Only verify failures are
+  // transient — pass/link/layout errors surface immediately.
+  RetryPolicy policy;
+  policy.max_attempts = options.max_verify_retries + 1;
+  policy.retry_if = [](const Status& s) {
+    const std::string& message = s.message();
+    return message.compare(0, std::string(kVerifyFailurePrefix).size(), kVerifyFailurePrefix) ==
+           0;
+  };
+  Retrier retrier("compile_verify", policy);
+  return retrier.Run<CompiledKernel>([&](int attempt) -> Result<CompiledKernel> {
+    ProtectionConfig attempt_config = base_config;
+    if (attempt > 0) {
+      const uint64_t failed_seed =
+          attempt == 1 ? base_config.seed
+                       : base_config.seed + 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(attempt - 1);
+      attempt_config.seed =
+          base_config.seed + 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(attempt);
+      std::fprintf(stderr,
+                   "[krx] post-link verify failed (attempt %d, seed 0x%llx); "
+                   "retrying with seed 0x%llx\n",
+                   attempt - 1, static_cast<unsigned long long>(failed_seed),
+                   static_cast<unsigned long long>(attempt_config.seed));
+    }
     auto built = CompileKernelAttempt(source, attempt_config, options.layout, verify, attempt);
     if (built.ok()) {
       built->stats.verify_retries = static_cast<uint64_t>(attempt);
       PublishCompileMetrics(built->stats);
-      return built;
     }
-    const std::string message = built.status().message();
-    const bool verify_failure =
-        message.compare(0, std::string(kVerifyFailurePrefix).size(), kVerifyFailurePrefix) == 0;
-    if (!verify_failure || attempt >= options.max_verify_retries) {
-      return built;
-    }
-    // Retry with the next diversification seed: for randomized builds a
-    // verify failure is a bad draw, not a dead end (bounded, logged).
-    const uint64_t failed_seed = attempt_config.seed;
-    attempt_config.seed =
-        base_config.seed + 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(attempt + 1);
-    std::fprintf(stderr,
-                 "[krx] post-link verify failed (attempt %d, seed 0x%llx); "
-                 "retrying with seed 0x%llx\n",
-                 attempt, static_cast<unsigned long long>(failed_seed),
-                 static_cast<unsigned long long>(attempt_config.seed));
-  }
+    return built;
+  });
 }
 
 Result<ModuleObject> CompileModule(const std::string& name, std::vector<Function> functions,

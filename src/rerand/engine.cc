@@ -442,7 +442,16 @@ Status RerandEngine::DoEpoch(RerandTrigger trigger, EpochReport* report) {
 
   KRX_RETURN_IF_ERROR(CheckFailpoint(RerandStep::kQuiesce));
   const auto t_request = std::chrono::steady_clock::now();
-  gate_.BeginExclusive();
+  if (options_.quiesce_timeout_ms > 0) {
+    if (!gate_.BeginExclusiveFor(std::chrono::milliseconds(options_.quiesce_timeout_ms))) {
+      KRX_COUNTER_ADD("rerand.quiesce_timeouts", 1);
+      return FailedPreconditionError(
+          "rerand: quiesce did not drain within " +
+          std::to_string(options_.quiesce_timeout_ms) + "ms; epoch aborted");
+    }
+  } else {
+    gate_.BeginExclusive();
+  }
   const auto t_quiesced = std::chrono::steady_clock::now();
   report->quiesce_wait_ms =
       std::chrono::duration<double, std::milli>(t_quiesced - t_request).count();
@@ -554,18 +563,30 @@ Status RerandEngine::DoEpoch(RerandTrigger trigger, EpochReport* report) {
   return Status::Ok();
 }
 
-void RerandEngine::StartTimer(std::chrono::milliseconds period) {
+Result<EpochReport> RerandEngine::RunEpochWithRetry(RerandTrigger trigger) {
+  if (!has_retry_policy_) return RunEpoch(trigger);
+  Retrier retrier("rerand_epoch", retry_policy_, &retry_rng_);
+  return retrier.Run<EpochReport>(
+      [this, trigger](int /*attempt*/) { return RunEpoch(trigger); });
+}
+
+void RerandEngine::StartTimer(std::chrono::milliseconds period, Clock* clock) {
   StopTimer();
   {
     std::lock_guard<std::mutex> lock(timer_mu_);
     timer_stop_ = false;
   }
-  timer_thread_ = std::thread([this, period] {
+  Clock* ck = clock != nullptr ? clock : RealClock();
+  timer_thread_ = std::thread([this, period, ck] {
     std::unique_lock<std::mutex> lock(timer_mu_);
     while (!timer_stop_) {
-      if (timer_cv_.wait_for(lock, period, [this] { return timer_stop_; })) break;
+      if (ck->WaitUntil(timer_cv_, lock, ck->Now() + period,
+                        [this] { return timer_stop_; })) {
+        break;
+      }
       lock.unlock();
-      (void)RunEpoch(RerandTrigger::kTimer);  // a failed tick counts in epoch_failures()
+      // A failed tick counts in epoch_failures(); the timer keeps running.
+      (void)RunEpochWithRetry(RerandTrigger::kTimer);
       lock.lock();
     }
   });

@@ -38,6 +38,8 @@
 #include "src/plugin/pipeline.h"
 #include "src/rerand/quiesce.h"
 #include "src/rerand/rerand_map.h"
+#include "src/supervise/clock.h"
+#include "src/supervise/retry.h"
 
 namespace krx {
 
@@ -67,6 +69,11 @@ struct RerandOptions {
   bool permute = true;        // re-permute function layout
   bool rotate_xkeys = true;   // rotate return-address keys
   bool verify_after = true;   // run src/verify on the post-epoch image
+  // Bound on the kQuiesce drain, in milliseconds; 0 = wait indefinitely.
+  // A timed-out quiesce aborts the epoch (counted in epoch_failures(),
+  // nothing journaled yet so nothing to roll back) instead of wedging the
+  // epoch thread behind a stuck reader.
+  uint64_t quiesce_timeout_ms = 0;
 };
 
 // What one completed epoch did (the bench and tests read these).
@@ -119,14 +126,26 @@ class RerandEngine {
   // Runs one epoch to completion (or full rollback). Thread-safe.
   Result<EpochReport> RunEpoch(RerandTrigger trigger = RerandTrigger::kManual);
 
+  // Retry wrapper around epoch commits: re-attempts per the configured
+  // policy (set_retry_policy; without one this is plain RunEpoch). Each
+  // failed attempt still rolls back fully and counts in epoch_failures().
+  Result<EpochReport> RunEpochWithRetry(RerandTrigger trigger = RerandTrigger::kManual);
+  void set_retry_policy(RetryPolicy policy) {
+    retry_policy_ = std::move(policy);
+    has_retry_policy_ = true;
+  }
+
   // Trigger adapters for the oops path and a disclosure detector.
   Result<EpochReport> NotifyOops() { return RunEpoch(RerandTrigger::kOops); }
   Result<EpochReport> NotifyDisclosure() { return RunEpoch(RerandTrigger::kDisclosure); }
 
   // Periodic epochs from a background thread. StopTimer (and the
   // destructor) joins the thread; a tick whose epoch fails only counts
-  // epoch_failures() — the timer keeps running.
-  void StartTimer(std::chrono::milliseconds period);
+  // epoch_failures() — the timer keeps running. Ticks go through the
+  // retry policy when one is set. `clock` (null = RealClock()) is the tick
+  // time source; tests inject a FakeClock and Advance() it, making
+  // timer-trigger tests deterministic instead of sleep-based.
+  void StartTimer(std::chrono::milliseconds period, Clock* clock = nullptr);
   void StopTimer();
 
   uint64_t epochs_completed() const { return epochs_completed_.load(std::memory_order_acquire); }
@@ -167,6 +186,9 @@ class RerandEngine {
   std::vector<std::pair<uint64_t, uint64_t>> extra_stack_ranges_;
 
   std::mutex epoch_mu_;  // serializes epochs (timer tick vs manual call)
+  RetryPolicy retry_policy_;
+  bool has_retry_policy_ = false;
+  LockedRng retry_rng_{0x8E77A11D};  // backoff jitter only
   int failpoint_ = -1;
   std::atomic<uint64_t> epochs_completed_{0};
   std::atomic<uint64_t> epoch_failures_{0};

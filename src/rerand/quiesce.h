@@ -20,6 +20,7 @@
 #ifndef KRX_SRC_RERAND_QUIESCE_H_
 #define KRX_SRC_RERAND_QUIESCE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -67,6 +68,31 @@ class QuiesceGate {
     std::lock_guard<std::mutex> lock(mu_);
     exclusive_ = false;
     cv_.notify_all();
+  }
+
+  // Bounded-wait writer acquisition: true = gate held exclusively (caller
+  // must EndExclusive), false = in-flight runs did not drain within
+  // `timeout` and nothing was acquired. The supervision layer's epoch abort
+  // path: a wedged reader bounds the epoch's wait instead of hanging it.
+  bool BeginExclusiveFor(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++writers_waiting_;
+    bool drained = !exclusive_ && active_runs_ == 0;
+    if (!drained) {
+      const uint64_t t0 = WaitClockUs();
+      drained = cv_.wait_for(lock, timeout,
+                             [this] { return !exclusive_ && active_runs_ == 0; });
+      RecordWait(/*writer=*/true, WaitClockUs() - t0);
+    }
+    --writers_waiting_;
+    if (!drained) {
+      KRX_COUNTER_ADD("quiesce.writer_timeouts", 1);
+      // Writer priority held readers out while we waited; release them.
+      if (writers_waiting_ == 0) cv_.notify_all();
+      return false;
+    }
+    exclusive_ = true;
+    return true;
   }
 
   // Snapshot for diagnostics/benchmarks; racy by nature.

@@ -1,0 +1,94 @@
+#include "src/supervise/clock.h"
+
+namespace krx {
+
+void Clock::SleepFor(Duration d) {
+  std::condition_variable cv;
+  std::mutex mu;
+  std::unique_lock<std::mutex> lock(mu);
+  WaitUntil(cv, lock, Now() + d, [] { return false; });
+}
+
+namespace {
+
+class SteadyClock : public Clock {
+ public:
+  TimePoint Now() override { return std::chrono::steady_clock::now(); }
+
+  bool WaitUntil(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                 TimePoint until, std::function<bool()> pred) override {
+    return cv.wait_until(lock, until, std::move(pred));
+  }
+};
+
+}  // namespace
+
+Clock* RealClock() {
+  static SteadyClock* clock = new SteadyClock();
+  return clock;
+}
+
+Clock::TimePoint FakeClock::Now() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_;
+}
+
+size_t FakeClock::waiters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiters_.size();
+}
+
+void FakeClock::Register(const Waiter& w) {
+  std::lock_guard<std::mutex> lock(mu_);
+  waiters_.push_back(w);
+}
+
+void FakeClock::Unregister(const Waiter& w) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    if (it->cv == w.cv && it->mu == w.mu) {
+      waiters_.erase(it);
+      return;
+    }
+  }
+}
+
+bool FakeClock::WaitUntil(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                          TimePoint until, std::function<bool()> pred) {
+  for (;;) {
+    if (pred()) {
+      return true;
+    }
+    if (Now() >= until) {
+      return pred();
+    }
+    Waiter self{&cv, lock.mutex()};
+    Register(self);
+    // Re-check with the registration in place: an Advance() that fired
+    // between the checks above and Register() would otherwise be missed.
+    if (pred() || Now() >= until) {
+      Unregister(self);
+      return pred();
+    }
+    cv.wait(lock);
+    Unregister(self);
+  }
+}
+
+void FakeClock::Advance(Duration d) {
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ += d;
+    waiters = waiters_;
+  }
+  for (const Waiter& w : waiters) {
+    // Acquiring the waiter's mutex first guarantees it is either already
+    // parked in cv.wait (the notify lands) or still holds its mutex (we
+    // block here until it parks). See the header's wake-up protocol.
+    { std::lock_guard<std::mutex> sync(*w.mu); }
+    w.cv->notify_all();
+  }
+}
+
+}  // namespace krx

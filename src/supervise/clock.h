@@ -1,0 +1,92 @@
+// Injectable time source for the supervision layer.
+//
+// Everything in src/supervise that waits — watchdog ticks, retry backoff,
+// the rerand timer trigger — waits *through* a Clock instead of calling
+// std::this_thread::sleep_for / cv.wait_for directly. Production code uses
+// RealClock() (a process-wide singleton over std::chrono::steady_clock);
+// tests inject a FakeClock and drive time with Advance(), which makes every
+// timer-dependent test deterministic instead of sleep-based.
+//
+// The waiting primitive is WaitUntil(cv, lock, until, pred): the caller
+// holds `lock` and waits on its *own* condition variable, so external
+// wake-ups (StopTimer notifying timer_cv_, Watchdog::Stop) keep working
+// unchanged — the clock only decides how the deadline is observed.
+//
+// FakeClock wake-up protocol (race-free by construction): WaitUntil
+// registers {cv, mutex} with the clock before blocking, and Advance()
+// acquires each registered waiter's mutex before notifying it. Since the
+// waiter holds that mutex from its last predicate check until cv.wait()
+// releases it, Advance() can only deliver the notification once the waiter
+// is actually inside cv.wait() — a time bump can never slip into the gap
+// between "checked the clock" and "went to sleep".
+#ifndef KRX_SRC_SUPERVISE_CLOCK_H_
+#define KRX_SRC_SUPERVISE_CLOCK_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace krx {
+
+class Clock {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+  using Duration = std::chrono::steady_clock::duration;
+
+  virtual ~Clock() = default;
+
+  virtual TimePoint Now() = 0;
+
+  // Waits on `cv` (whose mutex `lock` holds) until pred() turns true or the
+  // clock reaches `until`. Returns pred() at exit, exactly like
+  // std::condition_variable::wait_until.
+  virtual bool WaitUntil(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                         TimePoint until, std::function<bool()> pred) = 0;
+
+  // Unconditional sleep built on WaitUntil (a private cv nobody notifies).
+  // On a FakeClock this blocks until Advance() passes the deadline.
+  void SleepFor(Duration d);
+};
+
+// Process-wide steady-clock singleton.
+Clock* RealClock();
+
+// Test clock: time is a counter moved only by Advance(). Thread-safe.
+class FakeClock : public Clock {
+ public:
+  FakeClock() = default;
+
+  TimePoint Now() override;
+  bool WaitUntil(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                 TimePoint until, std::function<bool()> pred) override;
+
+  // Moves time forward and wakes every registered waiter (see the file
+  // comment for why this cannot miss a wake-up).
+  void Advance(Duration d);
+
+  // Currently-registered waiters. The wake-up protocol above only covers
+  // waiters that have *registered*; a sleeper thread that has not reached
+  // WaitUntil yet would compute its deadline from the already-advanced
+  // clock and wait forever. Tests hand-shake on this count before the
+  // first Advance().
+  size_t waiters() const;
+
+ private:
+  struct Waiter {
+    std::condition_variable* cv;
+    std::mutex* mu;
+  };
+
+  void Register(const Waiter& w);
+  void Unregister(const Waiter& w);
+
+  mutable std::mutex mu_;
+  TimePoint now_{};  // epoch = default-constructed steady time_point
+  std::vector<Waiter> waiters_;
+};
+
+}  // namespace krx
+
+#endif  // KRX_SRC_SUPERVISE_CLOCK_H_

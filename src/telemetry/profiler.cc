@@ -188,10 +188,19 @@ void GuestProfiler::SetFunctions(std::vector<FunctionExtent> extents, uint64_t h
   total_samples_ = 0;
   idle_samples_ = 0;
   unattributed_ = 0;
+  for (const std::unique_ptr<Target>& t : targets_) {
+    t->samples = 0;
+    t->idle = 0;
+  }
 }
 
 std::atomic<uint64_t>* GuestProfiler::AddTarget(const std::string& label) {
   std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Target>& t : targets_) {
+    if (t->label == label) {
+      return &t->pc;
+    }
+  }
   targets_.push_back(std::make_unique<Target>());
   targets_.back()->label = label;
   return &targets_.back()->pc;
@@ -218,8 +227,10 @@ void GuestProfiler::SamplerLoop(std::chrono::microseconds period) {
       for (const std::unique_ptr<Target>& t : targets_) {
         const uint64_t pc = t->pc.load(std::memory_order_relaxed);
         ++total_samples_;
+        ++t->samples;
         if (pc == 0) {
           ++idle_samples_;
+          ++t->idle;
           continue;
         }
         const int idx = AttributePc(pc);
@@ -284,6 +295,9 @@ ProfileReport GuestProfiler::MakeReport(const CostModel& cost) const {
               }
               return a.name < b.name;
             });
+  for (const std::unique_ptr<Target>& t : targets_) {
+    report.targets.push_back({t->label, t->samples, t->idle});
+  }
   return report;
 }
 

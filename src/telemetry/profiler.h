@@ -62,11 +62,20 @@ struct FunctionProfile {
   double est_check_share = 0;  // sample_pct * check_cost_pct / 100
 };
 
+// Per-target (per-worker) attribution: how busy each sampled execution
+// context was over the profiling window.
+struct TargetProfile {
+  std::string label;
+  uint64_t samples = 0;  // sampler ticks taken while this slot existed
+  uint64_t idle = 0;     // of those, ticks where the slot read 0
+};
+
 struct ProfileReport {
   uint64_t total_samples = 0;   // every sampler tick across all targets
   uint64_t idle_samples = 0;    // slot was 0 (no guest code running)
   uint64_t unattributed = 0;    // PC outside every known extent
   std::vector<FunctionProfile> functions;  // sorted by samples, descending
+  std::vector<TargetProfile> targets;      // registration order
 };
 
 class GuestProfiler {
@@ -84,7 +93,9 @@ class GuestProfiler {
   // Registers a sampled execution context (one per Cpu). The returned slot
   // stays valid for the profiler's lifetime; install it with
   // Cpu::set_sample_pc_slot and clear it (set_sample_pc_slot(nullptr))
-  // before the profiler is destroyed.
+  // before the profiler is destroyed. Re-registering an existing label
+  // returns that label's slot (workers in a pool keep one slot per worker
+  // across bench iterations).
   std::atomic<uint64_t>* AddTarget(const std::string& label);
 
   void Start(std::chrono::microseconds period);
@@ -98,6 +109,8 @@ class GuestProfiler {
   struct Target {
     std::string label;
     std::atomic<uint64_t> pc{0};
+    uint64_t samples = 0;  // guarded by mu_
+    uint64_t idle = 0;     // guarded by mu_
   };
 
   void SamplerLoop(std::chrono::microseconds period);

@@ -93,6 +93,14 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "module_unload";
     case TraceEventType::kCompilePhase:
       return "compile_phase";
+    case TraceEventType::kWatchdogLockup:
+      return "watchdog_lockup";
+    case TraceEventType::kHealthTransition:
+      return "health_transition";
+    case TraceEventType::kRetryBackoff:
+      return "retry_backoff";
+    case TraceEventType::kCheckpoint:
+      return "checkpoint";
   }
   return "unknown";
 }

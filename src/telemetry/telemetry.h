@@ -86,6 +86,10 @@ enum class TraceEventType : uint16_t {
   kModuleLoad,       // arg0 = handle, arg1 = text bytes
   kModuleUnload,     // arg0 = handle
   kCompilePhase,     // arg0 = phase wall us
+  kWatchdogLockup,   // arg0 = 1 hard / 0 soft, arg1 = stalled ticks
+  kHealthTransition, // arg0 = HealthAspect ordinal, arg1 = new HealthLevel
+  kRetryBackoff,     // arg0 = attempt (1-based), arg1 = backoff us
+  kCheckpoint,       // arg0 = 1 restore / 0 capture, arg1 = bytes or us
 };
 
 const char* TraceEventTypeName(TraceEventType type);

@@ -7,16 +7,39 @@
 namespace krx {
 namespace {
 
-// Available-check facts at a program point. `cover[r] = D` means: on every
-// path to this point, a check proved r <= edata - D with r unchanged since,
-// so a read through r at any displacement <= D stays within the data
-// region. `exact` holds fully-checked operands (lea-form checks and
-// full-operand bndcu) whose effective address was proven <= edata.
+// The per-register fact is a displacement *window*: `cover[r] = [lo, hi]`
+// means that on every path to this point a check (or known constant) proved
+// that for every displacement d in [lo, hi], the effective address r + d is
+// >= 0 and <= edata without unsigned wrap, with r unchanged since. A read
+// [r + d] is justified iff lo <= d <= hi.
+//
+// The lower edge is what makes the `sub r, imm` congruence sound: a plain
+// upper-bound fact (the old scalar domain, implicitly [0, D]) shifted up by
+// a subtraction would claim r - imm <= edata - D - imm, but r <u imm wraps
+// r - imm to the top of the address space — above edata — while the shifted
+// scalar fact still "covers" it. Shifting a window keeps the no-wrap proof:
+// [lo, hi] derived through dst = src + delta becomes [lo - delta, hi - delta]
+// and dst + d re-associates to src + (delta + d) with delta + d inside the
+// original proven window.
+struct CoverWindow {
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+// `exact` holds fully-checked operands (lea-form checks and full-operand
+// bndcu) whose effective address was proven <= edata.
 struct Facts {
   bool top = true;  // optimistic "unvisited" element of the meet lattice
-  std::map<Reg, int64_t> cover;
+  std::map<Reg, CoverWindow> cover;
   std::vector<MemOperand> exact;
 };
+
+// Both windows proven at the same program point for the same register:
+// r + d lands in [0, edata] at the edges of both intervals, and real-valued
+// monotonicity in d closes any gap between them, so the hull is justified.
+CoverWindow Hull(const CoverWindow& a, const CoverWindow& b) {
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
 
 bool HasExact(const Facts& f, const MemOperand& mem) {
   return std::find(f.exact.begin(), f.exact.end(), mem) != f.exact.end();
@@ -46,8 +69,17 @@ bool MeetInto(Facts& into, const Facts& contrib) {
       it = into.cover.erase(it);
       changed = true;
     } else {
-      if (other->second < it->second) {
-        it->second = other->second;
+      // Window intersection: only displacements proven on both paths
+      // survive; an empty intersection is no fact at all.
+      CoverWindow met{std::max(it->second.lo, other->second.lo),
+                      std::min(it->second.hi, other->second.hi)};
+      if (met.lo > met.hi) {
+        it = into.cover.erase(it);
+        changed = true;
+        continue;
+      }
+      if (met.lo != it->second.lo || met.hi != it->second.hi) {
+        it->second = met;
         changed = true;
       }
       ++it;
@@ -67,15 +99,17 @@ bool MeetInto(Facts& into, const Facts& contrib) {
 bool MemUsesReg(const MemOperand& mem, Reg r) { return mem.base == r || mem.index == r; }
 
 // Congruence rule of the interval domain: `dst = src + delta` with a known
-// constant delta >= 0, so `cover[dst] = cover[src] - delta` (the proven
-// upper bound shifts down by the added offset; it may go negative, at which
-// point it justifies nothing but stays exact for further derivations).
+// constant delta, so `cover[dst] = [lo - delta, hi - delta]` (the proven
+// window shifts opposite to the offset; it may drift entirely negative, at
+// which point it justifies no actual read but stays exact for further
+// derivations).
 //
-// This is the verifier-side duplicate of RegOffsetDerivation in
+// This is the verifier-side superset of RegOffsetDerivation in
 // src/ir/analysis.cc — kept inline because krx_verify deliberately does not
-// link the IR analyses it is meant to distrust. The two rule sets MUST
-// agree: any derivation the O4 pass uses to elide a check that is not
-// reproduced here turns into a post-link kRxRead failure.
+// link the IR analyses it is meant to distrust. Every derivation the O4
+// pass uses to elide a check MUST be reproduced here (the converse need
+// not hold: kSubRI is checker-side only, the pass never elides across a
+// subtraction), or elisions turn into post-link kRxRead failures.
 bool DeriveRegOffset(const Instruction& inst, Reg* dst, Reg* src, int64_t* delta) {
   switch (inst.op) {
     case Opcode::kMovRR:
@@ -85,11 +119,22 @@ bool DeriveRegOffset(const Instruction& inst, Reg* dst, Reg* src, int64_t* delta
       return true;
     case Opcode::kAddRI:
       if (inst.imm < 0) {
-        return false;  // could wrap below zero under the unsigned compare
+        return false;  // negative add is kSubRI's job; keep the rules disjoint
       }
       *dst = inst.r1;
       *src = inst.r1;
       *delta = inst.imm;
+      return true;
+    case Opcode::kSubRI:
+      // `sub r, imm` shifts the window up: the lower edge of the incoming
+      // window is what proves the subtraction cannot wrap under the
+      // unsigned compare (see CoverWindow).
+      if (inst.imm < 0) {
+        return false;
+      }
+      *dst = inst.r1;
+      *src = inst.r1;
+      *delta = -inst.imm;
       return true;
     case Opcode::kLea:
       if (!inst.mem.has_base() || inst.mem.has_index() || inst.mem.rip_relative ||
@@ -127,7 +172,7 @@ struct PendingCheck {
 struct FallExtra {
   bool has_cover = false;
   Reg reg = Reg::kNone;
-  int64_t cover = 0;
+  CoverWindow cover;
   bool has_exact = false;
   MemOperand exact;
 };
@@ -214,7 +259,10 @@ class ConfinementChecker {
           const Facts& base = widen_base[b];
           for (auto it = in[b].cover.begin(); it != in[b].cover.end();) {
             auto snap = base.cover.find(it->first);
-            if (snap != base.cover.end() && it->second < snap->second) {
+            // A window still shrinking at either edge (a net derivation
+            // cycle around a loop) is widened to "unknown".
+            if (snap != base.cover.end() &&
+                (it->second.hi < snap->second.hi || it->second.lo > snap->second.lo)) {
               it = in[b].cover.erase(it);
             } else {
               ++it;
@@ -247,9 +295,8 @@ class ConfinementChecker {
   static void ApplyExtra(Facts& f, const FallExtra& extra) {
     if (extra.has_cover) {
       auto it = f.cover.find(extra.reg);
-      if (it == f.cover.end() || it->second < extra.cover) {
-        f.cover[extra.reg] = extra.cover;
-      }
+      f.cover[extra.reg] =
+          it == f.cover.end() ? extra.cover : Hull(it->second, extra.cover);
     }
     if (extra.has_exact) {
       AddExact(f, extra.exact);
@@ -331,7 +378,7 @@ class ConfinementChecker {
   bool Justified(const Facts& f, const MemOperand& mem) const {
     if (mem.has_base() && !mem.has_index()) {
       auto it = f.cover.find(mem.base);
-      if (it != f.cover.end() && mem.disp <= it->second) {
+      if (it != f.cover.end() && it->second.lo <= mem.disp && mem.disp <= it->second.hi) {
         return true;
       }
     }
@@ -397,7 +444,9 @@ class ConfinementChecker {
     if (inst.IsString()) {
       Reg base = inst.StringReadBase();
       auto it = f.cover.find(base);
-      bool ok = (it != f.cover.end() && it->second >= 0) || StringCheckFollows(i, base);
+      // A string read starts at displacement 0: the window must contain it.
+      bool ok = (it != f.cover.end() && it->second.lo <= 0 && it->second.hi >= 0) ||
+                StringCheckFollows(i, base);
       if (ok) {
         ++report_->counters.justified_reads;
       } else {
@@ -452,17 +501,18 @@ class ConfinementChecker {
       // both redefines %rdi and re-derives it from its own old value.
       bool has_derived = false;
       Reg derived_dst = Reg::kNone;
-      int64_t derived_cover = 0;
+      CoverWindow derived_cover;
       {
         Reg dst = Reg::kNone;
         Reg src = Reg::kNone;
         int64_t delta = 0;
-        if (DeriveRegOffset(inst, &dst, &src, &delta) && delta <= kMaxDerivationDelta) {
+        if (DeriveRegOffset(inst, &dst, &src, &delta) && delta <= kMaxDerivationDelta &&
+            delta >= -kMaxDerivationDelta) {
           auto it = f.cover.find(src);
           if (it != f.cover.end()) {
             has_derived = true;
             derived_dst = dst;
-            derived_cover = it->second - delta;
+            derived_cover = {it->second.lo - delta, it->second.hi - delta};
           }
         }
       }
@@ -471,9 +521,8 @@ class ConfinementChecker {
 
       if (has_derived) {
         auto it = f.cover.find(derived_dst);
-        if (it == f.cover.end() || it->second < derived_cover) {
-          f.cover[derived_dst] = derived_cover;
-        }
+        f.cover[derived_dst] =
+            it == f.cover.end() ? derived_cover : Hull(it->second, derived_cover);
       }
 
       switch (inst.op) {
@@ -483,11 +532,11 @@ class ConfinementChecker {
           // the base is covered up to the checked displacement.
           NoteCheck(verify, di.address, inst.mem.has_index() ? 0 : inst.mem.disp);
           AddExact(f, inst.mem);
-          if (inst.mem.has_base() && !inst.mem.has_index()) {
+          if (inst.mem.has_base() && !inst.mem.has_index() && inst.mem.disp >= 0) {
+            const CoverWindow armed{0, inst.mem.disp};
             auto it = f.cover.find(inst.mem.base);
-            if (it == f.cover.end() || it->second < inst.mem.disp) {
-              f.cover[inst.mem.base] = inst.mem.disp;
-            }
+            f.cover[inst.mem.base] =
+                it == f.cover.end() ? armed : Hull(it->second, armed);
           }
           break;
         case Opcode::kLea:
@@ -500,9 +549,10 @@ class ConfinementChecker {
           break;
         case Opcode::kMovRI:
           // The register now holds a known constant: if it is within the
-          // data region, reads through it are bounded by edata - imm.
+          // data region, any displacement in [-imm, edata - imm] stays
+          // within it.
           if (inst.imm >= 0 && static_cast<uint64_t>(inst.imm) <= params_.edata) {
-            f.cover[inst.r1] = static_cast<int64_t>(params_.edata) - inst.imm;
+            f.cover[inst.r1] = {-inst.imm, static_cast<int64_t>(params_.edata) - inst.imm};
           }
           break;
         case Opcode::kCmpRI: {
@@ -533,9 +583,11 @@ class ConfinementChecker {
       int64_t coverage = static_cast<int64_t>(params_.edata) - pending.imm;
       NoteCheck(verify, last.address, coverage);
       if (pending.reg_intact) {
+        // ja-not-taken proves reg <=u imm (so reg + d cannot wrap for
+        // d >= 0, nor exceed edata for d <= coverage).
         extra->has_cover = true;
         extra->reg = pending.reg;
-        extra->cover = coverage;
+        extra->cover = {0, coverage};
       }
       if (pending.has_exact && pending.exact_intact) {
         extra->has_exact = true;

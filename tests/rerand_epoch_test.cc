@@ -20,6 +20,7 @@
 #include "src/cpu/cpu.h"
 #include "src/ir/builder.h"
 #include "src/rerand/engine.h"
+#include "src/supervise/clock.h"
 #include "src/verify/verifier.h"
 #include "src/workload/corpus.h"
 #include "src/workload/ops.h"
@@ -287,12 +288,17 @@ TEST(RerandEpoch, TriggerAdaptersAndTimer) {
   ASSERT_TRUE(leak.ok());
   EXPECT_EQ(leak->trigger, RerandTrigger::kDisclosure);
 
-  // Periodic epochs keep firing while the guest keeps running.
+  // Periodic epochs keep firing while the guest keeps running. The timer
+  // thread waits on an injected FakeClock, so the test drives its schedule
+  // deterministically instead of sleeping real wall-clock periods; the
+  // real-time deadline is only a liveness bound on the whole loop.
   const uint64_t before = engine.epochs_completed();
-  engine.StartTimer(std::chrono::milliseconds(5));
+  FakeClock clock;
+  engine.StartTimer(std::chrono::milliseconds(5), &clock);
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
   while (engine.epochs_completed() < before + 2 &&
          std::chrono::steady_clock::now() < deadline) {
+    clock.Advance(std::chrono::milliseconds(6));
     RunResult r = env.cpu_a->CallFunction("sys_probe", {env.buf});
     ASSERT_EQ(r.reason, StopReason::kReturned);
   }

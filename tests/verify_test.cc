@@ -4,11 +4,15 @@
 // half of an SFI-style verifier's contract.
 #include <gtest/gtest.h>
 
+#include "src/ir/builder.h"
 #include "src/ir/liveness.h"
 #include "src/isa/encoding.h"
+#include "src/kernel/layout.h"
 #include "src/plugin/pipeline.h"
+#include "src/verify/confinement.h"
 #include "src/verify/decoded_function.h"
 #include "src/verify/verifier.h"
+#include "src/workload/corpus.h"
 #include "src/workload/harness.h"
 
 namespace krx {
@@ -383,6 +387,90 @@ TEST(VerifyMutation, DeadTripwireIsCaught) {
   }
   ASSERT_TRUE(mutated);
   ExpectOnlyRule(VerifyImage(*kernel.image, opts), RuleId::kRaDTripwire);
+}
+
+// ---- The `sub r, imm` congruence of the interval domain. ----
+
+// Probe with one widened dominating check and a downward base derivation:
+//
+//   cmp  $(edata - kProbeCheckDisp), %rdi ; ja viol
+//   sub  $kProbeSubImm, %rdi
+//   mov  d(%rdi), %rax            (one load per entry in `read_disps`)
+//   ret
+// viol: callq krx_handler ; hlt
+//
+// The instrumentation passes never elide a check across a subtraction, so
+// the probe is compiled exempt — modelling a hand-written cloned reader —
+// and the confinement checker runs on its final bytes directly.
+constexpr int64_t kProbeCheckDisp = 256;
+constexpr int64_t kProbeSubImm = 64;
+
+CompiledKernel BuildSubProbe(const std::vector<int64_t>& read_disps) {
+  KernelSource src = MakeBaseSource();
+  const int32_t handler = src.symbols.Intern(kKrxHandlerName);
+  FunctionBuilder b("sub_probe");
+  const int32_t viol = b.ReserveBlock();
+  b.Emit(Instruction::CmpRI(Reg::kRdi,
+                            ComputeEdata(kDefaultPhantomGuardSize) - kProbeCheckDisp));
+  b.Emit(Instruction::JccBlock(Cond::kA, viol));
+  b.Emit(Instruction::SubRI(Reg::kRdi, kProbeSubImm));
+  for (int64_t d : read_disps) {
+    b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, d)));
+  }
+  b.Emit(Instruction::Ret());
+  b.Bind(viol);
+  b.Emit(Instruction::CallSym(handler));
+  b.Emit(Instruction::Hlt());
+  src.functions.push_back(b.Build());
+  src.symbols.Intern("sub_probe");
+
+  ProtectionConfig config = ProtectionConfig::SfiOnly(SfiLevel::kO3);
+  config.exempt_functions = {"sub_probe"};
+  auto kernel = CompileKernel(std::move(src), {config, LayoutKind::kKrx});
+  KRX_CHECK_OK(kernel.status());
+  return std::move(*kernel);
+}
+
+VerifyReport CheckProbeConfinement(const CompiledKernel& kernel) {
+  DecodedFunction fn = Decode(*kernel.image, "sub_probe");
+  ConfinementParams params;
+  params.edata = kernel.image->krx_edata();
+  auto handler = kernel.image->symbols().AddressOf(kKrxHandlerName);
+  KRX_CHECK_OK(handler.status());
+  params.handler_address = *handler;
+  params.guard_size = kDefaultPhantomGuardSize;
+  VerifyReport report;
+  CheckReadConfinement(fn, params, &report);
+  return report;
+}
+
+TEST(VerifyCongruence, SubShiftsTheProvenWindowUp) {
+  // ja-not-taken proves cover[rdi] = [0, 256]; `sub $64, %rdi` re-associates
+  // a read d(%rdi) to the checked base at displacement d - 64, so the window
+  // becomes [64, 320]. Both edges must be justified.
+  CompiledKernel kernel = BuildSubProbe({kProbeSubImm, kProbeCheckDisp + kProbeSubImm});
+  EXPECT_EQ(static_cast<uint64_t>(ComputeEdata(kDefaultPhantomGuardSize)),
+            kernel.image->krx_edata());
+  VerifyReport report = CheckProbeConfinement(kernel);
+  EXPECT_TRUE(report.ok()) << report.Summary(4);
+  EXPECT_EQ(report.counters.reads_seen, 2u);
+  EXPECT_EQ(report.counters.justified_reads, 2u);
+  EXPECT_EQ(report.counters.range_checks_seen, 1u);
+}
+
+TEST(VerifyCongruence, SubWindowRejectsReadsPastTheUpperEdge) {
+  // d - 64 = 264 > 256: outside what the dominating check proved.
+  CompiledKernel kernel = BuildSubProbe({kProbeCheckDisp + kProbeSubImm + 8});
+  ExpectOnlyRule(CheckProbeConfinement(kernel), RuleId::kRxRead);
+}
+
+TEST(VerifyCongruence, SubWindowKeepsTheNoWrapLowerEdge) {
+  // A displacement below the subtracted amount could wrap: %rdi <= edata -
+  // 256 proves nothing about %rdi - 64 when %rdi <u 64. A scalar
+  // upper-bound-only domain would have accepted this read; the window's
+  // lower edge must reject it.
+  CompiledKernel kernel = BuildSubProbe({0});
+  ExpectOnlyRule(CheckProbeConfinement(kernel), RuleId::kRxRead);
 }
 
 TEST(VerifyHook, PostLinkToggleGovernsCompile) {

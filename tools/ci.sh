@@ -4,11 +4,14 @@
 # re-randomization (rerand) stage, the perf stage (block-cache equivalence
 # tests + parallel bench smoke matrix with the telemetry overhead gate), the
 # telemetry stage (subsystem tests + krx_trace export/validate smoke + the
-# traced security_eval attack timeline), and the static-analysis stage
+# traced security_eval attack timeline), the supervise stage (watchdog,
+# deadline, retry, degradation-ladder and checkpoint/restore tests) with the
+# chaos campaign acceptance gate, and the static-analysis stage
 # (krx_verify over the full config matrix, proving every image — including
 # the O4-optimized ones — still carries a sufficient dominating check for
 # each load/store). Produces the BENCH_fault.json, BENCH_rerand.json,
-# BENCH_perf.json, BENCH_trace.json and BENCH_attacks_trace.json artifacts.
+# BENCH_perf.json, BENCH_chaos.json, BENCH_trace.json and
+# BENCH_attacks_trace.json artifacts.
 # The full (non-quick) run re-verifies under the ASan preset and adds a
 # ThreadSanitizer preset pass over the telemetry-labelled suites.
 #
@@ -70,6 +73,14 @@ echo "==> telemetry stage: per-attack timeline (build/BENCH_attacks_trace.json)"
   echo "security_eval chrome trace failed validation" >&2; exit 1;
 }
 
+echo "==> supervise stage: watchdog/retry/health/checkpoint tests"
+ctest --test-dir build -L supervise --output-on-failure -j4
+
+echo "==> chaos stage: self-healing campaign (build/BENCH_chaos.json)"
+./build/bench/chaos_campaign --quick --json > build/BENCH_chaos.json || {
+  echo "chaos campaign acceptance failed" >&2; exit 1;
+}
+
 echo "==> static-analysis stage: verifier over the full config matrix"
 ./build/tools/krx_verify all || {
   echo "static-analysis verification failed (default preset)" >&2; exit 1;
@@ -91,6 +102,9 @@ if [ "$QUICK" -eq 0 ]; then
 
   echo "==> telemetry labels (asan preset)"
   ctest --test-dir build-asan -L telemetry --output-on-failure -j4
+
+  echo "==> supervise labels (asan preset)"
+  ctest --test-dir build-asan -L supervise --output-on-failure -j4
 
   echo "==> static-analysis stage (asan preset)"
   ./build-asan/tools/krx_verify all || {

@@ -4,16 +4,20 @@
 //     Run a small bench matrix plus one live re-randomization epoch under
 //     full event tracing and export the rings as a Chrome trace-event JSON
 //     (load in chrome://tracing or Perfetto).
-//   krx_trace top [--n N] [--seed S] [--ms W]
-//     Sample a hot guest workload with the guest profiler and print the
-//     top-N functions with their protection-check cost attribution.
+//   krx_trace top [--n N] [--seed S] [--ms W] [--threads T]
+//     Sample the parallel lmbench bench matrix with the guest profiler and
+//     print the top-N functions with their protection-check cost
+//     attribution, plus a per-worker busy/idle breakdown.
 //   krx_trace metrics [--seed S] [--csv] [config]
-//     Compile + run one op under the chosen config and print the metrics
-//     registry snapshot (the same JSON the bench artifacts embed), or the
-//     flat CSV form with --csv.
+//     Compile + run one op under the chosen config — plus a supervised
+//     scenario (watchdog-caught wedged run, rerand degradation ladder) so
+//     the lockup/retry/degradation counters are populated — and print the
+//     metrics registry snapshot (the same JSON the bench artifacts embed),
+//     or the flat CSV form with --csv.
 //   krx_trace validate FILE
 //     Parse FILE and require the Chrome trace shape ({"traceEvents": [...]}).
 //     CI smoke for exported traces.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -21,10 +25,13 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/bench_runner/bench_runner.h"
 #include "src/rerand/engine.h"
+#include "src/supervise/health.h"
+#include "src/supervise/watchdog.h"
 #include "src/telemetry/chrome_trace.h"
 #include "src/telemetry/json.h"
 #include "src/telemetry/metrics.h"
@@ -124,21 +131,22 @@ int CmdTrace(const std::string& out_path, uint64_t seed) {
   return failures == 0 ? 0 : 1;
 }
 
-int CmdTop(int top_n, uint64_t seed, int window_ms) {
+int CmdTop(int top_n, uint64_t seed, int window_ms, int threads) {
+  const std::string config_name = "sfi-o3";
   ProtectionConfig config;
   LayoutKind layout;
-  KRX_CHECK(ParseConfigName("sfi-o3", seed, &config, &layout));
-  auto kernel = CompileKernel(MakeBenchSource(seed), {config, layout});
+  KRX_CHECK(ParseConfigName(config_name, seed, &config, &layout));
+
+  // The profiled matrix runs through the same cache + runner the bench
+  // tools use, so every worker samples the one shared image whose symbol
+  // table feeds the extent table below.
+  KernelCache cache(MakeBenchSourceFactory(seed));
+  auto kernel = cache.Get({config, layout});
   if (!kernel.ok()) {
     std::fprintf(stderr, "build failed: %s\n", kernel.status().ToString().c_str());
     return 1;
   }
-  KernelImage& image = *kernel->image;
-  auto buf = SetUpOpBuffer(image, seed);
-  if (!buf.ok()) {
-    std::fprintf(stderr, "op buffer setup failed: %s\n", buf.status().ToString().c_str());
-    return 1;
-  }
+  KernelImage& image = *(*kernel)->image;
 
   telemetry::GuestProfiler profiler;
   uint64_t handler_lo = 0, handler_hi = 0;
@@ -146,44 +154,57 @@ int CmdTop(int top_n, uint64_t seed, int window_ms) {
   std::vector<telemetry::FunctionExtent> extents =
       MakeExtentsFromSymbols(image, &handler_lo, &handler_hi);
   profiler.SetFunctions(std::move(extents), handler_lo, handler_hi);
-  std::atomic<uint64_t>* slot = profiler.AddTarget("cpu0");
 
-  Cpu cpu(&image, CostModel(), CpuOptions{});
-  cpu.set_sample_pc_slot(slot);
-  profiler.Start(std::chrono::microseconds(50));
+  BenchRunnerOptions opts;
+  opts.threads = threads;
+  opts.seed = seed;
+  opts.profiler = &profiler;
+  BenchRunner runner(opts, &cache);
 
-  // Drive the first few lmbench ops back-to-back for the window; the
-  // sampler attributes whatever the interpreter is actually executing.
-  std::vector<std::string> ops;
-  const std::vector<LmbenchRow>& rows = LmbenchRows();
-  for (size_t i = 0; i < rows.size() && i < 4; ++i) {
-    ops.push_back("sys_" + rows[i].profile.name);
+  // lmbench-only matrix: the stateful vfs/ipc workloads run on private
+  // exclusive images whose symbols sit at different addresses than the
+  // shared extent table, so sampling them would only inflate
+  // "unattributed".
+  std::vector<BenchTask> tasks;
+  for (const LmbenchRow& row : LmbenchRows()) {
+    BenchTask t;
+    t.name = "lmbench/" + row.profile.name + "@" + config_name;
+    t.workload = WorkloadKind::kLmbench;
+    t.config_name = config_name;
+    t.op_symbol = "sys_" + row.profile.name;
+    t.repeat = 4;
+    tasks.push_back(std::move(t));
   }
+
+  profiler.Start(std::chrono::microseconds(50));
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(window_ms);
-  uint64_t calls = 0;
-  while (std::chrono::steady_clock::now() < deadline) {
-    for (const std::string& op : ops) {
-      RunResult r = cpu.CallFunction(op, {*buf});
-      if (r.reason != StopReason::kReturned) {
-        std::fprintf(stderr, "%s did not return cleanly\n", op.c_str());
-        profiler.Stop();
-        cpu.set_sample_pc_slot(nullptr);
-        return 1;
+  uint64_t calls = 0, batches = 0;
+  bool ok = true;
+  do {
+    std::vector<TaskResult> results = runner.Run(tasks);
+    ++batches;
+    for (const TaskResult& r : results) {
+      if (!r.ok) {
+        std::fprintf(stderr, "task failed: %s: %s\n", r.name.c_str(), r.error.c_str());
+        ok = false;
       }
-      ++calls;
+      calls += r.calls;
     }
-  }
+  } while (ok && std::chrono::steady_clock::now() < deadline);
   profiler.Stop();
-  cpu.set_sample_pc_slot(nullptr);
+  if (!ok) {
+    return 1;
+  }
 
   const telemetry::ProfileReport report = profiler.MakeReport(CostModel());
   const uint64_t busy = report.total_samples - report.idle_samples;
-  std::printf("guest profile: %llu samples (%llu idle, %llu unattributed), %llu calls, "
-              "config=sfi-o3\n\n",
+  std::printf("guest profile: %llu samples (%llu idle, %llu unattributed), %llu calls in "
+              "%llu batch(es), config=%s, %d worker(s)\n\n",
               (unsigned long long)report.total_samples,
               (unsigned long long)report.idle_samples,
-              (unsigned long long)report.unattributed, (unsigned long long)calls);
+              (unsigned long long)report.unattributed, (unsigned long long)calls,
+              (unsigned long long)batches, config_name.c_str(), threads);
   std::printf("%-28s %8s %7s %6s %6s %9s %9s\n", "function", "samples", "pct", "sfi", "mpx",
               "check%", "est.share");
   int shown = 0;
@@ -197,6 +218,15 @@ int CmdTop(int top_n, uint64_t seed, int window_ms) {
                 (unsigned long long)fn.census.mpx_checks, fn.check_cost_pct,
                 fn.est_check_share);
     ++shown;
+  }
+  std::printf("\n%-12s %10s %10s %8s\n", "worker", "samples", "busy", "busy%");
+  for (const telemetry::TargetProfile& t : report.targets) {
+    const uint64_t worker_busy = t.samples - t.idle;
+    std::printf("%-12s %10llu %10llu %7.1f%%\n", t.label.c_str(),
+                (unsigned long long)t.samples, (unsigned long long)worker_busy,
+                t.samples == 0 ? 0.0
+                               : 100.0 * static_cast<double>(worker_busy) /
+                                     static_cast<double>(t.samples));
   }
   if (busy == 0) {
     std::printf("(no busy samples — window too short for this machine?)\n");
@@ -224,6 +254,54 @@ int CmdMetrics(const std::string& config_name, uint64_t seed, bool csv) {
     Cpu cpu(&image, CostModel(), CpuOptions{});
     (void)cpu.CallFunction("sys_null_syscall", {*buf});
   }
+
+  // Supervised scenario, part 1: a genuinely wedged run. The step observer
+  // freezes mid-run with the heartbeat slot nonzero; the watchdog escalates
+  // soft -> hard lockup and its hard callback preempts the run
+  // (kDeadlineExceeded), populating the watchdog.* and cpu.deadline_exceeded
+  // counters with a real detection, not a synthetic bump.
+  if (buf.ok()) {
+    Watchdog::Options wopts;
+    wopts.tick = std::chrono::milliseconds(5);
+    wopts.soft_ticks = 2;
+    wopts.hard_ticks = 4;
+    Watchdog watchdog(wopts);
+    Cpu cpu(&image, CostModel(), CpuOptions{});
+    std::atomic<uint64_t>* hb = watchdog.Watch("cpu0", [&] { cpu.RequestPreempt(); });
+    cpu.set_heartbeat_slot(hb);
+    uint64_t steps = 0;
+    cpu.set_step_observer([&](const Cpu&) {
+      if (++steps != 8) {  // wedge once, with the heartbeat already nonzero
+        return;
+      }
+      const auto bound = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+      while (watchdog.hard_lockups() == 0 && std::chrono::steady_clock::now() < bound) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    watchdog.Start();
+    (void)cpu.CallFunction("sys_null_syscall", {*buf});
+    watchdog.Stop();
+    cpu.set_heartbeat_slot(nullptr);
+    cpu.set_step_observer(nullptr);
+  }
+
+  // Part 2: the rerand degradation ladder. Two consecutive failpoint-failed
+  // epochs cross the default rollback threshold, stepping the timer aspect
+  // down to manual-only (health.degradations, health.degrade.rerand_timer).
+  {
+    HealthState health;
+    RerandEngine engine(&*kernel);
+    engine.set_failpoint(RerandStep::kRelayout);
+    for (int i = 0; i < 2; ++i) {
+      auto epoch = engine.RunEpoch();
+      if (!epoch.ok()) {
+        health.RecordEpochRollback(epoch.status().message());
+      }
+    }
+    engine.clear_failpoint();
+  }
+
   if (csv) {
     std::printf("%s", telemetry::MetricsRegistry::Global().SnapshotCsv().c_str());
   } else {
@@ -271,7 +349,7 @@ int CmdValidate(const std::string& path) {
 int Usage() {
   std::fprintf(stderr,
                "usage: krx_trace trace [--out PATH] [--seed S]\n"
-               "       krx_trace top [--n N] [--seed S] [--ms W]\n"
+               "       krx_trace top [--n N] [--seed S] [--ms W] [--threads T]\n"
                "       krx_trace metrics [--seed S] [--csv] [config]\n"
                "       krx_trace validate FILE\n");
   return 2;
@@ -297,7 +375,7 @@ int Main(int argc, char** argv) {
     return CmdTrace(out, seed);
   }
   if (cmd == "top") {
-    int top_n = 10, window_ms = 400;
+    int top_n = 10, window_ms = 400, threads = 2;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
         top_n = std::atoi(argv[++i]);
@@ -305,11 +383,13 @@ int Main(int argc, char** argv) {
         seed = std::strtoull(argv[++i], nullptr, 0);
       } else if (std::strcmp(argv[i], "--ms") == 0 && i + 1 < argc) {
         window_ms = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        threads = std::atoi(argv[++i]);
       } else {
         return Usage();
       }
     }
-    return CmdTop(top_n, seed, window_ms);
+    return CmdTop(top_n, seed, window_ms, threads);
   }
   if (cmd == "metrics") {
     std::string config = "sfi+x";
