@@ -303,9 +303,10 @@ int Main(int argc, char** argv) {
   }
 
   const KernelCache::Stats kstats = cache.stats();
-  std::printf("\nkernel cache: %llu shared builds, %llu cache hits, %llu exclusive builds\n",
-              (unsigned long long)kstats.compiles, (unsigned long long)kstats.hits,
-              (unsigned long long)kstats.exclusive_compiles);
+  std::printf("\nkernel cache: %llu shared builds, %llu cache hits, %llu private builds\n",
+              (unsigned long long)kstats.shared_mode.compiles,
+              (unsigned long long)kstats.shared_mode.hits,
+              (unsigned long long)kstats.private_mode.compiles);
 
   // Static check census: what O4's cross-block elision + loop hoisting
   // removes from the image relative to O3, over the same bench source. The
@@ -375,9 +376,10 @@ int Main(int argc, char** argv) {
     json += "],\n";
     std::snprintf(buf, sizeof(buf),
                   "  \"kernel_cache\": {\"compiles\": %llu, \"hits\": %llu, "
-                  "\"exclusive_compiles\": %llu},\n",
-                  (unsigned long long)kstats.compiles, (unsigned long long)kstats.hits,
-                  (unsigned long long)kstats.exclusive_compiles);
+                  "\"private_compiles\": %llu},\n",
+                  (unsigned long long)kstats.shared_mode.compiles,
+                  (unsigned long long)kstats.shared_mode.hits,
+                  (unsigned long long)kstats.private_mode.compiles);
     json += buf;
     std::snprintf(buf, sizeof(buf),
                   "  \"check_census\": {\"o3_emitted\": %llu, \"o3_elided\": %llu, "

@@ -2,13 +2,11 @@
 
 #include <chrono>
 
-#include "src/base/rng.h"
 #include "src/bench_runner/thread_pool.h"
 #include "src/supervise/health.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/profiler.h"
 #include "src/telemetry/telemetry.h"
-#include "src/workload/corpus.h"
 #include "src/workload/harness.h"
 #include "src/workload/ipc.h"
 #include "src/workload/lmbench.h"
@@ -16,73 +14,23 @@
 #include "src/workload/vfs.h"
 
 namespace krx {
-namespace {
-
-// FNV-1a fold of each call's return value — order-sensitive, so it also
-// witnesses that the cached engine made the same calls in the same order.
-void FoldRax(uint64_t rax, uint64_t* checksum) {
-  *checksum = (*checksum ^ rax) * 0x100000001B3ULL;
-}
-
-struct CallError {
-  std::string message;
-};
-
-// Runs one guest entry and accumulates its work into `result`. Returns
-// false (and fills result->error) when the call did not return cleanly.
-bool Call(Cpu& cpu, const std::string& symbol, const std::vector<uint64_t>& args,
-          const RunOptions& run, TaskResult* result) {
-  RunResult r = cpu.CallFunction(symbol, args, run);
-  if (r.reason != StopReason::kReturned) {
-    result->error = symbol + " did not return cleanly: " + StopReasonName(r.reason) +
-                    (r.reason == StopReason::kException
-                         ? std::string(" (") + ExceptionKindName(r.exception) + ")"
-                         : "") +
-                    (r.reason == StopReason::kHostError ? " (" + r.host_error + ")" : "");
-    return false;
-  }
-  ++result->calls;
-  result->instructions += r.instructions;
-  result->deci_cycles += r.deci_cycles;
-  FoldRax(r.rax, &result->rax_checksum);
-  return true;
-}
-
-}  // namespace
-
-const char* WorkloadKindName(WorkloadKind kind) {
-  switch (kind) {
-    case WorkloadKind::kLmbench:
-      return "lmbench";
-    case WorkloadKind::kPhoronix:
-      return "phoronix";
-    case WorkloadKind::kVfs:
-      return "vfs";
-    case WorkloadKind::kIpc:
-      return "ipc";
-  }
-  return "?";
-}
 
 TaskResult BenchRunner::RunOne(const BenchTask& task) const {
   KRX_TRACE_SPAN_SCOPED(("task:" + task.name).c_str());
   TaskResult result;
   result.name = task.name;
-  result.config_name = task.config_name;
-  result.workload = task.workload;
+  result.config_name = task.spec.config_name;
+  result.workload = task.spec.workload;
 
-  ProtectionConfig config;
-  LayoutKind layout = LayoutKind::kKrx;
-  if (!ParseConfigName(task.config_name, options_.seed, &config, &layout)) {
-    result.error = "unknown config name: " + task.config_name;
+  auto options = task.spec.ResolveBuildOptions(options_.seed);
+  if (!options.ok()) {
+    result.error = options.status().message();
     return result;
   }
   // VFS and IPC mutate guest globals (fd tables, ring indices), so they get
   // a private build; the read-only op workloads share one image per key.
-  const bool stateful =
-      task.workload == WorkloadKind::kVfs || task.workload == WorkloadKind::kIpc;
-  auto kernel = stateful ? cache_->GetExclusive({config, layout})
-                         : cache_->Get({config, layout});
+  auto kernel = cache_->Acquire(
+      *options, WorkloadIsStateful(task.spec.workload) ? Sharing::kPrivate : Sharing::kShared);
   if (!kernel.ok()) {
     result.error = "build failed: " + kernel.status().message();
     return result;
@@ -113,90 +61,27 @@ TaskResult BenchRunner::RunOne(const BenchTask& task) const {
     cpu.set_sample_pc_slot(pc_slot);
   }
 
+  auto buffers = SetUpWorkloadBuffers(image, task.spec.workload, options_.seed);
+  if (!buffers.ok()) {
+    result.error = "buffer setup failed: " + buffers.status().message();
+    return result;
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
-  bool ok = true;
-  switch (task.workload) {
-    case WorkloadKind::kLmbench: {
-      auto buf = SetUpOpBuffer(image, options_.seed);
-      if (!buf.ok()) {
-        result.error = "op buffer setup failed: " + buf.status().message();
-        return result;
-      }
-      for (int rep = 0; ok && rep < task.repeat; ++rep) {
-        ok = Call(cpu, task.op_symbol, {*buf}, run, &result);
-      }
-      break;
-    }
-    case WorkloadKind::kPhoronix: {
-      auto buf = SetUpOpBuffer(image, options_.seed);
-      if (!buf.ok()) {
-        result.error = "op buffer setup failed: " + buf.status().message();
-        return result;
-      }
-      for (int rep = 0; ok && rep < task.repeat; ++rep) {
-        for (const auto& [symbol, weight] : task.ops) {
-          for (int i = 0; ok && i < weight; ++i) {
-            ok = Call(cpu, symbol, {*buf}, run, &result);
-          }
-          if (!ok) break;
-        }
-      }
-      break;
-    }
-    case WorkloadKind::kVfs: {
-      auto user_buf = image.AllocDataPages(1);
-      if (!user_buf.ok()) {
-        result.error = "buffer alloc failed: " + user_buf.status().message();
-        return result;
-      }
-      for (int rep = 0; ok && rep < task.repeat; ++rep) {
-        for (const VfsFile& file : DefaultVfsImage()) {
-          VfsPathHashes h = HashPath(file.path);
-          RunResult open = cpu.CallFunction("vfs_open", {h.h1, h.h2, h.h3}, run);
-          if (open.reason != StopReason::kReturned || static_cast<int64_t>(open.rax) < 0) {
-            result.error = "vfs_open failed for " + file.path;
-            ok = false;
-            break;
-          }
-          ++result.calls;
-          result.instructions += open.instructions;
-          result.deci_cycles += open.deci_cycles;
-          FoldRax(open.rax, &result.rax_checksum);
-          const uint64_t fd = open.rax;
-          ok = Call(cpu, "vfs_read", {fd, *user_buf, 8}, run, &result) &&
-               Call(cpu, "vfs_fstat", {fd, *user_buf}, run, &result) &&
-               Call(cpu, "vfs_close", {fd}, run, &result);
-          if (!ok) break;
-        }
-      }
-      break;
-    }
-    case WorkloadKind::kIpc: {
-      auto src = image.AllocDataPages(1);
-      auto dst = image.AllocDataPages(1);
-      if (!src.ok() || !dst.ok()) {
-        result.error = "buffer alloc failed";
-        return result;
-      }
-      Rng rng(options_.seed ^ 5);
-      for (int i = 0; i < 64; ++i) {
-        Status s = image.Poke64(*src + 8 * i, rng.Next());
-        if (!s.ok()) {
-          result.error = "buffer fill failed: " + s.message();
-          return result;
-        }
-      }
-      for (int rep = 0; ok && rep < task.repeat; ++rep) {
-        ok = Call(cpu, "pipe_write", {*src, 64}, run, &result) &&
-             Call(cpu, "pipe_read", {*dst, 64}, run, &result) &&
-             Call(cpu, "sock_send", {*src, 16}, run, &result) &&
-             Call(cpu, "sock_recv", {*dst}, run, &result);
-      }
-      break;
-    }
+  WorkloadCounters counters;
+  Status status;
+  for (int rep = 0; status.ok() && rep < task.repeat; ++rep) {
+    status = RunWorkloadOnce(cpu, task.spec, *buffers, run, &counters);
   }
   const auto t1 = std::chrono::steady_clock::now();
+  result.calls = counters.calls;
+  result.instructions = counters.instructions;
+  result.deci_cycles = counters.deci_cycles;
+  result.rax_checksum = counters.rax_checksum;
   result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  if (!status.ok()) {
+    result.error = status.message();
+  }
   if (pc_slot != nullptr) {
     // The worker's slot outlives this task; park it at idle so samples taken
     // between tasks don't re-attribute the last guest PC.
@@ -207,7 +92,7 @@ TaskResult BenchRunner::RunOne(const BenchTask& task) const {
   result.cache_hit_rate = cs.hit_rate();
   result.replayed_insts = cs.replayed_insts;
   result.decoded_insts = cs.decoded_insts;
-  result.ok = ok && result.error.empty();
+  result.ok = result.error.empty();
   KRX_COUNTER_ADD("bench.tasks", 1);
   if (!result.ok) {
     KRX_COUNTER_ADD("bench.task_failures", 1);
@@ -248,25 +133,25 @@ std::vector<BenchTask> MakeBenchMatrix(const std::vector<std::string>& config_na
     for (int i = 0; i < row_count; ++i) {
       BenchTask t;
       t.name = "lmbench/" + rows[i].profile.name + "@" + config;
-      t.workload = WorkloadKind::kLmbench;
-      t.config_name = config;
-      t.op_symbol = "sys_" + rows[i].profile.name;
+      t.spec.workload = WorkloadKind::kLmbench;
+      t.spec.config_name = config;
+      t.spec.op_symbol = "sys_" + rows[i].profile.name;
       t.repeat = repeat;
       tasks.push_back(std::move(t));
     }
     {
       BenchTask t;
       t.name = "vfs/walk@" + config;
-      t.workload = WorkloadKind::kVfs;
-      t.config_name = config;
+      t.spec.workload = WorkloadKind::kVfs;
+      t.spec.config_name = config;
       t.repeat = repeat;
       tasks.push_back(std::move(t));
     }
     {
       BenchTask t;
       t.name = "ipc/rings@" + config;
-      t.workload = WorkloadKind::kIpc;
-      t.config_name = config;
+      t.spec.workload = WorkloadKind::kIpc;
+      t.spec.config_name = config;
       t.repeat = repeat;
       tasks.push_back(std::move(t));
     }
@@ -274,9 +159,9 @@ std::vector<BenchTask> MakeBenchMatrix(const std::vector<std::string>& config_na
       for (const PhoronixRow& row : PhoronixRows()) {
         BenchTask t;
         t.name = "phoronix/" + row.name + "@" + config;
-        t.workload = WorkloadKind::kPhoronix;
-        t.config_name = config;
-        t.ops = row.ops;
+        t.spec.workload = WorkloadKind::kPhoronix;
+        t.spec.config_name = config;
+        t.spec.ops = row.ops;
         t.repeat = repeat;
         tasks.push_back(std::move(t));
       }

@@ -3,9 +3,9 @@
 // A bench run is a matrix of BenchTasks — (workload, protection column)
 // points — executed by a fixed thread pool. Each task runs on its own Cpu
 // (private Mmu, private stack, private block cache) over a compiled kernel
-// obtained from a KernelCache, so identically-configured tasks share one
-// immutable image and each (config, layout, seed) point compiles exactly
-// once per run. Stateful workloads (VFS fd tables, IPC rings) get a private
+// acquired from the sharded fleet KernelCache, so identically-configured
+// tasks share one immutable image and each ImageKey compiles exactly once
+// per run. Stateful workloads (VFS fd tables, IPC rings) acquire a private
 // build instead — guest globals are not thread-safe.
 //
 // Per task the driver records guest work (retired instructions,
@@ -20,8 +20,9 @@
 #include <utility>
 #include <vector>
 
-#include "src/bench_runner/kernel_cache.h"
 #include "src/cpu/cpu.h"
+#include "src/fleet/kernel_cache.h"
+#include "src/fleet/tenant.h"
 
 namespace krx {
 
@@ -30,22 +31,13 @@ namespace telemetry {
 class GuestProfiler;
 }  // namespace telemetry
 
-enum class WorkloadKind : uint8_t {
-  kLmbench,   // one synthetic kernel op, called with the scratch buffer
-  kPhoronix,  // weighted mix of kernel ops (Table 2 row)
-  kVfs,       // open/read/fstat/close walks over the baked-in filesystem
-  kIpc,       // pipe ring + checksummed socket round trips
-};
-
-const char* WorkloadKindName(WorkloadKind kind);
-
 struct BenchTask {
-  std::string name;         // unique row id, e.g. "lmbench/read_write@sfi-o3"
-  WorkloadKind workload = WorkloadKind::kLmbench;
-  std::string config_name;  // ParseConfigName vocabulary ("vanilla", "sfi-o3", ...)
-  std::string op_symbol;    // kLmbench: the op to call
-  std::vector<std::pair<std::string, int>> ops;  // kPhoronix: (symbol, weight)
-  int repeat = 4;           // outer repetitions of the task's call sequence
+  std::string name;  // unique row id, e.g. "lmbench/read_write@sfi-o3"
+  // What to run and under which protection: the same typed spec the
+  // multi-tenant fleet consumes (src/fleet/tenant.h). spec.seed == 0 defers
+  // to BenchRunnerOptions::seed.
+  TenantSpec spec;
+  int repeat = 4;  // outer repetitions of the task's call sequence
 };
 
 struct TaskResult {

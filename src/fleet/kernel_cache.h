@@ -1,0 +1,95 @@
+// The compiled-image store: compile each distinct ImageKey exactly once,
+// even when many worker threads request it concurrently.
+//
+// This is the sharded successor of the old single-mutex bench_runner
+// KernelCache. The store is hash-partitioned over the typed ImageKey
+// (src/fleet/image_key.h): each shard owns its own mutex and map, so a
+// fleet of workers acquiring different keys never serializes on one lock,
+// and a compile holds no lock at all — same-key requesters block on a
+// shared_future of the in-flight build instead.
+//
+// The old Get/GetExclusive pair is collapsed into one entry point:
+//
+//   cache.Acquire(options, Sharing::kShared)   // cached, one build per key
+//   cache.Acquire(options, Sharing::kPrivate)  // uncached private build
+//
+// Shared kernels are execute-only state: per-thread Cpu instances may run
+// on one concurrently (each owns its Mmu and stack; frame allocation is
+// thread-safe) but nothing may remap or poke text. Stateful workloads that
+// mutate guest globals (VFS fd tables, IPC rings) — and tenant
+// materializations that need a mutable image — request Sharing::kPrivate.
+#ifndef KRX_SRC_FLEET_KERNEL_CACHE_H_
+#define KRX_SRC_FLEET_KERNEL_CACHE_H_
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fleet/image_key.h"
+#include "src/plugin/pipeline.h"
+
+namespace krx {
+
+// How an acquired kernel may be used. kShared returns the one cached build
+// for the key (immutable image, many concurrent readers); kPrivate compiles
+// a fresh uncached kernel the caller owns outright.
+enum class Sharing : uint8_t { kShared, kPrivate };
+
+const char* SharingName(Sharing sharing);
+
+class KernelCache {
+ public:
+  // `factory` produces the kernel source tree for every build (called once
+  // per distinct shared key, and once per private acquire). It must be
+  // callable from any worker thread. `shard_count` is rounded up to a power
+  // of two; 0 picks the default (16).
+  using SourceFactory = std::function<KernelSource()>;
+  explicit KernelCache(SourceFactory factory, int shard_count = 0);
+
+  // The one entry point. Thread-safe.
+  Result<std::shared_ptr<CompiledKernel>> Acquire(const BuildOptions& options, Sharing sharing);
+
+  // Per-sharing-mode accounting (the old flat hits/compiles/
+  // exclusive_compiles triple, folded into one shape per mode).
+  struct ModeStats {
+    uint64_t requests = 0;
+    uint64_t hits = 0;      // shared only: served an already-requested key
+    uint64_t compiles = 0;  // builds actually run in this mode
+    // Shared only: hits that arrived while the keyed build was still
+    // compiling — requests the shared_future deduplicated into one run.
+    uint64_t inflight_dedup = 0;
+  };
+  struct Stats {
+    ModeStats shared_mode;
+    ModeStats private_mode;
+  };
+  Stats stats() const;
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  // Which shard a key lands on (hash-partitioned). Exposed for tests.
+  int ShardIndex(const ImageKey& key) const {
+    return static_cast<int>(key.Hash() & (shards_.size() - 1));
+  }
+
+ private:
+  struct Built {
+    std::shared_ptr<CompiledKernel> kernel;  // null on failure
+    Status status;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<ImageKey, std::shared_future<Built>> entries;
+  };
+
+  SourceFactory factory_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace krx
+
+#endif  // KRX_SRC_FLEET_KERNEL_CACHE_H_

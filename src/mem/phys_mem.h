@@ -29,6 +29,14 @@ class PhysMem {
   // scratch buffers on a shared image concurrently.
   Result<uint64_t> AllocFrames(uint64_t count);
 
+  // Frames handed out so far (bump cursor). The fleet memory accounting
+  // reads this as an image's *used* footprint, as opposed to size(), the
+  // reserved capacity. Thread-safe.
+  uint64_t frames_allocated() const {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    return next_free_frame_;
+  }
+
   uint8_t Read8(uint64_t paddr) const {
     KRX_CHECK(paddr < size());
     return bytes_[paddr];
@@ -66,7 +74,7 @@ class PhysMem {
 
  private:
   std::vector<uint8_t> bytes_;
-  std::mutex alloc_mu_;
+  mutable std::mutex alloc_mu_;
   uint64_t next_free_frame_ = 0;
 };
 

@@ -169,6 +169,27 @@ int64_t ComputeEdata(uint64_t phantom_guard_size) {
   return static_cast<int64_t>(kKrxCodeBase - phantom_guard_size);
 }
 
+uint64_t LinkArtifacts::ApproxBytes() const {
+  uint64_t total = 0;
+  if (pristine != nullptr) {
+    total += pristine->bytes.size();
+    total += pristine->relocs.size() * sizeof(Reloc);
+    for (const AssembledFunction& fn : pristine->functions) {
+      total += sizeof(AssembledFunction) + fn.name.size();
+    }
+  }
+  total += xkeys.size() + xkey_symbols.size() * sizeof(xkey_symbols[0]);
+  for (const DataObject& obj : data_objects) {
+    total += sizeof(DataObject) + obj.name.size() + obj.bytes.size() +
+             obj.pointer_slots.size() * sizeof(DataObject::PtrInit);
+  }
+  total += pending_ptr_sites.size() * sizeof(RerandMap::PendingPtrSite);
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    total += sizeof(Symbol) + symbols.at(static_cast<int32_t>(i)).name.size();
+  }
+  return total;
+}
+
 Status ApplyProtection(std::vector<Function>& functions, SymbolTable& symbols,
                        const ProtectionConfig& config, int64_t edata_imm, XkeyLayout* xkeys,
                        PipelineStats* stats, Rng& rng) {
@@ -284,16 +305,31 @@ Result<CompiledKernel> CompileKernelAttempt(KernelSource source, const Protectio
     link.kaslr_slide = rng.NextBelow(1ULL << 14) << kPageShift;
   }
 
-  // Live re-randomization metadata: LinkKernel relocates the blob and
-  // consumes the data objects, so the pristine bytes and the pointer-slot
-  // descriptors must be captured now (resolved against the linked image
-  // below, once addresses exist).
-  out.rerand = std::make_shared<RerandMap>();
-  out.rerand->pristine = link.text;
-  for (const DataObject& obj : link.data_objects) {
-    for (const DataObject::PtrInit& p : obj.pointer_slots) {
-      out.rerand->pending_ptr_sites.push_back({obj.name, p.offset, p.symbol, p.addend});
+  // Live re-randomization metadata and the CoW handoff: LinkKernel relocates
+  // the blob and consumes the data objects, so the pristine bytes, the
+  // pointer-slot descriptors, and the pre-link inputs a tenant
+  // materialization re-links from must all be captured now (resolved against
+  // the linked image below, once addresses exist). The pristine blob is
+  // allocated shared once and aliased by both the RerandMap and the
+  // artifacts — tenants later alias the same object, never copy it.
+  {
+    auto artifacts = std::make_shared<LinkArtifacts>();
+    artifacts->pristine = std::make_shared<const TextBlob>(link.text);
+    artifacts->xkeys = link.xkeys;
+    artifacts->xkey_symbols = link.xkey_symbols;
+    artifacts->data_objects = link.data_objects;
+    artifacts->symbols = source.symbols;
+    artifacts->phantom_guard_size = guard;
+    artifacts->phys_bytes = link.phys_bytes;
+    out.rerand = std::make_shared<RerandMap>();
+    out.rerand->pristine = artifacts->pristine;
+    for (const DataObject& obj : link.data_objects) {
+      for (const DataObject::PtrInit& p : obj.pointer_slots) {
+        out.rerand->pending_ptr_sites.push_back({obj.name, p.offset, p.symbol, p.addend});
+      }
     }
+    artifacts->pending_ptr_sites = out.rerand->pending_ptr_sites;
+    out.artifacts = std::move(artifacts);
   }
 
   auto image = [&] {

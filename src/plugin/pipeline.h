@@ -57,6 +57,28 @@ struct PipelineStats {
   std::vector<std::pair<std::string, SfiStats>> per_function;
 };
 
+// Everything a copy-on-write tenant materialization (src/fleet) needs to
+// re-link a private image without re-running the expensive protect/assemble
+// phases: the pristine (pre-relocation) text blob plus the pre-link inputs
+// LinkKernel otherwise consumes. Immutable once captured; shared across
+// every tenant of a pristine group — the `pristine` pointer here is the
+// *same object* each tenant's RerandMap aliases, which is what makes the
+// per-tenant cost the relocated image, not a private copy of the blob.
+struct LinkArtifacts {
+  std::shared_ptr<const TextBlob> pristine;
+  std::vector<uint8_t> xkeys;  // zero template; each link replenishes keys
+  std::vector<std::pair<int32_t, uint64_t>> xkey_symbols;
+  std::vector<DataObject> data_objects;
+  std::vector<RerandMap::PendingPtrSite> pending_ptr_sites;
+  SymbolTable symbols;  // pre-link (no addresses bound)
+  uint64_t phantom_guard_size = 0;
+  uint64_t phys_bytes = 0;
+
+  // Host-side footprint of the shared artifacts — what the naive
+  // copy-per-tenant baseline would duplicate per tenant.
+  uint64_t ApproxBytes() const;
+};
+
 struct CompiledKernel {
   std::unique_ptr<KernelImage> image;
   PipelineStats stats;
@@ -67,6 +89,10 @@ struct CompiledKernel {
   // Always populated; shared so engines and tools can outlive moves of the
   // CompiledKernel wrapper.
   std::shared_ptr<RerandMap> rerand;
+  // Pre-link artifacts for CoW tenant materialization. Always populated by
+  // CompileKernel; tenants materialized from this build alias the same
+  // object (never copy it).
+  std::shared_ptr<const LinkArtifacts> artifacts;
 };
 
 // The _krx_edata value the instrumentation will compare against, given the

@@ -173,12 +173,12 @@ Status RerandEngine::PatchText(const Layout& layout, Journal* journal) {
   std::vector<uint8_t> content(map_->text_content_size, kTextPadByte);
   for (size_t i = 0; i < fns.size(); ++i) {
     std::memcpy(content.data() + layout.new_offsets[i],
-                map_->pristine.bytes.data() + fns[i].pristine_offset, fns[i].size);
+                map_->pristine->bytes.data() + fns[i].pristine_offset, fns[i].size);
   }
 
   std::vector<Reloc> shifted;
-  shifted.reserve(map_->pristine.relocs.size());
-  for (const Reloc& r : map_->pristine.relocs) {
+  shifted.reserve(map_->pristine->relocs.size());
+  for (const Reloc& r : map_->pristine->relocs) {
     size_t owner = fns.size();
     for (size_t i = 0; i < fns.size(); ++i) {
       if (r.field_offset >= fns[i].pristine_offset &&

@@ -20,13 +20,16 @@ Status RerandMap::Finalize(const KernelImage& image) {
   if (finalized) {
     return FailedPreconditionError("RerandMap already finalized");
   }
+  if (pristine == nullptr) {
+    return FailedPreconditionError("RerandMap: no pristine blob captured");
+  }
   const PlacedSection* text = image.FindSection(".text");
   if (text == nullptr) {
     return NotFoundError("RerandMap: image has no .text section");
   }
-  if (text->size != pristine.bytes.size()) {
+  if (text->size != pristine->bytes.size()) {
     return InternalError("RerandMap: pristine blob size " +
-                         std::to_string(pristine.bytes.size()) +
+                         std::to_string(pristine->bytes.size()) +
                          " != linked .text content size " + std::to_string(text->size));
   }
   text_base = text->vaddr;
@@ -38,8 +41,8 @@ Status RerandMap::Finalize(const KernelImage& image) {
   // Function extents. The initial layout is the pristine layout: the link
   // placed each function at its blob offset.
   functions.clear();
-  functions.reserve(pristine.functions.size());
-  for (const AssembledFunction& fn : pristine.functions) {
+  functions.reserve(pristine->functions.size());
+  for (const AssembledFunction& fn : pristine->functions) {
     RerandFunction rf;
     rf.name = fn.name;
     rf.symbol = syms.Find(fn.name);
@@ -56,7 +59,7 @@ Status RerandMap::Finalize(const KernelImage& image) {
     uint64_t off = fn.offset;
     const uint64_t end = fn.offset + fn.size;
     while (off < end) {
-      auto dec = DecodeInstruction(pristine.bytes.data(), pristine.bytes.size(), off);
+      auto dec = DecodeInstruction(pristine->bytes.data(), pristine->bytes.size(), off);
       if (!dec.ok()) {
         // Alignment padding inside the extent would be a build bug; surface it.
         return InternalError("RerandMap: undecodable byte at pristine offset " +
@@ -73,7 +76,7 @@ Status RerandMap::Finalize(const KernelImage& image) {
 
   // Every text relocation must fall inside some function extent, or an epoch
   // could not shift it with its function.
-  for (const Reloc& r : pristine.relocs) {
+  for (const Reloc& r : pristine->relocs) {
     bool covered = false;
     for (const RerandFunction& rf : functions) {
       if (r.field_offset >= rf.pristine_offset &&

@@ -22,6 +22,7 @@
 #define KRX_SRC_RERAND_RERAND_MAP_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -68,7 +69,14 @@ struct RerandPtrSite {
 struct RerandMap {
   // Captured by the pipeline before LinkKernel consumes (and relocates) the
   // blob: bytes are pre-relocation, relocs/extents are blob-relative.
-  TextBlob pristine;
+  //
+  // Sharing contract (multi-tenant fleet, src/fleet): the blob is immutable
+  // once captured and may be referenced by many RerandMaps at once — every
+  // copy-on-write tenant materialized from the same base build aliases the
+  // base's blob instead of carrying its own. Epochs only *read* the pristine
+  // bytes (they rebuild the live .text from them); anything that would
+  // mutate the blob must copy first. Never null after CompileKernel.
+  std::shared_ptr<const TextBlob> pristine;
 
   // Pointer-slot records captured before the data objects are linked away;
   // Finalize() resolves them into ptr_sites.

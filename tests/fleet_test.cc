@@ -1,0 +1,248 @@
+// The multi-tenant fleet: CoW image sharing, per-tenant divergence, and the
+// semantic witness that a CoW-materialized tenant computes exactly what a
+// privately-built control computes.
+//
+//   - Same-source tenants must alias ONE pristine TextBlob (pointer
+//     identity, not equality) and one LinkArtifacts set.
+//   - After the per-tenant rerand epoch, tenant layouts must diverge.
+//   - A CoW tenant's workload run must be call-for-call and rax-for-rax
+//     identical to a private control built from scratch with the same
+//     options (instruction counts legitimately differ: diversification pads
+//     differently per seed).
+//   - MemoryUsage() must report the dedup split correctly.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/fleet/fleet.h"
+#include "src/fleet/image_key.h"
+#include "src/fleet/kernel_cache.h"
+#include "src/fleet/tenant.h"
+#include "src/workload/harness.h"
+#include "src/workload/ipc.h"
+#include "src/workload/vfs.h"
+
+namespace krx {
+namespace {
+
+KernelCache::SourceFactory FleetSourceFactory(uint64_t seed) {
+  return [seed] {
+    KernelSource src = MakeBenchSource(seed);
+    AddVfs(&src, DefaultVfsImage());
+    AddIpc(&src);
+    return src;
+  };
+}
+
+TenantSpec LmbenchTenant(int id, const std::string& config, uint64_t seed) {
+  TenantSpec spec;
+  spec.tenant_id = id;
+  spec.config_name = config;
+  spec.seed = seed;
+  spec.workload = WorkloadKind::kLmbench;
+  spec.op_symbol = "sys_read_write";
+  return spec;
+}
+
+TEST(ImageKeyTest, PristineKeyCanonicalizesLinkOnlyFields) {
+  ProtectionConfig config;
+  LayoutKind layout;
+  ASSERT_TRUE(ParseConfigName("sfi+x", 0x111, &config, &layout));
+  BuildOptions a{config, layout};
+  a.seed = 0x111;
+  BuildOptions b = a;
+  b.seed = 0x222;
+  // Different tenants (different seeds): different image keys, same
+  // pristine group.
+  EXPECT_NE(ImageKey::FromOptions(a), ImageKey::FromOptions(b));
+  EXPECT_EQ(ImageKey::FromOptions(a).PristineKey(), ImageKey::FromOptions(b).PristineKey());
+
+  // A different config is a different pristine group.
+  ProtectionConfig other;
+  ASSERT_TRUE(ParseConfigName("x", 0x111, &other, &layout));
+  BuildOptions c{other, layout};
+  c.seed = 0x111;
+  EXPECT_NE(ImageKey::FromOptions(a).PristineKey(), ImageKey::FromOptions(c).PristineKey());
+}
+
+TEST(FleetTest, SameSourceTenantsShareOnePristineBlob) {
+  KernelCache cache(FleetSourceFactory(0xF1EE7));
+  FleetOptions options;
+  options.base_seed = 0xF1EE7;
+  TenantFleet fleet(&cache, options);
+
+  auto a = fleet.Admit(LmbenchTenant(0, "sfi+x", 0xA11CE));
+  auto b = fleet.Admit(LmbenchTenant(1, "sfi+x", 0xB0B));
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  // Pointer identity: the two tenants' rerand maps alias the SAME blob
+  // object, and the same LinkArtifacts — the sharing is real, not a copy.
+  const TextBlob* blob_a = (*a)->kernel->rerand->pristine.get();
+  const TextBlob* blob_b = (*b)->kernel->rerand->pristine.get();
+  ASSERT_NE(blob_a, nullptr);
+  EXPECT_EQ(blob_a, blob_b);
+  EXPECT_EQ((*a)->kernel->artifacts.get(), (*b)->kernel->artifacts.get());
+  EXPECT_EQ(blob_a, (*a)->kernel->artifacts->pristine.get());
+
+  // One compile served both tenants.
+  EXPECT_EQ(cache.stats().shared_mode.compiles, 1u);
+  EXPECT_EQ(cache.stats().shared_mode.hits, 1u);
+
+  // A different config is a different pristine group.
+  auto c = fleet.Admit(LmbenchTenant(2, "x", 0xCA7));
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_NE((*c)->kernel->rerand->pristine.get(), blob_a);
+  EXPECT_EQ(cache.stats().shared_mode.compiles, 2u);
+}
+
+TEST(FleetTest, TenantLayoutsDivergeAfterEpoch) {
+  KernelCache cache(FleetSourceFactory(0xF1EE7));
+  FleetOptions options;
+  options.base_seed = 0xF1EE7;
+  TenantFleet fleet(&cache, options);
+
+  auto a = fleet.Admit(LmbenchTenant(0, "sfi+x", 0xA11CE));
+  auto b = fleet.Admit(LmbenchTenant(1, "sfi+x", 0xB0B));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GE((*a)->epochs, 1u);
+  EXPECT_GE((*b)->epochs, 1u);
+
+  // Same function set, different per-tenant placement: at least one
+  // function must sit at a different offset (the whole point of per-tenant
+  // diversification; 100+ functions at identical offsets would mean the
+  // epoch did nothing).
+  const RerandMap& map_a = *(*a)->kernel->rerand;
+  const RerandMap& map_b = *(*b)->kernel->rerand;
+  ASSERT_EQ(map_a.functions.size(), map_b.functions.size());
+  ASSERT_FALSE(map_a.functions.empty());
+  bool diverged = false;
+  for (size_t i = 0; i < map_a.functions.size(); ++i) {
+    EXPECT_EQ(map_a.functions[i].name, map_b.functions[i].name);
+    if (map_a.functions[i].current_offset != map_b.functions[i].current_offset) {
+      diverged = true;
+    }
+  }
+  EXPECT_TRUE(diverged) << "tenant layouts must differ after per-tenant epochs";
+
+  // And both diverged from the shared pristine order's base placement: the
+  // pristine blob itself is untouched (identical object, immutable).
+  EXPECT_EQ(map_a.pristine.get(), map_b.pristine.get());
+}
+
+// The acceptance witness: a CoW tenant is semantically bit-identical to a
+// control built privately from scratch with the tenant's own options —
+// same calls, same rax checksum, over every workload kind.
+TEST(FleetTest, CowTenantMatchesPrivateControl) {
+  const uint64_t kBaseSeed = 0xF1EE7;
+  const uint64_t kTenantSeed = 0x7E4A47;
+  KernelCache cache(FleetSourceFactory(kBaseSeed));
+  FleetOptions options;
+  options.base_seed = kBaseSeed;
+  TenantFleet fleet(&cache, options);
+
+  const struct {
+    WorkloadKind workload;
+    const char* name;
+  } kWorkloads[] = {
+      {WorkloadKind::kLmbench, "lmbench"},
+      {WorkloadKind::kVfs, "vfs"},
+      {WorkloadKind::kIpc, "ipc"},
+  };
+
+  for (const auto& wl : kWorkloads) {
+    SCOPED_TRACE(wl.name);
+    TenantSpec spec = LmbenchTenant(0, "sfi+x", kTenantSeed);
+    spec.workload = wl.workload;
+    auto tenant = fleet.Admit(spec);
+    ASSERT_TRUE(tenant.ok()) << tenant.status().ToString();
+    auto cow = fleet.Serve((*tenant)->index, /*worker=*/0);
+    ASSERT_TRUE(cow.ok()) << cow.status().ToString();
+
+    // Control: full CompileKernel with the tenant's exact options, its own
+    // Cpu and identically-seeded buffers.
+    auto control_options = spec.ResolveBuildOptions(kBaseSeed);
+    ASSERT_TRUE(control_options.ok());
+    auto control = cache.Acquire(*control_options, Sharing::kPrivate);
+    ASSERT_TRUE(control.ok()) << control.status().ToString();
+    CpuOptions copts;
+    copts.mpx_enabled = (*control)->config.mpx;
+    Cpu cpu((*control)->image.get(), CostModel(), copts);
+    ASSERT_TRUE(cpu.init_error().empty()) << cpu.init_error();
+    auto buffers = SetUpWorkloadBuffers(*(*control)->image, spec.workload, kTenantSeed);
+    ASSERT_TRUE(buffers.ok()) << buffers.status().ToString();
+    WorkloadCounters expected;
+    ASSERT_TRUE(RunWorkloadOnce(cpu, spec, *buffers, RunOptions{}, &expected).ok());
+
+    // Semantic witness: same calls in the same order computing the same
+    // values. Instruction counts are NOT compared — diversification pads
+    // (nop sleds, decoys) legitimately differ between the base-seed
+    // instrumentation and the control's tenant-seed instrumentation.
+    EXPECT_EQ(cow->calls, expected.calls);
+    EXPECT_EQ(cow->rax_checksum, expected.rax_checksum);
+  }
+}
+
+TEST(FleetTest, MemoryReportAccountsDedup) {
+  KernelCache cache(FleetSourceFactory(0xF1EE7));
+  FleetOptions options;
+  options.base_seed = 0xF1EE7;
+  TenantFleet fleet(&cache, options);
+
+  // 4 tenants over 2 configs: dedup ratio must be 1 - 2/4 = 0.5.
+  ASSERT_TRUE(fleet.Admit(LmbenchTenant(0, "sfi+x", 0x1)).ok());
+  ASSERT_TRUE(fleet.Admit(LmbenchTenant(1, "sfi+x", 0x2)).ok());
+  ASSERT_TRUE(fleet.Admit(LmbenchTenant(2, "x", 0x3)).ok());
+  ASSERT_TRUE(fleet.Admit(LmbenchTenant(3, "x", 0x4)).ok());
+
+  const TenantFleet::MemoryReport report = fleet.MemoryUsage();
+  EXPECT_EQ(report.tenants, 4);
+  EXPECT_EQ(report.pristine_groups, 2);
+  EXPECT_DOUBLE_EQ(report.dedup_ratio, 0.5);
+  EXPECT_GT(report.shared_bytes, 0u);
+  EXPECT_GT(report.image_bytes, 0u);
+  EXPECT_EQ(report.cow_total_bytes, report.shared_bytes + report.image_bytes);
+  // The naive baseline duplicates the artifacts per tenant; with 4 tenants
+  // over 2 groups it must strictly exceed the CoW total by exactly the
+  // duplicated artifact bytes.
+  EXPECT_EQ(report.naive_total_bytes, report.image_bytes + 2 * report.shared_bytes);
+  EXPECT_GT(report.naive_total_bytes, report.cow_total_bytes);
+  EXPECT_DOUBLE_EQ(report.avg_bytes_per_tenant,
+                   static_cast<double>(report.cow_total_bytes) / 4.0);
+
+  // Per-sharing-mode stats: two shared compiles (one per group), two hits,
+  // no private builds through the fleet path.
+  const KernelCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.shared_mode.compiles, 2u);
+  EXPECT_EQ(stats.shared_mode.hits, 2u);
+  EXPECT_EQ(stats.shared_mode.requests, 4u);
+  EXPECT_EQ(stats.private_mode.compiles, 0u);
+}
+
+TEST(FleetTest, ShardedCacheSpreadsKeys) {
+  KernelCache cache(FleetSourceFactory(0xF1EE7), /*shard_count=*/8);
+  EXPECT_EQ(cache.shard_count(), 8);
+  // Shard assignment is a pure function of the key and in range.
+  std::set<int> shards;
+  for (uint64_t seed = 1; seed <= 32; ++seed) {
+    ProtectionConfig config;
+    LayoutKind layout;
+    ASSERT_TRUE(ParseConfigName("sfi+x", seed, &config, &layout));
+    BuildOptions options{config, layout};
+    options.seed = seed;
+    const int shard = cache.ShardIndex(ImageKey::FromOptions(options));
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 8);
+    EXPECT_EQ(shard, cache.ShardIndex(ImageKey::FromOptions(options)));
+    shards.insert(shard);
+  }
+  // 32 distinct keys over 8 shards: a hash that lumped them all on one
+  // shard would defeat the sharding entirely.
+  EXPECT_GT(shards.size(), 1u);
+}
+
+}  // namespace
+}  // namespace krx

@@ -6,11 +6,13 @@
 # telemetry stage (subsystem tests + krx_trace export/validate smoke + the
 # traced security_eval attack timeline), the supervise stage (watchdog,
 # deadline, retry, degradation-ladder and checkpoint/restore tests) with the
-# chaos campaign acceptance gate, and the static-analysis stage
-# (krx_verify over the full config matrix, proving every image — including
-# the O4-optimized ones — still carries a sufficient dominating check for
-# each load/store). Produces the BENCH_fault.json, BENCH_rerand.json,
-# BENCH_perf.json, BENCH_chaos.json, BENCH_trace.json and
+# chaos campaign acceptance gate, the fleet stage (multi-tenant CoW sharing
+# tests plus the Poisson traffic bench with its dedup-ratio and
+# thread-scaling gates), and the static-analysis stage (krx_verify over the
+# full config matrix, proving every image — including the O4-optimized ones
+# — still carries a sufficient dominating check for each load/store).
+# Produces the BENCH_fault.json, BENCH_rerand.json, BENCH_perf.json,
+# BENCH_chaos.json, BENCH_fleet.json, BENCH_trace.json and
 # BENCH_attacks_trace.json artifacts.
 # The full (non-quick) run re-verifies under the ASan preset and adds a
 # ThreadSanitizer preset pass over the telemetry-labelled suites.
@@ -76,6 +78,13 @@ echo "==> telemetry stage: per-attack timeline (build/BENCH_attacks_trace.json)"
 echo "==> supervise stage: watchdog/retry/health/checkpoint tests"
 ctest --test-dir build -L supervise --output-on-failure -j4
 
+echo "==> fleet stage: multi-tenant CoW tests + traffic bench (build/BENCH_fleet.json)"
+ctest --test-dir build -L fleet --output-on-failure -j4
+./build/bench/fleet --quick --json build/BENCH_fleet.json || {
+  echo "fleet bench acceptance failed (request failures, dedup floor, or scaling gate)" >&2
+  exit 1
+}
+
 echo "==> chaos stage: self-healing campaign (build/BENCH_chaos.json)"
 ./build/bench/chaos_campaign --quick --json > build/BENCH_chaos.json || {
   echo "chaos campaign acceptance failed" >&2; exit 1;
@@ -105,6 +114,9 @@ if [ "$QUICK" -eq 0 ]; then
 
   echo "==> supervise labels (asan preset)"
   ctest --test-dir build-asan -L supervise --output-on-failure -j4
+
+  echo "==> fleet labels (asan preset)"
+  ctest --test-dir build-asan -L fleet --output-on-failure -j4
 
   echo "==> static-analysis stage (asan preset)"
   ./build-asan/tools/krx_verify all || {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/attack/gadget_scanner.h"
+#include "src/fleet/image_key.h"
 #include "src/isa/encoding.h"
 #include "src/rerand/engine.h"
 #include "src/telemetry/metrics.h"
@@ -140,11 +141,15 @@ int DumpStats(const std::string& config_name) {
   }
   telemetry::MetricsRegistry::Global().Reset();
   telemetry::SetMode(telemetry::Mode() | telemetry::kModeMetrics);
-  auto kernel = CompileKernel(MakeBenchSource(0xD15A), {config, layout});
+  const BuildOptions options{config, layout};
+  auto kernel = CompileKernel(MakeBenchSource(0xD15A), options);
   if (!kernel.ok()) {
     std::fprintf(stderr, "build failed: %s\n", kernel.status().ToString().c_str());
     return 1;
   }
+  // The image's typed identity, in the legacy serialized form (kept only as
+  // this debug formatter — nothing keys on the string anymore).
+  std::printf("image_key: %s\n", ImageKey::FromOptions(options).DebugString().c_str());
   std::printf("%s\n", telemetry::MetricsRegistry::Global().SnapshotJson().c_str());
   return 0;
 }

@@ -141,7 +141,7 @@ int CmdTop(int top_n, uint64_t seed, int window_ms, int threads) {
   // tools use, so every worker samples the one shared image whose symbol
   // table feeds the extent table below.
   KernelCache cache(MakeBenchSourceFactory(seed));
-  auto kernel = cache.Get({config, layout});
+  auto kernel = cache.Acquire({config, layout}, Sharing::kShared);
   if (!kernel.ok()) {
     std::fprintf(stderr, "build failed: %s\n", kernel.status().ToString().c_str());
     return 1;
@@ -169,9 +169,9 @@ int CmdTop(int top_n, uint64_t seed, int window_ms, int threads) {
   for (const LmbenchRow& row : LmbenchRows()) {
     BenchTask t;
     t.name = "lmbench/" + row.profile.name + "@" + config_name;
-    t.workload = WorkloadKind::kLmbench;
-    t.config_name = config_name;
-    t.op_symbol = "sys_" + row.profile.name;
+    t.spec.workload = WorkloadKind::kLmbench;
+    t.spec.config_name = config_name;
+    t.spec.op_symbol = "sys_" + row.profile.name;
     t.repeat = 4;
     tasks.push_back(std::move(t));
   }
