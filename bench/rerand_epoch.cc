@@ -13,9 +13,14 @@
 //   2. Steady state: ops/sec of a generated kernel op on a gated Cpu while
 //      a timer thread fires epochs at 0 (off) / 100 / 25 / 10 ms periods;
 //      overhead % is reported against the epoch-free run.
+//   3. Tracing tax: the same STW measurement repeated under full telemetry
+//      (metrics + event tracing, the mode krx_trace exports use). Gate:
+//      the traced mean must stay within 2x the metrics-only mean (plus a
+//      small absolute slack for sub-millisecond epochs) — tracing is
+//      observability-only and must not dominate the epoch it observes.
 //
 // --json emits the BENCH_rerand.json artifact (tools/ci.sh, EXPERIMENTS.md
-// E17).
+// E17). Exit 1 if the tracing gate fails.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -25,6 +30,7 @@
 #include "bench/bench_json.h"
 #include "src/cpu/cpu.h"
 #include "src/rerand/engine.h"
+#include "src/telemetry/telemetry.h"
 #include "src/workload/corpus.h"
 #include "src/workload/ops.h"
 #include "src/workload/sched.h"
@@ -144,7 +150,19 @@ int Run(int argc, char** argv) {
   Env env = MakeEnv(seed);
   const int stw_epochs = quick ? 5 : 25;
   const double window_sec = quick ? 0.5 : 2.0;
+  telemetry::SetMode(telemetry::kModeMetrics);
   StwStats stw = MeasureStw(env, stw_epochs);
+
+  // Tracing tax: the identical STW workload under metrics + event tracing.
+  // Every epoch emits kRerandStep records per phase, so the traced mean is
+  // an upper bound on what a production trace capture costs an epoch.
+  telemetry::SetMode(telemetry::kModeMetrics | telemetry::kModeTrace);
+  StwStats stw_traced = MeasureStw(env, stw_epochs);
+  telemetry::SetMode(telemetry::kModeMetrics);
+  constexpr double kTraceGateRatio = 2.0;
+  constexpr double kTraceGateSlackMs = 0.5;
+  const double trace_bound_ms = stw.mean_ms * kTraceGateRatio + kTraceGateSlackMs;
+  const bool trace_gate_ok = stw_traced.mean_ms <= trace_bound_ms;
 
   const int periods[] = {0, 100, 25, 10};
   std::vector<SteadyPoint> steady;
@@ -173,8 +191,13 @@ int Run(int argc, char** argv) {
                   p.period_ms, p.ops_per_sec, p.overhead_pct,
                   static_cast<unsigned long long>(p.epochs), i + 1 < steady.size() ? "," : "");
     }
-    std::printf("  ],\n  \"metrics\": %s\n}\n", bench_json::MetricsBlock().c_str());
-    return 0;
+    std::printf("  ],\n");
+    std::printf("  \"tracing\": {\"metrics_stw_mean_ms\": %.3f, \"full_stw_mean_ms\": %.3f, "
+                "\"gate_bound_ms\": %.3f, \"gate_ok\": %s},\n",
+                stw.mean_ms, stw_traced.mean_ms, trace_bound_ms,
+                trace_gate_ok ? "true" : "false");
+    std::printf("  \"metrics\": %s\n}\n", bench_json::MetricsBlock().c_str());
+    return trace_gate_ok ? 0 : 1;
   }
 
   std::printf("kR^X reproduction — live re-randomization cost (E17)\n\n");
@@ -198,9 +221,13 @@ int Run(int argc, char** argv) {
     std::printf("  %-10s %14.1f %9.2f%% %8llu\n", label, p.ops_per_sec, p.overhead_pct,
                 static_cast<unsigned long long>(p.epochs));
   }
+  std::printf("\n[tracing tax, %d epochs each]\n", stw_epochs);
+  std::printf("  stw mean: metrics-only %.3f ms, full tracing %.3f ms (bound %.3f ms) — %s\n",
+              stw.mean_ms, stw_traced.mean_ms, trace_bound_ms,
+              trace_gate_ok ? "OK" : "GATE FAILED");
   std::printf("\n(Shorter periods buy a smaller JIT-ROP window at a throughput tax; the\n"
               "epoch itself is dominated by the text rebuild + verify pass.)\n");
-  return 0;
+  return trace_gate_ok ? 0 : 1;
 }
 
 }  // namespace

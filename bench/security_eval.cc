@@ -16,6 +16,7 @@
 
 #include "src/attack/experiments.h"
 #include "src/attack/gadget_scanner.h"
+#include "src/attack/spectre.h"
 #include "src/isa/encoding.h"
 #include "src/rerand/engine.h"
 #include "src/telemetry/chrome_trace.h"
@@ -243,6 +244,54 @@ int Main(const std::string& trace_path) {
                                             static_cast<double>(gadgets.size()));
     std::printf("  (mirrors the paper's layout diff: pre-epoch gadget knowledge no longer\n"
                 "   decodes to the same code — continuous re-diversification, §8 outlook.)\n");
+  }
+
+  // ---- E21: transient read-check bypass (Spectre v1). Every architectural
+  // check family stops the read from *retiring*; none stops it from issuing
+  // on a mispredicted path. The spec-barrier / spec-mask axes must. ----
+  std::printf("\n[E21: Spectre-v1 transient bypass of the range checks (src/spec)]\n");
+  {
+    KRX_TRACE_SPAN_SCOPED("E21.spectre_v1");
+    struct SpecRow {
+      const char* name;
+      bool expect_leak;
+    };
+    const SpecRow rows[] = {
+        {"sfi-o0", true},  {"sfi-o1", true},       {"sfi-o2", true},
+        {"sfi-o3", true},  {"sfi-o4", true},       {"mpx", true},
+        {"mpx-o4", true},  {"spec-barrier", false}, {"spec-mask", false},
+    };
+    for (const SpecRow& row : rows) {
+      ProtectionConfig config;
+      LayoutKind layout;
+      KRX_CHECK(ParseConfigName(row.name, seed, &config, &layout));
+      auto kernel = Build(src, config, layout);
+      if (!kernel.ok()) {
+        std::fprintf(stderr, "build %s failed: %s\n", row.name,
+                     kernel.status().ToString().c_str());
+        return 1;
+      }
+      SpectreV1Result r = SpectreV1Attack(*kernel);
+      std::string label = std::string("Spectre v1 vs ") + row.name +
+                          (row.expect_leak ? " (architectural checks only)"
+                                           : " (speculation-hardened)");
+      Report(label.c_str(), r.outcome, row.expect_leak);
+      if (r.outcome.success == row.expect_leak) {
+        // Acceptance bookkeeping: hardened configs must leak exactly zero.
+        if (!row.expect_leak && r.bytes_leaked != 0) {
+          std::fprintf(stderr, "  %s leaked %llu bytes — hardening failed\n",
+                       row.name,
+                       static_cast<unsigned long long>(r.bytes_leaked));
+          return 1;
+        }
+      } else {
+        std::fprintf(stderr, "  %s: unexpected outcome\n", row.name);
+        return 1;
+      }
+    }
+    std::printf("  (the wrong path reads code above _krx_edata; rollback keeps the\n"
+                "   architectural contract intact while the cache line survives —\n"
+                "   lfence kills the window, the mask clamps the address to 0.)\n");
   }
 
   if (!trace_path.empty()) {

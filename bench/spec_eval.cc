@@ -1,0 +1,191 @@
+// E21 — speculation-hardening cost: Table-1-style LMBench overhead of the
+// spec-barrier and spec-mask config axes against the unhardened sfi-o3
+// column they extend, plus each column's residual transient leak.
+//
+//   spec_eval [--quick] [--json] [--seed <seed>]
+//
+// Every column is built from the same bench source; rows are the LMBench
+// kernel ops measured in deci-cycles on the deterministic cost model, so a
+// single build per column suffices. The "leak" column re-runs the
+// Spectre-v1 adversary (src/attack/spectre.h) against each build: the
+// hardened columns must leak zero bytes, the architectural ones must not —
+// the artifact records the security/performance trade in one place.
+//
+// --json emits the BENCH_spec.json artifact (tools/ci.sh, EXPERIMENTS.md
+// E21).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/attack/spectre.h"
+#include "src/workload/harness.h"
+#include "src/workload/lmbench.h"
+
+namespace krx {
+namespace {
+
+struct SpecColumn {
+  std::string name;
+  uint64_t spec_barriers = 0;
+  uint64_t spec_masks = 0;
+  uint64_t range_checks = 0;
+  uint64_t leaked_bytes = 0;
+  std::vector<double> overhead_pct;  // per row, vs. vanilla
+  double avg_overhead_pct = 0;
+};
+
+int Run(int argc, char** argv) {
+  bool json = false;
+  bool quick = false;
+  uint64_t seed = 0x5BEC;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json] [--seed <seed>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  KernelSource src = MakeBenchSource(seed);
+
+  // Vanilla baseline first; its deci-cycles normalize every column.
+  ProtectionConfig vanilla_config;
+  LayoutKind vanilla_layout;
+  KRX_CHECK(ParseConfigName("vanilla", seed, &vanilla_config, &vanilla_layout));
+  auto vanilla = CompileKernel(src, {vanilla_config, vanilla_layout});
+  if (!vanilla.ok()) {
+    std::fprintf(stderr, "vanilla build failed: %s\n", vanilla.status().ToString().c_str());
+    return 1;
+  }
+  auto baseline = MeasureAllRows(*vanilla);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "baseline measurement failed: %s\n",
+                 baseline.status().ToString().c_str());
+    return 1;
+  }
+
+  const size_t attack_bytes = quick ? 4 : 8;
+  const char* names[] = {"sfi-o3", "spec-barrier", "spec-mask"};
+  std::vector<SpecColumn> columns;
+  for (const char* name : names) {
+    ProtectionConfig config;
+    LayoutKind layout;
+    KRX_CHECK(ParseConfigName(name, seed, &config, &layout));
+    auto kernel = CompileKernel(src, {config, layout});
+    if (!kernel.ok()) {
+      std::fprintf(stderr, "%s build failed: %s\n", name, kernel.status().ToString().c_str());
+      return 1;
+    }
+    auto rows = MeasureAllRows(*kernel);
+    if (!rows.ok()) {
+      std::fprintf(stderr, "%s measurement failed: %s\n", name,
+                   rows.status().ToString().c_str());
+      return 1;
+    }
+    SpecColumn col;
+    col.name = name;
+    col.spec_barriers = kernel->stats.sfi.spec_barriers;
+    col.spec_masks = kernel->stats.sfi.spec_masks;
+    col.range_checks = kernel->stats.sfi.checks_emitted;
+    for (size_t i = 0; i < rows->size(); ++i) {
+      // The rax witness must agree: spec-mask may only change behavior on
+      // out-of-range reads, which benign rows never perform.
+      KRX_CHECK((*rows)[i].rax == (*baseline)[i].rax);
+      const double base = static_cast<double>((*baseline)[i].deci_cycles);
+      const double mine = static_cast<double>((*rows)[i].deci_cycles);
+      const double pct = 100.0 * (mine / base - 1.0);
+      col.overhead_pct.push_back(pct);
+      col.avg_overhead_pct += pct;
+    }
+    col.avg_overhead_pct /= static_cast<double>(rows->size());
+    col.leaked_bytes = SpectreV1Attack(*kernel, attack_bytes).bytes_leaked;
+    columns.push_back(std::move(col));
+  }
+
+  if (json) {
+    std::printf("{\n  \"meta\": %s,\n",
+                bench_json::MetaBlock("spec_eval", seed, "sfi-o3|spec-barrier|spec-mask",
+                                      "krx").c_str());
+    std::printf("  \"attack_bytes\": %zu,\n  \"columns\": [\n", attack_bytes);
+    for (size_t c = 0; c < columns.size(); ++c) {
+      const SpecColumn& col = columns[c];
+      std::printf("    {\"config\": \"%s\", \"avg_overhead_pct\": %.3f, "
+                  "\"range_checks\": %llu, \"spec_barriers\": %llu, "
+                  "\"spec_masks\": %llu, \"leaked_bytes\": %llu,\n",
+                  col.name.c_str(), col.avg_overhead_pct,
+                  static_cast<unsigned long long>(col.range_checks),
+                  static_cast<unsigned long long>(col.spec_barriers),
+                  static_cast<unsigned long long>(col.spec_masks),
+                  static_cast<unsigned long long>(col.leaked_bytes));
+      std::printf("     \"rows\": [");
+      for (size_t i = 0; i < col.overhead_pct.size(); ++i) {
+        std::printf("%s{\"row\": \"%s\", \"overhead_pct\": %.3f}", i ? ", " : "",
+                    (*baseline)[i].row.c_str(), col.overhead_pct[i]);
+      }
+      std::printf("]}%s\n", c + 1 < columns.size() ? "," : "");
+    }
+    std::printf("  ],\n  \"metrics\": %s\n}\n", bench_json::MetricsBlock().c_str());
+  } else {
+    std::printf("kR^X reproduction — speculation-hardening overhead (E21, %% over vanilla)\n\n");
+    std::printf("%-22s", "Benchmark");
+    for (const SpecColumn& col : columns) {
+      std::printf(" %14s", col.name.c_str());
+    }
+    std::printf("\n");
+    for (size_t i = 0; i < baseline->size(); ++i) {
+      std::printf("%-22s", (*baseline)[i].row.c_str());
+      for (const SpecColumn& col : columns) {
+        std::printf(" %13.2f%%", col.overhead_pct[i]);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n%-22s", "Average");
+    for (const SpecColumn& col : columns) {
+      std::printf(" %13.2f%%", col.avg_overhead_pct);
+    }
+    std::printf("\n%-22s", "spec barriers/masks");
+    for (const SpecColumn& col : columns) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%llu/%llu",
+                    static_cast<unsigned long long>(col.spec_barriers),
+                    static_cast<unsigned long long>(col.spec_masks));
+      std::printf(" %14s", buf);
+    }
+    std::printf("\n%-22s", "transient leak");
+    for (const SpecColumn& col : columns) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%llu/%zu B",
+                    static_cast<unsigned long long>(col.leaked_bytes), attack_bytes);
+      std::printf(" %14s", buf);
+    }
+    std::printf("\n\n(spec-barrier pays one lfence per check; spec-mask replaces the trap\n"
+                "with a branchless clamp — both drive the residual transient leak to 0.)\n");
+  }
+
+  // The artifact is only healthy if the hardening actually holds.
+  for (const SpecColumn& col : columns) {
+    const bool hardened = col.name != "sfi-o3";
+    if (hardened && col.leaked_bytes != 0) {
+      std::fprintf(stderr, "%s leaked %llu bytes — hardening failed\n", col.name.c_str(),
+                   static_cast<unsigned long long>(col.leaked_bytes));
+      return 1;
+    }
+    if (!hardened && col.leaked_bytes == 0) {
+      std::fprintf(stderr, "%s leaked nothing — adversary broken\n", col.name.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace krx
+
+int main(int argc, char** argv) { return krx::Run(argc, argv); }

@@ -16,6 +16,12 @@ namespace {
 constexpr int kCommitCredsSlot = 0;
 constexpr const char* kDeepSyscallName = "sys_deep_call";
 
+CpuOptions LabCpuOptions(bool mpx) {
+  CpuOptions o;
+  o.mpx_enabled = mpx;
+  return o;
+}
+
 bool InCodeRange(const ExploitLab& lab, uint64_t v) {
   // Region bases are architectural constants; only the *code layout inside*
   // is randomized (fine-grained KASLR), so the attacker knows the ranges.
@@ -29,7 +35,7 @@ bool InCodeRange(const ExploitLab& lab, uint64_t v) {
 
 ExploitLab::ExploitLab(CompiledKernel* kernel)
     : kernel_(kernel),
-      cpu_(kernel->image.get(), CostModel(), CpuOptions{.mpx_enabled = kernel->config.mpx}) {
+      cpu_(kernel->image.get(), CostModel(), LabCpuOptions(kernel->config.mpx)) {
   auto buf = image().AllocDataPages(1);
   KRX_CHECK(buf.ok());
   payload_buf_ = *buf;

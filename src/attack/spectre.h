@@ -1,0 +1,45 @@
+// Spectre-v1-style transient read-check bypass against the kR^X range
+// checks (reproduction extension; src/spec has the execution model).
+//
+// The architectural contract of every sfi-*/mpx config is that a read whose
+// effective address exceeds _krx_edata never retires: the cmp/ja pair jumps
+// to krx_handler, bndcu raises #BR. The transient adversary sidesteps the
+// contract without breaking it: it trains the victim's bounds branch (and,
+// incidentally, the instrumentation's own check branches) not-taken, then
+// calls the victim with idx = <code address> - spec_array. The
+// architectural path rejects the index; the mispredicted wrong path runs
+// the guarded load anyway, and the secret byte survives rollback as a
+// touched probe cache line in the SideChannelObserver.
+//
+// The secret read is kernel *code* above _krx_edata — exactly the R^X
+// read-confinement boundary §4 erects against JIT-ROP — so a successful
+// leak is a direct transient breach of the paper's invariant. The
+// spec-barrier and spec-mask config axes must drive the leak to zero.
+#ifndef KRX_SRC_ATTACK_SPECTRE_H_
+#define KRX_SRC_ATTACK_SPECTRE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/attack/experiments.h"
+#include "src/plugin/pipeline.h"
+
+namespace krx {
+
+struct SpectreV1Result {
+  AttackOutcome outcome;          // success = >= 1 secret byte reconstructed
+  uint64_t bytes_attempted = 0;
+  uint64_t bytes_leaked = 0;      // probe lines matching the ground truth
+  uint64_t windows_opened = 0;    // speculation windows during the attack
+  uint64_t fence_kills = 0;       // windows killed by lfence (spec-barrier)
+  uint64_t transient_faults = 0;  // windows killed by shadow faults (spec-mask)
+};
+
+// Runs the attack against `kernel` on a fresh speculation-enabled Cpu:
+// leaks `secret_bytes` bytes of commit_creds' code through the spec_victim
+// gadget and scores them against the image's ground truth.
+SpectreV1Result SpectreV1Attack(CompiledKernel& kernel, size_t secret_bytes = 8);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_ATTACK_SPECTRE_H_

@@ -80,6 +80,10 @@ uint64_t CostModel::CostOf(Opcode op) const {
       return mode_switch / 2;
     case Opcode::kWrmsr:
       return wrmsr;
+    case Opcode::kSpecFence:
+      return spec_fence;
+    case Opcode::kMaskRI:
+      return alu;
     case Opcode::kNumOpcodes:
       break;
   }

@@ -42,6 +42,7 @@ struct CostModel {
   uint64_t nop = 3;
   uint64_t wrmsr = 600;
   uint64_t hlt = 10;
+  uint64_t spec_fence = 40;  // lfence: drains the load queue before retiring
 
   // Mode-switch costs (syscall entry + sysret exit, deci-cycles).
   uint64_t mode_switch = 1500;

@@ -1,6 +1,7 @@
 #include "src/cpu/cpu.h"
 
 #include <chrono>
+#include <unordered_map>
 
 #include "src/isa/encoding.h"
 #include "src/kernel/baseline_defenses.h"
@@ -89,6 +90,7 @@ void InstMix::Count(Opcode op) {
     case Opcode::kCmpRR:
     case Opcode::kCmpRI:
     case Opcode::kTestRR:
+    case Opcode::kMaskRI:
       ++alu;
       break;
     default:
@@ -505,11 +507,26 @@ bool Cpu::ExecuteInst(const Instruction& in, uint8_t inst_size) {
     case Opcode::kJmpRel:
       goto_target(rip_next + static_cast<uint64_t>(in.imm));
       break;
-    case Opcode::kJcc:
-      if (EvalCond(in.cond)) {
+    case Opcode::kJcc: {
+      const bool taken = EvalCond(in.cond);
+      if (options_.spec.enabled) {
+        ++spec_stats_.predictions;
+        const bool predicted = predictor_.PredictTaken(rip_);
+        if (predicted != taken) {
+          // Misprediction: the frontend already steered down the wrong path.
+          // Simulate it against shadow state up to the window depth, then
+          // discard everything but the cache footprint.
+          ++spec_stats_.mispredictions;
+          SpeculateWrongPath(predicted ? rip_next + static_cast<uint64_t>(in.imm)
+                                       : rip_next);
+        }
+        predictor_.Update(rip_, taken);
+      }
+      if (taken) {
         goto_target(rip_next + static_cast<uint64_t>(in.imm));
       }
       break;
+    }
     case Opcode::kJmpR:
       goto_target(reg(in.r1));
       break;
@@ -646,6 +663,16 @@ bool Cpu::ExecuteInst(const Instruction& in, uint8_t inst_size) {
       bnd0_ub_ = static_cast<uint64_t>(in.imm);
       break;
 
+    case Opcode::kSpecFence:
+      // Architecturally a serializing nop; the window-kill semantics live in
+      // SpeculateWrongPath.
+      break;
+    case Opcode::kMaskRI: {
+      uint64_t v = reg(in.r1);
+      reg(in.r1) = v > static_cast<uint64_t>(in.imm) ? 0 : v;
+      break;
+    }
+
     case Opcode::kNumOpcodes:
       RaiseException(ExceptionKind::kInvalidOpcode, rip_);
       break;
@@ -668,6 +695,452 @@ bool Cpu::ExecuteInst(const Instruction& in, uint8_t inst_size) {
     step_observer_(*this);
   }
   return true;
+}
+
+// Simulates the wrong path of a mispredicted conditional branch. Everything
+// runs against copies (registers, flags, %bnd0) and a store overlay; the
+// only effects that survive are the SideChannelObserver's cache-line
+// records and the spec.* counters. Accounting deliberately never touches
+// pending_: a run with the window enabled must produce a RunResult
+// bit-identical to the same run with it disabled (the fuzz-differential
+// spec axis pins this down).
+//
+// Transient semantics that differ from the architectural path:
+//  - kSpecFence kills the window (that IS the spec-barrier mitigation);
+//  - a failing kBndcu defers its #BR past the window instead of trapping —
+//    the dependent load still issues (the MPX transient bypass);
+//  - nested kJcc follows the predictor (the machine is already speculating,
+//    so it speculates again) and consumes window depth without rollback;
+//  - faults (unmapped/forbidden translations, undecodable bytes) and
+//    serializing/privileged/microcoded ops (hlt, int3, ud2, syscall,
+//    sysret, wrmsr, bndmov, string ops) end the window silently.
+void Cpu::SpeculateWrongPath(uint64_t wrong_rip) {
+  ++spec_stats_.windows_opened;
+
+  // Shadow state: wrong-path execution sees the architectural state at the
+  // branch, plus its own stores (via the overlay, a model of the store
+  // buffer — never drained to memory).
+  uint64_t regs[kNumGpRegs];
+  for (int i = 0; i < kNumGpRegs; ++i) regs[i] = regs_[i];
+  RFlags fl = rflags_;
+  uint64_t bnd0 = bnd0_ub_;
+  uint64_t rip = wrong_rip;
+  std::unordered_map<uint64_t, uint64_t> overlay;
+
+  const PageTable& pt = image_->page_table();
+  const PhysMem& phys = image_->phys();
+  const bool smap = mmu_.smap();
+  const bool smep = mmu_.smep();
+
+  // Side-effect-free data translation: straight page-table walk + physical
+  // read, bypassing Mmu::Read64 (no TLB counters, no fault record, no
+  // destructive-code-read byte-smashing, no XnR disclosure handling).
+  auto data_paddr = [&](uint64_t vaddr, uint64_t* paddr) -> bool {
+    const Pte* pte = pt.Lookup(vaddr);
+    if (pte == nullptr || !pte->flags.present) return false;
+    if (smap && pte->flags.user) return false;
+    const uint64_t frame = pte->has_data_frame ? pte->data_frame : pte->frame;
+    *paddr = (frame << kPageShift) | PageOffset(vaddr);
+    return true;
+  };
+  auto touch = [&](uint64_t paddr) {
+    if (side_channel_ != nullptr) {
+      side_channel_->Touch(paddr);
+    }
+    ++spec_stats_.lines_touched;
+  };
+  auto shadow_read = [&](uint64_t vaddr, uint64_t* value) -> bool {
+    uint64_t p_lo, p_hi;
+    if (!data_paddr(vaddr, &p_lo) || !data_paddr(vaddr + 7, &p_hi)) {
+      return false;
+    }
+    touch(p_lo);
+    touch(p_hi);
+    auto it = overlay.find(vaddr);
+    if (it != overlay.end()) {
+      *value = it->second;
+      return true;
+    }
+    if (PageOffset(vaddr) <= kPageSize - 8) {
+      *value = phys.Read64(p_lo);
+    } else {
+      uint64_t v = 0;
+      for (uint64_t i = 0; i < 8; ++i) {
+        uint64_t p;
+        if (!data_paddr(vaddr + i, &p)) return false;
+        v |= static_cast<uint64_t>(phys.Read8(p)) << (8 * i);
+      }
+      *value = v;
+    }
+    return true;
+  };
+  auto shadow_write = [&](uint64_t vaddr, uint64_t value) -> bool {
+    uint64_t p;
+    if (!data_paddr(vaddr, &p)) return false;
+    touch(p);
+    overlay[vaddr] = value;
+    return true;
+  };
+  // Wrong-path instruction fetch: present, executable, SMEP-permitted
+  // pages only; fetches always use the instruction frame (not the XnR data
+  // frame) and leave no I-cache record — the observer models the D-side
+  // channel only.
+  auto shadow_fetch = [&](uint64_t vaddr, uint8_t* buf) -> size_t {
+    size_t n = 0;
+    for (; n < 16; ++n) {
+      const Pte* pte = pt.Lookup(vaddr + n);
+      if (pte == nullptr || !pte->flags.present || pte->flags.nx) break;
+      if (smep && pte->flags.user) break;
+      buf[n] = phys.Read8((pte->frame << kPageShift) | PageOffset(vaddr + n));
+    }
+    return n;
+  };
+
+  auto flags_sub = [&](uint64_t a, uint64_t b) {
+    const uint64_t res = a - b;
+    fl.zf = res == 0;
+    fl.sf = (res >> 63) != 0;
+    fl.cf = a < b;
+    fl.of = (((a ^ b) & (a ^ res)) >> 63) != 0;
+  };
+  auto flags_add = [&](uint64_t a, uint64_t b) {
+    const uint64_t res = a + b;
+    fl.zf = res == 0;
+    fl.sf = (res >> 63) != 0;
+    fl.cf = res < a;
+    fl.of = ((~(a ^ b) & (a ^ res)) >> 63) != 0;
+  };
+  auto flags_logic = [&](uint64_t result) {
+    fl.zf = result == 0;
+    fl.sf = (result >> 63) != 0;
+    fl.cf = false;
+    fl.of = false;
+  };
+
+  auto r = [&](Reg rg) -> uint64_t& { return regs[RegIndex(rg)]; };
+  auto ea_of = [&](const MemOperand& mem, uint64_t rip_next) -> uint64_t {
+    if (mem.rip_relative) {
+      return rip_next + static_cast<uint64_t>(mem.disp);
+    }
+    uint64_t ea = static_cast<uint64_t>(mem.disp);
+    if (mem.has_base()) ea += regs[RegIndex(mem.base)];
+    if (mem.has_index()) ea += regs[RegIndex(mem.index)] * mem.scale;
+    return ea;
+  };
+
+  for (uint32_t depth = 0; depth < options_.spec.window_depth; ++depth) {
+    if (rip == kReturnSentinel) {
+      break;  // the wrong path speculated out of the kernel
+    }
+    uint8_t buf[16];
+    const size_t fetched = shadow_fetch(rip, buf);
+    if (fetched == 0) {
+      ++spec_stats_.transient_faults;
+      break;
+    }
+    auto dec = DecodeInstruction(buf, fetched, 0);
+    if (!dec.ok()) {
+      ++spec_stats_.transient_faults;
+      break;
+    }
+    const Instruction& in = dec->inst;
+    const uint64_t rip_next = rip + dec->size;
+    uint64_t next = rip_next;
+    ++spec_stats_.wrong_path_insts;
+
+    bool kill = false;
+    auto mem_fault = [&]() {
+      ++spec_stats_.transient_faults;
+      kill = true;
+    };
+    switch (in.op) {
+      case Opcode::kNop:
+        break;
+      case Opcode::kSpecFence:
+        ++spec_stats_.fence_kills;
+        kill = true;
+        break;
+      case Opcode::kHlt:
+      case Opcode::kInt3:
+      case Opcode::kUd2:
+      case Opcode::kSyscall:
+      case Opcode::kSysret:
+      case Opcode::kWrmsr:
+      case Opcode::kLoadBnd0:
+      case Opcode::kMovsq:
+      case Opcode::kLodsq:
+      case Opcode::kStosq:
+      case Opcode::kCmpsq:
+      case Opcode::kScasq:
+        kill = true;
+        break;
+
+      case Opcode::kMovRR:
+        r(in.r1) = r(in.r2);
+        break;
+      case Opcode::kMovRI:
+        r(in.r1) = static_cast<uint64_t>(in.imm);
+        break;
+      case Opcode::kLoad: {
+        uint64_t v;
+        if (!shadow_read(ea_of(in.mem, rip_next), &v)) {
+          mem_fault();
+          break;
+        }
+        r(in.r1) = v;
+        break;
+      }
+      case Opcode::kStore:
+        if (!shadow_write(ea_of(in.mem, rip_next), r(in.r1))) mem_fault();
+        break;
+      case Opcode::kStoreImm:
+        if (!shadow_write(ea_of(in.mem, rip_next), static_cast<uint64_t>(in.imm))) {
+          mem_fault();
+        }
+        break;
+      case Opcode::kLea:
+        r(in.r1) = ea_of(in.mem, rip_next);
+        break;
+      case Opcode::kPushR:
+        r(Reg::kRsp) -= 8;
+        if (!shadow_write(r(Reg::kRsp), r(in.r1))) mem_fault();
+        break;
+      case Opcode::kPopR: {
+        uint64_t v;
+        if (!shadow_read(r(Reg::kRsp), &v)) {
+          mem_fault();
+          break;
+        }
+        r(in.r1) = v;
+        r(Reg::kRsp) += 8;
+        break;
+      }
+      case Opcode::kPushfq:
+        r(Reg::kRsp) -= 8;
+        if (!shadow_write(r(Reg::kRsp), fl.ToBits())) mem_fault();
+        break;
+      case Opcode::kPopfq: {
+        uint64_t v;
+        if (!shadow_read(r(Reg::kRsp), &v)) {
+          mem_fault();
+          break;
+        }
+        fl.FromBits(v);
+        r(Reg::kRsp) += 8;
+        break;
+      }
+
+      case Opcode::kAddRR:
+        flags_add(r(in.r1), r(in.r2));
+        r(in.r1) += r(in.r2);
+        break;
+      case Opcode::kAddRI:
+        flags_add(r(in.r1), static_cast<uint64_t>(in.imm));
+        r(in.r1) += static_cast<uint64_t>(in.imm);
+        break;
+      case Opcode::kSubRR:
+        flags_sub(r(in.r1), r(in.r2));
+        r(in.r1) -= r(in.r2);
+        break;
+      case Opcode::kSubRI:
+        flags_sub(r(in.r1), static_cast<uint64_t>(in.imm));
+        r(in.r1) -= static_cast<uint64_t>(in.imm);
+        break;
+      case Opcode::kAndRR:
+        r(in.r1) &= r(in.r2);
+        flags_logic(r(in.r1));
+        break;
+      case Opcode::kAndRI:
+        r(in.r1) &= static_cast<uint64_t>(in.imm);
+        flags_logic(r(in.r1));
+        break;
+      case Opcode::kOrRR:
+        r(in.r1) |= r(in.r2);
+        flags_logic(r(in.r1));
+        break;
+      case Opcode::kOrRI:
+        r(in.r1) |= static_cast<uint64_t>(in.imm);
+        flags_logic(r(in.r1));
+        break;
+      case Opcode::kXorRR:
+        r(in.r1) ^= r(in.r2);
+        flags_logic(r(in.r1));
+        break;
+      case Opcode::kXorRI:
+        r(in.r1) ^= static_cast<uint64_t>(in.imm);
+        flags_logic(r(in.r1));
+        break;
+      case Opcode::kShlRI: {
+        const uint64_t k = static_cast<uint64_t>(in.imm) & 63;
+        uint64_t v = r(in.r1);
+        fl.cf = k > 0 && ((v >> (64 - k)) & 1) != 0;
+        v <<= k;
+        r(in.r1) = v;
+        fl.zf = v == 0;
+        fl.sf = (v >> 63) != 0;
+        fl.of = false;
+        break;
+      }
+      case Opcode::kShrRI: {
+        const uint64_t k = static_cast<uint64_t>(in.imm) & 63;
+        uint64_t v = r(in.r1);
+        fl.cf = k > 0 && ((v >> (k - 1)) & 1) != 0;
+        v >>= k;
+        r(in.r1) = v;
+        fl.zf = v == 0;
+        fl.sf = false;
+        fl.of = false;
+        break;
+      }
+      case Opcode::kImulRR: {
+        const uint64_t v = r(in.r1) * r(in.r2);
+        r(in.r1) = v;
+        flags_logic(v);
+        break;
+      }
+      case Opcode::kCmpRR:
+        flags_sub(r(in.r1), r(in.r2));
+        break;
+      case Opcode::kCmpRI:
+        flags_sub(r(in.r1), static_cast<uint64_t>(in.imm));
+        break;
+      case Opcode::kTestRR:
+        flags_logic(r(in.r1) & r(in.r2));
+        break;
+      case Opcode::kMaskRI: {
+        const uint64_t v = r(in.r1);
+        r(in.r1) = v > static_cast<uint64_t>(in.imm) ? 0 : v;
+        break;
+      }
+
+      case Opcode::kAddRM: {
+        uint64_t v;
+        if (!shadow_read(ea_of(in.mem, rip_next), &v)) {
+          mem_fault();
+          break;
+        }
+        flags_add(r(in.r1), v);
+        r(in.r1) += v;
+        break;
+      }
+      case Opcode::kCmpRM: {
+        uint64_t v;
+        if (!shadow_read(ea_of(in.mem, rip_next), &v)) {
+          mem_fault();
+          break;
+        }
+        flags_sub(r(in.r1), v);
+        break;
+      }
+      case Opcode::kCmpMI: {
+        uint64_t v;
+        if (!shadow_read(ea_of(in.mem, rip_next), &v)) {
+          mem_fault();
+          break;
+        }
+        flags_sub(v, static_cast<uint64_t>(in.imm));
+        break;
+      }
+      case Opcode::kXorMR: {
+        const uint64_t ea = ea_of(in.mem, rip_next);
+        uint64_t v;
+        if (!shadow_read(ea, &v)) {
+          mem_fault();
+          break;
+        }
+        v ^= r(in.r1);
+        flags_logic(v);
+        if (!shadow_write(ea, v)) mem_fault();
+        break;
+      }
+
+      case Opcode::kJmpRel:
+        next = rip_next + static_cast<uint64_t>(in.imm);
+        break;
+      case Opcode::kJcc:
+        // Nested speculation: follow the predictor (not the shadow flags)
+        // and consume window depth; the bounded window never unwinds
+        // nested levels individually.
+        ++spec_stats_.nested_branches;
+        if (predictor_.PredictTaken(rip)) {
+          next = rip_next + static_cast<uint64_t>(in.imm);
+        }
+        break;
+      case Opcode::kJmpR:
+        next = r(in.r1);
+        break;
+      case Opcode::kJmpM: {
+        uint64_t v;
+        if (!shadow_read(ea_of(in.mem, rip_next), &v)) {
+          mem_fault();
+          break;
+        }
+        next = v;
+        break;
+      }
+      case Opcode::kCallRel:
+        r(Reg::kRsp) -= 8;
+        if (!shadow_write(r(Reg::kRsp), rip_next)) {
+          mem_fault();
+          break;
+        }
+        next = rip_next + static_cast<uint64_t>(in.imm);
+        break;
+      case Opcode::kCallR:
+        r(Reg::kRsp) -= 8;
+        if (!shadow_write(r(Reg::kRsp), rip_next)) {
+          mem_fault();
+          break;
+        }
+        next = r(in.r1);
+        break;
+      case Opcode::kCallM: {
+        uint64_t v;
+        if (!shadow_read(ea_of(in.mem, rip_next), &v)) {
+          mem_fault();
+          break;
+        }
+        r(Reg::kRsp) -= 8;
+        if (!shadow_write(r(Reg::kRsp), rip_next)) {
+          mem_fault();
+          break;
+        }
+        next = v;
+        break;
+      }
+      case Opcode::kRet: {
+        uint64_t v;
+        if (!shadow_read(r(Reg::kRsp), &v)) {
+          mem_fault();
+          break;
+        }
+        r(Reg::kRsp) += 8;
+        next = v;
+        break;
+      }
+
+      case Opcode::kBndcu: {
+        const uint64_t ea = ea_of(in.mem, rip_next);
+        if (ea > bnd0) {
+          // The #BR is deferred to retirement — which never comes for a
+          // wrong-path instruction. The dependent load still issues: this
+          // is the MPX transient bypass.
+          ++spec_stats_.transient_br_deferred;
+        }
+        break;
+      }
+
+      case Opcode::kNumOpcodes:
+        kill = true;
+        break;
+    }
+    if (kill) {
+      break;
+    }
+    rip = next;
+  }
+  // Rollback: shadow registers, flags, and the store overlay are simply
+  // dropped. Only the observer's line records (and these counters) remain.
 }
 
 bool Cpu::Step() {
@@ -792,6 +1265,13 @@ void Cpu::PublishRunTelemetry(const RunResult& result) {
 #if defined(KRX_TELEMETRY_DISABLED)
   (void)result;
 #else
+  // Per-run speculation deltas (stats are cumulative per Cpu, like the
+  // block-cache counters). Computed up front: both the metrics and trace
+  // branches consume them.
+  const uint64_t spec_windows_delta =
+      spec_stats_.windows_opened - published_spec_stats_.windows_opened;
+  const uint64_t spec_wrong_delta =
+      spec_stats_.wrong_path_insts - published_spec_stats_.wrong_path_insts;
   if (telemetry::MetricsEnabled()) {
     KRX_COUNTER_ADD("cpu.runs", 1);
     KRX_COUNTER_ADD("cpu.instructions", result.instructions);
@@ -819,8 +1299,34 @@ void Cpu::PublishRunTelemetry(const RunResult& result) {
     KRX_COUNTER_ADD("cpu.block_cache.replayed_insts",
                     s.replayed_insts - published_cache_stats_.replayed_insts);
     published_cache_stats_ = s;
+    if (options_.spec.enabled) {
+      const SpecStats& sp = spec_stats_;
+      KRX_COUNTER_ADD("spec.predictions",
+                      sp.predictions - published_spec_stats_.predictions);
+      KRX_COUNTER_ADD("spec.mispredictions",
+                      sp.mispredictions - published_spec_stats_.mispredictions);
+      KRX_COUNTER_ADD("spec.windows", spec_windows_delta);
+      KRX_COUNTER_ADD("spec.wrong_path_insts", spec_wrong_delta);
+      KRX_COUNTER_ADD("spec.nested_branches",
+                      sp.nested_branches - published_spec_stats_.nested_branches);
+      KRX_COUNTER_ADD("spec.fence_kills",
+                      sp.fence_kills - published_spec_stats_.fence_kills);
+      KRX_COUNTER_ADD("spec.transient_br_deferred",
+                      sp.transient_br_deferred - published_spec_stats_.transient_br_deferred);
+      KRX_COUNTER_ADD("spec.transient_faults",
+                      sp.transient_faults - published_spec_stats_.transient_faults);
+      KRX_COUNTER_ADD("spec.lines_touched",
+                      sp.lines_touched - published_spec_stats_.lines_touched);
+      published_spec_stats_ = sp;
+    }
   }
   if (telemetry::TraceEnabled()) {
+    if (options_.spec.enabled && spec_windows_delta > 0) {
+      // One aggregated misspeculation span per run — the per-instruction
+      // discipline (DESIGN.md §11) rules out per-window events.
+      telemetry::EmitEvent(telemetry::TraceEventType::kSpecWindow, "spec_windows",
+                           spec_windows_delta, spec_wrong_delta);
+    }
     if (result.reason == StopReason::kException) {
       telemetry::EmitEvent(telemetry::TraceEventType::kCpuTrap,
                            ExceptionKindName(result.exception),
@@ -857,11 +1363,13 @@ RunResult Cpu::RunInner(const RunOptions& options, bool entered_via_call) {
     }
   }
   // The step observer must fire at every single-stepped instruction
-  // boundary; XnR turns fetch faults into the defense mechanism itself; and
-  // destructive code reads mutate text bytes without a paging event. All
-  // three force the canonical fetch-decode-execute path.
+  // boundary; XnR turns fetch faults into the defense mechanism itself;
+  // destructive code reads mutate text bytes without a paging event; and
+  // the speculation window must observe every conditional branch as it
+  // retires. All four force the canonical fetch-decode-execute path.
   const bool cached = options.use_block_cache && step_observer_ == nullptr &&
-                      image_->xnr() == nullptr && !image_->destructive_code_reads();
+                      image_->xnr() == nullptr && !image_->destructive_code_reads() &&
+                      !options_.spec.enabled;
   if (cached) {
     return RunCached();
   }

@@ -32,6 +32,7 @@
 #include "src/cpu/block_cache.h"
 #include "src/cpu/cost_model.h"
 #include "src/kernel/image.h"
+#include "src/spec/spec.h"
 
 namespace krx {
 
@@ -127,6 +128,10 @@ struct RunResult {
 struct CpuOptions {
   bool mpx_enabled = false;  // kernel reserves %bnd0 = [_krx_edata]
   uint64_t stack_pages = 4;  // 16KB kernel stack, like THREAD_SIZE
+  // Transient-execution window (src/spec/spec.h). Off by default; enabling
+  // it forces single-step execution and makes every mispredicted
+  // conditional branch simulate a bounded wrong path against shadow state.
+  SpecConfig spec;
 };
 
 // Default per-run retired-instruction budget (was a duplicated 2'000'000
@@ -237,6 +242,23 @@ class Cpu {
   // watchdog's hard-lockup callback unwedges a stuck Cpu.
   void RequestPreempt() { preempt_.store(true, std::memory_order_release); }
 
+  // Side-channel observer (src/spec/spec.h): when set, physical cache
+  // lines touched by wrong-path data accesses are recorded there and
+  // survive window rollback — the transient adversary's evidence. The
+  // observer is only consulted while options.spec.enabled.
+  void set_side_channel_observer(SideChannelObserver* observer) {
+    side_channel_ = observer;
+  }
+
+  // Cumulative speculation counters (never reset; deltas are published to
+  // the metrics registry at run end as spec.*).
+  const SpecStats& spec_stats() const { return spec_stats_; }
+
+  // The trainable branch predictor persists across runs on this Cpu —
+  // that persistence is what lets an attacker train a victim's branch with
+  // benign calls and then steer the mispredicted path.
+  BranchPredictor& predictor() { return predictor_; }
+
   // Architectural state snapshot for checkpoint/restore
   // (src/supervise/checkpoint.h). Memory lives in the image; this is only
   // the per-Cpu register file.
@@ -291,6 +313,12 @@ class Cpu {
   // run's wall-clock deadline passed.
   bool PreemptDue(uint64_t step);
 
+  // Transient execution: simulates the wrong path starting at `wrong_rip`
+  // against shadow register/memory state for up to spec.window_depth
+  // instructions, recording touched data lines into the observer, then
+  // discards everything. Architectural state is untouched by construction.
+  void SpeculateWrongPath(uint64_t wrong_rip);
+
   KernelImage* image_;
   Mmu mmu_;
   CostModel cost_;
@@ -322,6 +350,13 @@ class Cpu {
   // Block-cache stats already published to the metrics registry; the
   // per-run delta is what gets added (stats are cumulative per Cpu).
   BlockCacheStats published_cache_stats_;
+
+  // Transient-execution engine state (src/spec). The predictor and stats
+  // are cumulative per Cpu; the observer is externally owned.
+  BranchPredictor predictor_;
+  SideChannelObserver* side_channel_ = nullptr;
+  SpecStats spec_stats_;
+  SpecStats published_spec_stats_;
 };
 
 }  // namespace krx

@@ -30,6 +30,7 @@ ImageKey ImageKey::FromOptions(const BuildOptions& options) {
   ImageKey key;
   key.sfi = c.sfi;
   key.mpx = c.mpx;
+  key.spec = c.spec;
   key.diversify = c.diversify;
   key.coarse_kaslr = c.coarse_kaslr;
   key.ra = c.ra;
@@ -54,11 +55,11 @@ ImageKey ImageKey::PristineKey() const {
 }
 
 bool ImageKey::operator==(const ImageKey& other) const {
-  return std::tie(sfi, mpx, diversify, coarse_kaslr, ra, randomize_registers, entropy_bits_k,
-                  seed, exempt, layout, verify, max_verify_retries) ==
-         std::tie(other.sfi, other.mpx, other.diversify, other.coarse_kaslr, other.ra,
-                  other.randomize_registers, other.entropy_bits_k, other.seed, other.exempt,
-                  other.layout, other.verify, other.max_verify_retries);
+  return std::tie(sfi, mpx, spec, diversify, coarse_kaslr, ra, randomize_registers,
+                  entropy_bits_k, seed, exempt, layout, verify, max_verify_retries) ==
+         std::tie(other.sfi, other.mpx, other.spec, other.diversify, other.coarse_kaslr,
+                  other.ra, other.randomize_registers, other.entropy_bits_k, other.seed,
+                  other.exempt, other.layout, other.verify, other.max_verify_retries);
 }
 
 size_t ImageKey::Hash() const {
@@ -66,7 +67,8 @@ size_t ImageKey::Hash() const {
   fnv.Fold(static_cast<uint64_t>(sfi));
   fnv.Fold((static_cast<uint64_t>(mpx) << 0) | (static_cast<uint64_t>(diversify) << 1) |
            (static_cast<uint64_t>(coarse_kaslr) << 2) |
-           (static_cast<uint64_t>(randomize_registers) << 3));
+           (static_cast<uint64_t>(randomize_registers) << 3) |
+           (static_cast<uint64_t>(spec) << 4));
   fnv.Fold(static_cast<uint64_t>(ra));
   fnv.Fold(static_cast<uint64_t>(entropy_bits_k));
   fnv.Fold(seed);
@@ -81,7 +83,8 @@ size_t ImageKey::Hash() const {
 
 std::string ImageKey::DebugString() const {
   std::ostringstream key;
-  key << "sfi=" << static_cast<int>(sfi) << ";mpx=" << mpx << ";div=" << diversify
+  key << "sfi=" << static_cast<int>(sfi) << ";mpx=" << mpx
+      << ";spec=" << static_cast<int>(spec) << ";div=" << diversify
       << ";ckaslr=" << coarse_kaslr << ";ra=" << static_cast<int>(ra)
       << ";regrand=" << randomize_registers << ";k=" << entropy_bits_k << ";seed=" << seed
       << ";layout=" << static_cast<int>(layout) << ";verify=" << static_cast<int>(verify)

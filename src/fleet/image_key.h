@@ -26,6 +26,7 @@ struct ImageKey {
   // emitted bytes).
   SfiLevel sfi = SfiLevel::kNone;
   bool mpx = false;
+  SpecMitigation spec = SpecMitigation::kNone;
   bool diversify = false;
   bool coarse_kaslr = false;
   RaScheme ra = RaScheme::kNone;

@@ -169,11 +169,23 @@ bool RegOffsetDerivation(const Instruction& inst, Reg* dst, Reg* src, int64_t* d
       return true;
     case Opcode::kAddRI:
       if (inst.imm < 0) {
-        return false;  // could wrap below zero under the unsigned compare
+        return false;  // negative add is kSubRI's job; keep the rules disjoint
       }
       *dst = inst.r1;
       *src = inst.r1;
       *delta = inst.imm;
+      return true;
+    case Opcode::kSubRI:
+      // Negative delta: the derived value sits *below* the checked one. The
+      // O4 span domain tracks the lower edge so it can prove the read's
+      // displacement pulls the address back to >= 0 (no unsigned wrap); the
+      // verifier's CoverWindow lower bound is the byte-level counterpart.
+      if (inst.imm < 0) {
+        return false;
+      }
+      *dst = inst.r1;
+      *src = inst.r1;
+      *delta = -inst.imm;
       return true;
     case Opcode::kLea:
       if (!inst.mem.has_base() || inst.mem.has_index() || inst.mem.rip_relative ||

@@ -62,18 +62,23 @@ std::vector<NaturalLoop> FindNaturalLoops(const Function& fn, const DominatorTre
 
 // The congruence (value-derivation) rule shared by the O4 availability
 // analysis: returns true when `inst` leaves *dst holding exactly the value
-// *src held before the instruction, plus the non-negative constant *delta:
+// *src held before the instruction, plus the constant *delta:
 //
 //   mov %src, %dst          -> dst = src + 0
 //   add $c, %r    (c >= 0)  -> r   = r'  + c   (dst == src == r)
+//   sub $c, %r    (c >= 0)  -> r   = r'  - c   (dst == src == r)
 //   lea c(%src), %dst (c>=0)-> dst = src + c   (base-only operand)
 //
 // A check proving src <= edata - D therefore proves dst <= edata - D + delta,
-// so a read through dst at displacement d is covered when delta + d <= D.
-// Negative deltas are rejected: the checks are unsigned compares, and a
-// decrement may wrap below zero. The verifier's interval abstract
-// interpreter (src/verify/confinement.cc) applies the same rule to decoded
-// bytes; the two must stay in agreement or O4 images fail post-link verify.
+// so a read through dst at displacement d is covered when delta + d <= D —
+// and, because the checks are unsigned compares, the address must also be
+// provably non-negative: the O4 span domain tracks [min, max] over every
+// path's accumulated delta and requires min + d >= 0, which is what makes
+// the negative kSubRI delta sound (a decrement may wrap below zero unless a
+// later displacement provably restores it). The verifier's interval
+// abstract interpreter (src/verify/confinement.cc) applies the same rule to
+// decoded bytes; the two must stay in agreement or O4 images fail
+// post-link verify.
 bool RegOffsetDerivation(const Instruction& inst, Reg* dst, Reg* src, int64_t* delta);
 
 }  // namespace krx

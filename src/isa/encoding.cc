@@ -34,6 +34,7 @@ Format FormatOf(Opcode op) {
     case Opcode::kSyscall:
     case Opcode::kSysret:
     case Opcode::kWrmsr:
+    case Opcode::kSpecFence:
       return Format::kNone;
     case Opcode::kPushR:
     case Opcode::kPopR:
@@ -60,6 +61,7 @@ Format FormatOf(Opcode op) {
     case Opcode::kShlRI:
     case Opcode::kShrRI:
     case Opcode::kCmpRI:
+    case Opcode::kMaskRI:
       return Format::kRI32;
     case Opcode::kLoad:
     case Opcode::kStore:

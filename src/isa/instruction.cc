@@ -76,6 +76,7 @@ void InstructionRegReads(const Instruction& inst, Reg out[6], int* count) {
     case Opcode::kShlRI:
     case Opcode::kShrRI:
     case Opcode::kCmpRI:
+    case Opcode::kMaskRI:
       Add(out, count, inst.r1);
       break;
     case Opcode::kAddRM:
@@ -147,6 +148,7 @@ void InstructionRegWrites(const Instruction& inst, Reg out[6], int* count) {
     case Opcode::kShrRI:
     case Opcode::kImulRR:
     case Opcode::kAddRM:
+    case Opcode::kMaskRI:
       Add(out, count, inst.r1);
       break;
     case Opcode::kPushR:
@@ -239,6 +241,7 @@ std::string FormatInstruction(const Instruction& inst) {
     case Opcode::kSyscall:
     case Opcode::kSysret:
     case Opcode::kWrmsr:
+    case Opcode::kSpecFence:
       return std::string(name);
     case Opcode::kMovRR:
     case Opcode::kAddRR:
@@ -260,6 +263,7 @@ std::string FormatInstruction(const Instruction& inst) {
     case Opcode::kShlRI:
     case Opcode::kShrRI:
     case Opcode::kCmpRI:
+    case Opcode::kMaskRI:
       std::snprintf(buf, sizeof(buf), "%s $0x%" PRIx64 ",%%%s", name,
                     static_cast<uint64_t>(inst.imm), RegName(inst.r1));
       return buf;

@@ -194,6 +194,10 @@ struct Instruction {
   static Instruction Sysret() { return Op(Opcode::kSysret); }
   static Instruction Wrmsr() { return Op(Opcode::kWrmsr); }
 
+  static Instruction SpecFence() { return Op(Opcode::kSpecFence); }
+  // Branchless clamp: r <- (r >u limit) ? 0 : r. Writes no flags.
+  static Instruction MaskRI(Reg r, int64_t limit) { return RI(Opcode::kMaskRI, r, limit); }
+
   // ---- Instance-level properties ----
 
   bool ReadsMemory() const { return OpcodeReadsMemory(op); }

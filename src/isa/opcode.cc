@@ -56,6 +56,8 @@ const char* OpcodeName(Opcode op) {
     case Opcode::kSyscall: return "syscall";
     case Opcode::kSysret: return "sysret";
     case Opcode::kWrmsr: return "wrmsr";
+    case Opcode::kSpecFence: return "lfence";
+    case Opcode::kMaskRI: return "mask";
     case Opcode::kNumOpcodes: break;
   }
   return "??";
@@ -142,6 +144,9 @@ bool OpcodeWritesFlags(Opcode op) {
     case Opcode::kScasq:
     case Opcode::kPopfq:
       return true;
+    // kMaskRI is deliberately absent: the clamp is a conditional move, not a
+    // compare — writing no flags is what lets the spec-mask mitigation drop
+    // the pushfq/popfq preservation pair around every check.
     // Calls clobber flags across the boundary (callees do not preserve
     // %rflags under the ABI the kernel uses), which the liveness analysis
     // models as a definition.

@@ -81,6 +81,12 @@ enum class Opcode : uint8_t {
   kSysret,
   kWrmsr,  // model of a serializing privileged write; no memory access
 
+  // Transient execution (src/spec).
+  kSpecFence,  // speculation barrier: architectural nop; kills a wrong-path
+               // window in the spec engine (spec-barrier mitigation)
+  kMaskRI,     // r1 <- (r1 >u imm32) ? 0 : r1; branchless address clamp,
+               // writes no flags (spec-mask mitigation)
+
   kNumOpcodes,
 };
 

@@ -31,6 +31,21 @@ enum class RaScheme : uint8_t {
   kDecoy,    // D: tripwire decoys next to saved return addresses
 };
 
+// Speculation-hardening variant applied to the emitted range checks
+// (reproduction extension; see src/spec). Architectural range checks stop
+// an architectural adversary but a mispredicted check branch still lets a
+// wrong-path load leak transiently — these close that window.
+enum class SpecMitigation : uint8_t {
+  kNone = 0,
+  // lfence (kSpecFence) immediately after every emitted check: the fence
+  // kills the speculative window before the guarded read can issue.
+  kBarrier,
+  // Branchless clamped addressing (kMaskRI) instead of the cmp/ja or bndcu
+  // check: no branch, no misprediction, no window. An out-of-range address
+  // clamps to 0 instead of reaching the violation handler.
+  kMask,
+};
+
 struct ProtectionConfig {
   SfiLevel sfi = SfiLevel::kNone;
   bool mpx = false;          // replace SFI range checks with bndcu
@@ -44,6 +59,9 @@ struct ProtectionConfig {
   // register pool, foiling call-preceded gadget chaining (extension; see
   // src/plugin/reg_rand_pass.h for the contract).
   bool randomize_registers = false;
+  // Speculation hardening of the emitted checks (spec-barrier / spec-mask
+  // config axes). Only meaningful when sfi or mpx emits checks.
+  SpecMitigation spec = SpecMitigation::kNone;
   int entropy_bits_k = 30;   // per-routine randomization entropy target
   uint64_t seed = 0x6b525852ULL;  // deterministic diversification seed ("kRXR")
 
@@ -65,6 +83,14 @@ struct ProtectionConfig {
     ProtectionConfig c;
     c.sfi = SfiLevel::kO3;
     c.mpx = true;
+    return c;
+  }
+  // SFI at the plugin-default level with speculation-hardened checks — the
+  // spec-barrier / spec-mask config axes of the benchmarks.
+  static ProtectionConfig SpecHardened(SpecMitigation mitigation) {
+    ProtectionConfig c;
+    c.sfi = SfiLevel::kO3;
+    c.spec = mitigation;
     return c;
   }
   static ProtectionConfig DiversifyOnly(RaScheme ra_scheme, uint64_t seed_value) {

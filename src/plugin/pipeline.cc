@@ -79,6 +79,8 @@ void PublishCompileMetrics(const PipelineStats& s) {
   reg.GetCounter("compile.sfi.wrappers_eliminated").Add(s.sfi.wrappers_eliminated);
   reg.GetCounter("compile.sfi.lea_kept").Add(s.sfi.lea_kept);
   reg.GetCounter("compile.sfi.lea_eliminated").Add(s.sfi.lea_eliminated);
+  reg.GetCounter("compile.sfi.spec_barriers").Add(s.sfi.spec_barriers);
+  reg.GetCounter("compile.sfi.spec_masks").Add(s.sfi.spec_masks);
 #endif
 }
 

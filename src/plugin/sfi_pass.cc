@@ -91,15 +91,20 @@ AvailState MeetPredecessors(const std::vector<AvailState>& exit_states,
 //
 // The O3 analysis above is a single layout-order pass that drops all facts
 // at loop back edges. O4 replaces it with a greatest-fixpoint dataflow whose
-// facts are *congruence-derived* coverage sources: `state[r] = {(S, off)}`
+// facts are *congruence-derived* coverage sources: `state[r] = {(S, span)}`
 // means that on every path to this point, kept check site S proved some
-// value v <= edata - check_disp(S), and r == v + off with off >= 0 (r was
-// derived from the checked value by mov/add/lea per RegOffsetDerivation and
-// has not been redefined, spilled or survived a call since). A read through
-// r at displacement d is then covered by raising every source's check to
-// off + d — capped by the phantom-guard size, which bounds how far a check's
-// displacement may legally be widened (the post-link verifier enforces the
-// same bound, RuleId::kRxCheckDisp).
+// value v <= edata - check_disp(S), and r == v + off for some path-dependent
+// off in [span.min, span.max] (r was derived from the checked value by
+// mov/add/sub/lea per RegOffsetDerivation and has not been redefined,
+// spilled or survived a call since). A read through r at displacement d is
+// then covered by raising every source's check to span.max + d — capped by
+// the phantom-guard size, which bounds how far a check's displacement may
+// legally be widened (the post-link verifier enforces the same bound,
+// RuleId::kRxCheckDisp) — provided span.min + d >= 0: the checks are
+// unsigned compares, and a sub-derived value below the checked one could
+// wrap unless the displacement provably restores it. Tracking the lower
+// edge is exactly what makes the negative kSubRI delta sound, mirroring
+// the verifier's CoverWindow.
 //
 // The verifier re-derives all of this from the linked bytes with an
 // interval-domain abstract interpreter (src/verify/confinement.cc); any
@@ -111,11 +116,20 @@ AvailState MeetPredecessors(const std::vector<AvailState>& exit_states,
 // this large (GuardSizeFor), so the constant is a safe static bound.
 constexpr int64_t kO4CoverCap = static_cast<int64_t>(kDefaultPhantomGuardSize);
 
-// Per register: kept check site -> maximum derivation offset along any path.
-using O4State = std::map<Reg, std::map<ReadSite*, int64_t>>;
+// Accumulated derivation offset over every path: off in [min, max].
+struct O4Span {
+  int64_t min = 0;
+  int64_t max = 0;
 
-// Intersection meet with per-source offset widening to the maximum (the
-// weakest derivation seen on any path).
+  bool operator==(const O4Span& o) const { return min == o.min && max == o.max; }
+  bool operator!=(const O4Span& o) const { return !(*this == o); }
+};
+
+// Per register: kept check site -> derivation-offset span along any path.
+using O4State = std::map<Reg, std::map<ReadSite*, O4Span>>;
+
+// Intersection meet with per-source span widening to the hull (the weakest
+// derivation seen on any path, at both edges).
 O4State O4Meet(const O4State& a, const O4State& b) {
   O4State out;
   for (const auto& [reg, sources] : a) {
@@ -123,11 +137,12 @@ O4State O4Meet(const O4State& a, const O4State& b) {
     if (it == b.end()) {
       continue;
     }
-    std::map<ReadSite*, int64_t> u = sources;
-    for (const auto& [site, off] : it->second) {
-      auto [slot, fresh] = u.emplace(site, off);
+    std::map<ReadSite*, O4Span> u = sources;
+    for (const auto& [site, span] : it->second) {
+      auto [slot, fresh] = u.emplace(site, span);
       if (!fresh) {
-        slot->second = std::max(slot->second, off);
+        slot->second.min = std::min(slot->second.min, span.min);
+        slot->second.max = std::max(slot->second.max, span.max);
       }
     }
     out[reg] = std::move(u);
@@ -146,13 +161,16 @@ void O4ApplyInst(O4State& state, const Instruction& inst) {
   Reg dst = Reg::kNone;
   Reg src = Reg::kNone;
   int64_t delta = 0;
-  std::map<ReadSite*, int64_t> derived;
+  std::map<ReadSite*, O4Span> derived;
   if (RegOffsetDerivation(inst, &dst, &src, &delta)) {
     auto it = state.find(src);
     if (it != state.end()) {
-      for (const auto& [site, off] : it->second) {
-        if (off + delta <= kO4CoverCap) {
-          derived[site] = off + delta;
+      for (const auto& [site, span] : it->second) {
+        // Both edges shift by the delta; sources drifting past the cover
+        // cap (or symmetrically far below it, keeping the arithmetic far
+        // from overflow) are dropped.
+        if (span.max + delta <= kO4CoverCap && span.min + delta >= -kO4CoverCap) {
+          derived[site] = O4Span{span.min + delta, span.max + delta};
         }
       }
     }
@@ -189,10 +207,13 @@ O4State O4TransferBlock(const BasicBlock& b, std::vector<ReadSite>& block_sites,
       auto it = state.find(site.base);
       bool covered = it != state.end() && !it->second.empty();
       if (covered) {
-        for (const auto& [dom, off] : it->second) {
+        for (const auto& [dom, span] : it->second) {
           (void)dom;
-          if (off + site.disp > kO4CoverCap) {
-            covered = false;  // widening past the guard: keep this check
+          // The raised check must absorb the largest offset (cap-bounded),
+          // and the smallest offset must keep the address non-negative —
+          // the no-wrap half of the proof for sub-derived values.
+          if (span.max + site.disp > kO4CoverCap || span.min + site.disp < 0) {
+            covered = false;  // keep this check
             break;
           }
         }
@@ -200,12 +221,12 @@ O4State O4TransferBlock(const BasicBlock& b, std::vector<ReadSite>& block_sites,
       if (covered) {
         if (commit) {
           site.removed = true;
-          for (const auto& [dom, off] : it->second) {
-            dom->check_disp = std::max(dom->check_disp, off + site.disp);
+          for (const auto& [dom, span] : it->second) {
+            dom->check_disp = std::max(dom->check_disp, span.max + site.disp);
           }
         }
       } else {
-        state[site.base] = {{&site, 0}};
+        state[site.base] = {{&site, O4Span{0, 0}}};
       }
     }
     if (j < b.insts.size()) {
@@ -215,17 +236,18 @@ O4State O4TransferBlock(const BasicBlock& b, std::vector<ReadSite>& block_sites,
   return state;
 }
 
-// Interval widening between rounds: a source whose offset is still climbing
-// at the same block entry is riding a net-positive arithmetic cycle
-// (`add $8, %rdi` in a loop) and will never stabilize — drop it, keeping
-// the in-loop check. Stable facts are never touched.
+// Interval widening between rounds: a source whose span is still growing
+// at the same block entry — max climbing (an `add $8, %rdi` cycle) or min
+// descending (a `sub $8, %rdi` cycle) — will never stabilize: drop it,
+// keeping the in-loop check. Stable facts are never touched.
 void O4Widen(O4State& in, const O4State& prev) {
   for (auto it = in.begin(); it != in.end();) {
     auto pit = prev.find(it->first);
     if (pit != prev.end()) {
       for (auto sit = it->second.begin(); sit != it->second.end();) {
         auto ps = pit->second.find(sit->first);
-        if (ps != pit->second.end() && sit->second > ps->second) {
+        if (ps != pit->second.end() &&
+            (sit->second.max > ps->second.max || sit->second.min < ps->second.min)) {
           sit = it->second.erase(sit);
         } else {
           ++sit;
@@ -437,6 +459,8 @@ void SfiStats::Accumulate(const SfiStats& o) {
   wrappers_eliminated += o.wrappers_eliminated;
   lea_kept += o.lea_kept;
   lea_eliminated += o.lea_eliminated;
+  spec_barriers += o.spec_barriers;
+  spec_masks += o.spec_masks;
   max_rsp_disp = std::max(max_rsp_disp, o.max_rsp_disp);
 }
 
@@ -473,6 +497,10 @@ Status ApplySfiPass(Function& fn, const ProtectionConfig& config, int32_t krx_ha
   const bool o4 = level == SfiLevel::kO4;
   const bool do_lea_elim = mpx || level == SfiLevel::kO2 || level == SfiLevel::kO3 || o4;
   const bool do_coalesce = mpx || level == SfiLevel::kO3 || o4;
+  const bool spec_barrier = config.spec == SpecMitigation::kBarrier;
+  // The mask flavour replaces every check — including bndcu under MPX —
+  // with the branchless clamp; there is no trap path at all.
+  const bool spec_mask = config.spec == SpecMitigation::kMask;
 
   SfiStats local;
 
@@ -591,8 +619,9 @@ Status ApplySfiPass(Function& fn, const ProtectionConfig& config, int32_t krx_ha
 
   // Violation block (SFI flavour only): callq krx_handler, then halt.
   // Created before the rebuild so block references below stay stable.
+  // spec-mask emits no branches, so it never needs the handler block.
   int32_t viol_block = -1;
-  if (any_kept && !mpx) {
+  if (any_kept && !mpx && !spec_mask) {
     viol_block = fn.AddBlock();
     BasicBlock& vb = fn.block_by_id(viol_block);
     Instruction call = Instruction::CallSym(krx_handler_sym);
@@ -626,11 +655,54 @@ Status ApplySfiPass(Function& fn, const ProtectionConfig& config, int32_t krx_ha
     out.reserve(b.insts.size() + block_sites.size() * 5);
     size_t next_site = 0;
 
-    auto emit_check = [&](const ReadSite& site, size_t liveness_point) {
+    // `read_inst` points at the pending copy of the guarded instruction
+    // (nullptr for postmortem and synthetic preheader checks): the mask
+    // flavour's lea form rewrites its operand to go through the clamped
+    // scratch register.
+    auto emit_check = [&](const ReadSite& site, size_t liveness_point,
+                          Instruction* read_inst) {
       ++local.checks_emitted;
       if (site.hoisted) {
         ++local.checks_hoisted;
       }
+      const bool base_form = site.is_string || (do_lea_elim && site.coalescible);
+      if (spec_mask) {
+        // Branchless clamp: the address register is forced into
+        // [0, edata - check_disp], the exact post-state the ja-not-taken
+        // edge would have proven — with no branch for a predictor to
+        // missteer. kMaskRI writes no flags, so no pushfq/popfq either.
+        ++local.spec_masks;
+        if (base_form) {
+          if (!site.is_string && !site.hoisted) {
+            ++local.lea_eliminated;
+          }
+          Instruction m = Instruction::MaskRI(site.base, edata_imm - site.check_disp);
+          m.origin = InstOrigin::kRangeCheck;
+          out.push_back(m);
+        } else {
+          ++local.lea_kept;
+          Instruction lea = Instruction::Lea(kRangeCheckScratch, site.mem);
+          lea.origin = InstOrigin::kRangeCheck;
+          out.push_back(lea);
+          Instruction m = Instruction::MaskRI(kRangeCheckScratch, edata_imm);
+          m.origin = InstOrigin::kRangeCheck;
+          out.push_back(m);
+          // The read must go through the clamped address, not recompute
+          // the raw one.
+          if (read_inst != nullptr) {
+            read_inst->mem = MemOperand::Base(kRangeCheckScratch, 0);
+          }
+        }
+        return;
+      }
+      auto emit_fence = [&]() {
+        if (spec_barrier) {
+          ++local.spec_barriers;
+          Instruction f = Instruction::SpecFence();
+          f.origin = InstOrigin::kRangeCheck;
+          out.push_back(f);
+        }
+      };
       if (mpx) {
         MemOperand checked = site.coalescible || site.is_string
                                  ? MemOperand::Base(site.base, site.check_disp)
@@ -638,9 +710,9 @@ Status ApplySfiPass(Function& fn, const ProtectionConfig& config, int32_t krx_ha
         Instruction b1 = Instruction::Bndcu(checked);
         b1.origin = InstOrigin::kRangeCheck;
         out.push_back(b1);
+        emit_fence();
         return;
       }
-      const bool base_form = site.is_string || (do_lea_elim && site.coalescible);
       bool preserve;
       if (level == SfiLevel::kO0) {
         preserve = true;
@@ -674,6 +746,10 @@ Status ApplySfiPass(Function& fn, const ProtectionConfig& config, int32_t krx_ha
       Instruction ja = Instruction::JccBlock(Cond::kA, violation_target());
       ja.origin = InstOrigin::kRangeCheck;
       out.push_back(ja);
+      // The fence lands on the fallthrough (not-taken) path, before any
+      // popfq: a mispredicted-not-taken window dies here, before the
+      // guarded read can issue.
+      emit_fence();
       if (preserve) {
         Instruction p = Instruction::Popfq();
         p.origin = InstOrigin::kRangeCheck;
@@ -682,21 +758,26 @@ Status ApplySfiPass(Function& fn, const ProtectionConfig& config, int32_t krx_ha
     };
 
     for (size_t j = 0; j < b.insts.size(); ++j) {
-      // Before-checks for this instruction.
+      // The guarded instruction is copied so a mask-form check can rewrite
+      // its operand before it is appended.
+      Instruction cur = b.insts[j];
+      // Before-checks for this instruction. Under spec-mask, postmortem
+      // (rep string) sites clamp *before* the instruction too: the trap
+      // has no branchless equivalent.
       size_t si = next_site;
       while (si < block_sites.size() && block_sites[si].inst_idx == j) {
         const ReadSite& site = block_sites[si];
-        if (!site.removed && !site.place_after) {
-          emit_check(site, j);
+        if (!site.removed && (!site.place_after || spec_mask)) {
+          emit_check(site, j, &cur);
         }
         ++si;
       }
-      out.push_back(b.insts[j]);
+      out.push_back(cur);
       // After-checks (rep string postmortem check).
       while (next_site < block_sites.size() && block_sites[next_site].inst_idx == j) {
         const ReadSite& site = block_sites[next_site];
-        if (!site.removed && site.place_after) {
-          emit_check(site, j + 1);
+        if (!site.removed && site.place_after && !spec_mask) {
+          emit_check(site, j + 1, nullptr);
         }
         ++next_site;
       }
@@ -706,7 +787,7 @@ Status ApplySfiPass(Function& fn, const ProtectionConfig& config, int32_t krx_ha
     while (next_site < block_sites.size()) {
       const ReadSite& site = block_sites[next_site];
       if (!site.removed) {
-        emit_check(site, b.insts.size());
+        emit_check(site, b.insts.size(), nullptr);
       }
       ++next_site;
     }

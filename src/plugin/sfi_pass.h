@@ -11,12 +11,25 @@
 //        against the maximum displacement
 //   O4:  cross-block elision and loop hoisting (extension; src/ir/analysis):
 //        a check is elided when a still-valid check on a congruent register
-//        value (same register, or derived by mov/add/lea with a known
-//        non-negative offset) is available on every path — computed as a
-//        greatest-fixpoint dataflow, so facts survive loop back edges —
-//        and loop-invariant checks are hoisted to a preheader with the
-//        bound widened to the maximum in-loop displacement
+//        value (same register, or derived by mov/add/sub/lea with a known
+//        constant offset — the analysis tracks the per-path offset *span*,
+//        so sub-derived values are covered when the read's displacement
+//        provably restores a non-negative address) is available on every
+//        path — computed as a greatest-fixpoint dataflow, so facts survive
+//        loop back edges — and loop-invariant checks are hoisted to a
+//        preheader with the bound widened to the maximum in-loop
+//        displacement
 //   MPX: bndcu mem, %bnd0   (no flags, no scratch, #BR on violation)
+//
+// Speculation hardening (config.spec; reproduction extension, src/spec):
+//   spec-barrier: every materialized check is immediately followed by a
+//        kSpecFence (lfence) that kills the transient window before the
+//        guarded read can issue on a mispredicted path;
+//   spec-mask: checks are replaced by a branchless kMaskRI clamp of the
+//        address register (no branch -> no misprediction -> no window);
+//        out-of-range addresses clamp to 0 instead of trapping, and rep
+//        string sites are clamped *before* the instruction (the postmortem
+//        trap has no branchless equivalent).
 //
 // Exemptions, exactly as in the paper:
 //   - safe reads: rip-relative and absolute addresses (encoded in the
@@ -51,6 +64,8 @@ struct SfiStats {
   uint64_t wrappers_eliminated = 0;
   uint64_t lea_kept = 0;          // checks still needing lea (+scratch)
   uint64_t lea_eliminated = 0;    // base+disp checks (O2 form)
+  uint64_t spec_barriers = 0;     // lfences placed after checks (spec-barrier)
+  uint64_t spec_masks = 0;        // branchless clamps emitted (spec-mask)
   int64_t max_rsp_disp = 0;       // drives .krx_phantom sizing
 
   void Accumulate(const SfiStats& o);

@@ -1,0 +1,13 @@
+#include "src/spec/spec.h"
+
+namespace krx {
+
+// The predictor and observer are header-inline (they sit on the Cpu's
+// hottest path); this TU only anchors the library. Static sanity checks on
+// the table geometry live here so a bad edit fails the build, not a run.
+static_assert((BranchPredictor::kEntries & (BranchPredictor::kEntries - 1)) == 0,
+              "predictor table size must be a power of two");
+static_assert(SideChannelObserver::kLineShift == 6,
+              "probe reconstruction assumes 64-byte cache lines");
+
+}  // namespace krx

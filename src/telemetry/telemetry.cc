@@ -101,6 +101,8 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "retry_backoff";
     case TraceEventType::kCheckpoint:
       return "checkpoint";
+    case TraceEventType::kSpecWindow:
+      return "spec_window";
   }
   return "unknown";
 }

@@ -90,6 +90,7 @@ enum class TraceEventType : uint16_t {
   kHealthTransition, // arg0 = HealthAspect ordinal, arg1 = new HealthLevel
   kRetryBackoff,     // arg0 = attempt (1-based), arg1 = backoff us
   kCheckpoint,       // arg0 = 1 restore / 0 capture, arg1 = bytes or us
+  kSpecWindow,       // arg0 = windows this run, arg1 = wrong-path insts
 };
 
 const char* TraceEventTypeName(TraceEventType type);

@@ -538,7 +538,37 @@ class ConfinementChecker {
             f.cover[inst.mem.base] =
                 it == f.cover.end() ? armed : Hull(it->second, armed);
           }
+          // The trap only fires architecturally; a mispredicted path still
+          // issues the guarded load transiently, so the hardening contracts
+          // constrain the bndcu itself.
+          if (verify && params_.mitigation == SpecMitigation::kBarrier) {
+            const bool fenced = i + 1 < blk.first + blk.count &&
+                                fn_.insts[i + 1].inst.op == Opcode::kSpecFence;
+            if (!fenced) {
+              Diagnose(RuleId::kSpecBarrier, di.address,
+                       "bndcu check not immediately followed by lfence");
+            }
+          }
+          if (verify && params_.mitigation == SpecMitigation::kMask) {
+            Diagnose(RuleId::kSpecMask, di.address,
+                     "speculation-prone bndcu check survives under spec-mask");
+          }
           break;
+        case Opcode::kMaskRI: {
+          // mask clamps r1 into [0, imm] unconditionally — the same
+          // post-state the ja-not-taken edge of a cmp/ja check proves, but
+          // branchless, so there is no predictor window to steer. r1 + d
+          // stays within [0, edata] for d in [0, edata - imm]. The bound is
+          // an address, compared unsigned exactly as the Cpu clamps it (the
+          // sign-extended imm32 is negative as int64 under high layouts).
+          const uint64_t bound = static_cast<uint64_t>(inst.imm);
+          if (bound <= params_.edata) {
+            const int64_t coverage = static_cast<int64_t>(params_.edata - bound);
+            NoteCheck(verify, di.address, coverage);
+            f.cover[inst.r1] = {0, coverage};
+          }
+          break;
+        }
         case Opcode::kLea:
           // Remember the EA the destination now holds, unless the operand
           // involves the destination itself (the value would be stale).
@@ -582,6 +612,23 @@ class ConfinementChecker {
       // coverage fact (and the lea'd operand fact, if any).
       int64_t coverage = static_cast<int64_t>(params_.edata) - pending.imm;
       NoteCheck(verify, last.address, coverage);
+      // The architectural proof above says nothing about the wrong path: a
+      // trained predictor can fall through transiently with reg > imm. The
+      // hardening contracts are enforced on the recognized check itself.
+      if (verify && params_.mitigation == SpecMitigation::kBarrier) {
+        const VerifierBlock* fall_blk =
+            blk.fall >= 0 ? &fn_.blocks[static_cast<size_t>(blk.fall)] : nullptr;
+        const bool fenced = fall_blk != nullptr && fall_blk->count > 0 &&
+                            fn_.insts[fall_blk->first].inst.op == Opcode::kSpecFence;
+        if (!fenced) {
+          Diagnose(RuleId::kSpecBarrier, last.address,
+                   "range check's fallthrough path does not begin with lfence");
+        }
+      }
+      if (verify && params_.mitigation == SpecMitigation::kMask) {
+        Diagnose(RuleId::kSpecMask, last.address,
+                 "speculation-prone cmp/ja check survives under spec-mask");
+      }
       if (pending.reg_intact) {
         // ja-not-taken proves reg <=u imm (so reg + d cannot wrap for
         // d >= 0, nor exceed edata for d <= coverage).

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 
+#include "src/plugin/pass_config.h"
 #include "src/verify/decoded_function.h"
 #include "src/verify/report.h"
 
@@ -32,6 +33,12 @@ struct ConfinementParams {
   uint64_t edata = 0;            // _krx_edata the checks must compare against
   uint64_t handler_address = 0;  // resolved krx_handler entry (0 if absent)
   uint64_t guard_size = 0;       // mapped .krx_phantom size (0 if absent)
+  // Speculation-hardening contract the bytes must additionally satisfy:
+  // kBarrier demands an lfence immediately after every recognized check
+  // (SPEC_BARRIER); kMask demands that no speculation-prone check (cmp/ja
+  // to the handler, bndcu) survives at all (SPEC_MASK) — reads must be
+  // justified by kMaskRI clamps instead.
+  SpecMitigation mitigation = SpecMitigation::kNone;
 };
 
 void CheckReadConfinement(const DecodedFunction& fn, const ConfinementParams& params,

@@ -22,6 +22,8 @@ const char* RuleName(RuleId rule) {
     case RuleId::kRaDTripwire: return "RA_D_TRIPWIRE";
     case RuleId::kDivEntry: return "DIV_ENTRY";
     case RuleId::kDivEntropy: return "DIV_ENTROPY";
+    case RuleId::kSpecBarrier: return "SPEC_BARRIER";
+    case RuleId::kSpecMask: return "SPEC_MASK";
     case RuleId::kNumRules: break;
   }
   return "??";

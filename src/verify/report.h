@@ -35,6 +35,8 @@ enum class RuleId : uint8_t {
   kRaDTripwire,     // call/tail-call without a tripwire lea, or dead tripwire
   kDivEntry,        // diversified function lacks the pinned entry trampoline
   kDivEntropy,      // permutable units give fewer than k bits of entropy
+  kSpecBarrier,     // an emitted range check is not followed by lfence
+  kSpecMask,        // a speculation-prone check survives under spec-mask
   kNumRules,
 };
 

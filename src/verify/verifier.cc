@@ -14,6 +14,7 @@ VerifyOptions VerifyOptions::ForConfig(const ProtectionConfig& config) {
   opts.check_ra_encrypt = config.ra == RaScheme::kEncrypt;
   opts.check_ra_decoy = config.ra == RaScheme::kDecoy;
   opts.check_diversify = config.diversify;
+  opts.spec = config.spec;
   opts.entropy_bits_k = config.entropy_bits_k;
   opts.exempt_functions = config.exempt_functions;
   return opts;
@@ -28,6 +29,7 @@ VerifyReport VerifyImage(const KernelImage& image, const VerifyOptions& options)
   rx.handler_address = handler.ok() ? *handler : 0;
   const PlacedSection* guard = image.FindSection(".krx_phantom");
   rx.guard_size = guard != nullptr ? guard->mapped_size : 0;
+  rx.mitigation = options.spec;
 
   RaCheckParams ra;
   ra.edata = image.krx_edata();

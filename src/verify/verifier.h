@@ -23,6 +23,10 @@ struct VerifyOptions {
   bool check_ra_encrypt = false;  // xkey XOR pairing + zaps + key residency
   bool check_ra_decoy = false;    // decoy slot discipline + live tripwires
   bool check_diversify = false;   // entry trampoline + permutation entropy
+  // Speculation-hardening contract the range checks must satisfy: under
+  // kBarrier every check must be fenced, under kMask no speculation-prone
+  // check may survive at all (src/verify/confinement.cc).
+  SpecMitigation spec = SpecMitigation::kNone;
   int entropy_bits_k = 30;
   // Functions the pipeline left uninstrumented (hand-written-assembly
   // analogues, §6); the verifier skips them and counts them as exempt.

@@ -173,6 +173,37 @@ Function MakeMemcpyBody(const std::string& name) {
   return b.Build();
 }
 
+// spec_victim(idx=rdi, probe_base=rsi): the Spectre-v1 gadget of the
+// transient-execution evaluation (src/attack/spectre.cc). Architecturally
+// impeccable: the read is guarded by the victim's own bounds check AND by
+// whatever range check the kR^X instrumentation adds. The attack trains
+// the jae not-taken, then calls with idx = <code address> - spec_array, so
+// the wrong path computes an address above _krx_edata and — unless the
+// config speculation-hardens its checks — issues the read transiently,
+// leaving arr[idx]'s value encoded as a touched probe cache line.
+Function MakeSpecVictim(SymbolTable& symbols) {
+  int32_t len_sym = symbols.Intern("spec_array_len", SymbolKind::kData);
+  int32_t arr_sym = symbols.Intern("spec_array", SymbolKind::kData);
+  FunctionBuilder b("spec_victim");
+  int32_t out = b.ReserveBlock();
+  b.Emit(Instruction::Load(Reg::kRcx, MemOperand::RipRelSym(len_sym)));  // safe read
+  b.Emit(Instruction::CmpRR(Reg::kRdi, Reg::kRcx));
+  b.Emit(Instruction::JccBlock(Cond::kAe, out));  // idx >= len: reject
+  b.Emit(Instruction::Lea(Reg::kRcx, MemOperand::RipRelSym(arr_sym)));
+  b.Emit(Instruction::AddRR(Reg::kRcx, Reg::kRdi));
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRcx, 0)));  // checked read
+  b.Emit(Instruction::AndRI(Reg::kRax, 0xFF));
+  b.Emit(Instruction::ShlRI(Reg::kRax, 6));  // one cache line per byte value
+  b.Emit(Instruction::AddRR(Reg::kRax, Reg::kRsi));
+  b.Emit(Instruction::Load(Reg::kRdx, MemOperand::Base(Reg::kRax, 0)));  // probe touch
+  b.Emit(Instruction::MovRI(Reg::kRax, 1));
+  b.Emit(Instruction::Ret());
+  b.Bind(out);
+  b.Emit(Instruction::MovRI(Reg::kRax, 0));
+  b.Emit(Instruction::Ret());
+  return b.Build();
+}
+
 // kprobe_fetch_insn(dst=rdi, probe_addr=rsi): copies 16 bytes of kernel
 // code into a data buffer through the exempt clone — the primitive KProbes
 // needs to save the original instruction at a probe point.
@@ -206,7 +237,26 @@ KernelSource MakeBaseSource(const CorpusOptions& options) {
   src.symbols.Intern("krx_memcpy_clone");
   src.functions.push_back(MakeKprobeFetch(src.symbols));
   src.symbols.Intern("kprobe_fetch_insn");
+  src.functions.push_back(MakeSpecVictim(src.symbols));
+  src.symbols.Intern("spec_victim");
   MakeUtilityFunctions(&src, options.utility_functions, rng);
+
+  // spec_array (+ its length): the in-bounds accessible array the Spectre
+  // victim indexes. 64 distinct bytes so in-bounds calls have a witness.
+  {
+    DataObject arr;
+    arr.name = "spec_array";
+    arr.kind = SectionKind::kData;
+    for (int i = 0; i < 64; ++i) {
+      arr.bytes.push_back(static_cast<uint8_t>(0xA0 ^ i));
+    }
+    src.data_objects.push_back(std::move(arr));
+    DataObject len;
+    len.name = "spec_array_len";
+    len.kind = SectionKind::kData;
+    len.bytes = {64, 0, 0, 0, 0, 0, 0, 0};
+    src.data_objects.push_back(std::move(len));
+  }
 
   // current_cred: 8 bytes, initially unprivileged (0x1000).
   DataObject cred;

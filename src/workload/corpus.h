@@ -10,7 +10,9 @@
 //   - a population of generated utility functions with a realistic shape
 //     distribution (~12% single-basic-block, §5.2.1),
 //   - sys_call_table: a .rodata dispatch table of function pointers — the
-//     readable code-pointer source indirect attacks start from.
+//     readable code-pointer source indirect attacks start from,
+//   - spec_victim / spec_array: the Spectre-v1 bounds-check-bypass gadget
+//     driven by the transient-execution evaluation (src/attack/spectre.h).
 //
 // LMBench/Phoronix kernel ops (src/workload/ops.h) are added on top.
 #ifndef KRX_SRC_WORKLOAD_CORPUS_H_

@@ -56,6 +56,10 @@ bool ParseConfigName(const std::string& name, uint64_t seed, ProtectionConfig* c
     *config = ProtectionConfig::Full(false, RaScheme::kDecoy, seed);
   } else if (name == "sfi+x") {
     *config = ProtectionConfig::Full(false, RaScheme::kEncrypt, seed);
+  } else if (name == "spec-barrier") {
+    *config = ProtectionConfig::SpecHardened(SpecMitigation::kBarrier);
+  } else if (name == "spec-mask") {
+    *config = ProtectionConfig::SpecHardened(SpecMitigation::kMask);
   } else if (name == "mpx+d") {
     *config = ProtectionConfig::Full(true, RaScheme::kDecoy, seed);
   } else if (name == "mpx+x") {

@@ -23,14 +23,15 @@ struct Column {
 std::vector<Column> Table1Columns(uint64_t seed);
 
 // CLI-style config names shared by krx_objdump and krx_verify:
-//   vanilla | sfi-o0..sfi-o4 | sfi | mpx | mpx-o4 | d | x | sfi+d | sfi+x |
-//   mpx+d | mpx+x. Returns false on an unknown name.
+//   vanilla | sfi-o0..sfi-o4 | sfi | mpx | mpx-o4 | spec-barrier | spec-mask
+//   | d | x | sfi+d | sfi+x | mpx+d | mpx+x. Returns false on an unknown
+//   name.
 bool ParseConfigName(const std::string& name, uint64_t seed, ProtectionConfig* config,
                      LayoutKind* layout);
 
 // The accepted names, for usage messages.
 inline constexpr const char* kConfigNamesUsage =
-    "vanilla|sfi-o0..o4|mpx|mpx-o4|d|x|sfi+d|sfi+x|mpx+d|mpx+x";
+    "vanilla|sfi-o0..o4|mpx|mpx-o4|spec-barrier|spec-mask|d|x|sfi+d|sfi+x|mpx+d|mpx+x";
 
 // Base corpus + one kernel op per LMBench row.
 KernelSource MakeBenchSource(uint64_t seed);

@@ -68,6 +68,26 @@ TEST(ImageKeyTest, PristineKeyCanonicalizesLinkOnlyFields) {
   EXPECT_NE(ImageKey::FromOptions(a).PristineKey(), ImageKey::FromOptions(c).PristineKey());
 }
 
+TEST(ImageKeyTest, SpecMitigationIsPartOfTheKey) {
+  // spec-barrier/spec-mask emit different bytes than plain sfi-o3; the
+  // cache must never serve one when asked for another.
+  ProtectionConfig o3;
+  ProtectionConfig barrier;
+  ProtectionConfig mask;
+  LayoutKind layout;
+  ASSERT_TRUE(ParseConfigName("sfi-o3", 0x111, &o3, &layout));
+  ASSERT_TRUE(ParseConfigName("spec-barrier", 0x111, &barrier, &layout));
+  ASSERT_TRUE(ParseConfigName("spec-mask", 0x111, &mask, &layout));
+  const ImageKey ko3 = ImageKey::FromOptions({o3, layout});
+  const ImageKey kb = ImageKey::FromOptions({barrier, layout});
+  const ImageKey km = ImageKey::FromOptions({mask, layout});
+  EXPECT_NE(ko3, kb);
+  EXPECT_NE(ko3, km);
+  EXPECT_NE(kb, km);
+  EXPECT_NE(ko3.PristineKey(), kb.PristineKey());
+  EXPECT_NE(kb.PristineKey(), km.PristineKey());
+}
+
 TEST(FleetTest, SameSourceTenantsShareOnePristineBlob) {
   KernelCache cache(FleetSourceFactory(0xF1EE7));
   FleetOptions options;

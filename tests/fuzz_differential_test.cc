@@ -379,6 +379,56 @@ TEST_P(FuzzDifferential, CachedEngineMatchesUncached) {
   }
 }
 
+// Spec axis: enabling the transient-execution window must be invisible in
+// every guest-visible RunResult field and in written memory — windows
+// retire nothing, charge nothing, and count nothing (DESIGN.md §15). Runs
+// the same random programs spec-on vs. spec-off across the check-emitting
+// configs plus both hardened axes; the spec-on Cpu's persistent predictor
+// guarantees plenty of real mispredictions along the way.
+TEST_P(FuzzDifferential, SpecWindowInvisibleInRunResults) {
+  const uint64_t seed = GetParam();
+  KernelSource src = MakeBaseSource();
+  RandomProgram gen(&src, seed ^ 0x57EC);
+  gen.set_seed_tag(seed + 400);
+  std::vector<std::string> fns = gen.EmitFunctions(4);
+
+  std::vector<Column> columns = {
+      {"vanilla", ProtectionConfig::Vanilla(), LayoutKind::kVanilla},
+      {"SFI(-O3)", ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx},
+      {"MPX", ProtectionConfig::MpxOnly(), LayoutKind::kKrx},
+      {"spec-barrier", ProtectionConfig::SpecHardened(SpecMitigation::kBarrier),
+       LayoutKind::kKrx},
+      {"spec-mask", ProtectionConfig::SpecHardened(SpecMitigation::kMask),
+       LayoutKind::kKrx},
+  };
+  for (const Column& col : columns) {
+    auto kernel = CompileKernel(src, {col.config, col.layout});
+    ASSERT_TRUE(kernel.ok()) << col.name;
+    KernelImage& image = *kernel->image;
+    CpuOptions plain_opts;
+    plain_opts.mpx_enabled = col.config.mpx;
+    CpuOptions spec_opts = plain_opts;
+    spec_opts.spec.enabled = true;
+    Cpu plain_cpu(&image, CostModel(), plain_opts);
+    Cpu spec_cpu(&image, CostModel(), spec_opts);
+    SideChannelObserver obs;
+    spec_cpu.set_side_channel_observer(&obs);
+    auto buf = SetUpOpBuffer(image, seed);
+    ASSERT_TRUE(buf.ok());
+
+    for (const std::string& fn : fns) {
+      ASSERT_TRUE(FillOpBuffer(image, *buf, seed).ok());
+      RunResult p = plain_cpu.CallFunction(fn, {*buf});
+      const uint64_t p_sum = RegionChecksum(image, *buf);
+      ASSERT_TRUE(FillOpBuffer(image, *buf, seed).ok());
+      RunResult s = spec_cpu.CallFunction(fn, {*buf});
+      ExpectSameRunResult(s, p, col.name + "/" + fn);
+      EXPECT_EQ(RegionChecksum(image, *buf), p_sum) << col.name << "/" << fn;
+    }
+    EXPECT_GT(spec_cpu.spec_stats().predictions, 0u) << col.name;
+  }
+}
+
 // Third differential axis: a live re-randomization epoch between runs. The
 // cached engine's predecoded blocks were built against the pre-epoch text;
 // the epoch's generation bump must drop them, and both engines must agree

@@ -230,9 +230,15 @@ TEST(Congruence, DerivationRules) {
   EXPECT_FALSE(
       RegOffsetDerivation(Instruction::Lea(Reg::kRsi, MemOperand::RipRel(0x10)), &dst, &src,
                           &delta));
-  // Constant loads and subtractions are not derivations.
+  // Constant loads are not derivations.
   EXPECT_FALSE(RegOffsetDerivation(Instruction::MovRI(Reg::kRsi, 5), &dst, &src, &delta));
-  EXPECT_FALSE(RegOffsetDerivation(Instruction::SubRI(Reg::kRdi, 8), &dst, &src, &delta));
+  // sub $8, %rdi: rdi = rdi - 8 — a *negative* delta; the O4 span domain
+  // must prove the address cannot wrap before using it.
+  ASSERT_TRUE(RegOffsetDerivation(Instruction::SubRI(Reg::kRdi, 8), &dst, &src, &delta));
+  EXPECT_EQ(dst, Reg::kRdi);
+  EXPECT_EQ(src, Reg::kRdi);
+  EXPECT_EQ(delta, -8);
+  EXPECT_FALSE(RegOffsetDerivation(Instruction::SubRI(Reg::kRdi, -8), &dst, &src, &delta));
 }
 
 TEST(RegHelpers, WritesAndReads) {

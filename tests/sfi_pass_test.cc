@@ -20,12 +20,14 @@ struct PassResult {
   SfiStats stats;
 };
 
-PassResult Apply(Function fn, SfiLevel level, bool mpx = false) {
+PassResult Apply(Function fn, SfiLevel level, bool mpx = false,
+                 SpecMitigation spec = SpecMitigation::kNone) {
   SymbolTable symbols;
   int32_t handler = symbols.Intern(kKrxHandlerName);
   ProtectionConfig config;
   config.sfi = level;
   config.mpx = mpx;
+  config.spec = spec;
   SfiStats stats;
   KRX_CHECK_OK(ApplySfiPass(fn, config, handler, kEdata, &stats));
   return {std::move(fn), stats};
@@ -114,6 +116,57 @@ TEST(SfiPass, Fig2MpxSingleBndcu) {
 }
 
 // ---- Exemptions. ----
+
+// ---- Speculation-hardening emission (spec-barrier / spec-mask axes). ----
+
+TEST(SfiPassSpec, BarrierFencesEveryCheck) {
+  PassResult r =
+      Apply(MakeFig2Function(), SfiLevel::kO3, /*mpx=*/false, SpecMitigation::kBarrier);
+  EXPECT_GT(r.stats.checks_emitted, 0u);
+  EXPECT_EQ(r.stats.spec_barriers, r.stats.checks_emitted);
+  EXPECT_EQ(CountOp(r.fn, Opcode::kSpecFence), r.stats.spec_barriers);
+  EXPECT_EQ(CountOp(r.fn, Opcode::kMaskRI), 0u);
+  // Every fence sits right behind the ja it is guarding: a window opened at
+  // the branch dies before the checked load can execute transiently.
+  for (const BasicBlock& blk : r.fn.blocks()) {
+    for (size_t i = 0; i < blk.insts.size(); ++i) {
+      if (blk.insts[i].op == Opcode::kSpecFence) {
+        ASSERT_GT(i, 0u);
+        EXPECT_EQ(blk.insts[i - 1].op, Opcode::kJcc);
+        EXPECT_EQ(blk.insts[i - 1].cond, Cond::kA);
+      }
+    }
+  }
+}
+
+TEST(SfiPassSpec, MaskReplacesBranchyChecks) {
+  PassResult r =
+      Apply(MakeFig2Function(), SfiLevel::kO3, /*mpx=*/false, SpecMitigation::kMask);
+  EXPECT_GT(r.stats.spec_masks, 0u);
+  EXPECT_EQ(r.stats.spec_masks, r.stats.checks_emitted);
+  EXPECT_EQ(CountOp(r.fn, Opcode::kMaskRI), r.stats.spec_masks);
+  // The clamp is branchless and flag-free: no fences, no cmp/ja pairs, and
+  // no pushfq/popfq wrappers survive anywhere in the function.
+  EXPECT_EQ(CountOp(r.fn, Opcode::kSpecFence), 0u);
+  EXPECT_EQ(CountOp(r.fn, Opcode::kPushfq), 0u);
+  EXPECT_EQ(CountOp(r.fn, Opcode::kPopfq), 0u);
+  for (const BasicBlock& blk : r.fn.blocks()) {
+    for (const Instruction& inst : blk.insts) {
+      if (inst.IsRangeCheck()) {
+        EXPECT_TRUE(inst.op == Opcode::kMaskRI || inst.op == Opcode::kLea)
+            << "branchy check survived under spec-mask";
+      }
+    }
+  }
+}
+
+TEST(SfiPassSpec, BarrierCoversMpxChecksToo) {
+  PassResult r =
+      Apply(MakeFig2Function(), SfiLevel::kO3, /*mpx=*/true, SpecMitigation::kBarrier);
+  EXPECT_GT(r.stats.spec_barriers, 0u);
+  EXPECT_EQ(CountOp(r.fn, Opcode::kSpecFence), r.stats.spec_barriers);
+  EXPECT_EQ(CountOp(r.fn, Opcode::kSpecFence), CountOp(r.fn, Opcode::kBndcu));
+}
 
 TEST(SfiPass, SafeAndRspReadsNotChecked) {
   FunctionBuilder b("f");
@@ -305,6 +358,41 @@ TEST(SfiPassO4, NegativeAddStillBlocksElision) {
   FunctionBuilder b("f");
   b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 8)));
   b.Emit(Instruction::AddRI(Reg::kRdi, -64));
+  b.Emit(Instruction::Load(Reg::kRbx, MemOperand::Base(Reg::kRdi, 16)));
+  b.Emit(Instruction::Ret());
+  PassResult r = Apply(b.Build(), SfiLevel::kO4);
+  EXPECT_EQ(r.stats.checks_emitted, 2u);
+  EXPECT_EQ(r.stats.checks_coalesced, 0u);
+}
+
+TEST(SfiPassO4, ElidesAfterSubWhenDisplacementRestores) {
+  // `sub $16, %rdi` derives a value *below* the checked one; the span domain
+  // tracks the negative lower edge and proves the later displacement (24)
+  // pulls the address back above the checked base, so the read folds into
+  // the first check (effective displacement 24 - 16 = 8 <= 8).
+  auto make = [] {
+    FunctionBuilder b("f");
+    b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 8)));
+    b.Emit(Instruction::SubRI(Reg::kRdi, 16));
+    b.Emit(Instruction::Load(Reg::kRbx, MemOperand::Base(Reg::kRdi, 24)));
+    b.Emit(Instruction::Ret());
+    return b.Build();
+  };
+  PassResult o3 = Apply(make(), SfiLevel::kO3);
+  EXPECT_EQ(o3.stats.checks_emitted, 2u);
+  PassResult o4 = Apply(make(), SfiLevel::kO4);
+  EXPECT_EQ(o4.stats.checks_emitted, 1u);
+  EXPECT_EQ(o4.stats.checks_coalesced, 1u);
+  EXPECT_EQ(RangeCheckImms(o4.fn), std::vector<int64_t>{kEdata - 8});
+}
+
+TEST(SfiPassO4, SubPastDisplacementBlocksElision) {
+  // `sub $64` followed by a read at +16 lands 48 bytes *below* the checked
+  // address — that can wrap under the unsigned compare, so the elision must
+  // be refused even though the span arithmetic is in range.
+  FunctionBuilder b("f");
+  b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 8)));
+  b.Emit(Instruction::SubRI(Reg::kRdi, 64));
   b.Emit(Instruction::Load(Reg::kRbx, MemOperand::Base(Reg::kRdi, 16)));
   b.Emit(Instruction::Ret());
   PassResult r = Apply(b.Build(), SfiLevel::kO4);

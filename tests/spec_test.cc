@@ -1,0 +1,299 @@
+// The bounded transient-execution engine (src/spec + the Cpu window):
+// predictor training, rollback invisibility, fence/depth/fault window
+// termination, preemption across a window, and the Spectre-v1 adversary
+// against architectural vs. speculation-hardened builds.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/attack/spectre.h"
+#include "src/cpu/cpu.h"
+#include "src/ir/builder.h"
+#include "src/kernel/assembler.h"
+#include "src/plugin/pipeline.h"
+#include "src/telemetry/metrics.h"
+#include "src/workload/corpus.h"
+
+namespace krx {
+namespace {
+
+struct MiniKernel {
+  std::unique_ptr<KernelImage> image;
+  uint64_t entry = 0;
+};
+
+MiniKernel MakeKernel(Function fn) {
+  SymbolTable symbols;
+  KernelLinkInput input;
+  Assembler as;
+  std::string name = fn.name();
+  KRX_CHECK(as.Assemble(fn, &input.text).ok());
+  input.phys_bytes = 4ULL << 20;
+  auto image = LinkKernel(LayoutKind::kVanilla, std::move(input), std::move(symbols));
+  KRX_CHECK(image.ok());
+  MiniKernel mk;
+  mk.image = std::move(*image);
+  auto addr = mk.image->symbols().AddressOf(name);
+  KRX_CHECK(addr.ok());
+  mk.entry = *addr;
+  return mk;
+}
+
+CpuOptions SpecOn(uint32_t window_depth = 32) {
+  CpuOptions o;
+  o.spec.enabled = true;
+  o.spec.window_depth = window_depth;
+  return o;
+}
+
+// cmp rdi, 10; jae <taken block>. Called with rdi >= 10 on a fresh
+// (weakly-not-taken) predictor the branch mispredicts, so the fallthrough
+// block — everything `emit_wrong_path` adds — runs transiently and only
+// transiently. The architectural result is always 7.
+template <typename F>
+Function GuardedGadget(F emit_wrong_path) {
+  FunctionBuilder b("victim");
+  int32_t taken = b.ReserveBlock();
+  b.Emit(Instruction::CmpRI(Reg::kRdi, 10));
+  b.Emit(Instruction::JccBlock(Cond::kAe, taken));
+  emit_wrong_path(b);
+  b.Emit(Instruction::MovRI(Reg::kRax, 99));
+  b.Emit(Instruction::Ret());
+  b.Bind(taken);
+  b.Emit(Instruction::MovRI(Reg::kRax, 7));
+  b.Emit(Instruction::Ret());
+  return b.Build();
+}
+
+TEST(BranchPredictor, TrainsAndSaturates) {
+  BranchPredictor p;
+  const uint64_t addr = 0xFFFFFFFF81000123ULL;
+  EXPECT_FALSE(p.PredictTaken(addr));  // weakly not-taken out of reset
+  p.Update(addr, true);
+  EXPECT_TRUE(p.PredictTaken(addr));   // 1 -> 2: now predicts taken
+  p.Update(addr, true);
+  p.Update(addr, true);                // saturates at 3
+  p.Update(addr, false);
+  EXPECT_TRUE(p.PredictTaken(addr));   // 3 -> 2: still taken
+  p.Update(addr, false);
+  EXPECT_FALSE(p.PredictTaken(addr));  // 2 -> 1
+  p.Update(addr, true);
+  p.Reset();
+  EXPECT_FALSE(p.PredictTaken(addr));
+}
+
+TEST(SideChannelObserver, LineGranularity) {
+  SideChannelObserver obs;
+  obs.Touch(0x1000);
+  EXPECT_TRUE(obs.LineTouched(0x1000));
+  EXPECT_TRUE(obs.LineTouched(0x103F));  // same 64-byte line
+  EXPECT_FALSE(obs.LineTouched(0x1040));
+  EXPECT_EQ(obs.line_count(), 1u);
+  obs.Clear();
+  EXPECT_FALSE(obs.LineTouched(0x1000));
+  EXPECT_EQ(obs.line_count(), 0u);
+}
+
+TEST(Spec, MaskClampsArchitecturally) {
+  FunctionBuilder b("f");
+  b.Emit(Instruction::MovRR(Reg::kRax, Reg::kRdi));
+  b.Emit(Instruction::MaskRI(Reg::kRax, 100));
+  b.Emit(Instruction::Ret());
+  MiniKernel mk = MakeKernel(b.Build());
+  Cpu cpu(mk.image.get());
+  EXPECT_EQ(cpu.CallFunction(mk.entry, {50}).rax, 50u);
+  EXPECT_EQ(cpu.CallFunction(mk.entry, {100}).rax, 100u);  // inclusive bound
+  EXPECT_EQ(cpu.CallFunction(mk.entry, {101}).rax, 0u);    // clamps, no trap
+}
+
+TEST(Spec, RunResultBitIdenticalWithWindowOnOrOff) {
+  Function fn = GuardedGadget([](FunctionBuilder& b) {
+    b.Emit(Instruction::Load(Reg::kRcx, MemOperand::Base(Reg::kRsp, 0)));
+    b.Emit(Instruction::AddRR(Reg::kRax, Reg::kRcx));
+  });
+  MiniKernel mk = MakeKernel(fn);
+  Cpu plain(mk.image.get());
+  Cpu spec(mk.image.get(), CostModel(), SpecOn());
+  for (uint64_t arg : {100u, 3u, 100u, 3u}) {
+    RunResult a = plain.CallFunction(mk.entry, {arg});
+    RunResult s = spec.CallFunction(mk.entry, {arg});
+    EXPECT_EQ(a.reason, s.reason);
+    EXPECT_EQ(a.rax, s.rax);
+    EXPECT_EQ(a.instructions, s.instructions);
+    EXPECT_EQ(a.deci_cycles, s.deci_cycles);
+    EXPECT_TRUE(a.mix == s.mix);
+  }
+}
+
+TEST(Spec, MispredictionRunsWrongPathAndRollsBack) {
+  Function fn = GuardedGadget([](FunctionBuilder& b) {
+    // Transient-only: a load (leaves a line in the observer) and a register
+    // clobber that must never become architectural.
+    b.Emit(Instruction::Load(Reg::kRcx, MemOperand::Base(Reg::kRsp, 0)));
+    b.Emit(Instruction::MovRI(Reg::kRdx, 0xDEAD));
+  });
+  MiniKernel mk = MakeKernel(fn);
+  Cpu cpu(mk.image.get(), CostModel(), SpecOn());
+  SideChannelObserver obs;
+  cpu.set_side_channel_observer(&obs);
+  cpu.set_reg(Reg::kRdx, 0x1111);
+  RunResult r = cpu.CallFunction(mk.entry, {100});
+  EXPECT_EQ(r.reason, StopReason::kReturned);
+  EXPECT_EQ(r.rax, 7u);  // the architectural (taken) path
+  EXPECT_EQ(cpu.spec_stats().mispredictions, 1u);
+  EXPECT_EQ(cpu.spec_stats().windows_opened, 1u);
+  EXPECT_GT(obs.line_count(), 0u);                 // the residue survives
+  EXPECT_NE(cpu.reg(Reg::kRdx), 0xDEADu);          // the clobber does not
+}
+
+TEST(Spec, TrainedBranchStopsMispredicting) {
+  Function fn = GuardedGadget([](FunctionBuilder& b) {
+    b.Emit(Instruction::Load(Reg::kRcx, MemOperand::Base(Reg::kRsp, 0)));
+  });
+  MiniKernel mk = MakeKernel(fn);
+  Cpu cpu(mk.image.get(), CostModel(), SpecOn());
+  for (int i = 0; i < 4; ++i) cpu.CallFunction(mk.entry, {100});
+  const uint64_t windows = cpu.spec_stats().windows_opened;
+  EXPECT_EQ(windows, 1u);  // only the cold first call mispredicted
+  cpu.CallFunction(mk.entry, {100});
+  EXPECT_EQ(cpu.spec_stats().windows_opened, windows);
+}
+
+TEST(Spec, FenceKillsWindowBeforeTheLoad) {
+  Function fn = GuardedGadget([](FunctionBuilder& b) {
+    b.Emit(Instruction::SpecFence());
+    b.Emit(Instruction::Load(Reg::kRcx, MemOperand::Base(Reg::kRsp, 0)));
+  });
+  MiniKernel mk = MakeKernel(fn);
+  Cpu cpu(mk.image.get(), CostModel(), SpecOn());
+  SideChannelObserver obs;
+  cpu.set_side_channel_observer(&obs);
+  RunResult r = cpu.CallFunction(mk.entry, {100});
+  EXPECT_EQ(r.rax, 7u);
+  EXPECT_EQ(cpu.spec_stats().windows_opened, 1u);
+  EXPECT_EQ(cpu.spec_stats().fence_kills, 1u);
+  EXPECT_EQ(cpu.spec_stats().wrong_path_insts, 1u);  // the fence itself
+  EXPECT_EQ(obs.line_count(), 0u);                   // load never issued
+}
+
+TEST(Spec, NestedBranchesHitTheDepthCap) {
+  // The wrong path is an infinite loop with a (never-taken) nested branch:
+  // add; cmp; jcc; jmp — the window must consume predictor-steered nested
+  // branches without unwinding them and stop exactly at the depth cap.
+  FunctionBuilder b("victim");
+  int32_t taken = b.ReserveBlock();
+  int32_t loop = b.ReserveBlock();
+  int32_t stray = b.ReserveBlock();
+  b.Emit(Instruction::CmpRI(Reg::kRdi, 10));
+  b.Emit(Instruction::JccBlock(Cond::kAe, taken));
+  b.Bind(loop);
+  b.Emit(Instruction::AddRI(Reg::kRax, 1));
+  b.Emit(Instruction::CmpRI(Reg::kRdi, 0));
+  b.Emit(Instruction::JccBlock(Cond::kE, stray));
+  b.Emit(Instruction::JmpBlock(loop));
+  b.Bind(stray);
+  b.Emit(Instruction::MovRI(Reg::kRax, 98));
+  b.Emit(Instruction::Ret());
+  b.Bind(taken);
+  b.Emit(Instruction::MovRI(Reg::kRax, 7));
+  b.Emit(Instruction::Ret());
+
+  MiniKernel mk = MakeKernel(b.Build());
+  Cpu cpu(mk.image.get(), CostModel(), SpecOn(/*window_depth=*/12));
+  RunResult r = cpu.CallFunction(mk.entry, {100});
+  EXPECT_EQ(r.rax, 7u);
+  EXPECT_EQ(cpu.spec_stats().windows_opened, 1u);
+  EXPECT_EQ(cpu.spec_stats().wrong_path_insts, 12u);  // exactly the cap
+  EXPECT_EQ(cpu.spec_stats().nested_branches, 3u);    // one per iteration
+  EXPECT_EQ(cpu.spec_stats().transient_faults, 0u);
+}
+
+TEST(Spec, PreemptLandsAfterTheWindowNotInsideIt) {
+  // RequestPreempt fired by the step observer at the mispredicting branch:
+  // the window is simulated atomically with that branch's retirement, so
+  // the run must stop *after* a fully-counted window, at the next boundary.
+  Function fn = GuardedGadget([](FunctionBuilder& b) {
+    b.Emit(Instruction::Load(Reg::kRcx, MemOperand::Base(Reg::kRsp, 0)));
+  });
+  MiniKernel mk = MakeKernel(fn);
+  Cpu cpu(mk.image.get(), CostModel(), SpecOn());
+  uint64_t retired = 0;
+  cpu.set_step_observer([&cpu, &retired](const Cpu&) {
+    if (++retired == 2) {  // cmp, then the jae that opens the window
+      cpu.RequestPreempt();
+    }
+  });
+  RunResult r = cpu.CallFunction(mk.entry, {100});
+  EXPECT_EQ(r.reason, StopReason::kDeadlineExceeded);
+  EXPECT_EQ(r.instructions, 2u);  // mov rax, 7 never retired
+  EXPECT_EQ(cpu.spec_stats().windows_opened, 1u);
+  EXPECT_GT(cpu.spec_stats().wrong_path_insts, 0u);
+}
+
+TEST(Spec, DeadlinePreemptsASpinningSpecRun) {
+  FunctionBuilder b("spin");
+  int32_t loop = b.ReserveBlock();
+  int32_t out = b.ReserveBlock();
+  b.Emit(Instruction::MovRI(Reg::kRax, 1));
+  b.Bind(loop);
+  b.Emit(Instruction::AddRI(Reg::kRax, 1));
+  b.Emit(Instruction::CmpRI(Reg::kRax, 0));
+  b.Emit(Instruction::JccBlock(Cond::kE, out));  // never taken
+  b.Emit(Instruction::JmpBlock(loop));
+  b.Bind(out);
+  b.Emit(Instruction::Ret());
+  MiniKernel mk = MakeKernel(b.Build());
+  Cpu cpu(mk.image.get(), CostModel(), SpecOn());
+  RunOptions opts;
+  opts.max_steps = 1ULL << 40;
+  opts.deadline_us = 2000;
+  RunResult r = cpu.CallFunction(mk.entry, {}, opts);
+  EXPECT_EQ(r.reason, StopReason::kDeadlineExceeded);
+  EXPECT_GT(cpu.spec_stats().predictions, 0u);
+}
+
+TEST(Spec, CountersReachTheMetricsRegistry) {
+  Function fn = GuardedGadget([](FunctionBuilder& b) {
+    b.Emit(Instruction::Load(Reg::kRcx, MemOperand::Base(Reg::kRsp, 0)));
+  });
+  MiniKernel mk = MakeKernel(fn);
+  auto& reg = telemetry::MetricsRegistry::Global();
+  const uint64_t windows_before = reg.GetCounter("spec.windows").value();
+  const uint64_t pred_before = reg.GetCounter("spec.predictions").value();
+  Cpu cpu(mk.image.get(), CostModel(), SpecOn());
+  cpu.CallFunction(mk.entry, {100});
+  EXPECT_EQ(reg.GetCounter("spec.windows").value(), windows_before + 1);
+  EXPECT_GT(reg.GetCounter("spec.predictions").value(), pred_before);
+}
+
+// The end-to-end contract the security evaluation enforces across the whole
+// config matrix, pinned here on three builds: architectural checks leak,
+// both hardened axes do not — each dying its own way.
+TEST(Spec, SpectreLeaksArchitecturalOnlyConfigs) {
+  KernelSource src = MakeBaseSource();
+  auto sfi = CompileKernel(src, {ProtectionConfig::SfiOnly(SfiLevel::kO3),
+                                 LayoutKind::kKrx});
+  ASSERT_TRUE(sfi.ok()) << sfi.status().ToString();
+  SpectreV1Result leak = SpectreV1Attack(*sfi, /*secret_bytes=*/2);
+  EXPECT_TRUE(leak.outcome.success);
+  EXPECT_GE(leak.bytes_leaked, 1u);
+
+  auto barrier = CompileKernel(
+      src, {ProtectionConfig::SpecHardened(SpecMitigation::kBarrier), LayoutKind::kKrx});
+  ASSERT_TRUE(barrier.ok()) << barrier.status().ToString();
+  SpectreV1Result fenced = SpectreV1Attack(*barrier, /*secret_bytes=*/2);
+  EXPECT_FALSE(fenced.outcome.success);
+  EXPECT_EQ(fenced.bytes_leaked, 0u);
+  EXPECT_GT(fenced.fence_kills, 0u);  // lfence ended the windows
+
+  auto mask = CompileKernel(
+      src, {ProtectionConfig::SpecHardened(SpecMitigation::kMask), LayoutKind::kKrx});
+  ASSERT_TRUE(mask.ok()) << mask.status().ToString();
+  SpectreV1Result masked = SpectreV1Attack(*mask, /*secret_bytes=*/2);
+  EXPECT_FALSE(masked.outcome.success);
+  EXPECT_EQ(masked.bytes_leaked, 0u);
+  EXPECT_GT(masked.transient_faults, 0u);  // clamped-to-0 loads fault out
+}
+
+}  // namespace
+}  // namespace krx

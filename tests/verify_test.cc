@@ -137,6 +137,36 @@ TEST(VerifyMatrix, EveryProtectedConfigVerifies) {
   }
 }
 
+TEST(VerifyMatrix, SpecHardenedConfigsVerify) {
+  for (SpecMitigation m : {SpecMitigation::kBarrier, SpecMitigation::kMask}) {
+    ProtectionConfig config = ProtectionConfig::SpecHardened(m);
+    CompiledKernel kernel = Build(config, LayoutKind::kKrx);
+    VerifyReport report = VerifyImage(*kernel.image, VerifyOptions::ForConfig(config));
+    EXPECT_TRUE(report.ok()) << report.Summary(4);
+    EXPECT_GT(report.counters.range_checks_seen, 0u);
+  }
+}
+
+TEST(VerifyMatrix, UnfencedChecksAreCaughtUnderBarrierRule) {
+  // An sfi-o3 build proves confinement but emits no lfences; verifying it
+  // with the barrier mitigation claimed must flag every check as unfenced.
+  CompiledKernel kernel = Build(ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx);
+  VerifyOptions opts = VerifyOptions::ForConfig(kernel.config);
+  ASSERT_TRUE(VerifyImage(*kernel.image, opts).ok());
+  opts.spec = SpecMitigation::kBarrier;
+  ExpectOnlyRule(VerifyImage(*kernel.image, opts), RuleId::kSpecBarrier);
+}
+
+TEST(VerifyMatrix, SurvivingChecksAreCaughtUnderMaskRule) {
+  // Under spec-mask no conditional range check may survive at all — the same
+  // sfi-o3 image must be rejected with the mask rule when verified as such.
+  CompiledKernel kernel = Build(ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx);
+  VerifyOptions opts = VerifyOptions::ForConfig(kernel.config);
+  ASSERT_TRUE(VerifyImage(*kernel.image, opts).ok());
+  opts.spec = SpecMitigation::kMask;
+  ExpectOnlyRule(VerifyImage(*kernel.image, opts), RuleId::kSpecMask);
+}
+
 TEST(VerifyMatrix, ExemptFunctionsAreSkippedButStayDangerous) {
   // Pick a function the O3 pass actually instrumented...
   CompiledKernel baseline = Build(ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx);

@@ -8,11 +8,14 @@
 # deadline, retry, degradation-ladder and checkpoint/restore tests) with the
 # chaos campaign acceptance gate, the fleet stage (multi-tenant CoW sharing
 # tests plus the Poisson traffic bench with its dedup-ratio and
-# thread-scaling gates), and the static-analysis stage (krx_verify over the
-# full config matrix, proving every image — including the O4-optimized ones
-# — still carries a sufficient dominating check for each load/store).
+# thread-scaling gates), the spec stage (transient-execution subsystem tests
+# plus the Spectre-v1 mitigation bench, which fails if a hardened config
+# leaks or the unhardened baseline does not), and the static-analysis stage
+# (krx_verify over the full config matrix — including spec-barrier and
+# spec-mask — proving every image still carries a sufficient dominating
+# check, fence, or clamp for each load/store).
 # Produces the BENCH_fault.json, BENCH_rerand.json, BENCH_perf.json,
-# BENCH_chaos.json, BENCH_fleet.json, BENCH_trace.json and
+# BENCH_chaos.json, BENCH_fleet.json, BENCH_trace.json, BENCH_spec.json and
 # BENCH_attacks_trace.json artifacts.
 # The full (non-quick) run re-verifies under the ASan preset and adds a
 # ThreadSanitizer preset pass over the telemetry-labelled suites.
@@ -75,6 +78,13 @@ echo "==> telemetry stage: per-attack timeline (build/BENCH_attacks_trace.json)"
   echo "security_eval chrome trace failed validation" >&2; exit 1;
 }
 
+echo "==> spec stage: transient-execution tests + mitigation bench (build/BENCH_spec.json)"
+ctest --test-dir build -L spec --output-on-failure -j4
+./build/bench/spec_eval --quick --json > build/BENCH_spec.json || {
+  echo "spec_eval acceptance failed (hardened config leaked, or sfi-o3 did not)" >&2
+  exit 1
+}
+
 echo "==> supervise stage: watchdog/retry/health/checkpoint tests"
 ctest --test-dir build -L supervise --output-on-failure -j4
 
@@ -111,6 +121,9 @@ if [ "$QUICK" -eq 0 ]; then
 
   echo "==> telemetry labels (asan preset)"
   ctest --test-dir build-asan -L telemetry --output-on-failure -j4
+
+  echo "==> spec labels (asan preset)"
+  ctest --test-dir build-asan -L spec --output-on-failure -j4
 
   echo "==> supervise labels (asan preset)"
   ctest --test-dir build-asan -L supervise --output-on-failure -j4

@@ -217,10 +217,12 @@ int Main(int argc, char** argv) {
     std::printf("\nSFI stats: %" PRIu64 " read sites (%" PRIu64 " safe, %" PRIu64
                 " rsp-guarded, %" PRIu64 " string), %" PRIu64 " checks emitted, %" PRIu64
                 " coalesced (%.1f%%), %" PRIu64 " hoisted, wrappers %" PRIu64 " kept / %" PRIu64
-                " elided, lea %" PRIu64 " kept / %" PRIu64 " elided\n",
+                " elided, lea %" PRIu64 " kept / %" PRIu64 " elided, spec %" PRIu64
+                " barriers / %" PRIu64 " masks\n",
                 s.read_sites, s.safe_reads, s.rsp_reads, s.string_checks, s.checks_emitted,
                 s.checks_coalesced, s.CoalescingRate(), s.checks_hoisted, s.wrappers_kept,
-                s.wrappers_eliminated, s.lea_kept, s.lea_eliminated);
+                s.wrappers_eliminated, s.lea_kept, s.lea_eliminated, s.spec_barriers,
+                s.spec_masks);
   }
 
   // Verifier view of the same image (binary-level, pass-independent). On a
@@ -254,11 +256,12 @@ int Main(int argc, char** argv) {
   // Per-function census: the pass's emitted/elided/hoisted counts next to
   // what the verifier independently proved in the same function.
   if (per_function) {
-    std::printf("\n%-28s %8s %8s %8s | %8s %10s %8s\n", "function", "emitted", "elided",
-                "hoisted", "reads", "justified", "checks");
+    std::printf("\n%-28s %8s %8s %8s %8s %8s | %8s %10s %8s\n", "function", "emitted", "elided",
+                "hoisted", "barrier", "mask", "reads", "justified", "checks");
     for (const auto& [fn, s] : kernel->stats.per_function) {
-      std::printf("%-28s %8" PRIu64 " %8" PRIu64 " %8" PRIu64, fn.c_str(), s.checks_emitted,
-                  s.checks_coalesced, s.checks_hoisted);
+      std::printf("%-28s %8" PRIu64 " %8" PRIu64 " %8" PRIu64 " %8" PRIu64 " %8" PRIu64,
+                  fn.c_str(), s.checks_emitted, s.checks_coalesced, s.checks_hoisted,
+                  s.spec_barriers, s.spec_masks);
       const FunctionReadCensus* census = nullptr;
       for (const auto& [vfn, vc] : report.per_function) {
         if (vfn == fn) {

@@ -302,6 +302,22 @@ int CmdMetrics(const std::string& config_name, uint64_t seed, bool csv) {
     engine.clear_failpoint();
   }
 
+  // Part 3: speculation telemetry. Train the Spectre victim's bounds
+  // branch in-bounds, then call once out-of-bounds on a spec-enabled Cpu:
+  // the mispredicted window runs the guarded load transiently, so the
+  // spec.* counters (windows, predictions, wrong-path instructions, lines
+  // touched) land in the snapshot exactly as a hardened deployment's
+  // monitoring would see them.
+  if (buf.ok()) {
+    CpuOptions sopts;
+    sopts.spec.enabled = true;
+    Cpu cpu(&image, CostModel(), sopts);
+    for (int i = 0; i < 4; ++i) {
+      (void)cpu.CallFunction("spec_victim", {0, *buf});
+    }
+    (void)cpu.CallFunction("spec_victim", {1ull << 20, *buf});
+  }
+
   if (csv) {
     std::printf("%s", telemetry::MetricsRegistry::Global().SnapshotCsv().c_str());
   } else {

@@ -4,8 +4,8 @@
 // Usage:
 //   krx_verify [--expect-fail] [--per-function] <config>
 //   krx_verify all                        verify the whole config matrix
-//     config: vanilla | sfi-o0..sfi-o4 | mpx | mpx-o4 | d | x | sfi+d |
-//             sfi+x | mpx+d | mpx+x
+//     config: vanilla | sfi-o0..sfi-o4 | mpx | mpx-o4 | spec-barrier |
+//             spec-mask | d | x | sfi+d | sfi+x | mpx+d | mpx+x
 //
 // --per-function additionally prints, for every verified function, how many
 // reads the read-confinement abstract interpreter saw, how many it proved
@@ -109,7 +109,8 @@ int Main(int argc, char** argv) {
     // Vanilla must fail R^X; every kR^X config must verify clean.
     int worst = VerifyOneConfig("vanilla", /*expect_fail=*/true);
     for (const char* name : {"sfi-o0", "sfi-o1", "sfi-o2", "sfi-o3", "sfi-o4", "mpx", "mpx-o4",
-                             "d", "x", "sfi+d", "sfi+x", "mpx+d", "mpx+x"}) {
+                             "spec-barrier", "spec-mask", "d", "x", "sfi+d", "sfi+x", "mpx+d",
+                             "mpx+x"}) {
       int rc = VerifyOneConfig(name, /*expect_fail=*/false, per_function);
       worst = std::max(worst, rc);
     }
