@@ -5,9 +5,13 @@
 // simulator executes a bench matrix with the predecoded block cache on vs.
 // off, and how run time scales across worker threads. Three phases:
 //
-//   1. differential — the same matrix, uncached then cached, single thread.
-//      Guest-visible work (calls, retired instructions, deci-cycles, the
-//      rax checksum) must be bit-identical; wall time should not be.
+//   1. differential — the same matrix through all three engines
+//      (single-step, block cache, superblock), single thread. Guest-visible
+//      work (calls, retired instructions, deci-cycles, the rax checksum)
+//      must be bit-identical; wall time should not be. The superblock leg
+//      is gated: it must strictly beat the block-cache speedup measured in
+//      the same run (the PR 3 floor was 2.33x; the target is >= 3.0x over
+//      single-step).
 //   2. scaling — the cached matrix at 1, 2 and 4 threads over shared
 //      compiled kernels (the kernel cache compiles each column once).
 //   3. telemetry — the observability overhead gate: the cached matrix with
@@ -51,12 +55,6 @@ struct Args {
   std::string json_path;
   std::string trace_path;  // chrome trace of the fully-traced run
 };
-
-double TotalWallMs(const std::vector<TaskResult>& results) {
-  double ms = 0;
-  for (const TaskResult& r : results) ms += r.wall_ms;
-  return ms;
-}
 
 uint64_t TotalInstructions(const std::vector<TaskResult>& results) {
   uint64_t n = 0;
@@ -168,35 +166,107 @@ int Main(int argc, char** argv) {
 
   KernelCache cache(MakeBenchSourceFactory(args.seed));
 
-  // Phase 1: cached-vs-uncached differential, single thread.
+  // Phase 1: cached-vs-uncached differential, single thread. Each engine
+  // leg runs kTimingRuns times and its wall time is the sum of *per-task*
+  // minima (noise only ever inflates a measurement, so the min is the
+  // robust estimator — phase 3's trick, applied per task because a
+  // scheduler hiccup lands in one task of one run, and a whole-leg min
+  // would need a completely clean run to dodge it): the quick matrix's
+  // legs are a few ms each, short enough that one hiccup on a single-run
+  // measurement could flip the superblock-vs-cache comparison below.
+  // Guest-state identity is checked on the retained first run of each
+  // leg; reruns are timing-only (determinism across runs is the tier-1
+  // suites' job).
+  constexpr int kTimingRuns = 3;
+  const auto run_leg = [&](const BenchRunnerOptions& opts, std::vector<TaskResult>* results,
+                           double* best_ms) {
+    *results = BenchRunner(opts, &cache).Run(tasks);
+    std::vector<double> per_task(results->size());
+    for (size_t t = 0; t < results->size(); ++t) {
+      per_task[t] = (*results)[t].wall_ms;
+    }
+    for (int i = 1; i < kTimingRuns; ++i) {
+      const std::vector<TaskResult> rerun = BenchRunner(opts, &cache).Run(tasks);
+      for (size_t t = 0; t < rerun.size(); ++t) {
+        per_task[t] = std::min(per_task[t], rerun[t].wall_ms);
+      }
+    }
+    *best_ms = 0;
+    for (const double ms : per_task) *best_ms += ms;
+  };
+
   BenchRunnerOptions uncached_opts;
   uncached_opts.threads = 1;
   uncached_opts.seed = args.seed;
   uncached_opts.use_block_cache = false;
-  std::vector<TaskResult> uncached = BenchRunner(uncached_opts, &cache).Run(tasks);
+  std::vector<TaskResult> uncached;
+  double uncached_ms = 0;
+  run_leg(uncached_opts, &uncached, &uncached_ms);
 
   BenchRunnerOptions cached_opts = uncached_opts;
   cached_opts.use_block_cache = true;
-  std::vector<TaskResult> cached = BenchRunner(cached_opts, &cache).Run(tasks);
+  std::vector<TaskResult> cached;
+  double cached_ms = 0;
+  run_leg(cached_opts, &cached, &cached_ms);
+
+  BenchRunnerOptions sb_opts = uncached_opts;
+  sb_opts.engine = ExecEngine::kSuperblock;
+  std::vector<TaskResult> superblocked;
+  double sb_ms = 0;
+  run_leg(sb_opts, &superblocked, &sb_ms);
 
   std::string why;
   const bool identical = Identical(uncached, cached, &why);
-  const double uncached_ms = TotalWallMs(uncached);
-  const double cached_ms = TotalWallMs(cached);
   const double speedup = cached_ms > 0 ? uncached_ms / cached_ms : 0;
   double hit_rate = 0;
   for (const TaskResult& r : cached) hit_rate += r.cache_hit_rate;
   if (!cached.empty()) hit_rate /= static_cast<double>(cached.size());
 
-  std::printf("phase 1 — differential (1 thread)\n");
-  std::printf("  uncached: %10.1f ms   %llu guest instructions\n", uncached_ms,
+  // Superblock leg: same matrix, translate-and-chain engine. The gate is
+  // relative (beat the block cache measured in this very run, i.e. the
+  // 2.33x floor PR 3 recorded) so host-load noise cancels out of the
+  // comparison; the absolute >= 3.0x target is reported alongside.
+  std::string sb_why;
+  const bool sb_identical = Identical(uncached, superblocked, &sb_why);
+  const double sb_speedup = sb_ms > 0 ? uncached_ms / sb_ms : 0;
+  constexpr double kBlockCacheFloor = 2.33;  // PR 3's recorded speedup
+  constexpr double kSuperblockTarget = 3.0;
+  uint64_t sb_chains = 0, sb_entries = 0, sb_breaks = 0;
+  double sb_fast_share = 0, sb_tlb_rate = 0;
+  for (const TaskResult& r : superblocked) {
+    sb_chains += r.sb_chains_built;
+    sb_entries += r.sb_entries;
+    sb_breaks += r.sb_chain_breaks;
+    sb_fast_share += r.sb_fastpath_share;
+    sb_tlb_rate += r.sb_tlb_hit_rate;
+  }
+  if (!superblocked.empty()) {
+    sb_fast_share /= static_cast<double>(superblocked.size());
+    sb_tlb_rate /= static_cast<double>(superblocked.size());
+  }
+  const bool sb_ok = sb_identical && sb_speedup > speedup && sb_speedup > kBlockCacheFloor;
+
+  std::printf("phase 1 — differential (1 thread, three engines)\n");
+  std::printf("  single-step: %10.1f ms   %llu guest instructions\n", uncached_ms,
               (unsigned long long)TotalInstructions(uncached));
-  std::printf("  cached:   %10.1f ms   mean block-cache hit rate %.1f%%\n", cached_ms,
-              100.0 * hit_rate);
-  std::printf("  speedup:  %9.2fx   guest state %s\n", speedup,
-              identical ? "IDENTICAL" : "DIVERGED");
+  std::printf("  block cache: %10.1f ms   mean hit rate %.1f%%   speedup %.2fx\n", cached_ms,
+              100.0 * hit_rate, speedup);
+  std::printf("  superblock:  %10.1f ms   speedup %.2fx   guest state %s\n", sb_ms, sb_speedup,
+              sb_identical ? "IDENTICAL" : "DIVERGED");
+  std::printf("  sb chains: %llu built, %llu entries, %llu breaks, fastpath share %.1f%%, "
+              "inline-TLB hit rate %.1f%%\n",
+              (unsigned long long)sb_chains, (unsigned long long)sb_entries,
+              (unsigned long long)sb_breaks, 100.0 * sb_fast_share, 100.0 * sb_tlb_rate);
+  std::printf("  sb gate: beat block cache (%.2fx > %.2fx) %s; floor %.2fx %s; "
+              "target >= %.1fx %s\n",
+              sb_speedup, speedup, sb_speedup > speedup ? "OK" : "FAIL", kBlockCacheFloor,
+              sb_speedup > kBlockCacheFloor ? "OK" : "FAIL", kSuperblockTarget,
+              sb_speedup >= kSuperblockTarget ? "OK" : "(short on this machine)");
   if (!identical) {
     std::printf("  FAIL: %s\n", why.c_str());
+  }
+  if (!sb_identical) {
+    std::printf("  FAIL (superblock): %s\n", sb_why.c_str());
   }
 
   // Phase 2: thread scaling of the cached configuration. Kernels are warm
@@ -333,7 +403,7 @@ int Main(int argc, char** argv) {
               (unsigned long long)census_o4.checks_emitted,
               (unsigned long long)census_o4.checks_hoisted, census_delta_pct);
 
-  bool all_ok = identical && overhead_ok && traced_identical;
+  bool all_ok = identical && sb_ok && overhead_ok && traced_identical;
   for (const TaskResult& r : widest) {
     if (!r.ok) {
       std::printf("task failed: %s: %s\n", r.name.c_str(), r.error.c_str());
@@ -358,6 +428,17 @@ int Main(int argc, char** argv) {
                   tasks.size(), configs.size(), repeat, (unsigned long long)args.seed,
                   args.quick ? "true" : "false", hw, identical ? "true" : "false", uncached_ms,
                   cached_ms, speedup, hit_rate);
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"superblock\": {\"identical\": %s, \"wall_ms\": %.3f, \"speedup\": %.3f, "
+                  "\"block_cache_floor\": %.2f, \"beats_floor\": %s, \"beats_block_cache\": %s, "
+                  "\"sb.chains_built\": %llu, \"sb.entries\": %llu, \"sb.chain_breaks\": %llu, "
+                  "\"sb.fastpath_share\": %.4f, \"sb.tlb_hit_rate\": %.4f},\n",
+                  sb_identical ? "true" : "false", sb_ms, sb_speedup, kBlockCacheFloor,
+                  sb_speedup > kBlockCacheFloor ? "true" : "false",
+                  sb_speedup > speedup ? "true" : "false", (unsigned long long)sb_chains,
+                  (unsigned long long)sb_entries, (unsigned long long)sb_breaks, sb_fast_share,
+                  sb_tlb_rate);
     json += buf;
     std::snprintf(buf, sizeof(buf),
                   "  \"telemetry\": {\"disabled_wall_ms\": %.3f, \"metrics_wall_ms\": %.3f, "
@@ -411,8 +492,9 @@ int Main(int argc, char** argv) {
     std::printf("\nRESULT: FAIL\n");
     return 1;
   }
-  std::printf("\nRESULT: OK (cache speedup %.2fx%s)\n", speedup,
-              speedup >= 2.0 ? "" : " — below the 2x target on this machine");
+  std::printf("\nRESULT: OK (cache speedup %.2fx, superblock speedup %.2fx%s)\n", speedup,
+              sb_speedup,
+              sb_speedup >= kSuperblockTarget ? "" : " — below the 3x target on this machine");
   return 0;
 }
 

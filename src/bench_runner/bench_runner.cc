@@ -47,11 +47,14 @@ TaskResult BenchRunner::RunOne(const BenchTask& task) const {
   RunOptions run;
   run.max_steps = options_.max_steps;
   run.use_block_cache = options_.use_block_cache;
+  run.engine = options_.engine;
   run.deadline_us = options_.deadline_us;
   // Degradation ladder: once the block cache is quarantined, every task
-  // falls back to the single-step engine (same semantics, no cache risk).
+  // falls back to the single-step engine (same semantics, no predecode
+  // risk) — superblocks are predecoded state too, so they degrade with it.
   if (options_.health != nullptr && !options_.health->block_cache_enabled()) {
     run.use_block_cache = false;
+    run.engine = ExecEngine::kSingleStep;
   }
   std::atomic<uint64_t>* pc_slot = nullptr;
   if (options_.profiler != nullptr) {
@@ -92,6 +95,12 @@ TaskResult BenchRunner::RunOne(const BenchTask& task) const {
   result.cache_hit_rate = cs.hit_rate();
   result.replayed_insts = cs.replayed_insts;
   result.decoded_insts = cs.decoded_insts;
+  const SuperblockStats& ss = cpu.superblock_cache().stats();
+  result.sb_chains_built = ss.chains_built;
+  result.sb_entries = ss.entries;
+  result.sb_chain_breaks = ss.chain_breaks;
+  result.sb_fastpath_share = ss.fastpath_share();
+  result.sb_tlb_hit_rate = ss.tlb_hit_rate();
   result.ok = result.error.empty();
   KRX_COUNTER_ADD("bench.tasks", 1);
   if (!result.ok) {

@@ -59,12 +59,24 @@ struct TaskResult {
   double cache_hit_rate = 0;
   uint64_t replayed_insts = 0;
   uint64_t decoded_insts = 0;
+
+  // Superblock telemetry of the task's Cpu (all zero unless the run used
+  // ExecEngine::kSuperblock).
+  uint64_t sb_chains_built = 0;
+  uint64_t sb_entries = 0;
+  uint64_t sb_chain_breaks = 0;
+  double sb_fastpath_share = 0;
+  double sb_tlb_hit_rate = 0;
 };
 
 struct BenchRunnerOptions {
   int threads = 1;
   uint64_t seed = 0xB0F;         // source-corpus and build seed
   bool use_block_cache = true;   // forwarded to every RunOptions
+  // Engine selection forwarded to every RunOptions; kAuto defers to
+  // use_block_cache (the historical mapping). The bench_perf superblock
+  // phase sets ExecEngine::kSuperblock here.
+  ExecEngine engine = ExecEngine::kAuto;
   uint64_t max_steps = 50'000'000;
   // Supervision hooks (all optional). A deadline preempts a runaway task's
   // guest run (StopReason::kDeadlineExceeded); `health` lets the degradation

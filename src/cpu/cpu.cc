@@ -1299,6 +1299,22 @@ void Cpu::PublishRunTelemetry(const RunResult& result) {
     KRX_COUNTER_ADD("cpu.block_cache.replayed_insts",
                     s.replayed_insts - published_cache_stats_.replayed_insts);
     published_cache_stats_ = s;
+    const SuperblockStats& sb = sb_cache_.stats();
+    KRX_COUNTER_ADD("sb.chains_built", sb.chains_built - published_sb_stats_.chains_built);
+    KRX_COUNTER_ADD("sb.blocks_chained",
+                    sb.blocks_chained - published_sb_stats_.blocks_chained);
+    KRX_COUNTER_ADD("sb.predecoded_insts",
+                    sb.predecoded_insts - published_sb_stats_.predecoded_insts);
+    KRX_COUNTER_ADD("sb.entries", sb.entries - published_sb_stats_.entries);
+    KRX_COUNTER_ADD("sb.chain_breaks", sb.chain_breaks - published_sb_stats_.chain_breaks);
+    KRX_COUNTER_ADD("sb.flushes", sb.flushes - published_sb_stats_.flushes);
+    KRX_COUNTER_ADD("sb.executed_insts",
+                    sb.executed_insts - published_sb_stats_.executed_insts);
+    KRX_COUNTER_ADD("sb.fastpath_insts",
+                    sb.fastpath_insts - published_sb_stats_.fastpath_insts);
+    KRX_COUNTER_ADD("sb.tlb_hits", sb.tlb_hits - published_sb_stats_.tlb_hits);
+    KRX_COUNTER_ADD("sb.tlb_misses", sb.tlb_misses - published_sb_stats_.tlb_misses);
+    published_sb_stats_ = sb;
     if (options_.spec.enabled) {
       const SpecStats& sp = spec_stats_;
       KRX_COUNTER_ADD("spec.predictions",
@@ -1366,11 +1382,21 @@ RunResult Cpu::RunInner(const RunOptions& options, bool entered_via_call) {
   // boundary; XnR turns fetch faults into the defense mechanism itself;
   // destructive code reads mutate text bytes without a paging event; and
   // the speculation window must observe every conditional branch as it
-  // retires. All four force the canonical fetch-decode-execute path.
-  const bool cached = options.use_block_cache && step_observer_ == nullptr &&
-                      image_->xnr() == nullptr && !image_->destructive_code_reads() &&
-                      !options_.spec.enabled;
-  if (cached) {
+  // retires. All four force the canonical fetch-decode-execute path,
+  // whichever engine the run asked for.
+  const bool cacheable = step_observer_ == nullptr && image_->xnr() == nullptr &&
+                         !image_->destructive_code_reads() && !options_.spec.enabled;
+  ExecEngine engine = options.engine;
+  if (engine == ExecEngine::kAuto) {
+    engine = options.use_block_cache ? ExecEngine::kBlockCache : ExecEngine::kSingleStep;
+  }
+  if (!cacheable) {
+    engine = ExecEngine::kSingleStep;
+  }
+  if (engine == ExecEngine::kSuperblock) {
+    return RunSuperblocked();
+  }
+  if (engine == ExecEngine::kBlockCache) {
     return RunCached();
   }
   for (uint64_t i = 0; i < max_steps_; ++i) {

@@ -31,6 +31,7 @@
 #include "src/base/status.h"
 #include "src/cpu/block_cache.h"
 #include "src/cpu/cost_model.h"
+#include "src/cpu/superblock/superblock.h"
 #include "src/kernel/image.h"
 #include "src/spec/spec.h"
 
@@ -138,6 +139,21 @@ struct CpuOptions {
 // literal at every call site).
 inline constexpr uint64_t kDefaultMaxSteps = 2'000'000;
 
+// Which execution engine a run uses. All three retire instructions through
+// the same semantics and produce bit-identical RunResults (the
+// fuzz-differential engine axis pins this down); they differ only in how
+// much decode/dispatch work is amortized:
+//   - kSingleStep: fetch + decode + execute every retired instruction;
+//   - kBlockCache: predecode straight-line blocks once, replay them;
+//   - kSuperblock: chain predecoded blocks across static and well-predicted
+//     transfers, dispatch through per-instruction handler pointers, and
+//     serve in-page data accesses from an inline translation cache
+//     (src/cpu/superblock/superblock.h).
+// kAuto preserves the legacy RunOptions::use_block_cache mapping. Runs that
+// are ineligible for cached execution (step observer, XnR, destructive code
+// reads, speculation window) fall back to single-step regardless.
+enum class ExecEngine : uint8_t { kAuto = 0, kSingleStep, kBlockCache, kSuperblock };
+
 // Per-run knobs, shared by CallFunction and RunAt.
 struct RunOptions {
   uint64_t max_steps = kDefaultMaxSteps;
@@ -156,6 +172,10 @@ struct RunOptions {
   // within 1024 instructions (single-step) into a kDeadlineExceeded result
   // — the supervision layer's answer to runaway-but-progressing guests.
   uint64_t deadline_us = 0;
+  // Engine selection; kAuto maps use_block_cache (above) so existing call
+  // sites keep their historical behavior. Setting this to a concrete engine
+  // makes use_block_cache irrelevant.
+  ExecEngine engine = ExecEngine::kAuto;
 };
 
 class Cpu {
@@ -180,6 +200,10 @@ class Cpu {
   // This CPU's predecoded-block cache (hit/decode telemetry for the bench
   // driver; entries are invalidated by the image's text generation).
   const BlockCache& block_cache() const { return cache_; }
+
+  // This CPU's superblock cache (chain/fastpath/inline-TLB telemetry and
+  // the per-superblock usage counters the per-function tables aggregate).
+  const SuperblockCache& superblock_cache() const { return sb_cache_; }
 
   // Non-empty when construction failed to allocate a kernel stack; every
   // CallFunction on such a CPU returns a kHostError result.
@@ -284,11 +308,19 @@ class Cpu {
   }
 
  private:
+  // Specialized superblock instruction handlers (src/cpu/superblock/
+  // sb_exec.cc); nested so they share the Cpu's private execution state.
+  struct SbOps;
+
   RunResult CallFunctionImpl(uint64_t entry, const std::vector<uint64_t>& args,
                              const RunOptions& options);
   RunResult Run(const RunOptions& options, bool entered_via_call);
   RunResult RunInner(const RunOptions& options, bool entered_via_call);
   RunResult RunCached();
+  // Superblock engine: chained dispatch loop and chain construction
+  // (src/cpu/superblock/sb_exec.cc).
+  RunResult RunSuperblocked();
+  Superblock BuildSuperblock(uint64_t entry);
   // Run-end metrics/events: run + trap counters, block-cache stat deltas.
   void PublishRunTelemetry(const RunResult& result);
   // Executes one instruction the canonical way (fetch + decode + execute);
@@ -350,6 +382,12 @@ class Cpu {
   // Block-cache stats already published to the metrics registry; the
   // per-run delta is what gets added (stats are cumulative per Cpu).
   BlockCacheStats published_cache_stats_;
+  SuperblockCache sb_cache_;
+  // The superblock the dispatch loop is currently walking — the handlers'
+  // route to its inline TLB. Null outside RunSuperblocked.
+  Superblock* sb_current_ = nullptr;
+  // Same published-delta discipline as the block-cache stats above.
+  SuperblockStats published_sb_stats_;
 
   // Transient-execution engine state (src/spec). The predictor and stats
   // are cumulative per Cpu; the observer is externally owned.

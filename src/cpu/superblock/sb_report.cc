@@ -1,0 +1,56 @@
+#include "src/cpu/superblock/sb_report.h"
+
+#include <algorithm>
+#include <map>
+
+namespace krx {
+
+std::vector<SbFunctionUsage> AggregateSuperblocksBySymbol(const SuperblockCache& cache,
+                                                          const SymbolTable& symbols) {
+  // Extent table once, not a symbol scan per chain: sorted by start address
+  // so each entry resolves with one upper_bound probe.
+  struct Extent {
+    uint64_t lo, hi;
+    const std::string* name;
+  };
+  std::vector<Extent> extents;
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    const Symbol& sym = symbols.at(static_cast<int32_t>(i));
+    if (!sym.defined || sym.kind != SymbolKind::kFunction || sym.size == 0) {
+      continue;
+    }
+    extents.push_back({sym.address, sym.address + sym.size, &sym.name});
+  }
+  std::sort(extents.begin(), extents.end(),
+            [](const Extent& a, const Extent& b) { return a.lo < b.lo; });
+
+  std::map<std::string, SbFunctionUsage> by_fn;
+  for (const auto& [entry, sb] : cache.entries()) {
+    static const std::string kUnattributed = "<unattributed>";
+    const std::string* name = &kUnattributed;
+    auto it = std::upper_bound(
+        extents.begin(), extents.end(), entry,
+        [](uint64_t addr, const Extent& e) { return addr < e.lo; });
+    if (it != extents.begin() && entry < std::prev(it)->hi) {
+      name = std::prev(it)->name;
+    }
+    SbFunctionUsage& u = by_fn[*name];
+    u.name = *name;
+    ++u.chains;
+    u.entered += sb->entered;
+    u.insts += sb->total_insts;
+    u.fast += sb->fast_insts;
+  }
+
+  std::vector<SbFunctionUsage> rows;
+  rows.reserve(by_fn.size());
+  for (auto& [name, usage] : by_fn) {
+    rows.push_back(std::move(usage));
+  }
+  std::sort(rows.begin(), rows.end(), [](const SbFunctionUsage& a, const SbFunctionUsage& b) {
+    return a.insts != b.insts ? a.insts > b.insts : a.name < b.name;
+  });
+  return rows;
+}
+
+}  // namespace krx

@@ -1,0 +1,43 @@
+// Per-function attribution of superblock usage — the reporting side of the
+// translate-and-chain engine, shared by the telemetry tools (`krx_trace top`
+// and `krx_objdump --stats`).
+//
+// A SuperblockCache keys chains by entry %rip; every chain rooted inside a
+// function symbol's extent attributes its usage counters (dispatches,
+// retired instructions, fastpath retirements) to that function. Chains
+// rooted outside any defined function symbol are collapsed into one
+// "<unattributed>" row so the totals stay honest.
+#ifndef KRX_SRC_CPU_SUPERBLOCK_SB_REPORT_H_
+#define KRX_SRC_CPU_SUPERBLOCK_SB_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cpu/superblock/superblock.h"
+#include "src/kernel/object.h"
+
+namespace krx {
+
+struct SbFunctionUsage {
+  std::string name;
+  uint64_t chains = 0;   // distinct superblocks rooted in the function
+  uint64_t entered = 0;  // chain dispatches
+  uint64_t insts = 0;    // instructions retired through those chains
+  uint64_t fast = 0;     // ... via the specialized fastpath handlers
+
+  double fast_share() const {
+    return insts == 0 ? 0.0 : static_cast<double>(fast) / static_cast<double>(insts);
+  }
+};
+
+// Buckets every cached superblock by the defined function symbol whose
+// extent contains its entry address. Rows are sorted by retired
+// instructions, descending (ties by name), so the hottest chained
+// functions lead the table.
+std::vector<SbFunctionUsage> AggregateSuperblocksBySymbol(const SuperblockCache& cache,
+                                                          const SymbolTable& symbols);
+
+}  // namespace krx
+
+#endif  // KRX_SRC_CPU_SUPERBLOCK_SB_REPORT_H_

@@ -1,0 +1,43 @@
+#include "src/cpu/superblock/superblock.h"
+
+#include "src/telemetry/telemetry.h"
+
+namespace krx {
+
+Superblock* SuperblockCache::Lookup(uint64_t rip, uint64_t generation) {
+  if (generation != generation_) {
+    if (!blocks_.empty()) {
+      blocks_.clear();
+      ++stats_.flushes;
+      KRX_TRACE_EVENT(kSuperblockFlush, "superblock_flush", generation, 0);
+    }
+    generation_ = generation;
+  }
+  auto it = blocks_.find(rip);
+  if (it == blocks_.end()) {
+    return nullptr;
+  }
+  return it->second.get();
+}
+
+Superblock* SuperblockCache::Insert(Superblock sb) {
+  ++stats_.chains_built;
+  stats_.blocks_chained += sb.blocks;
+  stats_.predecoded_insts += sb.insts.size();
+  KRX_TRACE_EVENT(kSuperblockBuild, "superblock_build", sb.entry, sb.insts.size());
+  uint64_t entry = sb.entry;
+  auto [it, inserted] =
+      blocks_.insert_or_assign(entry, std::make_unique<Superblock>(std::move(sb)));
+  (void)inserted;
+  return it->second.get();
+}
+
+void SuperblockCache::Flush() {
+  if (!blocks_.empty()) {
+    blocks_.clear();
+    ++stats_.flushes;
+    KRX_TRACE_EVENT(kSuperblockFlush, "superblock_flush", 0, 0);
+  }
+}
+
+}  // namespace krx

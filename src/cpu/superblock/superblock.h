@@ -1,0 +1,176 @@
+// Superblock translate-and-chain execution engine — the third krx64 engine,
+// one step past the predecoded block cache (src/cpu/block_cache.h).
+//
+// Where the block cache replays one straight-line block per dispatch and
+// returns to a hash lookup at every control transfer, a superblock chains
+// basic blocks across statically known transfers (jmp/call rel32, the
+// fall-through of a length-split block) and across *predicted* conditional
+// branches (backward-taken/forward-not-taken). Each chained transfer carries
+// the predicted successor %rip; at run time a one-compare guard
+// (`rip_ != expected_next`) detects a misprediction and exits the chain, so
+// execution is bit-identical to the single-step interpreter by construction.
+// A conditional branch whose predicted edge targets an earlier block of the
+// same superblock closes an internal loop edge: inner loops iterate entirely
+// inside one superblock with zero per-iteration lookups.
+//
+// Each superblock additionally carries:
+//  - a per-instruction handler pointer (function-pointer-table dispatch):
+//    the hottest ops (SFI cmp/ja and mask clamps, mov rr/ri/load/store,
+//    call/ret, the xkey RA xor) retire through specialized handlers with
+//    precomputed costs; everything else falls back to the generic
+//    fetchless ExecuteInst path;
+//  - an inline MMU translation cache (SbTlb): direct-mapped per-superblock
+//    entries mapping a virtual page to its data-view physical base,
+//    validated on every hit against the PageTable's atomic page-generation
+//    counter — so rerand epochs, module load/unload, XnR residency flips
+//    and checkpoint restores invalidate exactly the stale translations.
+//
+// Invalidation mirrors the block cache: entries are tagged with the image
+// text generation and flushed wholesale on mismatch; the dispatcher
+// re-checks the generation after every retired instruction so guest SMC
+// never replays stale predecode mid-chain.
+#ifndef KRX_SRC_CPU_SUPERBLOCK_SUPERBLOCK_H_
+#define KRX_SRC_CPU_SUPERBLOCK_SUPERBLOCK_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/isa/instruction.h"
+#include "src/mem/phys_mem.h"
+
+namespace krx {
+
+class Cpu;
+struct SbInst;
+
+// Retires one predecoded instruction (accounting included). Returns false
+// when the run must stop — the handler has filled Cpu::pending_.
+using SbHandler = bool (*)(Cpu&, const SbInst&);
+
+// Chain-exit successor index.
+inline constexpr int32_t kSbExit = -1;
+
+// Construction budgets: a superblock chains at most this many basic blocks
+// / total instructions. Correctness is unaffected by the caps — execution
+// falling off the end of a chain re-enters the dispatcher at the next %rip.
+inline constexpr size_t kMaxSuperblockBlocks = 16;
+inline constexpr size_t kMaxSuperblockInsts = 256;
+
+// One predecoded + scheduled instruction of a superblock.
+struct SbInst {
+  Instruction inst;
+  uint8_t size = 0;
+  // True after the last instruction of each chained basic block: the
+  // dispatcher validates the chain guard and samples preempt/deadline there
+  // (at least once per chained block, same cadence as RunCached).
+  bool end_of_block = false;
+  // Retired through a specialized handler (vs the generic ExecuteInst
+  // fallback) — the fastpath-share telemetry.
+  bool fast = false;
+  uint64_t rip = 0;       // address of this instruction
+  uint64_t rip_next = 0;  // rip + size (fall-through)
+  // Predicted %rip after this instruction retires (only meaningful when
+  // end_of_block and next != kSbExit): the chain guard compares the actual
+  // %rip against it. For jmp/call rel32 this is the exact static target.
+  uint64_t expected_next = 0;
+  // Index of the successor SbInst when the guard holds; kSbExit leaves the
+  // superblock. A backward index is an internal loop edge.
+  int32_t next = kSbExit;
+  // Precomputed deci-cycle cost (including the rip-relative-load special
+  // case) — consumed by the specialized handlers; the generic fallback
+  // recomputes it inside ExecuteInst.
+  uint32_t cost = 0;
+  SbHandler handler = nullptr;
+};
+
+// Inline MMU translation cache entry: virtual page -> data-view physical
+// page base, tagged with the page generation it was filled under.
+struct SbTlbEntry {
+  uint64_t vpage = ~0ULL;
+  uint64_t page_gen = 0;
+  uint64_t paddr_base = 0;  // (data) frame << kPageShift
+  bool writable = false;
+  // The frame backs executable pages: a store through this entry is
+  // (possibly synonym-mediated) self-modification and must bump the image
+  // text generation, exactly like Cpu::DataWrite64.
+  bool aliases_code = false;
+};
+
+inline constexpr size_t kSbTlbEntries = 8;  // direct-mapped, per superblock
+
+struct SbTlb {
+  SbTlbEntry entries[kSbTlbEntries];
+
+  SbTlbEntry& EntryFor(uint64_t vaddr) {
+    return entries[(vaddr >> kPageShift) & (kSbTlbEntries - 1)];
+  }
+};
+
+struct SuperblockStats {
+  uint64_t chains_built = 0;    // superblocks constructed
+  uint64_t blocks_chained = 0;  // basic blocks folded into chains
+  uint64_t predecoded_insts = 0;
+  uint64_t entries = 0;         // superblock dispatches
+  uint64_t chain_breaks = 0;    // guard mispredicts (chain left early)
+  uint64_t flushes = 0;         // wholesale invalidations (text generation)
+  uint64_t executed_insts = 0;  // instructions retired through superblocks
+  uint64_t fastpath_insts = 0;  // ... through specialized handlers
+  uint64_t tlb_hits = 0;        // inline-TLB data accesses served
+  uint64_t tlb_misses = 0;      // fills + canonical-path fallbacks
+
+  double fastpath_share() const {
+    return executed_insts == 0
+               ? 0.0
+               : static_cast<double>(fastpath_insts) / static_cast<double>(executed_insts);
+  }
+  double tlb_hit_rate() const {
+    const uint64_t total = tlb_hits + tlb_misses;
+    return total == 0 ? 0.0 : static_cast<double>(tlb_hits) / static_cast<double>(total);
+  }
+};
+
+struct Superblock {
+  uint64_t entry = 0;
+  uint32_t blocks = 0;  // basic blocks chained in
+  std::vector<SbInst> insts;
+  SbTlb tlb;
+  // Per-entry-point usage counters, aggregated by symbol extent for the
+  // per-function chain/fastpath tables (krx_trace top, krx_objdump --stats).
+  uint64_t entered = 0;
+  uint64_t total_insts = 0;
+  uint64_t fast_insts = 0;
+};
+
+// Owned by a single Cpu, like the BlockCache (no internal locking;
+// cross-thread invalidation rides on the image's atomic text generation and
+// the page table's atomic page generation).
+class SuperblockCache {
+ public:
+  // Returns the superblock entered at `rip`, or nullptr on a miss. A
+  // generation mismatch drops every entry (and its inline TLB) first.
+  Superblock* Lookup(uint64_t rip, uint64_t generation);
+
+  // Inserts a freshly built superblock and returns its stable address.
+  Superblock* Insert(Superblock sb);
+
+  void Flush();
+  size_t size() const { return blocks_.size(); }
+  const std::unordered_map<uint64_t, std::unique_ptr<Superblock>>& entries() const {
+    return blocks_;
+  }
+  SuperblockStats& stats() { return stats_; }
+  const SuperblockStats& stats() const { return stats_; }
+
+ private:
+  // unique_ptr values: Superblock addresses stay stable across rehashes
+  // (the dispatcher holds one across an entire chain walk).
+  std::unordered_map<uint64_t, std::unique_ptr<Superblock>> blocks_;
+  uint64_t generation_ = 0;
+  SuperblockStats stats_;
+};
+
+}  // namespace krx
+
+#endif  // KRX_SRC_CPU_SUPERBLOCK_SUPERBLOCK_H_

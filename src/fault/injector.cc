@@ -341,11 +341,13 @@ Result<InjectionOutcome> FaultInjector::InjectPtePresentClear(const std::string&
   cpu_->set_step_observer([&](const Cpu&) {
     if (++retired == trigger) {
       pte->flags.present = false;
+      image->page_table().BumpGeneration();
     }
   });
   RunResult r = cpu_->CallFunction(op, {buffer_vaddr_});
   cpu_->set_step_observer(nullptr);
   pte->flags = saved;
+  image->page_table().BumpGeneration();
 
   out.exception = r.exception;
   out.krx_violation = r.krx_violation;
@@ -394,6 +396,7 @@ Result<InjectionOutcome> FaultInjector::InjectPteWxSet(const std::string& op, Rn
   cpu_->set_step_observer([&](const Cpu&) {
     if (++retired == trigger) {
       pte->flags.writable = true;
+      image->page_table().BumpGeneration();
     }
   });
   RunResult r = cpu_->CallFunction(op, {buffer_vaddr_});
@@ -403,6 +406,7 @@ Result<InjectionOutcome> FaultInjector::InjectPteWxSet(const std::string& op, Rn
   // this fault. Run the audit before restoring the bit.
   const bool audit_caught = !image->page_table().FindWxViolations().empty();
   pte->flags = saved;
+  image->page_table().BumpGeneration();
 
   out.exception = r.exception;
   out.krx_violation = r.krx_violation;

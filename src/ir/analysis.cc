@@ -201,4 +201,88 @@ bool RegOffsetDerivation(const Instruction& inst, Reg* dst, Reg* src, int64_t* d
   }
 }
 
+CalleeClobberSummary ComputeCalleeClobbers(
+    const std::vector<Function>& functions,
+    const std::function<int32_t(const std::string&)>& symbol_of) {
+  struct Node {
+    int32_t symbol = -1;
+    uint64_t mask = 0;
+    std::vector<size_t> callees;
+  };
+  std::vector<Node> nodes;
+  std::unordered_map<int32_t, size_t> node_of;  // symbol id -> node index
+  nodes.reserve(functions.size());
+  for (const Function& fn : functions) {
+    const int32_t sym = symbol_of(fn.name());
+    if (sym < 0) {
+      continue;
+    }
+    Node n;
+    n.symbol = sym;
+    node_of.emplace(sym, nodes.size());
+    nodes.push_back(std::move(n));
+  }
+  size_t ni = 0;
+  for (const Function& fn : functions) {
+    if (symbol_of(fn.name()) < 0) {
+      continue;
+    }
+    Node& node = nodes[ni++];
+    bool unknown = false;
+    for (const BasicBlock& b : fn.blocks()) {
+      for (const Instruction& inst : b.insts) {
+        Reg written[6];
+        int wcount = 0;
+        InstructionRegWrites(inst, written, &wcount);
+        for (int i = 0; i < wcount; ++i) {
+          if (IsGpReg(written[i])) {
+            node.mask |= uint64_t{1} << RegIndex(written[i]);
+          }
+        }
+        // Control that leaves the function and executes as part of this
+        // call's effect: direct calls and symbolic tail jumps contribute
+        // the target's summary; indirect transfers could go anywhere.
+        const bool symbolic =
+            (inst.op == Opcode::kCallRel || inst.op == Opcode::kJmpRel) &&
+            inst.target_symbol >= 0;
+        if (symbolic) {
+          auto it = node_of.find(inst.target_symbol);
+          if (it != node_of.end()) {
+            node.callees.push_back(it->second);
+          } else {
+            unknown = true;
+          }
+        } else if (inst.IsCall() || inst.op == Opcode::kJmpR || inst.op == Opcode::kJmpM) {
+          unknown = true;
+        }
+      }
+    }
+    node.mask |= (uint64_t{1} << RegIndex(kRangeCheckScratch)) |
+                 (uint64_t{1} << RegIndex(Reg::kRsp));
+    if (unknown) {
+      node.mask = CalleeClobberSummary::kAllRegs;
+    }
+  }
+  // Transitive closure: masks only grow and are bounded, so this converges.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (Node& node : nodes) {
+      uint64_t m = node.mask;
+      for (size_t c : node.callees) {
+        m |= nodes[c].mask;
+      }
+      if (m != node.mask) {
+        node.mask = m;
+        changed = true;
+      }
+    }
+  }
+  CalleeClobberSummary out;
+  for (const Node& node : nodes) {
+    out.Set(node.symbol, node.mask);
+  }
+  return out;
+}
+
 }  // namespace krx

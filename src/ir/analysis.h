@@ -14,7 +14,10 @@
 #define KRX_SRC_IR_ANALYSIS_H_
 
 #include <cstdint>
+#include <functional>
 #include <set>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/ir/function.h"
@@ -80,6 +83,57 @@ std::vector<NaturalLoop> FindNaturalLoops(const Function& fn, const DominatorTre
 // decoded bytes; the two must stay in agreement or O4 images fail
 // post-link verify.
 bool RegOffsetDerivation(const Instruction& inst, Reg* dst, Reg* src, int64_t* delta);
+
+// ---------------------------------------------------------------------------
+// Callee-clobber summaries (O4 call-transparent elision support).
+//
+// For every function (keyed by its symbol id) the summary records the set of
+// general-purpose registers a call to it may leave modified on any returning
+// path: the union of the function's own register writes (a pop counts as a
+// write — the value made a round trip through attacker-writable memory,
+// which the §5.1.2 spill rule already treats as a kill) and, transitively,
+// of every direct callee or symbolic tail-jump target. Functions containing
+// indirect calls or jumps, or transfers to targets without a summarized
+// body, get the all-registers summary. The instrumentation scratch (%r11,
+// kRangeCheckScratch) and %rsp are always included: summaries are computed
+// over *pristine* IR, but the emitted callee additionally stages check
+// addresses through the scratch register and brackets its own checks with
+// pushfq/popfq.
+//
+// The O4 availability analysis uses this to keep coverage facts alive
+// across `call`s whose callee provably never writes the checked base
+// register, and to hoist checks out of loops whose bodies make only such
+// calls. The post-link verifier recomputes an equivalent byte-level summary
+// from the linked image and applies the same masked kill, so every elision
+// stays independently re-provable (src/verify/confinement.cc).
+class CalleeClobberSummary {
+ public:
+  static constexpr uint64_t kAllRegs = (uint64_t{1} << kNumGpRegs) - 1;
+
+  bool Known(int32_t symbol) const { return masks_.count(symbol) > 0; }
+  // Clobber mask of `symbol` (bit RegIndex(r)); kAllRegs when unknown.
+  uint64_t MaskOf(int32_t symbol) const {
+    auto it = masks_.find(symbol);
+    return it == masks_.end() ? kAllRegs : it->second;
+  }
+  // True when a call to `symbol` may modify `r`; unknown callees may
+  // modify anything.
+  bool MayClobber(int32_t symbol, Reg r) const {
+    return ((MaskOf(symbol) >> RegIndex(r)) & 1) != 0;
+  }
+  void Set(int32_t symbol, uint64_t mask) { masks_[symbol] = mask; }
+  size_t size() const { return masks_.size(); }
+
+ private:
+  std::unordered_map<int32_t, uint64_t> masks_;
+};
+
+// Computes summaries for `functions`. `symbol_of` resolves a function name
+// to its symbol id; a negative id skips the function (calls to it then hit
+// the all-clobber default).
+CalleeClobberSummary ComputeCalleeClobbers(
+    const std::vector<Function>& functions,
+    const std::function<int32_t(const std::string&)>& symbol_of);
 
 }  // namespace krx
 

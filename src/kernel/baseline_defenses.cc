@@ -78,6 +78,7 @@ Result<uint64_t> EnableHidem(KernelImage& image, uint8_t poison) {
       pte->data_frame = *shadow + i;
       ++split;
     }
+    image.page_table().BumpGeneration();
   }
   return split;
 }

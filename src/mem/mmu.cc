@@ -4,9 +4,13 @@ namespace krx {
 
 void PageTable::Map(uint64_t vaddr, uint64_t frame, PteFlags flags) {
   entries_[vaddr >> kPageShift] = Pte{frame, flags};
+  BumpGeneration();
 }
 
-void PageTable::Unmap(uint64_t vaddr) { entries_.erase(vaddr >> kPageShift); }
+void PageTable::Unmap(uint64_t vaddr) {
+  entries_.erase(vaddr >> kPageShift);
+  BumpGeneration();
+}
 
 const Pte* PageTable::Lookup(uint64_t vaddr) const {
   auto it = entries_.find(vaddr >> kPageShift);

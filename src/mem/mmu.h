@@ -9,6 +9,7 @@
 #ifndef KRX_SRC_MEM_MMU_H_
 #define KRX_SRC_MEM_MMU_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -58,6 +59,24 @@ struct PageFault {
 
 class PageTable {
  public:
+  PageTable() = default;
+  // Checkpoint capture copies the table by value; the copy starts with the
+  // source's generation (a fresh object has no cached translations yet).
+  PageTable(const PageTable& o)
+      : entries_(o.entries_),
+        generation_(o.generation_.load(std::memory_order_acquire)) {}
+  // Checkpoint restore copy-assigns entries back into the live table. The
+  // generation stays monotonic and is bumped — never rewound — so any
+  // translation cached against this table before the restore is invalid
+  // afterwards (a rewound counter could re-validate stale entries).
+  PageTable& operator=(const PageTable& o) {
+    if (this != &o) {
+      entries_ = o.entries_;
+      BumpGeneration();
+    }
+    return *this;
+  }
+
   // Maps the virtual page containing `vaddr` to `frame`. Remapping an
   // existing page replaces the entry.
   void Map(uint64_t vaddr, uint64_t frame, PteFlags flags);
@@ -76,8 +95,20 @@ class PageTable {
   // Scans for W+X mappings (kernel W^X policy audit).
   std::vector<uint64_t> FindWxViolations() const;
 
+  // Page-generation counter: bumped by every Map/Unmap (and by callers that
+  // mutate a Pte in place through LookupMutable — XnR present-bit flips, the
+  // fault injector's permission corruption). Cached translations (the
+  // superblock engine's inline TLB) are tagged with the generation at fill
+  // time and revalidate with one acquire load per hit, so rerand epochs,
+  // module load/unload and any other remap flush exactly the entries cached
+  // against an older table. The counter is shared by every Cpu's Mmu view,
+  // like the entries themselves.
+  uint64_t generation() const { return generation_.load(std::memory_order_acquire); }
+  void BumpGeneration() { generation_.fetch_add(1, std::memory_order_acq_rel); }
+
  private:
   std::unordered_map<uint64_t, Pte> entries_;  // key: vaddr >> kPageShift
+  std::atomic<uint64_t> generation_{0};
 };
 
 // Memory-access statistics, including split ITLB/DTLB lookups (the paper

@@ -196,6 +196,23 @@ Status ApplyProtection(std::vector<Function>& functions, SymbolTable& symbols,
                        const ProtectionConfig& config, int64_t edata_imm, XkeyLayout* xkeys,
                        PipelineStats* stats, Rng& rng) {
   int32_t handler_sym = symbols.Intern(kKrxHandlerName, SymbolKind::kFunction);
+  // O4 callee-clobber summaries, computed over the pristine IR before any
+  // function is mutated. Only armed when no later pass can invalidate them:
+  // register randomization renames the registers the summaries speak about,
+  // RA protection and diversification insert extra register traffic into
+  // callees, and spec hardening rewrites the checks themselves — under any
+  // of those ApplySfiPass keeps the conservative kill-everything-at-calls
+  // rule. The post-link verifier independently recomputes the masks from
+  // the final bytes (src/verify/confinement.cc), so this is never trusted.
+  CalleeClobberSummary callee_clobbers;
+  const bool use_clobbers = config.sfi == SfiLevel::kO4 && config.ra == RaScheme::kNone &&
+                            !config.randomize_registers && !config.diversify &&
+                            config.spec == SpecMitigation::kNone;
+  if (use_clobbers) {
+    callee_clobbers = ComputeCalleeClobbers(functions, [&symbols](const std::string& name) {
+      return symbols.Intern(name, SymbolKind::kFunction);
+    });
+  }
   for (Function& fn : functions) {
     ++stats->functions;
     if (fn.name() == kKrxHandlerName) {
@@ -212,7 +229,8 @@ Status ApplyProtection(std::vector<Function>& functions, SymbolTable& symbols,
     }
     if (config.HasRangeChecks() || config.mpx) {
       SfiStats fn_stats;
-      KRX_RETURN_IF_ERROR(ApplySfiPass(fn, config, handler_sym, edata_imm, &fn_stats));
+      KRX_RETURN_IF_ERROR(ApplySfiPass(fn, config, handler_sym, edata_imm, &fn_stats,
+                                       use_clobbers ? &callee_clobbers : nullptr));
       stats->sfi.Accumulate(fn_stats);
       stats->per_function.emplace_back(fn.name(), fn_stats);
       ++stats->instrumented_functions;

@@ -151,8 +151,25 @@ O4State O4Meet(const O4State& a, const O4State& b) {
 }
 
 // Kills + congruence transfer for one instruction.
-void O4ApplyInst(O4State& state, const Instruction& inst) {
+void O4ApplyInst(O4State& state, const Instruction& inst,
+                 const CalleeClobberSummary* clobbers) {
   if (inst.IsCall()) {
+    // With a callee-clobber summary, a direct call to a summarized callee
+    // kills only the registers the callee (transitively) may write. The
+    // summary always contains %rsp and the check scratch, so the call's own
+    // push and the callee's instrumentation are covered; anything else —
+    // indirect calls, un-summarized targets — stays conservative.
+    if (clobbers != nullptr && inst.op == Opcode::kCallRel && inst.target_symbol >= 0 &&
+        clobbers->Known(inst.target_symbol)) {
+      for (auto it = state.begin(); it != state.end();) {
+        if (clobbers->MayClobber(inst.target_symbol, it->first)) {
+          it = state.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      return;
+    }
     state.clear();
     return;
   }
@@ -195,7 +212,7 @@ void O4ApplyInst(O4State& state, const Instruction& inst) {
 // (synthetic checks in an otherwise empty preheader) are handled by the
 // trailing loop iteration.
 O4State O4TransferBlock(const BasicBlock& b, std::vector<ReadSite>& block_sites, O4State state,
-                        bool commit) {
+                        const CalleeClobberSummary* clobbers, bool commit) {
   size_t next_site = 0;
   for (size_t j = 0; j <= b.insts.size(); ++j) {
     while (next_site < block_sites.size() && block_sites[next_site].inst_idx == j) {
@@ -230,7 +247,7 @@ O4State O4TransferBlock(const BasicBlock& b, std::vector<ReadSite>& block_sites,
       }
     }
     if (j < b.insts.size()) {
-      O4ApplyInst(state, b.insts[j]);
+      O4ApplyInst(state, b.insts[j], clobbers);
     }
   }
   return state;
@@ -265,7 +282,8 @@ void O4Widen(O4State& in, const O4State& prev) {
 // Greatest-fixpoint elision over the whole CFG. Returns false if the
 // iteration failed to converge within the (generous) round budget — the
 // caller then falls back to the O3 analysis, which is always sound.
-bool O4Coalesce(Function& fn, std::vector<std::vector<ReadSite>>& sites_by_block) {
+bool O4Coalesce(Function& fn, std::vector<std::vector<ReadSite>>& sites_by_block,
+                const CalleeClobberSummary* clobbers) {
   const size_t n = fn.blocks().size();
   std::vector<std::vector<int32_t>> preds = PredecessorsOf(fn);
   std::vector<O4State> exit_states(n);
@@ -302,7 +320,7 @@ bool O4Coalesce(Function& fn, std::vector<std::vector<ReadSite>>& sites_by_block
       }
       in_states[bi] = in;
       O4State out = O4TransferBlock(fn.blocks()[bi], sites_by_block[bi], std::move(in),
-                                    /*commit=*/false);
+                                    clobbers, /*commit=*/false);
       if (!visited[bi] || out != exit_states[bi]) {
         visited[bi] = true;
         exit_states[bi] = std::move(out);
@@ -313,20 +331,22 @@ bool O4Coalesce(Function& fn, std::vector<std::vector<ReadSite>>& sites_by_block
 
   // Converged: replay once, committing elisions and raising the survivors.
   for (size_t bi = 0; bi < n; ++bi) {
-    O4TransferBlock(fn.blocks()[bi], sites_by_block[bi], in_states[bi], /*commit=*/true);
+    O4TransferBlock(fn.blocks()[bi], sites_by_block[bi], in_states[bi], clobbers,
+                    /*commit=*/true);
   }
   return true;
 }
 
 // Hoists loop-invariant checks: for every natural loop whose body never
-// clobbers a checked base register (no redefinition, no spill, no call), a
+// clobbers a checked base register (no redefinition, no spill, and no call
+// beyond those whose callee-clobber summary spares the base), a
 // synthetic check site is placed in a freshly inserted preheader block. The
 // in-loop sites then sit in its coverage and are elided by O4Coalesce,
 // which also widens the preheader check to the maximum in-loop
 // displacement. Loops are re-derived after each restructure; the chain
 // terminates because every hoist marks its covered sites.
 void O4HoistLoops(Function& fn, std::vector<std::vector<ReadSite>>& sites_by_block,
-                  SfiStats* local) {
+                  const CalleeClobberSummary* clobbers, SfiStats* local) {
   for (int iter = 0; iter < 32; ++iter) {
     DominatorTree dom(fn);
     std::vector<NaturalLoop> loops = FindNaturalLoops(fn, dom);
@@ -346,6 +366,19 @@ void O4HoistLoops(Function& fn, std::vector<std::vector<ReadSite>>& sites_by_blo
       for (int32_t b : loop.body) {
         for (const Instruction& inst : fn.blocks()[static_cast<size_t>(b)].insts) {
           if (inst.IsCall()) {
+            // A summarized direct callee clobbers exactly its summary mask
+            // (which already includes %rsp and the check scratch); any
+            // other call is an analysis horizon and blocks the hoist.
+            if (clobbers != nullptr && inst.op == Opcode::kCallRel &&
+                inst.target_symbol >= 0 && clobbers->Known(inst.target_symbol)) {
+              const uint64_t mask = clobbers->MaskOf(inst.target_symbol);
+              for (int r = 0; r < kNumGpRegs; ++r) {
+                if (((mask >> r) & 1) != 0) {
+                  clobbered.insert(static_cast<Reg>(r));
+                }
+              }
+              continue;
+            }
             has_call = true;
             break;
           }
@@ -488,7 +521,8 @@ double SfiStats::SafeReadRate() const {
 }
 
 Status ApplySfiPass(Function& fn, const ProtectionConfig& config, int32_t krx_handler_sym,
-                    int64_t edata_imm, SfiStats* stats) {
+                    int64_t edata_imm, SfiStats* stats,
+                    const CalleeClobberSummary* callee_clobbers) {
   if (!config.HasRangeChecks() && !config.mpx) {
     return Status::Ok();
   }
@@ -555,8 +589,8 @@ Status ApplySfiPass(Function& fn, const ProtectionConfig& config, int32_t krx_ha
   // ---- O4: loop hoisting + cross-block dominance elision. ----
   bool o4_done = false;
   if (o4) {
-    O4HoistLoops(fn, sites_by_block, &local);
-    o4_done = O4Coalesce(fn, sites_by_block);
+    O4HoistLoops(fn, sites_by_block, callee_clobbers, &local);
+    o4_done = O4Coalesce(fn, sites_by_block, callee_clobbers);
     // On (theoretical) non-convergence the O3 single-pass analysis below
     // runs instead; any synthetic preheader checks are simply kept, which
     // is redundant but sound.

@@ -46,6 +46,7 @@
 #include <cstdint>
 
 #include "src/base/status.h"
+#include "src/ir/analysis.h"
 #include "src/ir/function.h"
 #include "src/kernel/object.h"
 #include "src/plugin/pass_config.h"
@@ -81,8 +82,13 @@ struct SfiStats {
 // `edata_imm` is the link-time value the checks compare against; the
 // reproduction resolves _krx_edata at instrumentation time (the real plugin
 // emits a symbolic immediate the linker fills — same effect).
+// `callee_clobbers` (optional, O4 only) lets the availability analysis keep
+// facts across direct calls whose callee provably never writes the checked
+// base register, and hoist checks out of loops whose bodies make only such
+// calls; null falls back to the conservative kill-everything-at-calls rule.
 Status ApplySfiPass(Function& fn, const ProtectionConfig& config, int32_t krx_handler_sym,
-                    int64_t edata_imm, SfiStats* stats);
+                    int64_t edata_imm, SfiStats* stats,
+                    const CalleeClobberSummary* callee_clobbers = nullptr);
 
 }  // namespace krx
 

@@ -103,6 +103,10 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "checkpoint";
     case TraceEventType::kSpecWindow:
       return "spec_window";
+    case TraceEventType::kSuperblockBuild:
+      return "superblock_build";
+    case TraceEventType::kSuperblockFlush:
+      return "superblock_flush";
   }
   return "unknown";
 }

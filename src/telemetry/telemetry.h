@@ -91,6 +91,8 @@ enum class TraceEventType : uint16_t {
   kRetryBackoff,     // arg0 = attempt (1-based), arg1 = backoff us
   kCheckpoint,       // arg0 = 1 restore / 0 capture, arg1 = bytes or us
   kSpecWindow,       // arg0 = windows this run, arg1 = wrong-path insts
+  kSuperblockBuild,  // arg0 = entry rip, arg1 = chained instruction count
+  kSuperblockFlush,  // arg0 = new text generation
 };
 
 const char* TraceEventTypeName(TraceEventType type);

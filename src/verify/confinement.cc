@@ -325,12 +325,29 @@ class ConfinementChecker {
     }
   }
 
-  // Mirrors ApplySfiPass's ApplyInstructionKills: calls clear everything,
-  // register writes kill per-register facts, and a store/push of a register
-  // spill-kills it (its value escapes to writable memory, §5.1.2).
+  // Mirrors ApplySfiPass's ApplyInstructionKills: calls clear everything
+  // (or, with byte-level callee-clobber masks, exactly the registers the
+  // callee may write), register writes kill per-register facts, and a
+  // store/push of a register spill-kills it (its value escapes to writable
+  // memory, §5.1.2).
   void ApplyKills(Facts& f, std::map<Reg, MemOperand>& lea_ea, PendingCheck& pending,
-                  const Instruction& inst) {
+                  const DecodedInst& di) {
+    const Instruction& inst = di.inst;
     if (inst.IsCall()) {
+      if (inst.op == Opcode::kCallRel && params_.callee_clobbers != nullptr) {
+        auto it = params_.callee_clobbers->find(di.BranchTarget());
+        if (it != params_.callee_clobbers->end()) {
+          for (int r = 0; r < kNumGpRegs; ++r) {
+            if (((it->second >> r) & 1) != 0) {
+              KillReg(f, lea_ea, pending, static_cast<Reg>(r));
+            }
+          }
+          // The callee's flags are not summarized: any pending cmp's flags
+          // are stale after the call regardless of the register mask.
+          pending.valid = false;
+          return;
+        }
+      }
       f.cover.clear();
       f.exact.clear();
       lea_ea.clear();
@@ -517,7 +534,7 @@ class ConfinementChecker {
         }
       }
 
-      ApplyKills(f, lea_ea, pending, inst);
+      ApplyKills(f, lea_ea, pending, di);
 
       if (has_derived) {
         auto it = f.cover.find(derived_dst);
@@ -660,6 +677,95 @@ void CheckReadConfinement(const DecodedFunction& fn, const ConfinementParams& pa
   census.justified_reads = report->counters.justified_reads - before.justified_reads;
   census.range_checks_seen = report->counters.range_checks_seen - before.range_checks_seen;
   report->per_function.emplace_back(fn.name, census);
+}
+
+std::map<uint64_t, uint64_t> ComputeByteCalleeClobbers(
+    const std::vector<const DecodedFunction*>& functions, uint64_t handler_address) {
+  constexpr uint64_t kAllRegs = (uint64_t{1} << kNumGpRegs) - 1;
+  struct Node {
+    uint64_t mask = 0;
+    std::vector<uint64_t> callees;  // entry addresses
+  };
+  std::map<uint64_t, Node> nodes;
+  for (const DecodedFunction* fn : functions) {
+    nodes.emplace(fn->address, Node{});
+  }
+  for (const DecodedFunction* fn : functions) {
+    Node& node = nodes[fn->address];
+    bool unknown = false;
+    for (const DecodedInst& di : fn->insts) {
+      const Instruction& inst = di.inst;
+      Reg written[6];
+      int wcount = 0;
+      InstructionRegWrites(inst, written, &wcount);
+      for (int i = 0; i < wcount; ++i) {
+        if (IsGpReg(written[i])) {
+          node.mask |= uint64_t{1} << RegIndex(written[i]);
+        }
+      }
+      switch (inst.op) {
+        case Opcode::kCallRel: {
+          const uint64_t target = di.BranchTarget();
+          if (handler_address != 0 && target == handler_address) {
+            break;  // violation path: call; hlt — never returns
+          }
+          if (nodes.count(target) > 0) {
+            node.callees.push_back(target);
+          } else {
+            unknown = true;
+          }
+          break;
+        }
+        case Opcode::kJmpRel: {
+          const uint64_t target = di.BranchTarget();
+          if (!fn->Contains(target)) {  // tail transfer out of the function
+            if (handler_address != 0 && target == handler_address) {
+              break;
+            }
+            if (nodes.count(target) > 0) {
+              node.callees.push_back(target);
+            } else {
+              unknown = true;
+            }
+          }
+          break;
+        }
+        case Opcode::kCallR:
+        case Opcode::kCallM:
+        case Opcode::kJmpR:
+        case Opcode::kJmpM:
+          unknown = true;
+          break;
+        default:
+          break;
+      }
+    }
+    if (unknown) {
+      node.mask = kAllRegs;
+    }
+  }
+  // Transitive closure: masks only grow and are bounded, so this converges.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [addr, node] : nodes) {
+      (void)addr;
+      uint64_t m = node.mask;
+      for (uint64_t c : node.callees) {
+        auto it = nodes.find(c);
+        m |= it == nodes.end() ? kAllRegs : it->second.mask;
+      }
+      if (m != node.mask) {
+        node.mask = m;
+        changed = true;
+      }
+    }
+  }
+  std::map<uint64_t, uint64_t> out;
+  for (const auto& [addr, node] : nodes) {
+    out.emplace(addr, node.mask);
+  }
+  return out;
 }
 
 }  // namespace krx

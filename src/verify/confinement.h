@@ -22,6 +22,8 @@
 #define KRX_SRC_VERIFY_CONFINEMENT_H_
 
 #include <cstdint>
+#include <map>
+#include <vector>
 
 #include "src/plugin/pass_config.h"
 #include "src/verify/decoded_function.h"
@@ -33,6 +35,13 @@ struct ConfinementParams {
   uint64_t edata = 0;            // _krx_edata the checks must compare against
   uint64_t handler_address = 0;  // resolved krx_handler entry (0 if absent)
   uint64_t guard_size = 0;       // mapped .krx_phantom size (0 if absent)
+  // Byte-level callee clobber masks keyed by function entry address (bit
+  // RegIndex(r), from ComputeByteCalleeClobbers). When present, a direct
+  // call to a summarized entry kills only the masked registers instead of
+  // every fact — the independent re-proof of the O4 pass's
+  // CalleeClobberSummary-based elisions. Null keeps the classic
+  // kill-everything-at-calls rule.
+  const std::map<uint64_t, uint64_t>* callee_clobbers = nullptr;
   // Speculation-hardening contract the bytes must additionally satisfy:
   // kBarrier demands an lfence immediately after every recognized check
   // (SPEC_BARRIER); kMask demands that no speculation-prone check (cmp/ja
@@ -43,6 +52,17 @@ struct ConfinementParams {
 
 void CheckReadConfinement(const DecodedFunction& fn, const ConfinementParams& params,
                           VerifyReport* report);
+
+// Byte-level callee-clobber masks for the decoded functions of an image
+// (exempt functions included — their bodies still execute as callees): per
+// entry address, the union over every decoded instruction of the registers
+// written, plus transitively the mask of every direct callee or
+// out-of-function tail jump. Indirect calls/jumps and direct transfers to
+// un-decoded targets yield the all-registers mask. Calls to
+// `handler_address` are excluded: the violation path never returns
+// (call; hlt), so its effects cannot reach a returning path.
+std::map<uint64_t, uint64_t> ComputeByteCalleeClobbers(
+    const std::vector<const DecodedFunction*>& functions, uint64_t handler_address);
 
 }  // namespace krx
 

@@ -36,38 +36,67 @@ VerifyReport VerifyImage(const KernelImage& image, const VerifyOptions& options)
   ra.diversify = options.check_diversify;
   ra.entropy_bits_k = options.entropy_bits_k;
 
+  // First sweep: decode every defined function — exempt ones included,
+  // because their bodies still execute as callees and feed the byte-level
+  // callee-clobber masks that let the confinement checker re-prove the O4
+  // pass's call-transparent elisions. Decode diagnostics are only raised
+  // for functions that are actually checked below.
   const SymbolTable& symbols = image.symbols();
+  struct FnDecode {
+    const Symbol* sym;
+    bool exempt;
+    Result<DecodedFunction> decoded;
+  };
+  std::vector<FnDecode> decodes;
   for (int32_t i = 0; i < static_cast<int32_t>(symbols.size()); ++i) {
     const Symbol& sym = symbols.at(i);
     if (!sym.defined || sym.kind != SymbolKind::kFunction || sym.size == 0) {
       continue;
     }
-    if (sym.name == kKrxHandlerName || options.exempt_functions.count(sym.name) > 0) {
+    const bool exempt =
+        sym.name == kKrxHandlerName || options.exempt_functions.count(sym.name) > 0;
+    decodes.push_back(
+        FnDecode{&sym, exempt, DecodeFunction(image, sym.name, sym.address, sym.size)});
+  }
+
+  std::vector<const DecodedFunction*> summarizable;
+  for (const FnDecode& entry : decodes) {
+    if (entry.decoded.ok()) {
+      summarizable.push_back(&*entry.decoded);
+    }
+  }
+  const std::map<uint64_t, uint64_t> callee_clobbers =
+      ComputeByteCalleeClobbers(summarizable, rx.handler_address);
+  rx.callee_clobbers = &callee_clobbers;
+
+  for (const FnDecode& entry : decodes) {
+    const Symbol& sym = *entry.sym;
+    if (entry.exempt) {
       ++report.counters.functions_exempt;
       continue;
     }
-    auto decoded = DecodeFunction(image, sym.name, sym.address, sym.size);
-    if (!decoded.ok()) {
+    if (!entry.decoded.ok()) {
       Diagnostic d;
       d.rule = RuleId::kCfgDecode;
       d.function = sym.name;
       d.address = sym.address;
-      d.message = decoded.status().message();
+      d.message = entry.decoded.status().message();
       report.Add(std::move(d));
       continue;
     }
+    const DecodedFunction& decoded = *entry.decoded;
     ++report.counters.functions_checked;
     if (options.check_rx) {
-      CheckReadConfinement(*decoded, rx, &report);
+      CheckReadConfinement(decoded, rx, &report);
     }
     if (options.check_ra_encrypt) {
-      CheckRaEncrypt(*decoded, image, ra, &report);
+      CheckRaEncrypt(decoded, image, ra, &report);
     }
     if (options.check_ra_decoy) {
-      CheckRaDecoy(*decoded, image, ra, &report);
+      CheckRaDecoy(decoded, image, ra, &report);
     }
     if (options.check_diversify) {
-      CheckDiversification(*decoded, ra, &report);
+      CheckDiversification(decoded, ra, &report);
     }
   }
 

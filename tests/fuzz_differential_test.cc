@@ -379,6 +379,128 @@ TEST_P(FuzzDifferential, CachedEngineMatchesUncached) {
   }
 }
 
+// Superblock axis: the translate-and-chain engine vs. both older engines,
+// over the same random programs. The chained dispatch, the inline
+// translation cache and the fastpath handlers must all be invisible in
+// every guest-visible RunResult field — including the exception trace after
+// injected decoder corruption, when a stale chain would be the bug.
+TEST_P(FuzzDifferential, SuperblockEngineMatchesOtherEngines) {
+  const uint64_t seed = GetParam();
+  KernelSource src = MakeBaseSource();
+  RandomProgram gen(&src, seed ^ 0x5B5B5B5B);
+  gen.set_seed_tag(seed + 500);
+  std::vector<std::string> fns = gen.EmitFunctions(4);
+
+  std::vector<Column> columns = {
+      {"vanilla", ProtectionConfig::Vanilla(), LayoutKind::kVanilla},
+      {"SFI(-O3)", ProtectionConfig::SfiOnly(SfiLevel::kO3), LayoutKind::kKrx},
+      {"SFI(-O4)", ProtectionConfig::SfiOnly(SfiLevel::kO4), LayoutKind::kKrx},
+      {"MPX", ProtectionConfig::MpxOnly(), LayoutKind::kKrx},
+      {"spec-mask", ProtectionConfig::SpecHardened(SpecMitigation::kMask),
+       LayoutKind::kKrx},
+  };
+  for (const Column& col : columns) {
+    auto kernel = CompileKernel(src, {col.config, col.layout});
+    ASSERT_TRUE(kernel.ok()) << col.name;
+    KernelImage& image = *kernel->image;
+    CpuOptions opts;
+    opts.mpx_enabled = col.config.mpx;
+    Cpu sb_cpu(&image, CostModel(), opts);
+    Cpu cached_cpu(&image, CostModel(), opts);
+    Cpu step_cpu(&image, CostModel(), opts);
+    auto buf = SetUpOpBuffer(image, seed);
+    ASSERT_TRUE(buf.ok());
+
+    for (const std::string& fn : fns) {
+      ASSERT_TRUE(FillOpBuffer(image, *buf, seed).ok());
+      RunResult u =
+          step_cpu.CallFunction(fn, {*buf}, RunOptions{.engine = ExecEngine::kSingleStep});
+      const uint64_t u_sum = RegionChecksum(image, *buf);
+      ASSERT_TRUE(FillOpBuffer(image, *buf, seed).ok());
+      RunResult c =
+          cached_cpu.CallFunction(fn, {*buf}, RunOptions{.engine = ExecEngine::kBlockCache});
+      ASSERT_TRUE(FillOpBuffer(image, *buf, seed).ok());
+      RunResult s =
+          sb_cpu.CallFunction(fn, {*buf}, RunOptions{.engine = ExecEngine::kSuperblock});
+      ExpectSameRunResult(s, u, col.name + "/" + fn + " (sb vs step)");
+      ExpectSameRunResult(s, c, col.name + "/" + fn + " (sb vs cached)");
+      EXPECT_EQ(RegionChecksum(image, *buf), u_sum) << col.name << "/" << fn;
+    }
+    EXPECT_GT(sb_cpu.superblock_cache().stats().chains_built, 0u) << col.name;
+    EXPECT_GT(sb_cpu.superblock_cache().stats().executed_insts, 0u) << col.name;
+
+    // Corrupt the first function's entry byte after all three engines have
+    // hot state: the exception traces must still be identical (a stale
+    // chain would return cleanly instead of trapping).
+    auto entry = image.symbols().AddressOf(fns[0]);
+    ASSERT_TRUE(entry.ok());
+    uint8_t orig = 0;
+    ASSERT_TRUE(image.PeekBytes(*entry, &orig, 1).ok());
+    const uint8_t evil = 0xCC;  // does not decode: every engine must trap
+    ASSERT_TRUE(image.PokeBytes(*entry, &evil, 1).ok());
+    RunResult u =
+        step_cpu.CallFunction(fns[0], {*buf}, RunOptions{.engine = ExecEngine::kSingleStep});
+    RunResult s =
+        sb_cpu.CallFunction(fns[0], {*buf}, RunOptions{.engine = ExecEngine::kSuperblock});
+    EXPECT_EQ(s.reason, StopReason::kException) << col.name;
+    ExpectSameRunResult(s, u, col.name + "/corrupted " + fns[0]);
+    ASSERT_TRUE(image.PokeBytes(*entry, &orig, 1).ok());
+    RunResult healed =
+        sb_cpu.CallFunction(fns[0], {*buf}, RunOptions{.engine = ExecEngine::kSuperblock});
+    EXPECT_EQ(healed.reason, StopReason::kReturned) << col.name;
+  }
+}
+
+// Superblock engine across live re-randomization epochs: chains and inline
+// TLB entries were built against the pre-epoch text and page table; the
+// epoch's generation bumps must drop both, and the superblocked engine must
+// agree bit-for-bit with the single-step interpreter on the re-randomized
+// image.
+TEST_P(FuzzDifferential, SuperblockEngineMatchesAcrossEpochs) {
+  const uint64_t seed = GetParam();
+  KernelSource src = MakeBaseSource();
+  RandomProgram gen(&src, seed ^ 0x5BEED);
+  gen.set_seed_tag(seed + 600);
+  std::vector<std::string> fns = gen.EmitFunctions(4);
+
+  auto kernel = CompileKernel(
+      src, {ProtectionConfig::DiversifyOnly(RaScheme::kEncrypt, seed), LayoutKind::kKrx});
+  ASSERT_TRUE(kernel.ok());
+  KernelImage& image = *kernel->image;
+  Cpu sb_cpu(&image);
+  Cpu step_cpu(&image);
+  RerandEngine engine(&*kernel);
+  engine.RegisterCpu(&sb_cpu);
+  engine.RegisterCpu(&step_cpu);
+  auto buf = SetUpOpBuffer(image, seed);
+  ASSERT_TRUE(buf.ok());
+
+  for (int epoch = 0; epoch <= 3; ++epoch) {
+    const std::string tag = "epoch" + std::to_string(epoch) + "/";
+    for (const std::string& fn : fns) {
+      ASSERT_TRUE(FillOpBuffer(image, *buf, seed).ok());
+      RunResult u =
+          step_cpu.CallFunction(fn, {*buf}, RunOptions{.engine = ExecEngine::kSingleStep});
+      const uint64_t u_sum = RegionChecksum(image, *buf);
+      ASSERT_TRUE(FillOpBuffer(image, *buf, seed).ok());
+      RunResult s =
+          sb_cpu.CallFunction(fn, {*buf}, RunOptions{.engine = ExecEngine::kSuperblock});
+      ASSERT_EQ(s.reason, StopReason::kReturned)
+          << tag << fn << " " << ExceptionKindName(s.exception);
+      ExpectSameRunResult(s, u, tag + fn);
+      EXPECT_EQ(RegionChecksum(image, *buf), u_sum) << tag << fn;
+    }
+    if (epoch < 3) {
+      auto r = engine.RunEpoch();
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_TRUE(r->verified);
+    }
+  }
+  EXPECT_EQ(engine.epochs_completed(), 3u);
+  EXPECT_GT(sb_cpu.superblock_cache().stats().flushes, 0u)
+      << "the epochs never flushed a chain; the axis proved nothing";
+}
+
 // Spec axis: enabling the transient-execution window must be invisible in
 // every guest-visible RunResult field and in written memory — windows
 // retire nothing, charge nothing, and count nothing (DESIGN.md §15). Runs

@@ -502,6 +502,191 @@ TEST(SfiPassO4, CallInLoopBlocksHoisting) {
   EXPECT_EQ(r.stats.checks_emitted, 1u);
 }
 
+// ---- O4 + callee-clobber summaries: call-transparent facts. ----
+
+uint64_t RegBit(Reg r) { return uint64_t{1} << RegIndex(r); }
+
+// Symbol id used for the summarized callee in the IR-level tests below.
+// ApplySfiPass never resolves it — only the summary keys must match.
+constexpr int32_t kLeafSym = 1;
+
+PassResult ApplyO4WithClobbers(Function fn, const CalleeClobberSummary& clobbers) {
+  SymbolTable symbols;
+  int32_t handler = symbols.Intern(kKrxHandlerName);
+  ProtectionConfig config;
+  config.sfi = SfiLevel::kO4;
+  SfiStats stats;
+  KRX_CHECK_OK(ApplySfiPass(fn, config, handler, kEdata, &stats, &clobbers));
+  return {std::move(fn), stats};
+}
+
+CalleeClobberSummary LeafSummary(uint64_t extra_mask = 0) {
+  CalleeClobberSummary s;
+  s.Set(kLeafSym, RegBit(kRangeCheckScratch) | RegBit(Reg::kRsp) | RegBit(Reg::kRax) |
+                      extra_mask);
+  return s;
+}
+
+Function MakeLoopWithCall() {
+  // The CallInLoopBlocksHoisting shape: without a summary the call kills the
+  // base fact and forces the check back into the loop body.
+  FunctionBuilder b("f");
+  int32_t loop = b.ReserveBlock();
+  b.Emit(Instruction::MovRI(Reg::kRcx, 10));
+  b.Bind(loop);
+  b.Emit(Instruction::Load(Reg::kRbx, MemOperand::Base(Reg::kRdi, 16)));
+  b.Emit(Instruction::CallSym(kLeafSym));
+  b.Emit(Instruction::SubRI(Reg::kRcx, 1));
+  b.Emit(Instruction::JccBlock(Cond::kNe, loop));
+  b.Emit(Instruction::Ret());
+  return b.Build();
+}
+
+TEST(SfiPassO4Clobber, NonClobberingCalleeAllowsLoopHoist) {
+  PassResult r = ApplyO4WithClobbers(MakeLoopWithCall(), LeafSummary());
+  EXPECT_EQ(r.stats.checks_hoisted, 1u);
+  EXPECT_EQ(r.stats.checks_emitted, 1u);
+  EXPECT_EQ(r.stats.checks_coalesced, 1u);
+  // The loop body (the block with the counter decrement) carries no check.
+  for (const BasicBlock& blk : r.fn.blocks()) {
+    bool in_loop = false;
+    for (const Instruction& inst : blk.insts) {
+      in_loop |= inst.op == Opcode::kSubRI;
+    }
+    if (in_loop) {
+      for (const Instruction& inst : blk.insts) {
+        EXPECT_FALSE(inst.IsRangeCheck()) << "check left inside the loop";
+      }
+    }
+  }
+}
+
+TEST(SfiPassO4Clobber, ClobberingCalleeStillBlocksHoist) {
+  // Same loop, but the summary says the callee writes the base register —
+  // hoisting would check a value the callee later replaces.
+  PassResult r = ApplyO4WithClobbers(MakeLoopWithCall(), LeafSummary(RegBit(Reg::kRdi)));
+  EXPECT_EQ(r.stats.checks_hoisted, 0u);
+  EXPECT_EQ(r.stats.checks_emitted, 1u);
+}
+
+TEST(SfiPassO4Clobber, UnsummarizedCalleeStaysConservative) {
+  // A summary that does not know the callee must behave exactly like the
+  // no-summary path: MaskOf(unknown) == kAllRegs.
+  CalleeClobberSummary empty;
+  EXPECT_EQ(empty.MaskOf(kLeafSym), CalleeClobberSummary::kAllRegs);
+  PassResult r = ApplyO4WithClobbers(MakeLoopWithCall(), empty);
+  EXPECT_EQ(r.stats.checks_hoisted, 0u);
+  EXPECT_EQ(r.stats.checks_emitted, 1u);
+}
+
+TEST(SfiPassO4Clobber, ElisionSurvivesNonClobberingCall) {
+  // Straight-line: the first check covers disp 24; the call does not touch
+  // %rdi, so the second (smaller-displacement) site is elided under the
+  // surviving fact. Without a summary both sites emit checks.
+  auto make = [] {
+    FunctionBuilder b("f");
+    b.Emit(Instruction::Load(Reg::kRbx, MemOperand::Base(Reg::kRdi, 24)));
+    b.Emit(Instruction::CallSym(kLeafSym));
+    b.Emit(Instruction::Load(Reg::kRdx, MemOperand::Base(Reg::kRdi, 16)));
+    b.Emit(Instruction::Ret());
+    return b.Build();
+  };
+  PassResult without = Apply(make(), SfiLevel::kO4);
+  EXPECT_EQ(without.stats.checks_emitted, 2u);
+  PassResult with = ApplyO4WithClobbers(make(), LeafSummary());
+  EXPECT_EQ(with.stats.checks_emitted, 1u);
+  EXPECT_EQ(with.stats.checks_coalesced, 1u);
+  EXPECT_EQ(RangeCheckImms(with.fn), std::vector<int64_t>{kEdata - 24});
+}
+
+TEST(SfiPassO4Clobber, ComputeMasksTransitivityAndIndirect) {
+  std::vector<Function> fns;
+  SymbolTable symbols;
+  const int32_t leaf = symbols.Intern("leaf");
+  const int32_t wrapper = symbols.Intern("wrapper");
+  const int32_t chaotic = symbols.Intern("chaotic");
+  const int32_t saver = symbols.Intern("saver");
+  {
+    FunctionBuilder b("leaf");
+    b.Emit(Instruction::MovRI(Reg::kRax, 1));
+    b.Emit(Instruction::Ret());
+    fns.push_back(b.Build());
+  }
+  {
+    FunctionBuilder b("wrapper");
+    b.Emit(Instruction::MovRI(Reg::kRbx, 2));
+    b.Emit(Instruction::CallSym(leaf));
+    b.Emit(Instruction::Ret());
+    fns.push_back(b.Build());
+  }
+  {
+    FunctionBuilder b("chaotic");
+    b.Emit(Instruction::CallR(Reg::kRax));
+    b.Emit(Instruction::Ret());
+    fns.push_back(b.Build());
+  }
+  {
+    // Callee-saved save/restore: the pop is a write under the §5.1.2 spill
+    // rule — the restored value came through attacker-reachable memory.
+    FunctionBuilder b("saver");
+    b.Emit(Instruction::PushR(Reg::kRdi));
+    b.Emit(Instruction::PopR(Reg::kRdi));
+    b.Emit(Instruction::Ret());
+    fns.push_back(b.Build());
+  }
+  CalleeClobberSummary s = ComputeCalleeClobbers(
+      fns, [&symbols](const std::string& name) { return symbols.Intern(name); });
+  const uint64_t forced = RegBit(kRangeCheckScratch) | RegBit(Reg::kRsp);
+  EXPECT_EQ(s.MaskOf(leaf), RegBit(Reg::kRax) | forced);
+  EXPECT_EQ(s.MaskOf(wrapper), RegBit(Reg::kRax) | RegBit(Reg::kRbx) | forced);
+  EXPECT_EQ(s.MaskOf(chaotic), CalleeClobberSummary::kAllRegs);
+  EXPECT_TRUE(s.MayClobber(saver, Reg::kRdi));
+  EXPECT_TRUE(s.MayClobber(999, Reg::kRdi));  // unknown ids clobber everything
+}
+
+TEST(SfiPassO4Clobber, EndToEndElisionPassesPostLinkVerify) {
+  // Whole-pipeline proof: the hoisted-over-a-call elision must be
+  // independently re-provable by the byte-level verifier (the test binary
+  // runs with KRX_POST_LINK_VERIFY=1, so CompileKernel fails otherwise),
+  // and the program still computes the right value.
+  KernelSource src = MakeBaseSource();
+  {
+    FunctionBuilder b("ccs_helper");
+    b.Emit(Instruction::MovRI(Reg::kRbx, 7));
+    b.Emit(Instruction::Ret());
+    src.functions.push_back(b.Build());
+    src.symbols.Intern("ccs_helper");
+  }
+  const int32_t helper_sym = src.symbols.Intern("ccs_helper");
+  {
+    FunctionBuilder b("ccs_caller");
+    int32_t loop = b.ReserveBlock();
+    b.Emit(Instruction::MovRI(Reg::kRcx, 4));
+    b.Bind(loop);
+    b.Emit(Instruction::Load(Reg::kRax, MemOperand::Base(Reg::kRdi, 16)));
+    b.Emit(Instruction::CallSym(helper_sym));
+    b.Emit(Instruction::SubRI(Reg::kRcx, 1));
+    b.Emit(Instruction::JccBlock(Cond::kNe, loop));
+    b.Emit(Instruction::Ret());
+    src.functions.push_back(b.Build());
+    src.symbols.Intern("ccs_caller");
+  }
+  auto kernel =
+      CompileKernel(std::move(src), {ProtectionConfig::SfiOnly(SfiLevel::kO4), LayoutKind::kKrx});
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  EXPECT_GE(kernel->stats.sfi.checks_hoisted, 1u);
+
+  Cpu cpu(kernel->image.get());
+  auto buf = kernel->image->AllocDataPages(1);
+  ASSERT_TRUE(buf.ok());
+  ASSERT_TRUE(kernel->image->Poke64(*buf + 16, 0x1234).ok());
+  auto caller = kernel->image->symbols().AddressOf("ccs_caller");
+  ASSERT_TRUE(caller.ok());
+  RunResult r = cpu.CallFunction(*caller, {*buf});
+  ASSERT_EQ(r.reason, StopReason::kReturned);
+  EXPECT_EQ(r.rax, 0x1234u);
+}
+
 TEST(SfiPass, LoopHeaderChecksStay) {
   // A check inside a loop cannot be absorbed by a pre-loop check.
   FunctionBuilder b("f");

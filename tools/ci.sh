@@ -3,7 +3,10 @@
 # suite, the sanitizer subset, the fault-injection campaigns, the live
 # re-randomization (rerand) stage, the perf stage (block-cache equivalence
 # tests + parallel bench smoke matrix with the telemetry overhead gate), the
-# telemetry stage (subsystem tests + krx_trace export/validate smoke + the
+# superblock stage (translate-and-chain engine equivalence, invalidation
+# and inline-TLB tests; the TSan preset re-runs them for the concurrent
+# invalidation protocol), the telemetry stage (subsystem tests + krx_trace
+# export/validate smoke + the
 # traced security_eval attack timeline), the supervise stage (watchdog,
 # deadline, retry, degradation-ladder and checkpoint/restore tests) with the
 # chaos campaign acceptance gate, the fleet stage (multi-tenant CoW sharing
@@ -61,6 +64,9 @@ ctest --test-dir build -L perf --output-on-failure -j4
     --trace build/BENCH_perf_trace.json || {
   echo "bench_perf smoke matrix failed" >&2; exit 1;
 }
+
+echo "==> superblock stage: translate-and-chain engine tests"
+ctest --test-dir build -L superblock --output-on-failure -j4
 
 echo "==> telemetry stage: subsystem tests + trace export smoke"
 ctest --test-dir build -L telemetry --output-on-failure -j4
@@ -122,6 +128,9 @@ if [ "$QUICK" -eq 0 ]; then
   echo "==> telemetry labels (asan preset)"
   ctest --test-dir build-asan -L telemetry --output-on-failure -j4
 
+  echo "==> superblock labels (asan preset)"
+  ctest --test-dir build-asan -L superblock --output-on-failure -j4
+
   echo "==> spec labels (asan preset)"
   ctest --test-dir build-asan -L spec --output-on-failure -j4
 
@@ -140,7 +149,7 @@ if [ "$QUICK" -eq 0 ]; then
   cmake --preset tsan
   cmake --build --preset tsan -j
 
-  echo "==> telemetry + concurrency labels (tsan preset)"
+  echo "==> telemetry + concurrency + superblock labels (tsan preset)"
   ctest --preset tsan -j8
 fi
 

@@ -16,7 +16,10 @@
 //     run one live epoch and show the before/after layout.
 //   krx_objdump --stats [config]
 //     compile under the config and print the metrics-registry snapshot of
-//     the build (compile.* counters and per-phase timings) as JSON.
+//     the build (compile.* counters and per-phase timings) as JSON, then
+//     run the lmbench op set through the superblock engine and print the
+//     per-function chain/fastpath table (which functions root chains, how
+//     much of their retirement takes the specialized handlers).
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -24,13 +27,17 @@
 #include <vector>
 
 #include "src/attack/gadget_scanner.h"
+#include "src/cpu/cpu.h"
+#include "src/cpu/superblock/sb_report.h"
 #include "src/fleet/image_key.h"
 #include "src/isa/encoding.h"
 #include "src/rerand/engine.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/telemetry.h"
 #include "src/verify/verifier.h"
+#include "src/workload/corpus.h"
 #include "src/workload/harness.h"
+#include "src/workload/lmbench.h"
 
 namespace krx {
 namespace {
@@ -151,6 +158,38 @@ int DumpStats(const std::string& config_name) {
   // this debug formatter — nothing keys on the string anymore).
   std::printf("image_key: %s\n", ImageKey::FromOptions(options).DebugString().c_str());
   std::printf("%s\n", telemetry::MetricsRegistry::Global().SnapshotJson().c_str());
+
+  // Runtime view: the lmbench op set through the translate-and-chain
+  // engine, attributed by symbol extent — the build stats above say what
+  // was instrumented, this table says what actually chains when it runs.
+  KernelImage& image = *kernel->image;
+  auto buf = SetUpOpBuffer(image, 0xD15A);
+  if (!buf.ok()) {
+    std::fprintf(stderr, "op buffer setup failed: %s\n", buf.status().ToString().c_str());
+    return 1;
+  }
+  Cpu cpu(&image, CostModel(), CpuOptions{});
+  RunOptions run;
+  run.engine = ExecEngine::kSuperblock;
+  for (const LmbenchRow& row : LmbenchRows()) {
+    for (int rep = 0; rep < 4; ++rep) {
+      (void)cpu.CallFunction("sys_" + row.profile.name, {*buf}, run);
+    }
+  }
+  const SuperblockStats& ss = cpu.superblock_cache().stats();
+  std::printf("\nSuperblock engine (lmbench op set): %" PRIu64 " chains (%" PRIu64
+              " blocks), %" PRIu64 " dispatches, %" PRIu64
+              " chain breaks, fastpath %.1f%%, inline-TLB hit %.1f%%\n",
+              ss.chains_built, ss.blocks_chained, ss.entries, ss.chain_breaks,
+              100.0 * ss.fastpath_share(), 100.0 * ss.tlb_hit_rate());
+  std::printf("\n%-28s %7s %9s %10s %10s %6s\n", "function", "chains", "entered", "insts",
+              "fastpath", "fast%");
+  for (const SbFunctionUsage& fn :
+       AggregateSuperblocksBySymbol(cpu.superblock_cache(), image.symbols())) {
+    std::printf("%-28s %7" PRIu64 " %9" PRIu64 " %10" PRIu64 " %10" PRIu64 " %5.1f%%\n",
+                fn.name.c_str(), fn.chains, fn.entered, fn.insts, fn.fast,
+                100.0 * fn.fast_share());
+  }
   return 0;
 }
 

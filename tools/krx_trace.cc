@@ -7,7 +7,9 @@
 //   krx_trace top [--n N] [--seed S] [--ms W] [--threads T]
 //     Sample the parallel lmbench bench matrix with the guest profiler and
 //     print the top-N functions with their protection-check cost
-//     attribution, plus a per-worker busy/idle breakdown.
+//     attribution and their superblock engine usage (chains rooted in the
+//     function, fastpath retirement share), plus a per-worker busy/idle
+//     breakdown.
 //   krx_trace metrics [--seed S] [--csv] [config]
 //     Compile + run one op under the chosen config — plus a supervised
 //     scenario (watchdog-caught wedged run, rerand degradation ladder) so
@@ -29,6 +31,7 @@
 #include <vector>
 
 #include "src/bench_runner/bench_runner.h"
+#include "src/cpu/superblock/sb_report.h"
 #include "src/rerand/engine.h"
 #include "src/supervise/health.h"
 #include "src/supervise/watchdog.h"
@@ -197,6 +200,23 @@ int CmdTop(int top_n, uint64_t seed, int window_ms, int threads) {
     return 1;
   }
 
+  // Superblock usage for the same op set: chains are per-Cpu state, and the
+  // pool workers' Cpus are gone by now, so one local superblocked pass over
+  // the shared image regenerates them. Entry addresses bucket by the same
+  // symbol extents the profiler attributes samples to.
+  std::vector<SbFunctionUsage> sb_rows;
+  if (auto sb_buf = SetUpOpBuffer(image, seed); sb_buf.ok()) {
+    Cpu sb_cpu(&image, CostModel(), CpuOptions{});
+    RunOptions sb_run;
+    sb_run.engine = ExecEngine::kSuperblock;
+    for (const LmbenchRow& row : LmbenchRows()) {
+      for (int rep = 0; rep < 4; ++rep) {
+        (void)sb_cpu.CallFunction("sys_" + row.profile.name, {*sb_buf}, sb_run);
+      }
+    }
+    sb_rows = AggregateSuperblocksBySymbol(sb_cpu.superblock_cache(), image.symbols());
+  }
+
   const telemetry::ProfileReport report = profiler.MakeReport(CostModel());
   const uint64_t busy = report.total_samples - report.idle_samples;
   std::printf("guest profile: %llu samples (%llu idle, %llu unattributed), %llu calls in "
@@ -205,18 +225,33 @@ int CmdTop(int top_n, uint64_t seed, int window_ms, int threads) {
               (unsigned long long)report.idle_samples,
               (unsigned long long)report.unattributed, (unsigned long long)calls,
               (unsigned long long)batches, config_name.c_str(), threads);
-  std::printf("%-28s %8s %7s %6s %6s %9s %9s\n", "function", "samples", "pct", "sfi", "mpx",
-              "check%", "est.share");
+  std::printf("%-28s %8s %7s %6s %6s %9s %9s %7s %6s\n", "function", "samples", "pct", "sfi",
+              "mpx", "check%", "est.share", "chains", "fast%");
   int shown = 0;
   for (const telemetry::FunctionProfile& fn : report.functions) {
     if (fn.samples == 0 || shown >= top_n) {
       break;
     }
-    std::printf("%-28s %8llu %6.1f%% %6llu %6llu %8.1f%% %8.2f%%\n", fn.name.c_str(),
+    std::printf("%-28s %8llu %6.1f%% %6llu %6llu %8.1f%% %8.2f%%", fn.name.c_str(),
                 (unsigned long long)fn.samples, fn.sample_pct,
                 (unsigned long long)fn.census.sfi_checks,
                 (unsigned long long)fn.census.mpx_checks, fn.check_cost_pct,
                 fn.est_check_share);
+    const SbFunctionUsage* usage = nullptr;
+    for (const SbFunctionUsage& row : sb_rows) {
+      if (row.name == fn.name) {
+        usage = &row;
+        break;
+      }
+    }
+    if (usage != nullptr && usage->insts > 0) {
+      std::printf(" %7llu %5.1f%%\n", (unsigned long long)usage->chains,
+                  100.0 * usage->fast_share());
+    } else {
+      // The function never rooted a chain (cold, or only ever reached as a
+      // chained callee of another entry point).
+      std::printf(" %7s %6s\n", "-", "-");
+    }
     ++shown;
   }
   std::printf("\n%-12s %10s %10s %8s\n", "worker", "samples", "busy", "busy%");
